@@ -1,0 +1,35 @@
+//! Experiment F5 / §2 claim: "low-overhead adaptive checkpointing,
+//! minimizing computational resources during model training."
+//!
+//! Ablation over checkpoint policies for the Fig. 5 training loop:
+//! `None` (fastest, replay-hostile), `EveryK(1)` (replay-friendly, pays a
+//! snapshot per epoch), `EveryK(4)`, and `Adaptive` (the paper's policy —
+//! cost-bounded). Expected shape: Adaptive ≈ None + bounded overhead,
+//! EveryK(1) the most expensive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flor_bench::train_script;
+use flor_record::{record, CheckpointPolicy};
+use flor_script::parse;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_policies");
+    group.sample_size(15);
+    let src = train_script(12, 4, false);
+    let prog = parse(&src).unwrap();
+    let policies: [(&str, CheckpointPolicy); 4] = [
+        ("none", CheckpointPolicy::None),
+        ("every_1", CheckpointPolicy::EveryK(1)),
+        ("every_4", CheckpointPolicy::EveryK(4)),
+        ("adaptive_a10", CheckpointPolicy::Adaptive { alpha: 10.0 }),
+    ];
+    for (name, policy) in policies {
+        group.bench_with_input(BenchmarkId::new("train_12ep", name), &policy, |b, p| {
+            b.iter(|| record(&prog, *p, &[]).unwrap().0.ckpt_count)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

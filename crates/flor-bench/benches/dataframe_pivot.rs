@@ -1,0 +1,38 @@
+//! Experiment Q1 / §3.1: `flor.dataframe` — "log statements can be read
+//! directly as tabular data ... queried via Pandas or SQL, without
+//! requiring data wrangling."
+//!
+//! Measures the full pivoted-view materialisation (index lookup + ctx-chain
+//! resolution + pivot) as the log grows, plus the `latest` dedup on top.
+//! Expected shape: near-linear in matching log rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flor_bench::flor_with_logs;
+
+fn bench_dataframe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataframe_pivot");
+    group.sample_size(10);
+    for runs in [4usize, 16, 64] {
+        let flor = flor_with_logs(runs, 10, &["loss", "acc", "recall"]);
+        group.bench_with_input(
+            BenchmarkId::new("dataframe_3names", runs * 10 * 3),
+            &runs,
+            |b, _| b.iter(|| flor.dataframe(&["loss", "acc", "recall"]).unwrap().n_rows()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dataframe_latest", runs * 10 * 3),
+            &runs,
+            |b, _| {
+                b.iter(|| {
+                    flor.dataframe_latest(&["acc"], &["epoch_iteration"])
+                        .unwrap()
+                        .n_rows()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataframe);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Experiment F6: the human-in-the-loop feedback path (Fig. 6) — a
+//! `save_colors` POST (iteration context + page logs + `flor.commit`) and
+//! the `get_colors` read (dataframe + latest) must be interactive-fast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flor_core::Flor;
+use flor_df::Value;
+use flor_pipeline::{CorpusConfig, PdfPipeline};
+
+fn bench_feedback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feedback_loop");
+    group.sample_size(10);
+
+    // save_colors: one document's worth of corrections + commit.
+    group.bench_function("save_colors_commit", |b| {
+        let flor = Flor::new("bench");
+        flor.set_filename("app.fl");
+        b.iter(|| {
+            flor.iteration("document", "case_000.pdf", |flor| {
+                flor.for_each("page", 0..8, |flor, &p| {
+                    flor.log("page_color", p as i64 / 3);
+                    flor.log("label_src", "human");
+                });
+            });
+            flor.commit("save_colors").unwrap()
+        })
+    });
+
+    // get_colors against an app that has accumulated feedback history.
+    group.bench_function("get_colors_read", |b| {
+        let flor = Flor::new("bench");
+        flor.set_filename("app.fl");
+        for round in 0..30 {
+            flor.iteration("document", "case_000.pdf", |flor| {
+                flor.for_each("page", 0..8, |flor, &p| {
+                    flor.log("page_color", ((p + round) % 3) as i64);
+                });
+            });
+            flor.commit("round").unwrap();
+        }
+        b.iter(|| {
+            flor.dataframe(&["page_color"])
+                .unwrap()
+                .filter_eq("document_value", &Value::from("case_000.pdf"))
+                .latest(&["page_iteration"], "tstamp")
+                .unwrap()
+                .n_rows()
+        })
+    });
+
+    // A full feedback round of the demo (review + retrain + re-infer).
+    group.bench_function("full_feedback_round", |b| {
+        let p = PdfPipeline::new(
+            "bench",
+            &CorpusConfig {
+                n_pdfs: 6,
+                max_docs_per_pdf: 2,
+                max_pages_per_doc: 3,
+                seed: 11,
+            },
+        );
+        p.make("run").unwrap();
+        let name = p.corpus.pdfs.last().unwrap().name.clone();
+        b.iter(|| p.feedback_round(&[name.as_str()]).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_feedback);
+criterion_main!(benches);

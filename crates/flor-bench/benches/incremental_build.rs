@@ -1,0 +1,55 @@
+//! Experiments F2/F4: Make-style incremental execution — "re-running only
+//! the parts of the workflow that have been selected", the behavioral-
+//! context half of the demo.
+//!
+//! Measures the Fig. 4 pipeline: cold full build, fully-cached rebuild, and
+//! the rebuild after touching one mid-pipeline source. Expected shape:
+//! cached ≪ touched-one ≪ full.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flor_pipeline::{CorpusConfig, PdfPipeline};
+
+fn cfg() -> CorpusConfig {
+    CorpusConfig {
+        n_pdfs: 6,
+        max_docs_per_pdf: 2,
+        max_pages_per_doc: 3,
+        seed: 11,
+    }
+}
+
+fn bench_builds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_build");
+    group.sample_size(10);
+    group.bench_function("full_build", |b| {
+        b.iter(|| {
+            let p = PdfPipeline::new("bench", &cfg());
+            p.make("run").unwrap().executed.len()
+        })
+    });
+    group.bench_function("cached_rebuild", |b| {
+        let p = PdfPipeline::new("bench", &cfg());
+        p.make("run").unwrap();
+        b.iter(|| p.make("run").unwrap().cached.len())
+    });
+    group.bench_function("touch_infer_rebuild", |b| {
+        let p = PdfPipeline::new("bench", &cfg());
+        p.make("run").unwrap();
+        b.iter(|| {
+            p.flor.fs.write("infer.fl", "// touched");
+            p.make("run").unwrap().executed.len()
+        })
+    });
+    group.bench_function("touch_featurize_rebuild", |b| {
+        let p = PdfPipeline::new("bench", &cfg());
+        p.make("run").unwrap();
+        b.iter(|| {
+            p.flor.fs.write("featurize.fl", "// touched");
+            p.make("run").unwrap().executed.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_builds);
+criterion_main!(benches);

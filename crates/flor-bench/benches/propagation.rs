@@ -1,0 +1,40 @@
+//! Experiment H3 / §2.1: statement propagation "via techniques adapted
+//! from code diffing [6]" must be cheap relative to any re-execution —
+//! milliseconds for realistic script sizes.
+//!
+//! Sweeps the number of pipeline stages (script size) and measures the
+//! full propagate pipeline: parse old + parse new + GumTree match + splice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flor_bench::versioned_scripts;
+use flor_diff::propagate_logs;
+use flor_script::parse;
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation");
+    group.sample_size(20);
+    for stages in [1usize, 4, 16] {
+        let (old_src, new_src) = versioned_scripts(stages);
+        group.bench_with_input(
+            BenchmarkId::new("parse_and_propagate", stages),
+            &stages,
+            |b, _| {
+                b.iter(|| {
+                    let old = parse(&old_src).unwrap();
+                    let new = parse(&new_src).unwrap();
+                    propagate_logs(&old, &new).injected.len()
+                })
+            },
+        );
+        // Matching cost alone (pre-parsed).
+        let old = parse(&old_src).unwrap();
+        let new = parse(&new_src).unwrap();
+        group.bench_with_input(BenchmarkId::new("propagate_only", stages), &stages, |b, _| {
+            b.iter(|| propagate_logs(&old, &new).injected.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Experiment H2 / Figure 3 claim: "metadata can be captured naturally
+//! through Python log statements ... without imposing significant
+//! overhead."
+//!
+//! Compares one training run executed (a) bare, (b) under a recording
+//! runtime without checkpoints, (c) with full FlorDB kernel instrumentation
+//! (logs + loops tables + WAL). Expected shape: (b) within a few percent of
+//! (a); (c) adds modest constant cost per logged record.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flor_bench::train_script;
+use flor_core::{run_script, Flor};
+use flor_record::{record, CheckpointPolicy};
+use flor_script::{parse, Interpreter, NullRuntime};
+
+fn bench_record_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record_overhead");
+    group.sample_size(20);
+    for epochs in [4usize, 16] {
+        let src = train_script(epochs, 2, true);
+        let prog = parse(&src).unwrap();
+        group.bench_with_input(BenchmarkId::new("bare_execution", epochs), &epochs, |b, _| {
+            b.iter(|| {
+                let mut interp = Interpreter::new();
+                interp.run(&prog, &mut NullRuntime).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("record_no_ckpt", epochs), &epochs, |b, _| {
+            b.iter(|| record(&prog, CheckpointPolicy::None, &[]).unwrap().0.logs.len())
+        });
+        group.bench_with_input(BenchmarkId::new("full_kernel", epochs), &epochs, |b, _| {
+            b.iter(|| {
+                let flor = Flor::new("bench");
+                flor.fs.write("train.fl", &src);
+                run_script(&flor, "train.fl", CheckpointPolicy::None).unwrap();
+                flor.db.row_count("logs").unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_record_overhead);
+criterion_main!(benches);

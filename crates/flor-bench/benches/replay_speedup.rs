@@ -1,0 +1,54 @@
+//! Experiment H1 / §2 claim: hindsight replay via "differential execution
+//! and parallelism" beats full re-execution, and the gap grows with the
+//! amount of work replay can skip.
+//!
+//! Compares, for one prior version needing one new logged value:
+//! * `full_rerun` — execute the patched program from scratch;
+//! * `replay_one_iter` — restore the nearest checkpoint, run 1 iteration;
+//! * `replay_all_serial` / `replay_all_par4` — recover the value for every
+//!   epoch, serial vs 4 workers.
+//!
+//! Expected shape: replay_one ≪ full; parallel < serial for all-epoch
+//! recovery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flor_bench::train_script;
+use flor_record::{record, replay, CheckpointPolicy};
+use flor_script::parse;
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay_speedup");
+    group.sample_size(10);
+    for epochs in [8usize, 24] {
+        let old_src = train_script(epochs, 300, false);
+        let new_src = train_script(epochs, 300, true);
+        let old_prog = parse(&old_src).unwrap();
+        let new_prog = parse(&new_src).unwrap();
+        let (rec, _) = record(&old_prog, CheckpointPolicy::EveryK(1), &[]).unwrap();
+        let all: Vec<usize> = (0..epochs).collect();
+        let last = [epochs - 1];
+
+        group.bench_with_input(BenchmarkId::new("full_rerun", epochs), &epochs, |b, _| {
+            b.iter(|| record(&new_prog, CheckpointPolicy::None, &[]).unwrap().0.logs.len())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("replay_one_iter", epochs),
+            &epochs,
+            |b, _| b.iter(|| replay(&new_prog, &rec, &last, 1).unwrap().new_logs.len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("replay_all_serial", epochs),
+            &epochs,
+            |b, _| b.iter(|| replay(&new_prog, &rec, &all, 1).unwrap().new_logs.len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("replay_all_par4", epochs),
+            &epochs,
+            |b, _| b.iter(|| replay(&new_prog, &rec, &all, 4).unwrap().new_logs.len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Experiment F1: the Fig. 1 relational model must answer the paper's
+//! query patterns cheaply. Measures secondary-index point lookups vs full
+//! scans on the `logs` table as it grows, and transactional insert+commit
+//! throughput into the WAL-less in-memory engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flor_df::Value;
+use flor_store::{flor_schema, CmpOp, Database, Query};
+
+fn populate(n: usize) -> Database {
+    let db = Database::in_memory(flor_schema());
+    for i in 0..n {
+        db.insert(
+            "logs",
+            vec![
+                "bench".into(),
+                ((i / 100) as i64).into(),
+                "train.fl".into(),
+                (i as i64).into(),
+                format!("metric_{}", i % 10).into(),
+                format!("{}", i as f64 * 0.5).into(),
+                3.into(),
+            ],
+        )
+        .unwrap();
+    }
+    db.commit().unwrap();
+    db
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_queries");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        let db = populate(n);
+        group.bench_with_input(BenchmarkId::new("indexed_lookup", n), &n, |b, _| {
+            b.iter(|| {
+                db.lookup("logs", "value_name", &Value::from("metric_3"))
+                    .unwrap()
+                    .n_rows()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_scan_filter", n), &n, |b, _| {
+            b.iter(|| {
+                db.scan("logs")
+                    .unwrap()
+                    .filter_eq("value_name", &Value::from("metric_3"))
+                    .n_rows()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("query_with_residual", n), &n, |b, _| {
+            b.iter(|| {
+                Query::table("logs")
+                    .filter_eq("value_name", "metric_3")
+                    .filter("tstamp", CmpOp::Ge, 2)
+                    .project(&["tstamp", "value"])
+                    .execute(&db)
+                    .unwrap()
+                    .n_rows()
+            })
+        });
+    }
+    group.bench_function("insert_commit_1000", |b| {
+        b.iter(|| {
+            let db = Database::in_memory(flor_schema());
+            for i in 0..1000i64 {
+                db.insert(
+                    "logs",
+                    vec![
+                        "bench".into(),
+                        1.into(),
+                        "f".into(),
+                        i.into(),
+                        "x".into(),
+                        "1".into(),
+                        2.into(),
+                    ],
+                )
+                .unwrap();
+            }
+            db.commit().unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,434 @@
+//! Multiversion hindsight logging: the paper's "magic trick" end to end.
+//!
+//! "Developers can add the desired logging statements to the latest version
+//! of their code, and FlorDB will (a) inject these statements into the
+//! correct locations in all prior versions of the code, and (b)
+//! retroactively execute these statements across all those versions via
+//! incremental replay, without the need for full re-execution." (§2)
+//!
+//! [`backfill`] does exactly that: for every prior run of a script missing
+//! the requested values, it checks out that version's source, propagates
+//! the new `flor.log` statements into it (`flor-diff`), replays only the
+//! iterations that need to produce values (`flor-record`, restoring from
+//! stored checkpoints, in parallel), and ingests the recovered values into
+//! the `logs` table *at the original run's timestamp* — so the next
+//! `flor.dataframe` call sees a complete history.
+
+use crate::kernel::Flor;
+use crate::runtime::load_record;
+use flor_df::Value;
+use flor_diff::propagate_logs;
+use flor_record::{iterations_logging, replay, LogRecord};
+use flor_script::parse;
+use flor_store::StoreResult;
+use std::collections::HashMap;
+
+/// What happened for one prior version during backfill.
+#[derive(Debug, Clone)]
+pub struct VersionOutcome {
+    /// The run's logical timestamp.
+    pub tstamp: i64,
+    /// Version id of the code that ran.
+    pub vid: String,
+    /// Log statements injected by propagation.
+    pub injected: usize,
+    /// Iterations replayed (vs. the loop's total).
+    pub iterations_replayed: usize,
+    /// Total iterations of the checkpoint loop.
+    pub iterations_total: usize,
+    /// Values recovered and ingested.
+    pub values_recovered: usize,
+    /// Why the version was skipped, if it was.
+    pub skipped: Option<String>,
+}
+
+/// Aggregate result of a [`backfill`] call.
+#[derive(Debug, Clone, Default)]
+pub struct BackfillReport {
+    /// Per-version outcomes (oldest first).
+    pub versions: Vec<VersionOutcome>,
+    /// Total values ingested.
+    pub values_recovered: usize,
+    /// Total iterations replayed across versions.
+    pub iterations_replayed: usize,
+    /// Total iterations that a naive full re-execution would have run.
+    pub iterations_full: usize,
+}
+
+/// All recorded runs of `filename`: `(tstamp, vid)`, oldest first.
+pub fn runs_of(flor: &Flor, filename: &str) -> StoreResult<Vec<(i64, String)>> {
+    let ts2vid = flor.db.scan("ts2vid")?;
+    // Distinct run tstamps come from the logs table.
+    let logs = flor.db.scan("logs")?;
+    let mut tstamps: Vec<i64> = logs
+        .filter_eq("filename", &Value::from(filename))
+        .column("tstamp")
+        .map(|c| c.values.iter().filter_map(Value::as_i64).collect())
+        .unwrap_or_default();
+    tstamps.sort_unstable();
+    tstamps.dedup();
+    let mut out = Vec::new();
+    for t in tstamps {
+        // Find the commit window containing t.
+        let vid = ts2vid
+            .rows()
+            .find(|r| {
+                let s = r.get("ts_start").and_then(Value::as_i64).unwrap_or(i64::MAX);
+                let e = r.get("ts_end").and_then(Value::as_i64).unwrap_or(i64::MIN);
+                s <= t && t <= e
+            })
+            .and_then(|r| r.get("vid").map(|v| v.to_text()));
+        if let Some(vid) = vid {
+            out.push((t, vid));
+        }
+    }
+    Ok(out)
+}
+
+/// Backfill `names` for every prior run of `filename`, using the *current
+/// working-tree* source as the version carrying the new log statements.
+///
+/// `parallelism` caps replay worker threads per version.
+pub fn backfill(
+    flor: &Flor,
+    filename: &str,
+    names: &[&str],
+    parallelism: usize,
+) -> StoreResult<BackfillReport> {
+    let mut report = BackfillReport::default();
+    let Some(new_source) = flor.fs.read(filename) else {
+        return Ok(report);
+    };
+    let Ok(new_prog) = parse(&new_source) else {
+        return Ok(report);
+    };
+    for (tstamp, vid) in runs_of(flor, filename)? {
+        let mut outcome = VersionOutcome {
+            tstamp,
+            vid: vid.clone(),
+            injected: 0,
+            iterations_replayed: 0,
+            iterations_total: 0,
+            values_recovered: 0,
+            skipped: None,
+        };
+        let record = load_record(flor, filename, tstamp)?;
+        let Some((_, total)) = record.ckpt_loop.clone() else {
+            outcome.skipped = Some("run had no checkpoint loop".to_string());
+            report.versions.push(outcome);
+            continue;
+        };
+        outcome.iterations_total = total;
+        // Which iterations lack which names?
+        let mut needed: Vec<usize> = Vec::new();
+        for name in names {
+            let have = iterations_logging(&record.logs, name);
+            for i in 0..total {
+                if !have.contains(&i) {
+                    needed.push(i);
+                }
+            }
+        }
+        needed.sort_unstable();
+        needed.dedup();
+        if needed.is_empty() {
+            outcome.skipped = Some("all requested values already logged".to_string());
+            report.versions.push(outcome);
+            continue;
+        }
+        report.iterations_full += total;
+        // The old source at that version.
+        let old_source = flor
+            .repo
+            .file_at(&flor_git::Oid(vid.clone()), filename)
+            .ok()
+            .flatten();
+        let Some(old_source) = old_source else {
+            outcome.skipped = Some("source missing at that version".to_string());
+            report.versions.push(outcome);
+            continue;
+        };
+        let Ok(old_prog) = parse(&old_source) else {
+            outcome.skipped = Some("old source failed to parse".to_string());
+            report.versions.push(outcome);
+            continue;
+        };
+        // (a) inject the new statements into the old version.
+        let prop = propagate_logs(&old_prog, &new_prog);
+        outcome.injected = prop.injected.len();
+        // (b) incremental replay of only the needed iterations.
+        match replay(&prop.patched, &record, &needed, parallelism) {
+            Ok(replayed) => {
+                outcome.iterations_replayed = replayed.iterations_executed;
+                // Ingest recovered values at the original timestamp.
+                let mut ingestor = Ingestor::new(flor, filename, tstamp);
+                for log in &replayed.new_logs {
+                    if names.contains(&log.name.as_str()) {
+                        ingestor.ingest(log);
+                        outcome.values_recovered += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                outcome.skipped = Some(format!("replay failed: {e}"));
+            }
+        }
+        report.values_recovered += outcome.values_recovered;
+        report.iterations_replayed += outcome.iterations_replayed;
+        report.versions.push(outcome);
+    }
+    flor.db.commit()?;
+    Ok(report)
+}
+
+/// Writes replayed log records into `logs`/`loops` at a historical
+/// timestamp, minting fresh ctx chains that mirror the replayed loop
+/// frames.
+struct Ingestor<'f> {
+    flor: &'f Flor,
+    filename: String,
+    tstamp: i64,
+    chains: HashMap<Vec<(String, usize, String)>, i64>,
+}
+
+impl<'f> Ingestor<'f> {
+    fn new(flor: &'f Flor, filename: &str, tstamp: i64) -> Ingestor<'f> {
+        Ingestor {
+            flor,
+            filename: filename.to_string(),
+            tstamp,
+            chains: HashMap::new(),
+        }
+    }
+
+    fn ctx_for(&mut self, frames: &[flor_script::LoopFrame]) -> i64 {
+        if frames.is_empty() {
+            return 0;
+        }
+        let key: Vec<(String, usize, String)> = frames
+            .iter()
+            .map(|f| (f.name.clone(), f.iteration, f.value.clone()))
+            .collect();
+        if let Some(&id) = self.chains.get(&key) {
+            return id;
+        }
+        let parent = self.ctx_for(&frames[..frames.len() - 1]);
+        let last = frames.last().expect("non-empty");
+        let ctx_id = {
+            let mut st = self.flor.state.lock();
+            let id = st.next_ctx;
+            st.next_ctx += 1;
+            id
+        };
+        self.flor
+            .db
+            .insert(
+                "loops",
+                vec![
+                    Value::from(self.flor.projid.as_str()),
+                    Value::Int(self.tstamp),
+                    Value::from(self.filename.as_str()),
+                    Value::Int(ctx_id),
+                    Value::Int(parent),
+                    Value::from(last.name.as_str()),
+                    Value::Int(last.iteration as i64),
+                    Value::from(last.value.as_str()),
+                ],
+            )
+            .expect("loops schema fixed");
+        self.chains.insert(key, ctx_id);
+        ctx_id
+    }
+
+    fn ingest(&mut self, log: &LogRecord) {
+        let ctx = self.ctx_for(&log.loops);
+        // Replayed values arrive as display text; store as Str (value_type
+        // reflects text) unless it parses as a number.
+        let value = if let Ok(i) = log.value.parse::<i64>() {
+            Value::Int(i)
+        } else if let Ok(f) = log.value.parse::<f64>() {
+            Value::Float(f)
+        } else {
+            Value::Str(log.value.clone())
+        };
+        self.flor
+            .log_at(&log.name, &value, self.tstamp, &self.filename, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run_script;
+    use flor_record::CheckpointPolicy;
+
+    const TRAIN_V1: &str = r#"
+let data = load_dataset("first_page", 60, 42);
+let epochs = flor.arg("epochs", 4);
+let net = make_model(5, 4, 2, 7);
+with flor.checkpointing(net) {
+    for e in flor.loop("epoch", range(0, epochs)) {
+        let loss = train_step(net, data, 0.5);
+        flor.log("loss", loss);
+    }
+}
+"#;
+
+    const TRAIN_V2: &str = r#"
+let data = load_dataset("first_page", 60, 42);
+let epochs = flor.arg("epochs", 4);
+let net = make_model(5, 4, 2, 7);
+with flor.checkpointing(net) {
+    for e in flor.loop("epoch", range(0, epochs)) {
+        let loss = train_step(net, data, 0.5);
+        flor.log("loss", loss);
+        let m = eval_model(net, data);
+        flor.log("acc", m[0]);
+        flor.log("recall", m[1]);
+    }
+}
+"#;
+
+    #[test]
+    fn full_hindsight_workflow() {
+        let flor = Flor::new("demo");
+        // Two runs of v1 (no acc/recall logging).
+        flor.fs.write("train.fl", TRAIN_V1);
+        run_script(&flor, "train.fl", CheckpointPolicy::EveryK(1)).unwrap();
+        flor.set_cli_arg("epochs", "3");
+        run_script(&flor, "train.fl", CheckpointPolicy::EveryK(1)).unwrap();
+        flor.clear_cli_args();
+        // Developer regrets not logging acc/recall; writes v2 and runs it.
+        flor.fs.write("train.fl", TRAIN_V2);
+        run_script(&flor, "train.fl", CheckpointPolicy::EveryK(1)).unwrap();
+        // The dataframe has holes for the two old runs.
+        let before = flor.dataframe(&["loss", "acc", "recall"]).unwrap();
+        let holes = before
+            .column("acc")
+            .map(|c| c.values.iter().filter(|v| v.is_null()).count())
+            .unwrap_or(0);
+        assert_eq!(holes, 7); // 4 + 3 old-epoch rows lack acc
+        // Backfill.
+        let report = backfill(&flor, "train.fl", &["acc", "recall"], 2).unwrap();
+        assert_eq!(report.versions.len(), 3);
+        // v3 already has values → skipped; v1/v2 replayed fully (new stmt in
+        // every iteration).
+        assert_eq!(report.values_recovered, 14); // (4+3) × 2 names
+        assert!(report.versions[2].skipped.is_some());
+        assert_eq!(report.versions[0].injected, 3); // let m + 2 logs? no: logs only
+        // After: no holes.
+        let after = flor.dataframe(&["loss", "acc", "recall"]).unwrap();
+        let holes: usize = after
+            .column("acc")
+            .map(|c| c.values.iter().filter(|v| v.is_null()).count())
+            .unwrap_or(99);
+        assert_eq!(holes, 0);
+        assert_eq!(after.n_rows(), 11); // 4 + 3 + 4 epoch rows
+    }
+
+    #[test]
+    fn backfilled_values_match_foresight() {
+        // Ground truth: run v2 from scratch (same seeds) and compare accs.
+        let flor = Flor::new("demo");
+        flor.fs.write("train.fl", TRAIN_V1);
+        run_script(&flor, "train.fl", CheckpointPolicy::EveryK(1)).unwrap();
+        flor.fs.write("train.fl", TRAIN_V2);
+        backfill(&flor, "train.fl", &["acc"], 1).unwrap();
+        let hindsight = flor.dataframe(&["acc"]).unwrap();
+        let hindsight_accs: Vec<String> = hindsight
+            .column("acc")
+            .unwrap()
+            .values
+            .iter()
+            .map(|v| v.to_text())
+            .collect();
+
+        let truth = Flor::new("truth");
+        truth.fs.write("train.fl", TRAIN_V2);
+        run_script(&truth, "train.fl", CheckpointPolicy::None).unwrap();
+        let truth_df = truth.dataframe(&["acc"]).unwrap();
+        let truth_accs: Vec<String> = truth_df
+            .column("acc")
+            .unwrap()
+            .values
+            .iter()
+            .map(|v| v.to_text())
+            .collect();
+        assert_eq!(hindsight_accs, truth_accs);
+    }
+
+    #[test]
+    fn runs_of_lists_versions() {
+        let flor = Flor::new("demo");
+        flor.fs.write("train.fl", TRAIN_V1);
+        let a = run_script(&flor, "train.fl", CheckpointPolicy::None).unwrap();
+        let b = run_script(&flor, "train.fl", CheckpointPolicy::None).unwrap();
+        let runs = runs_of(&flor, "train.fl").unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].0, a.tstamp);
+        assert_eq!(runs[1].0, b.tstamp);
+        assert_eq!(runs[0].1, a.vid.0);
+        assert_eq!(runs[1].1, b.vid.0);
+    }
+
+    #[test]
+    fn backfill_skips_complete_versions() {
+        let flor = Flor::new("demo");
+        flor.fs.write("train.fl", TRAIN_V2);
+        run_script(&flor, "train.fl", CheckpointPolicy::EveryK(1)).unwrap();
+        let report = backfill(&flor, "train.fl", &["acc"], 1).unwrap();
+        assert_eq!(report.values_recovered, 0);
+        assert_eq!(report.versions.len(), 1);
+        assert!(report.versions[0].skipped.is_some());
+    }
+
+    #[test]
+    fn backfill_replays_less_than_full_when_partial() {
+        // v1 logs acc only on even epochs; backfill needs odd epochs only.
+        let partial = r#"
+let data = load_dataset("first_page", 60, 42);
+let net = make_model(5, 4, 2, 7);
+with flor.checkpointing(net) {
+    for e in flor.loop("epoch", range(0, 6)) {
+        let loss = train_step(net, data, 0.5);
+        flor.log("loss", loss);
+        if e % 2 == 0 {
+            let m = eval_model(net, data);
+            flor.log("acc", m[0]);
+        }
+    }
+}
+"#;
+        let full = r#"
+let data = load_dataset("first_page", 60, 42);
+let net = make_model(5, 4, 2, 7);
+with flor.checkpointing(net) {
+    for e in flor.loop("epoch", range(0, 6)) {
+        let loss = train_step(net, data, 0.5);
+        flor.log("loss", loss);
+        let m = eval_model(net, data);
+        flor.log("acc", m[0]);
+    }
+}
+"#;
+        let flor = Flor::new("demo");
+        flor.fs.write("train.fl", partial);
+        run_script(&flor, "train.fl", CheckpointPolicy::EveryK(1)).unwrap();
+        flor.fs.write("train.fl", full);
+        let report = backfill(&flor, "train.fl", &["acc"], 1).unwrap();
+        let v = &report.versions[0];
+        assert_eq!(v.iterations_total, 6);
+        assert_eq!(v.iterations_replayed, 3); // only odd epochs
+        assert_eq!(v.values_recovered, 3);
+        // All 6 epochs now have acc.
+        let df = flor.dataframe(&["acc"]).unwrap();
+        let nulls = df
+            .column("acc")
+            .unwrap()
+            .values
+            .iter()
+            .filter(|v| v.is_null())
+            .count();
+        assert_eq!(nulls, 0);
+    }
+}

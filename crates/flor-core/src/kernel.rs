@@ -1,0 +1,680 @@
+//! The Flor kernel: the paper's API (§2.1) over the Fig. 1 data model.
+//!
+//! A [`Flor`] instance owns the relational store, the gitlite repository
+//! and the virtual working tree, plus the session state the paper says is
+//! "captured at the time of import and embedded within every log entry":
+//! `projid`, logical `tstamp`, executing `filename`, and the nested
+//! loop-context (`ctx_id`) stack.
+
+use flor_df::{DataFrame, DataType, Value};
+use flor_git::{Oid, Repository, VirtualFs};
+use flor_store::{flor_schema, Database, StoreError, StoreResult};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Values longer than this spill to `obj_store` (Fig. 1), leaving a stub in
+/// `logs.value`.
+pub const BLOB_SPILL_BYTES: usize = 4096;
+
+/// Kernel session state.
+#[derive(Debug)]
+pub(crate) struct KernelState {
+    /// Logical timestamp; bumped by every [`Flor::commit`].
+    pub tstamp: i64,
+    /// tstamp at which the current transaction window opened.
+    pub ts_start: i64,
+    /// Next `ctx_id` to mint.
+    pub next_ctx: i64,
+    /// Currently executing filename.
+    pub filename: String,
+    /// Stack of open loop contexts: `(ctx_id, loop_name)`.
+    pub ctx_stack: Vec<(i64, String)>,
+    /// CLI-style argument overrides served by [`Flor::arg`].
+    pub cli_args: HashMap<String, String>,
+}
+
+/// A FlorDB instance: "a unified and robust framework" for ML metadata
+/// (paper §1.2), spanning application, behavioral and change context.
+#[derive(Clone)]
+pub struct Flor {
+    /// The relational store holding the six Fig. 1 tables.
+    pub db: Database,
+    /// Change context: the gitlite repository.
+    pub repo: Repository,
+    /// The versioned working tree (script sources live here).
+    pub fs: VirtualFs,
+    /// Project id stamped on every record.
+    pub projid: String,
+    pub(crate) state: Arc<Mutex<KernelState>>,
+}
+
+impl Flor {
+    /// In-memory FlorDB for project `projid`.
+    pub fn new(projid: &str) -> Flor {
+        Flor::with_db(projid, Database::in_memory(flor_schema()))
+    }
+
+    /// Durable FlorDB backed by a WAL file.
+    pub fn open(projid: &str, wal_path: &Path) -> StoreResult<Flor> {
+        let db = Database::open(wal_path, flor_schema())?;
+        // Resume the logical clock past anything recorded.
+        let flor = Flor::with_db(projid, db);
+        let max_ts = flor
+            .db
+            .scan("logs")
+            .ok()
+            .and_then(|df| {
+                df.column("tstamp")
+                    .map(|c| c.values.iter().filter_map(Value::as_i64).max().unwrap_or(0))
+            })
+            .unwrap_or(0);
+        {
+            let mut st = flor.state.lock();
+            st.tstamp = max_ts + 1;
+            st.ts_start = max_ts + 1;
+        }
+        Ok(flor)
+    }
+
+    fn with_db(projid: &str, db: Database) -> Flor {
+        Flor {
+            db,
+            repo: Repository::new(),
+            fs: VirtualFs::new(),
+            projid: projid.to_string(),
+            state: Arc::new(Mutex::new(KernelState {
+                tstamp: 1,
+                ts_start: 1,
+                next_ctx: 1,
+                filename: String::new(),
+                ctx_stack: Vec::new(),
+                cli_args: HashMap::new(),
+            })),
+        }
+    }
+
+    /// Set the executing filename (the paper profiles this automatically at
+    /// import time; embedders set it per script run).
+    pub fn set_filename(&self, filename: &str) {
+        self.state.lock().filename = filename.to_string();
+    }
+
+    /// Current logical timestamp.
+    pub fn tstamp(&self) -> i64 {
+        self.state.lock().tstamp
+    }
+
+    /// Provide a CLI-style argument override for [`Flor::arg`].
+    pub fn set_cli_arg(&self, name: &str, value: &str) {
+        self.state
+            .lock()
+            .cli_args
+            .insert(name.to_string(), value.to_string());
+    }
+
+    /// Clear all CLI-style argument overrides (a new "invocation").
+    pub fn clear_cli_args(&self) {
+        self.state.lock().cli_args.clear();
+    }
+
+    /// `flor.log(name, value) -> value` (§2.1): records a `logs` row with
+    /// `projid, tstamp, filename, ctx_id`; oversized values spill to
+    /// `obj_store`.
+    pub fn log(&self, name: &str, value: impl Into<Value>) -> Value {
+        let value = value.into();
+        let (tstamp, filename, ctx_id) = {
+            let st = self.state.lock();
+            (
+                st.tstamp,
+                st.filename.clone(),
+                st.ctx_stack.last().map(|(c, _)| *c).unwrap_or(0),
+            )
+        };
+        self.log_at(name, &value, tstamp, &filename, ctx_id);
+        value
+    }
+
+    /// Internal: write a log row with explicit coordinates (used by live
+    /// logging and by hindsight ingestion alike).
+    pub(crate) fn log_at(
+        &self,
+        name: &str,
+        value: &Value,
+        tstamp: i64,
+        filename: &str,
+        ctx_id: i64,
+    ) {
+        let text = value.to_text();
+        let (stored, spilled) = if text.len() > BLOB_SPILL_BYTES {
+            (format!("<blob {} bytes>", text.len()), true)
+        } else {
+            (text.clone(), false)
+        };
+        let row = vec![
+            Value::from(self.projid.as_str()),
+            Value::Int(tstamp),
+            Value::from(filename),
+            Value::Int(ctx_id),
+            Value::from(name),
+            Value::Str(stored),
+            Value::Int(type_tag(value.data_type())),
+        ];
+        self.db.insert("logs", row).expect("logs schema fixed");
+        if spilled {
+            self.put_blob(name, &text, tstamp, filename, ctx_id);
+        }
+    }
+
+    /// Write an `obj_store` row.
+    pub(crate) fn put_blob(
+        &self,
+        name: &str,
+        contents: &str,
+        tstamp: i64,
+        filename: &str,
+        ctx_id: i64,
+    ) {
+        self.db
+            .insert(
+                "obj_store",
+                vec![
+                    Value::from(self.projid.as_str()),
+                    Value::Int(tstamp),
+                    Value::from(filename),
+                    Value::Int(ctx_id),
+                    Value::from(name),
+                    Value::from(contents),
+                ],
+            )
+            .expect("obj_store schema fixed");
+    }
+
+    /// Log a large artifact directly to `obj_store` (Fig. 1), leaving a
+    /// `<blob N bytes>` stub in `logs.value` — used for model checkpoints
+    /// and other registry artifacts regardless of size.
+    pub fn log_blob(&self, name: &str, contents: &str) {
+        let (tstamp, filename, ctx_id) = {
+            let st = self.state.lock();
+            (
+                st.tstamp,
+                st.filename.clone(),
+                st.ctx_stack.last().map(|(c, _)| *c).unwrap_or(0),
+            )
+        };
+        let stub = Value::Str(format!("<blob {} bytes>", contents.len()));
+        self.log_at(name, &stub, tstamp, &filename, ctx_id);
+        self.put_blob(name, contents, tstamp, &filename, ctx_id);
+    }
+
+    /// `flor.arg(name, default)` (§2.1): CLI override or default; the
+    /// resolved value is logged so replay can retrieve it.
+    pub fn arg(&self, name: &str, default: impl Into<Value>) -> Value {
+        let default = default.into();
+        let override_text = self.state.lock().cli_args.get(name).cloned();
+        let value = match override_text {
+            Some(text) => Value::from_text(&text, default.data_type()),
+            None => default,
+        };
+        self.log(&format!("arg::{name}"), value.clone());
+        value
+    }
+
+    /// Begin one loop iteration: mints a `ctx_id`, writes a `loops` row,
+    /// pushes the context. Pair with [`Flor::loop_end`].
+    pub fn loop_iter(&self, loop_name: &str, iteration: usize, value: &Value) -> i64 {
+        let mut st = self.state.lock();
+        let ctx_id = st.next_ctx;
+        st.next_ctx += 1;
+        let parent = st.ctx_stack.last().map(|(c, _)| *c).unwrap_or(0);
+        let row = vec![
+            Value::from(self.projid.as_str()),
+            Value::Int(st.tstamp),
+            Value::from(st.filename.as_str()),
+            Value::Int(ctx_id),
+            Value::Int(parent),
+            Value::from(loop_name),
+            Value::Int(iteration as i64),
+            Value::Str(value.to_text()),
+        ];
+        st.ctx_stack.push((ctx_id, loop_name.to_string()));
+        drop(st);
+        self.db.insert("loops", row).expect("loops schema fixed");
+        ctx_id
+    }
+
+    /// End the innermost loop iteration (pops the context stack).
+    pub fn loop_end(&self) {
+        self.state.lock().ctx_stack.pop();
+    }
+
+    /// `flor.iteration(name, value)` (Fig. 6): run `body` inside a single
+    /// named iteration context — how the feedback UI attaches human labels
+    /// to a specific document.
+    pub fn iteration<R>(
+        &self,
+        loop_name: &str,
+        value: impl Into<Value>,
+        body: impl FnOnce(&Flor) -> R,
+    ) -> R {
+        self.loop_iter(loop_name, 0, &value.into());
+        let out = body(self);
+        self.loop_end();
+        out
+    }
+
+    /// Iterate `items` under a named loop context, Fig. 3 style:
+    /// `for doc_name in flor.loop("document", ...)`.
+    pub fn for_each<T>(
+        &self,
+        loop_name: &str,
+        items: impl IntoIterator<Item = T>,
+        mut body: impl FnMut(&Flor, &T),
+    ) where
+        T: Clone + Into<Value>,
+    {
+        for (i, item) in items.into_iter().enumerate() {
+            self.loop_iter(loop_name, i, &item.clone().into());
+            body(self, &item);
+            self.loop_end();
+        }
+    }
+
+    /// `flor.commit()` (§2.1): "writes a log file, commits changes to git,
+    /// and increments the tstamp" — flushes the store transaction, snapshots
+    /// the working tree, records `ts2vid` and `git` rows, bumps the clock.
+    pub fn commit(&self, message: &str) -> StoreResult<Oid> {
+        let (ts_start, tstamp, filename) = {
+            let st = self.state.lock();
+            (st.ts_start, st.tstamp, st.filename.clone())
+        };
+        let parent = self.repo.head();
+        let vid = self.repo.commit(&self.fs, message, tstamp as u64, &self.projid);
+        // ts2vid: map the transaction's tstamp window to the new vid.
+        self.db.insert(
+            "ts2vid",
+            vec![
+                Value::from(self.projid.as_str()),
+                Value::Int(ts_start),
+                Value::Int(tstamp),
+                Value::from(vid.0.as_str()),
+                Value::from(filename.as_str()),
+            ],
+        )?;
+        // git table: one row per file at this vid (Fig. 1's
+        // git(vid, filename, parent_vid, contents)).
+        let parent_text = parent.map(|p| p.0).unwrap_or_default();
+        for (path, entry) in self.fs.snapshot() {
+            self.db.insert(
+                "git",
+                vec![
+                    Value::from(vid.0.as_str()),
+                    Value::from(path.as_str()),
+                    Value::from(parent_text.as_str()),
+                    Value::Str(entry.contents),
+                ],
+            )?;
+        }
+        self.db.commit()?;
+        let mut st = self.state.lock();
+        st.tstamp += 1;
+        st.ts_start = st.tstamp;
+        Ok(vid)
+    }
+
+    /// Record a `build_deps` row (Fig. 1) for a build-system target.
+    pub fn record_build_dep(
+        &self,
+        vid: &str,
+        target: &str,
+        deps: &[String],
+        cmds: &[String],
+        cached: bool,
+    ) -> StoreResult<()> {
+        self.db.insert(
+            "build_deps",
+            vec![
+                Value::from(vid),
+                Value::from(target),
+                Value::Str(deps.join("\n")),
+                Value::Str(cmds.join("\n")),
+                Value::Bool(cached),
+            ],
+        )
+    }
+
+    /// `flor.dataframe(*names)` (§2.1): the pivoted view. One row per
+    /// distinct `(projid, tstamp, filename, loop dims...)` context, one
+    /// column per requested name, plus `{loop}_iteration` / `{loop}_value`
+    /// dimension columns — the layout of the paper's Figs. 2/3/5
+    /// dataframes.
+    pub fn dataframe(&self, names: &[&str]) -> StoreResult<DataFrame> {
+        // 1. Fetch matching log rows via the value_name index.
+        let mut logs = DataFrame::new();
+        for name in names {
+            let part = self.db.lookup("logs", "value_name", &Value::from(*name))?;
+            logs = if logs.n_cols() == 0 {
+                part
+            } else {
+                logs.concat(&part).map_err(StoreError::Df)?
+            };
+        }
+        // 2. Resolve ctx chains from the loops table.
+        let loops = self.db.scan("loops")?;
+        #[derive(Clone)]
+        struct CtxRow {
+            parent: i64,
+            loop_name: String,
+            iteration: i64,
+            value: String,
+        }
+        let mut ctx: HashMap<i64, CtxRow> = HashMap::new();
+        for r in loops.rows() {
+            let id = r.get("ctx_id").and_then(Value::as_i64).unwrap_or(0);
+            ctx.insert(
+                id,
+                CtxRow {
+                    parent: r.get("parent_ctx_id").and_then(Value::as_i64).unwrap_or(0),
+                    loop_name: r
+                        .get("loop_name")
+                        .map(|v| v.to_text())
+                        .unwrap_or_default(),
+                    iteration: r.get("loop_iteration").and_then(Value::as_i64).unwrap_or(0),
+                    value: r
+                        .get("iteration_value")
+                        .map(|v| v.to_text())
+                        .unwrap_or_default(),
+                },
+            );
+        }
+        // 3. Long frame with dimension columns.
+        let mut long = DataFrame::new();
+        for r in logs.rows() {
+            let mut entries: Vec<(String, Value)> = vec![
+                ("projid".to_string(), r.get("projid").cloned().unwrap_or(Value::Null)),
+                ("tstamp".to_string(), r.get("tstamp").cloned().unwrap_or(Value::Null)),
+                (
+                    "filename".to_string(),
+                    r.get("filename").cloned().unwrap_or(Value::Null),
+                ),
+            ];
+            // Walk the ctx chain outward, then reverse to outermost-first.
+            let mut chain = Vec::new();
+            let mut cur = r.get("ctx_id").and_then(Value::as_i64).unwrap_or(0);
+            while cur != 0 {
+                let Some(row) = ctx.get(&cur) else { break };
+                chain.push(row.clone());
+                cur = row.parent;
+            }
+            chain.reverse();
+            for c in &chain {
+                entries.push((
+                    format!("{}_iteration", c.loop_name),
+                    Value::Int(c.iteration),
+                ));
+                entries.push((format!("{}_value", c.loop_name), Value::from(c.value.as_str())));
+            }
+            // Decode the stored value via its type tag.
+            let tag = r.get("value_type").and_then(Value::as_i64).unwrap_or(4);
+            let text = r.get("value").map(|v| v.to_text()).unwrap_or_default();
+            let value = Value::from_text(&text, tag_type(tag));
+            entries.push((
+                "value_name".to_string(),
+                r.get("value_name").cloned().unwrap_or(Value::Null),
+            ));
+            entries.push(("value".to_string(), value));
+            let refs: Vec<(&str, Value)> =
+                entries.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+            long.push_row(&refs);
+        }
+        if long.n_rows() == 0 {
+            return Ok(DataFrame::new());
+        }
+        // 4. Pivot: index = all columns except value_name/value.
+        let index: Vec<&str> = long
+            .column_names()
+            .into_iter()
+            .filter(|c| *c != "value_name" && *c != "value")
+            .collect();
+        long.pivot(&index, "value_name", "value")
+            .map_err(StoreError::Df)
+    }
+
+    /// Convenience: dataframe + `latest` (paper Fig. 6's
+    /// `flor.utils.latest`).
+    pub fn dataframe_latest(&self, names: &[&str], group: &[&str]) -> StoreResult<DataFrame> {
+        let df = self.dataframe(names)?;
+        if df.n_rows() == 0 {
+            return Ok(df);
+        }
+        df.latest(group, "tstamp").map_err(StoreError::Df)
+    }
+}
+
+/// Map a dataframe type to the integer `value_type` tag of Fig. 1.
+pub fn type_tag(ty: DataType) -> i64 {
+    match ty {
+        DataType::Null => 0,
+        DataType::Bool => 1,
+        DataType::Int => 2,
+        DataType::Float => 3,
+        DataType::Str => 4,
+    }
+}
+
+/// Inverse of [`type_tag`].
+pub fn tag_type(tag: i64) -> DataType {
+    match tag {
+        0 => DataType::Null,
+        1 => DataType::Bool,
+        2 => DataType::Int,
+        3 => DataType::Float,
+        _ => DataType::Str,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_writes_full_coordinates() {
+        let flor = Flor::new("demo");
+        flor.set_filename("train.fl");
+        flor.log("loss", 0.5f64);
+        flor.commit("run").unwrap();
+        let df = flor.db.scan("logs").unwrap();
+        assert_eq!(df.n_rows(), 1);
+        assert_eq!(df.get(0, "projid"), Some(&Value::from("demo")));
+        assert_eq!(df.get(0, "filename"), Some(&Value::from("train.fl")));
+        assert_eq!(df.get(0, "value_name"), Some(&Value::from("loss")));
+        assert_eq!(df.get(0, "value_type"), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn logs_invisible_before_commit() {
+        let flor = Flor::new("demo");
+        flor.log("x", 1);
+        assert_eq!(flor.db.row_count("logs").unwrap(), 0);
+        flor.commit("c").unwrap();
+        assert_eq!(flor.db.row_count("logs").unwrap(), 1);
+    }
+
+    #[test]
+    fn commit_bumps_tstamp_and_records_ts2vid() {
+        let flor = Flor::new("demo");
+        flor.fs.write("train.fl", "let x = 1;");
+        assert_eq!(flor.tstamp(), 1);
+        let vid = flor.commit("first").unwrap();
+        assert_eq!(flor.tstamp(), 2);
+        let ts2vid = flor.db.scan("ts2vid").unwrap();
+        assert_eq!(ts2vid.n_rows(), 1);
+        assert_eq!(ts2vid.get(0, "vid"), Some(&Value::from(vid.0.as_str())));
+        let git = flor.db.scan("git").unwrap();
+        assert_eq!(git.n_rows(), 1);
+        assert_eq!(git.get(0, "filename"), Some(&Value::from("train.fl")));
+    }
+
+    #[test]
+    fn nested_loops_record_ctx_chain() {
+        let flor = Flor::new("demo");
+        flor.set_filename("featurize.fl");
+        flor.for_each("document", ["d1", "d2"], |flor, _doc| {
+            flor.for_each("page", [0, 1, 2], |flor, page| {
+                flor.log("page_text", format!("text{page}"));
+            });
+        });
+        flor.commit("featurized").unwrap();
+        let loops = flor.db.scan("loops").unwrap();
+        // 2 document iterations + 2*3 page iterations
+        assert_eq!(loops.n_rows(), 8);
+        // Page rows have non-zero parents.
+        let pages = loops.filter_eq("loop_name", &Value::from("page"));
+        assert!(pages
+            .column("parent_ctx_id")
+            .unwrap()
+            .values
+            .iter()
+            .all(|v| v.as_i64().unwrap() > 0));
+    }
+
+    #[test]
+    fn dataframe_pivots_with_loop_dims() {
+        let flor = Flor::new("demo");
+        flor.set_filename("featurize.fl");
+        flor.for_each("document", ["a.pdf", "b.pdf"], |flor, doc| {
+            flor.for_each("page", [0, 1], |flor, page| {
+                flor.log("text_src", if *page == 0 { "OCR" } else { "TXT" });
+                flor.log("page_text", format!("{doc}:{page}"));
+            });
+        });
+        flor.commit("run").unwrap();
+        let df = flor.dataframe(&["text_src", "page_text"]).unwrap();
+        assert_eq!(df.n_rows(), 4); // 2 docs × 2 pages
+        let cols = df.column_names();
+        for expected in [
+            "projid",
+            "tstamp",
+            "filename",
+            "document_iteration",
+            "document_value",
+            "page_iteration",
+            "page_value",
+            "text_src",
+            "page_text",
+        ] {
+            assert!(cols.contains(&expected), "missing {expected} in {cols:?}");
+        }
+        // Fig. 6-style filter: document_value == "b.pdf".
+        let b = df.filter_eq("document_value", &Value::from("b.pdf"));
+        assert_eq!(b.n_rows(), 2);
+    }
+
+    #[test]
+    fn dataframe_spans_multiple_versions() {
+        let flor = Flor::new("demo");
+        flor.set_filename("train.fl");
+        for (i, acc) in [0.8f64, 0.85, 0.95].iter().enumerate() {
+            flor.log("acc", *acc);
+            flor.log("recall", 0.7 + i as f64 / 10.0);
+            flor.commit(&format!("run {i}")).unwrap();
+        }
+        let df = flor.dataframe(&["acc", "recall"]).unwrap();
+        assert_eq!(df.n_rows(), 3);
+        // Best-checkpoint-by-recall query from §4.2.
+        let sorted = df.sort_by(&[("recall", false)]).unwrap();
+        assert_eq!(sorted.get(0, "acc"), Some(&Value::Float(0.95)));
+    }
+
+    #[test]
+    fn arg_logs_and_overrides() {
+        let flor = Flor::new("demo");
+        let v = flor.arg("epochs", 5);
+        assert_eq!(v, Value::Int(5));
+        flor.set_cli_arg("epochs", "9");
+        let v = flor.arg("epochs", 5);
+        assert_eq!(v, Value::Int(9));
+        flor.commit("c").unwrap();
+        let df = flor.dataframe(&["arg::epochs"]).unwrap();
+        assert_eq!(df.n_rows(), 1); // same (tstamp, ctx) → last write wins
+    }
+
+    #[test]
+    fn iteration_context_manager() {
+        let flor = Flor::new("demo");
+        flor.set_filename("app.fl");
+        flor.iteration("document", "report.pdf", |flor| {
+            flor.for_each("page", [0, 1], |flor, p| {
+                flor.log("page_color", *p);
+            });
+        });
+        flor.commit("feedback").unwrap();
+        let df = flor.dataframe(&["page_color"]).unwrap();
+        assert_eq!(df.n_rows(), 2);
+        assert_eq!(df.get(0, "document_value"), Some(&Value::from("report.pdf")));
+    }
+
+    #[test]
+    fn big_values_spill_to_obj_store() {
+        let flor = Flor::new("demo");
+        let big = "x".repeat(BLOB_SPILL_BYTES + 10);
+        flor.log("page_text", big.as_str());
+        flor.commit("c").unwrap();
+        let logs = flor.db.scan("logs").unwrap();
+        assert!(logs.get(0, "value").unwrap().to_text().starts_with("<blob"));
+        let objs = flor.db.scan("obj_store").unwrap();
+        assert_eq!(objs.n_rows(), 1);
+        assert_eq!(objs.get(0, "contents").unwrap().to_text(), big);
+    }
+
+    #[test]
+    fn dataframe_latest_dedupes_versions() {
+        let flor = Flor::new("demo");
+        flor.set_filename("app.fl");
+        for round in 0..3 {
+            flor.iteration("document", "d.pdf", |flor| {
+                flor.log("page_color", round);
+            });
+            flor.commit("round").unwrap();
+        }
+        let latest = flor
+            .dataframe_latest(&["page_color"], &["document_value"])
+            .unwrap();
+        assert_eq!(latest.n_rows(), 1);
+        assert_eq!(latest.get(0, "page_color"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn build_deps_rows() {
+        let flor = Flor::new("demo");
+        flor.record_build_dep(
+            "vid1",
+            "train",
+            &["featurize".into(), "train.py".into()],
+            &["python train.py".into()],
+            false,
+        )
+        .unwrap();
+        flor.commit("built").unwrap();
+        let df = flor.db.scan("build_deps").unwrap();
+        assert_eq!(df.n_rows(), 1);
+        assert_eq!(
+            df.get(0, "deps").unwrap().to_text(),
+            "featurize\ntrain.py"
+        );
+    }
+
+    #[test]
+    fn type_tags_round_trip() {
+        for ty in [
+            DataType::Null,
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::Str,
+        ] {
+            assert_eq!(tag_type(type_tag(ty)), ty);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # flor-core — the FlorDB kernel
+//!
+//! The public face of the reproduction: the paper's API (CIDR 2025, §2.1)
+//! over the Fig. 1 relational data model, wired to every substrate.
+//!
+//! * [`Flor`] — `log` / `arg` / loop contexts (`for_each`, `iteration`) /
+//!   `commit` / `dataframe` / `dataframe_latest`, writing the `logs`,
+//!   `loops`, `ts2vid`, `git`, `obj_store` and `build_deps` tables;
+//! * [`run_script`] — execute a versioned florscript file under full
+//!   instrumentation with a checkpoint policy, persisting replay metadata;
+//! * [`backfill`] — multiversion hindsight logging: propagate new log
+//!   statements into prior versions and incrementally replay only what is
+//!   needed, filling the dataframe's holes with values bit-identical to
+//!   what foresight logging would have produced.
+//!
+//! ```
+//! use flor_core::Flor;
+//! let flor = Flor::new("quickstart");
+//! flor.set_filename("train.fl");
+//! flor.log("acc", 0.91);
+//! flor.log("recall", 0.84);
+//! flor.commit("first run").unwrap();
+//! let df = flor.dataframe(&["acc", "recall"]).unwrap();
+//! assert_eq!(df.n_rows(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hindsight;
+pub mod kernel;
+pub mod runtime;
+
+pub use hindsight::{backfill, runs_of, BackfillReport, VersionOutcome};
+pub use kernel::{tag_type, type_tag, Flor, BLOB_SPILL_BYTES};
+pub use runtime::{load_record, persist_record, run_script, RunError, RunOutcome, ScriptRuntime};

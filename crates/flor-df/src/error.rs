@@ -1,0 +1,43 @@
+//! Error type for dataframe operations.
+
+use std::fmt;
+
+/// Errors produced by [`crate::DataFrame`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfError {
+    /// Referenced a column that does not exist.
+    UnknownColumn(String),
+    /// Two columns with the same name.
+    DuplicateColumn(String),
+    /// Column lengths disagree.
+    LengthMismatch {
+        /// Offending column (or row descriptor).
+        column: String,
+        /// Expected length.
+        expected: usize,
+        /// Observed length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for DfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfError::UnknownColumn(c) => write!(f, "unknown column: {c:?}"),
+            DfError::DuplicateColumn(c) => write!(f, "duplicate column: {c:?}"),
+            DfError::LengthMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "length mismatch for {column:?}: expected {expected}, got {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DfError {}
+
+/// Result alias for dataframe operations.
+pub type DfResult<T> = Result<T, DfError>;

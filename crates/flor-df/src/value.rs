@@ -1,0 +1,394 @@
+//! Dynamically-typed cell values for DataFrame columns.
+//!
+//! FlorDB's `logs` table stores every logged value as text plus a type tag
+//! (paper Fig. 1, `value_type`). The dataframe layer works with a small
+//! dynamic value enum so pivoted views can mix types per column, exactly as
+//! `flor.dataframe` does in the paper.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The type of a [`Value`], mirroring the `value_type` tag in the paper's
+/// `logs` table (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Absence of a value; pivoted views are sparse.
+    Null,
+    /// Boolean flag.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Null => "null",
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically typed cell value.
+///
+/// `Value` implements a *total* order and total equality (floats compare by
+/// IEEE total ordering) so it can serve as a group-by or join key.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Missing / NA.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+}
+
+impl Value {
+    /// The [`DataType`] tag of this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Null => DataType::Null,
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Str(_) => DataType::Str,
+        }
+    }
+
+    /// True iff the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: ints and floats coerce to `f64`, bools to 0/1.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Integer view (no float truncation — floats return `None` unless
+    /// exactly integral).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Bool(b) => Some(*b as i64),
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// String view (only for `Str`).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view (only for `Bool`).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Render the value the way the paper's `logs.value` text column stores
+    /// it: a plain string with no quoting.
+    pub fn to_text(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format_float(*f),
+            Value::Str(s) => s.clone(),
+        }
+    }
+
+    /// Parse a `(text, type-tag)` pair back into a `Value`; the inverse of
+    /// [`Value::to_text`] given the stored `value_type`.
+    pub fn from_text(text: &str, ty: DataType) -> Value {
+        match ty {
+            DataType::Null => Value::Null,
+            DataType::Bool => match text {
+                "true" => Value::Bool(true),
+                "false" => Value::Bool(false),
+                _ => Value::Null,
+            },
+            DataType::Int => text.parse().map(Value::Int).unwrap_or(Value::Null),
+            DataType::Float => text.parse().map(Value::Float).unwrap_or(Value::Null),
+            DataType::Str => Value::Str(text.to_string()),
+        }
+    }
+
+    /// Rank used to order values of different types; matches SQLite's type
+    /// affinity order (null < numeric < text).
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) | Value::Int(_) | Value::Float(_) => 1,
+            Value::Str(_) => 2,
+        }
+    }
+}
+
+/// Format a float so integral values keep a trailing `.0` and parsing
+/// round-trips (`format_float(2.0) == "2.0"`, not `"2"`).
+fn format_float(f: f64) -> String {
+    if f.is_finite() && f.fract() == 0.0 && f.abs() < 1e15 {
+        format!("{f:.1}")
+    } else {
+        format!("{f}")
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Bool(a), Int(b)) => (*a as i64).cmp(b),
+            (Int(a), Bool(b)) => a.cmp(&(*b as i64)),
+            (Bool(a), Float(b)) => ((*a as i64) as f64).total_cmp(b),
+            (Float(a), Bool(b)) => a.total_cmp(&((*b as i64) as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                // Bools hash like the integers they compare equal to.
+                1u8.hash(state);
+                (*b as i64).hash(state);
+            }
+            Value::Int(i) => {
+                1u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() && f.abs() < i64::MAX as f64 {
+                    // Integral floats hash like their integer equivalents so
+                    // `Int(2) == Float(2.0)` implies equal hashes.
+                    1u8.hash(state);
+                    (*f as i64).hash(state);
+                } else {
+                    2u8.hash(state);
+                    f.to_bits().hash(state);
+                }
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NaN"), // pandas-style display of missing cells
+            other => f.write_str(&other.to_text()),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<f32> for Value {
+    fn from(f: f32) -> Self {
+        Value::Float(f as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Self {
+        match o {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn type_tags() {
+        assert_eq!(Value::Null.data_type(), DataType::Null);
+        assert_eq!(Value::Bool(true).data_type(), DataType::Bool);
+        assert_eq!(Value::Int(3).data_type(), DataType::Int);
+        assert_eq!(Value::Float(3.5).data_type(), DataType::Float);
+        assert_eq!(Value::Str("x".into()).data_type(), DataType::Str);
+    }
+
+    #[test]
+    fn text_round_trip_int() {
+        let v = Value::Int(-42);
+        assert_eq!(Value::from_text(&v.to_text(), DataType::Int), v);
+    }
+
+    #[test]
+    fn text_round_trip_float_integral() {
+        let v = Value::Float(2.0);
+        assert_eq!(v.to_text(), "2.0");
+        assert_eq!(Value::from_text(&v.to_text(), DataType::Float), v);
+    }
+
+    #[test]
+    fn text_round_trip_float_fractional() {
+        let v = Value::Float(0.12345);
+        assert_eq!(Value::from_text(&v.to_text(), DataType::Float), v);
+    }
+
+    #[test]
+    fn text_round_trip_bool() {
+        for b in [true, false] {
+            let v = Value::Bool(b);
+            assert_eq!(Value::from_text(&v.to_text(), DataType::Bool), v);
+        }
+    }
+
+    #[test]
+    fn text_round_trip_str() {
+        let v = Value::Str("hello world".into());
+        assert_eq!(Value::from_text(&v.to_text(), DataType::Str), v);
+    }
+
+    #[test]
+    fn cross_type_numeric_equality() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_eq!(Value::Bool(true), Value::Int(1));
+        assert_ne!(Value::Int(2), Value::Float(2.5));
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let pairs = [
+            (Value::Int(7), Value::Float(7.0)),
+            (Value::Bool(false), Value::Int(0)),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(a, b);
+            assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    #[test]
+    fn ordering_across_types() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Int(5) < Value::Str("a".into()));
+        assert!(Value::Float(1.5) < Value::Int(2));
+    }
+
+    #[test]
+    fn nan_total_order() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(3.0).as_i64(), Some(3));
+        assert_eq!(Value::Float(3.5).as_i64(), None);
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(2.5f64)), Value::Float(2.5));
+    }
+
+    #[test]
+    fn display_null_is_nan() {
+        assert_eq!(Value::Null.to_string(), "NaN");
+        assert_eq!(Value::Str("a".into()).to_string(), "a");
+    }
+}

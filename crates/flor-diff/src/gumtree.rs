@@ -1,0 +1,292 @@
+//! GumTree-style tree matching (Falleri et al. [6], simplified).
+//!
+//! Two phases, as in the paper's cited technique:
+//! 1. **Top-down**: greedily match subtrees with identical structure
+//!    hashes, largest first — unchanged code regions map in O(n log n).
+//! 2. **Bottom-up**: for still-unmatched inner nodes, match pairs with the
+//!    same label whose matched-descendant dice coefficient exceeds a
+//!    threshold — containers survive edits to their contents.
+
+use crate::tree::Tree;
+use std::collections::HashMap;
+
+/// A (partial) bijection between nodes of a source and destination tree.
+#[derive(Debug, Clone, Default)]
+pub struct Mapping {
+    /// src node → dst node.
+    pub src_to_dst: HashMap<usize, usize>,
+    /// dst node → src node.
+    pub dst_to_src: HashMap<usize, usize>,
+}
+
+impl Mapping {
+    /// Record a match.
+    pub fn link(&mut self, src: usize, dst: usize) {
+        self.src_to_dst.insert(src, dst);
+        self.dst_to_src.insert(dst, src);
+    }
+
+    /// Whether both endpoints are unmatched.
+    pub fn both_free(&self, src: usize, dst: usize) -> bool {
+        !self.src_to_dst.contains_key(&src) && !self.dst_to_src.contains_key(&dst)
+    }
+
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.src_to_dst.len()
+    }
+
+    /// True iff no pairs are matched.
+    pub fn is_empty(&self) -> bool {
+        self.src_to_dst.is_empty()
+    }
+}
+
+/// Minimum dice similarity for a bottom-up container match.
+const DICE_THRESHOLD: f64 = 0.3;
+
+/// Compute a mapping between `src` and `dst`.
+pub fn match_trees(src: &Tree, dst: &Tree) -> Mapping {
+    let mut mapping = Mapping::default();
+    top_down(src, dst, &mut mapping);
+    bottom_up(src, dst, &mut mapping);
+    mapping
+}
+
+/// Link `s` and all its descendants to `d`'s (isomorphic subtrees).
+fn link_subtrees(src: &Tree, dst: &Tree, s: usize, d: usize, mapping: &mut Mapping) {
+    mapping.link(s, d);
+    let sd = src.nodes[s].children.clone();
+    let dd = dst.nodes[d].children.clone();
+    debug_assert_eq!(sd.len(), dd.len());
+    for (cs, cd) in sd.into_iter().zip(dd) {
+        link_subtrees(src, dst, cs, cd, mapping);
+    }
+}
+
+fn top_down(src: &Tree, dst: &Tree, mapping: &mut Mapping) {
+    // Index dst subtrees by hash.
+    let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, n) in dst.nodes.iter().enumerate() {
+        by_hash.entry(n.hash).or_default().push(i);
+    }
+    // Visit src nodes largest-first so whole unchanged regions match before
+    // their fragments.
+    let mut order: Vec<usize> = (0..src.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(src.nodes[i].size));
+    for s in order {
+        if mapping.src_to_dst.contains_key(&s) {
+            continue;
+        }
+        let Some(cands) = by_hash.get(&src.nodes[s].hash) else {
+            continue;
+        };
+        // Prefer a candidate whose parent is already matched to s's parent
+        // (keeps matches positionally coherent); otherwise first free one.
+        let parent_match = src.nodes[s]
+            .parent
+            .and_then(|p| mapping.src_to_dst.get(&p).copied());
+        let pick = cands
+            .iter()
+            .copied()
+            .filter(|&d| mapping.both_free(s, d))
+            .max_by_key(|&d| {
+                let coherent = match (parent_match, dst.nodes[d].parent) {
+                    (Some(pm), Some(dp)) => pm == dp,
+                    _ => false,
+                };
+                coherent as u8
+            });
+        if let Some(d) = pick {
+            if src.nodes[s].hash == dst.nodes[d].hash {
+                link_subtrees(src, dst, s, d, mapping);
+            }
+        }
+    }
+}
+
+fn dice(src: &Tree, dst: &Tree, s: usize, d: usize, mapping: &Mapping) -> f64 {
+    let sd = src.descendants(s);
+    let dd = dst.descendants(d);
+    if sd.is_empty() && dd.is_empty() {
+        return if src.nodes[s].label == dst.nodes[d].label {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    let common = sd
+        .iter()
+        .filter(|&&c| {
+            mapping
+                .src_to_dst
+                .get(&c)
+                .map(|m| dd.binary_search_sorted(m))
+                .unwrap_or(false)
+        })
+        .count();
+    2.0 * common as f64 / (sd.len() + dd.len()) as f64
+}
+
+trait SortedContains {
+    fn binary_search_sorted(&self, x: &usize) -> bool;
+}
+
+impl SortedContains for Vec<usize> {
+    fn binary_search_sorted(&self, x: &usize) -> bool {
+        // Descendant lists are pre-order, which is ascending for our
+        // construction (children are allocated after parents).
+        self.binary_search(x).is_ok()
+    }
+}
+
+fn bottom_up(src: &Tree, dst: &Tree, mapping: &mut Mapping) {
+    // Post-order over src: children first.
+    let mut order: Vec<usize> = (0..src.len()).collect();
+    order.sort_by_key(|&i| src.nodes[i].size); // leaves first
+    for s in order {
+        if mapping.src_to_dst.contains_key(&s) || src.nodes[s].children.is_empty() {
+            continue;
+        }
+        // Candidate dst nodes: parents of dst matches of s's matched
+        // descendants, with the same label.
+        let mut cand_counts: HashMap<usize, usize> = HashMap::new();
+        for c in src.descendants(s) {
+            if let Some(&dc) = mapping.src_to_dst.get(&c) {
+                let mut p = dst.nodes[dc].parent;
+                while let Some(pp) = p {
+                    if dst.nodes[pp].label == src.nodes[s].label
+                        && !mapping.dst_to_src.contains_key(&pp)
+                    {
+                        *cand_counts.entry(pp).or_default() += 1;
+                        break;
+                    }
+                    p = dst.nodes[pp].parent;
+                }
+            }
+        }
+        let best = cand_counts
+            .keys()
+            .copied()
+            .map(|d| (d, dice(src, dst, s, d, mapping)))
+            .filter(|&(_, score)| score >= DICE_THRESHOLD)
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)));
+        if let Some((d, _)) = best {
+            mapping.link(s, d);
+        }
+    }
+    // Root always maps to root.
+    if mapping.both_free(0, 0) {
+        mapping.link(0, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::program_to_tree;
+    use flor_script::parse;
+
+    fn mapping_for(old: &str, new: &str) -> (Tree, Tree, Mapping) {
+        let src = program_to_tree(&parse(old).unwrap());
+        let dst = program_to_tree(&parse(new).unwrap());
+        let m = match_trees(&src, &dst);
+        (src, dst, m)
+    }
+
+    fn find(t: &Tree, label: &str) -> usize {
+        t.nodes
+            .iter()
+            .position(|n| n.label == label)
+            .unwrap_or_else(|| panic!("no node labelled {label}"))
+    }
+
+    #[test]
+    fn identical_trees_fully_match() {
+        let src = "let x = 1;\nfor e in flor.loop(\"ep\", range(0, 3)) { flor.log(\"x\", x); }";
+        let (s, _, m) = mapping_for(src, src);
+        assert_eq!(m.len(), s.len());
+    }
+
+    #[test]
+    fn insertion_leaves_rest_matched() {
+        let old = "let a = 1;\nlet b = 2;\nlet c = 3;";
+        let new = "let a = 1;\nlet b = 2;\nflor.log(\"b\", b);\nlet c = 3;";
+        let (s, d, m) = mapping_for(old, new);
+        // All old statements matched.
+        for label in ["let:a", "let:b", "let:c"] {
+            let sn = find(&s, label);
+            let dn = find(&d, label);
+            assert_eq!(m.src_to_dst.get(&sn), Some(&dn), "{label}");
+        }
+        // The new log statement is unmatched in dst.
+        let log_expr = find(&d, "flor:log");
+        let log_stmt = d.enclosing_stmt(log_expr).unwrap();
+        assert!(!m.dst_to_src.contains_key(&log_stmt));
+    }
+
+    #[test]
+    fn edited_loop_body_still_matches_loop() {
+        let old = "for e in flor.loop(\"epoch\", range(0, 5)) {\n  let l = train_step(net, data, 0.1);\n}";
+        let new = "for e in flor.loop(\"epoch\", range(0, 5)) {\n  let l = train_step(net, data, 0.01);\n  flor.log(\"loss\", l);\n}";
+        let (s, d, m) = mapping_for(old, new);
+        let s_loop = find(&s, "florloop:epoch:e");
+        let d_loop = find(&d, "florloop:epoch:e");
+        assert_eq!(m.src_to_dst.get(&s_loop), Some(&d_loop));
+        // The train_step let matches despite the changed literal (bottom-up).
+        let s_let = find(&s, "let:l");
+        let d_let = find(&d, "let:l");
+        assert_eq!(m.src_to_dst.get(&s_let), Some(&d_let));
+    }
+
+    #[test]
+    fn renamed_variable_unmatched_but_siblings_ok() {
+        let old = "let a = 1;\nlet b = compute(a);\nlet c = 3;";
+        let new = "let a = 1;\nlet renamed = compute(a);\nlet c = 3;";
+        let (s, d, m) = mapping_for(old, new);
+        assert_eq!(
+            m.src_to_dst.get(&find(&s, "let:a")),
+            Some(&find(&d, "let:a"))
+        );
+        assert_eq!(
+            m.src_to_dst.get(&find(&s, "let:c")),
+            Some(&find(&d, "let:c"))
+        );
+        // let:b and let:renamed have different labels → unmatched statements.
+        assert!(!m.src_to_dst.contains_key(&find(&s, "let:b")));
+    }
+
+    #[test]
+    fn moved_block_matches_by_hash() {
+        let old = "let setup = 1;\nfor x in range(0, 9) {\n  let body = x * 2;\n  flor.log(\"body\", body);\n}";
+        let new = "for x in range(0, 9) {\n  let body = x * 2;\n  flor.log(\"body\", body);\n}\nlet setup = 1;";
+        let (s, d, m) = mapping_for(old, new);
+        let s_for = find(&s, "for:x");
+        let d_for = find(&d, "for:x");
+        assert_eq!(m.src_to_dst.get(&s_for), Some(&d_for));
+        assert_eq!(
+            m.src_to_dst.get(&find(&s, "let:setup")),
+            Some(&find(&d, "let:setup"))
+        );
+    }
+
+    #[test]
+    fn mapping_is_bijective() {
+        let old = "let a = 1;\nlet a2 = 1;\nfor i in range(0, 3) { let x = i; }";
+        let new = "let a = 1;\nfor i in range(0, 3) { let x = i; }\nlet extra = 5;";
+        let (_, _, m) = mapping_for(old, new);
+        // No dst node claimed twice.
+        let mut seen = std::collections::HashSet::new();
+        for (&s, &d) in &m.src_to_dst {
+            assert!(seen.insert(d), "dst {d} matched twice");
+            assert_eq!(m.dst_to_src[&d], s);
+        }
+    }
+
+    #[test]
+    fn empty_programs() {
+        let (s, _, m) = mapping_for("", "");
+        assert!(!m.is_empty()); // root-to-root at minimum
+        assert_eq!(s.len(), 2); // root + empty block
+    }
+}

@@ -1,0 +1,34 @@
+//! # flor-diff — AST differencing & hindsight statement propagation
+//!
+//! Implements the code-diffing half of FlorDB's multiversion hindsight
+//! logging (CIDR 2025, §2): injecting newly-written `flor.log` statements
+//! "into the correct locations in all prior versions of the code", using
+//! "techniques adapted from code diffing [6]" (GumTree, Falleri et al.).
+//!
+//! * [`tree`] — flattens florscript ASTs into labelled trees with subtree
+//!   hashes and AST back-pointers;
+//! * [`gumtree`] — two-phase matching: exact top-down subtree matching,
+//!   then dice-similarity bottom-up container matching;
+//! * [`propagate`] — anchors unmatched new `flor.log` statements by
+//!   (matched enclosing block, nearest matched predecessor sibling) and
+//!   splices them into the old version's AST.
+//!
+//! ```
+//! use flor_script::parse;
+//! use flor_diff::propagate_logs;
+//! let old = parse("let loss = train();").unwrap();
+//! let new = parse("let loss = train();\nflor.log(\"loss\", loss);").unwrap();
+//! let out = propagate_logs(&old, &new);
+//! assert_eq!(out.injected.len(), 1);
+//! assert!(flor_script::to_source(&out.patched).contains("flor.log"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gumtree;
+pub mod propagate;
+pub mod tree;
+
+pub use gumtree::{match_trees, Mapping};
+pub use propagate::{propagate_logs, Injected, Propagation, Skipped};
+pub use tree::{is_log_stmt, program_to_tree, NodeKind, Tree, TreeNode};

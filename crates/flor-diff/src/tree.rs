@@ -1,0 +1,277 @@
+//! Generic labelled-tree view of florscript programs.
+//!
+//! Tree differencing works on a flattened representation: every statement,
+//! expression and statement-block becomes a node with a structural label,
+//! subtree hash and size. Statement nodes remember their [`StmtPath`] so
+//! edits map back onto the AST.
+
+use flor_script::ast::{Expr, Program, Stmt, StmtPath};
+
+/// What an abstract node stands for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Synthetic root holding the program's top-level block.
+    Root,
+    /// A statement; carries its path in the program.
+    Stmt(StmtPath),
+    /// A statement block: `(descent hops to the block)`. The root block has
+    /// an empty prefix.
+    Block(StmtPath),
+    /// An expression (owned by the nearest enclosing statement).
+    Expr,
+}
+
+/// One node of the flattened tree.
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    /// Structural label (`let:x`, `flor:log`, `block`, ...).
+    pub label: String,
+    /// Child node indexes, in order.
+    pub children: Vec<usize>,
+    /// Parent node index (`None` for the root).
+    pub parent: Option<usize>,
+    /// Hash of the whole subtree (label + child hashes, order-sensitive).
+    pub hash: u64,
+    /// Subtree size (number of nodes including self).
+    pub size: usize,
+    /// Kind / AST back-pointer.
+    pub kind: NodeKind,
+}
+
+/// A flattened labelled tree. Node 0 is the synthetic root.
+#[derive(Debug, Clone, Default)]
+pub struct Tree {
+    /// All nodes; index = node id.
+    pub nodes: Vec<TreeNode>,
+}
+
+impl Tree {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff only the root exists (or nothing).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Indexes of all descendants of `n` (excluding `n`), pre-order.
+    pub fn descendants(&self, n: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack: Vec<usize> = self.nodes[n].children.iter().rev().copied().collect();
+        while let Some(i) = stack.pop() {
+            out.push(i);
+            stack.extend(self.nodes[i].children.iter().rev());
+        }
+        out
+    }
+
+    /// The nearest ancestor (including self) that is a statement node.
+    pub fn enclosing_stmt(&self, mut n: usize) -> Option<usize> {
+        loop {
+            if matches!(self.nodes[n].kind, NodeKind::Stmt(_)) {
+                return Some(n);
+            }
+            n = self.nodes[n].parent?;
+        }
+    }
+}
+
+fn fnv(label: &str, child_hashes: &[u64]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in label.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    for ch in child_hashes {
+        for b in ch.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Flatten a program into a [`Tree`].
+pub fn program_to_tree(p: &Program) -> Tree {
+    let mut tree = Tree {
+        nodes: vec![TreeNode {
+            label: "root".to_string(),
+            children: vec![],
+            parent: None,
+            hash: 0,
+            size: 1,
+            kind: NodeKind::Root,
+        }],
+    };
+    // The root block (top-level statements) with empty descent prefix.
+    let root_block = push_node(&mut tree, 0, "block".to_string(), NodeKind::Block(vec![]));
+    let mut prefix: StmtPath = Vec::new();
+    for (idx, s) in p.stmts.iter().enumerate() {
+        add_stmt(&mut tree, root_block, s, &mut prefix, idx);
+    }
+    finalize_hashes(&mut tree, 0);
+    tree
+}
+
+fn push_node(tree: &mut Tree, parent: usize, label: String, kind: NodeKind) -> usize {
+    let id = tree.nodes.len();
+    tree.nodes.push(TreeNode {
+        label,
+        children: vec![],
+        parent: Some(parent),
+        hash: 0,
+        size: 1,
+        kind,
+    });
+    tree.nodes[parent].children.push(id);
+    id
+}
+
+fn add_expr(tree: &mut Tree, parent: usize, e: &Expr) {
+    let id = push_node(tree, parent, e.label(), NodeKind::Expr);
+    for c in e.children() {
+        add_expr(tree, id, c);
+    }
+}
+
+fn add_stmt(tree: &mut Tree, parent_block: usize, s: &Stmt, prefix: &mut StmtPath, idx: usize) {
+    prefix.push((0, idx));
+    let path = prefix.clone();
+    prefix.pop();
+    let id = push_node(tree, parent_block, s.label(), NodeKind::Stmt(path));
+    for e in s.exprs() {
+        add_expr(tree, id, e);
+    }
+    for (sel, block) in s.blocks().iter().enumerate() {
+        prefix.push((sel, idx));
+        let block_id = push_node(
+            tree,
+            id,
+            "block".to_string(),
+            NodeKind::Block(prefix.clone()),
+        );
+        for (cidx, cs) in block.iter().enumerate() {
+            add_stmt(tree, block_id, cs, prefix, cidx);
+        }
+        prefix.pop();
+    }
+}
+
+fn finalize_hashes(tree: &mut Tree, n: usize) {
+    let children = tree.nodes[n].children.clone();
+    let mut size = 1usize;
+    let mut child_hashes = Vec::with_capacity(children.len());
+    for c in children {
+        finalize_hashes(tree, c);
+        size += tree.nodes[c].size;
+        child_hashes.push(tree.nodes[c].hash);
+    }
+    tree.nodes[n].hash = fnv(&tree.nodes[n].label, &child_hashes);
+    tree.nodes[n].size = size;
+}
+
+/// True iff the statement is a `flor.log(...)` expression statement — the
+/// statements hindsight propagation injects into prior versions.
+pub fn is_log_stmt(s: &Stmt) -> Option<&str> {
+    if let Stmt::ExprStmt {
+        expr: Expr::FlorCall { func, args, .. },
+        ..
+    } = s
+    {
+        if func == "log" {
+            if let Some(Expr::Str(_, name)) = args.first() {
+                return Some(name);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flor_script::parse;
+
+    #[test]
+    fn tree_shape() {
+        let p = parse("let x = 1;\nflor.log(\"x\", x);").unwrap();
+        let t = program_to_tree(&p);
+        // root, block, let, int, exprstmt, florcall, str, ident
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.nodes[0].size, 8);
+        assert_eq!(t.nodes[0].children, vec![1]);
+    }
+
+    #[test]
+    fn identical_programs_hash_equal() {
+        let a = program_to_tree(&parse("let x = 1 + 2;").unwrap());
+        let b = program_to_tree(&parse("let x = 1 + 2;").unwrap());
+        assert_eq!(a.nodes[0].hash, b.nodes[0].hash);
+    }
+
+    #[test]
+    fn different_programs_hash_differ() {
+        let a = program_to_tree(&parse("let x = 1;").unwrap());
+        let b = program_to_tree(&parse("let x = 2;").unwrap());
+        assert_ne!(a.nodes[0].hash, b.nodes[0].hash);
+        let c = program_to_tree(&parse("let y = 1;").unwrap());
+        assert_ne!(a.nodes[0].hash, c.nodes[0].hash);
+    }
+
+    #[test]
+    fn child_order_matters() {
+        let a = program_to_tree(&parse("let x = 1;\nlet y = 2;").unwrap());
+        let b = program_to_tree(&parse("let y = 2;\nlet x = 1;").unwrap());
+        assert_ne!(a.nodes[0].hash, b.nodes[0].hash);
+    }
+
+    #[test]
+    fn stmt_paths_recorded() {
+        let p = parse("for e in flor.loop(\"ep\", range(0, 2)) {\n  let a = 1;\n}").unwrap();
+        let t = program_to_tree(&p);
+        let let_node = t
+            .nodes
+            .iter()
+            .find(|n| n.label == "let:a")
+            .expect("let:a present");
+        match &let_node.kind {
+            NodeKind::Stmt(path) => assert_eq!(path, &vec![(0, 0), (0, 0)]),
+            other => panic!("expected stmt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let p = parse("let x = 1 + 2;").unwrap();
+        let t = program_to_tree(&p);
+        let desc = t.descendants(0);
+        assert_eq!(desc.len(), t.len() - 1);
+        // First descendant is the root block, then the let stmt.
+        assert_eq!(t.nodes[desc[0]].label, "block");
+        assert_eq!(t.nodes[desc[1]].label, "let:x");
+    }
+
+    #[test]
+    fn enclosing_stmt_walks_up() {
+        let p = parse("let x = 1 + 2;").unwrap();
+        let t = program_to_tree(&p);
+        // The deepest node (an int literal) belongs to the let statement.
+        let leaf = t.len() - 1;
+        let stmt = t.enclosing_stmt(leaf).unwrap();
+        assert_eq!(t.nodes[stmt].label, "let:x");
+        // Root has no enclosing statement.
+        assert_eq!(t.enclosing_stmt(0), None);
+    }
+
+    #[test]
+    fn is_log_stmt_detects() {
+        let p = parse("flor.log(\"loss\", 1);\nflor.commit();\nlet a = flor.log(\"x\", 2);")
+            .unwrap();
+        assert_eq!(is_log_stmt(&p.stmts[0]), Some("loss"));
+        assert_eq!(is_log_stmt(&p.stmts[1]), None);
+        // A log in a let-binding is not a bare log statement.
+        assert_eq!(is_log_stmt(&p.stmts[2]), None);
+    }
+}

@@ -1,0 +1,202 @@
+//! Line-level diffing (longest-common-subsequence edit scripts).
+//!
+//! Used for two things in the reproduction: human-readable version diffs
+//! (change context), and as the coarse pre-filter before AST-level
+//! differencing in `flor-diff` (per the paper, statement propagation uses
+//! "techniques adapted from code diffing [6]").
+
+/// One step of an edit script transforming `old` into `new`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffOp {
+    /// Line occurs in both (old index, new index).
+    Equal {
+        /// Index into the old line array.
+        old_index: usize,
+        /// Index into the new line array.
+        new_index: usize,
+    },
+    /// Line deleted from old.
+    Delete {
+        /// Index into the old line array.
+        old_index: usize,
+    },
+    /// Line inserted in new.
+    Insert {
+        /// Index into the new line array.
+        new_index: usize,
+    },
+}
+
+/// Compute a line-level LCS edit script from `old` to `new`.
+///
+/// Classic O(n·m) dynamic programming; file sizes here are scripts of at
+/// most a few hundred lines, where DP beats Myers on constant factors and
+/// is trivially correct.
+pub fn diff_lines(old: &str, new: &str) -> Vec<DiffOp> {
+    let a: Vec<&str> = old.lines().collect();
+    let b: Vec<&str> = new.lines().collect();
+    diff_slices(&a, &b)
+}
+
+/// LCS edit script over arbitrary comparable slices.
+pub fn diff_slices<T: PartialEq>(a: &[T], b: &[T]) -> Vec<DiffOp> {
+    let n = a.len();
+    let m = b.len();
+    // lcs[i][j] = LCS length of a[i..] and b[j..]
+    let mut lcs = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if a[i] == b[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    let mut ops = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            ops.push(DiffOp::Equal {
+                old_index: i,
+                new_index: j,
+            });
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            ops.push(DiffOp::Delete { old_index: i });
+            i += 1;
+        } else {
+            ops.push(DiffOp::Insert { new_index: j });
+            j += 1;
+        }
+    }
+    while i < n {
+        ops.push(DiffOp::Delete { old_index: i });
+        i += 1;
+    }
+    while j < m {
+        ops.push(DiffOp::Insert { new_index: j });
+        j += 1;
+    }
+    ops
+}
+
+/// Summary counts of an edit script: (equal, deleted, inserted).
+pub fn summarize(ops: &[DiffOp]) -> (usize, usize, usize) {
+    let mut eq = 0;
+    let mut del = 0;
+    let mut ins = 0;
+    for op in ops {
+        match op {
+            DiffOp::Equal { .. } => eq += 1,
+            DiffOp::Delete { .. } => del += 1,
+            DiffOp::Insert { .. } => ins += 1,
+        }
+    }
+    (eq, del, ins)
+}
+
+/// Render a unified-diff-like text for human inspection.
+pub fn render(old: &str, new: &str) -> String {
+    let a: Vec<&str> = old.lines().collect();
+    let b: Vec<&str> = new.lines().collect();
+    let mut out = String::new();
+    for op in diff_slices(&a, &b) {
+        match op {
+            DiffOp::Equal { old_index, .. } => {
+                out.push_str("  ");
+                out.push_str(a[old_index]);
+                out.push('\n');
+            }
+            DiffOp::Delete { old_index } => {
+                out.push_str("- ");
+                out.push_str(a[old_index]);
+                out.push('\n');
+            }
+            DiffOp::Insert { new_index } => {
+                out.push_str("+ ");
+                out.push_str(b[new_index]);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Apply an edit script produced by [`diff_slices`] to reconstruct `new`
+/// from `old` — used to verify edit scripts in tests and property checks.
+pub fn apply<'a, T: Clone>(old: &'a [T], new: &'a [T], ops: &[DiffOp]) -> Vec<T> {
+    let mut out = Vec::new();
+    for op in ops {
+        match op {
+            DiffOp::Equal { old_index, .. } => out.push(old[*old_index].clone()),
+            DiffOp::Delete { .. } => {}
+            DiffOp::Insert { new_index } => out.push(new[*new_index].clone()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_inputs_all_equal() {
+        let ops = diff_lines("a\nb\nc", "a\nb\nc");
+        assert_eq!(summarize(&ops), (3, 0, 0));
+    }
+
+    #[test]
+    fn pure_insert() {
+        let ops = diff_lines("a\nc", "a\nb\nc");
+        assert_eq!(summarize(&ops), (2, 0, 1));
+    }
+
+    #[test]
+    fn pure_delete() {
+        let ops = diff_lines("a\nb\nc", "a\nc");
+        assert_eq!(summarize(&ops), (2, 1, 0));
+    }
+
+    #[test]
+    fn replace_is_delete_plus_insert() {
+        let ops = diff_lines("a\nOLD\nc", "a\nNEW\nc");
+        assert_eq!(summarize(&ops), (2, 1, 1));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(diff_lines("", "").is_empty());
+        assert_eq!(summarize(&diff_lines("", "x\ny")), (0, 0, 2));
+        assert_eq!(summarize(&diff_lines("x\ny", "")), (0, 2, 0));
+    }
+
+    #[test]
+    fn apply_reconstructs_new() {
+        let old: Vec<&str> = "fn a\nfn b\nfn c".lines().collect();
+        let new: Vec<&str> = "fn a\nfn x\nfn c\nfn d".lines().collect();
+        let ops = diff_slices(&old, &new);
+        assert_eq!(apply(&old, &new, &ops), new);
+    }
+
+    #[test]
+    fn render_marks_changes() {
+        let r = render("a\nb", "a\nc");
+        assert!(r.contains("  a"));
+        assert!(r.contains("- b"));
+        assert!(r.contains("+ c"));
+    }
+
+    #[test]
+    fn lcs_prefers_longest_match() {
+        // The LCS of these is "flor.log" + closing brace lines — 2 lines kept.
+        let old = "for e in loop {\n  train()\n  flor.log(\"loss\", l)\n}";
+        let new = "for e in loop {\n  train2()\n  flor.log(\"loss\", l)\n  flor.log(\"acc\", a)\n}";
+        let (eq, del, ins) = summarize(&diff_lines(old, new));
+        assert_eq!(eq, 3); // for-line, log-loss line, closing brace
+        assert_eq!(del, 1);
+        assert_eq!(ins, 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! # flor-git — gitlite, the change-context substrate of FlorDB
+//!
+//! The FlorDB paper (CIDR 2025) manages *change context* — "version
+//! histories of both data and code" — with git (§3, Fig. 1: the `git` and
+//! `ts2vid` tables). This crate is a from-scratch, in-memory git-alike
+//! providing exactly the capabilities FlorDB consumes:
+//!
+//! * content-addressed object store (own [`sha256`] implementation pinned
+//!   to NIST vectors) with [`objects::Blob`]/[`objects::Tree`]/
+//!   [`objects::Commit`] objects;
+//! * [`Repository::commit`] snapshots of a [`VirtualFs`] working tree —
+//!   invoked by `flor.commit()` at every transaction boundary;
+//! * [`Repository::checkout`]/[`Repository::file_at`] to materialise any
+//!   prior version for hindsight replay;
+//! * [`Repository::diff`] with line-level LCS edit scripts (module
+//!   [`diff`]), the coarse layer under AST-level statement propagation.
+//!
+//! ```
+//! use flor_git::{Repository, VirtualFs};
+//! let fs = VirtualFs::new();
+//! let repo = Repository::new();
+//! fs.write("train.fl", "flor.log(\"loss\", 0.5);");
+//! let v1 = repo.commit(&fs, "first run", 1, "demo");
+//! fs.write("train.fl", "flor.log(\"loss\", 0.5);\nflor.log(\"acc\", 0.9);");
+//! let v2 = repo.commit(&fs, "add acc", 2, "demo");
+//! assert_eq!(repo.diff(&v1, &v2).unwrap().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod objects;
+pub mod repo;
+pub mod sha256;
+pub mod vfs;
+
+pub use diff::{diff_lines, DiffOp};
+pub use objects::{Commit, Object, Oid};
+pub use repo::{FileChange, GitError, GitResult, Repository};
+pub use sha256::{sha256, sha256_hex, Sha256};
+pub use vfs::{FileEntry, Mtime, VirtualFs};

@@ -1,0 +1,241 @@
+//! Git-style content-addressed objects: blobs, trees and commits.
+//!
+//! Encodings are deliberately textual (like git's loose objects) so they are
+//! debuggable; object ids are the SHA-256 of the encoded bytes, giving the
+//! usual properties: identical content deduplicates, any change changes the
+//! id, and parent links form a tamper-evident history — the substrate for
+//! the paper's Change context (§3, "FlorDB manages change context using Git
+//! version control").
+
+use crate::sha256::sha256_hex;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A content-addressed object id (lowercase hex SHA-256).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid(pub String);
+
+impl Oid {
+    /// Short prefix for display (like `git log --oneline`).
+    pub fn short(&self) -> &str {
+        &self.0[..self.0.len().min(8)]
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Any storable object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Object {
+    /// File contents.
+    Blob(Blob),
+    /// Directory listing: name → blob id.
+    Tree(Tree),
+    /// A committed snapshot with ancestry.
+    Commit(Commit),
+}
+
+/// File contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Blob {
+    /// Raw text.
+    pub data: String,
+}
+
+/// A flat snapshot of the working tree: path → blob oid.
+///
+/// Unlike git we do not nest trees; FlorDB projects are small script
+/// collections and a flat sorted map hashes deterministically.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Tree {
+    /// Sorted path → blob id entries.
+    pub entries: BTreeMap<String, Oid>,
+}
+
+/// A commit: tree + ancestry + metadata. `vid` in the paper's data model
+/// (Fig. 1: `git(vid, filename, parent_vid, contents)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Commit {
+    /// Snapshot taken by this commit.
+    pub tree: Oid,
+    /// Parent commit, `None` for the root.
+    pub parent: Option<Oid>,
+    /// Human-readable message.
+    pub message: String,
+    /// Logical timestamp (FlorDB's `tstamp` at commit time).
+    pub tstamp: u64,
+    /// Author tag (the `projid` in our usage).
+    pub author: String,
+}
+
+impl Object {
+    /// Serialize to the canonical byte form that is hashed.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = String::new();
+        match self {
+            Object::Blob(b) => {
+                out.push_str("blob\n");
+                out.push_str(&b.data);
+            }
+            Object::Tree(t) => {
+                out.push_str("tree\n");
+                for (path, oid) in &t.entries {
+                    // Paths cannot contain newlines (enforced at insert).
+                    out.push_str(&format!("{oid} {path}\n"));
+                }
+            }
+            Object::Commit(c) => {
+                out.push_str("commit\n");
+                out.push_str(&format!("tree {}\n", c.tree));
+                if let Some(p) = &c.parent {
+                    out.push_str(&format!("parent {p}\n"));
+                }
+                out.push_str(&format!("tstamp {}\n", c.tstamp));
+                out.push_str(&format!("author {}\n", c.author));
+                out.push('\n');
+                out.push_str(&c.message);
+            }
+        }
+        out.into_bytes()
+    }
+
+    /// Parse the canonical byte form. Inverse of [`Object::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Object, String> {
+        let text = std::str::from_utf8(bytes).map_err(|e| e.to_string())?;
+        let (kind, rest) = text
+            .split_once('\n')
+            .ok_or_else(|| "missing object header".to_string())?;
+        match kind {
+            "blob" => Ok(Object::Blob(Blob {
+                data: rest.to_string(),
+            })),
+            "tree" => {
+                let mut entries = BTreeMap::new();
+                for line in rest.lines() {
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let (oid, path) = line
+                        .split_once(' ')
+                        .ok_or_else(|| format!("bad tree entry: {line:?}"))?;
+                    entries.insert(path.to_string(), Oid(oid.to_string()));
+                }
+                Ok(Object::Tree(Tree { entries }))
+            }
+            "commit" => {
+                let (header, message) = rest.split_once("\n\n").unwrap_or((rest, ""));
+                let mut tree = None;
+                let mut parent = None;
+                let mut tstamp = 0u64;
+                let mut author = String::new();
+                for line in header.lines() {
+                    match line.split_once(' ') {
+                        Some(("tree", v)) => tree = Some(Oid(v.to_string())),
+                        Some(("parent", v)) => parent = Some(Oid(v.to_string())),
+                        Some(("tstamp", v)) => {
+                            tstamp = v.parse().map_err(|_| format!("bad tstamp {v:?}"))?
+                        }
+                        Some(("author", v)) => author = v.to_string(),
+                        _ => return Err(format!("bad commit header line: {line:?}")),
+                    }
+                }
+                Ok(Object::Commit(Commit {
+                    tree: tree.ok_or_else(|| "commit missing tree".to_string())?,
+                    parent,
+                    message: message.to_string(),
+                    tstamp,
+                    author,
+                }))
+            }
+            other => Err(format!("unknown object kind {other:?}")),
+        }
+    }
+
+    /// Content id: SHA-256 of the encoding.
+    pub fn id(&self) -> Oid {
+        Oid(sha256_hex(&self.encode()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blob_round_trip() {
+        let b = Object::Blob(Blob {
+            data: "for epoch in flor.loop(\"epoch\", ...) {}\n".to_string(),
+        });
+        assert_eq!(Object::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn tree_round_trip() {
+        let mut entries = BTreeMap::new();
+        entries.insert("train.fl".to_string(), Oid("aa".into()));
+        entries.insert("infer.fl".to_string(), Oid("bb".into()));
+        let t = Object::Tree(Tree { entries });
+        assert_eq!(Object::decode(&t.encode()).unwrap(), t);
+    }
+
+    #[test]
+    fn commit_round_trip_with_parent() {
+        let c = Object::Commit(Commit {
+            tree: Oid("t1".into()),
+            parent: Some(Oid("p1".into())),
+            message: "add recall logging\nsecond line".to_string(),
+            tstamp: 42,
+            author: "pdf_parser".to_string(),
+        });
+        assert_eq!(Object::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn commit_round_trip_root() {
+        let c = Object::Commit(Commit {
+            tree: Oid("t1".into()),
+            parent: None,
+            message: String::new(),
+            tstamp: 0,
+            author: "p".to_string(),
+        });
+        assert_eq!(Object::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn ids_are_content_addressed() {
+        let a = Object::Blob(Blob { data: "x".into() });
+        let b = Object::Blob(Blob { data: "x".into() });
+        let c = Object::Blob(Blob { data: "y".into() });
+        assert_eq!(a.id(), b.id());
+        assert_ne!(a.id(), c.id());
+    }
+
+    #[test]
+    fn tree_order_is_canonical() {
+        let mut e1 = BTreeMap::new();
+        e1.insert("a".to_string(), Oid("1".into()));
+        e1.insert("b".to_string(), Oid("2".into()));
+        let mut e2 = BTreeMap::new();
+        e2.insert("b".to_string(), Oid("2".into()));
+        e2.insert("a".to_string(), Oid("1".into()));
+        assert_eq!(Object::Tree(Tree { entries: e1 }).id(), Object::Tree(Tree { entries: e2 }).id());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Object::decode(b"wat\nxxx").is_err());
+        assert!(Object::decode(b"").is_err());
+        assert!(Object::decode(b"tree\nmalformed-line-without-space-but-see").is_err());
+    }
+
+    #[test]
+    fn short_oid() {
+        let oid = Oid("0123456789abcdef".to_string());
+        assert_eq!(oid.short(), "01234567");
+    }
+}

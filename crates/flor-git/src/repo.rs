@@ -1,0 +1,355 @@
+//! The repository: object store + refs + commit/checkout/log/diff.
+//!
+//! `flor.commit()` (paper §2.1) "writes a log file, commits changes to git,
+//! and increments the tstamp". This module provides the `commits changes to
+//! git` half: every FlorDB commit snapshots the virtual working tree here
+//! and the resulting `vid` is recorded in the `ts2vid` table.
+
+use crate::diff::{diff_lines, DiffOp};
+use crate::objects::{Blob, Commit, Object, Oid, Tree};
+use crate::vfs::VirtualFs;
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Errors from repository operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GitError {
+    /// Object id not present in the store.
+    MissingObject(Oid),
+    /// Expected a different object kind.
+    WrongKind {
+        /// The offending object.
+        oid: Oid,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// Codec failure.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for GitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GitError::MissingObject(o) => write!(f, "missing object {o}"),
+            GitError::WrongKind { oid, expected } => {
+                write!(f, "object {oid} is not a {expected}")
+            }
+            GitError::Corrupt(m) => write!(f, "corrupt object: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GitError {}
+
+/// Result alias.
+pub type GitResult<T> = Result<T, GitError>;
+
+/// A change to one file between two trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileChange {
+    /// File added in the newer tree.
+    Added(String),
+    /// File removed.
+    Removed(String),
+    /// File contents modified, with a line-level edit script.
+    Modified {
+        /// Path of the modified file.
+        path: String,
+        /// Line diff (old → new).
+        ops: Vec<DiffOp>,
+    },
+}
+
+impl FileChange {
+    /// The path this change touches.
+    pub fn path(&self) -> &str {
+        match self {
+            FileChange::Added(p) | FileChange::Removed(p) => p,
+            FileChange::Modified { path, .. } => path,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RepoInner {
+    objects: HashMap<Oid, Vec<u8>>,
+    head: Option<Oid>,
+}
+
+/// An in-memory content-addressed repository (gitlite).
+#[derive(Debug, Clone, Default)]
+pub struct Repository {
+    inner: Arc<RwLock<RepoInner>>,
+}
+
+impl Repository {
+    /// Empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store an object, returning its id (idempotent).
+    pub fn put(&self, obj: &Object) -> Oid {
+        let oid = obj.id();
+        self.inner
+            .write()
+            .objects
+            .entry(oid.clone())
+            .or_insert_with(|| obj.encode());
+        oid
+    }
+
+    /// Load an object by id.
+    pub fn get(&self, oid: &Oid) -> GitResult<Object> {
+        let g = self.inner.read();
+        let bytes = g
+            .objects
+            .get(oid)
+            .ok_or_else(|| GitError::MissingObject(oid.clone()))?;
+        Object::decode(bytes).map_err(GitError::Corrupt)
+    }
+
+    /// Number of stored objects (blobs dedupe across versions).
+    pub fn object_count(&self) -> usize {
+        self.inner.read().objects.len()
+    }
+
+    /// The current HEAD commit, if any.
+    pub fn head(&self) -> Option<Oid> {
+        self.inner.read().head.clone()
+    }
+
+    /// Commit a snapshot of `fs`, advancing HEAD. Returns the new `vid`.
+    pub fn commit(&self, fs: &VirtualFs, message: &str, tstamp: u64, author: &str) -> Oid {
+        let mut entries = BTreeMap::new();
+        for (path, entry) in fs.snapshot() {
+            let blob_oid = self.put(&Object::Blob(Blob {
+                data: entry.contents,
+            }));
+            entries.insert(path, blob_oid);
+        }
+        let tree_oid = self.put(&Object::Tree(Tree { entries }));
+        let parent = self.head();
+        let commit_oid = self.put(&Object::Commit(Commit {
+            tree: tree_oid,
+            parent,
+            message: message.to_string(),
+            tstamp,
+            author: author.to_string(),
+        }));
+        self.inner.write().head = Some(commit_oid.clone());
+        commit_oid
+    }
+
+    /// Load a commit object.
+    pub fn commit_obj(&self, vid: &Oid) -> GitResult<Commit> {
+        match self.get(vid)? {
+            Object::Commit(c) => Ok(c),
+            _ => Err(GitError::WrongKind {
+                oid: vid.clone(),
+                expected: "commit",
+            }),
+        }
+    }
+
+    /// The flat file map (`path → contents`) at a commit.
+    pub fn files_at(&self, vid: &Oid) -> GitResult<BTreeMap<String, String>> {
+        let commit = self.commit_obj(vid)?;
+        let tree = match self.get(&commit.tree)? {
+            Object::Tree(t) => t,
+            _ => {
+                return Err(GitError::WrongKind {
+                    oid: commit.tree,
+                    expected: "tree",
+                })
+            }
+        };
+        let mut out = BTreeMap::new();
+        for (path, blob_oid) in tree.entries {
+            match self.get(&blob_oid)? {
+                Object::Blob(b) => {
+                    out.insert(path, b.data);
+                }
+                _ => {
+                    return Err(GitError::WrongKind {
+                        oid: blob_oid,
+                        expected: "blob",
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// One file's contents at a commit, if present.
+    pub fn file_at(&self, vid: &Oid, path: &str) -> GitResult<Option<String>> {
+        Ok(self.files_at(vid)?.remove(path))
+    }
+
+    /// Restore the working tree to the snapshot at `vid`.
+    pub fn checkout(&self, vid: &Oid, fs: &VirtualFs) -> GitResult<()> {
+        let files = self.files_at(vid)?;
+        fs.restore(&files);
+        Ok(())
+    }
+
+    /// Commit history from `vid` back to the root (newest first).
+    pub fn log(&self, vid: &Oid) -> GitResult<Vec<(Oid, Commit)>> {
+        let mut out = Vec::new();
+        let mut cur = Some(vid.clone());
+        while let Some(oid) = cur {
+            let c = self.commit_obj(&oid)?;
+            cur = c.parent.clone();
+            out.push((oid, c));
+        }
+        Ok(out)
+    }
+
+    /// History from HEAD (newest first); empty if no commits.
+    pub fn log_head(&self) -> GitResult<Vec<(Oid, Commit)>> {
+        match self.head() {
+            Some(h) => self.log(&h),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// File-level diff between two commits (old → new), with line-level
+    /// edit scripts for modified files.
+    pub fn diff(&self, old_vid: &Oid, new_vid: &Oid) -> GitResult<Vec<FileChange>> {
+        let old = self.files_at(old_vid)?;
+        let new = self.files_at(new_vid)?;
+        let mut changes = Vec::new();
+        for (path, new_contents) in &new {
+            match old.get(path) {
+                None => changes.push(FileChange::Added(path.clone())),
+                Some(old_contents) if old_contents != new_contents => {
+                    changes.push(FileChange::Modified {
+                        path: path.clone(),
+                        ops: diff_lines(old_contents, new_contents),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        for path in old.keys() {
+            if !new.contains_key(path) {
+                changes.push(FileChange::Removed(path.clone()));
+            }
+        }
+        changes.sort_by(|a, b| a.path().cmp(b.path()));
+        Ok(changes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Repository, VirtualFs) {
+        (Repository::new(), VirtualFs::new())
+    }
+
+    #[test]
+    fn commit_and_checkout_round_trip() {
+        let (repo, fs) = setup();
+        fs.write("train.fl", "v1");
+        fs.write("infer.fl", "i1");
+        let v1 = repo.commit(&fs, "first", 1, "proj");
+        fs.write("train.fl", "v2");
+        let v2 = repo.commit(&fs, "second", 2, "proj");
+        assert_ne!(v1, v2);
+        repo.checkout(&v1, &fs).unwrap();
+        assert_eq!(fs.read("train.fl").unwrap(), "v1");
+        repo.checkout(&v2, &fs).unwrap();
+        assert_eq!(fs.read("train.fl").unwrap(), "v2");
+        assert_eq!(fs.read("infer.fl").unwrap(), "i1");
+    }
+
+    #[test]
+    fn head_advances_and_parents_chain() {
+        let (repo, fs) = setup();
+        fs.write("a", "1");
+        let v1 = repo.commit(&fs, "c1", 1, "p");
+        fs.write("a", "2");
+        let v2 = repo.commit(&fs, "c2", 2, "p");
+        assert_eq!(repo.head(), Some(v2.clone()));
+        let log = repo.log_head().unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].0, v2);
+        assert_eq!(log[1].0, v1);
+        assert_eq!(log[0].1.parent, Some(v1));
+        assert_eq!(log[1].1.parent, None);
+    }
+
+    #[test]
+    fn identical_snapshots_share_blobs() {
+        let (repo, fs) = setup();
+        fs.write("big.fl", "same contents");
+        repo.commit(&fs, "c1", 1, "p");
+        let count_before = repo.object_count();
+        fs.write("other.fl", "new file");
+        repo.commit(&fs, "c2", 2, "p");
+        // One new blob, one new tree, one new commit — big.fl's blob reused.
+        assert_eq!(repo.object_count(), count_before + 3);
+    }
+
+    #[test]
+    fn diff_reports_add_remove_modify() {
+        let (repo, fs) = setup();
+        fs.write("keep", "same");
+        fs.write("mod", "line1\nline2\n");
+        fs.write("gone", "bye");
+        let v1 = repo.commit(&fs, "c1", 1, "p");
+        fs.remove("gone");
+        fs.write("mod", "line1\nline2changed\n");
+        fs.write("fresh", "hi");
+        let v2 = repo.commit(&fs, "c2", 2, "p");
+        let changes = repo.diff(&v1, &v2).unwrap();
+        let paths: Vec<&str> = changes.iter().map(|c| c.path()).collect();
+        assert_eq!(paths, vec!["fresh", "gone", "mod"]);
+        assert!(matches!(changes[0], FileChange::Added(_)));
+        assert!(matches!(changes[1], FileChange::Removed(_)));
+        assert!(matches!(changes[2], FileChange::Modified { .. }));
+    }
+
+    #[test]
+    fn missing_object_errors() {
+        let repo = Repository::new();
+        let err = repo.get(&Oid("deadbeef".into())).unwrap_err();
+        assert!(matches!(err, GitError::MissingObject(_)));
+    }
+
+    #[test]
+    fn file_at_specific_version() {
+        let (repo, fs) = setup();
+        fs.write("train.fl", "alpha");
+        let v1 = repo.commit(&fs, "c1", 1, "p");
+        assert_eq!(repo.file_at(&v1, "train.fl").unwrap().unwrap(), "alpha");
+        assert_eq!(repo.file_at(&v1, "nope").unwrap(), None);
+    }
+
+    #[test]
+    fn commit_metadata_preserved() {
+        let (repo, fs) = setup();
+        fs.write("a", "1");
+        let v = repo.commit(&fs, "message here", 99, "pdf_parser");
+        let c = repo.commit_obj(&v).unwrap();
+        assert_eq!(c.message, "message here");
+        assert_eq!(c.tstamp, 99);
+        assert_eq!(c.author, "pdf_parser");
+    }
+
+    #[test]
+    fn wrong_kind_detected() {
+        let (repo, fs) = setup();
+        fs.write("a", "1");
+        let v = repo.commit(&fs, "c", 1, "p");
+        let c = repo.commit_obj(&v).unwrap();
+        // A tree oid is not a commit.
+        assert!(matches!(
+            repo.commit_obj(&c.tree),
+            Err(GitError::WrongKind { .. })
+        ));
+    }
+}

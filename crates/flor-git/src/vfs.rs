@@ -1,0 +1,221 @@
+//! A virtual filesystem: the "working directory" FlorDB versions.
+//!
+//! The reproduction runs thousands of pipeline executions in-process; a real
+//! on-disk tree would be slow and flaky under parallel tests. `VirtualFs`
+//! models exactly what the paper's substrate needs: named text files with
+//! logical modification times (for Make-style staleness checks) and
+//! snapshotting (for gitlite commits).
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Logical clock tick used as an mtime. Monotonic per filesystem.
+pub type Mtime = u64;
+
+/// One file's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileEntry {
+    /// File contents (text; the substrate versions source files and small
+    /// artifacts — large binaries go to the object store instead).
+    pub contents: String,
+    /// Logical modification time.
+    pub mtime: Mtime,
+}
+
+#[derive(Debug, Default)]
+struct VfsInner {
+    files: BTreeMap<String, FileEntry>,
+    clock: Mtime,
+}
+
+/// A shareable, thread-safe virtual filesystem.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualFs {
+    inner: Arc<RwLock<VfsInner>>,
+}
+
+impl VirtualFs {
+    /// Empty filesystem with clock at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write (create or overwrite) a file, bumping the clock.
+    pub fn write(&self, path: &str, contents: &str) -> Mtime {
+        let mut g = self.inner.write();
+        g.clock += 1;
+        let mtime = g.clock;
+        g.files.insert(
+            path.to_string(),
+            FileEntry {
+                contents: contents.to_string(),
+                mtime,
+            },
+        );
+        mtime
+    }
+
+    /// Touch a file: bump its mtime without changing contents. Creates an
+    /// empty file if missing (like `touch`, used by the paper's Makefile
+    /// stamp targets, Fig. 4).
+    pub fn touch(&self, path: &str) -> Mtime {
+        let mut g = self.inner.write();
+        g.clock += 1;
+        let mtime = g.clock;
+        g.files
+            .entry(path.to_string())
+            .and_modify(|e| e.mtime = mtime)
+            .or_insert(FileEntry {
+                contents: String::new(),
+                mtime,
+            });
+        mtime
+    }
+
+    /// Read a file's contents.
+    pub fn read(&self, path: &str) -> Option<String> {
+        self.inner.read().files.get(path).map(|e| e.contents.clone())
+    }
+
+    /// A file's mtime, or `None` if absent.
+    pub fn mtime(&self, path: &str) -> Option<Mtime> {
+        self.inner.read().files.get(path).map(|e| e.mtime)
+    }
+
+    /// Whether the file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.inner.read().files.contains_key(path)
+    }
+
+    /// Delete a file; returns true if it existed.
+    pub fn remove(&self, path: &str) -> bool {
+        self.inner.write().files.remove(path).is_some()
+    }
+
+    /// All paths in sorted order.
+    pub fn paths(&self) -> Vec<String> {
+        self.inner.read().files.keys().cloned().collect()
+    }
+
+    /// Paths under a directory prefix (`"data/"`), sorted. The paper's
+    /// featurization loop iterates `os.listdir(...)` (Fig. 3); this is the
+    /// equivalent.
+    pub fn list_dir(&self, prefix: &str) -> Vec<String> {
+        self.inner
+            .read()
+            .files
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Current logical clock value.
+    pub fn now(&self) -> Mtime {
+        self.inner.read().clock
+    }
+
+    /// Snapshot of all files (path → entry), used by gitlite commits.
+    pub fn snapshot(&self) -> BTreeMap<String, FileEntry> {
+        self.inner.read().files.clone()
+    }
+
+    /// Replace the whole tree from a snapshot of `path → contents`
+    /// (checkout). Every restored file gets a fresh mtime, which is the
+    /// conservative Make-correct behaviour.
+    pub fn restore(&self, files: &BTreeMap<String, String>) {
+        let mut g = self.inner.write();
+        g.clock += 1;
+        let mtime = g.clock;
+        g.files = files
+            .iter()
+            .map(|(p, c)| {
+                (
+                    p.clone(),
+                    FileEntry {
+                        contents: c.clone(),
+                        mtime,
+                    },
+                )
+            })
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let fs = VirtualFs::new();
+        fs.write("train.py", "print(1)");
+        assert_eq!(fs.read("train.py").unwrap(), "print(1)");
+        assert!(fs.exists("train.py"));
+        assert!(!fs.exists("infer.py"));
+    }
+
+    #[test]
+    fn mtimes_are_monotonic() {
+        let fs = VirtualFs::new();
+        let t1 = fs.write("a", "1");
+        let t2 = fs.write("b", "2");
+        let t3 = fs.touch("a");
+        assert!(t1 < t2 && t2 < t3);
+        assert_eq!(fs.mtime("a"), Some(t3));
+        assert_eq!(fs.mtime("b"), Some(t2));
+    }
+
+    #[test]
+    fn touch_preserves_contents() {
+        let fs = VirtualFs::new();
+        fs.write("f", "data");
+        fs.touch("f");
+        assert_eq!(fs.read("f").unwrap(), "data");
+    }
+
+    #[test]
+    fn touch_creates_empty() {
+        let fs = VirtualFs::new();
+        fs.touch("stamp");
+        assert_eq!(fs.read("stamp").unwrap(), "");
+    }
+
+    #[test]
+    fn list_dir_filters_by_prefix() {
+        let fs = VirtualFs::new();
+        fs.write("data/d1.txt", "");
+        fs.write("data/d2.txt", "");
+        fs.write("src/train.py", "");
+        assert_eq!(fs.list_dir("data/"), vec!["data/d1.txt", "data/d2.txt"]);
+    }
+
+    #[test]
+    fn remove_works() {
+        let fs = VirtualFs::new();
+        fs.write("f", "x");
+        assert!(fs.remove("f"));
+        assert!(!fs.remove("f"));
+        assert!(!fs.exists("f"));
+    }
+
+    #[test]
+    fn restore_replaces_tree() {
+        let fs = VirtualFs::new();
+        fs.write("old", "gone");
+        let mut snap = BTreeMap::new();
+        snap.insert("new".to_string(), "here".to_string());
+        fs.restore(&snap);
+        assert!(!fs.exists("old"));
+        assert_eq!(fs.read("new").unwrap(), "here");
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let fs = VirtualFs::new();
+        let fs2 = fs.clone();
+        fs.write("shared", "yes");
+        assert_eq!(fs2.read("shared").unwrap(), "yes");
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests for gitlite: hashing, object codecs, diff/apply, and
+//! commit/checkout round-trips.
+
+use flor_git::diff::{apply, diff_slices, summarize};
+use flor_git::objects::{Blob, Commit, Object, Oid, Tree};
+use flor_git::{Repository, VirtualFs};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_path() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}(\\.fl)?".prop_map(|s| s)
+}
+
+proptest! {
+    /// Objects decode to what was encoded.
+    #[test]
+    fn blob_codec_round_trip(data in "[ -~\\n]{0,200}") {
+        let obj = Object::Blob(Blob { data });
+        prop_assert_eq!(Object::decode(&obj.encode()).unwrap(), obj);
+    }
+
+    #[test]
+    fn commit_codec_round_trip(
+        msg in "[ -~\\n]{0,100}",
+        tstamp in any::<u64>(),
+        has_parent in any::<bool>(),
+    ) {
+        let obj = Object::Commit(Commit {
+            tree: Oid("abc123".into()),
+            parent: if has_parent { Some(Oid("def456".into())) } else { None },
+            message: msg,
+            tstamp,
+            author: "proj".into(),
+        });
+        prop_assert_eq!(Object::decode(&obj.encode()).unwrap(), obj);
+    }
+
+    #[test]
+    fn tree_codec_round_trip(paths in proptest::collection::btree_set("[a-z/._-]{1,12}", 0..10)) {
+        let entries: BTreeMap<String, Oid> = paths.into_iter()
+            .map(|p| (p.clone(), Oid(flor_git::sha256_hex(p.as_bytes()))))
+            .collect();
+        let obj = Object::Tree(Tree { entries });
+        prop_assert_eq!(Object::decode(&obj.encode()).unwrap(), obj);
+    }
+
+    /// Distinct data gives distinct ids; same data same id.
+    #[test]
+    fn content_addressing(a in "[a-z]{0,50}", b in "[a-z]{0,50}") {
+        let ida = Object::Blob(Blob { data: a.clone() }).id();
+        let idb = Object::Blob(Blob { data: b.clone() }).id();
+        prop_assert_eq!(a == b, ida == idb);
+    }
+
+    /// diff then apply reconstructs the new sequence exactly.
+    #[test]
+    fn diff_apply_reconstructs(
+        old in proptest::collection::vec(0u8..6, 0..40),
+        new in proptest::collection::vec(0u8..6, 0..40),
+    ) {
+        let ops = diff_slices(&old, &new);
+        prop_assert_eq!(apply(&old, &new, &ops), new);
+    }
+
+    /// Edit script accounting: equal+deleted = |old|, equal+inserted = |new|.
+    #[test]
+    fn diff_counts_consistent(
+        old in proptest::collection::vec(0u8..4, 0..30),
+        new in proptest::collection::vec(0u8..4, 0..30),
+    ) {
+        let (eq, del, ins) = summarize(&diff_slices(&old, &new));
+        prop_assert_eq!(eq + del, old.len());
+        prop_assert_eq!(eq + ins, new.len());
+    }
+
+    /// Committing then checking out restores every file exactly.
+    #[test]
+    fn commit_checkout_round_trip(
+        files in proptest::collection::btree_map(arb_path(), "[ -~]{0,60}", 1..8),
+        extra in "[a-z]{1,10}",
+    ) {
+        let fs = VirtualFs::new();
+        let repo = Repository::new();
+        for (p, c) in &files {
+            fs.write(p, c);
+        }
+        let v1 = repo.commit(&fs, "snap", 1, "prop");
+        // Mutate the tree arbitrarily.
+        fs.write("mutant", &extra);
+        for p in files.keys().take(2) {
+            fs.remove(p);
+        }
+        repo.commit(&fs, "mutated", 2, "prop");
+        // Restore v1.
+        repo.checkout(&v1, &fs).unwrap();
+        let snap = fs.snapshot();
+        prop_assert_eq!(snap.len(), files.len());
+        for (p, c) in &files {
+            prop_assert_eq!(&fs.read(p).unwrap(), c);
+        }
+    }
+
+    /// diff(v, v) is empty; diff is consistent with the file sets.
+    #[test]
+    fn diff_self_is_empty(
+        files in proptest::collection::btree_map(arb_path(), "[ -~]{0,40}", 1..6),
+    ) {
+        let fs = VirtualFs::new();
+        let repo = Repository::new();
+        for (p, c) in &files {
+            fs.write(p, c);
+        }
+        let v = repo.commit(&fs, "snap", 1, "prop");
+        prop_assert!(repo.diff(&v, &v).unwrap().is_empty());
+    }
+}
+
+#[test]
+fn log_traverses_whole_history() {
+    let fs = VirtualFs::new();
+    let repo = Repository::new();
+    let mut vids = Vec::new();
+    for i in 0..10 {
+        fs.write("f", &format!("version {i}"));
+        vids.push(repo.commit(&fs, &format!("c{i}"), i, "p"));
+    }
+    let log = repo.log_head().unwrap();
+    assert_eq!(log.len(), 10);
+    // Newest first.
+    for (entry, vid) in log.iter().zip(vids.iter().rev()) {
+        assert_eq!(&entry.0, vid);
+    }
+}
+
+#[test]
+fn checkout_old_version_enables_hindsight_workflow() {
+    // The core change-context workflow: run vN, go back to v1, re-read code.
+    let fs = VirtualFs::new();
+    let repo = Repository::new();
+    fs.write("train.fl", "let lr = 0.1;");
+    let v1 = repo.commit(&fs, "v1", 1, "p");
+    fs.write("train.fl", "let lr = 0.01;\nflor.log(\"lr\", lr);");
+    repo.commit(&fs, "v2", 2, "p");
+    let old_code = repo.file_at(&v1, "train.fl").unwrap().unwrap();
+    assert_eq!(old_code, "let lr = 0.1;");
+    // Current worktree is untouched by file_at.
+    assert!(fs.read("train.fl").unwrap().contains("0.01"));
+}

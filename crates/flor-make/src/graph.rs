@@ -1,0 +1,482 @@
+//! The build graph: rules, staleness, topological execution.
+
+use flor_git::VirtualFs;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+
+/// Signature of a rule's callback action.
+pub type ActionFn = dyn Fn(&VirtualFs) -> Result<(), String>;
+
+/// What a rule runs when its target is stale.
+#[derive(Clone)]
+pub enum Action {
+    /// A Rust callback over the filesystem (library embedding).
+    Func(Rc<ActionFn>),
+    /// Shell-style command lines, executed by the runner passed to
+    /// [`Makefile::build_with`] (textual Makefiles, paper Fig. 4).
+    Cmds(Vec<String>),
+}
+
+impl fmt::Debug for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Func(_) => write!(f, "Action::Func(..)"),
+            Action::Cmds(c) => write!(f, "Action::Cmds({c:?})"),
+        }
+    }
+}
+
+/// One build rule: `target: deps` + an action.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// The file this rule produces (stamp files for phony targets).
+    pub target: String,
+    /// Files/targets this rule depends on.
+    pub deps: Vec<String>,
+    /// What to run when stale.
+    pub action: Action,
+}
+
+/// Errors from building.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MakeError {
+    /// Dependency cycle through these targets.
+    Cycle(Vec<String>),
+    /// A dependency is neither a rule target nor an existing file.
+    MissingDep {
+        /// The rule needing it.
+        target: String,
+        /// The missing dependency.
+        dep: String,
+    },
+    /// No rule for the requested target and no such file.
+    NoRule(String),
+    /// An action failed.
+    ActionFailed {
+        /// The failing target.
+        target: String,
+        /// The error.
+        message: String,
+    },
+}
+
+impl fmt::Display for MakeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MakeError::Cycle(path) => write!(f, "dependency cycle: {}", path.join(" -> ")),
+            MakeError::MissingDep { target, dep } => {
+                write!(f, "no rule to make {dep:?}, needed by {target:?}")
+            }
+            MakeError::NoRule(t) => write!(f, "no rule to make target {t:?}"),
+            MakeError::ActionFailed { target, message } => {
+                write!(f, "action for {target:?} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MakeError {}
+
+/// What happened during one `build` call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BuildReport {
+    /// Targets whose actions ran, in execution order.
+    pub executed: Vec<String>,
+    /// Targets found fresh and skipped (the `cached` flag of the paper's
+    /// `build_deps` table).
+    pub cached: Vec<String>,
+}
+
+impl BuildReport {
+    /// Whether a target's action ran.
+    pub fn ran(&self, target: &str) -> bool {
+        self.executed.iter().any(|t| t == target)
+    }
+}
+
+/// A set of rules, i.e. a Makefile.
+#[derive(Debug, Clone, Default)]
+pub struct Makefile {
+    rules: Vec<Rule>,
+    by_target: HashMap<String, usize>,
+}
+
+impl Makefile {
+    /// Empty makefile.
+    pub fn new() -> Makefile {
+        Makefile::default()
+    }
+
+    /// Add a rule with a Rust callback action. Later rules for the same
+    /// target replace earlier ones.
+    pub fn rule(
+        &mut self,
+        target: &str,
+        deps: &[&str],
+        action: impl Fn(&VirtualFs) -> Result<(), String> + 'static,
+    ) -> &mut Self {
+        self.push(Rule {
+            target: target.to_string(),
+            deps: deps.iter().map(|s| s.to_string()).collect(),
+            action: Action::Func(Rc::new(action)),
+        });
+        self
+    }
+
+    /// Add a rule with textual commands.
+    pub fn cmd_rule(&mut self, target: &str, deps: &[&str], cmds: &[&str]) -> &mut Self {
+        self.push(Rule {
+            target: target.to_string(),
+            deps: deps.iter().map(|s| s.to_string()).collect(),
+            action: Action::Cmds(cmds.iter().map(|s| s.to_string()).collect()),
+        });
+        self
+    }
+
+    fn push(&mut self, rule: Rule) {
+        match self.by_target.get(&rule.target) {
+            Some(&i) => self.rules[i] = rule,
+            None => {
+                self.by_target.insert(rule.target.clone(), self.rules.len());
+                self.rules.push(rule);
+            }
+        }
+    }
+
+    /// All rules in insertion order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Look up a rule.
+    pub fn rule_for(&self, target: &str) -> Option<&Rule> {
+        self.by_target.get(target).map(|&i| &self.rules[i])
+    }
+
+    /// Build `target`, running only stale rules. `Func` actions execute
+    /// directly; `Cmds` actions error (use [`Makefile::build_with`]).
+    pub fn build(&self, target: &str, fs: &VirtualFs) -> Result<BuildReport, MakeError> {
+        self.build_with(target, fs, &mut |cmd| {
+            Err(format!("no runner provided for command {cmd:?}"))
+        })
+    }
+
+    /// Build `target` with a runner for textual commands. The runner is
+    /// invoked once per command line of each stale rule.
+    pub fn build_with(
+        &self,
+        target: &str,
+        fs: &VirtualFs,
+        runner: &mut dyn FnMut(&str) -> Result<(), String>,
+    ) -> Result<BuildReport, MakeError> {
+        let mut report = BuildReport::default();
+        let mut visiting = Vec::new();
+        let mut done: HashSet<String> = HashSet::new();
+        self.visit(target, fs, runner, &mut report, &mut visiting, &mut done)?;
+        Ok(report)
+    }
+
+    fn visit(
+        &self,
+        target: &str,
+        fs: &VirtualFs,
+        runner: &mut dyn FnMut(&str) -> Result<(), String>,
+        report: &mut BuildReport,
+        visiting: &mut Vec<String>,
+        done: &mut HashSet<String>,
+    ) -> Result<bool, MakeError> {
+        // Returns whether the target was rebuilt (directly or transitively).
+        if done.contains(target) {
+            return Ok(false);
+        }
+        if visiting.iter().any(|t| t == target) {
+            let mut cycle = visiting.clone();
+            cycle.push(target.to_string());
+            return Err(MakeError::Cycle(cycle));
+        }
+        let Some(rule) = self.rule_for(target) else {
+            // Source file: fine if it exists.
+            if fs.exists(target) {
+                done.insert(target.to_string());
+                return Ok(false);
+            }
+            return Err(MakeError::NoRule(target.to_string()));
+        };
+        visiting.push(target.to_string());
+        let mut dep_rebuilt = false;
+        for dep in &rule.deps {
+            if !self.by_target.contains_key(dep) && !fs.exists(dep) {
+                visiting.pop();
+                return Err(MakeError::MissingDep {
+                    target: target.to_string(),
+                    dep: dep.clone(),
+                });
+            }
+            dep_rebuilt |= self.visit(dep, fs, runner, report, visiting, done)?;
+        }
+        visiting.pop();
+        done.insert(target.to_string());
+
+        let stale = dep_rebuilt || self.is_stale(rule, fs);
+        if !stale {
+            report.cached.push(target.to_string());
+            return Ok(false);
+        }
+        match &rule.action {
+            Action::Func(f) => f(fs).map_err(|message| MakeError::ActionFailed {
+                target: target.to_string(),
+                message,
+            })?,
+            Action::Cmds(cmds) => {
+                for cmd in cmds {
+                    runner(cmd).map_err(|message| MakeError::ActionFailed {
+                        target: target.to_string(),
+                        message,
+                    })?;
+                }
+            }
+        }
+        // Make semantics require the target to exist afterwards; stamp it
+        // if the action didn't (the paper's Makefile does `@touch target`).
+        if fs.mtime(rule.target.as_str()).is_none_or(|m| {
+            rule.deps
+                .iter()
+                .filter_map(|d| fs.mtime(d))
+                .any(|dm| dm > m)
+        }) {
+            fs.touch(&rule.target);
+        }
+        report.executed.push(target.to_string());
+        Ok(true)
+    }
+
+    fn is_stale(&self, rule: &Rule, fs: &VirtualFs) -> bool {
+        let Some(target_mtime) = fs.mtime(&rule.target) else {
+            return true; // target missing
+        };
+        rule.deps
+            .iter()
+            .any(|d| fs.mtime(d).is_none_or(|dm| dm > target_mtime))
+    }
+
+    /// Topological order of all targets reachable from `target` (deps
+    /// first). Errors on cycles.
+    pub fn topo_order(&self, target: &str) -> Result<Vec<String>, MakeError> {
+        let mut order = Vec::new();
+        let mut visiting = Vec::new();
+        let mut done = HashSet::new();
+        self.topo_visit(target, &mut order, &mut visiting, &mut done)?;
+        Ok(order)
+    }
+
+    fn topo_visit(
+        &self,
+        target: &str,
+        order: &mut Vec<String>,
+        visiting: &mut Vec<String>,
+        done: &mut HashSet<String>,
+    ) -> Result<(), MakeError> {
+        if done.contains(target) {
+            return Ok(());
+        }
+        if visiting.iter().any(|t| t == target) {
+            let mut cycle = visiting.clone();
+            cycle.push(target.to_string());
+            return Err(MakeError::Cycle(cycle));
+        }
+        visiting.push(target.to_string());
+        if let Some(rule) = self.rule_for(target) {
+            for dep in &rule.deps {
+                self.topo_visit(dep, order, visiting, done)?;
+            }
+        }
+        visiting.pop();
+        done.insert(target.to_string());
+        order.push(target.to_string());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_marker(fs: &VirtualFs, name: &str) {
+        let count = fs
+            .read(name)
+            .map(|c| c.parse::<u32>().unwrap_or(0))
+            .unwrap_or(0);
+        fs.write(name, &(count + 1).to_string());
+    }
+
+    fn pipeline() -> (Makefile, VirtualFs) {
+        // Mirrors the paper's Fig. 2 Makefile: prep -> {infer, train}; run -> infer.
+        let fs = VirtualFs::new();
+        fs.write("prep.py", "# preprocessing code");
+        fs.write("infer.py", "# inference code");
+        fs.write("train.py", "# training code");
+        let mut mk = Makefile::new();
+        mk.rule("prep", &["prep.py"], |fs| {
+            write_marker(fs, "prep");
+            Ok(())
+        });
+        mk.rule("infer", &["prep", "infer.py"], |fs| {
+            write_marker(fs, "infer");
+            Ok(())
+        });
+        mk.rule("train", &["prep", "train.py"], |fs| {
+            write_marker(fs, "train");
+            Ok(())
+        });
+        mk.rule("run", &["infer"], |fs| {
+            write_marker(fs, "run");
+            Ok(())
+        });
+        (mk, fs)
+    }
+
+    #[test]
+    fn full_build_runs_in_dependency_order() {
+        let (mk, fs) = pipeline();
+        let report = mk.build("run", &fs).unwrap();
+        assert_eq!(report.executed, vec!["prep", "infer", "run"]);
+        assert!(report.cached.is_empty());
+    }
+
+    #[test]
+    fn second_build_is_fully_cached() {
+        let (mk, fs) = pipeline();
+        mk.build("run", &fs).unwrap();
+        let report = mk.build("run", &fs).unwrap();
+        assert!(report.executed.is_empty());
+        assert_eq!(report.cached, vec!["prep", "infer", "run"]);
+        assert_eq!(fs.read("prep").unwrap(), "1"); // ran exactly once
+    }
+
+    #[test]
+    fn touching_a_source_rebuilds_downstream_only() {
+        let (mk, fs) = pipeline();
+        mk.build("run", &fs).unwrap();
+        mk.build("train", &fs).unwrap();
+        fs.write("infer.py", "# changed inference");
+        let report = mk.build("run", &fs).unwrap();
+        assert_eq!(report.executed, vec!["infer", "run"]);
+        assert!(report.cached.contains(&"prep".to_string()));
+        // train untouched by this build.
+        assert_eq!(fs.read("train").unwrap(), "1");
+    }
+
+    #[test]
+    fn changing_root_source_rebuilds_everything() {
+        let (mk, fs) = pipeline();
+        mk.build("run", &fs).unwrap();
+        fs.write("prep.py", "# new prep");
+        let report = mk.build("run", &fs).unwrap();
+        assert_eq!(report.executed, vec!["prep", "infer", "run"]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut mk = Makefile::new();
+        mk.cmd_rule("a", &["b"], &[]);
+        mk.cmd_rule("b", &["a"], &[]);
+        let fs = VirtualFs::new();
+        match mk.build("a", &fs) {
+            Err(MakeError::Cycle(path)) => assert!(path.len() >= 3),
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_dep_and_no_rule() {
+        let mut mk = Makefile::new();
+        mk.cmd_rule("a", &["ghost"], &[]);
+        let fs = VirtualFs::new();
+        assert!(matches!(
+            mk.build("a", &fs),
+            Err(MakeError::MissingDep { .. })
+        ));
+        assert!(matches!(mk.build("nope", &fs), Err(MakeError::NoRule(_))));
+    }
+
+    #[test]
+    fn action_failure_propagates() {
+        let mut mk = Makefile::new();
+        mk.rule("bad", &[], |_| Err("boom".to_string()));
+        let fs = VirtualFs::new();
+        match mk.build("bad", &fs) {
+            Err(MakeError::ActionFailed { target, message }) => {
+                assert_eq!(target, "bad");
+                assert_eq!(message, "boom");
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cmd_rules_use_runner() {
+        let mut mk = Makefile::new();
+        mk.cmd_rule("out", &[], &["python step1.py", "python step2.py"]);
+        let fs = VirtualFs::new();
+        let mut ran = Vec::new();
+        let report = mk
+            .build_with("out", &fs, &mut |cmd| {
+                ran.push(cmd.to_string());
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(ran, vec!["python step1.py", "python step2.py"]);
+        assert!(report.ran("out"));
+        assert!(fs.exists("out")); // auto-stamped
+    }
+
+    #[test]
+    fn source_file_as_target_is_fresh() {
+        let (mk, fs) = pipeline();
+        // Building a plain source file is a no-op.
+        let report = mk.build("prep.py", &fs).unwrap();
+        assert!(report.executed.is_empty());
+    }
+
+    #[test]
+    fn topo_order_deps_first() {
+        let (mk, _) = pipeline();
+        let order = mk.topo_order("run").unwrap();
+        let pos = |t: &str| order.iter().position(|x| x == t).unwrap();
+        assert!(pos("prep.py") < pos("prep"));
+        assert!(pos("prep") < pos("infer"));
+        assert!(pos("infer") < pos("run"));
+    }
+
+    #[test]
+    fn rule_replacement() {
+        let mut mk = Makefile::new();
+        mk.cmd_rule("t", &[], &["old"]);
+        mk.cmd_rule("t", &[], &["new"]);
+        match &mk.rule_for("t").unwrap().action {
+            Action::Cmds(c) => assert_eq!(c, &vec!["new".to_string()]),
+            _ => panic!(),
+        }
+        assert_eq!(mk.rules().len(), 1);
+    }
+
+    #[test]
+    fn diamond_dependency_runs_once() {
+        // a -> b, c; b -> d; c -> d
+        let fs = VirtualFs::new();
+        let mut mk = Makefile::new();
+        mk.rule("d", &[], |fs| {
+            write_marker(fs, "d");
+            Ok(())
+        });
+        mk.cmd_rule("b", &["d"], &[]);
+        mk.cmd_rule("c", &["d"], &[]);
+        mk.cmd_rule("a", &["b", "c"], &[]);
+        let report = mk
+            .build_with("a", &fs, &mut |_| Ok(()))
+            .unwrap();
+        assert_eq!(fs.read("d").unwrap(), "1");
+        assert_eq!(report.executed, vec!["d", "b", "c", "a"]);
+    }
+}

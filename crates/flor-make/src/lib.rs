@@ -1,0 +1,21 @@
+//! # flor-make — the behavioral-context substrate (Make-lite)
+//!
+//! FlorDB "remains agnostic to the choice of workflow management system"
+//! (CIDR 2025, §2.1) but its demo orchestrates pipelines with Make (Figs. 2
+//! and 4), and the `build_deps` table (Fig. 1) records `(vid, target, deps,
+//! cmds, cached)` rows. This crate supplies that substrate over the
+//! `flor-git` [`flor_git::VirtualFs`]:
+//!
+//! * [`Makefile`] — rules with callback or textual-command actions, mtime
+//!   staleness, cycle detection, and [`BuildReport`]s distinguishing
+//!   executed from cached targets (the paper's incremental-run behaviour);
+//! * [`parse_makefile`] — a parser for the paper's Makefile subset,
+//!   including the verbatim [`FIG2_MAKEFILE`] and [`FIG4_MAKEFILE`].
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod parse;
+
+pub use graph::{Action, BuildReport, MakeError, Makefile, Rule};
+pub use parse::{parse_makefile, MakeParseError, FIG2_MAKEFILE, FIG4_MAKEFILE};

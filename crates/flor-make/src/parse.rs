@@ -1,0 +1,257 @@
+//! Parser for textual Makefiles (the paper's Figs. 2 and 4).
+//!
+//! Supports the subset the paper uses: `target: deps` headers, indented
+//! command lines (tab or spaces), `@`-prefixed silent commands, comments,
+//! and `$(VAR)` substitution from a provided variable map.
+
+use crate::graph::Makefile;
+use std::collections::HashMap;
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MakeParseError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl std::fmt::Display for MakeParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "makefile parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for MakeParseError {}
+
+/// Parse Makefile text into a [`Makefile`] of command rules.
+///
+/// `vars` provides `$(NAME)` expansions (e.g. `PDFS` in the paper's
+/// `process_pdfs: $(PDFS) pdf_demux.py`). Unknown variables expand empty.
+pub fn parse_makefile(
+    text: &str,
+    vars: &HashMap<String, String>,
+) -> Result<Makefile, MakeParseError> {
+    let mut mk = Makefile::new();
+    let mut current: Option<(String, Vec<String>, Vec<String>)> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line_no = lineno + 1;
+        let line = strip_comment(raw);
+        if line.trim().is_empty() {
+            continue;
+        }
+        let indented = raw.starts_with('\t') || raw.starts_with("    ") || raw.starts_with("  ");
+        if indented {
+            let Some((_, _, cmds)) = current.as_mut() else {
+                return Err(MakeParseError {
+                    message: "command outside a rule".to_string(),
+                    line: line_no,
+                });
+            };
+            let mut cmd = line.trim().to_string();
+            if let Some(stripped) = cmd.strip_prefix('@') {
+                cmd = stripped.to_string(); // silent marker, same semantics here
+            }
+            if !cmd.is_empty() {
+                cmds.push(expand(&cmd, vars));
+            }
+            continue;
+        }
+        // New rule header.
+        if let Some((t, d, c)) = current.take() {
+            let deps: Vec<&str> = d.iter().map(String::as_str).collect();
+            let cmds: Vec<&str> = c.iter().map(String::as_str).collect();
+            mk.cmd_rule(&t, &deps, &cmds);
+        }
+        let Some((target, deps)) = line.split_once(':') else {
+            return Err(MakeParseError {
+                message: format!("expected 'target: deps', got {line:?}"),
+                line: line_no,
+            });
+        };
+        let target = expand(target.trim(), vars);
+        if target.is_empty() {
+            return Err(MakeParseError {
+                message: "empty target".to_string(),
+                line: line_no,
+            });
+        }
+        // Expand before splitting so a variable holding a file list
+        // (`$(PDFS)`) contributes multiple dependencies.
+        let deps: Vec<String> = expand(deps, vars)
+            .split_whitespace()
+            .map(str::to_string)
+            .collect();
+        current = Some((target, deps, Vec::new()));
+    }
+    if let Some((t, d, c)) = current.take() {
+        let deps: Vec<&str> = d.iter().map(String::as_str).collect();
+        let cmds: Vec<&str> = c.iter().map(String::as_str).collect();
+        mk.cmd_rule(&t, &deps, &cmds);
+    }
+    Ok(mk)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn expand(s: &str, vars: &HashMap<String, String>) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(start) = rest.find("$(") {
+        out.push_str(&rest[..start]);
+        match rest[start + 2..].find(')') {
+            Some(end) => {
+                let name = &rest[start + 2..start + 2 + end];
+                if let Some(v) = vars.get(name) {
+                    out.push_str(v);
+                }
+                rest = &rest[start + 2 + end + 1..];
+            }
+            None => {
+                out.push_str(&rest[start..]);
+                rest = "";
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// The paper's Fig. 2 Makefile, verbatim.
+pub const FIG2_MAKEFILE: &str = "\
+prep:
+\tpython prep.py
+
+infer: prep
+\tpython infer.py
+
+run: infer
+\tflask run
+
+train: prep
+\tpython train.py
+";
+
+/// The paper's Fig. 4 PDF-Parser Makefile (verbatim modulo `$(PDFS)`).
+pub const FIG4_MAKEFILE: &str = "\
+process_pdfs: $(PDFS) pdf_demux.py
+\t@echo \"Processing PDF files...\"
+\t@python pdf_demux.py
+\t@touch process_pdfs
+
+featurize: process_pdfs featurize.py
+\t@echo \"Featurizing Data...\"
+\t@python featurize.py
+\t@touch featurize
+
+train: featurize hand_label train.py
+\t@echo \"Training...\"
+\t@python train.py
+
+model.pth: train export_ckpt.py
+\t@echo \"Generating model...\"
+\t@python export_ckpt.py
+
+infer: model.pth infer.py
+\t@echo \"Inferencing...\"
+\t@python infer.py
+\t@touch infer
+
+hand_label: label_by_hand.py
+\t@echo \"Labeling by hand\"
+\t@python label_by_hand.py
+\t@touch hand_label
+
+run: featurize infer
+\t@echo \"Starting Flask...\"
+\tflask run
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_vars() -> HashMap<String, String> {
+        HashMap::new()
+    }
+
+    #[test]
+    fn fig2_parses() {
+        let mk = parse_makefile(FIG2_MAKEFILE, &no_vars()).unwrap();
+        assert_eq!(mk.rules().len(), 4);
+        let infer = mk.rule_for("infer").unwrap();
+        assert_eq!(infer.deps, vec!["prep"]);
+        let run = mk.rule_for("run").unwrap();
+        assert_eq!(run.deps, vec!["infer"]);
+    }
+
+    #[test]
+    fn fig4_parses_with_vars() {
+        let mut vars = HashMap::new();
+        vars.insert("PDFS".to_string(), "pdfs/a.pdf pdfs/b.pdf".to_string());
+        let mk = parse_makefile(FIG4_MAKEFILE, &vars).unwrap();
+        assert_eq!(mk.rules().len(), 7);
+        let pp = mk.rule_for("process_pdfs").unwrap();
+        assert_eq!(pp.deps, vec!["pdfs/a.pdf", "pdfs/b.pdf", "pdf_demux.py"]);
+        let train = mk.rule_for("train").unwrap();
+        assert_eq!(train.deps, vec!["featurize", "hand_label", "train.py"]);
+        // @-prefix stripped from commands.
+        match &pp.action {
+            crate::graph::Action::Cmds(cmds) => {
+                assert_eq!(cmds[0], "echo \"Processing PDF files...\"");
+                assert_eq!(cmds[2], "touch process_pdfs");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn unknown_vars_expand_empty() {
+        let mk = parse_makefile("a: $(MISSING) b\n\tcmd\n", &no_vars()).unwrap();
+        assert_eq!(mk.rule_for("a").unwrap().deps, vec!["b"]);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let src = "# top comment\n\na: b # trailing\n\tdo thing # not a comment in cmd? stripped anyway\n";
+        let mk = parse_makefile(src, &no_vars()).unwrap();
+        assert_eq!(mk.rule_for("a").unwrap().deps, vec!["b"]);
+    }
+
+    #[test]
+    fn command_outside_rule_errors() {
+        let err = parse_makefile("\tstray command\n", &no_vars()).unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn malformed_header_errors() {
+        assert!(parse_makefile("not a rule header\n", &no_vars()).is_err());
+        assert!(parse_makefile(" : deps\n\tcmd\n", &no_vars()).is_err());
+    }
+
+    #[test]
+    fn expansion_inside_commands() {
+        let mut vars = HashMap::new();
+        vars.insert("PY".to_string(), "python3".to_string());
+        let mk = parse_makefile("t:\n\t$(PY) run.py\n", &vars).unwrap();
+        match &mk.rule_for("t").unwrap().action {
+            crate::graph::Action::Cmds(c) => assert_eq!(c[0], "python3 run.py"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn fig2_topology_matches_paper_dataflow() {
+        let mk = parse_makefile(FIG2_MAKEFILE, &no_vars()).unwrap();
+        let order = mk.topo_order("run").unwrap();
+        let pos = |t: &str| order.iter().position(|x| x == t).unwrap();
+        assert!(pos("prep") < pos("infer"));
+        assert!(pos("infer") < pos("run"));
+    }
+}

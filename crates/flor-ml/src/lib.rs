@@ -1,0 +1,29 @@
+//! # flor-ml — the training substrate for the FlorDB reproduction
+//!
+//! The FlorDB paper's demo (CIDR 2025, §4) trains a page classifier with
+//! PyTorch inside `flor.loop`s, checkpoints it via `flor.checkpointing`,
+//! and logs `loss` / `acc` / `recall` (Fig. 5). This crate supplies an
+//! equivalent — but fully deterministic and dependency-free — trainer:
+//!
+//! * [`Matrix`]: dense kernels with *bit-exact* text serialization, so a
+//!   restored checkpoint resumes to bit-identical results (the invariant
+//!   hindsight replay relies on);
+//! * [`Mlp`]: softmax regression / one-hidden-layer MLP with mini-batch
+//!   SGD and cross-entropy;
+//! * [`data`]: seeded generators for Gaussian blobs and the first-page
+//!   document classification task (plus label poisoning for the paper's
+//!   post-hoc governance scenario);
+//! * [`metrics`]: accuracy / recall / precision / F1 over confusion
+//!   matrices.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod matrix;
+pub mod metrics;
+pub mod model;
+
+pub use data::{first_page_dataset, gaussian_blobs, poison_labels, PageFeatures};
+pub use matrix::Matrix;
+pub use metrics::{acc_recall, Confusion};
+pub use model::{cross_entropy, Dataset, Mlp};

@@ -1,0 +1,315 @@
+//! Dense row-major f64 matrices with the handful of kernels SGD training
+//! needs. Deliberately simple: the reproduction's experiments measure
+//! record/replay behaviour *around* training, so the trainer must be real
+//! and deterministic but need not be fast beyond "epochs take measurable,
+//! controllable time".
+
+use rand::Rng;
+use std::fmt;
+
+/// Row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major data, `rows * cols` long.
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a closure over (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Matrix {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from nested vectors (rows of equal length).
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Matrix {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        Matrix {
+            rows: r,
+            cols: c,
+            data: rows.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Xavier-uniform random init in `[-s, s]`, `s = sqrt(6/(in+out))`.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+        let s = (6.0 / (rows + cols) as f64).sqrt();
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-s..s))
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self × other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise binary zip.
+    pub fn zip(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Add a row vector (bias) to every row.
+    pub fn add_row_vec(&self, bias: &[f64]) -> Matrix {
+        assert_eq!(bias.len(), self.cols);
+        Matrix::from_fn(self.rows, self.cols, |r, c| self.get(r, c) + bias[c])
+    }
+
+    /// Column-wise sums (length `cols`).
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (acc, v) in out.iter_mut().zip(self.row(r)) {
+                *acc += v;
+            }
+        }
+        out
+    }
+
+    /// In-place AXPY: `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Row-wise softmax (numerically stabilised).
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            let row = &mut out.data[r * self.cols..(r + 1) * self.cols];
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Serialize to a compact exact text form (`rows cols hex-bit words`).
+    /// Bit-exact round trip — checkpoint/restore must not perturb training.
+    pub fn to_text(&self) -> String {
+        let mut s = format!("{} {}", self.rows, self.cols);
+        for v in &self.data {
+            s.push(' ');
+            s.push_str(&format!("{:016x}", v.to_bits()));
+        }
+        s
+    }
+
+    /// Parse the form produced by [`Matrix::to_text`].
+    pub fn from_text(text: &str) -> Result<Matrix, String> {
+        let mut it = text.split_whitespace();
+        let rows: usize = it
+            .next()
+            .ok_or("missing rows")?
+            .parse()
+            .map_err(|e| format!("rows: {e}"))?;
+        let cols: usize = it
+            .next()
+            .ok_or("missing cols")?
+            .parse()
+            .map_err(|e| format!("cols: {e}"))?;
+        let mut data = Vec::with_capacity(rows * cols);
+        for tok in it {
+            let bits = u64::from_str_radix(tok, 16).map_err(|e| format!("word: {e}"))?;
+            data.push(f64::from_bits(bits));
+        }
+        if data.len() != rows * cols {
+            return Err(format!(
+                "expected {} words, got {}",
+                rows * cols,
+                data.len()
+            ));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{}", self.rows, self.cols)?;
+        for r in 0..self.rows.min(6) {
+            let cells: Vec<String> = self.row(r).iter().map(|v| format!("{v:8.4}")).collect();
+            writeln!(f, "  [{}]", cells.join(", "))?;
+        }
+        if self.rows > 6 {
+            writeln!(f, "  ...")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_known() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(vec![vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![1000.0, 1000.0, 1000.0]]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f64 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+        // Stability: huge logits don't produce NaN.
+        assert!(s.data.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn text_round_trip_bit_exact() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = Matrix::xavier(4, 3, &mut rng);
+        let back = Matrix::from_text(&m.to_text()).unwrap();
+        assert_eq!(m, back);
+        for (a, b) in m.data.iter().zip(&back.data) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_text_rejects_malformed() {
+        assert!(Matrix::from_text("").is_err());
+        assert!(Matrix::from_text("2 2 0000000000000000").is_err()); // too few
+        assert!(Matrix::from_text("1 1 zzzz").is_err());
+    }
+
+    #[test]
+    fn axpy_and_colsums() {
+        let mut a = Matrix::from_rows(vec![vec![1.0, 2.0]]);
+        let g = Matrix::from_rows(vec![vec![10.0, 20.0]]);
+        a.axpy(-0.1, &g);
+        assert_eq!(a.data, vec![0.0, 0.0]);
+        let b = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(b.col_sums(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn xavier_deterministic_per_seed() {
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        assert_eq!(Matrix::xavier(3, 3, &mut r1), Matrix::xavier(3, 3, &mut r2));
+    }
+
+    #[test]
+    fn add_row_vec_broadcasts() {
+        let a = Matrix::from_rows(vec![vec![1.0, 1.0], vec![2.0, 2.0]]);
+        let out = a.add_row_vec(&[10.0, 20.0]);
+        assert_eq!(out.data, vec![11.0, 21.0, 12.0, 22.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_checked() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

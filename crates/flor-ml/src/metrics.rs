@@ -1,0 +1,135 @@
+//! Classification metrics: the `acc` / `recall` values the paper logs in
+//! its training loop (Fig. 5, lines 19–21) and queries for checkpoint
+//! selection (`flor.dataframe("acc", "recall")`, §4.2).
+
+/// Confusion matrix for `k` classes: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Confusion {
+    /// `k × k` counts, row = actual class, column = predicted class.
+    pub counts: Vec<Vec<usize>>,
+}
+
+impl Confusion {
+    /// Tally predictions against ground truth.
+    pub fn from_preds(preds: &[usize], truth: &[usize], k: usize) -> Confusion {
+        assert_eq!(preds.len(), truth.len());
+        let mut counts = vec![vec![0usize; k]; k];
+        for (&p, &t) in preds.iter().zip(truth) {
+            counts[t][p] += 1;
+        }
+        Confusion { counts }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total: usize = self.counts.iter().map(|r| r.iter().sum::<usize>()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Recall of class `c`: `tp / (tp + fn)`; 0 when the class is absent.
+    pub fn recall(&self, c: usize) -> f64 {
+        let row_total: usize = self.counts[c].iter().sum();
+        if row_total == 0 {
+            return 0.0;
+        }
+        self.counts[c][c] as f64 / row_total as f64
+    }
+
+    /// Precision of class `c`: `tp / (tp + fp)`; 0 when never predicted.
+    pub fn precision(&self, c: usize) -> f64 {
+        let col_total: usize = self.counts.iter().map(|r| r[c]).sum();
+        if col_total == 0 {
+            return 0.0;
+        }
+        self.counts[c][c] as f64 / col_total as f64
+    }
+
+    /// F1 of class `c`.
+    pub fn f1(&self, c: usize) -> f64 {
+        let p = self.precision(c);
+        let r = self.recall(c);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean recall over classes (macro recall). The "recall" the
+    /// demo logs is the positive-class recall for the binary first-page
+    /// task; macro recall generalises it.
+    pub fn macro_recall(&self) -> f64 {
+        let k = self.counts.len();
+        if k == 0 {
+            return 0.0;
+        }
+        (0..k).map(|c| self.recall(c)).sum::<f64>() / k as f64
+    }
+}
+
+/// Convenience: `(accuracy, recall-of-class-1)` as logged in Fig. 5.
+pub fn acc_recall(preds: &[usize], truth: &[usize], k: usize) -> (f64, f64) {
+    let c = Confusion::from_preds(preds, truth, k);
+    (c.accuracy(), c.recall(1.min(k.saturating_sub(1))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let c = Confusion::from_preds(&[0, 1, 2], &[0, 1, 2], 3);
+        assert_eq!(c.accuracy(), 1.0);
+        for k in 0..3 {
+            assert_eq!(c.recall(k), 1.0);
+            assert_eq!(c.precision(k), 1.0);
+            assert_eq!(c.f1(k), 1.0);
+        }
+    }
+
+    #[test]
+    fn known_confusion() {
+        // truth:  [1, 1, 1, 0, 0]
+        // preds:  [1, 0, 1, 0, 1]
+        let c = Confusion::from_preds(&[1, 0, 1, 0, 1], &[1, 1, 1, 0, 0], 2);
+        assert_eq!(c.counts, vec![vec![1, 1], vec![1, 2]]);
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+        assert!((c.recall(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_class_is_zero_not_nan() {
+        let c = Confusion::from_preds(&[0, 0], &[0, 0], 2);
+        assert_eq!(c.recall(1), 0.0);
+        assert_eq!(c.precision(1), 0.0);
+        assert_eq!(c.f1(1), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let c = Confusion::from_preds(&[], &[], 2);
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.macro_recall(), 0.0);
+    }
+
+    #[test]
+    fn acc_recall_helper() {
+        let (acc, rec) = acc_recall(&[1, 1, 0, 0], &[1, 0, 0, 0], 2);
+        assert!((acc - 0.75).abs() < 1e-12);
+        assert_eq!(rec, 1.0);
+    }
+
+    #[test]
+    fn macro_recall_averages() {
+        let c = Confusion::from_preds(&[0, 0, 1, 1], &[0, 0, 1, 0], 2);
+        // class 0: 2/3, class 1: 1/1
+        assert!((c.macro_recall() - (2.0 / 3.0 + 1.0) / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,369 @@
+//! SGD-trained classifiers: softmax regression and a one-hidden-layer MLP.
+//!
+//! These stand in for the paper's PyTorch `net` (Fig. 5). What matters for
+//! the reproduction: training is *iterative* (epochs × steps), *stateful*
+//! (parameters + optimizer state form the checkpoint), and *deterministic*
+//! given a seed — so hindsight replay from a checkpoint provably produces
+//! bit-identical metrics to the original run.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A supervised dataset: features and integer class labels.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// `n × d` feature matrix.
+    pub x: Matrix,
+    /// Class label per row.
+    pub y: Vec<usize>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl Dataset {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// A contiguous mini-batch `[start, end)` (clamped).
+    pub fn batch(&self, start: usize, end: usize) -> Dataset {
+        let end = end.min(self.len());
+        let rows: Vec<Vec<f64>> = (start..end).map(|r| self.x.row(r).to_vec()).collect();
+        Dataset {
+            x: Matrix::from_rows(rows),
+            y: self.y[start..end].to_vec(),
+            n_classes: self.n_classes,
+        }
+    }
+}
+
+/// A multi-layer perceptron with one hidden ReLU layer and a softmax
+/// output, trained by mini-batch SGD with cross-entropy loss.
+///
+/// `hidden = 0` degenerates to plain softmax (logistic) regression — the
+/// baseline model in ablation benches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    /// Input dimensionality.
+    pub d_in: usize,
+    /// Hidden width (0 = linear model).
+    pub hidden: usize,
+    /// Output classes.
+    pub d_out: usize,
+    /// First-layer weights (`d_in × hidden`, or `d_in × d_out` if linear).
+    pub w1: Matrix,
+    /// First-layer bias.
+    pub b1: Vec<f64>,
+    /// Second-layer weights (`hidden × d_out`; empty 0×0 if linear).
+    pub w2: Matrix,
+    /// Second-layer bias (empty if linear).
+    pub b2: Vec<f64>,
+    /// SGD steps taken (optimizer state; part of the checkpoint).
+    pub steps: u64,
+}
+
+impl Mlp {
+    /// Initialise with Xavier weights from `seed`.
+    pub fn new(d_in: usize, hidden: usize, d_out: usize, seed: u64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if hidden == 0 {
+            Mlp {
+                d_in,
+                hidden,
+                d_out,
+                w1: Matrix::xavier(d_in, d_out, &mut rng),
+                b1: vec![0.0; d_out],
+                w2: Matrix::zeros(0, 0),
+                b2: vec![],
+                steps: 0,
+            }
+        } else {
+            Mlp {
+                d_in,
+                hidden,
+                d_out,
+                w1: Matrix::xavier(d_in, hidden, &mut rng),
+                b1: vec![0.0; hidden],
+                w2: Matrix::xavier(hidden, d_out, &mut rng),
+                b2: vec![0.0; d_out],
+                steps: 0,
+            }
+        }
+    }
+
+    /// Forward pass returning class probabilities (`n × d_out`).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        if self.hidden == 0 {
+            x.matmul(&self.w1).add_row_vec(&self.b1).softmax_rows()
+        } else {
+            let h = x
+                .matmul(&self.w1)
+                .add_row_vec(&self.b1)
+                .map(|v| v.max(0.0));
+            h.matmul(&self.w2).add_row_vec(&self.b2).softmax_rows()
+        }
+    }
+
+    /// One SGD step on a mini-batch; returns the batch's mean
+    /// cross-entropy loss *before* the update.
+    pub fn train_step(&mut self, batch: &Dataset, lr: f64) -> f64 {
+        let n = batch.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let nf = n as f64;
+        if self.hidden == 0 {
+            let probs = self.forward(&batch.x);
+            let loss = cross_entropy(&probs, &batch.y);
+            // dL/dlogits = probs - onehot(y)
+            let mut dlogits = probs;
+            for (r, &label) in batch.y.iter().enumerate() {
+                let v = dlogits.get(r, label);
+                dlogits.set(r, label, v - 1.0);
+            }
+            let dlogits = dlogits.map(|v| v / nf);
+            let dw = batch.x.transpose().matmul(&dlogits);
+            let db = dlogits.col_sums();
+            self.w1.axpy(-lr, &dw);
+            for (b, g) in self.b1.iter_mut().zip(&db) {
+                *b -= lr * g;
+            }
+            self.steps += 1;
+            loss
+        } else {
+            // Forward, keeping intermediates.
+            let z1 = batch.x.matmul(&self.w1).add_row_vec(&self.b1);
+            let h = z1.map(|v| v.max(0.0));
+            let probs = h.matmul(&self.w2).add_row_vec(&self.b2).softmax_rows();
+            let loss = cross_entropy(&probs, &batch.y);
+            let mut dlogits = probs;
+            for (r, &label) in batch.y.iter().enumerate() {
+                let v = dlogits.get(r, label);
+                dlogits.set(r, label, v - 1.0);
+            }
+            let dlogits = dlogits.map(|v| v / nf);
+            let dw2 = h.transpose().matmul(&dlogits);
+            let db2 = dlogits.col_sums();
+            let dh = dlogits.matmul(&self.w2.transpose());
+            let dz1 = dh.zip(&z1, |g, z| if z > 0.0 { g } else { 0.0 });
+            let dw1 = batch.x.transpose().matmul(&dz1);
+            let db1 = dz1.col_sums();
+            self.w1.axpy(-lr, &dw1);
+            self.w2.axpy(-lr, &dw2);
+            for (b, g) in self.b1.iter_mut().zip(&db1) {
+                *b -= lr * g;
+            }
+            for (b, g) in self.b2.iter_mut().zip(&db2) {
+                *b -= lr * g;
+            }
+            self.steps += 1;
+            loss
+        }
+    }
+
+    /// Predicted class per row.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let probs = self.forward(x);
+        (0..probs.rows)
+            .map(|r| {
+                probs
+                    .row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Bit-exact text checkpoint of the full training state.
+    pub fn to_text(&self) -> String {
+        let b1 = Matrix {
+            rows: 1,
+            cols: self.b1.len(),
+            data: self.b1.clone(),
+        };
+        let b2 = Matrix {
+            rows: 1,
+            cols: self.b2.len(),
+            data: self.b2.clone(),
+        };
+        format!(
+            "mlp {} {} {} {}\nW1 {}\nB1 {}\nW2 {}\nB2 {}",
+            self.d_in,
+            self.hidden,
+            self.d_out,
+            self.steps,
+            self.w1.to_text(),
+            b1.to_text(),
+            self.w2.to_text(),
+            b2.to_text(),
+        )
+    }
+
+    /// Restore from [`Mlp::to_text`].
+    pub fn from_text(text: &str) -> Result<Mlp, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty checkpoint")?;
+        let parts: Vec<&str> = header.split_whitespace().collect();
+        if parts.len() != 5 || parts[0] != "mlp" {
+            return Err(format!("bad header {header:?}"));
+        }
+        let d_in = parts[1].parse().map_err(|e| format!("d_in: {e}"))?;
+        let hidden = parts[2].parse().map_err(|e| format!("hidden: {e}"))?;
+        let d_out = parts[3].parse().map_err(|e| format!("d_out: {e}"))?;
+        let steps = parts[4].parse().map_err(|e| format!("steps: {e}"))?;
+        let mut read_mat = |tag: &str| -> Result<Matrix, String> {
+            let line = lines.next().ok_or_else(|| format!("missing {tag}"))?;
+            let rest = line
+                .strip_prefix(tag)
+                .ok_or_else(|| format!("expected {tag} line"))?;
+            Matrix::from_text(rest.trim())
+        };
+        let w1 = read_mat("W1")?;
+        let b1 = read_mat("B1")?.data;
+        let w2 = read_mat("W2")?;
+        let b2 = read_mat("B2")?.data;
+        Ok(Mlp {
+            d_in,
+            hidden,
+            d_out,
+            w1,
+            b1,
+            w2,
+            b2,
+            steps,
+        })
+    }
+}
+
+/// Mean cross-entropy of `probs` (`n × k`) against labels.
+pub fn cross_entropy(probs: &Matrix, labels: &[usize]) -> f64 {
+    let n = labels.len().max(1) as f64;
+    labels
+        .iter()
+        .enumerate()
+        .map(|(r, &y)| -(probs.get(r, y).max(1e-12)).ln())
+        .sum::<f64>()
+        / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::gaussian_blobs;
+
+    #[test]
+    fn linear_model_learns_blobs() {
+        let ds = gaussian_blobs(200, 2, 3, 6.0, 11);
+        let mut m = Mlp::new(2, 0, 3, 1);
+        for _ in 0..200 {
+            m.train_step(&ds, 0.5);
+        }
+        let preds = m.predict(&ds.x);
+        let acc = preds
+            .iter()
+            .zip(&ds.y)
+            .filter(|(p, y)| p == y)
+            .count() as f64
+            / ds.len() as f64;
+        assert!(acc > 0.9, "acc={acc}");
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        // XOR is not linearly separable; the hidden layer must earn its keep.
+        let x = Matrix::from_rows(vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let ds = Dataset {
+            x,
+            y: vec![0, 1, 1, 0],
+            n_classes: 2,
+        };
+        let mut m = Mlp::new(2, 16, 2, 3);
+        for _ in 0..3000 {
+            m.train_step(&ds, 0.5);
+        }
+        assert_eq!(m.predict(&ds.x), vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let ds = gaussian_blobs(100, 3, 2, 3.0, 5);
+        let mut m = Mlp::new(3, 8, 2, 9);
+        let first = m.train_step(&ds, 0.1);
+        let mut last = first;
+        for _ in 0..100 {
+            last = m.train_step(&ds, 0.1);
+        }
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn checkpoint_round_trip_bit_exact() {
+        let ds = gaussian_blobs(50, 4, 2, 2.0, 7);
+        let mut m = Mlp::new(4, 6, 2, 2);
+        for _ in 0..10 {
+            m.train_step(&ds, 0.1);
+        }
+        let restored = Mlp::from_text(&m.to_text()).unwrap();
+        assert_eq!(restored, m);
+    }
+
+    #[test]
+    fn replay_from_checkpoint_is_deterministic() {
+        // Train 20 steps straight vs. checkpoint at 10 then resume: final
+        // state must be bit-identical — the invariant hindsight replay
+        // depends on.
+        let ds = gaussian_blobs(80, 3, 3, 3.0, 13);
+        let mut full = Mlp::new(3, 5, 3, 21);
+        let mut half = full.clone();
+        for _ in 0..20 {
+            full.train_step(&ds, 0.2);
+        }
+        for _ in 0..10 {
+            half.train_step(&ds, 0.2);
+        }
+        let mut resumed = Mlp::from_text(&half.to_text()).unwrap();
+        for _ in 0..10 {
+            resumed.train_step(&ds, 0.2);
+        }
+        assert_eq!(resumed, full);
+        assert_eq!(resumed.steps, 20);
+    }
+
+    #[test]
+    fn seeded_init_reproducible() {
+        assert_eq!(Mlp::new(4, 8, 2, 42), Mlp::new(4, 8, 2, 42));
+        assert_ne!(Mlp::new(4, 8, 2, 42).w1, Mlp::new(4, 8, 2, 43).w1);
+    }
+
+    #[test]
+    fn batch_slicing() {
+        let ds = gaussian_blobs(10, 2, 2, 1.0, 1);
+        let b = ds.batch(4, 8);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.x.row(0), ds.x.row(4));
+        let tail = ds.batch(8, 100);
+        assert_eq!(tail.len(), 2);
+    }
+
+    #[test]
+    fn from_text_rejects_malformed() {
+        assert!(Mlp::from_text("").is_err());
+        assert!(Mlp::from_text("mlp 1 2").is_err());
+        assert!(Mlp::from_text("mlp 1 2 3 0\nW1 bogus").is_err());
+    }
+}

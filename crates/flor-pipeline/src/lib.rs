@@ -1,0 +1,26 @@
+//! # flor-pipeline — the PDF Parser demo (paper §4) on FlorDB
+//!
+//! A complete document-intelligence pipeline over synthetic "PDFs":
+//! demux → featurize → hand-label → train → export → infer → feedback,
+//! orchestrated by the Fig. 4 Makefile via `flor-make`, with every stage
+//! logging through the `flor-core` kernel. The takeaways the paper
+//! demonstrates map to:
+//!
+//! * **feature store** — [`stages::featurize`] logs per-page features; any
+//!   later stage reads them with `flor.dataframe` (no prior setup);
+//! * **model registry** — [`stages::train`] logs metrics + checkpoint;
+//!   [`stages::best_model`] answers "highest recall so far" (§4.2);
+//! * **training data store** — [`stages::labeled_view`] is Fig. 5's
+//!   `flor.dataframe("first_page", "page_color")`;
+//! * **feedback management** — [`stages::feedback`] records human
+//!   corrections with provenance and transactional visibility (Fig. 6).
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod pipeline;
+pub mod stages;
+
+pub use corpus::{analyze_text, generate, Corpus, CorpusConfig, ExtractedFeatures, PdfFile, TextSrc};
+pub use pipeline::{run_demo, PdfPipeline};
+pub use stages::{best_model, labeled_view, prediction_accuracy, TrainConfig};

@@ -1,0 +1,356 @@
+//! The orchestrated pipeline: Fig. 4's Makefile driving the stages, with
+//! `build_deps` rows recorded per target, plus the closed feedback loop
+//! (run → review → retrain) of §4.4.
+
+use crate::corpus::{generate, Corpus, CorpusConfig};
+use crate::stages;
+use flor_core::Flor;
+use flor_make::Makefile;
+use flor_store::StoreResult;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The document-intelligence pipeline bound to a FlorDB instance.
+pub struct PdfPipeline {
+    /// The FlorDB instance all stages log into.
+    pub flor: Flor,
+    /// The synthetic corpus (stands in for the PDFs directory).
+    pub corpus: Corpus,
+    /// Training hyper-parameters.
+    pub train_cfg: stages::TrainConfig,
+    /// How many PDFs the expert hand-labels up front.
+    pub initial_labeled: usize,
+}
+
+impl PdfPipeline {
+    /// Build a pipeline over a fresh in-memory FlorDB.
+    pub fn new(projid: &str, corpus_cfg: &CorpusConfig) -> PdfPipeline {
+        PdfPipeline {
+            flor: Flor::new(projid),
+            corpus: generate(corpus_cfg),
+            train_cfg: stages::TrainConfig::default(),
+            initial_labeled: (corpus_cfg.n_pdfs / 2).max(1),
+        }
+    }
+
+    /// The Fig. 4 Makefile over this pipeline's stages. Each target's
+    /// execution/caching is recorded into `build_deps` after a build via
+    /// [`PdfPipeline::make`].
+    pub fn makefile(&self) -> Makefile {
+        let mut mk = Makefile::new();
+        let fs = &self.flor.fs;
+        // Source stand-ins so staleness has real files to track.
+        for f in [
+            "pdf_demux.fl",
+            "featurize.fl",
+            "label_by_hand.fl",
+            "train.fl",
+            "infer.fl",
+        ] {
+            if !fs.exists(f) {
+                fs.write(f, &format!("// stage source: {f}"));
+            }
+        }
+        let corpus = Rc::new(self.corpus.clone());
+        let flor = self.flor.clone();
+        let cfg = self.train_cfg;
+        let labeled = self.initial_labeled;
+
+        let c = corpus.clone();
+        let fl = flor.clone();
+        mk.rule("process_pdfs", &["pdf_demux.fl"], move |_fs| {
+            stages::process_pdfs(&fl, &c);
+            // Each stage is a separate "process": flor.commit() at exit
+            // (the paper's atexit hook, §2.1).
+            fl.commit("stage process_pdfs").map_err(|e| e.to_string())?;
+            Ok(())
+        });
+        let c = corpus.clone();
+        let fl = flor.clone();
+        mk.rule("featurize", &["process_pdfs", "featurize.fl"], move |_fs| {
+            stages::featurize(&fl, &c);
+            fl.commit("stage featurize").map_err(|e| e.to_string())?;
+            Ok(())
+        });
+        let c = corpus.clone();
+        let fl = flor.clone();
+        mk.rule("hand_label", &["label_by_hand.fl"], move |_fs| {
+            stages::hand_label(&fl, &c, labeled);
+            fl.commit("stage hand_label").map_err(|e| e.to_string())?;
+            Ok(())
+        });
+        let fl = flor.clone();
+        mk.rule(
+            "train",
+            &["featurize", "hand_label", "train.fl"],
+            move |_fs| {
+                stages::train(&fl, &cfg).map_err(|e| e.to_string())?;
+                fl.commit("stage train").map_err(|e| e.to_string())?;
+                Ok(())
+            },
+        );
+        let fl = flor.clone();
+        mk.rule("model.ckpt", &["train"], move |fs| {
+            // export_ckpt.py: materialise the registry's best model.
+            match stages::best_model(&fl).map_err(|e| e.to_string())? {
+                Some((m, _)) => {
+                    fs.write("model.ckpt", &m.to_text());
+                    Ok(())
+                }
+                None => Err("no trained model in registry".to_string()),
+            }
+        });
+        let c = corpus.clone();
+        let fl = flor.clone();
+        mk.rule("infer", &["model.ckpt", "infer.fl"], move |_fs| {
+            stages::infer(&fl, &c).map_err(|e| e.to_string())?;
+            fl.commit("stage infer").map_err(|e| e.to_string())?;
+            Ok(())
+        });
+        let fl = flor;
+        mk.rule("run", &["featurize", "infer"], move |_fs| {
+            // `flask run`: the app serving predictions; here it just
+            // verifies the registry can answer.
+            stages::best_model(&fl).map_err(|e| e.to_string())?;
+            Ok(())
+        });
+        mk
+    }
+
+    /// Build `target`, record `build_deps` rows (Fig. 1) for every target
+    /// touched, and commit. Returns the build report.
+    pub fn make(&self, target: &str) -> Result<flor_make::BuildReport, String> {
+        let mk = self.makefile();
+        let report = mk
+            .build(target, &self.flor.fs)
+            .map_err(|e| e.to_string())?;
+        let vid_hint = self
+            .flor
+            .repo
+            .head()
+            .map(|o| o.0)
+            .unwrap_or_else(|| "worktree".to_string());
+        for t in mk.topo_order(target).map_err(|e| e.to_string())? {
+            let Some(rule) = mk.rule_for(&t) else { continue };
+            let cached = report.cached.iter().any(|x| x == &t);
+            let cmds = match &rule.action {
+                flor_make::Action::Cmds(c) => c.clone(),
+                flor_make::Action::Func(_) => vec![format!("<builtin stage {t}>")],
+            };
+            self.flor
+                .record_build_dep(&vid_hint, &t, &rule.deps, &cmds, cached)
+                .map_err(|e| e.to_string())?;
+        }
+        self.flor
+            .commit(&format!("make {target}"))
+            .map_err(|e| e.to_string())?;
+        Ok(report)
+    }
+
+    /// One feedback round (§4.4): the expert reviews `k` more PDFs via the
+    /// UI, then training reruns on the enlarged labeled set and inference
+    /// refreshes. Returns prediction accuracy after the round.
+    pub fn feedback_round(&self, reviewed: &[&str]) -> StoreResult<f64> {
+        stages::feedback(&self.flor, &self.corpus, reviewed)?;
+        stages::train(&self.flor, &self.train_cfg)?;
+        self.flor.commit("stage train (feedback round)")?;
+        stages::infer(&self.flor, &self.corpus)?;
+        self.flor.commit("stage infer (feedback round)")?;
+        stages::prediction_accuracy(&self.flor, &self.corpus)
+    }
+}
+
+/// Run the whole demo loop and return accuracy after each feedback round
+/// (round 0 = initial training on hand labels only).
+pub fn run_demo(
+    corpus_cfg: &CorpusConfig,
+    feedback_rounds: usize,
+) -> Result<(PdfPipeline, Vec<f64>), String> {
+    let pipeline = PdfPipeline::new("pdf_parser", corpus_cfg);
+    pipeline.make("run")?;
+    let mut accs = vec![stages::prediction_accuracy(&pipeline.flor, &pipeline.corpus)
+        .map_err(|e| e.to_string())?];
+    // Review the not-yet-labeled PDFs, a couple per round.
+    let unlabeled: Vec<String> = pipeline
+        .corpus
+        .pdfs
+        .iter()
+        .skip(pipeline.initial_labeled)
+        .map(|p| p.name.clone())
+        .collect();
+    let per_round = (unlabeled.len() / feedback_rounds.max(1)).max(1);
+    let chunks = RefCell::new(unlabeled.chunks(per_round));
+    for _ in 0..feedback_rounds {
+        let Some(chunk) = chunks.borrow_mut().next() else {
+            break;
+        };
+        let names: Vec<&str> = chunk.iter().map(String::as_str).collect();
+        let acc = pipeline
+            .feedback_round(&names)
+            .map_err(|e| e.to_string())?;
+        accs.push(acc);
+    }
+    Ok((pipeline, accs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flor_df::Value;
+
+    fn small_cfg() -> CorpusConfig {
+        CorpusConfig {
+            n_pdfs: 6,
+            max_docs_per_pdf: 3,
+            max_pages_per_doc: 3,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn full_build_executes_fig4_targets_in_order() {
+        let p = PdfPipeline::new("demo", &small_cfg());
+        let report = p.make("run").unwrap();
+        assert_eq!(
+            report.executed,
+            vec![
+                "process_pdfs",
+                "featurize",
+                "hand_label",
+                "train",
+                "model.ckpt",
+                "infer",
+                "run"
+            ]
+        );
+        // build_deps recorded with cached flags.
+        let bd = p.flor.db.scan("build_deps").unwrap();
+        assert_eq!(bd.n_rows(), 7);
+        assert!(bd
+            .column("cached")
+            .unwrap()
+            .values
+            .iter()
+            .all(|v| v == &Value::Bool(false)));
+    }
+
+    #[test]
+    fn incremental_rebuild_is_cached() {
+        let p = PdfPipeline::new("demo", &small_cfg());
+        p.make("run").unwrap();
+        let report = p.make("run").unwrap();
+        assert!(report.executed.is_empty());
+        assert_eq!(report.cached.len(), 7);
+    }
+
+    #[test]
+    fn touching_infer_only_reruns_downstream() {
+        let p = PdfPipeline::new("demo", &small_cfg());
+        p.make("run").unwrap();
+        p.flor.fs.write("infer.fl", "// changed inference stage");
+        let report = p.make("run").unwrap();
+        assert_eq!(report.executed, vec!["infer", "run"]);
+        assert!(report.cached.contains(&"train".to_string()));
+    }
+
+    #[test]
+    fn feature_store_serves_features_post_hoc() {
+        let p = PdfPipeline::new("demo", &small_cfg());
+        p.make("featurize").unwrap();
+        let df = p
+            .flor
+            .dataframe(&["headings", "page_numbers", "heading_density"])
+            .unwrap();
+        let total_pages: usize = p.corpus.pdfs.iter().map(|x| x.pages.len()).sum();
+        assert_eq!(df.n_rows(), total_pages);
+        assert!(df.column("document_value").is_some());
+    }
+
+    #[test]
+    fn model_registry_returns_best_recall() {
+        let p = PdfPipeline::new("demo", &small_cfg());
+        p.make("train").unwrap();
+        let (model, recall) = stages::best_model(&p.flor).unwrap().unwrap();
+        assert!(recall > 0.0);
+        assert_eq!(model.d_in, 5);
+    }
+
+    #[test]
+    fn demo_feedback_improves_or_holds_accuracy() {
+        let cfg = CorpusConfig {
+            n_pdfs: 10,
+            max_docs_per_pdf: 3,
+            max_pages_per_doc: 3,
+            seed: 5,
+        };
+        let (_pipeline, accs) = run_demo(&cfg, 2).unwrap();
+        assert_eq!(accs.len(), 3);
+        assert!(accs[0] > 0.5, "initial acc {accs:?}");
+        let last = *accs.last().unwrap();
+        assert!(
+            last >= accs[0] - 0.05,
+            "feedback should not degrade accuracy: {accs:?}"
+        );
+    }
+
+    #[test]
+    fn human_and_model_labels_carry_provenance() {
+        let p = PdfPipeline::new("demo", &small_cfg());
+        p.make("run").unwrap();
+        let name = p.corpus.pdfs.last().unwrap().name.clone();
+        p.feedback_round(&[name.as_str()]).unwrap();
+        let df = p.flor.dataframe(&["label_src"]).unwrap();
+        let srcs: std::collections::HashSet<String> = df
+            .column("label_src")
+            .unwrap()
+            .values
+            .iter()
+            .filter(|v| !v.is_null())
+            .map(|v| v.to_text())
+            .collect();
+        assert!(srcs.contains("human"));
+        assert!(srcs.contains("model"));
+    }
+
+    #[test]
+    fn get_colors_logic_from_fig6() {
+        // Reproduce get_colors(): latest rows for one document; if colors
+        // missing, derive from first_page cumsum.
+        let p = PdfPipeline::new("demo", &small_cfg());
+        p.make("run").unwrap();
+        let pdf = &p.corpus.pdfs[0];
+        let infer = p
+            .flor
+            .dataframe(&["first_page_pred", "page_color_pred"])
+            .unwrap();
+        let infer = infer
+            .filter_eq("document_value", &Value::from(pdf.name.as_str()))
+            .latest(&["page_iteration"], "tstamp")
+            .unwrap()
+            .sort_by(&[("page_iteration", true)])
+            .unwrap();
+        assert_eq!(infer.n_rows(), pdf.pages.len());
+        // Colors are consistent with predicted first pages (cumsum logic).
+        let firsts: Vec<bool> = infer
+            .column("first_page_pred")
+            .unwrap()
+            .values
+            .iter()
+            .map(|v| v.as_bool().unwrap())
+            .collect();
+        let colors: Vec<i64> = infer
+            .column("page_color_pred")
+            .unwrap()
+            .values
+            .iter()
+            .map(|v| v.as_i64().unwrap())
+            .collect();
+        let mut acc: i64 = -1;
+        for (f, c) in firsts.iter().zip(&colors) {
+            if *f {
+                acc += 1;
+            }
+            assert_eq!(*c, acc.max(0));
+        }
+    }
+}

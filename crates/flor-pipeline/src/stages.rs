@@ -1,0 +1,375 @@
+//! The pipeline stages of the PDF Parser demo (paper §4, Fig. 4).
+//!
+//! Each stage is a function over a [`Flor`] instance; stages communicate
+//! only through FlorDB (the feature-store / model-registry / label-store
+//! behaviour the paper's takeaways describe) and the virtual filesystem.
+
+use crate::corpus::{analyze_text, Corpus, ExtractedFeatures};
+use flor_core::Flor;
+use flor_df::{DataFrame, Value};
+use flor_ml::{acc_recall, Dataset, Matrix, Mlp};
+use flor_store::StoreResult;
+
+/// Stage 1 — `pdf_demux.py`: split PDFs into per-page text files under
+/// `pages/{pdf}/{i}.txt` and log each page's extraction source.
+pub fn process_pdfs(flor: &Flor, corpus: &Corpus) {
+    flor.set_filename("pdf_demux.fl");
+    flor.for_each(
+        "document",
+        corpus.pdfs.iter().map(|p| p.name.clone()).collect::<Vec<_>>(),
+        |flor, doc_name| {
+            let pdf = corpus
+                .pdfs
+                .iter()
+                .find(|p| &p.name == doc_name)
+                .expect("doc from corpus");
+            flor.for_each("page", 0..pdf.pages.len(), |flor, &page| {
+                let p = &pdf.pages[page];
+                flor.fs
+                    .write(&format!("pages/{doc_name}/{page}.txt"), &p.text);
+                flor.log("text_src", p.source.as_str());
+            });
+        },
+    );
+}
+
+/// Stage 2 — `featurize.py` (Fig. 3 verbatim): read each page, run
+/// `analyze_text`, and log features. FlorDB *is* the feature store: no
+/// schema was declared, yet `flor.dataframe("headings", ...)` will serve
+/// these features to any later stage.
+pub fn featurize(flor: &Flor, corpus: &Corpus) {
+    flor.set_filename("featurize.fl");
+    flor.for_each(
+        "document",
+        corpus.pdfs.iter().map(|p| p.name.clone()).collect::<Vec<_>>(),
+        |flor, doc_name| {
+            let n = flor.fs.list_dir(&format!("pages/{doc_name}/")).len();
+            flor.for_each("page", 0..n, |flor, &page| {
+                let text = flor
+                    .fs
+                    .read(&format!("pages/{doc_name}/{page}.txt"))
+                    .unwrap_or_default();
+                flor.log("page_text", text.as_str());
+                let f = analyze_text(&text);
+                flor.log("headings", f.headings);
+                flor.log("page_numbers", f.has_page_number);
+                flor.log("heading_density", f.heading_density);
+                flor.log("lines", f.lines);
+                flor.log("mean_line_len", f.mean_line_len);
+            });
+        },
+    );
+}
+
+/// Stage 3 — `label_by_hand.py`: an expert labels the first
+/// `n_labeled_pdfs` PDFs with ground-truth page colors (and hence
+/// `first_page`), Fig. 6 style, with human provenance.
+pub fn hand_label(flor: &Flor, corpus: &Corpus, n_labeled_pdfs: usize) {
+    flor.set_filename("label_by_hand.fl");
+    for pdf in corpus.pdfs.iter().take(n_labeled_pdfs) {
+        flor.iteration("document", pdf.name.as_str(), |flor| {
+            flor.for_each("page", 0..pdf.pages.len(), |flor, &page| {
+                let p = &pdf.pages[page];
+                flor.log("first_page", p.is_first);
+                flor.log("page_color", p.color as i64);
+                flor.log("label_src", "human");
+            });
+        });
+    }
+}
+
+/// Rows of the feature store joined with labels: the training view.
+///
+/// Reads `flor.dataframe("heading_density", ..., "first_page")` and keeps
+/// rows where a label exists — the paper's `labeled_data =
+/// flor.dataframe("first_page", "page_color")` (Fig. 5 line 1).
+pub fn labeled_view(flor: &Flor) -> StoreResult<DataFrame> {
+    let features = flor.dataframe(&[
+        "heading_density",
+        "page_numbers",
+        "lines",
+        "mean_line_len",
+        "headings",
+    ])?;
+    let labels = flor.dataframe(&["first_page", "label_src"])?;
+    if features.n_rows() == 0 || labels.n_rows() == 0 {
+        return Ok(DataFrame::new());
+    }
+    // Labels and features come from different files/runs; join on the
+    // document/page dimensions. Use latest label per page.
+    let labels = labels
+        .latest(&["document_value", "page_iteration"], "tstamp")?
+        .select(&["document_value", "page_iteration", "first_page", "label_src"])?;
+    let features = features.latest(&["document_value", "page_iteration"], "tstamp")?;
+    let mut joined = features.join(
+        &labels,
+        &["document_value", "page_iteration"],
+        flor_df::JoinKind::Inner,
+    )?;
+    // A page may appear with null label if label row exists but null; drop.
+    joined = joined.filter(|r| r.get("first_page").is_some_and(|v| !v.is_null()));
+    Ok(joined)
+}
+
+/// Convert the labeled view into an ML dataset.
+pub fn view_to_dataset(view: &DataFrame) -> Dataset {
+    let mut rows = Vec::with_capacity(view.n_rows());
+    let mut y = Vec::with_capacity(view.n_rows());
+    for r in view.rows() {
+        let f = ExtractedFeatures {
+            heading_density: r
+                .get("heading_density")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+            has_page_number: r
+                .get("page_numbers")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+            lines: r.get("lines").and_then(Value::as_i64).unwrap_or(0) as usize,
+            mean_line_len: r
+                .get("mean_line_len")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+            headings: r.get("headings").and_then(Value::as_i64).unwrap_or(0) as usize,
+        };
+        rows.push(f.to_vec());
+        y.push(r.get("first_page").and_then(Value::as_bool).unwrap_or(false) as usize);
+    }
+    Dataset {
+        x: Matrix::from_rows(rows),
+        y,
+        n_classes: 2,
+    }
+}
+
+/// Training hyper-parameters (the `flor.arg` block of Fig. 5).
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Hidden width.
+    pub hidden: usize,
+    /// Epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Init seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            hidden: 12,
+            epochs: 8,
+            lr: 0.8,
+            seed: 9,
+        }
+    }
+}
+
+/// Stage 4 — `train.py` (Fig. 5): train on the labeled view, logging
+/// `loss` per epoch and `acc`/`recall` at epoch end; the final model
+/// checkpoint is logged (spilling to `obj_store`) so FlorDB acts as the
+/// model registry.
+pub fn train(flor: &Flor, cfg: &TrainConfig) -> StoreResult<Option<Mlp>> {
+    let view = labeled_view(flor)?;
+    flor.set_filename("train.fl");
+    if view.n_rows() < 4 {
+        return Ok(None);
+    }
+    let ds = view_to_dataset(&view);
+    let hidden = flor
+        .arg("hidden", cfg.hidden as i64)
+        .as_i64()
+        .unwrap_or(cfg.hidden as i64) as usize;
+    let epochs = flor
+        .arg("epochs", cfg.epochs as i64)
+        .as_i64()
+        .unwrap_or(cfg.epochs as i64) as usize;
+    let lr = flor.arg("lr", cfg.lr).as_f64().unwrap_or(cfg.lr);
+    let seed = flor.arg("seed", cfg.seed as i64).as_i64().unwrap_or(9) as u64;
+    let mut net = Mlp::new(ExtractedFeatures::DIM, hidden, 2, seed);
+    flor.for_each("epoch", 0..epochs, |flor, &_e| {
+        let loss = net.train_step(&ds, lr);
+        flor.log("loss", loss);
+        let preds = net.predict(&ds.x);
+        let (acc, recall) = acc_recall(&preds, &ds.y, 2);
+        flor.log("acc", acc);
+        flor.log("recall", recall);
+    });
+    // Model registry: the checkpoint lands in obj_store with a stub in
+    // logs — FlorDB as the model repository (Fig. 5 takeaway).
+    flor.log_blob("model_ckpt", &net.to_text());
+    Ok(Some(net))
+}
+
+/// Model-registry lookup (§4.2): "flor.dataframe("acc", "recall") is
+/// queried to retrieve the model checkpoint with the highest recall from
+/// the execution history."
+pub fn best_model(flor: &Flor) -> StoreResult<Option<(Mlp, f64)>> {
+    let metrics = flor.dataframe(&["acc", "recall"])?;
+    if metrics.n_rows() == 0 {
+        return Ok(None);
+    }
+    let ranked = metrics.sort_by(&[("recall", false), ("tstamp", false)])?;
+    let Some(best_ts) = ranked.get(0, "tstamp").and_then(Value::as_i64) else {
+        return Ok(None);
+    };
+    let best_recall = ranked.get(0, "recall").and_then(Value::as_f64).unwrap_or(0.0);
+    // Fetch the checkpoint logged in that run: small checkpoints live
+    // inline in `logs.value`; large ones spill to `obj_store` behind a
+    // `<blob ...>` stub.
+    let logs = flor
+        .db
+        .lookup("logs", "value_name", &Value::from("model_ckpt"))?
+        .filter_eq("tstamp", &Value::Int(best_ts));
+    let inline = (0..logs.n_rows())
+        .rev()
+        .find_map(|i| logs.get(i, "value").map(|v| v.to_text()));
+    let text = match inline {
+        Some(v) if !v.starts_with("<blob") => v,
+        _ => {
+            let objs = flor
+                .db
+                .lookup("obj_store", "tstamp", &Value::Int(best_ts))?
+                .filter_eq("value_name", &Value::from("model_ckpt"));
+            match (0..objs.n_rows())
+                .rev()
+                .find_map(|i| objs.get(i, "contents").map(|v| v.to_text()))
+            {
+                Some(t) => t,
+                None => return Ok(None),
+            }
+        }
+    };
+    match Mlp::from_text(&text) {
+        Ok(m) => Ok(Some((m, best_recall))),
+        Err(_) => Ok(None),
+    }
+}
+
+/// Stage 5 — `infer.py`: run the best model over *all* pages, logging
+/// predicted `first_page_pred` and derived `page_color_pred` with model
+/// provenance.
+pub fn infer(flor: &Flor, corpus: &Corpus) -> StoreResult<usize> {
+    let Some((net, _)) = best_model(flor)? else {
+        return Ok(0);
+    };
+    let features = flor
+        .dataframe(&[
+            "heading_density",
+            "page_numbers",
+            "lines",
+            "mean_line_len",
+            "headings",
+        ])?
+        .latest(&["document_value", "page_iteration"], "tstamp")
+        .map_err(flor_store::StoreError::Df)?;
+    flor.set_filename("infer.fl");
+    let mut predictions = 0usize;
+    for pdf in &corpus.pdfs {
+        flor.iteration("document", pdf.name.as_str(), |flor| {
+            // First-page probability per page, then cumsum for colors.
+            let page_rows: Vec<usize> = (0..pdf.pages.len()).collect();
+            let mut firsts = Vec::with_capacity(page_rows.len());
+            for &page in &page_rows {
+                let row = features
+                    .filter_eq("document_value", &Value::from(pdf.name.as_str()))
+                    .filter_eq("page_iteration", &Value::from(page as i64));
+                let f = if row.n_rows() > 0 {
+                    let r0 = row.rows().next().expect("n_rows > 0");
+                    ExtractedFeatures {
+                        heading_density: r0
+                            .get("heading_density")
+                            .and_then(Value::as_f64)
+                            .unwrap_or(0.0),
+                        has_page_number: r0
+                            .get("page_numbers")
+                            .and_then(Value::as_bool)
+                            .unwrap_or(false),
+                        lines: r0.get("lines").and_then(Value::as_i64).unwrap_or(0) as usize,
+                        mean_line_len: r0
+                            .get("mean_line_len")
+                            .and_then(Value::as_f64)
+                            .unwrap_or(0.0),
+                        headings: r0.get("headings").and_then(Value::as_i64).unwrap_or(0)
+                            as usize,
+                    }
+                } else {
+                    analyze_text(&pdf.pages[page].text)
+                };
+                let x = Matrix::from_rows(vec![f.to_vec()]);
+                firsts.push(net.predict(&x)[0] == 1);
+            }
+            // Pages before the first predicted first-page get color 0.
+            let mut color: i64 = -1;
+            flor.for_each("page", 0..pdf.pages.len(), |flor, &page| {
+                if firsts[page] {
+                    color += 1;
+                }
+                flor.log("first_page_pred", firsts[page]);
+                flor.log("page_color_pred", color.max(0));
+                flor.log("label_src", "model");
+                predictions += 1;
+            });
+        });
+    }
+    Ok(predictions)
+}
+
+/// Stage 6 — the Fig. 6 feedback loop: an expert reviews the predictions
+/// for `pdf_names` and submits corrected colors (ground truth), which are
+/// logged with human provenance and committed (`save_colors`).
+pub fn feedback(flor: &Flor, corpus: &Corpus, pdf_names: &[&str]) -> StoreResult<usize> {
+    flor.set_filename("app.fl");
+    let mut corrected = 0usize;
+    for name in pdf_names {
+        let Some(pdf) = corpus.pdfs.iter().find(|p| &p.name.as_str() == name) else {
+            continue;
+        };
+        flor.iteration("document", *name, |flor| {
+            flor.for_each("page", 0..pdf.pages.len(), |flor, &page| {
+                let p = &pdf.pages[page];
+                flor.log("first_page", p.is_first);
+                flor.log("page_color", p.color as i64);
+                flor.log("label_src", "human");
+                corrected += 1;
+            });
+        });
+    }
+    flor.commit("save_colors feedback")?;
+    Ok(corrected)
+}
+
+/// Measure prediction quality against corpus ground truth: accuracy of
+/// `first_page_pred` over all pages of the latest inference.
+pub fn prediction_accuracy(flor: &Flor, corpus: &Corpus) -> StoreResult<f64> {
+    let preds = flor
+        .dataframe(&["first_page_pred"])?
+        .latest(&["document_value", "page_iteration"], "tstamp")
+        .map_err(flor_store::StoreError::Df)?;
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for pdf in &corpus.pdfs {
+        for (page, p) in pdf.pages.iter().enumerate() {
+            let row = preds
+                .filter_eq("document_value", &Value::from(pdf.name.as_str()))
+                .filter_eq("page_iteration", &Value::from(page as i64));
+            if row.n_rows() == 0 {
+                continue;
+            }
+            let pred = row
+                .get(0, "first_page_pred")
+                .and_then(Value::as_bool)
+                .unwrap_or(false);
+            total += 1;
+            if pred == p.is_first {
+                correct += 1;
+            }
+        }
+    }
+    Ok(if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    })
+}

@@ -1,0 +1,567 @@
+//! Replay: plan the minimal work, steer the interpreter, parallelise.
+//!
+//! The paper's replay side (§2): retroactively execute new logging
+//! statements "across all those versions via incremental replay, without
+//! the need for full re-execution ... through a combination of differential
+//! execution and parallelism, allowing FlorDB to efficiently replay only
+//! the necessary parts of the pipeline."
+//!
+//! Mechanics: the planner turns (recorded checkpoints × needed iterations)
+//! into per-iteration [`IterAction`]s — skip, restore-then-run, run, or
+//! stop. Skipped iterations are *memoized*: their log values are served
+//! from the recorded run. Independent needed iterations are partitioned
+//! across worker threads, each replaying from its nearest checkpoint.
+
+use crate::record::{LogRecord, RunRecord};
+use flor_script::{
+    Directive, ExecStats, FlorRuntime, Interpreter, LoopFrame, Program, RtResult,
+    RtValue,
+};
+use std::collections::BTreeMap;
+
+/// Planned action for one checkpoint-loop iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IterAction {
+    /// Skip: recorded values cover this iteration.
+    Skip,
+    /// Restore the checkpoint taken at boundary `ckpt`, then run.
+    RestoreThenRun {
+        /// Boundary iteration whose snapshot to install.
+        ckpt: usize,
+    },
+    /// Run normally (state already correct from a prior iteration).
+    Run,
+    /// Halt the program at this iteration.
+    Stop,
+}
+
+/// A replay plan over the checkpoint loop.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayPlan {
+    /// Action per iteration index.
+    pub actions: Vec<IterAction>,
+    /// Iterations that will actually execute.
+    pub will_run: usize,
+}
+
+/// Compute the minimal-execution plan to run exactly the `needed`
+/// iterations of a loop of `total` iterations, given recorded checkpoints.
+///
+/// Greedy: for each needed iteration choose the cheaper of (a) continuing
+/// from the previously executed position or (b) restoring the nearest
+/// checkpoint below it.
+pub fn plan_replay(
+    total: usize,
+    needed: &[usize],
+    checkpoints: &BTreeMap<usize, String>,
+) -> ReplayPlan {
+    let mut needed: Vec<usize> = needed.iter().copied().filter(|&i| i < total).collect();
+    needed.sort_unstable();
+    needed.dedup();
+    let mut actions = vec![IterAction::Skip; total];
+    if needed.is_empty() {
+        if total > 0 {
+            actions[0] = IterAction::Stop;
+        }
+        return ReplayPlan {
+            actions,
+            will_run: 0,
+        };
+    }
+    // last executed iteration, if any
+    let mut pos: Option<usize> = None;
+    for &i in &needed {
+        if let Some(p) = pos {
+            if p >= i {
+                continue; // already executed on the way to a previous target
+            }
+        }
+        // Option a: continue from pos (cost i - pos).
+        let cont_cost = pos.map(|p| i - p);
+        // Option b: restore nearest ckpt c < i (cost i - c, runs c+1..=i).
+        let best_ckpt = checkpoints.range(..i).next_back().map(|(&c, _)| c);
+        let restore_cost = best_ckpt.map(|c| i - c);
+        enum Choice {
+            Continue(usize),
+            Restore(usize),
+            FromStart,
+        }
+        let choice = match (cont_cost, restore_cost, best_ckpt) {
+            (Some(cc), Some(rc), Some(c)) => {
+                if rc < cc {
+                    Choice::Restore(c)
+                } else {
+                    Choice::Continue(pos.expect("cont_cost implies pos"))
+                }
+            }
+            (Some(_), None, _) => Choice::Continue(pos.expect("cont_cost implies pos")),
+            (None, Some(_), Some(c)) => Choice::Restore(c),
+            _ => Choice::FromStart,
+        };
+        match choice {
+            Choice::Continue(p) => {
+                for a in actions.iter_mut().take(i + 1).skip(p + 1) {
+                    *a = IterAction::Run;
+                }
+            }
+            Choice::Restore(c) => {
+                actions[c + 1] = IterAction::RestoreThenRun { ckpt: c };
+                for a in actions.iter_mut().take(i + 1).skip(c + 2) {
+                    *a = IterAction::Run;
+                }
+            }
+            Choice::FromStart => {
+                for a in actions.iter_mut().take(i + 1) {
+                    *a = IterAction::Run;
+                }
+            }
+        }
+        pos = Some(i);
+    }
+    // Halt after the last needed iteration.
+    let last = *needed.last().expect("non-empty");
+    if last + 1 < total {
+        actions[last + 1] = IterAction::Stop;
+    }
+    let will_run = actions
+        .iter()
+        .filter(|a| matches!(a, IterAction::Run | IterAction::RestoreThenRun { .. }))
+        .count();
+    ReplayPlan { actions, will_run }
+}
+
+/// Replay runtime: follows a [`ReplayPlan`], serves recorded args, and
+/// collects logs emitted by executed iterations.
+pub struct Replayer<'a> {
+    plan: &'a ReplayPlan,
+    record: &'a RunRecord,
+    /// Logs captured during replay.
+    pub logs: Vec<LogRecord>,
+    ckpt_loop_name: Option<String>,
+}
+
+impl<'a> Replayer<'a> {
+    /// Build a replayer for a plan over a prior record.
+    pub fn new(plan: &'a ReplayPlan, record: &'a RunRecord) -> Replayer<'a> {
+        Replayer {
+            plan,
+            record,
+            logs: Vec::new(),
+            ckpt_loop_name: record.ckpt_loop.as_ref().map(|(n, _)| n.clone()),
+        }
+    }
+}
+
+impl FlorRuntime for Replayer<'_> {
+    fn arg(&mut self, name: &str, default: RtValue) -> RtValue {
+        // "retrieving historical values during replay" (paper §2.1):
+        // an arg recorded in the original run replays with that value.
+        match self.record.arg(name) {
+            Some(text) => parse_recorded_value(text, &default),
+            None => default,
+        }
+    }
+
+    fn log(&mut self, name: &str, value: &RtValue, loops: &[LoopFrame]) {
+        self.logs.push(LogRecord {
+            name: name.to_string(),
+            value: value.display_text(),
+            loops: loops.to_vec(),
+        });
+    }
+
+    fn plan(&mut self, loop_name: &str, iteration: usize) -> Directive {
+        if self.ckpt_loop_name.as_deref() != Some(loop_name) {
+            return Directive::Run;
+        }
+        match self.plan.actions.get(iteration) {
+            Some(IterAction::Skip) | None => Directive::Skip,
+            Some(IterAction::Run) => Directive::Run,
+            Some(IterAction::RestoreThenRun { ckpt }) => {
+                match self.record.checkpoints.get(ckpt) {
+                    Some(snap) => Directive::Restore(snap.clone()),
+                    None => Directive::Run, // defensive: plan referenced a missing ckpt
+                }
+            }
+            Some(IterAction::Stop) => Directive::Stop,
+        }
+    }
+}
+
+/// Parse a recorded display text back into a value, guided by the default's
+/// type (args are scalars in practice).
+fn parse_recorded_value(text: &str, default: &RtValue) -> RtValue {
+    match default {
+        RtValue::Int(_) => text
+            .parse::<i64>()
+            .map(RtValue::Int)
+            .unwrap_or_else(|_| RtValue::Str(text.to_string())),
+        RtValue::Float(_) => text
+            .parse::<f64>()
+            .map(RtValue::Float)
+            .unwrap_or_else(|_| RtValue::Str(text.to_string())),
+        RtValue::Bool(_) => match text {
+            "true" => RtValue::Bool(true),
+            "false" => RtValue::Bool(false),
+            _ => RtValue::Str(text.to_string()),
+        },
+        _ => RtValue::Str(text.to_string()),
+    }
+}
+
+/// Outcome of a (possibly parallel) replay.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayOutcome {
+    /// Logs produced by executed iterations, merged across workers and
+    /// sorted by (outer iteration, emission order).
+    pub new_logs: Vec<LogRecord>,
+    /// Summed interpreter stats across workers.
+    pub stats: ExecStats,
+    /// Worker count used.
+    pub workers: usize,
+    /// Iterations executed (across workers).
+    pub iterations_executed: usize,
+    /// Critical-path work: the maximum `work_units` consumed by any single
+    /// worker. On a machine with ≥ `workers` cores, wall-clock tracks this
+    /// rather than the summed stats — the parallel-replay speedup metric.
+    pub critical_path_work: u64,
+}
+
+/// Replay `needed` iterations of `prog` (typically a patched prior
+/// version) against `record`, using up to `parallelism` worker threads.
+///
+/// Workers partition the needed iterations; each restores from its own
+/// nearest checkpoint, so wall-clock scales down with workers — the
+/// parallelism half of the paper's replay speedup.
+pub fn replay(
+    prog: &Program,
+    record: &RunRecord,
+    needed: &[usize],
+    parallelism: usize,
+) -> RtResult<ReplayOutcome> {
+    let total = record.ckpt_loop.as_ref().map(|(_, n)| *n).unwrap_or(0);
+    let mut needed: Vec<usize> = needed.iter().copied().filter(|&i| i < total).collect();
+    needed.sort_unstable();
+    needed.dedup();
+    let workers = parallelism.max(1).min(needed.len().max(1));
+    // Partition needed iterations contiguously across workers.
+    let chunk = needed.len().div_ceil(workers).max(1);
+    let parts: Vec<Vec<usize>> = needed.chunks(chunk).map(<[usize]>::to_vec).collect();
+
+    let results: Vec<RtResult<(Vec<LogRecord>, ExecStats, usize)>> = if parts.len() <= 1 {
+        parts
+            .iter()
+            .map(|part| run_worker(prog, record, part, total))
+            .collect()
+    } else {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .map(|part| scope.spawn(move |_| run_worker(prog, record, part, total)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("scope panicked")
+    };
+
+    let mut outcome = ReplayOutcome {
+        workers: parts.len(),
+        ..Default::default()
+    };
+    for r in results {
+        let (logs, stats, executed) = r?;
+        outcome.critical_path_work = outcome.critical_path_work.max(stats.work_units);
+        outcome.new_logs.extend(logs);
+        outcome.stats.statements += stats.statements;
+        outcome.stats.work_units += stats.work_units;
+        outcome.stats.iterations_run += stats.iterations_run;
+        outcome.stats.iterations_skipped += stats.iterations_skipped;
+        outcome.stats.restores += stats.restores;
+        outcome.iterations_executed += executed;
+    }
+    outcome
+        .new_logs
+        .sort_by_key(|l| (l.outer_iteration().unwrap_or(usize::MAX), 0));
+    Ok(outcome)
+}
+
+fn run_worker(
+    prog: &Program,
+    record: &RunRecord,
+    part: &[usize],
+    total: usize,
+) -> RtResult<(Vec<LogRecord>, ExecStats, usize)> {
+    let plan = plan_replay(total, part, &record.checkpoints);
+    let mut replayer = Replayer::new(&plan, record);
+    let mut interp = Interpreter::new();
+    let stats = interp.run(prog, &mut replayer)?;
+    // Keep only logs from iterations this worker was asked for (it may have
+    // executed warm-up iterations whose logs belong to another worker or
+    // are already recorded).
+    let wanted: std::collections::HashSet<usize> = part.iter().copied().collect();
+    let logs: Vec<LogRecord> = replayer
+        .logs
+        .into_iter()
+        .filter(|l| l.outer_iteration().is_none_or(|i| wanted.contains(&i)))
+        .collect();
+    Ok((logs, stats, plan.will_run))
+}
+
+/// Merge replayed logs into the recorded logs: recorded values are the
+/// memoized base; replayed values fill in or supersede records with the
+/// same `(name, loop context)`. The result is a complete log as if the
+/// (patched) program had been fully re-executed.
+pub fn merge_logs(recorded: &[LogRecord], replayed: &[LogRecord]) -> Vec<LogRecord> {
+    let key = |l: &LogRecord| -> (String, Vec<(String, usize)>) {
+        (
+            l.name.clone(),
+            l.loops
+                .iter()
+                .map(|f| (f.name.clone(), f.iteration))
+                .collect(),
+        )
+    };
+    let mut merged: Vec<LogRecord> = recorded.to_vec();
+    let mut index: std::collections::HashMap<_, usize> = merged
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (key(l), i))
+        .collect();
+    for l in replayed {
+        match index.get(&key(l)) {
+            Some(&i) => merged[i] = l.clone(),
+            None => {
+                index.insert(key(l), merged.len());
+                merged.push(l.clone());
+            }
+        }
+    }
+    // Stable order: by outer iteration then original position.
+    merged.sort_by_key(|l| l.outer_iteration().unwrap_or(usize::MAX));
+    merged
+}
+
+/// Which outer iterations carry a log named `name` in `logs`.
+pub fn iterations_logging(logs: &[LogRecord], name: &str) -> Vec<usize> {
+    let mut out: Vec<usize> = logs
+        .iter()
+        .filter(|l| l.name == name)
+        .filter_map(LogRecord::outer_iteration)
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{record, CheckpointPolicy};
+    use flor_script::parse;
+
+    const TRAIN: &str = r#"
+let data = load_dataset("first_page", 80, 42);
+let epochs = flor.arg("epochs", 6);
+let lr = flor.arg("lr", 0.5);
+let net = make_model(5, 4, 2, 7);
+with flor.checkpointing(net) {
+    for e in flor.loop("epoch", range(0, epochs)) {
+        let loss = train_step(net, data, lr);
+        flor.log("loss", loss);
+    }
+}
+"#;
+
+    /// TRAIN with an extra hindsight statement (what propagation produces).
+    const TRAIN_PATCHED: &str = r#"
+let data = load_dataset("first_page", 80, 42);
+let epochs = flor.arg("epochs", 6);
+let lr = flor.arg("lr", 0.5);
+let net = make_model(5, 4, 2, 7);
+with flor.checkpointing(net) {
+    for e in flor.loop("epoch", range(0, epochs)) {
+        let loss = train_step(net, data, lr);
+        flor.log("loss", loss);
+        let m = eval_model(net, data);
+        flor.log("acc", m[0]);
+    }
+}
+"#;
+
+    #[test]
+    fn plan_with_dense_checkpoints_runs_only_needed() {
+        let mut ckpts = BTreeMap::new();
+        for i in 0..10 {
+            ckpts.insert(i, format!("snap{i}"));
+        }
+        let plan = plan_replay(10, &[7], &ckpts);
+        assert_eq!(plan.will_run, 1);
+        assert_eq!(plan.actions[7], IterAction::RestoreThenRun { ckpt: 6 });
+        assert_eq!(plan.actions[8], IterAction::Stop);
+        assert_eq!(plan.actions[0], IterAction::Skip);
+    }
+
+    #[test]
+    fn plan_without_checkpoints_runs_prefix() {
+        let plan = plan_replay(10, &[7], &BTreeMap::new());
+        assert_eq!(plan.will_run, 8); // 0..=7
+        assert!(matches!(plan.actions[0], IterAction::Run));
+        assert_eq!(plan.actions[8], IterAction::Stop);
+    }
+
+    #[test]
+    fn plan_prefers_continue_over_far_restore() {
+        // ckpt at 0 only; needed 3 and 5: after running 1..=3 it is cheaper
+        // to continue 4..=5 than to restore ckpt 0 and run 1..=5.
+        let mut ckpts = BTreeMap::new();
+        ckpts.insert(0usize, "s0".to_string());
+        let plan = plan_replay(8, &[3, 5], &ckpts);
+        assert_eq!(plan.actions[1], IterAction::RestoreThenRun { ckpt: 0 });
+        for i in 2..=5 {
+            assert_eq!(plan.actions[i], IterAction::Run, "iteration {i}");
+        }
+        assert_eq!(plan.actions[6], IterAction::Stop);
+        assert_eq!(plan.will_run, 5);
+    }
+
+    #[test]
+    fn plan_restores_when_cheaper() {
+        // ckpts everywhere; needed 1 and 8: restore at 8 beats running 2..=8.
+        let mut ckpts = BTreeMap::new();
+        for i in 0..10 {
+            ckpts.insert(i, format!("s{i}"));
+        }
+        let plan = plan_replay(10, &[1, 8], &ckpts);
+        assert_eq!(plan.actions[1], IterAction::RestoreThenRun { ckpt: 0 });
+        assert_eq!(plan.actions[8], IterAction::RestoreThenRun { ckpt: 7 });
+        assert_eq!(plan.will_run, 2);
+    }
+
+    #[test]
+    fn plan_empty_needed_stops_immediately() {
+        let plan = plan_replay(5, &[], &BTreeMap::new());
+        assert_eq!(plan.will_run, 0);
+        assert_eq!(plan.actions[0], IterAction::Stop);
+    }
+
+    #[test]
+    fn hindsight_replay_matches_foresight_run() {
+        // Record the original (no acc logging).
+        let orig = parse(TRAIN).unwrap();
+        let (rec, _) = record(&orig, CheckpointPolicy::EveryK(1), &[]).unwrap();
+        assert_eq!(rec.values_of("acc").len(), 0);
+
+        // Ground truth: a full run of the patched program from scratch.
+        let patched = parse(TRAIN_PATCHED).unwrap();
+        let (truth, _) = record(&patched, CheckpointPolicy::None, &[]).unwrap();
+        let truth_accs = truth.values_of("acc").to_vec();
+        assert_eq!(truth_accs.len(), 6);
+
+        // Hindsight: replay all iterations of the patched program from
+        // checkpoints, one iteration each.
+        let needed: Vec<usize> = (0..6).collect();
+        let out = replay(&patched, &rec, &needed, 1).unwrap();
+        let accs = iterations_logging(&out.new_logs, "acc");
+        assert_eq!(accs, needed);
+        let replay_accs: Vec<&str> = out
+            .new_logs
+            .iter()
+            .filter(|l| l.name == "acc")
+            .map(|l| l.value.as_str())
+            .collect();
+        assert_eq!(replay_accs, truth_accs, "hindsight values must be bit-identical");
+    }
+
+    #[test]
+    fn parallel_replay_equals_serial() {
+        let orig = parse(TRAIN).unwrap();
+        let (rec, _) = record(&orig, CheckpointPolicy::EveryK(1), &[]).unwrap();
+        let patched = parse(TRAIN_PATCHED).unwrap();
+        let needed: Vec<usize> = (0..6).collect();
+        let serial = replay(&patched, &rec, &needed, 1).unwrap();
+        let parallel = replay(&patched, &rec, &needed, 4).unwrap();
+        assert!(parallel.workers > 1);
+        let vals = |o: &ReplayOutcome| -> Vec<(String, String)> {
+            let mut v: Vec<(String, String)> = o
+                .new_logs
+                .iter()
+                .map(|l| (format!("{}@{:?}", l.name, l.outer_iteration()), l.value.clone()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(vals(&serial), vals(&parallel));
+    }
+
+    #[test]
+    fn replay_subset_is_cheaper_than_full() {
+        let orig = parse(TRAIN).unwrap();
+        let (rec, _) = record(&orig, CheckpointPolicy::EveryK(1), &[]).unwrap();
+        let patched = parse(TRAIN_PATCHED).unwrap();
+        let full_stats = record(&patched, CheckpointPolicy::None, &[]).unwrap().0.stats;
+        let out = replay(&patched, &rec, &[5], 1).unwrap();
+        assert_eq!(out.iterations_executed, 1);
+        assert!(
+            out.stats.work_units < full_stats.work_units / 2,
+            "replay {} vs full {}",
+            out.stats.work_units,
+            full_stats.work_units
+        );
+    }
+
+    #[test]
+    fn replay_uses_recorded_args() {
+        let orig = parse(TRAIN).unwrap();
+        let (rec, _) = record(
+            &orig,
+            CheckpointPolicy::EveryK(1),
+            &[("epochs", RtValue::Int(3)), ("lr", RtValue::Float(0.25))],
+        )
+        .unwrap();
+        assert_eq!(rec.values_of("loss").len(), 3);
+        // Replay the patched program: it must see epochs=3 (recorded), not 6.
+        let patched = parse(TRAIN_PATCHED).unwrap();
+        let out = replay(&patched, &rec, &[0, 1, 2], 1).unwrap();
+        assert_eq!(iterations_logging(&out.new_logs, "acc"), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn merge_logs_fills_and_supersedes() {
+        let frame = |i: usize| LoopFrame {
+            name: "epoch".into(),
+            iteration: i,
+            value: i.to_string(),
+        };
+        let recorded = vec![
+            LogRecord {
+                name: "loss".into(),
+                value: "1.0".into(),
+                loops: vec![frame(0)],
+            },
+            LogRecord {
+                name: "loss".into(),
+                value: "0.5".into(),
+                loops: vec![frame(1)],
+            },
+        ];
+        let replayed = vec![
+            LogRecord {
+                name: "acc".into(),
+                value: "0.9".into(),
+                loops: vec![frame(1)],
+            },
+            LogRecord {
+                name: "loss".into(),
+                value: "0.5".into(),
+                loops: vec![frame(1)],
+            },
+        ];
+        let merged = merge_logs(&recorded, &replayed);
+        assert_eq!(merged.len(), 3);
+        let names: Vec<&str> = merged.iter().map(|l| l.name.as_str()).collect();
+        assert!(names.contains(&"acc"));
+    }
+}

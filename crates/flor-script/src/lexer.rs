@@ -1,0 +1,346 @@
+//! Lexer for florscript, the mini-language hosting Flor instrumentation.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (unescaped contents).
+    Str(String),
+    /// Identifier or keyword.
+    Ident(String),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x:?}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Punct(p) => write!(f, "{p}"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source line (1-based), for error messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS: &[&str] = &[
+    // longest first
+    "==", "!=", "<=", ">=", "&&", "||", "(", ")", "{", "}", "[", "]", ",", ";", ".", "=", "<",
+    ">", "+", "-", "*", "/", "%", "!",
+];
+
+/// Tokenize `src`. `//` comments run to end of line.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let mut is_float = false;
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && i + 1 < bytes.len()
+                && (bytes[i + 1] as char).is_ascii_digit()
+            {
+                is_float = true;
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            // Scientific notation: 1e-3
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    is_float = true;
+                    i = j;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            let text = &src[start..i];
+            let tok = if is_float {
+                Tok::Float(text.parse().map_err(|e| LexError {
+                    message: format!("bad float {text:?}: {e}"),
+                    line,
+                })?)
+            } else {
+                Tok::Int(text.parse().map_err(|e| LexError {
+                    message: format!("bad int {text:?}: {e}"),
+                    line,
+                })?)
+            };
+            out.push(SpannedTok { tok, line });
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() {
+                let ch = bytes[i] as char;
+                if ch.is_ascii_alphanumeric() || ch == '_' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.push(SpannedTok {
+                tok: Tok::Ident(src[start..i].to_string()),
+                line,
+            });
+            continue;
+        }
+        if c == '"' {
+            i += 1;
+            let mut s = String::new();
+            while i < bytes.len() {
+                let ch = bytes[i] as char;
+                if ch == '"' {
+                    i += 1;
+                    out.push(SpannedTok {
+                        tok: Tok::Str(s),
+                        line,
+                    });
+                    continue 'outer;
+                }
+                if ch == '\\' {
+                    i += 1;
+                    if i >= bytes.len() {
+                        break;
+                    }
+                    let esc = bytes[i] as char;
+                    s.push(match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        '\\' => '\\',
+                        '"' => '"',
+                        other => {
+                            return Err(LexError {
+                                message: format!("unknown escape \\{other}"),
+                                line,
+                            })
+                        }
+                    });
+                    i += 1;
+                    continue;
+                }
+                if ch == '\n' {
+                    line += 1;
+                }
+                // Multi-byte UTF-8: copy the full char.
+                let ch_full = src[i..].chars().next().expect("in bounds");
+                s.push(ch_full);
+                i += ch_full.len_utf8();
+            }
+            return Err(LexError {
+                message: "unterminated string".to_string(),
+                line,
+            });
+        }
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                out.push(SpannedTok {
+                    tok: Tok::Punct(p),
+                    line,
+                });
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(LexError {
+            message: format!("unexpected character {c:?}"),
+            line,
+        });
+    }
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 23 4.5 1e-3 2.5e2"),
+            vec![
+                Tok::Int(1),
+                Tok::Int(23),
+                Tok::Float(4.5),
+                Tok::Float(1e-3),
+                Tok::Float(2.5e2),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn idents_and_keywords_are_idents() {
+        assert_eq!(
+            kinds("let epoch flor _x x9"),
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("epoch".into()),
+                Tok::Ident("flor".into()),
+                Tok::Ident("_x".into()),
+                Tok::Ident("x9".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""hello" "a\"b" "n\nl" "tab\t""#),
+            vec![
+                Tok::Str("hello".into()),
+                Tok::Str("a\"b".into()),
+                Tok::Str("n\nl".into()),
+                Tok::Str("tab\t".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation_longest_match() {
+        assert_eq!(
+            kinds("== = <= < && !x"),
+            vec![
+                Tok::Punct("=="),
+                Tok::Punct("="),
+                Tok::Punct("<="),
+                Tok::Punct("<"),
+                Tok::Punct("&&"),
+                Tok::Punct("!"),
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("let x = 1; // the answer\nx"),
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Int(1),
+                Tok::Punct(";"),
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn flor_call_shape() {
+        assert_eq!(
+            kinds("flor.log(\"loss\", 0.5);"),
+            vec![
+                Tok::Ident("flor".into()),
+                Tok::Punct("."),
+                Tok::Ident("log".into()),
+                Tok::Punct("("),
+                Tok::Str("loss".into()),
+                Tok::Punct(","),
+                Tok::Float(0.5),
+                Tok::Punct(")"),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("\"bad \\q escape\"").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(
+            kinds("\"héllo 世界\""),
+            vec![Tok::Str("héllo 世界".into()), Tok::Eof]
+        );
+    }
+}

@@ -1,0 +1,626 @@
+//! Recursive-descent parser for florscript.
+
+use crate::ast::{BinOp, Expr, Program, Stmt, UnOp};
+use crate::lexer::{lex, SpannedTok, Tok};
+use std::fmt;
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse `src` into a [`Program`] with canonical node ids.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src).map_err(|e| ParseError {
+        message: e.message,
+        line: e.line,
+    })?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.at_eof() {
+        stmts.push(p.stmt()?);
+    }
+    let mut prog = Program { stmts };
+    prog.assign_ids();
+    Ok(prog)
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            line: self.line(),
+        })
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), ParseError> {
+        if self.peek() == &Tok::Punct(p) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {p:?}, found {}", self.peek()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Tok::Punct("}") {
+            if self.at_eof() {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump(); // }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.is_kw("let") {
+            self.bump();
+            let name = self.expect_ident()?;
+            self.expect_punct("=")?;
+            let expr = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Let { id: 0, name, expr });
+        }
+        if self.is_kw("if") {
+            self.bump();
+            let cond = self.expr()?;
+            let then_block = self.block()?;
+            let else_block = if self.is_kw("else") {
+                self.bump();
+                if self.is_kw("if") {
+                    // else-if sugar: wrap the nested if in a block.
+                    let nested = self.stmt()?;
+                    Some(vec![nested])
+                } else {
+                    Some(self.block()?)
+                }
+            } else {
+                None
+            };
+            return Ok(Stmt::If {
+                id: 0,
+                cond,
+                then_block,
+                else_block,
+            });
+        }
+        if self.is_kw("while") {
+            self.bump();
+            let cond = self.expr()?;
+            let body = self.block()?;
+            return Ok(Stmt::While { id: 0, cond, body });
+        }
+        if self.is_kw("for") {
+            self.bump();
+            let var = self.expect_ident()?;
+            if !self.is_kw("in") {
+                return self.err("expected 'in' in for loop");
+            }
+            self.bump();
+            let iterable = self.expr()?;
+            let body = self.block()?;
+            // `for x in flor.loop("name", iter)` is the instrumented form.
+            if let Expr::FlorCall { func, mut args, .. } = iterable {
+                if func == "loop" {
+                    if args.len() != 2 {
+                        return self.err("flor.loop takes (name, iterable)");
+                    }
+                    let iter = args.pop().expect("len checked");
+                    let name_expr = args.pop().expect("len checked");
+                    let loop_name = match name_expr {
+                        Expr::Str(_, s) => s,
+                        _ => return self.err("flor.loop name must be a string literal"),
+                    };
+                    return Ok(Stmt::FlorLoop {
+                        id: 0,
+                        var,
+                        loop_name,
+                        iterable: iter,
+                        body,
+                    });
+                }
+                return self.err(format!("cannot iterate flor.{func}"));
+            }
+            return Ok(Stmt::For {
+                id: 0,
+                var,
+                iterable,
+                body,
+            });
+        }
+        if self.is_kw("with") {
+            self.bump();
+            // with flor.checkpointing(a, b) { ... }
+            let head = self.expr()?;
+            let vars = match head {
+                Expr::FlorCall { func, args, .. } if func == "checkpointing" => {
+                    let mut vars = Vec::new();
+                    for a in args {
+                        match a {
+                            Expr::Ident(_, n) => vars.push(n),
+                            _ => {
+                                return self
+                                    .err("flor.checkpointing arguments must be variable names")
+                            }
+                        }
+                    }
+                    vars
+                }
+                _ => return self.err("expected flor.checkpointing(...) after 'with'"),
+            };
+            let body = self.block()?;
+            return Ok(Stmt::WithCheckpointing { id: 0, vars, body });
+        }
+        // Assignment: IDENT '=' ... (but not '==')
+        if let Tok::Ident(name) = self.peek().clone() {
+            if self.peek2() == &Tok::Punct("=") {
+                self.bump();
+                self.bump();
+                let expr = self.expr()?;
+                self.expect_punct(";")?;
+                return Ok(Stmt::Assign { id: 0, name, expr });
+            }
+        }
+        let expr = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::ExprStmt { id: 0, expr })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &Tok::Punct("||") {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                id: 0,
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == &Tok::Punct("&&") {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary {
+                id: 0,
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Punct("==") => Some(BinOp::Eq),
+            Tok::Punct("!=") => Some(BinOp::Ne),
+            Tok::Punct("<") => Some(BinOp::Lt),
+            Tok::Punct("<=") => Some(BinOp::Le),
+            Tok::Punct(">") => Some(BinOp::Gt),
+            Tok::Punct(">=") => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            return Ok(Expr::Binary {
+                id: 0,
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("+") => BinOp::Add,
+                Tok::Punct("-") => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary {
+                id: 0,
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("*") => BinOp::Mul,
+                Tok::Punct("/") => BinOp::Div,
+                Tok::Punct("%") => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary {
+                id: 0,
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Tok::Punct("-") => {
+                self.bump();
+                let expr = self.unary_expr()?;
+                Ok(Expr::Unary {
+                    id: 0,
+                    op: UnOp::Neg,
+                    expr: Box::new(expr),
+                })
+            }
+            Tok::Punct("!") => {
+                self.bump();
+                let expr = self.unary_expr()?;
+                Ok(Expr::Unary {
+                    id: 0,
+                    op: UnOp::Not,
+                    expr: Box::new(expr),
+                })
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek() {
+                Tok::Punct("[") => {
+                    self.bump();
+                    let index = self.expr()?;
+                    self.expect_punct("]")?;
+                    e = Expr::Index {
+                        id: 0,
+                        base: Box::new(e),
+                        index: Box::new(index),
+                    };
+                }
+                Tok::Punct("(") => {
+                    // Only bare identifiers are callable.
+                    let name = match &e {
+                        Expr::Ident(_, n) => n.clone(),
+                        _ => return self.err("only named functions are callable"),
+                    };
+                    let args = self.call_args()?;
+                    e = Expr::Call { id: 0, name, args };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect_punct("(")?;
+        let mut args = Vec::new();
+        if self.peek() != &Tok::Punct(")") {
+            loop {
+                args.push(self.expr()?);
+                if self.peek() == &Tok::Punct(",") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(")")?;
+        Ok(args)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.bump();
+                Ok(Expr::Int(0, i))
+            }
+            Tok::Float(x) => {
+                self.bump();
+                Ok(Expr::Float(0, x))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(0, s))
+            }
+            Tok::Ident(name) => {
+                match name.as_str() {
+                    "true" => {
+                        self.bump();
+                        return Ok(Expr::Bool(0, true));
+                    }
+                    "false" => {
+                        self.bump();
+                        return Ok(Expr::Bool(0, false));
+                    }
+                    "none" => {
+                        self.bump();
+                        return Ok(Expr::NoneLit(0));
+                    }
+                    "flor" => {
+                        // flor.func(args)
+                        self.bump();
+                        self.expect_punct(".")?;
+                        let func = self.expect_ident()?;
+                        let args = self.call_args()?;
+                        return Ok(Expr::FlorCall { id: 0, func, args });
+                    }
+                    _ => {}
+                }
+                self.bump();
+                Ok(Expr::Ident(0, name))
+            }
+            Tok::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Punct("[") => {
+                self.bump();
+                let mut items = Vec::new();
+                if self.peek() != &Tok::Punct("]") {
+                    loop {
+                        items.push(self.expr()?);
+                        if self.peek() == &Tok::Punct(",") {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect_punct("]")?;
+                Ok(Expr::List(0, items))
+            }
+            other => self.err(format!("unexpected token {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Expr, Stmt};
+
+    #[test]
+    fn precedence() {
+        let p = parse("let x = 1 + 2 * 3;").unwrap();
+        match &p.stmts[0] {
+            Stmt::Let { expr, .. } => match expr {
+                Expr::Binary { op, rhs, .. } => {
+                    assert_eq!(*op, BinOp::Add);
+                    assert!(matches!(
+                        **rhs,
+                        Expr::Binary {
+                            op: BinOp::Mul,
+                            ..
+                        }
+                    ));
+                }
+                _ => panic!("expected binary"),
+            },
+            _ => panic!("expected let"),
+        }
+    }
+
+    #[test]
+    fn parens_override() {
+        let p = parse("let x = (1 + 2) * 3;").unwrap();
+        match &p.stmts[0] {
+            Stmt::Let { expr, .. } => {
+                assert!(matches!(expr, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn flor_loop_recognised() {
+        let p = parse("for e in flor.loop(\"epoch\", range(0, 5)) { flor.log(\"e\", e); }")
+            .unwrap();
+        match &p.stmts[0] {
+            Stmt::FlorLoop {
+                var,
+                loop_name,
+                body,
+                ..
+            } => {
+                assert_eq!(var, "e");
+                assert_eq!(loop_name, "epoch");
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected flor loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_for_loop() {
+        let p = parse("for x in [1, 2, 3] { print(x); }").unwrap();
+        assert!(matches!(&p.stmts[0], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn with_checkpointing() {
+        let p = parse("with flor.checkpointing(model, opt) { let a = 1; }").unwrap();
+        match &p.stmts[0] {
+            Stmt::WithCheckpointing { vars, body, .. } => {
+                assert_eq!(vars, &vec!["model".to_string(), "opt".to_string()]);
+                assert_eq!(body.len(), 1);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let p = parse("if a == 1 { let x = 1; } else if a == 2 { let x = 2; } else { let x = 3; }")
+            .unwrap();
+        match &p.stmts[0] {
+            Stmt::If { else_block, .. } => {
+                let eb = else_block.as_ref().unwrap();
+                assert!(matches!(&eb[0], Stmt::If { .. }));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn assignment_vs_equality() {
+        let p = parse("x = 1;\nif x == 1 { x = 2; }").unwrap();
+        assert!(matches!(&p.stmts[0], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn indexing_and_lists() {
+        let p = parse("let v = [1, 2, 3][1];").unwrap();
+        match &p.stmts[0] {
+            Stmt::Let { expr, .. } => assert!(matches!(expr, Expr::Index { .. })),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn nested_calls() {
+        let p = parse("let m = eval_model(net, batch(data, 0, 32));").unwrap();
+        match &p.stmts[0] {
+            Stmt::Let {
+                expr: Expr::Call { name, args, .. },
+                ..
+            } => {
+                assert_eq!(name, "eval_model");
+                assert_eq!(args.len(), 2);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn errors_report_line() {
+        let err = parse("let x = 1;\nlet y = ;").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(parse("for x flor { }").is_err());
+        assert!(parse("let = 3;").is_err());
+        assert!(parse("if { }").is_err());
+        assert!(parse("with foo() { }").is_err());
+        assert!(parse("for x in flor.log(\"a\", 1) { }").is_err());
+        assert!(parse("with flor.checkpointing(1) { }").is_err());
+        assert!(parse("{ unopened").is_err());
+    }
+
+    #[test]
+    fn unary_ops() {
+        let p = parse("let x = -3 + !true;").unwrap();
+        assert_eq!(p.stmts.len(), 1);
+    }
+
+    #[test]
+    fn fig5_training_script_parses() {
+        // The reproduction of the paper's Fig. 5 training loop.
+        let src = r#"
+let labeled_data = load_dataset("first_page", 200, 42);
+let hidden = flor.arg("hidden", 16);
+let num_epochs = flor.arg("epochs", 5);
+let lr = flor.arg("lr", 0.1);
+let seed = flor.arg("seed", 9);
+let net = make_model(5, hidden, 2, seed);
+with flor.checkpointing(net) {
+    for epoch in flor.loop("epoch", range(0, num_epochs)) {
+        for step in flor.loop("step", range(0, num_batches(labeled_data, 32))) {
+            let batch_data = batch(labeled_data, step * 32, (step + 1) * 32);
+            let loss = train_step(net, batch_data, lr);
+            flor.log("loss", loss);
+        }
+        let m = eval_model(net, labeled_data);
+        flor.log("acc", m[0]);
+        flor.log("recall", m[1]);
+    }
+}
+"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.stmts.len(), 7);
+    }
+}

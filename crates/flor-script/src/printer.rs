@@ -1,0 +1,287 @@
+//! Canonical pretty-printer: `parse(to_source(p)) == p`.
+//!
+//! Statement propagation patches old-version ASTs and re-commits them as
+//! source (the paper injects log statements "into the correct locations in
+//! all prior versions of the code", §2); a canonical printer makes that
+//! write-back deterministic and round-trip safe.
+
+use crate::ast::{Expr, Program, Stmt, UnOp};
+
+/// Render a program as canonical source text.
+pub fn to_source(p: &Program) -> String {
+    let mut out = String::new();
+    for s in &p.stmts {
+        stmt_to_source(s, 0, &mut out);
+    }
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn stmt_to_source(s: &Stmt, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match s {
+        Stmt::Let { name, expr, .. } => {
+            out.push_str("let ");
+            out.push_str(name);
+            out.push_str(" = ");
+            expr_to_source(expr, out);
+            out.push_str(";\n");
+        }
+        Stmt::Assign { name, expr, .. } => {
+            out.push_str(name);
+            out.push_str(" = ");
+            expr_to_source(expr, out);
+            out.push_str(";\n");
+        }
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+            ..
+        } => {
+            out.push_str("if ");
+            expr_to_source(cond, out);
+            out.push_str(" {\n");
+            for st in then_block {
+                stmt_to_source(st, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push('}');
+            if let Some(eb) = else_block {
+                out.push_str(" else {\n");
+                for st in eb {
+                    stmt_to_source(st, depth + 1, out);
+                }
+                indent(depth, out);
+                out.push('}');
+            }
+            out.push('\n');
+        }
+        Stmt::While { cond, body, .. } => {
+            out.push_str("while ");
+            expr_to_source(cond, out);
+            out.push_str(" {\n");
+            for st in body {
+                stmt_to_source(st, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Stmt::For {
+            var,
+            iterable,
+            body,
+            ..
+        } => {
+            out.push_str("for ");
+            out.push_str(var);
+            out.push_str(" in ");
+            expr_to_source(iterable, out);
+            out.push_str(" {\n");
+            for st in body {
+                stmt_to_source(st, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Stmt::FlorLoop {
+            var,
+            loop_name,
+            iterable,
+            body,
+            ..
+        } => {
+            out.push_str("for ");
+            out.push_str(var);
+            out.push_str(" in flor.loop(");
+            push_str_lit(loop_name, out);
+            out.push_str(", ");
+            expr_to_source(iterable, out);
+            out.push_str(") {\n");
+            for st in body {
+                stmt_to_source(st, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Stmt::WithCheckpointing { vars, body, .. } => {
+            out.push_str("with flor.checkpointing(");
+            out.push_str(&vars.join(", "));
+            out.push_str(") {\n");
+            for st in body {
+                stmt_to_source(st, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Stmt::ExprStmt { expr, .. } => {
+            expr_to_source(expr, out);
+            out.push_str(";\n");
+        }
+    }
+}
+
+fn push_str_lit(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+}
+
+/// Render an expression. Sub-expressions are parenthesised whenever the
+/// child is itself compound — unambiguous and canonical, if heavier than
+/// minimal-parens printing.
+fn expr_to_source(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Int(_, v) => out.push_str(&v.to_string()),
+        Expr::Float(_, v) => out.push_str(&format!("{v:?}")),
+        Expr::Str(_, s) => push_str_lit(s, out),
+        Expr::Bool(_, b) => out.push_str(if *b { "true" } else { "false" }),
+        Expr::NoneLit(_) => out.push_str("none"),
+        Expr::Ident(_, n) => out.push_str(n),
+        Expr::List(_, items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr_to_source(item, out);
+            }
+            out.push(']');
+        }
+        Expr::Unary { op, expr, .. } => {
+            out.push(match op {
+                UnOp::Neg => '-',
+                UnOp::Not => '!',
+            });
+            paren_if_compound(expr, out);
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            paren_if_compound(lhs, out);
+            out.push(' ');
+            out.push_str(op.as_str());
+            out.push(' ');
+            paren_if_compound(rhs, out);
+        }
+        Expr::Call { name, args, .. } => {
+            out.push_str(name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr_to_source(a, out);
+            }
+            out.push(')');
+        }
+        Expr::FlorCall { func, args, .. } => {
+            out.push_str("flor.");
+            out.push_str(func);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr_to_source(a, out);
+            }
+            out.push(')');
+        }
+        Expr::Index { base, index, .. } => {
+            paren_if_compound(base, out);
+            out.push('[');
+            expr_to_source(index, out);
+            out.push(']');
+        }
+    }
+}
+
+fn paren_if_compound(e: &Expr, out: &mut String) {
+    let compound = matches!(e, Expr::Binary { .. } | Expr::Unary { .. });
+    if compound {
+        out.push('(');
+        expr_to_source(e, out);
+        out.push(')');
+    } else {
+        expr_to_source(e, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trip(src: &str) {
+        let p1 = parse(src).unwrap();
+        let printed = to_source(&p1);
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(p1, p2, "print/parse round trip failed for:\n{printed}");
+        // Fixed point: printing again yields identical text.
+        assert_eq!(to_source(&p2), printed);
+    }
+
+    #[test]
+    fn round_trip_simple() {
+        round_trip("let x = 1;\nx = x + 1;\nflor.log(\"x\", x);");
+    }
+
+    #[test]
+    fn round_trip_precedence() {
+        round_trip("let a = 1 + 2 * 3 - 4 / 5 % 6;");
+        round_trip("let b = (1 + 2) * 3;");
+        round_trip("let c = -x + !y;");
+        round_trip("let d = a < b && c >= d || e != f;");
+    }
+
+    #[test]
+    fn round_trip_control_flow() {
+        round_trip("if a == 1 { let x = 1; } else { let y = 2; }");
+        round_trip("while n > 0 { n = n - 1; }");
+        round_trip("for i in range(0, 10) { print(i); }");
+    }
+
+    #[test]
+    fn round_trip_flor_constructs() {
+        round_trip(
+            "with flor.checkpointing(net) {\n  for e in flor.loop(\"epoch\", range(0, 5)) {\n    flor.log(\"loss\", train_step(net, data, 0.1));\n  }\n}",
+        );
+        round_trip("let h = flor.arg(\"hidden\", 500);");
+        round_trip("flor.commit();");
+    }
+
+    #[test]
+    fn round_trip_literals() {
+        round_trip("let a = 2.0;\nlet b = 0.5;\nlet c = \"he said \\\"hi\\\"\\n\";\nlet d = none;\nlet e = [1, 2.5, \"x\", true];");
+    }
+
+    #[test]
+    fn round_trip_indexing() {
+        round_trip("let m = eval_model(net, data);\nflor.log(\"acc\", m[0]);\nflor.log(\"recall\", m[1]);");
+    }
+
+    #[test]
+    fn float_formatting_distinguishes_int() {
+        let p = parse("let a = 2.0;").unwrap();
+        assert!(to_source(&p).contains("2.0"));
+    }
+
+    #[test]
+    fn nested_blocks_indent() {
+        let src = "if a { if b { let c = 1; } }";
+        let p = parse(src).unwrap();
+        let printed = to_source(&p);
+        assert!(printed.contains("\n        let c = 1;\n"));
+    }
+}

@@ -1,0 +1,448 @@
+//! Runtime values, the object heap, and self-contained state snapshots.
+//!
+//! Snapshots are the substance of `flor.checkpointing`: at a checkpoint-loop
+//! iteration boundary the interpreter can serialize *all* live state (the
+//! flat environment plus every reachable heap object) to text. Restoring
+//! that text into a fresh interpreter resumes execution bit-identically —
+//! the invariant hindsight replay is built on.
+
+use flor_ml::{Dataset, Matrix, Mlp};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A runtime value. Models and datasets live on the [`Heap`] and are
+/// referenced by handle so `train_step` can mutate them in place.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtValue {
+    /// Absence of a value (`none`).
+    None,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+    /// List.
+    List(Vec<RtValue>),
+    /// Handle to a model on the heap.
+    Model(usize),
+    /// Handle to a dataset on the heap.
+    Dataset(usize),
+}
+
+impl RtValue {
+    /// Truthiness (Python-like).
+    pub fn truthy(&self) -> bool {
+        match self {
+            RtValue::None => false,
+            RtValue::Bool(b) => *b,
+            RtValue::Int(i) => *i != 0,
+            RtValue::Float(f) => *f != 0.0,
+            RtValue::Str(s) => !s.is_empty(),
+            RtValue::List(l) => !l.is_empty(),
+            RtValue::Model(_) | RtValue::Dataset(_) => true,
+        }
+    }
+
+    /// Numeric coercion.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            RtValue::Int(i) => Some(*i as f64),
+            RtValue::Float(f) => Some(*f),
+            RtValue::Bool(b) => Some(*b as u8 as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer coercion (exact).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            RtValue::Int(i) => Some(*i),
+            RtValue::Bool(b) => Some(*b as i64),
+            RtValue::Float(f) if f.fract() == 0.0 && f.is_finite() => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Human-readable rendering (what `flor.log` records as text).
+    pub fn display_text(&self) -> String {
+        match self {
+            RtValue::None => "none".to_string(),
+            RtValue::Int(i) => i.to_string(),
+            RtValue::Float(f) => format!("{f:?}"),
+            RtValue::Bool(b) => b.to_string(),
+            RtValue::Str(s) => s.clone(),
+            RtValue::List(items) => {
+                let inner: Vec<String> = items.iter().map(RtValue::display_text).collect();
+                format!("[{}]", inner.join(", "))
+            }
+            RtValue::Model(h) => format!("<model#{h}>"),
+            RtValue::Dataset(h) => format!("<dataset#{h}>"),
+        }
+    }
+}
+
+impl fmt::Display for RtValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_text())
+    }
+}
+
+/// Heap of mutable objects referenced by [`RtValue`] handles.
+#[derive(Debug, Default, Clone)]
+pub struct Heap {
+    /// Models (checkpointable training state).
+    pub models: Vec<Mlp>,
+    /// Datasets.
+    pub datasets: Vec<Dataset>,
+}
+
+impl Heap {
+    /// Allocate a model, returning its handle.
+    pub fn alloc_model(&mut self, m: Mlp) -> usize {
+        self.models.push(m);
+        self.models.len() - 1
+    }
+
+    /// Allocate a dataset, returning its handle.
+    pub fn alloc_dataset(&mut self, d: Dataset) -> usize {
+        self.datasets.push(d);
+        self.datasets.len() - 1
+    }
+}
+
+/// Serialize a dataset to exact text (matrix hex-bits, labels, classes).
+pub fn dataset_to_text(d: &Dataset) -> String {
+    let labels: Vec<String> = d.y.iter().map(usize::to_string).collect();
+    format!("{};{};{}", d.n_classes, labels.join(","), d.x.to_text())
+}
+
+/// Parse [`dataset_to_text`] output.
+pub fn dataset_from_text(s: &str) -> Result<Dataset, String> {
+    let mut parts = s.splitn(3, ';');
+    let k: usize = parts
+        .next()
+        .ok_or("missing n_classes")?
+        .parse()
+        .map_err(|e| format!("n_classes: {e}"))?;
+    let labels_part = parts.next().ok_or("missing labels")?;
+    let y: Vec<usize> = if labels_part.is_empty() {
+        Vec::new()
+    } else {
+        labels_part
+            .split(',')
+            .map(|t| t.parse().map_err(|e| format!("label: {e}")))
+            .collect::<Result<_, _>>()?
+    };
+    let x = Matrix::from_text(parts.next().ok_or("missing matrix")?)?;
+    if x.rows != y.len() {
+        return Err(format!("matrix rows {} != labels {}", x.rows, y.len()));
+    }
+    Ok(Dataset { x, y, n_classes: k })
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot codec
+// ---------------------------------------------------------------------------
+
+fn write_raw(s: &str, out: &mut String) {
+    out.push_str(&s.len().to_string());
+    out.push(':');
+    out.push_str(s);
+}
+
+fn write_value(v: &RtValue, heap: &Heap, out: &mut String) -> Result<(), String> {
+    match v {
+        RtValue::None => out.push('N'),
+        RtValue::Int(i) => {
+            out.push('I');
+            out.push_str(&i.to_string());
+        }
+        RtValue::Float(f) => {
+            out.push('F');
+            out.push_str(&format!("{:016x}", f.to_bits()));
+        }
+        RtValue::Bool(b) => {
+            out.push('B');
+            out.push(if *b { '1' } else { '0' });
+        }
+        RtValue::Str(s) => {
+            out.push('S');
+            write_raw(s, out);
+        }
+        RtValue::List(items) => {
+            out.push('L');
+            out.push_str(&items.len().to_string());
+            for item in items {
+                out.push(' ');
+                write_value(item, heap, out)?;
+            }
+        }
+        RtValue::Model(h) => {
+            let m = heap
+                .models
+                .get(*h)
+                .ok_or_else(|| format!("dangling model handle {h}"))?;
+            out.push('M');
+            write_raw(&m.to_text(), out);
+        }
+        RtValue::Dataset(h) => {
+            let d = heap
+                .datasets
+                .get(*h)
+                .ok_or_else(|| format!("dangling dataset handle {h}"))?;
+            out.push('D');
+            write_raw(&dataset_to_text(d), out);
+        }
+    }
+    Ok(())
+}
+
+struct Cursor<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.s[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Result<char, String> {
+        let c = self.peek().ok_or("unexpected end of snapshot")?;
+        self.pos += c.len_utf8();
+        Ok(c)
+    }
+
+    fn skip_space(&mut self) {
+        while self.peek() == Some(' ') {
+            self.pos += 1;
+        }
+    }
+
+    /// Read digits (and optional leading '-') until a non-digit.
+    fn read_int(&mut self) -> Result<i64, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.s[start..self.pos]
+            .parse()
+            .map_err(|e| format!("bad int at {}: {e}", start))
+    }
+
+    /// Read `<len>:<raw bytes>`.
+    fn read_raw(&mut self) -> Result<&'a str, String> {
+        let len = self.read_int()? as usize;
+        if self.bump()? != ':' {
+            return Err("expected ':' in raw segment".to_string());
+        }
+        let end = self.pos + len;
+        if end > self.s.len() {
+            return Err("raw segment overruns snapshot".to_string());
+        }
+        let raw = &self.s[self.pos..end];
+        self.pos = end;
+        Ok(raw)
+    }
+}
+
+fn read_value(c: &mut Cursor<'_>, heap: &mut Heap) -> Result<RtValue, String> {
+    c.skip_space();
+    match c.bump()? {
+        'N' => Ok(RtValue::None),
+        'I' => Ok(RtValue::Int(c.read_int()?)),
+        'F' => {
+            let end = c.pos + 16;
+            if end > c.s.len() {
+                return Err("truncated float".to_string());
+            }
+            let bits = u64::from_str_radix(&c.s[c.pos..end], 16)
+                .map_err(|e| format!("float bits: {e}"))?;
+            c.pos = end;
+            Ok(RtValue::Float(f64::from_bits(bits)))
+        }
+        'B' => Ok(RtValue::Bool(c.bump()? == '1')),
+        'S' => Ok(RtValue::Str(c.read_raw()?.to_string())),
+        'L' => {
+            let n = c.read_int()? as usize;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(read_value(c, heap)?);
+            }
+            Ok(RtValue::List(items))
+        }
+        'M' => {
+            let text = c.read_raw()?;
+            let m = Mlp::from_text(text)?;
+            Ok(RtValue::Model(heap.alloc_model(m)))
+        }
+        'D' => {
+            let text = c.read_raw()?;
+            let d = dataset_from_text(text)?;
+            Ok(RtValue::Dataset(heap.alloc_dataset(d)))
+        }
+        other => Err(format!("unknown value tag {other:?}")),
+    }
+}
+
+/// Serialize an environment + reachable heap objects to a self-contained
+/// snapshot string. Variables are written in sorted order for determinism.
+pub fn snapshot_state(
+    env: &BTreeMap<String, RtValue>,
+    heap: &Heap,
+) -> Result<String, String> {
+    let mut out = String::from("SNAP1 ");
+    out.push_str(&env.len().to_string());
+    for (name, value) in env {
+        out.push(' ');
+        write_raw(name, &mut out);
+        out.push(' ');
+        write_value(value, heap, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Rebuild `(env, heap)` from a snapshot string.
+pub fn restore_state(snapshot: &str) -> Result<(BTreeMap<String, RtValue>, Heap), String> {
+    let rest = snapshot
+        .strip_prefix("SNAP1 ")
+        .ok_or("bad snapshot header")?;
+    let mut c = Cursor { s: rest, pos: 0 };
+    let n = c.read_int()? as usize;
+    let mut env = BTreeMap::new();
+    let mut heap = Heap::default();
+    for _ in 0..n {
+        c.skip_space();
+        let name = c.read_raw()?.to_string();
+        let value = read_value(&mut c, &mut heap)?;
+        env.insert(name, value);
+    }
+    Ok((env, heap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flor_ml::gaussian_blobs;
+
+    fn round_trip(env: BTreeMap<String, RtValue>, heap: Heap) {
+        let snap = snapshot_state(&env, &heap).unwrap();
+        let (env2, heap2) = restore_state(&snap).unwrap();
+        assert_eq!(env.len(), env2.len());
+        for (name, v) in &env {
+            let v2 = &env2[name];
+            match (v, v2) {
+                (RtValue::Model(a), RtValue::Model(b)) => {
+                    assert_eq!(heap.models[*a], heap2.models[*b]);
+                }
+                (RtValue::Dataset(a), RtValue::Dataset(b)) => {
+                    let (da, db) = (&heap.datasets[*a], &heap2.datasets[*b]);
+                    assert_eq!(da.x, db.x);
+                    assert_eq!(da.y, db.y);
+                }
+                _ => assert_eq!(v, v2),
+            }
+        }
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut env = BTreeMap::new();
+        env.insert("n".into(), RtValue::None);
+        env.insert("i".into(), RtValue::Int(-42));
+        env.insert("f".into(), RtValue::Float(0.1 + 0.2));
+        env.insert("b".into(), RtValue::Bool(true));
+        env.insert("s".into(), RtValue::Str("spaces and\nnewlines: 7:".into()));
+        round_trip(env, Heap::default());
+    }
+
+    #[test]
+    fn nested_lists_round_trip() {
+        let mut env = BTreeMap::new();
+        env.insert(
+            "l".into(),
+            RtValue::List(vec![
+                RtValue::Int(1),
+                RtValue::List(vec![RtValue::Str("x".into()), RtValue::None]),
+                RtValue::Float(2.5),
+            ]),
+        );
+        round_trip(env, Heap::default());
+    }
+
+    #[test]
+    fn heap_objects_round_trip() {
+        let mut heap = Heap::default();
+        let mut m = Mlp::new(3, 4, 2, 7);
+        let ds = gaussian_blobs(20, 3, 2, 2.0, 3);
+        m.train_step(&ds, 0.1);
+        let mh = heap.alloc_model(m);
+        let dh = heap.alloc_dataset(ds);
+        let mut env = BTreeMap::new();
+        env.insert("net".into(), RtValue::Model(mh));
+        env.insert("data".into(), RtValue::Dataset(dh));
+        round_trip(env, heap);
+    }
+
+    #[test]
+    fn nan_float_snapshot() {
+        let mut env = BTreeMap::new();
+        env.insert("x".into(), RtValue::Float(f64::NAN));
+        let snap = snapshot_state(&env, &Heap::default()).unwrap();
+        let (env2, _) = restore_state(&snap).unwrap();
+        match env2["x"] {
+            RtValue::Float(f) => assert!(f.is_nan()),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn dataset_text_round_trip() {
+        let ds = gaussian_blobs(10, 2, 3, 1.0, 5);
+        let back = dataset_from_text(&dataset_to_text(&ds)).unwrap();
+        assert_eq!(ds.x, back.x);
+        assert_eq!(ds.y, back.y);
+        assert_eq!(ds.n_classes, back.n_classes);
+    }
+
+    #[test]
+    fn dangling_handle_errors() {
+        let mut env = BTreeMap::new();
+        env.insert("m".into(), RtValue::Model(99));
+        assert!(snapshot_state(&env, &Heap::default()).is_err());
+    }
+
+    #[test]
+    fn malformed_snapshots_rejected() {
+        assert!(restore_state("garbage").is_err());
+        assert!(restore_state("SNAP1 1 3:abc").is_err()); // missing value
+        assert!(restore_state("SNAP1 1 3:abc Z").is_err()); // bad tag
+        assert!(restore_state("SNAP1 1 99:abc I1").is_err()); // raw overrun
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!RtValue::None.truthy());
+        assert!(!RtValue::Int(0).truthy());
+        assert!(RtValue::Int(1).truthy());
+        assert!(!RtValue::Str(String::new()).truthy());
+        assert!(RtValue::List(vec![RtValue::None]).truthy());
+        assert!(!RtValue::List(vec![]).truthy());
+    }
+
+    #[test]
+    fn display_text_forms() {
+        assert_eq!(RtValue::Float(2.0).display_text(), "2.0");
+        assert_eq!(
+            RtValue::List(vec![RtValue::Int(1), RtValue::Str("a".into())]).display_text(),
+            "[1, a]"
+        );
+        assert_eq!(RtValue::Model(3).display_text(), "<model#3>");
+    }
+}

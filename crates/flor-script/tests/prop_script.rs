@@ -1,0 +1,124 @@
+//! Property tests: printer/parser round-trips over generated programs, and
+//! interpreter determinism.
+
+use flor_script::{parse, to_source, Interpreter, NullRuntime, Program};
+use proptest::prelude::*;
+
+/// Generate small random expressions as source text.
+fn arb_expr(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (-100i64..100).prop_map(|i| i.to_string()),
+        (0.1f64..99.0).prop_map(|f| format!("{f:?}")),
+        "[a-c]".prop_map(|v| v),
+        Just("true".to_string()),
+        Just("none".to_string()),
+        "[a-z]{1,5}".prop_map(|s| format!("\"{s}\"")),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let sub = arb_expr(depth - 1);
+        prop_oneof![
+            4 => leaf,
+            2 => (sub.clone(), prop_oneof![Just("+"), Just("*"), Just("<"), Just("&&")], sub.clone())
+                .prop_map(|(a, op, b)| format!("({a} {op} {b})")),
+            1 => sub.clone().prop_map(|e| format!("-({e})")),
+            1 => proptest::collection::vec(sub.clone(), 0..3)
+                .prop_map(|items| format!("[{}]", items.join(", "))),
+            1 => sub.prop_map(|e| format!("abs({e})")),
+        ]
+        .boxed()
+    }
+}
+
+/// Generate small random programs (statements with nesting).
+fn arb_program(depth: u32) -> BoxedStrategy<String> {
+    let stmt_leaf = prop_oneof![
+        ("[a-c]", arb_expr(1)).prop_map(|(v, e)| format!("let {v} = {e};")),
+        ("[a-c]", arb_expr(1)).prop_map(|(v, e)| format!("{v} = {e};")),
+        ("[a-z]{1,4}", arb_expr(1)).prop_map(|(n, e)| format!("flor.log(\"{n}\", {e});")),
+    ];
+    let base = proptest::collection::vec(stmt_leaf.clone(), 1..4)
+        .prop_map(|stmts| stmts.join("\n"));
+    if depth == 0 {
+        base.boxed()
+    } else {
+        let sub = arb_program(depth - 1);
+        prop_oneof![
+            3 => base,
+            1 => (arb_expr(1), sub.clone()).prop_map(|(c, b)| format!("if {c} {{\n{b}\n}}")),
+            1 => ("[a-c]", 0i64..4, sub.clone())
+                .prop_map(|(v, n, b)| format!("for {v} in range(0, {n}) {{\n{b}\n}}")),
+            1 => ("[a-z]{1,4}", "[a-c]", 0i64..4, sub)
+                .prop_map(|(ln, v, n, b)| {
+                    format!("for {v} in flor.loop(\"{ln}\", range(0, {n})) {{\n{b}\n}}")
+                }),
+        ]
+        .boxed()
+    }
+}
+
+fn normalize(src: &str) -> Option<Program> {
+    parse(src).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse → print → parse is the identity on ASTs, and printing is a
+    /// fixed point.
+    #[test]
+    fn print_parse_round_trip(src in arb_program(2)) {
+        if let Some(p1) = normalize(&src) {
+            let printed = to_source(&p1);
+            let p2 = parse(&printed).expect("printer output must parse");
+            prop_assert_eq!(&p1, &p2);
+            prop_assert_eq!(to_source(&p2), printed);
+        }
+    }
+
+    /// The interpreter is deterministic: two runs of the same program
+    /// yield identical environments, stdout, and stats.
+    #[test]
+    fn interpreter_deterministic(src in arb_program(2)) {
+        let Some(prog) = normalize(&src) else { return Ok(()); };
+        let mut a = Interpreter::new();
+        let ra = a.run(&prog, &mut NullRuntime);
+        let mut b = Interpreter::new();
+        let rb = b.run(&prog, &mut NullRuntime);
+        match (ra, rb) {
+            (Ok(sa), Ok(sb)) => {
+                prop_assert_eq!(sa, sb);
+                prop_assert_eq!(a.env, b.env);
+                prop_assert_eq!(a.stdout, b.stdout);
+            }
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            (x, y) => prop_assert!(false, "divergent outcomes: {:?} vs {:?}", x, y),
+        }
+    }
+
+    /// Snapshot/restore through an arbitrary program's final state is
+    /// lossless.
+    #[test]
+    fn snapshot_after_program_round_trips(src in arb_program(2)) {
+        let Some(prog) = normalize(&src) else { return Ok(()); };
+        let mut interp = Interpreter::new();
+        if interp.run(&prog, &mut NullRuntime).is_err() {
+            return Ok(());
+        }
+        let snap = interp.snapshot().unwrap();
+        let mut fresh = Interpreter::new();
+        fresh.restore(&snap).unwrap();
+        prop_assert_eq!(fresh.env, interp.env);
+    }
+
+    /// node ids are strictly increasing pre-order: re-parsing the printed
+    /// source gives the same node count.
+    #[test]
+    fn node_count_stable(src in arb_program(2)) {
+        if let Some(p) = normalize(&src) {
+            let p2 = parse(&to_source(&p)).unwrap();
+            prop_assert_eq!(p.node_count(), p2.node_count());
+        }
+    }
+}

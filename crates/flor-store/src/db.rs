@@ -1,0 +1,512 @@
+//! The database: tables, secondary indexes, transactions, recovery.
+//!
+//! Concurrency model: the paper's FlorDB is embedded in one driver process
+//! per run; we mirror that with a single logical writer and any number of
+//! readers, mediated by a `parking_lot::RwLock`. Readers only ever see
+//! committed rows ("visibility control", §2.1).
+
+use crate::codec::WalRecord;
+use crate::schema::TableSchema;
+use crate::wal::{recover, Wal};
+use flor_df::{Column, DataFrame, DfResult, Value};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Store-level errors.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Unknown table name.
+    NoSuchTable(String),
+    /// Row failed schema validation.
+    Invalid(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// WAL decode failure on recovery.
+    Codec(crate::codec::CodecError),
+    /// Dataframe construction failure.
+    Df(flor_df::DfError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            StoreError::Invalid(m) => write!(f, "invalid row: {m}"),
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Codec(e) => write!(f, "wal codec error: {e}"),
+            StoreError::Df(e) => write!(f, "dataframe error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+impl From<flor_df::DfError> for StoreError {
+    fn from(e: flor_df::DfError) -> Self {
+        StoreError::Df(e)
+    }
+}
+
+/// Result alias for store operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// One table: schema + committed rows + secondary hash indexes.
+#[derive(Debug)]
+pub(crate) struct Table {
+    pub schema: TableSchema,
+    pub rows: Vec<Vec<Value>>,
+    /// column name → (value → row ids)
+    pub indexes: HashMap<String, HashMap<Value, Vec<usize>>>,
+}
+
+impl Table {
+    fn new(schema: TableSchema) -> Table {
+        let indexes = schema
+            .columns
+            .iter()
+            .filter(|c| c.indexed)
+            .map(|c| (c.name.clone(), HashMap::new()))
+            .collect();
+        Table {
+            schema,
+            rows: Vec::new(),
+            indexes,
+        }
+    }
+
+    fn append(&mut self, row: Vec<Value>) {
+        let rid = self.rows.len();
+        for (col, idx) in &mut self.indexes {
+            let pos = self
+                .schema
+                .col_index(col)
+                .expect("index column exists in schema");
+            idx.entry(row[pos].clone()).or_default().push(rid);
+        }
+        self.rows.push(row);
+    }
+}
+
+#[derive(Debug)]
+struct DbInner {
+    tables: HashMap<String, Table>,
+    wal: Wal,
+    next_txn: u64,
+    open_txn: Option<u64>,
+    staged: Vec<(String, Vec<Value>)>,
+}
+
+/// An embedded relational database holding the FlorDB context tables.
+///
+/// Cloning shares the same underlying state (cheap `Arc` clone).
+#[derive(Debug, Clone)]
+pub struct Database {
+    inner: Arc<RwLock<DbInner>>,
+}
+
+/// Statistics snapshot for monitoring and benchmarks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbStats {
+    /// Committed rows per table.
+    pub rows_per_table: Vec<(String, usize)>,
+    /// Total committed rows.
+    pub total_rows: usize,
+    /// Records appended to the WAL so far.
+    pub wal_records: u64,
+    /// Rows staged in the open transaction.
+    pub staged_rows: usize,
+}
+
+impl Database {
+    /// In-memory database with the given schemas.
+    pub fn in_memory(schemas: Vec<TableSchema>) -> Database {
+        Database {
+            inner: Arc::new(RwLock::new(DbInner {
+                tables: schemas
+                    .into_iter()
+                    .map(|s| (s.name.clone(), Table::new(s)))
+                    .collect(),
+                wal: Wal::in_memory(),
+                next_txn: 1,
+                open_txn: None,
+                staged: Vec::new(),
+            })),
+        }
+    }
+
+    /// File-backed database: replays the WAL at `path` (committed
+    /// transactions only) and then accepts new appends.
+    pub fn open(path: &Path, schemas: Vec<TableSchema>) -> StoreResult<Database> {
+        let mut wal = Wal::open(path)?;
+        let recovery = recover(wal.read_all()?).map_err(StoreError::Codec)?;
+        let mut tables: HashMap<String, Table> = schemas
+            .into_iter()
+            .map(|s| (s.name.clone(), Table::new(s)))
+            .collect();
+        for (tname, row) in recovery.committed {
+            if let Some(t) = tables.get_mut(&tname) {
+                t.append(row);
+            }
+        }
+        Ok(Database {
+            inner: Arc::new(RwLock::new(DbInner {
+                tables,
+                wal,
+                next_txn: recovery.max_txn + 1,
+                open_txn: None,
+                staged: Vec::new(),
+            })),
+        })
+    }
+
+    /// Register an additional table (no-op if it already exists).
+    pub fn ensure_table(&self, schema: TableSchema) {
+        let mut g = self.inner.write();
+        g.tables
+            .entry(schema.name.clone())
+            .or_insert_with(|| Table::new(schema));
+    }
+
+    /// Table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.read().tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Stage a row into the open transaction (starting one if needed) and
+    /// append it to the WAL. Invisible to readers until [`Database::commit`].
+    pub fn insert(&self, table: &str, row: Vec<Value>) -> StoreResult<()> {
+        let mut g = self.inner.write();
+        let schema = g
+            .tables
+            .get(table)
+            .ok_or_else(|| StoreError::NoSuchTable(table.to_string()))?
+            .schema
+            .clone();
+        schema.validate(&row).map_err(StoreError::Invalid)?;
+        let txn = match g.open_txn {
+            Some(t) => t,
+            None => {
+                let t = g.next_txn;
+                g.next_txn += 1;
+                g.open_txn = Some(t);
+                t
+            }
+        };
+        g.wal.append(&WalRecord::Insert {
+            txn,
+            table: table.to_string(),
+            row: row.clone(),
+        })?;
+        g.staged.push((table.to_string(), row));
+        Ok(())
+    }
+
+    /// Commit the open transaction: write the commit marker, fsync, and
+    /// make staged rows visible. Returns the number of rows made visible.
+    pub fn commit(&self) -> StoreResult<usize> {
+        let mut g = self.inner.write();
+        let Some(txn) = g.open_txn.take() else {
+            return Ok(0);
+        };
+        g.wal.append(&WalRecord::Commit { txn })?;
+        g.wal.sync()?;
+        let staged = std::mem::take(&mut g.staged);
+        let n = staged.len();
+        for (tname, row) in staged {
+            if let Some(t) = g.tables.get_mut(&tname) {
+                t.append(row);
+            }
+        }
+        Ok(n)
+    }
+
+    /// Discard the open transaction's staged rows. (The WAL keeps the
+    /// orphaned inserts, but without a commit marker recovery ignores
+    /// them — same effect as a crash.)
+    pub fn rollback(&self) -> usize {
+        let mut g = self.inner.write();
+        g.open_txn = None;
+        std::mem::take(&mut g.staged).len()
+    }
+
+    /// Number of committed rows in a table.
+    pub fn row_count(&self, table: &str) -> StoreResult<usize> {
+        let g = self.inner.read();
+        g.tables
+            .get(table)
+            .map(|t| t.rows.len())
+            .ok_or_else(|| StoreError::NoSuchTable(table.to_string()))
+    }
+
+    /// Full scan of committed rows as a [`DataFrame`].
+    pub fn scan(&self, table: &str) -> StoreResult<DataFrame> {
+        let g = self.inner.read();
+        let t = g
+            .tables
+            .get(table)
+            .ok_or_else(|| StoreError::NoSuchTable(table.to_string()))?;
+        Ok(rows_to_frame(&t.schema, t.rows.iter()))
+    }
+
+    /// Point lookup via a secondary index if one exists on `col`; falls
+    /// back to a filtered scan otherwise.
+    pub fn lookup(&self, table: &str, col: &str, value: &Value) -> StoreResult<DataFrame> {
+        let g = self.inner.read();
+        let t = g
+            .tables
+            .get(table)
+            .ok_or_else(|| StoreError::NoSuchTable(table.to_string()))?;
+        if let Some(idx) = t.indexes.get(col) {
+            let empty = Vec::new();
+            let rids = idx.get(value).unwrap_or(&empty);
+            return Ok(rows_to_frame(&t.schema, rids.iter().map(|&r| &t.rows[r])));
+        }
+        let pos = t
+            .schema
+            .col_index(col)
+            .ok_or_else(|| StoreError::Invalid(format!("no column {col}")))?;
+        Ok(rows_to_frame(
+            &t.schema,
+            t.rows.iter().filter(|r| &r[pos] == value),
+        ))
+    }
+
+    /// Whether `col` has a secondary index on `table`.
+    pub fn has_index(&self, table: &str, col: &str) -> bool {
+        self.inner
+            .read()
+            .tables
+            .get(table)
+            .is_some_and(|t| t.indexes.contains_key(col))
+    }
+
+    /// Execute `f` against the raw rows of a table (read-only); used by the
+    /// query layer to avoid materialising intermediate frames.
+    pub(crate) fn with_table<R>(
+        &self,
+        table: &str,
+        f: impl FnOnce(&Table) -> R,
+    ) -> StoreResult<R> {
+        let g = self.inner.read();
+        let t = g
+            .tables
+            .get(table)
+            .ok_or_else(|| StoreError::NoSuchTable(table.to_string()))?;
+        Ok(f(t))
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> DbStats {
+        let g = self.inner.read();
+        let mut rows_per_table: Vec<(String, usize)> = g
+            .tables
+            .iter()
+            .map(|(n, t)| (n.clone(), t.rows.len()))
+            .collect();
+        rows_per_table.sort();
+        DbStats {
+            total_rows: rows_per_table.iter().map(|(_, n)| n).sum(),
+            rows_per_table,
+            wal_records: g.wal.records_written,
+            staged_rows: g.staged.len(),
+        }
+    }
+}
+
+/// Materialise rows into a column-oriented frame with the schema's names.
+pub(crate) fn rows_to_frame<'a>(
+    schema: &TableSchema,
+    rows: impl Iterator<Item = &'a Vec<Value>>,
+) -> DataFrame {
+    let mut cols: Vec<Column> = schema
+        .columns
+        .iter()
+        .map(|c| Column {
+            name: c.name.clone(),
+            values: Vec::new(),
+        })
+        .collect();
+    for row in rows {
+        for (c, v) in cols.iter_mut().zip(row) {
+            c.values.push(v.clone());
+        }
+    }
+    DataFrame::from_columns(cols).expect("schema guarantees equal lengths and unique names")
+}
+
+/// Convenience conversion used by higher layers.
+pub fn frame_result(df: DataFrame) -> DfResult<DataFrame> {
+    Ok(df)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{flor_schema, ColType, ColumnDef};
+
+    fn tiny_schema() -> Vec<TableSchema> {
+        vec![TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::indexed("k", ColType::Str),
+                ColumnDef::new("v", ColType::Int),
+            ],
+        )]
+    }
+
+    #[test]
+    fn insert_invisible_until_commit() {
+        let db = Database::in_memory(tiny_schema());
+        db.insert("t", vec!["a".into(), 1.into()]).unwrap();
+        assert_eq!(db.row_count("t").unwrap(), 0);
+        assert_eq!(db.stats().staged_rows, 1);
+        assert_eq!(db.commit().unwrap(), 1);
+        assert_eq!(db.row_count("t").unwrap(), 1);
+    }
+
+    #[test]
+    fn rollback_discards() {
+        let db = Database::in_memory(tiny_schema());
+        db.insert("t", vec!["a".into(), 1.into()]).unwrap();
+        assert_eq!(db.rollback(), 1);
+        assert_eq!(db.commit().unwrap(), 0);
+        assert_eq!(db.row_count("t").unwrap(), 0);
+    }
+
+    #[test]
+    fn scan_returns_committed_rows() {
+        let db = Database::in_memory(tiny_schema());
+        for i in 0..5 {
+            db.insert("t", vec![format!("k{i}").into(), i.into()])
+                .unwrap();
+        }
+        db.commit().unwrap();
+        let df = db.scan("t").unwrap();
+        assert_eq!(df.n_rows(), 5);
+        assert_eq!(df.column_names(), vec!["k", "v"]);
+    }
+
+    #[test]
+    fn indexed_lookup_matches_scan_filter() {
+        let db = Database::in_memory(tiny_schema());
+        for i in 0..100 {
+            db.insert("t", vec![format!("k{}", i % 10).into(), i.into()])
+                .unwrap();
+        }
+        db.commit().unwrap();
+        assert!(db.has_index("t", "k"));
+        let via_index = db.lookup("t", "k", &"k3".into()).unwrap();
+        let via_scan = db.scan("t").unwrap().filter_eq("k", &"k3".into());
+        assert_eq!(via_index.n_rows(), 10);
+        assert_eq!(via_index.to_rows(), via_scan.to_rows());
+    }
+
+    #[test]
+    fn unindexed_lookup_falls_back() {
+        let db = Database::in_memory(tiny_schema());
+        db.insert("t", vec!["a".into(), 7.into()]).unwrap();
+        db.commit().unwrap();
+        assert!(!db.has_index("t", "v"));
+        let df = db.lookup("t", "v", &7.into()).unwrap();
+        assert_eq!(df.n_rows(), 1);
+    }
+
+    #[test]
+    fn schema_validation_enforced() {
+        let db = Database::in_memory(tiny_schema());
+        assert!(matches!(
+            db.insert("t", vec![1.into(), 1.into()]),
+            Err(StoreError::Invalid(_))
+        ));
+        assert!(matches!(
+            db.insert("nope", vec![]),
+            Err(StoreError::NoSuchTable(_))
+        ));
+    }
+
+    #[test]
+    fn flor_schema_database_accepts_log_rows() {
+        let db = Database::in_memory(flor_schema());
+        db.insert(
+            "logs",
+            vec![
+                "pdf_parser".into(),
+                1.into(),
+                "train.fl".into(),
+                100.into(),
+                "loss".into(),
+                "0.5".into(),
+                3.into(),
+            ],
+        )
+        .unwrap();
+        db.commit().unwrap();
+        assert_eq!(db.row_count("logs").unwrap(), 1);
+    }
+
+    #[test]
+    fn durability_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("flordb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let db = Database::open(&path, tiny_schema()).unwrap();
+            db.insert("t", vec!["persisted".into(), 1.into()]).unwrap();
+            db.commit().unwrap();
+            db.insert("t", vec!["lost".into(), 2.into()]).unwrap();
+            // no commit — simulates a crash
+        }
+        {
+            let db = Database::open(&path, tiny_schema()).unwrap();
+            let df = db.scan("t").unwrap();
+            assert_eq!(df.n_rows(), 1);
+            assert_eq!(df.get(0, "k"), Some(&Value::from("persisted")));
+            // New transactions continue with fresh ids.
+            db.insert("t", vec!["after".into(), 3.into()]).unwrap();
+            db.commit().unwrap();
+        }
+        {
+            let db = Database::open(&path, tiny_schema()).unwrap();
+            assert_eq!(db.row_count("t").unwrap(), 2);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let db = Database::in_memory(tiny_schema());
+        let db2 = db.clone();
+        db.insert("t", vec!["a".into(), 1.into()]).unwrap();
+        db.commit().unwrap();
+        assert_eq!(db2.row_count("t").unwrap(), 1);
+    }
+
+    #[test]
+    fn ensure_table_idempotent() {
+        let db = Database::in_memory(vec![]);
+        db.ensure_table(tiny_schema().pop().unwrap());
+        db.ensure_table(tiny_schema().pop().unwrap());
+        assert_eq!(db.table_names(), vec!["t"]);
+    }
+
+    #[test]
+    fn stats_reflect_state() {
+        let db = Database::in_memory(tiny_schema());
+        db.insert("t", vec!["a".into(), 1.into()]).unwrap();
+        db.commit().unwrap();
+        let s = db.stats();
+        assert_eq!(s.total_rows, 1);
+        assert_eq!(s.wal_records, 2); // insert + commit marker
+        assert_eq!(s.staged_rows, 0);
+    }
+}

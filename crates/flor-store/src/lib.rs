@@ -1,0 +1,40 @@
+//! # flor-store — the embedded relational engine under FlorDB
+//!
+//! The FlorDB paper (CIDR 2025) backs its context framework with a
+//! relational data model (Fig. 1): `logs`, `loops`, `ts2vid`, `git`,
+//! `obj_store` and `build_deps`. This crate is that storage layer, built
+//! from scratch:
+//!
+//! * typed [`schema::TableSchema`]s, including [`schema::flor_schema`] —
+//!   the paper's six tables verbatim;
+//! * an append-only, CRC-framed [`wal`] with crash recovery that honours
+//!   transaction commit markers (the semantics of `flor.commit()`, §2.1:
+//!   staged rows are invisible until the marker lands);
+//! * secondary hash indexes and a [`query::Query`] layer with predicate
+//!   pushdown ("NoSQL-like writes, SQL-like reads", §3.1);
+//! * materialisation into `flor-df` [`flor_df::DataFrame`]s, feeding the
+//!   pivoted `flor.dataframe` view.
+//!
+//! ```
+//! use flor_store::{Database, Query, schema::flor_schema};
+//! let db = Database::in_memory(flor_schema());
+//! db.insert("logs", vec![
+//!     "demo".into(), 1.into(), "train.fl".into(), 0.into(),
+//!     "loss".into(), "0.25".into(), 3.into(),
+//! ]).unwrap();
+//! db.commit().unwrap();
+//! let df = Query::table("logs").filter_eq("value_name", "loss").execute(&db).unwrap();
+//! assert_eq!(df.n_rows(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod db;
+pub mod query;
+pub mod schema;
+pub mod wal;
+
+pub use db::{Database, DbStats, StoreError, StoreResult};
+pub use query::{CmpOp, Predicate, Query};
+pub use schema::{flor_schema, ColType, ColumnDef, TableSchema};

@@ -1,0 +1,293 @@
+//! A small query layer: predicate pushdown onto indexes, projection, and
+//! ordering, materialising [`DataFrame`]s.
+//!
+//! FlorDB promises "powerful, SQL-like data reads" (§3.1). Complex
+//! relational work (joins, pivots) happens on the dataframe layer; the
+//! query layer's job is to get the right rows out of the store cheaply —
+//! equality predicates are served from secondary hash indexes when one is
+//! available.
+
+use crate::db::{rows_to_frame, Database, StoreResult};
+use flor_df::{DataFrame, Value};
+
+/// Comparison operators for scan predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equality (index-eligible).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+}
+
+impl CmpOp {
+    fn eval(&self, a: &Value, b: &Value) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// One predicate: `column op literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Column name.
+    pub col: String,
+    /// Operator.
+    pub op: CmpOp,
+    /// Literal to compare against.
+    pub value: Value,
+}
+
+/// A declarative query against one table.
+#[derive(Debug, Clone)]
+pub struct Query {
+    table: String,
+    predicates: Vec<Predicate>,
+    projection: Option<Vec<String>>,
+    order_by: Vec<(String, bool)>,
+    limit: Option<usize>,
+}
+
+impl Query {
+    /// Query all rows of `table`.
+    pub fn table(table: &str) -> Query {
+        Query {
+            table: table.to_string(),
+            predicates: Vec::new(),
+            projection: None,
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// Add an equality predicate (index-eligible).
+    pub fn filter_eq(mut self, col: &str, value: impl Into<Value>) -> Query {
+        self.predicates.push(Predicate {
+            col: col.to_string(),
+            op: CmpOp::Eq,
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Add a general comparison predicate.
+    pub fn filter(mut self, col: &str, op: CmpOp, value: impl Into<Value>) -> Query {
+        self.predicates.push(Predicate {
+            col: col.to_string(),
+            op,
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Project only these columns (in order).
+    pub fn project(mut self, cols: &[&str]) -> Query {
+        self.projection = Some(cols.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Sort by `col` ascending (`true`) or descending; may be chained.
+    pub fn order_by(mut self, col: &str, ascending: bool) -> Query {
+        self.order_by.push((col.to_string(), ascending));
+        self
+    }
+
+    /// Keep at most `n` rows (applied after ordering).
+    pub fn limit(mut self, n: usize) -> Query {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Execute against `db`.
+    pub fn execute(&self, db: &Database) -> StoreResult<DataFrame> {
+        // Plan: pick the first Eq predicate over an indexed column as the
+        // access path; residual predicates filter the fetched rows.
+        let access = self
+            .predicates
+            .iter()
+            .position(|p| p.op == CmpOp::Eq && db.has_index(&self.table, &p.col));
+
+        let mut df = db.with_table(&self.table, |t| {
+            let candidate_rids: Vec<usize> = match access {
+                Some(i) => {
+                    let p = &self.predicates[i];
+                    t.indexes
+                        .get(&p.col)
+                        .and_then(|idx| idx.get(&p.value))
+                        .cloned()
+                        .unwrap_or_default()
+                }
+                None => (0..t.rows.len()).collect(),
+            };
+            let residual: Vec<(usize, &Predicate)> = self
+                .predicates
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| Some(*i) != access)
+                .filter_map(|(_, p)| t.schema.col_index(&p.col).map(|ci| (ci, p)))
+                .collect();
+            let rows = candidate_rids
+                .iter()
+                .map(|&r| &t.rows[r])
+                .filter(|row| residual.iter().all(|(ci, p)| p.op.eval(&row[*ci], &p.value)));
+            rows_to_frame(&t.schema, rows)
+        })?;
+
+        // Drop rows referencing unknown predicate columns conservatively:
+        // a predicate over a column the schema lacks matches nothing.
+        for p in &self.predicates {
+            if df.column(&p.col).is_none() {
+                df = df.head(0);
+            }
+        }
+        if !self.order_by.is_empty() {
+            let keys: Vec<(&str, bool)> = self
+                .order_by
+                .iter()
+                .map(|(c, a)| (c.as_str(), *a))
+                .collect();
+            df = df.sort_by(&keys)?;
+        }
+        if let Some(n) = self.limit {
+            df = df.head(n);
+        }
+        if let Some(proj) = &self.projection {
+            let cols: Vec<&str> = proj.iter().map(String::as_str).collect();
+            df = df.select(&cols)?;
+        }
+        Ok(df)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColType, ColumnDef, TableSchema};
+
+    fn db_with_rows(n: i64) -> Database {
+        let db = Database::in_memory(vec![TableSchema::new(
+            "logs",
+            vec![
+                ColumnDef::indexed("name", ColType::Str),
+                ColumnDef::new("tstamp", ColType::Int),
+                ColumnDef::new("value", ColType::Float),
+            ],
+        )]);
+        for i in 0..n {
+            db.insert(
+                "logs",
+                vec![
+                    format!("m{}", i % 3).into(),
+                    i.into(),
+                    (i as f64 / 10.0).into(),
+                ],
+            )
+            .unwrap();
+        }
+        db.commit().unwrap();
+        db
+    }
+
+    #[test]
+    fn eq_uses_index_and_matches_scan() {
+        let db = db_with_rows(30);
+        let q = Query::table("logs").filter_eq("name", "m1");
+        let df = q.execute(&db).unwrap();
+        assert_eq!(df.n_rows(), 10);
+        let scan = db.scan("logs").unwrap().filter_eq("name", &"m1".into());
+        assert_eq!(df.to_rows(), scan.to_rows());
+    }
+
+    #[test]
+    fn range_predicates() {
+        let db = db_with_rows(20);
+        let df = Query::table("logs")
+            .filter("tstamp", CmpOp::Ge, 15)
+            .filter("tstamp", CmpOp::Lt, 18)
+            .execute(&db)
+            .unwrap();
+        assert_eq!(df.n_rows(), 3);
+    }
+
+    #[test]
+    fn combined_index_and_residual() {
+        let db = db_with_rows(30);
+        let df = Query::table("logs")
+            .filter_eq("name", "m0")
+            .filter("tstamp", CmpOp::Gt, 10)
+            .execute(&db)
+            .unwrap();
+        // m0 occurs at tstamps 0,3,...,27; those > 10: 12,15,...,27 → 6 rows
+        assert_eq!(df.n_rows(), 6);
+    }
+
+    #[test]
+    fn projection_and_order_and_limit() {
+        let db = db_with_rows(10);
+        let df = Query::table("logs")
+            .order_by("tstamp", false)
+            .limit(3)
+            .project(&["tstamp"])
+            .execute(&db)
+            .unwrap();
+        assert_eq!(df.column_names(), vec!["tstamp"]);
+        let ts: Vec<i64> = df
+            .column("tstamp")
+            .unwrap()
+            .values
+            .iter()
+            .map(|v| v.as_i64().unwrap())
+            .collect();
+        assert_eq!(ts, vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn unknown_predicate_column_matches_nothing() {
+        let db = db_with_rows(5);
+        let df = Query::table("logs")
+            .filter_eq("no_such_col", 1)
+            .execute(&db)
+            .unwrap();
+        assert_eq!(df.n_rows(), 0);
+    }
+
+    #[test]
+    fn ne_lt_le_operators() {
+        let db = db_with_rows(4);
+        assert_eq!(
+            Query::table("logs")
+                .filter("tstamp", CmpOp::Ne, 0)
+                .execute(&db)
+                .unwrap()
+                .n_rows(),
+            3
+        );
+        assert_eq!(
+            Query::table("logs")
+                .filter("tstamp", CmpOp::Le, 1)
+                .execute(&db)
+                .unwrap()
+                .n_rows(),
+            2
+        );
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let db = db_with_rows(1);
+        assert!(Query::table("absent").execute(&db).is_err());
+    }
+}

@@ -1,0 +1,293 @@
+//! Table schemas, including the six-table FlorDB data model of paper Fig. 1.
+
+use flor_df::{DataType, Value};
+use std::fmt;
+
+/// Column type for schema validation. `Any` columns accept every value
+/// (the `logs.value` column stores heterogeneous logged values as text plus
+/// a type tag, so the engine must tolerate mixed types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Str,
+    /// Boolean.
+    Bool,
+    /// Accepts any value type.
+    Any,
+}
+
+impl ColType {
+    /// Whether `v` conforms to this column type (null always allowed).
+    pub fn accepts(&self, v: &Value) -> bool {
+        matches!(
+            (self, v.data_type()),
+            (_, DataType::Null)
+                | (ColType::Any, _)
+                | (ColType::Int, DataType::Int)
+                | (ColType::Float, DataType::Float | DataType::Int)
+                | (ColType::Str, DataType::Str)
+                | (ColType::Bool, DataType::Bool)
+        )
+    }
+}
+
+impl fmt::Display for ColType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColType::Int => "int",
+            ColType::Float => "float",
+            ColType::Str => "str",
+            ColType::Bool => "bool",
+            ColType::Any => "any",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: ColType,
+    /// Whether a secondary hash index is maintained on this column.
+    pub indexed: bool,
+}
+
+impl ColumnDef {
+    /// Unindexed column.
+    pub fn new(name: &str, ty: ColType) -> Self {
+        ColumnDef {
+            name: name.to_string(),
+            ty,
+            indexed: false,
+        }
+    }
+
+    /// Indexed column.
+    pub fn indexed(name: &str, ty: ColType) -> Self {
+        ColumnDef {
+            name: name.to_string(),
+            ty,
+            indexed: true,
+        }
+    }
+}
+
+/// A table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Build a schema.
+    pub fn new(name: &str, columns: Vec<ColumnDef>) -> Self {
+        TableSchema {
+            name: name.to_string(),
+            columns,
+        }
+    }
+
+    /// Position of a column by name.
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column names in order.
+    pub fn col_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Validate a row against arity and column types.
+    pub fn validate(&self, row: &[Value]) -> Result<(), String> {
+        if row.len() != self.columns.len() {
+            return Err(format!(
+                "table {}: expected {} columns, got {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            ));
+        }
+        for (col, v) in self.columns.iter().zip(row) {
+            if !col.ty.accepts(v) {
+                return Err(format!(
+                    "table {}: column {} expects {}, got {} ({v})",
+                    self.name,
+                    col.name,
+                    col.ty,
+                    v.data_type()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The FlorDB schema from paper Fig. 1. "Basic tables denoted in white;
+/// virtual tables in gray" — we materialise all six; the gray ones
+/// (`ts2vid`, `git`, `build_deps`) are populated by the kernel rather than
+/// by user log statements.
+pub fn flor_schema() -> Vec<TableSchema> {
+    vec![
+        // logs(projid, tstamp, filename, ctx_id, value_name, value, value_type)
+        TableSchema::new(
+            "logs",
+            vec![
+                ColumnDef::indexed("projid", ColType::Str),
+                ColumnDef::indexed("tstamp", ColType::Int),
+                ColumnDef::new("filename", ColType::Str),
+                ColumnDef::indexed("ctx_id", ColType::Int),
+                ColumnDef::indexed("value_name", ColType::Str),
+                ColumnDef::new("value", ColType::Str),
+                ColumnDef::new("value_type", ColType::Int),
+            ],
+        ),
+        // loops(projid, tstamp, filename, ctx_id, parent_ctx_id, loop_name,
+        //       loop_iteration, iteration_value)
+        TableSchema::new(
+            "loops",
+            vec![
+                ColumnDef::indexed("projid", ColType::Str),
+                ColumnDef::indexed("tstamp", ColType::Int),
+                ColumnDef::new("filename", ColType::Str),
+                ColumnDef::indexed("ctx_id", ColType::Int),
+                ColumnDef::new("parent_ctx_id", ColType::Int),
+                ColumnDef::new("loop_name", ColType::Str),
+                ColumnDef::new("loop_iteration", ColType::Int),
+                ColumnDef::new("iteration_value", ColType::Str),
+            ],
+        ),
+        // ts2vid(projid, ts_start, ts_end, vid, root_target)
+        TableSchema::new(
+            "ts2vid",
+            vec![
+                ColumnDef::indexed("projid", ColType::Str),
+                ColumnDef::new("ts_start", ColType::Int),
+                ColumnDef::new("ts_end", ColType::Int),
+                ColumnDef::indexed("vid", ColType::Str),
+                ColumnDef::new("root_target", ColType::Str),
+            ],
+        ),
+        // git(vid, filename, parent_vid, contents)
+        TableSchema::new(
+            "git",
+            vec![
+                ColumnDef::indexed("vid", ColType::Str),
+                ColumnDef::new("filename", ColType::Str),
+                ColumnDef::new("parent_vid", ColType::Str),
+                ColumnDef::new("contents", ColType::Str),
+            ],
+        ),
+        // obj_store(projid, tstamp, filename, ctx_id, value_name, contents)
+        TableSchema::new(
+            "obj_store",
+            vec![
+                ColumnDef::indexed("projid", ColType::Str),
+                ColumnDef::indexed("tstamp", ColType::Int),
+                ColumnDef::new("filename", ColType::Str),
+                ColumnDef::indexed("ctx_id", ColType::Int),
+                ColumnDef::indexed("value_name", ColType::Str),
+                ColumnDef::new("contents", ColType::Str),
+            ],
+        ),
+        // build_deps(vid, target, deps, cmds, cached) — deps/cmds are text[]
+        // in the paper; we store them newline-joined.
+        TableSchema::new(
+            "build_deps",
+            vec![
+                ColumnDef::indexed("vid", ColType::Str),
+                ColumnDef::indexed("target", ColType::Str),
+                ColumnDef::new("deps", ColType::Str),
+                ColumnDef::new("cmds", ColType::Str),
+                ColumnDef::new("cached", ColType::Bool),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flor_schema_has_six_tables() {
+        let s = flor_schema();
+        let names: Vec<&str> = s.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["logs", "loops", "ts2vid", "git", "obj_store", "build_deps"]
+        );
+    }
+
+    #[test]
+    fn logs_schema_matches_fig1() {
+        let s = flor_schema();
+        let logs = &s[0];
+        assert_eq!(
+            logs.col_names(),
+            vec![
+                "projid",
+                "tstamp",
+                "filename",
+                "ctx_id",
+                "value_name",
+                "value",
+                "value_type"
+            ]
+        );
+    }
+
+    #[test]
+    fn validate_checks_arity() {
+        let t = TableSchema::new("t", vec![ColumnDef::new("a", ColType::Int)]);
+        assert!(t.validate(&[Value::Int(1)]).is_ok());
+        assert!(t.validate(&[]).is_err());
+        assert!(t.validate(&[Value::Int(1), Value::Int(2)]).is_err());
+    }
+
+    #[test]
+    fn validate_checks_types() {
+        let t = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("i", ColType::Int),
+                ColumnDef::new("s", ColType::Str),
+                ColumnDef::new("any", ColType::Any),
+            ],
+        );
+        assert!(t
+            .validate(&[Value::Int(1), Value::Str("x".into()), Value::Float(1.5)])
+            .is_ok());
+        assert!(t
+            .validate(&[Value::Str("no".into()), Value::Str("x".into()), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn nulls_always_accepted() {
+        let t = TableSchema::new("t", vec![ColumnDef::new("i", ColType::Int)]);
+        assert!(t.validate(&[Value::Null]).is_ok());
+    }
+
+    #[test]
+    fn float_accepts_int_widening() {
+        assert!(ColType::Float.accepts(&Value::Int(3)));
+        assert!(!ColType::Int.accepts(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn col_index_lookup() {
+        let t = &flor_schema()[0];
+        assert_eq!(t.col_index("value_name"), Some(4));
+        assert_eq!(t.col_index("nope"), None);
+    }
+}

@@ -1,0 +1,281 @@
+//! Write-ahead log: durability and crash recovery.
+//!
+//! `flor.commit()` is the paper's "application-level transaction commit
+//! marker supporting visibility control for long-running processes"
+//! (§2.1). The WAL gives that marker teeth: staged inserts reach the log
+//! immediately, but recovery only surfaces rows whose transaction has a
+//! commit marker — an uncommitted tail (crashed run) is invisible, exactly
+//! the visibility semantics the paper describes.
+
+use crate::codec::{decode_record, encode_record, CodecError, WalRecord};
+use bytes::Bytes;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Where the WAL lives: a real file, or in memory (for tests and
+/// benchmarks that should not touch disk).
+#[derive(Debug)]
+pub enum WalBackend {
+    /// Append to a file on disk.
+    File {
+        /// Open appendable handle.
+        file: File,
+        /// Path (for reopening).
+        path: PathBuf,
+    },
+    /// Keep frames in a growable buffer.
+    Memory(Vec<u8>),
+}
+
+/// The write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    backend: WalBackend,
+    /// Count of appended records (for stats).
+    pub records_written: u64,
+}
+
+impl Wal {
+    /// Open (or create) a file-backed WAL.
+    pub fn open(path: &Path) -> std::io::Result<Wal> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(path)?;
+        Ok(Wal {
+            backend: WalBackend::File {
+                file,
+                path: path.to_path_buf(),
+            },
+            records_written: 0,
+        })
+    }
+
+    /// Purely in-memory WAL.
+    pub fn in_memory() -> Wal {
+        Wal {
+            backend: WalBackend::Memory(Vec::new()),
+            records_written: 0,
+        }
+    }
+
+    /// Append a record. File backend writes through to the OS immediately
+    /// (the file is opened in append mode); callers control transaction
+    /// visibility via commit markers, not buffering.
+    pub fn append(&mut self, rec: &WalRecord) -> std::io::Result<()> {
+        let frame = encode_record(rec);
+        match &mut self.backend {
+            WalBackend::File { file, .. } => {
+                file.write_all(&frame)?;
+            }
+            WalBackend::Memory(buf) => buf.extend_from_slice(&frame),
+        }
+        self.records_written += 1;
+        Ok(())
+    }
+
+    /// Force file contents to stable storage (no-op for memory).
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        if let WalBackend::File { file, .. } = &mut self.backend {
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Read back the raw byte stream.
+    pub fn read_all(&mut self) -> std::io::Result<Vec<u8>> {
+        match &mut self.backend {
+            WalBackend::File { path, .. } => {
+                let mut f = File::open(path)?;
+                let mut buf = Vec::new();
+                f.read_to_end(&mut buf)?;
+                Ok(buf)
+            }
+            WalBackend::Memory(buf) => Ok(buf.clone()),
+        }
+    }
+
+    /// Byte length of the log.
+    pub fn len_bytes(&mut self) -> std::io::Result<u64> {
+        Ok(self.read_all()?.len() as u64)
+    }
+}
+
+/// Result of WAL recovery.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Rows from committed transactions, in log order: `(table, row)`.
+    pub committed: Vec<(String, Vec<flor_df::Value>)>,
+    /// Records belonging to transactions without a commit marker.
+    pub discarded_uncommitted: usize,
+    /// Whether a torn/corrupt tail was truncated away.
+    pub torn_tail: bool,
+    /// Highest transaction id seen (committed or not).
+    pub max_txn: u64,
+}
+
+/// Replay a WAL byte stream, honouring commit markers.
+///
+/// Records after the first torn frame are dropped (append-only format: a
+/// crash can only damage the tail). Inserts from transactions that never
+/// committed are discarded.
+pub fn recover(bytes: Vec<u8>) -> Result<Recovery, CodecError> {
+    let mut buf = Bytes::from(bytes);
+    let mut staged: Vec<(u64, String, Vec<flor_df::Value>)> = Vec::new();
+    let mut committed_txns: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut rec = Recovery::default();
+    loop {
+        match decode_record(&mut buf) {
+            Ok(Some(WalRecord::Insert { txn, table, row })) => {
+                rec.max_txn = rec.max_txn.max(txn);
+                staged.push((txn, table, row));
+            }
+            Ok(Some(WalRecord::Commit { txn })) => {
+                rec.max_txn = rec.max_txn.max(txn);
+                committed_txns.insert(txn);
+            }
+            Ok(None) => break,
+            Err(CodecError::Truncated) => {
+                rec.torn_tail = true;
+                break;
+            }
+            Err(CodecError::BadChecksum) => {
+                // Treat like a torn tail: everything from here on is suspect.
+                rec.torn_tail = true;
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for (txn, table, row) in staged {
+        if committed_txns.contains(&txn) {
+            rec.committed.push((table, row));
+        } else {
+            rec.discarded_uncommitted += 1;
+        }
+    }
+    Ok(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flor_df::Value;
+
+    fn ins(txn: u64, table: &str, v: i64) -> WalRecord {
+        WalRecord::Insert {
+            txn,
+            table: table.into(),
+            row: vec![Value::Int(v)],
+        }
+    }
+
+    #[test]
+    fn committed_rows_recovered_in_order() {
+        let mut wal = Wal::in_memory();
+        wal.append(&ins(1, "logs", 10)).unwrap();
+        wal.append(&ins(1, "logs", 11)).unwrap();
+        wal.append(&WalRecord::Commit { txn: 1 }).unwrap();
+        let rec = recover(wal.read_all().unwrap()).unwrap();
+        assert_eq!(rec.committed.len(), 2);
+        assert_eq!(rec.committed[0].1[0], Value::Int(10));
+        assert_eq!(rec.committed[1].1[0], Value::Int(11));
+        assert!(!rec.torn_tail);
+    }
+
+    #[test]
+    fn uncommitted_tail_is_invisible() {
+        let mut wal = Wal::in_memory();
+        wal.append(&ins(1, "logs", 1)).unwrap();
+        wal.append(&WalRecord::Commit { txn: 1 }).unwrap();
+        wal.append(&ins(2, "logs", 2)).unwrap(); // never committed
+        let rec = recover(wal.read_all().unwrap()).unwrap();
+        assert_eq!(rec.committed.len(), 1);
+        assert_eq!(rec.discarded_uncommitted, 1);
+        assert_eq!(rec.max_txn, 2);
+    }
+
+    #[test]
+    fn torn_tail_truncated() {
+        let mut wal = Wal::in_memory();
+        wal.append(&ins(1, "logs", 1)).unwrap();
+        wal.append(&WalRecord::Commit { txn: 1 }).unwrap();
+        let mut bytes = wal.read_all().unwrap();
+        // Simulate a crash mid-append of a new frame.
+        let extra = encode_record(&ins(2, "logs", 2));
+        bytes.extend_from_slice(&extra[..extra.len() / 2]);
+        let rec = recover(bytes).unwrap();
+        assert!(rec.torn_tail);
+        assert_eq!(rec.committed.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_middle_stops_replay_conservatively() {
+        let mut wal = Wal::in_memory();
+        wal.append(&ins(1, "logs", 1)).unwrap();
+        wal.append(&WalRecord::Commit { txn: 1 }).unwrap();
+        wal.append(&ins(2, "logs", 2)).unwrap();
+        wal.append(&WalRecord::Commit { txn: 2 }).unwrap();
+        let mut bytes = wal.read_all().unwrap();
+        // Flip a payload byte in the third frame.
+        let f1 = encode_record(&ins(1, "logs", 1)).len();
+        let f2 = encode_record(&WalRecord::Commit { txn: 1 }).len();
+        bytes[f1 + f2 + 13] ^= 0xff;
+        let rec = recover(bytes).unwrap();
+        assert!(rec.torn_tail);
+        assert_eq!(rec.committed.len(), 1);
+    }
+
+    #[test]
+    fn file_backend_persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("florwal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&ins(1, "logs", 99)).unwrap();
+            wal.append(&WalRecord::Commit { txn: 1 }).unwrap();
+            wal.sync().unwrap();
+        }
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            let rec = recover(wal.read_all().unwrap()).unwrap();
+            assert_eq!(rec.committed.len(), 1);
+            assert_eq!(rec.committed[0].1[0], Value::Int(99));
+            // Appending after reopen extends, not truncates.
+            wal.append(&ins(2, "logs", 100)).unwrap();
+            wal.append(&WalRecord::Commit { txn: 2 }).unwrap();
+        }
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            let rec = recover(wal.read_all().unwrap()).unwrap();
+            assert_eq!(rec.committed.len(), 2);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_wal_recovers_empty() {
+        let rec = recover(Vec::new()).unwrap();
+        assert!(rec.committed.is_empty());
+        assert!(!rec.torn_tail);
+        assert_eq!(rec.max_txn, 0);
+    }
+
+    #[test]
+    fn interleaved_transactions() {
+        let mut wal = Wal::in_memory();
+        wal.append(&ins(1, "a", 1)).unwrap();
+        wal.append(&ins(2, "b", 2)).unwrap();
+        wal.append(&ins(1, "a", 3)).unwrap();
+        wal.append(&WalRecord::Commit { txn: 2 }).unwrap();
+        // txn 1 never commits.
+        let rec = recover(wal.read_all().unwrap()).unwrap();
+        assert_eq!(rec.committed.len(), 1);
+        assert_eq!(rec.committed[0].0, "b");
+        assert_eq!(rec.discarded_uncommitted, 2);
+    }
+}

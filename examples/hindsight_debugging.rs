@@ -1,0 +1,106 @@
+//! Multiversion hindsight logging — the paper's "magic trick" (§2).
+//!
+//! Scenario: a developer runs several versions of a training script, then
+//! realises they never logged `acc`/`recall`. They add the log statements
+//! to the *latest* version only; FlorDB (a) injects the statements into all
+//! prior versions via AST diffing and (b) replays only the necessary loop
+//! iterations from checkpoints — no full re-execution — after which the
+//! dataframe is complete for every historical run.
+//!
+//! Run with `cargo run --example hindsight_debugging`.
+
+use flordb::prelude::*;
+
+const TRAIN_V1: &str = r#"
+let data = load_dataset("first_page", 120, 42);
+let epochs = flor.arg("epochs", 5);
+let lr = flor.arg("lr", 0.5);
+let net = make_model(5, 8, 2, 7);
+with flor.checkpointing(net) {
+    for e in flor.loop("epoch", range(0, epochs)) {
+        let loss = train_step(net, data, lr);
+        flor.log("loss", loss);
+    }
+}
+"#;
+
+// v2 tweaks the learning rate — an ordinary code evolution.
+const TRAIN_V2: &str = r#"
+let data = load_dataset("first_page", 120, 42);
+let epochs = flor.arg("epochs", 5);
+let lr = flor.arg("lr", 0.25);
+let net = make_model(5, 8, 2, 7);
+with flor.checkpointing(net) {
+    for e in flor.loop("epoch", range(0, epochs)) {
+        let loss = train_step(net, data, lr);
+        flor.log("loss", loss);
+    }
+}
+"#;
+
+// v3 finally adds the metrics the developer wishes they always had.
+const TRAIN_V3: &str = r#"
+let data = load_dataset("first_page", 120, 42);
+let epochs = flor.arg("epochs", 5);
+let lr = flor.arg("lr", 0.25);
+let net = make_model(5, 8, 2, 7);
+with flor.checkpointing(net) {
+    for e in flor.loop("epoch", range(0, epochs)) {
+        let loss = train_step(net, data, lr);
+        flor.log("loss", loss);
+        let m = eval_model(net, data);
+        flor.log("acc", m[0]);
+        flor.log("recall", m[1]);
+    }
+}
+"#;
+
+fn main() {
+    let flor = Flor::new("hindsight");
+
+    println!("== record two historical versions (no acc/recall logging) ==");
+    flor.fs.write("train.fl", TRAIN_V1);
+    flordb::core::run_script(&flor, "train.fl", CheckpointPolicy::EveryK(1)).unwrap();
+    flor.fs.write("train.fl", TRAIN_V2);
+    flordb::core::run_script(&flor, "train.fl", CheckpointPolicy::EveryK(1)).unwrap();
+
+    println!("== v3 adds flor.log(\"acc\")/flor.log(\"recall\") and runs ==");
+    flor.fs.write("train.fl", TRAIN_V3);
+    flordb::core::run_script(&flor, "train.fl", CheckpointPolicy::EveryK(1)).unwrap();
+
+    let before = flor.dataframe(&["loss", "acc", "recall"]).unwrap();
+    let holes = before
+        .column("acc")
+        .map(|c| c.values.iter().filter(|v| v.is_null()).count())
+        .unwrap_or(0);
+    println!("\ndataframe BEFORE backfill ({holes} missing acc cells):\n{before}\n");
+
+    println!("== flor.backfill: propagate + incremental replay ==");
+    let report = flordb::core::backfill(&flor, "train.fl", &["acc", "recall"], 4).unwrap();
+    for v in &report.versions {
+        match &v.skipped {
+            Some(reason) => println!(
+                "  tstamp {} (vid {}…): skipped — {reason}",
+                v.tstamp,
+                &v.vid[..8]
+            ),
+            None => println!(
+                "  tstamp {} (vid {}…): injected {} stmts, replayed {}/{} iterations, recovered {} values",
+                v.tstamp,
+                &v.vid[..8],
+                v.injected,
+                v.iterations_replayed,
+                v.iterations_total,
+                v.values_recovered
+            ),
+        }
+    }
+
+    let after = flor.dataframe(&["loss", "acc", "recall"]).unwrap();
+    let holes = after
+        .column("acc")
+        .map(|c| c.values.iter().filter(|v| v.is_null()).count())
+        .unwrap_or(0);
+    println!("\ndataframe AFTER backfill ({holes} missing acc cells):\n{after}");
+    assert_eq!(holes, 0, "backfill must fill every hole");
+}

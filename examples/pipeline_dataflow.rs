@@ -1,0 +1,82 @@
+//! Figure 2 reproduction: the Makefile-orchestrated ML pipeline with
+//! feedback, its dataflow, and the flor dataframe spanning it.
+//!
+//! The paper's Fig. 2 shows (left) a Makefile with `prep → {infer, train}`,
+//! `run → infer`; (middle) the dataflow diagram; (right) the flor
+//! dataframe. This example parses that exact Makefile, executes it with
+//! FlorDB-instrumented stage bodies, prints the dependency order, and
+//! regenerates the dataframe.
+//!
+//! Run with `cargo run --example pipeline_dataflow`.
+
+use flordb::make::FIG2_MAKEFILE;
+use flordb::prelude::*;
+use std::collections::HashMap;
+
+fn main() {
+    let flor = Flor::new("fig2");
+    let fs = &flor.fs;
+    for f in ["prep.py", "infer.py", "train.py"] {
+        fs.write(f, &format!("# source of {f}"));
+    }
+
+    // Parse the paper's Makefile verbatim.
+    let mk = parse_makefile(FIG2_MAKEFILE, &HashMap::new()).unwrap();
+    println!("Fig. 2 Makefile targets (topological order for `run`):");
+    for t in mk.topo_order("run").unwrap() {
+        println!("  {t}");
+    }
+
+    // Execute with a runner that maps each command to an instrumented
+    // stage body (the paper's `python prep.py` etc.).
+    let build = |target: &str| {
+        let flor = flor.clone();
+        mk.build_with(target, fs, &mut move |cmd: &str| {
+            match cmd {
+                "python prep.py" => {
+                    flor.set_filename("prep.py");
+                    flor.log("rows_prepped", 1280);
+                    flor.log("schema", "doc,page,text");
+                }
+                "python train.py" => {
+                    flor.set_filename("train.py");
+                    flor.for_each("epoch", 0..3, |flor, &e| {
+                        flor.log("loss", 1.0 / (e + 1) as f64);
+                    });
+                    flor.log("acc", 0.91);
+                    flor.log("recall", 0.88);
+                }
+                "python infer.py" => {
+                    flor.set_filename("infer.py");
+                    flor.log("predictions", 412);
+                }
+                "flask run" => {
+                    flor.set_filename("run.py");
+                    flor.log("served", true);
+                }
+                other => println!("    (skipping unknown command {other:?})"),
+            }
+            flor.commit(&format!("ran: {cmd}")).map_err(|e| e.to_string())?;
+            Ok(())
+        })
+        .unwrap()
+    };
+
+    println!("\n$ make run");
+    let report = build("run");
+    println!("  executed: {:?}", report.executed);
+    println!("\n$ make train");
+    let report = build("train");
+    println!("  executed: {:?} (prep cached: {:?})", report.executed, report.cached);
+
+    println!("\n$ make run          # nothing changed");
+    let report = build("run");
+    println!("  executed: {:?}, cached: {:?}", report.executed, report.cached);
+
+    // The right pane of Fig. 2: one dataframe spanning every stage of the
+    // pipeline, with filename revealing the dataflow pathway.
+    let df = flor
+        .dataframe(&["rows_prepped", "loss", "acc", "recall", "predictions"])
+        .unwrap();
+    println!("\nflor.dataframe across the whole pipeline:\n{df}");
+}

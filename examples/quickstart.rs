@@ -1,0 +1,43 @@
+//! Quickstart: log training metrics across runs, query them back as a
+//! pivoted dataframe, and pick the best checkpoint — FlorDB's elevator
+//! pitch in 60 lines.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use flordb::prelude::*;
+
+fn main() {
+    let flor = Flor::new("quickstart");
+    flor.set_filename("train.fl");
+
+    // Three "training runs" with different hyper-parameters. Each run logs
+    // per-epoch loss and end-of-run acc/recall, then commits — exactly the
+    // shape of the paper's Fig. 5 loop.
+    for (run, lr) in [0.5f64, 0.1, 0.01].iter().enumerate() {
+        let lr = flor.arg("lr", *lr).as_f64().unwrap();
+        flor.for_each("epoch", 0..4, |flor, &e| {
+            // A fake but monotone loss curve parameterised by lr.
+            let loss = 1.0 / (1.0 + lr * (e + 1) as f64);
+            flor.log("loss", loss);
+        });
+        flor.log("acc", 0.7 + 0.05 * run as f64);
+        flor.log("recall", 0.6 + 0.1 * run as f64);
+        flor.commit(&format!("run {run} with lr={lr}")).unwrap();
+    }
+
+    // "flor.dataframe produces a Pandas DataFrame of log information" —
+    // here, a flor-df DataFrame, one column per logged name.
+    let df = flor.dataframe(&["loss"]).unwrap();
+    println!("per-epoch losses across all runs:\n{df}\n");
+
+    // Model-registry behaviour (§4.2): best checkpoint by recall.
+    let metrics = flor.dataframe(&["acc", "recall"]).unwrap();
+    let best = metrics.sort_by(&[("recall", false)]).unwrap().head(1);
+    println!("best run by recall:\n{best}\n");
+
+    // Change context: every commit is a version.
+    println!("version history:");
+    for (vid, commit) in flor.repo.log_head().unwrap() {
+        println!("  {}  tstamp={}  {}", vid.short(), commit.tstamp, commit.message);
+    }
+}

@@ -1,0 +1,57 @@
+//! # FlorDB (Rust) — Incremental Context Maintenance for the ML Lifecycle
+//!
+//! A from-scratch Rust reproduction of *Flow with FlorDB: Incremental
+//! Context Maintenance for the Machine Learning Lifecycle* (CIDR 2025).
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`df`] | columnar DataFrames (`pivot`, `join`, `latest`) |
+//! | [`store`] | embedded relational engine (WAL, indexes, txn visibility) |
+//! | [`git`] | gitlite change-context substrate (SHA-256, commits, diffs) |
+//! | [`script`] | florscript: the instrumented mini-language |
+//! | [`ml`] | deterministic SGD training substrate |
+//! | [`diff`] | GumTree-style AST diff + statement propagation |
+//! | [`record`] | record/replay: checkpoints, planning, parallelism |
+//! | [`make`] | Make-lite build DAG (behavioral context) |
+//! | [`core`] | the Flor kernel: `log`/`arg`/`loop`/`commit`/`dataframe` |
+//! | [`pipeline`] | the PDF Parser demo (paper §4) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flordb::prelude::*;
+//!
+//! let flor = Flor::new("quickstart");
+//! flor.set_filename("train.fl");
+//! flor.for_each("epoch", 0..3, |flor, &e| {
+//!     flor.log("loss", 1.0 / (e + 1) as f64);
+//! });
+//! flor.commit("first run").unwrap();
+//!
+//! let df = flor.dataframe(&["loss"]).unwrap();
+//! assert_eq!(df.n_rows(), 3);
+//! ```
+
+pub use flor_core as core;
+pub use flor_df as df;
+pub use flor_diff as diff;
+pub use flor_git as git;
+pub use flor_make as make;
+pub use flor_ml as ml;
+pub use flor_pipeline as pipeline;
+pub use flor_record as record;
+pub use flor_script as script;
+pub use flor_store as store;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use flor_core::{backfill, run_script, Flor, RunOutcome};
+    pub use flor_df::{AggFn, DataFrame, JoinKind, Value};
+    pub use flor_git::{Repository, VirtualFs};
+    pub use flor_make::{parse_makefile, Makefile};
+    pub use flor_pipeline::{run_demo, CorpusConfig, PdfPipeline};
+    pub use flor_record::{CheckpointPolicy, RunRecord};
+    pub use flor_script::{parse, to_source, Interpreter, NullRuntime};
+}
