@@ -29,9 +29,11 @@ fn bench_propagation(c: &mut Criterion) {
         // Matching cost alone (pre-parsed).
         let old = parse(&old_src).unwrap();
         let new = parse(&new_src).unwrap();
-        group.bench_with_input(BenchmarkId::new("propagate_only", stages), &stages, |b, _| {
-            b.iter(|| propagate_logs(&old, &new).injected.len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("propagate_only", stages),
+            &stages,
+            |b, _| b.iter(|| propagate_logs(&old, &new).injected.len()),
+        );
     }
     group.finish();
 }

@@ -19,15 +19,29 @@ fn bench_record_overhead(c: &mut Criterion) {
     for epochs in [4usize, 16] {
         let src = train_script(epochs, 2, true);
         let prog = parse(&src).unwrap();
-        group.bench_with_input(BenchmarkId::new("bare_execution", epochs), &epochs, |b, _| {
-            b.iter(|| {
-                let mut interp = Interpreter::new();
-                interp.run(&prog, &mut NullRuntime).unwrap()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("record_no_ckpt", epochs), &epochs, |b, _| {
-            b.iter(|| record(&prog, CheckpointPolicy::None, &[]).unwrap().0.logs.len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bare_execution", epochs),
+            &epochs,
+            |b, _| {
+                b.iter(|| {
+                    let mut interp = Interpreter::new();
+                    interp.run(&prog, &mut NullRuntime).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("record_no_ckpt", epochs),
+            &epochs,
+            |b, _| {
+                b.iter(|| {
+                    record(&prog, CheckpointPolicy::None, &[])
+                        .unwrap()
+                        .0
+                        .logs
+                        .len()
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("full_kernel", epochs), &epochs, |b, _| {
             b.iter(|| {
                 let flor = Flor::new("bench");

@@ -29,7 +29,13 @@ fn bench_replay(c: &mut Criterion) {
         let last = [epochs - 1];
 
         group.bench_with_input(BenchmarkId::new("full_rerun", epochs), &epochs, |b, _| {
-            b.iter(|| record(&new_prog, CheckpointPolicy::None, &[]).unwrap().0.logs.len())
+            b.iter(|| {
+                record(&new_prog, CheckpointPolicy::None, &[])
+                    .unwrap()
+                    .0
+                    .logs
+                    .len()
+            })
         });
         group.bench_with_input(
             BenchmarkId::new("replay_one_iter", epochs),

@@ -1,0 +1,102 @@
+//! Experiment: incremental view maintenance vs. full recompute.
+//!
+//! The ROADMAP's heavy-traffic north star requires `flor.dataframe` to be
+//! served without re-joining and re-pivoting the whole log history per
+//! query. This bench measures both paths as history grows:
+//!
+//! * `full_recompute` — `Flor::dataframe_full`: index fetch + ctx-chain
+//!   resolution + pivot over the entire history (the seed's behaviour).
+//! * `incremental_refresh` — a live commit followed by
+//!   `Flor::dataframe_view`: the catalog applies just the committed
+//!   deltas to the maintained frame and hands back a shared snapshot.
+//!
+//! The `speedup_report` section prints the headline ratio at a 10k-row
+//! log history; the acceptance target is ≥10×.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flor_bench::flor_with_logs;
+use flor_core::Flor;
+
+const NAMES: [&str; 3] = ["loss", "acc", "recall"];
+
+/// A kernel with `rows` log rows of history and a hot, up-to-date view.
+fn prepared(rows: usize) -> Flor {
+    let epochs = 10;
+    let runs = rows / (epochs * NAMES.len());
+    let flor = flor_with_logs(runs.max(1), epochs, &NAMES);
+    flor.dataframe_view(&NAMES).expect("materialize view");
+    flor
+}
+
+/// One live update: a fresh epoch of logs lands, commits, and the view is
+/// brought up to date.
+fn live_update(flor: &Flor, i: usize) -> usize {
+    flor.for_each("epoch", [i], |flor, _| {
+        for name in NAMES {
+            flor.log(name, 0.5);
+        }
+    });
+    flor.commit("live").expect("commit");
+    flor.dataframe_view(&NAMES).expect("refresh").n_rows()
+}
+
+fn bench_view_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_maintenance");
+    group.sample_size(10);
+    for rows in [1_000usize, 10_000] {
+        let flor = prepared(rows);
+        group.bench_with_input(BenchmarkId::new("full_recompute", rows), &rows, |b, _| {
+            b.iter(|| flor.dataframe_full(&NAMES).unwrap().n_rows())
+        });
+        let flor = prepared(rows);
+        let mut i = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("incremental_refresh", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| {
+                    i += 1;
+                    live_update(&flor, i)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Headline number: wall-clock ratio at a 10k-row history, measured over
+/// whole update→query cycles so the incremental side pays for its commit
+/// and delta application, not just the cached read.
+fn speedup_report(_c: &mut Criterion) {
+    let flor = prepared(10_000);
+    let reps = 30;
+
+    let start = std::time::Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(flor.dataframe_full(&NAMES).unwrap().n_rows());
+    }
+    let full = start.elapsed();
+
+    let start = std::time::Instant::now();
+    for i in 0..reps {
+        std::hint::black_box(live_update(&flor, i));
+    }
+    let incremental = start.elapsed();
+
+    let speedup = full.as_secs_f64() / incremental.as_secs_f64().max(1e-12);
+    println!(
+        "\nview_maintenance: 10k-row history, {reps} refreshes\n\
+           full recompute      {:>10.1} µs/query\n\
+           incremental refresh {:>10.1} µs/update+query\n\
+           speedup             {speedup:>10.1}x (target >= 10x)",
+        full.as_secs_f64() * 1e6 / reps as f64,
+        incremental.as_secs_f64() * 1e6 / reps as f64,
+    );
+    assert!(
+        speedup >= 10.0,
+        "incremental refresh must beat full recompute by >= 10x at 10k rows, got {speedup:.1}x"
+    );
+}
+
+criterion_group!(benches, bench_view_maintenance, speedup_report);
+criterion_main!(benches);

@@ -42,8 +42,14 @@ fn header(id: &str, title: &str) {
 
 /// H2 — record overhead (Fig. 3 / §2 claim: logging is low-friction).
 fn exp_record_overhead() {
-    header("H2", "record overhead: bare vs recorded vs full-kernel execution");
-    println!("{:>8} {:>14} {:>14} {:>14} {:>10}", "epochs", "bare (ms)", "record (ms)", "kernel (ms)", "kernel ovh");
+    header(
+        "H2",
+        "record overhead: bare vs recorded vs full-kernel execution",
+    );
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>10}",
+        "epochs", "bare (ms)", "record (ms)", "kernel (ms)", "kernel ovh"
+    );
     for epochs in [4usize, 16, 48] {
         let src = train_script(epochs, 2, true);
         let prog = parse(&src).unwrap();
@@ -54,7 +60,16 @@ fn exp_record_overhead() {
             },
             5,
         );
-        let rec = median_of(|| record(&prog, CheckpointPolicy::None, &[]).unwrap().0.logs.len(), 5);
+        let rec = median_of(
+            || {
+                record(&prog, CheckpointPolicy::None, &[])
+                    .unwrap()
+                    .0
+                    .logs
+                    .len()
+            },
+            5,
+        );
         let kernel = median_of(
             || {
                 let flor = Flor::new("bench");
@@ -73,7 +88,10 @@ fn exp_record_overhead() {
 
 /// F5 — checkpoint policy ablation (adaptive low-overhead checkpointing).
 fn exp_checkpoint_policies() {
-    header("F5", "checkpoint policies: runtime overhead vs checkpoints taken");
+    header(
+        "F5",
+        "checkpoint policies: runtime overhead vs checkpoints taken",
+    );
     let src = train_script(12, 4, false);
     let prog = parse(&src).unwrap();
     let policies: Vec<(&str, CheckpointPolicy)> = vec![
@@ -83,7 +101,10 @@ fn exp_checkpoint_policies() {
         ("adaptive_a10", CheckpointPolicy::Adaptive { alpha: 10.0 }),
         ("adaptive_a2", CheckpointPolicy::Adaptive { alpha: 2.0 }),
     ];
-    println!("{:>14} {:>12} {:>8} {:>14}", "policy", "time (ms)", "ckpts", "ckpt bytes");
+    println!(
+        "{:>14} {:>12} {:>8} {:>14}",
+        "policy", "time (ms)", "ckpts", "ckpt bytes"
+    );
     let mut baseline = 0.0;
     for (name, policy) in policies {
         let t = median_of(|| record(&prog, policy, &[]).unwrap().0.ckpt_count, 5);
@@ -103,7 +124,10 @@ fn exp_checkpoint_policies() {
 
 /// H1 — the headline: hindsight replay vs full re-execution.
 fn exp_replay_speedup() {
-    header("H1", "hindsight replay vs full re-execution (one new statement)");
+    header(
+        "H1",
+        "hindsight replay vs full re-execution (one new statement)",
+    );
     println!(
         "{:>8} {:>10} {:>14} {:>14} {:>11} {:>12} {:>11}",
         "epochs", "need", "full(ms)", "replay(ms)", "speedup", "crit.work", "par.factor"
@@ -121,10 +145,19 @@ fn exp_replay_speedup() {
             ("all", (0..epochs).collect::<Vec<_>>()),
         ] {
             let full = median_of(
-                || record(&new_prog, CheckpointPolicy::None, &[]).unwrap().0.logs.len(),
+                || {
+                    record(&new_prog, CheckpointPolicy::None, &[])
+                        .unwrap()
+                        .0
+                        .logs
+                        .len()
+                },
                 3,
             );
-            let ser = median_of(|| replay(&new_prog, &rec, &needed, 1).unwrap().new_logs.len(), 3);
+            let ser = median_of(
+                || replay(&new_prog, &rec, &needed, 1).unwrap().new_logs.len(),
+                3,
+            );
             let serial_out = replay(&new_prog, &rec, &needed, 1).unwrap();
             let par_out = replay(&new_prog, &rec, &needed, 4).unwrap();
             println!(
@@ -140,7 +173,10 @@ fn exp_replay_speedup() {
 
 /// H1b — multiversion backfill across a growing history.
 fn exp_multiversion_backfill() {
-    header("H1b", "multiversion backfill: versions x epochs, replay vs full work");
+    header(
+        "H1b",
+        "multiversion backfill: versions x epochs, replay vs full work",
+    );
     println!(
         "{:>9} {:>8} {:>14} {:>16} {:>14} {:>12}",
         "versions", "epochs", "recovered", "iter replayed", "iter full", "time (ms)"
@@ -187,13 +223,23 @@ fn exp_propagation() {
 /// Q1 — the pivoted dataframe view.
 fn exp_dataframe() {
     header("Q1", "flor.dataframe materialisation cost vs log volume");
-    println!("{:>12} {:>10} {:>14} {:>14}", "log rows", "out rows", "pivot (ms)", "latest (ms)");
+    println!(
+        "{:>12} {:>10} {:>14} {:>14}",
+        "log rows", "out rows", "pivot (ms)", "latest (ms)"
+    );
     for runs in [4usize, 16, 64, 128] {
         let flor = flor_with_logs(runs, 10, &["loss", "acc", "recall"]);
         let rows = flor.db.row_count("logs").unwrap();
-        let t_pivot = median_of(|| flor.dataframe(&["loss", "acc", "recall"]).unwrap().n_rows(), 3);
+        let t_pivot = median_of(
+            || flor.dataframe(&["loss", "acc", "recall"]).unwrap().n_rows(),
+            3,
+        );
         let t_latest = median_of(
-            || flor.dataframe_latest(&["acc"], &["epoch_iteration"]).unwrap().n_rows(),
+            || {
+                flor.dataframe_latest(&["acc"], &["epoch_iteration"])
+                    .unwrap()
+                    .n_rows()
+            },
             3,
         );
         let out = flor.dataframe(&["loss", "acc", "recall"]).unwrap().n_rows();
@@ -205,7 +251,10 @@ fn exp_dataframe() {
 
 /// F2/F4 — incremental builds.
 fn exp_incremental_build() {
-    header("F2/F4", "Makefile pipeline: full vs cached vs touched rebuilds");
+    header(
+        "F2/F4",
+        "Makefile pipeline: full vs cached vs touched rebuilds",
+    );
     let cfg = CorpusConfig {
         n_pdfs: 6,
         max_docs_per_pdf: 2,
@@ -219,11 +268,30 @@ fn exp_incremental_build() {
     let (r_infer, t_infer) = time(|| p.make("run").unwrap());
     p.flor.fs.write("featurize.fl", "// touched");
     let (r_feat, t_feat) = time(|| p.make("run").unwrap());
-    println!("{:>22} {:>12} {:>30}", "build", "time (ms)", "executed targets");
-    println!("{:>22} {t_full:>12.2} {:>30}", "cold full", format!("{:?}", r_full.executed.len()));
-    println!("{:>22} {t_cached:>12.2} {:>30}", "nothing changed", format!("{:?}", r_cached.executed));
-    println!("{:>22} {t_infer:>12.2} {:>30}", "touch infer.fl", format!("{:?}", r_infer.executed));
-    println!("{:>22} {t_feat:>12.2} {:>30}", "touch featurize.fl", format!("{:?}", r_feat.executed));
+    println!(
+        "{:>22} {:>12} {:>30}",
+        "build", "time (ms)", "executed targets"
+    );
+    println!(
+        "{:>22} {t_full:>12.2} {:>30}",
+        "cold full",
+        format!("{:?}", r_full.executed.len())
+    );
+    println!(
+        "{:>22} {t_cached:>12.2} {:>30}",
+        "nothing changed",
+        format!("{:?}", r_cached.executed)
+    );
+    println!(
+        "{:>22} {t_infer:>12.2} {:>30}",
+        "touch infer.fl",
+        format!("{:?}", r_infer.executed)
+    );
+    println!(
+        "{:>22} {t_feat:>12.2} {:>30}",
+        "touch featurize.fl",
+        format!("{:?}", r_feat.executed)
+    );
     assert_eq!(r_full.executed.len(), 7);
     assert!(r_cached.executed.is_empty());
     assert_eq!(r_infer.executed, vec!["infer", "run"]);
@@ -233,7 +301,10 @@ fn exp_incremental_build() {
 
 /// F6 — the feedback loop improves the model.
 fn exp_feedback() {
-    header("F6", "human feedback loop: accuracy per round (PDF Parser demo)");
+    header(
+        "F6",
+        "human feedback loop: accuracy per round (PDF Parser demo)",
+    );
     let cfg = CorpusConfig {
         n_pdfs: 10,
         max_docs_per_pdf: 3,
@@ -254,8 +325,14 @@ fn exp_feedback() {
 
 /// F1 — data-model query paths.
 fn exp_store() {
-    header("F1", "storage engine: indexed lookup vs scan on the logs table");
-    println!("{:>10} {:>18} {:>14} {:>12}", "rows", "index lookup (ms)", "scan (ms)", "scan/index");
+    header(
+        "F1",
+        "storage engine: indexed lookup vs scan on the logs table",
+    );
+    println!(
+        "{:>10} {:>18} {:>14} {:>12}",
+        "rows", "index lookup (ms)", "scan (ms)", "scan/index"
+    );
     for n in [1_000usize, 10_000, 50_000] {
         let db = flor_store::Database::in_memory(flor_store::flor_schema());
         for i in 0..n {
@@ -275,12 +352,23 @@ fn exp_store() {
         }
         db.commit().unwrap();
         let key = flor_df::Value::from("metric_3");
-        let t_idx = median_of(|| db.lookup("logs", "value_name", &key).unwrap().n_rows(), 5);
-        let t_scan = median_of(
-            || db.scan("logs").unwrap().filter_eq("value_name", &key).n_rows(),
+        let t_idx = median_of(
+            || db.lookup("logs", "value_name", &key).unwrap().n_rows(),
             5,
         );
-        println!("{n:>10} {t_idx:>18.3} {t_scan:>14.3} {:>11.1}x", t_scan / t_idx.max(1e-9));
+        let t_scan = median_of(
+            || {
+                db.scan("logs")
+                    .unwrap()
+                    .filter_eq("value_name", &key)
+                    .n_rows()
+            },
+            5,
+        );
+        println!(
+            "{n:>10} {t_idx:>18.3} {t_scan:>14.3} {:>11.1}x",
+            t_scan / t_idx.max(1e-9)
+        );
     }
     println!("shape check: index advantage grows with table size.");
 }

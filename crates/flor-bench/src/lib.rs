@@ -43,8 +43,7 @@ pub fn flor_with_history(versions: usize, epochs: usize, work: usize) -> Flor {
     for _ in 0..versions {
         run_script(&flor, "train.fl", CheckpointPolicy::EveryK(1)).expect("record run");
     }
-    flor.fs
-        .write("train.fl", &train_script(epochs, work, true));
+    flor.fs.write("train.fl", &train_script(epochs, work, true));
     flor
 }
 

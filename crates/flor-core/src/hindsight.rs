@@ -73,7 +73,10 @@ pub fn runs_of(flor: &Flor, filename: &str) -> StoreResult<Vec<(i64, String)>> {
         let vid = ts2vid
             .rows()
             .find(|r| {
-                let s = r.get("ts_start").and_then(Value::as_i64).unwrap_or(i64::MAX);
+                let s = r
+                    .get("ts_start")
+                    .and_then(Value::as_i64)
+                    .unwrap_or(i64::MAX);
                 let e = r.get("ts_end").and_then(Value::as_i64).unwrap_or(i64::MIN);
                 s <= t && t <= e
             })
@@ -308,7 +311,7 @@ with flor.checkpointing(net) {
             .map(|c| c.values.iter().filter(|v| v.is_null()).count())
             .unwrap_or(0);
         assert_eq!(holes, 7); // 4 + 3 old-epoch rows lack acc
-        // Backfill.
+                              // Backfill.
         let report = backfill(&flor, "train.fl", &["acc", "recall"], 2).unwrap();
         assert_eq!(report.versions.len(), 3);
         // v3 already has values → skipped; v1/v2 replayed fully (new stmt in
@@ -316,7 +319,7 @@ with flor.checkpointing(net) {
         assert_eq!(report.values_recovered, 14); // (4+3) × 2 names
         assert!(report.versions[2].skipped.is_some());
         assert_eq!(report.versions[0].injected, 3); // let m + 2 logs? no: logs only
-        // After: no holes.
+                                                    // After: no holes.
         let after = flor.dataframe(&["loss", "acc", "recall"]).unwrap();
         let holes: usize = after
             .column("acc")
@@ -355,6 +358,41 @@ with flor.checkpointing(net) {
             .map(|v| v.to_text())
             .collect();
         assert_eq!(hindsight_accs, truth_accs);
+    }
+
+    #[test]
+    fn backfill_flows_into_live_views() {
+        let flor = Flor::new("demo");
+        flor.fs.write("train.fl", TRAIN_V1);
+        run_script(&flor, "train.fl", CheckpointPolicy::EveryK(1)).unwrap();
+        flor.fs.write("train.fl", TRAIN_V2);
+        run_script(&flor, "train.fl", CheckpointPolicy::EveryK(1)).unwrap();
+        // Materialize the view while it still has holes.
+        let before = flor.dataframe(&["loss", "acc"]).unwrap();
+        let holes = before
+            .column("acc")
+            .map(|c| c.values.iter().filter(|v| v.is_null()).count())
+            .unwrap_or(0);
+        assert_eq!(holes, 4);
+        // Backfill commits through the same feed: the next query applies
+        // the recovered values as deltas into the already-built view.
+        backfill(&flor, "train.fl", &["acc", "recall"], 2).unwrap();
+        let after = flor.dataframe(&["loss", "acc"]).unwrap();
+        assert_eq!(
+            after
+                .column("acc")
+                .unwrap()
+                .values
+                .iter()
+                .filter(|v| v.is_null())
+                .count(),
+            0,
+            "hindsight values must flow into the live view"
+        );
+        // And incrementally-maintained still equals the from-scratch oracle.
+        assert_eq!(after, flor.dataframe_full(&["loss", "acc"]).unwrap());
+        assert_eq!(flor.views.stats().fallback_rebuilds, 0);
+        assert_eq!(flor.views.stats().misses, 1);
     }
 
     #[test]

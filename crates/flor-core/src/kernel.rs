@@ -9,6 +9,7 @@
 use flor_df::{DataFrame, DataType, Value};
 use flor_git::{Oid, Repository, VirtualFs};
 use flor_store::{flor_schema, Database, StoreError, StoreResult};
+use flor_view::ViewCatalog;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::Path;
@@ -17,6 +18,10 @@ use std::sync::Arc;
 /// Values longer than this spill to `obj_store` (Fig. 1), leaving a stub in
 /// `logs.value`.
 pub const BLOB_SPILL_BYTES: usize = 4096;
+
+/// How many materialized views a kernel's catalog keeps before LRU
+/// eviction kicks in.
+pub const VIEW_CACHE_CAPACITY: usize = 8;
 
 /// Kernel session state.
 #[derive(Debug)]
@@ -47,6 +52,10 @@ pub struct Flor {
     pub fs: VirtualFs,
     /// Project id stamped on every record.
     pub projid: String,
+    /// Incrementally maintained dataframe views (see [`flor_view`]):
+    /// [`Flor::dataframe`] serves from here, applying change-feed deltas
+    /// instead of re-pivoting history on every call.
+    pub views: ViewCatalog,
     pub(crate) state: Arc<Mutex<KernelState>>,
 }
 
@@ -80,6 +89,7 @@ impl Flor {
 
     fn with_db(projid: &str, db: Database) -> Flor {
         Flor {
+            views: ViewCatalog::new(db.clone(), VIEW_CACHE_CAPACITY),
             db,
             repo: Repository::new(),
             fs: VirtualFs::new(),
@@ -290,7 +300,9 @@ impl Flor {
             (st.ts_start, st.tstamp, st.filename.clone())
         };
         let parent = self.repo.head();
-        let vid = self.repo.commit(&self.fs, message, tstamp as u64, &self.projid);
+        let vid = self
+            .repo
+            .commit(&self.fs, message, tstamp as u64, &self.projid);
         // ts2vid: map the transaction's tstamp window to the new vid.
         self.db.insert(
             "ts2vid",
@@ -349,17 +361,32 @@ impl Flor {
     /// column per requested name, plus `{loop}_iteration` / `{loop}_value`
     /// dimension columns — the layout of the paper's Figs. 2/3/5
     /// dataframes.
+    ///
+    /// Served from the incremental view catalog: the first call builds the
+    /// view, later calls apply only the deltas committed since (paper §1:
+    /// incremental context maintenance). [`Flor::dataframe_full`] is the
+    /// from-scratch equivalent and the correctness oracle.
     pub fn dataframe(&self, names: &[&str]) -> StoreResult<DataFrame> {
-        // 1. Fetch matching log rows via the value_name index.
-        let mut logs = DataFrame::new();
-        for name in names {
-            let part = self.db.lookup("logs", "value_name", &Value::from(*name))?;
-            logs = if logs.n_cols() == 0 {
-                part
-            } else {
-                logs.concat(&part).map_err(StoreError::Df)?
-            };
-        }
+        self.views.pivot(names).map(|arc| (*arc).clone())
+    }
+
+    /// [`Flor::dataframe`] without copying: a shared snapshot of the
+    /// maintained view. The cheap path for hot-loop consumers — repeated
+    /// calls with no intervening commits return the same allocation.
+    pub fn dataframe_view(&self, names: &[&str]) -> StoreResult<Arc<DataFrame>> {
+        self.views.pivot(names)
+    }
+
+    /// From-scratch `flor.dataframe`: re-fetches, re-joins and re-pivots
+    /// the base tables on every call. Kept as the incremental path's
+    /// correctness oracle and fallback; `flor-bench`'s `view_maintenance`
+    /// benchmark measures the two against each other.
+    pub fn dataframe_full(&self, names: &[&str]) -> StoreResult<DataFrame> {
+        // 1. Fetch matching log rows via the value_name index, in log
+        //    insertion order — the same order the change feed delivers
+        //    deltas, so both paths produce identical frames.
+        let values: Vec<Value> = names.iter().map(|n| Value::from(*n)).collect();
+        let logs = self.db.lookup_many("logs", "value_name", &values)?;
         // 2. Resolve ctx chains from the loops table.
         let loops = self.db.scan("loops")?;
         #[derive(Clone)]
@@ -376,10 +403,7 @@ impl Flor {
                 id,
                 CtxRow {
                     parent: r.get("parent_ctx_id").and_then(Value::as_i64).unwrap_or(0),
-                    loop_name: r
-                        .get("loop_name")
-                        .map(|v| v.to_text())
-                        .unwrap_or_default(),
+                    loop_name: r.get("loop_name").map(|v| v.to_text()).unwrap_or_default(),
                     iteration: r.get("loop_iteration").and_then(Value::as_i64).unwrap_or(0),
                     value: r
                         .get("iteration_value")
@@ -392,8 +416,14 @@ impl Flor {
         let mut long = DataFrame::new();
         for r in logs.rows() {
             let mut entries: Vec<(String, Value)> = vec![
-                ("projid".to_string(), r.get("projid").cloned().unwrap_or(Value::Null)),
-                ("tstamp".to_string(), r.get("tstamp").cloned().unwrap_or(Value::Null)),
+                (
+                    "projid".to_string(),
+                    r.get("projid").cloned().unwrap_or(Value::Null),
+                ),
+                (
+                    "tstamp".to_string(),
+                    r.get("tstamp").cloned().unwrap_or(Value::Null),
+                ),
                 (
                     "filename".to_string(),
                     r.get("filename").cloned().unwrap_or(Value::Null),
@@ -413,7 +443,10 @@ impl Flor {
                     format!("{}_iteration", c.loop_name),
                     Value::Int(c.iteration),
                 ));
-                entries.push((format!("{}_value", c.loop_name), Value::from(c.value.as_str())));
+                entries.push((
+                    format!("{}_value", c.loop_name),
+                    Value::from(c.value.as_str()),
+                ));
             }
             // Decode the stored value via its type tag.
             let tag = r.get("value_type").and_then(Value::as_i64).unwrap_or(4);
@@ -424,8 +457,10 @@ impl Flor {
                 r.get("value_name").cloned().unwrap_or(Value::Null),
             ));
             entries.push(("value".to_string(), value));
-            let refs: Vec<(&str, Value)> =
-                entries.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+            let refs: Vec<(&str, Value)> = entries
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.clone()))
+                .collect();
             long.push_row(&refs);
         }
         if long.n_rows() == 0 {
@@ -442,9 +477,24 @@ impl Flor {
     }
 
     /// Convenience: dataframe + `latest` (paper Fig. 6's
-    /// `flor.utils.latest`).
+    /// `flor.utils.latest`). Incrementally maintained like
+    /// [`Flor::dataframe`]; [`Flor::dataframe_latest_full`] is the oracle.
     pub fn dataframe_latest(&self, names: &[&str], group: &[&str]) -> StoreResult<DataFrame> {
-        let df = self.dataframe(names)?;
+        self.views.latest(names, group).map(|arc| (*arc).clone())
+    }
+
+    /// [`Flor::dataframe_latest`] without copying: a shared snapshot.
+    pub fn dataframe_latest_view(
+        &self,
+        names: &[&str],
+        group: &[&str],
+    ) -> StoreResult<Arc<DataFrame>> {
+        self.views.latest(names, group)
+    }
+
+    /// From-scratch `dataframe` + `latest`: the incremental path's oracle.
+    pub fn dataframe_latest_full(&self, names: &[&str], group: &[&str]) -> StoreResult<DataFrame> {
+        let df = self.dataframe_full(names)?;
         if df.n_rows() == 0 {
             return Ok(df);
         }
@@ -453,25 +503,15 @@ impl Flor {
 }
 
 /// Map a dataframe type to the integer `value_type` tag of Fig. 1.
+/// (Delegates to [`DataType::tag`], shared with `flor-view`'s delta
+/// decoder so both paths agree byte for byte.)
 pub fn type_tag(ty: DataType) -> i64 {
-    match ty {
-        DataType::Null => 0,
-        DataType::Bool => 1,
-        DataType::Int => 2,
-        DataType::Float => 3,
-        DataType::Str => 4,
-    }
+    ty.tag()
 }
 
 /// Inverse of [`type_tag`].
 pub fn tag_type(tag: i64) -> DataType {
-    match tag {
-        0 => DataType::Null,
-        1 => DataType::Bool,
-        2 => DataType::Int,
-        3 => DataType::Float,
-        _ => DataType::Str,
-    }
+    DataType::from_tag(tag)
 }
 
 #[cfg(test)]
@@ -612,7 +652,10 @@ mod tests {
         flor.commit("feedback").unwrap();
         let df = flor.dataframe(&["page_color"]).unwrap();
         assert_eq!(df.n_rows(), 2);
-        assert_eq!(df.get(0, "document_value"), Some(&Value::from("report.pdf")));
+        assert_eq!(
+            df.get(0, "document_value"),
+            Some(&Value::from("report.pdf"))
+        );
     }
 
     #[test]
@@ -659,10 +702,74 @@ mod tests {
         flor.commit("built").unwrap();
         let df = flor.db.scan("build_deps").unwrap();
         assert_eq!(df.n_rows(), 1);
+        assert_eq!(df.get(0, "deps").unwrap().to_text(), "featurize\ntrain.py");
+    }
+
+    #[test]
+    fn incremental_dataframe_matches_full_recompute() {
+        let flor = Flor::new("demo");
+        flor.set_filename("train.fl");
+        for round in 0..4 {
+            flor.for_each("epoch", 0..3, |flor, &e| {
+                flor.log("loss", 1.0 / (round + e + 1) as f64);
+                if e % 2 == 0 {
+                    flor.log("acc", 0.8 + e as f64 / 10.0);
+                }
+            });
+            flor.commit("round").unwrap();
+            // After every commit the maintained view must equal a rebuild,
+            // cell for cell.
+            let inc = flor.dataframe(&["loss", "acc"]).unwrap();
+            let full = flor.dataframe_full(&["loss", "acc"]).unwrap();
+            assert_eq!(inc, full, "round {round}");
+        }
+        // Repeated reads with no new commits share one snapshot.
+        let a = flor.dataframe_view(&["loss", "acc"]).unwrap();
+        let b = flor.dataframe_view(&["loss", "acc"]).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn incremental_latest_matches_full_recompute() {
+        let flor = Flor::new("demo");
+        flor.set_filename("app.fl");
+        for round in 0..3 {
+            flor.iteration("document", "d.pdf", |flor| {
+                flor.log("page_color", round);
+            });
+            flor.commit("round").unwrap();
+            let inc = flor
+                .dataframe_latest(&["page_color"], &["document_value"])
+                .unwrap();
+            let full = flor
+                .dataframe_latest_full(&["page_color"], &["document_value"])
+                .unwrap();
+            assert_eq!(inc, full, "round {round}");
+        }
         assert_eq!(
-            df.get(0, "deps").unwrap().to_text(),
-            "featurize\ntrain.py"
+            flor.dataframe_latest(&["page_color"], &["document_value"])
+                .unwrap()
+                .get(0, "page_color"),
+            Some(&Value::Int(2))
         );
+    }
+
+    #[test]
+    fn view_catalog_applies_deltas_not_rebuilds() {
+        let flor = Flor::new("demo");
+        flor.set_filename("train.fl");
+        flor.log("loss", 0.5f64);
+        flor.commit("r0").unwrap();
+        flor.dataframe(&["loss"]).unwrap();
+        for i in 0..5 {
+            flor.log("loss", 0.5 / (i + 1) as f64);
+            flor.commit("r").unwrap();
+            flor.dataframe(&["loss"]).unwrap();
+        }
+        let stats = flor.views.stats();
+        assert_eq!(stats.misses, 1, "one build, then deltas only");
+        assert_eq!(stats.fallback_rebuilds, 0);
+        assert!(stats.batches_applied >= 5);
     }
 
     #[test]

@@ -65,9 +65,7 @@ impl<'a> RowView<'a> {
     /// Value of the named column at this row, or `None` if the column does
     /// not exist.
     pub fn get(&self, name: &str) -> Option<&'a Value> {
-        self.frame
-            .column(name)
-            .map(|c| &c.values[self.idx])
+        self.frame.column(name).map(|c| &c.values[self.idx])
     }
 
     /// Row index within the frame.
@@ -188,6 +186,40 @@ impl DataFrame {
         }
         self.columns.push(col);
         Ok(())
+    }
+
+    /// Insert a column at position `pos` (shifting later columns right);
+    /// must match the row count unless the frame is empty. Incremental
+    /// view maintenance uses this to keep late-discovered dimension
+    /// columns in the same position a from-scratch pivot would put them.
+    pub fn insert_column(&mut self, pos: usize, col: Column) -> DfResult<()> {
+        if !self.columns.is_empty() && col.len() != self.n_rows() {
+            return Err(DfError::LengthMismatch {
+                column: col.name.clone(),
+                expected: self.n_rows(),
+                actual: col.len(),
+            });
+        }
+        if self.column(&col.name).is_some() {
+            return Err(DfError::DuplicateColumn(col.name));
+        }
+        let pos = pos.min(self.columns.len());
+        self.columns.insert(pos, col);
+        Ok(())
+    }
+
+    /// Overwrite one cell in place. Errors on an unknown column; panics on
+    /// a row index past the end (same contract as slice indexing).
+    pub fn set_cell(&mut self, row: usize, col: &str, value: Value) -> DfResult<()> {
+        let n = self.n_rows();
+        match self.columns.iter_mut().find(|c| c.name == col) {
+            Some(c) => {
+                assert!(row < n, "row {row} out of bounds ({n} rows)");
+                c.values[row] = value;
+                Ok(())
+            }
+            None => Err(DfError::UnknownColumn(col.to_string())),
+        }
     }
 
     /// Append a row given `(name, value)` pairs; missing columns get null,
@@ -561,11 +593,34 @@ mod tests {
     #[test]
     fn display_clips_long_cells() {
         let long = "x".repeat(100);
-        let df =
-            DataFrame::from_columns(vec![Column::new("c", vec![long.as_str()])]).unwrap();
+        let df = DataFrame::from_columns(vec![Column::new("c", vec![long.as_str()])]).unwrap();
         let s = df.to_string();
         assert!(s.contains("..."));
         assert!(!s.contains(&long));
+    }
+
+    #[test]
+    fn insert_column_positions_and_validates() {
+        let mut df = sample();
+        df.insert_column(1, Column::new("z", vec![9i64, 8, 7, 6]))
+            .unwrap();
+        assert_eq!(df.column_names(), vec!["name", "z", "x", "y"]);
+        assert!(df
+            .insert_column(0, Column::new("z", vec![1i64, 2, 3, 4]))
+            .is_err());
+        assert!(df.insert_column(0, Column::new("w", vec![1i64])).is_err());
+        // Past-the-end position clamps to append.
+        df.insert_column(99, Column::new("tail", vec![0i64, 0, 0, 0]))
+            .unwrap();
+        assert_eq!(df.column_names().last(), Some(&"tail"));
+    }
+
+    #[test]
+    fn set_cell_overwrites() {
+        let mut df = sample();
+        df.set_cell(2, "x", Value::Int(99)).unwrap();
+        assert_eq!(df.get(2, "x"), Some(&Value::Int(99)));
+        assert!(df.set_cell(0, "missing", Value::Null).is_err());
     }
 
     #[test]

@@ -84,10 +84,24 @@ impl AggFn {
                     Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
                 }
             }
-            AggFn::Min => non_null.iter().map(|v| (**v).clone()).min().unwrap_or(Value::Null),
-            AggFn::Max => non_null.iter().map(|v| (**v).clone()).max().unwrap_or(Value::Null),
-            AggFn::First => non_null.first().map(|v| (***v).clone()).unwrap_or(Value::Null),
-            AggFn::Last => non_null.last().map(|v| (***v).clone()).unwrap_or(Value::Null),
+            AggFn::Min => non_null
+                .iter()
+                .map(|v| (**v).clone())
+                .min()
+                .unwrap_or(Value::Null),
+            AggFn::Max => non_null
+                .iter()
+                .map(|v| (**v).clone())
+                .max()
+                .unwrap_or(Value::Null),
+            AggFn::First => non_null
+                .first()
+                .map(|v| (***v).clone())
+                .unwrap_or(Value::Null),
+            AggFn::Last => non_null
+                .last()
+                .map(|v| (***v).clone())
+                .unwrap_or(Value::Null),
         }
     }
 }
@@ -483,11 +497,7 @@ mod tests {
     #[test]
     fn left_join_nulls_unmatched() {
         let a = DataFrame::from_rows(vec!["k"], vec![vec![1.into()], vec![9.into()]]).unwrap();
-        let b = DataFrame::from_rows(
-            vec!["k", "v"],
-            vec![vec![1.into(), "hit".into()]],
-        )
-        .unwrap();
+        let b = DataFrame::from_rows(vec!["k", "v"], vec![vec![1.into(), "hit".into()]]).unwrap();
         let j = a.join(&b, &["k"], JoinKind::Left).unwrap();
         assert_eq!(j.n_rows(), 2);
         assert_eq!(j.get(1, "v"), Some(&Value::Null));
@@ -519,16 +529,8 @@ mod tests {
 
     #[test]
     fn join_suffixes_collisions() {
-        let a = DataFrame::from_rows(
-            vec!["k", "v"],
-            vec![vec![1.into(), "a".into()]],
-        )
-        .unwrap();
-        let b = DataFrame::from_rows(
-            vec!["k", "v"],
-            vec![vec![1.into(), "b".into()]],
-        )
-        .unwrap();
+        let a = DataFrame::from_rows(vec!["k", "v"], vec![vec![1.into(), "a".into()]]).unwrap();
+        let b = DataFrame::from_rows(vec!["k", "v"], vec![vec![1.into(), "b".into()]]).unwrap();
         let j = a.join(&b, &["k"], JoinKind::Inner).unwrap();
         assert_eq!(j.column_names(), vec!["k", "v_x", "v_y"]);
     }
@@ -617,7 +619,12 @@ mod tests {
             ],
         )
         .unwrap();
-        let colors: Vec<i64> = df.cumsum("first_page").unwrap().iter().map(|c| c - 1).collect();
+        let colors: Vec<i64> = df
+            .cumsum("first_page")
+            .unwrap()
+            .iter()
+            .map(|c| c - 1)
+            .collect();
         assert_eq!(colors, vec![0, 0, 1, 1]);
     }
 

@@ -25,6 +25,31 @@ pub enum DataType {
     Str,
 }
 
+impl DataType {
+    /// The integer `value_type` tag of paper Fig. 1 for this type.
+    pub fn tag(self) -> i64 {
+        match self {
+            DataType::Null => 0,
+            DataType::Bool => 1,
+            DataType::Int => 2,
+            DataType::Float => 3,
+            DataType::Str => 4,
+        }
+    }
+
+    /// Inverse of [`DataType::tag`]; unknown tags decode as `Str`, the
+    /// lossless fallback for text-stored values.
+    pub fn from_tag(tag: i64) -> DataType {
+        match tag {
+            0 => DataType::Null,
+            1 => DataType::Bool,
+            2 => DataType::Int,
+            3 => DataType::Float,
+            _ => DataType::Str,
+        }
+    }
+}
+
 impl fmt::Display for DataType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -301,6 +326,20 @@ mod tests {
         assert_eq!(Value::Int(3).data_type(), DataType::Int);
         assert_eq!(Value::Float(3.5).data_type(), DataType::Float);
         assert_eq!(Value::Str("x".into()).data_type(), DataType::Str);
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for ty in [
+            DataType::Null,
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::Str,
+        ] {
+            assert_eq!(DataType::from_tag(ty.tag()), ty);
+        }
+        assert_eq!(DataType::from_tag(99), DataType::Str);
     }
 
     #[test]

@@ -19,9 +19,7 @@ fn arb_long() -> impl Strategy<Value = DataFrame> {
         DataFrame::from_rows(
             vec!["run", "name", "value"],
             rows.into_iter()
-                .map(|(r, n, v)| {
-                    vec![Value::Int(r), Value::Str(format!("m{n}")), v]
-                })
+                .map(|(r, n, v)| vec![Value::Int(r), Value::Str(format!("m{n}")), v])
                 .collect(),
         )
         .unwrap()

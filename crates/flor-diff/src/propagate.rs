@@ -257,8 +257,7 @@ fn dependency_closure(
             .iter()
             .copied()
             .filter(|&i| {
-                !covered(src, dst, i, mapping)
-                    && is_log_stmt(stmt_at(new, &dst.nodes[i])).is_some()
+                !covered(src, dst, i, mapping) && is_log_stmt(stmt_at(new, &dst.nodes[i])).is_some()
             })
             .collect();
         // Fixpoint: pull in uncovered definitions the included set uses.
@@ -432,7 +431,8 @@ mod tests {
     fn insert_at_block_head_when_no_prior_anchor() {
         // New log is the first statement of the loop body.
         let old = "for e in flor.loop(\"ep\", range(0, 2)) {\n  let x = e;\n}";
-        let new = "for e in flor.loop(\"ep\", range(0, 2)) {\n  flor.log(\"e\", e);\n  let x = e;\n}";
+        let new =
+            "for e in flor.loop(\"ep\", range(0, 2)) {\n  flor.log(\"e\", e);\n  let x = e;\n}";
         let out = prop(old, new);
         assert_eq!(out.injected.len(), 1);
         assert_eq!(to_source(&out.patched), to_source(&parse(new).unwrap()));

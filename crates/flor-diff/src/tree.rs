@@ -267,8 +267,8 @@ mod tests {
 
     #[test]
     fn is_log_stmt_detects() {
-        let p = parse("flor.log(\"loss\", 1);\nflor.commit();\nlet a = flor.log(\"x\", 2);")
-            .unwrap();
+        let p =
+            parse("flor.log(\"loss\", 1);\nflor.commit();\nlet a = flor.log(\"x\", 2);").unwrap();
         assert_eq!(is_log_stmt(&p.stmts[0]), Some("loss"));
         assert_eq!(is_log_stmt(&p.stmts[1]), None);
         // A log in a let-binding is not a bare log statement.

@@ -223,7 +223,10 @@ mod tests {
         let mut e2 = BTreeMap::new();
         e2.insert("b".to_string(), Oid("2".into()));
         e2.insert("a".to_string(), Oid("1".into()));
-        assert_eq!(Object::Tree(Tree { entries: e1 }).id(), Object::Tree(Tree { entries: e2 }).id());
+        assert_eq!(
+            Object::Tree(Tree { entries: e1 }).id(),
+            Object::Tree(Tree { entries: e2 }).id()
+        );
     }
 
     #[test]

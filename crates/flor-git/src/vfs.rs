@@ -75,7 +75,11 @@ impl VirtualFs {
 
     /// Read a file's contents.
     pub fn read(&self, path: &str) -> Option<String> {
-        self.inner.read().files.get(path).map(|e| e.contents.clone())
+        self.inner
+            .read()
+            .files
+            .get(path)
+            .map(|e| e.contents.clone())
     }
 
     /// A file's mtime, or `None` if absent.

@@ -473,9 +473,7 @@ mod tests {
         mk.cmd_rule("b", &["d"], &[]);
         mk.cmd_rule("c", &["d"], &[]);
         mk.cmd_rule("a", &["b", "c"], &[]);
-        let report = mk
-            .build_with("a", &fs, &mut |_| Ok(()))
-            .unwrap();
+        let report = mk.build_with("a", &fs, &mut |_| Ok(())).unwrap();
         assert_eq!(fs.read("d").unwrap(), "1");
         assert_eq!(report.executed, vec!["d", "b", "c", "a"]);
     }

@@ -18,7 +18,11 @@ pub struct MakeParseError {
 
 impl std::fmt::Display for MakeParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "makefile parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "makefile parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

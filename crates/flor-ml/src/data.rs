@@ -21,10 +21,7 @@ pub fn gaussian_blobs(n: usize, d: usize, k: usize, spread: f64, seed: u64) -> D
     let mut y = Vec::with_capacity(n);
     for i in 0..n {
         let c = i % k;
-        let row: Vec<f64> = centers[c]
-            .iter()
-            .map(|&m| m + gauss(&mut rng))
-            .collect();
+        let row: Vec<f64> = centers[c].iter().map(|&m| m + gauss(&mut rng)).collect();
         rows.push(row);
         y.push(c);
     }

@@ -85,11 +85,34 @@ pub struct Corpus {
 }
 
 const TITLE_WORDS: &[&str] = &[
-    "Motion", "Order", "Petition", "Declaration", "Summary", "Report", "Exhibit", "Notice",
+    "Motion",
+    "Order",
+    "Petition",
+    "Declaration",
+    "Summary",
+    "Report",
+    "Exhibit",
+    "Notice",
 ];
 const BODY_WORDS: &[&str] = &[
-    "the", "court", "finds", "that", "party", "pursuant", "to", "section", "evidence",
-    "submitted", "on", "record", "hearing", "date", "filed", "county", "case", "defendant",
+    "the",
+    "court",
+    "finds",
+    "that",
+    "party",
+    "pursuant",
+    "to",
+    "section",
+    "evidence",
+    "submitted",
+    "on",
+    "record",
+    "hearing",
+    "date",
+    "filed",
+    "county",
+    "case",
+    "defendant",
 ];
 
 /// Generate a corpus deterministically from `cfg`.

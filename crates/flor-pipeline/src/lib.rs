@@ -21,6 +21,8 @@ pub mod corpus;
 pub mod pipeline;
 pub mod stages;
 
-pub use corpus::{analyze_text, generate, Corpus, CorpusConfig, ExtractedFeatures, PdfFile, TextSrc};
+pub use corpus::{
+    analyze_text, generate, Corpus, CorpusConfig, ExtractedFeatures, PdfFile, TextSrc,
+};
 pub use pipeline::{run_demo, PdfPipeline};
 pub use stages::{best_model, labeled_view, prediction_accuracy, TrainConfig};

@@ -121,9 +121,7 @@ impl PdfPipeline {
     /// touched, and commit. Returns the build report.
     pub fn make(&self, target: &str) -> Result<flor_make::BuildReport, String> {
         let mk = self.makefile();
-        let report = mk
-            .build(target, &self.flor.fs)
-            .map_err(|e| e.to_string())?;
+        let report = mk.build(target, &self.flor.fs).map_err(|e| e.to_string())?;
         let vid_hint = self
             .flor
             .repo
@@ -131,7 +129,9 @@ impl PdfPipeline {
             .map(|o| o.0)
             .unwrap_or_else(|| "worktree".to_string());
         for t in mk.topo_order(target).map_err(|e| e.to_string())? {
-            let Some(rule) = mk.rule_for(&t) else { continue };
+            let Some(rule) = mk.rule_for(&t) else {
+                continue;
+            };
             let cached = report.cached.iter().any(|x| x == &t);
             let cmds = match &rule.action {
                 flor_make::Action::Cmds(c) => c.clone(),
@@ -168,8 +168,9 @@ pub fn run_demo(
 ) -> Result<(PdfPipeline, Vec<f64>), String> {
     let pipeline = PdfPipeline::new("pdf_parser", corpus_cfg);
     pipeline.make("run")?;
-    let mut accs = vec![stages::prediction_accuracy(&pipeline.flor, &pipeline.corpus)
-        .map_err(|e| e.to_string())?];
+    let mut accs = vec![
+        stages::prediction_accuracy(&pipeline.flor, &pipeline.corpus).map_err(|e| e.to_string())?,
+    ];
     // Review the not-yet-labeled PDFs, a couple per round.
     let unlabeled: Vec<String> = pipeline
         .corpus
@@ -185,9 +186,7 @@ pub fn run_demo(
             break;
         };
         let names: Vec<&str> = chunk.iter().map(String::as_str).collect();
-        let acc = pipeline
-            .feedback_round(&names)
-            .map_err(|e| e.to_string())?;
+        let acc = pipeline.feedback_round(&names).map_err(|e| e.to_string())?;
         accs.push(acc);
     }
     Ok((pipeline, accs))

@@ -16,7 +16,11 @@ pub fn process_pdfs(flor: &Flor, corpus: &Corpus) {
     flor.set_filename("pdf_demux.fl");
     flor.for_each(
         "document",
-        corpus.pdfs.iter().map(|p| p.name.clone()).collect::<Vec<_>>(),
+        corpus
+            .pdfs
+            .iter()
+            .map(|p| p.name.clone())
+            .collect::<Vec<_>>(),
         |flor, doc_name| {
             let pdf = corpus
                 .pdfs
@@ -41,7 +45,11 @@ pub fn featurize(flor: &Flor, corpus: &Corpus) {
     flor.set_filename("featurize.fl");
     flor.for_each(
         "document",
-        corpus.pdfs.iter().map(|p| p.name.clone()).collect::<Vec<_>>(),
+        corpus
+            .pdfs
+            .iter()
+            .map(|p| p.name.clone())
+            .collect::<Vec<_>>(),
         |flor, doc_name| {
             let n = flor.fs.list_dir(&format!("pages/{doc_name}/")).len();
             flor.for_each("page", 0..n, |flor, &page| {
@@ -99,7 +107,12 @@ pub fn labeled_view(flor: &Flor) -> StoreResult<DataFrame> {
     // document/page dimensions. Use latest label per page.
     let labels = labels
         .latest(&["document_value", "page_iteration"], "tstamp")?
-        .select(&["document_value", "page_iteration", "first_page", "label_src"])?;
+        .select(&[
+            "document_value",
+            "page_iteration",
+            "first_page",
+            "label_src",
+        ])?;
     let features = features.latest(&["document_value", "page_iteration"], "tstamp")?;
     let mut joined = features.join(
         &labels,
@@ -133,7 +146,11 @@ pub fn view_to_dataset(view: &DataFrame) -> Dataset {
             headings: r.get("headings").and_then(Value::as_i64).unwrap_or(0) as usize,
         };
         rows.push(f.to_vec());
-        y.push(r.get("first_page").and_then(Value::as_bool).unwrap_or(false) as usize);
+        y.push(
+            r.get("first_page")
+                .and_then(Value::as_bool)
+                .unwrap_or(false) as usize,
+        );
     }
     Dataset {
         x: Matrix::from_rows(rows),
@@ -214,7 +231,10 @@ pub fn best_model(flor: &Flor) -> StoreResult<Option<(Mlp, f64)>> {
     let Some(best_ts) = ranked.get(0, "tstamp").and_then(Value::as_i64) else {
         return Ok(None);
     };
-    let best_recall = ranked.get(0, "recall").and_then(Value::as_f64).unwrap_or(0.0);
+    let best_recall = ranked
+        .get(0, "recall")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
     // Fetch the checkpoint logged in that run: small checkpoints live
     // inline in `logs.value`; large ones spill to `obj_store` behind a
     // `<blob ...>` stub.
@@ -291,8 +311,7 @@ pub fn infer(flor: &Flor, corpus: &Corpus) -> StoreResult<usize> {
                             .get("mean_line_len")
                             .and_then(Value::as_f64)
                             .unwrap_or(0.0),
-                        headings: r0.get("headings").and_then(Value::as_i64).unwrap_or(0)
-                            as usize,
+                        headings: r0.get("headings").and_then(Value::as_i64).unwrap_or(0) as usize,
                     }
                 } else {
                     analyze_text(&pdf.pages[page].text)

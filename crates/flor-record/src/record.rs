@@ -6,9 +6,7 @@
 //! loop context, resolves `flor.arg`s, and snapshots interpreter state at
 //! checkpoint-loop iteration boundaries according to a [`CheckpointPolicy`].
 
-use flor_script::{
-    ExecStats, FlorRuntime, Interpreter, LoopFrame, Program, RtResult, RtValue,
-};
+use flor_script::{ExecStats, FlorRuntime, Interpreter, LoopFrame, Program, RtResult, RtValue};
 use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
 
@@ -152,11 +150,7 @@ impl Recorder {
 
 impl FlorRuntime for Recorder {
     fn arg(&mut self, name: &str, default: RtValue) -> RtValue {
-        let v = self
-            .arg_overrides
-            .get(name)
-            .cloned()
-            .unwrap_or(default);
+        let v = self.arg_overrides.get(name).cloned().unwrap_or(default);
         self.record.args.push((name.to_string(), v.display_text()));
         v
     }

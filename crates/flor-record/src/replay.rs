@@ -14,8 +14,7 @@
 
 use crate::record::{LogRecord, RunRecord};
 use flor_script::{
-    Directive, ExecStats, FlorRuntime, Interpreter, LoopFrame, Program, RtResult,
-    RtValue,
+    Directive, ExecStats, FlorRuntime, Interpreter, LoopFrame, Program, RtResult, RtValue,
 };
 use std::collections::BTreeMap;
 
@@ -254,17 +253,16 @@ pub fn replay(
             .map(|part| run_worker(prog, record, part, total))
             .collect()
     } else {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = parts
                 .iter()
-                .map(|part| scope.spawn(move |_| run_worker(prog, record, part, total)))
+                .map(|part| scope.spawn(move || run_worker(prog, record, part, total)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("worker panicked"))
                 .collect()
         })
-        .expect("scope panicked")
     };
 
     let mut outcome = ReplayOutcome {
@@ -472,7 +470,10 @@ with flor.checkpointing(net) {
             .filter(|l| l.name == "acc")
             .map(|l| l.value.as_str())
             .collect();
-        assert_eq!(replay_accs, truth_accs, "hindsight values must be bit-identical");
+        assert_eq!(
+            replay_accs, truth_accs,
+            "hindsight values must be bit-identical"
+        );
     }
 
     #[test]
@@ -488,7 +489,12 @@ with flor.checkpointing(net) {
             let mut v: Vec<(String, String)> = o
                 .new_logs
                 .iter()
-                .map(|l| (format!("{}@{:?}", l.name, l.outer_iteration()), l.value.clone()))
+                .map(|l| {
+                    (
+                        format!("{}@{:?}", l.name, l.outer_iteration()),
+                        l.value.clone(),
+                    )
+                })
                 .collect();
             v.sort();
             v
@@ -501,7 +507,10 @@ with flor.checkpointing(net) {
         let orig = parse(TRAIN).unwrap();
         let (rec, _) = record(&orig, CheckpointPolicy::EveryK(1), &[]).unwrap();
         let patched = parse(TRAIN_PATCHED).unwrap();
-        let full_stats = record(&patched, CheckpointPolicy::None, &[]).unwrap().0.stats;
+        let full_stats = record(&patched, CheckpointPolicy::None, &[])
+            .unwrap()
+            .0
+            .stats;
         let out = replay(&patched, &rec, &[5], 1).unwrap();
         assert_eq!(out.iterations_executed, 1);
         assert!(

@@ -404,7 +404,9 @@ impl Program {
                     *i = id;
                     walk_expr(expr, next);
                 }
-                Expr::Binary { id: i, lhs, rhs, .. } => {
+                Expr::Binary {
+                    id: i, lhs, rhs, ..
+                } => {
                     *i = id;
                     walk_expr(lhs, next);
                     walk_expr(rhs, next);

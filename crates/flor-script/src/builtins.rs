@@ -196,10 +196,12 @@ pub fn call(interp: &mut Interpreter, name: &str, args: Vec<RtValue>) -> RtResul
             };
             let n = args[1]
                 .as_i64()
-                .ok_or_else(|| RtError::new("dataset n must be an int"))? as usize;
+                .ok_or_else(|| RtError::new("dataset n must be an int"))?
+                as usize;
             let seed = args[2]
                 .as_i64()
-                .ok_or_else(|| RtError::new("dataset seed must be an int"))? as u64;
+                .ok_or_else(|| RtError::new("dataset seed must be an int"))?
+                as u64;
             let ds = match kind.as_str() {
                 "first_page" => first_page_dataset(n, seed),
                 "blobs" => gaussian_blobs(n, 4, 3, 4.0, seed),
@@ -213,9 +215,17 @@ pub fn call(interp: &mut Interpreter, name: &str, args: Vec<RtValue>) -> RtResul
             }
             let nums: Vec<i64> = args
                 .iter()
-                .map(|a| a.as_i64().ok_or_else(|| RtError::new("make_model expects ints")))
+                .map(|a| {
+                    a.as_i64()
+                        .ok_or_else(|| RtError::new("make_model expects ints"))
+                })
                 .collect::<RtResult<_>>()?;
-            let m = Mlp::new(nums[0] as usize, nums[1] as usize, nums[2] as usize, nums[3] as u64);
+            let m = Mlp::new(
+                nums[0] as usize,
+                nums[1] as usize,
+                nums[2] as usize,
+                nums[3] as u64,
+            );
             Ok(RtValue::Model(interp.heap.alloc_model(m)))
         }
         "train_step" => {

@@ -87,7 +87,13 @@ pub trait FlorRuntime {
     fn loop_begin(&mut self, _name: &str, _length: usize, _loops: &[LoopFrame]) {}
 
     /// A `flor.loop` iteration is starting.
-    fn loop_iter(&mut self, _name: &str, _iteration: usize, _value: &RtValue, _loops: &[LoopFrame]) {
+    fn loop_iter(
+        &mut self,
+        _name: &str,
+        _iteration: usize,
+        _value: &RtValue,
+        _loops: &[LoopFrame],
+    ) {
     }
 
     /// A `flor.loop` finished.
@@ -350,8 +356,7 @@ impl Interpreter {
                 // borrows env/heap immutably; rt is a separate borrow.
                 let env = &self.env;
                 let heap = &self.heap;
-                let mut snap_fn =
-                    move || snapshot_state(env, heap).map_err(RtError::new);
+                let mut snap_fn = move || snapshot_state(env, heap).map_err(RtError::new);
                 rt.on_checkpoint_boundary(loop_name, i, &mut snap_fn);
             }
         }
@@ -362,10 +367,7 @@ impl Interpreter {
     fn eval_iterable(&mut self, e: &Expr, rt: &mut dyn FlorRuntime) -> RtResult<Vec<RtValue>> {
         match self.eval(e, rt)? {
             RtValue::List(items) => Ok(items),
-            RtValue::Str(s) => Ok(s
-                .chars()
-                .map(|c| RtValue::Str(c.to_string()))
-                .collect()),
+            RtValue::Str(s) => Ok(s.chars().map(|c| RtValue::Str(c.to_string())).collect()),
             other => Err(RtError::new(format!(
                 "cannot iterate over {}",
                 other.display_text()
@@ -789,9 +791,10 @@ mod tests {
                 }
             }
         }
-        let prog =
-            parse("let e = flor.arg(\"epochs\", 5);\nlet lr = flor.arg(\"lr\", 0.1);\nflor.commit();")
-                .unwrap();
+        let prog = parse(
+            "let e = flor.arg(\"epochs\", 5);\nlet lr = flor.arg(\"lr\", 0.1);\nflor.commit();",
+        )
+        .unwrap();
         let mut interp = Interpreter::new();
         interp.run(&prog, &mut ArgRt).unwrap();
         assert_eq!(interp.env["e"], RtValue::Int(7));

@@ -60,8 +60,8 @@ impl std::error::Error for LexError {}
 
 const PUNCTS: &[&str] = &[
     // longest first
-    "==", "!=", "<=", ">=", "&&", "||", "(", ")", "{", "}", "[", "]", ",", ";", ".", "=", "<",
-    ">", "+", "-", "*", "/", "%", "!",
+    "==", "!=", "<=", ">=", "&&", "||", "(", ")", "{", "}", "[", "]", ",", ";", ".", "=", "<", ">",
+    "+", "-", "*", "/", "%", "!",
 ];
 
 /// Tokenize `src`. `//` comments run to end of line.

@@ -42,6 +42,4 @@ pub use interp::{
 };
 pub use parser::{parse, ParseError};
 pub use printer::to_source;
-pub use value::{
-    dataset_from_text, dataset_to_text, restore_state, snapshot_state, Heap, RtValue,
-};
+pub use value::{dataset_from_text, dataset_to_text, restore_state, snapshot_state, Heap, RtValue};

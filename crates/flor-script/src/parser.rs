@@ -473,13 +473,7 @@ mod tests {
             Stmt::Let { expr, .. } => match expr {
                 Expr::Binary { op, rhs, .. } => {
                     assert_eq!(*op, BinOp::Add);
-                    assert!(matches!(
-                        **rhs,
-                        Expr::Binary {
-                            op: BinOp::Mul,
-                            ..
-                        }
-                    ));
+                    assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
                 }
                 _ => panic!("expected binary"),
             },
@@ -500,8 +494,8 @@ mod tests {
 
     #[test]
     fn flor_loop_recognised() {
-        let p = parse("for e in flor.loop(\"epoch\", range(0, 5)) { flor.log(\"e\", e); }")
-            .unwrap();
+        let p =
+            parse("for e in flor.loop(\"epoch\", range(0, 5)) { flor.log(\"e\", e); }").unwrap();
         match &p.stmts[0] {
             Stmt::FlorLoop {
                 var,

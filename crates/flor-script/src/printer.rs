@@ -268,7 +268,9 @@ mod tests {
 
     #[test]
     fn round_trip_indexing() {
-        round_trip("let m = eval_model(net, data);\nflor.log(\"acc\", m[0]);\nflor.log(\"recall\", m[1]);");
+        round_trip(
+            "let m = eval_model(net, data);\nflor.log(\"acc\", m[0]);\nflor.log(\"recall\", m[1]);",
+        );
     }
 
     #[test]

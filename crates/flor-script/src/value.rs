@@ -293,10 +293,7 @@ fn read_value(c: &mut Cursor<'_>, heap: &mut Heap) -> Result<RtValue, String> {
 
 /// Serialize an environment + reachable heap objects to a self-contained
 /// snapshot string. Variables are written in sorted order for determinism.
-pub fn snapshot_state(
-    env: &BTreeMap<String, RtValue>,
-    heap: &Heap,
-) -> Result<String, String> {
+pub fn snapshot_state(env: &BTreeMap<String, RtValue>, heap: &Heap) -> Result<String, String> {
     let mut out = String::from("SNAP1 ");
     out.push_str(&env.len().to_string());
     for (name, value) in env {

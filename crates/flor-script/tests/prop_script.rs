@@ -38,8 +38,8 @@ fn arb_program(depth: u32) -> BoxedStrategy<String> {
         ("[a-c]", arb_expr(1)).prop_map(|(v, e)| format!("{v} = {e};")),
         ("[a-z]{1,4}", arb_expr(1)).prop_map(|(n, e)| format!("flor.log(\"{n}\", {e});")),
     ];
-    let base = proptest::collection::vec(stmt_leaf.clone(), 1..4)
-        .prop_map(|stmts| stmts.join("\n"));
+    let base =
+        proptest::collection::vec(stmt_leaf.clone(), 1..4).prop_map(|stmts| stmts.join("\n"));
     if depth == 0 {
         base.boxed()
     } else {

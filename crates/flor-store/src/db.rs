@@ -6,6 +6,7 @@
 //! committed rows ("visibility control", §2.1).
 
 use crate::codec::WalRecord;
+use crate::feed::{CommitBatch, Publisher, RowDelta, Subscription};
 use crate::schema::TableSchema;
 use crate::wal::{recover, Wal};
 use flor_df::{Column, DataFrame, DfResult, Value};
@@ -101,6 +102,10 @@ struct DbInner {
     next_txn: u64,
     open_txn: Option<u64>,
     staged: Vec<(String, Vec<Value>)>,
+    /// Count of applied commits; the staleness watermark for the change
+    /// feed and materialized views.
+    epoch: u64,
+    feed: Publisher,
 }
 
 /// An embedded relational database holding the FlorDB context tables.
@@ -122,6 +127,14 @@ pub struct DbStats {
     pub wal_records: u64,
     /// Rows staged in the open transaction.
     pub staged_rows: usize,
+    /// Commits applied so far: the staleness watermark that change-feed
+    /// batches and materialized views are stamped with.
+    pub wal_epoch: u64,
+    /// Bytes appended to the WAL (including any recovered prefix for
+    /// file-backed logs) — the physical log offset.
+    pub wal_offset_bytes: u64,
+    /// Live change-feed subscriptions.
+    pub subscribers: usize,
 }
 
 impl Database {
@@ -137,6 +150,8 @@ impl Database {
                 next_txn: 1,
                 open_txn: None,
                 staged: Vec::new(),
+                epoch: 0,
+                feed: Publisher::default(),
             })),
         }
     }
@@ -162,6 +177,8 @@ impl Database {
                 next_txn: recovery.max_txn + 1,
                 open_txn: None,
                 staged: Vec::new(),
+                epoch: recovery.committed_txns as u64,
+                feed: Publisher::default(),
             })),
         })
     }
@@ -221,12 +238,61 @@ impl Database {
         g.wal.sync()?;
         let staged = std::mem::take(&mut g.staged);
         let n = staged.len();
+        // Only clone rows into a feed batch when someone is listening;
+        // with no subscribers the commit path stays delta-free.
+        let publishing = g.feed.live() > 0;
+        let mut deltas = Vec::with_capacity(if publishing { n } else { 0 });
         for (tname, row) in staged {
             if let Some(t) = g.tables.get_mut(&tname) {
+                if publishing {
+                    deltas.push(RowDelta {
+                        table: tname,
+                        row: row.clone(),
+                    });
+                }
                 t.append(row);
             }
         }
+        g.epoch += 1;
+        if publishing {
+            let batch = CommitBatch {
+                epoch: g.epoch,
+                txn,
+                deltas: Arc::new(deltas),
+            };
+            g.feed.publish(batch);
+        }
         Ok(n)
+    }
+
+    /// Subscribe to the change feed: every subsequent [`Database::commit`]
+    /// delivers one [`CommitBatch`] of the rows it made visible. Poll with
+    /// [`Subscription::poll`]; drop the subscription to detach.
+    pub fn subscribe(&self) -> Subscription {
+        let mut g = self.inner.write();
+        let epoch = g.epoch;
+        Subscription::new(g.feed.attach(), epoch)
+    }
+
+    /// Current epoch: the number of commits applied so far.
+    pub fn epoch(&self) -> u64 {
+        self.inner.read().epoch
+    }
+
+    /// Atomic multi-table scan: the frames plus the epoch they reflect,
+    /// taken under one lock so no commit can interleave. This is the
+    /// consistent snapshot a materialized-view build starts from.
+    pub fn snapshot(&self, tables: &[&str]) -> StoreResult<(u64, Vec<DataFrame>)> {
+        let g = self.inner.read();
+        let mut frames = Vec::with_capacity(tables.len());
+        for table in tables {
+            let t = g
+                .tables
+                .get(*table)
+                .ok_or_else(|| StoreError::NoSuchTable((*table).to_string()))?;
+            frames.push(rows_to_frame(&t.schema, t.rows.iter()));
+        }
+        Ok((g.epoch, frames))
     }
 
     /// Discard the open transaction's staged rows. (The WAL keeps the
@@ -280,6 +346,37 @@ impl Database {
         ))
     }
 
+    /// Multi-value point lookup: rows where `col` equals any of `values`,
+    /// in insertion order (the order a full scan yields), via the
+    /// secondary index when one exists. The incremental-view oracle uses
+    /// this so the from-scratch recompute visits log rows in exactly the
+    /// order the change feed delivered them.
+    pub fn lookup_many(&self, table: &str, col: &str, values: &[Value]) -> StoreResult<DataFrame> {
+        let g = self.inner.read();
+        let t = g
+            .tables
+            .get(table)
+            .ok_or_else(|| StoreError::NoSuchTable(table.to_string()))?;
+        if let Some(idx) = t.indexes.get(col) {
+            let mut rids: Vec<usize> = values
+                .iter()
+                .flat_map(|v| idx.get(v).map(Vec::as_slice).unwrap_or_default())
+                .copied()
+                .collect();
+            rids.sort_unstable();
+            rids.dedup();
+            return Ok(rows_to_frame(&t.schema, rids.iter().map(|&r| &t.rows[r])));
+        }
+        let pos = t
+            .schema
+            .col_index(col)
+            .ok_or_else(|| StoreError::Invalid(format!("no column {col}")))?;
+        Ok(rows_to_frame(
+            &t.schema,
+            t.rows.iter().filter(|r| values.contains(&r[pos])),
+        ))
+    }
+
     /// Whether `col` has a secondary index on `table`.
     pub fn has_index(&self, table: &str, col: &str) -> bool {
         self.inner
@@ -291,11 +388,7 @@ impl Database {
 
     /// Execute `f` against the raw rows of a table (read-only); used by the
     /// query layer to avoid materialising intermediate frames.
-    pub(crate) fn with_table<R>(
-        &self,
-        table: &str,
-        f: impl FnOnce(&Table) -> R,
-    ) -> StoreResult<R> {
+    pub(crate) fn with_table<R>(&self, table: &str, f: impl FnOnce(&Table) -> R) -> StoreResult<R> {
         let g = self.inner.read();
         let t = g
             .tables
@@ -318,6 +411,9 @@ impl Database {
             rows_per_table,
             wal_records: g.wal.records_written,
             staged_rows: g.staged.len(),
+            wal_epoch: g.epoch,
+            wal_offset_bytes: g.wal.bytes_written,
+            subscribers: g.feed.live(),
         }
     }
 }
@@ -408,6 +504,29 @@ mod tests {
         let via_scan = db.scan("t").unwrap().filter_eq("k", &"k3".into());
         assert_eq!(via_index.n_rows(), 10);
         assert_eq!(via_index.to_rows(), via_scan.to_rows());
+    }
+
+    #[test]
+    fn lookup_many_preserves_insertion_order() {
+        let db = Database::in_memory(tiny_schema());
+        for (i, k) in ["b", "a", "b", "c", "a"].iter().enumerate() {
+            db.insert("t", vec![(*k).into(), (i as i64).into()])
+                .unwrap();
+        }
+        db.commit().unwrap();
+        let df = db.lookup_many("t", "k", &["a".into(), "b".into()]).unwrap();
+        let order: Vec<i64> = df
+            .column("v")
+            .unwrap()
+            .values
+            .iter()
+            .filter_map(Value::as_i64)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 4], "scan order, not per-key order");
+        // Unindexed column falls back to a filtered scan, same order.
+        let df2 = db.lookup_many("t", "v", &[1.into(), 0.into()]).unwrap();
+        assert_eq!(df2.n_rows(), 2);
+        assert_eq!(df2.get(0, "k"), Some(&Value::from("b")));
     }
 
     #[test]
@@ -508,5 +627,114 @@ mod tests {
         assert_eq!(s.total_rows, 1);
         assert_eq!(s.wal_records, 2); // insert + commit marker
         assert_eq!(s.staged_rows, 0);
+        assert_eq!(s.wal_epoch, 1);
+        assert!(s.wal_offset_bytes > 0);
+        assert_eq!(s.subscribers, 0);
+    }
+
+    #[test]
+    fn feed_delivers_committed_batches_only() {
+        let db = Database::in_memory(tiny_schema());
+        let sub = db.subscribe();
+        assert_eq!(sub.since_epoch(), 0);
+        db.insert("t", vec!["a".into(), 1.into()]).unwrap();
+        assert!(sub.poll().is_empty(), "staged rows must not leak");
+        db.insert("t", vec!["b".into(), 2.into()]).unwrap();
+        db.commit().unwrap();
+        let batches = sub.poll();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].epoch, 1);
+        let deltas = &batches[0].deltas;
+        assert_eq!(deltas.len(), 2);
+        assert_eq!(deltas[0].table, "t");
+        assert_eq!(deltas[0].row[0], Value::from("a"));
+        assert_eq!(deltas[1].row[0], Value::from("b"));
+        assert!(sub.poll().is_empty());
+    }
+
+    #[test]
+    fn feed_skips_rolled_back_rows() {
+        let db = Database::in_memory(tiny_schema());
+        let sub = db.subscribe();
+        db.insert("t", vec!["gone".into(), 1.into()]).unwrap();
+        db.rollback();
+        db.insert("t", vec!["kept".into(), 2.into()]).unwrap();
+        db.commit().unwrap();
+        let batches = sub.poll();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].deltas.len(), 1);
+        assert_eq!(batches[0].deltas[0].row[0], Value::from("kept"));
+    }
+
+    #[test]
+    fn feed_subscriber_lifecycle_in_stats() {
+        let db = Database::in_memory(tiny_schema());
+        let sub1 = db.subscribe();
+        let sub2 = db.subscribe();
+        assert_eq!(db.stats().subscribers, 2);
+        drop(sub2);
+        assert_eq!(db.stats().subscribers, 1);
+        db.insert("t", vec!["a".into(), 1.into()]).unwrap();
+        db.commit().unwrap();
+        assert_eq!(sub1.pending(), 1);
+    }
+
+    #[test]
+    fn feed_queue_is_bounded_for_slow_consumers() {
+        use crate::feed::MAX_PENDING_BATCHES;
+        let db = Database::in_memory(tiny_schema());
+        let sub = db.subscribe();
+        for i in 0..(MAX_PENDING_BATCHES + 50) {
+            db.insert("t", vec![format!("k{i}").into(), (i as i64).into()])
+                .unwrap();
+            db.commit().unwrap();
+        }
+        assert_eq!(sub.pending(), MAX_PENDING_BATCHES);
+        let batches = sub.poll();
+        // Oldest batches were shed: the survivor prefix starts past epoch 1
+        // (visible to consumers as an epoch gap) and ends at the newest.
+        assert_eq!(batches[0].epoch, 51);
+        assert_eq!(
+            batches.last().unwrap().epoch,
+            (MAX_PENDING_BATCHES + 50) as u64
+        );
+    }
+
+    #[test]
+    fn epoch_advances_per_commit_and_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("flordb-epoch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("epoch.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let db = Database::open(&path, tiny_schema()).unwrap();
+            for i in 0..3 {
+                db.insert("t", vec![format!("k{i}").into(), i.into()])
+                    .unwrap();
+                db.commit().unwrap();
+            }
+            assert_eq!(db.epoch(), 3);
+        }
+        {
+            let db = Database::open(&path, tiny_schema()).unwrap();
+            assert_eq!(db.epoch(), 3);
+            assert!(db.stats().wal_offset_bytes > 0);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_is_atomic_and_epoch_stamped() {
+        let db = Database::in_memory(tiny_schema());
+        db.insert("t", vec!["a".into(), 1.into()]).unwrap();
+        db.commit().unwrap();
+        let (epoch, frames) = db.snapshot(&["t"]).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].n_rows(), 1);
+        assert!(matches!(
+            db.snapshot(&["nope"]),
+            Err(StoreError::NoSuchTable(_))
+        ));
     }
 }

@@ -1,0 +1,121 @@
+//! The change feed: typed row deltas published at commit time.
+//!
+//! Incremental context maintenance (the paper's core claim) needs more
+//! than a queryable store — downstream materialized views must learn
+//! *what changed* without rescanning. The feed piggybacks on the existing
+//! commit path: every [`crate::Database::commit`] that makes rows visible
+//! also publishes one [`CommitBatch`] carrying the rows, stamped with the
+//! post-commit epoch, to every live [`Subscription`]. Rows reach the feed
+//! only when their commit marker lands, so subscribers observe exactly
+//! the visibility semantics of §2.1 — staged rows never leak.
+//!
+//! Delivery is pull-based: batches queue per subscriber and are drained
+//! with [`Subscription::poll`]. Dropping a subscription detaches it; the
+//! database garbage-collects dead queues on the next commit.
+
+use flor_df::Value;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Bound on undrained batches per subscriber. A consumer that stops
+/// polling (e.g. a view that is never queried again) would otherwise
+/// retain a clone of every row ever committed; past this bound the
+/// oldest batches are dropped. Consumers detect the truncation as an
+/// epoch gap and fall back to a snapshot rebuild, so slow readers cost
+/// bounded memory instead of unbounded growth.
+pub const MAX_PENDING_BATCHES: usize = 1024;
+
+/// One committed row: which table it landed in, and its values in schema
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowDelta {
+    /// Destination table name.
+    pub table: String,
+    /// Row values, in the table schema's column order.
+    pub row: Vec<Value>,
+}
+
+/// Everything one transaction made visible, in insertion order.
+#[derive(Debug, Clone)]
+pub struct CommitBatch {
+    /// The database epoch *after* this commit applied (first commit = 1).
+    /// Consumers at epoch `e` are up to date iff they have applied every
+    /// batch with `epoch <= e`.
+    pub epoch: u64,
+    /// The committed transaction id.
+    pub txn: u64,
+    /// The rows, shared between all subscribers.
+    pub deltas: Arc<Vec<RowDelta>>,
+}
+
+/// A live change-feed subscription. Created by
+/// [`crate::Database::subscribe`]; batches accumulate until polled.
+#[derive(Debug)]
+pub struct Subscription {
+    queue: Arc<Mutex<VecDeque<CommitBatch>>>,
+    /// Database epoch at subscription time: the subscriber will see every
+    /// commit with `epoch > since_epoch` and none at or before it.
+    since_epoch: u64,
+}
+
+impl Subscription {
+    pub(crate) fn new(queue: Arc<Mutex<VecDeque<CommitBatch>>>, since_epoch: u64) -> Subscription {
+        Subscription { queue, since_epoch }
+    }
+
+    /// The epoch this subscription started at (its first batch, if any,
+    /// has `epoch == since_epoch() + 1`).
+    pub fn since_epoch(&self) -> u64 {
+        self.since_epoch
+    }
+
+    /// Drain all pending batches, oldest first.
+    pub fn poll(&self) -> Vec<CommitBatch> {
+        let mut q = self.queue.lock();
+        q.drain(..).collect()
+    }
+
+    /// Number of undrained batches.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().len()
+    }
+}
+
+/// Publisher half, owned by the database.
+#[derive(Debug, Default)]
+pub(crate) struct Publisher {
+    queues: Vec<Arc<Mutex<VecDeque<CommitBatch>>>>,
+}
+
+impl Publisher {
+    /// Register a new subscriber queue.
+    pub fn attach(&mut self) -> Arc<Mutex<VecDeque<CommitBatch>>> {
+        let queue = Arc::new(Mutex::new(VecDeque::new()));
+        self.queues.push(Arc::clone(&queue));
+        queue
+    }
+
+    /// Deliver a batch to every live subscriber, pruning dropped ones (a
+    /// queue only we hold has lost its [`Subscription`]). Queues at
+    /// [`MAX_PENDING_BATCHES`] shed their oldest batch first — the
+    /// subscriber will observe the hole as an epoch gap.
+    pub fn publish(&mut self, batch: CommitBatch) {
+        self.queues.retain(|q| Arc::strong_count(q) > 1);
+        for q in &self.queues {
+            let mut q = q.lock();
+            if q.len() >= MAX_PENDING_BATCHES {
+                q.pop_front();
+            }
+            q.push_back(batch.clone());
+        }
+    }
+
+    /// Live subscriber count (dropped subscriptions are excluded).
+    pub fn live(&self) -> usize {
+        self.queues
+            .iter()
+            .filter(|q| Arc::strong_count(q) > 1)
+            .count()
+    }
+}

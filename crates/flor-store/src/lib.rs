@@ -31,10 +31,12 @@
 
 pub mod codec;
 pub mod db;
+pub mod feed;
 pub mod query;
 pub mod schema;
 pub mod wal;
 
 pub use db::{Database, DbStats, StoreError, StoreResult};
+pub use feed::{CommitBatch, RowDelta, Subscription};
 pub use query::{CmpOp, Predicate, Query};
 pub use schema::{flor_schema, ColType, ColumnDef, TableSchema};

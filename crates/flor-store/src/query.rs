@@ -139,10 +139,11 @@ impl Query {
                 .filter(|(i, _)| Some(*i) != access)
                 .filter_map(|(_, p)| t.schema.col_index(&p.col).map(|ci| (ci, p)))
                 .collect();
-            let rows = candidate_rids
-                .iter()
-                .map(|&r| &t.rows[r])
-                .filter(|row| residual.iter().all(|(ci, p)| p.op.eval(&row[*ci], &p.value)));
+            let rows = candidate_rids.iter().map(|&r| &t.rows[r]).filter(|row| {
+                residual
+                    .iter()
+                    .all(|(ci, p)| p.op.eval(&row[*ci], &p.value))
+            });
             rows_to_frame(&t.schema, rows)
         })?;
 

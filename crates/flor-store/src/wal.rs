@@ -34,6 +34,10 @@ pub struct Wal {
     backend: WalBackend,
     /// Count of appended records (for stats).
     pub records_written: u64,
+    /// Physical log offset: total bytes in the log, including any prefix
+    /// recovered from disk. Views use this (with the epoch) for cheap
+    /// staleness checks without re-reading the log.
+    pub bytes_written: u64,
 }
 
 impl Wal {
@@ -44,12 +48,14 @@ impl Wal {
             .append(true)
             .read(true)
             .open(path)?;
+        let existing = file.metadata()?.len();
         Ok(Wal {
             backend: WalBackend::File {
                 file,
                 path: path.to_path_buf(),
             },
             records_written: 0,
+            bytes_written: existing,
         })
     }
 
@@ -58,6 +64,7 @@ impl Wal {
         Wal {
             backend: WalBackend::Memory(Vec::new()),
             records_written: 0,
+            bytes_written: 0,
         }
     }
 
@@ -73,6 +80,7 @@ impl Wal {
             WalBackend::Memory(buf) => buf.extend_from_slice(&frame),
         }
         self.records_written += 1;
+        self.bytes_written += frame.len() as u64;
         Ok(())
     }
 
@@ -114,6 +122,9 @@ pub struct Recovery {
     pub torn_tail: bool,
     /// Highest transaction id seen (committed or not).
     pub max_txn: u64,
+    /// Number of distinct committed transactions: the epoch a database
+    /// recovered from this log resumes at.
+    pub committed_txns: usize,
 }
 
 /// Replay a WAL byte stream, honouring commit markers.
@@ -149,6 +160,7 @@ pub fn recover(bytes: Vec<u8>) -> Result<Recovery, CodecError> {
             Err(e) => return Err(e),
         }
     }
+    rec.committed_txns = committed_txns.len();
     for (txn, table, row) in staged {
         if committed_txns.contains(&txn) {
             rec.committed.push((table, row));

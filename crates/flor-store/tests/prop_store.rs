@@ -3,9 +3,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use flor_df::Value;
-use flor_store::codec::{
-    decode_record, decode_row, encode_record, encode_row, WalRecord,
-};
+use flor_store::codec::{decode_record, decode_row, encode_record, encode_row, WalRecord};
 use flor_store::wal::{recover, Wal};
 use flor_store::{ColType, ColumnDef, Database, Query, TableSchema};
 use proptest::prelude::*;

@@ -1,0 +1,551 @@
+//! The view catalog: named materialized views, refreshed from the change
+//! feed, bounded by an LRU, with transparent full-rebuild fallback.
+//!
+//! One catalog owns one change-feed [`Subscription`] on its database.
+//! Every access first drains pending commit batches and applies them to
+//! *all* cached views (each view skips batches at or below its own
+//! epoch), then serves the requested view — building it from an
+//! epoch-stamped consistent snapshot on a miss. If a delta cannot be
+//! applied (epoch gap, malformed row, schema surprise), the view is
+//! rebuilt from scratch instead of serving wrong data; the event is
+//! counted in [`CatalogStats::fallback_rebuilds`].
+
+use crate::delta::{DeltaError, LatestState, PivotState};
+use flor_df::{DataFrame, DfError};
+use flor_store::{Database, StoreError, StoreResult, Subscription};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identity of a materialized view: the projected `value_name`s, plus the
+/// `latest` group columns for deduplicated views.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ViewKey {
+    /// Projected log names, in request order.
+    pub names: Vec<String>,
+    /// `Some(group)` for a `latest`-deduplicated view.
+    pub group: Option<Vec<String>>,
+}
+
+impl ViewKey {
+    /// Key for a plain pivoted view.
+    pub fn pivot(names: &[&str]) -> ViewKey {
+        ViewKey {
+            names: names.iter().map(|s| s.to_string()).collect(),
+            group: None,
+        }
+    }
+
+    /// Key for a `latest`-deduplicated view.
+    pub fn latest(names: &[&str], group: &[&str]) -> ViewKey {
+        ViewKey {
+            names: names.iter().map(|s| s.to_string()).collect(),
+            group: Some(group.iter().map(|s| s.to_string()).collect()),
+        }
+    }
+}
+
+/// Counters describing catalog behaviour; cheap to snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Requests served from a cached view (possibly after applying deltas).
+    pub hits: u64,
+    /// Requests that built a new view from a snapshot.
+    pub misses: u64,
+    /// Views rebuilt because a delta could not be applied.
+    pub fallback_rebuilds: u64,
+    /// Views evicted by the LRU bound.
+    pub evictions: u64,
+    /// Commit batches drained from the feed.
+    pub batches_applied: u64,
+    /// Individual row deltas applied across all views.
+    pub deltas_applied: u64,
+}
+
+struct CachedView {
+    pivot: PivotState,
+    /// Present for `latest` views; `None` means served straight from pivot.
+    latest: Option<LatestState>,
+    /// Materialized `latest` output, invalidated whenever the pivot moves.
+    latest_frame: Option<Arc<DataFrame>>,
+    last_used: u64,
+    /// WAL byte offset at the last refresh (observability; staleness is
+    /// decided by epoch).
+    wal_offset_bytes: u64,
+}
+
+/// One live view's description, as reported by [`ViewCatalog::view_infos`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewInfo {
+    /// The view's identity.
+    pub key: ViewKey,
+    /// Epoch the view reflects.
+    pub epoch: u64,
+    /// Rows currently materialized (pivot rows).
+    pub rows: usize,
+    /// WAL byte offset at the last refresh.
+    pub wal_offset_bytes: u64,
+}
+
+struct CatalogInner {
+    /// Created on first access, not at catalog construction: a kernel
+    /// that never queries views shouldn't make commits queue deltas.
+    sub: Option<Subscription>,
+    views: HashMap<ViewKey, CachedView>,
+    clock: u64,
+    stats: CatalogStats,
+}
+
+/// A bounded cache of incrementally maintained views over one database.
+///
+/// Cloning shares the same catalog (and its single feed subscription).
+#[derive(Clone)]
+pub struct ViewCatalog {
+    db: Database,
+    capacity: usize,
+    inner: Arc<Mutex<CatalogInner>>,
+}
+
+impl ViewCatalog {
+    /// Catalog over `db` holding at most `capacity` views.
+    pub fn new(db: Database, capacity: usize) -> ViewCatalog {
+        ViewCatalog {
+            db,
+            capacity: capacity.max(1),
+            inner: Arc::new(Mutex::new(CatalogInner {
+                sub: None,
+                views: HashMap::new(),
+                clock: 0,
+                stats: CatalogStats::default(),
+            })),
+        }
+    }
+
+    /// The pivoted view for `names`, up to date with every commit. Cheap
+    /// (`Arc` clone) when nothing changed since the last call.
+    pub fn pivot(&self, names: &[&str]) -> StoreResult<Arc<DataFrame>> {
+        let key = ViewKey::pivot(names);
+        let mut g = self.inner.lock();
+        self.drain_and_apply(&mut g)?;
+        self.ensure_view(&mut g, &key)?;
+        let view = g.views.get(&key).expect("just ensured");
+        Ok(view.pivot.frame())
+    }
+
+    /// The `latest`-deduplicated view for `names` grouped by `group`.
+    ///
+    /// Errors like the from-scratch path does when a group column does not
+    /// exist in the pivoted frame.
+    pub fn latest(&self, names: &[&str], group: &[&str]) -> StoreResult<Arc<DataFrame>> {
+        let key = ViewKey::latest(names, group);
+        let mut g = self.inner.lock();
+        self.drain_and_apply(&mut g)?;
+        self.ensure_view(&mut g, &key)?;
+        let view = g.views.get_mut(&key).expect("just ensured");
+        if let Some(cached) = &view.latest_frame {
+            return Ok(Arc::clone(cached));
+        }
+        let frame = view.pivot.frame();
+        // Match the oracle's semantics exactly: empty views short-circuit,
+        // unknown group columns error.
+        let out: Arc<DataFrame> = if frame.n_rows() == 0 {
+            Arc::new(DataFrame::new())
+        } else {
+            for gcol in group {
+                if frame.column(gcol).is_none() {
+                    return Err(StoreError::Df(DfError::UnknownColumn((*gcol).to_string())));
+                }
+            }
+            // The per-key upsert state is only sound when every group
+            // column is an index column (fixed or loop dimension): those
+            // cells are written once per row. Grouping by a *value* column
+            // is legal but unstable — an upsert can rewrite the cell and
+            // silently move the row between groups — so recompute the
+            // filter from the maintained frame instead. Decided per
+            // materialization because dimensions are discovered lazily; a
+            // column's class is fixed from the moment it exists.
+            let stable = group.iter().all(|gcol| view.pivot.is_index_col(gcol));
+            match (&view.latest, stable) {
+                (Some(latest), true) => {
+                    let keep = latest.surviving_rows();
+                    Arc::new(frame.take(&keep))
+                }
+                _ => Arc::new(frame.latest(group, "tstamp").map_err(StoreError::Df)?),
+            }
+        };
+        view.latest_frame = Some(Arc::clone(&out));
+        Ok(out)
+    }
+
+    /// Per-view descriptions, unordered.
+    pub fn view_infos(&self) -> Vec<ViewInfo> {
+        let g = self.inner.lock();
+        g.views
+            .iter()
+            .map(|(key, v)| ViewInfo {
+                key: key.clone(),
+                epoch: v.pivot.epoch(),
+                rows: v.pivot.frame().n_rows(),
+                wal_offset_bytes: v.wal_offset_bytes,
+            })
+            .collect()
+    }
+
+    /// Whether the named view exists and already reflects the database's
+    /// current epoch (no pending feed batches for it).
+    pub fn is_fresh(&self, key: &ViewKey) -> bool {
+        let g = self.inner.lock();
+        g.sub.as_ref().is_none_or(|s| s.pending() == 0)
+            && g.views
+                .get(key)
+                .is_some_and(|v| v.pivot.epoch() == self.db.epoch())
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CatalogStats {
+        self.inner.lock().stats.clone()
+    }
+
+    /// Number of cached views.
+    pub fn len(&self) -> usize {
+        self.inner.lock().views.len()
+    }
+
+    /// True iff no views are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached view (they rebuild lazily on next access).
+    pub fn clear(&self) {
+        self.inner.lock().views.clear();
+    }
+
+    /// Drain the feed and bring every cached view up to date, falling back
+    /// to a rebuild for any view that rejects a delta.
+    fn drain_and_apply(&self, g: &mut CatalogInner) -> StoreResult<()> {
+        let Some(sub) = &g.sub else {
+            // First access ever: start listening. Views built later this
+            // access snapshot at an epoch >= the subscription's, so
+            // nothing is missed.
+            g.sub = Some(self.db.subscribe());
+            return Ok(());
+        };
+        let batches = sub.poll();
+        if batches.is_empty() {
+            return Ok(());
+        }
+        g.stats.batches_applied += batches.len() as u64;
+        for batch in &batches {
+            g.stats.deltas_applied += PivotState::relevant_deltas(batch) as u64;
+        }
+        let keys: Vec<ViewKey> = g.views.keys().cloned().collect();
+        for key in keys {
+            let mut failed: Option<DeltaError> = None;
+            {
+                let view = g.views.get_mut(&key).expect("key from live map");
+                for batch in &batches {
+                    match view.pivot.apply(batch) {
+                        Ok(changed) => {
+                            if !changed.is_empty() {
+                                view.latest_frame = None;
+                                if let Some(latest) = &mut view.latest {
+                                    let frame = view.pivot.frame();
+                                    latest.observe(&frame, &changed);
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+            }
+            if failed.is_some() {
+                // Transparent fallback: rebuild from a fresh snapshot.
+                g.stats.fallback_rebuilds += 1;
+                let last_used = g.views[&key].last_used;
+                let rebuilt = self.build(&key)?;
+                g.views.insert(
+                    key,
+                    CachedView {
+                        last_used,
+                        ..rebuilt
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Serve `key` from cache or build it; touches the LRU clock and
+    /// enforces the capacity bound.
+    fn ensure_view(&self, g: &mut CatalogInner, key: &ViewKey) -> StoreResult<()> {
+        g.clock += 1;
+        let clock = g.clock;
+        if let Some(view) = g.views.get_mut(key) {
+            view.last_used = clock;
+            g.stats.hits += 1;
+            return Ok(());
+        }
+        g.stats.misses += 1;
+        let mut built = self.build(key)?;
+        built.last_used = clock;
+        g.views.insert(key.clone(), built);
+        while g.views.len() > self.capacity {
+            let coldest = g
+                .views
+                .iter()
+                .filter(|(k, _)| *k != key)
+                .min_by_key(|(_, v)| v.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("capacity >= 1 so another view exists");
+            g.views.remove(&coldest);
+            g.stats.evictions += 1;
+        }
+        Ok(())
+    }
+
+    /// Build a view from an epoch-stamped consistent snapshot. The feed
+    /// subscription predates every snapshot, so any commit not covered by
+    /// the snapshot is still queued and will be applied as a delta (and
+    /// batches the snapshot already covers are skipped by epoch).
+    fn build(&self, key: &ViewKey) -> StoreResult<CachedView> {
+        let names: Vec<&str> = key.names.iter().map(String::as_str).collect();
+        let (epoch, frames) = self.db.snapshot(&["logs", "loops"])?;
+        let [logs, loops]: [DataFrame; 2] = frames.try_into().expect("two tables requested");
+        let pivot = PivotState::from_snapshot(&names, epoch, &logs, &loops)
+            .map_err(|e| StoreError::Invalid(format!("view build: {e}")))?;
+        // Latest views always carry upsert state; whether it is *used*
+        // (vs. recomputing from the frame) is decided per materialization,
+        // based on the pivot's actual index columns.
+        let latest = key.group.as_ref().map(|group| {
+            let gs: Vec<&str> = group.iter().map(String::as_str).collect();
+            let mut state = LatestState::new(&gs);
+            let frame = pivot.frame();
+            let all_rows: Vec<usize> = (0..frame.n_rows()).collect();
+            state.observe(&frame, &all_rows);
+            state
+        });
+        Ok(CachedView {
+            pivot,
+            latest,
+            latest_frame: None,
+            last_used: 0,
+            wal_offset_bytes: self.db.stats().wal_offset_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flor_df::Value;
+    use flor_store::flor_schema;
+
+    fn log_row(ts: i64, name: &str, value: &str) -> Vec<Value> {
+        vec![
+            "p".into(),
+            ts.into(),
+            "f.fl".into(),
+            0.into(),
+            name.into(),
+            value.into(),
+            2.into(),
+        ]
+    }
+
+    #[test]
+    fn view_refreshes_incrementally() {
+        let db = Database::in_memory(flor_schema());
+        let catalog = ViewCatalog::new(db.clone(), 4);
+        db.insert("logs", log_row(1, "loss", "10")).unwrap();
+        db.commit().unwrap();
+        let v1 = catalog.pivot(&["loss"]).unwrap();
+        assert_eq!(v1.n_rows(), 1);
+        assert_eq!(catalog.stats().misses, 1);
+
+        db.insert("logs", log_row(2, "loss", "20")).unwrap();
+        db.commit().unwrap();
+        let v2 = catalog.pivot(&["loss"]).unwrap();
+        assert_eq!(v2.n_rows(), 2);
+        let s = catalog.stats();
+        assert_eq!(s.misses, 1, "second call must reuse the cached view");
+        assert_eq!(s.hits, 1);
+        assert!(s.deltas_applied >= 1);
+        // The earlier snapshot is unaffected (copy-on-write).
+        assert_eq!(v1.n_rows(), 1);
+    }
+
+    #[test]
+    fn repeated_queries_share_one_snapshot() {
+        let db = Database::in_memory(flor_schema());
+        let catalog = ViewCatalog::new(db.clone(), 4);
+        db.insert("logs", log_row(1, "x", "1")).unwrap();
+        db.commit().unwrap();
+        let a = catalog.pivot(&["x"]).unwrap();
+        let b = catalog.pivot(&["x"]).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn lru_bound_evicts_coldest() {
+        let db = Database::in_memory(flor_schema());
+        let catalog = ViewCatalog::new(db.clone(), 2);
+        db.insert("logs", log_row(1, "a", "1")).unwrap();
+        db.insert("logs", log_row(1, "b", "2")).unwrap();
+        db.insert("logs", log_row(1, "c", "3")).unwrap();
+        db.commit().unwrap();
+        catalog.pivot(&["a"]).unwrap();
+        catalog.pivot(&["b"]).unwrap();
+        catalog.pivot(&["a"]).unwrap(); // touch: "b" is now coldest
+        catalog.pivot(&["c"]).unwrap();
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog.stats().evictions, 1);
+        let keys: Vec<ViewKey> = catalog.view_infos().into_iter().map(|i| i.key).collect();
+        assert!(keys.contains(&ViewKey::pivot(&["a"])));
+        assert!(keys.contains(&ViewKey::pivot(&["c"])));
+    }
+
+    #[test]
+    fn freshness_tracks_epoch() {
+        let db = Database::in_memory(flor_schema());
+        let catalog = ViewCatalog::new(db.clone(), 4);
+        db.insert("logs", log_row(1, "x", "1")).unwrap();
+        db.commit().unwrap();
+        catalog.pivot(&["x"]).unwrap();
+        let key = ViewKey::pivot(&["x"]);
+        assert!(catalog.is_fresh(&key));
+        db.insert("logs", log_row(2, "x", "2")).unwrap();
+        db.commit().unwrap();
+        assert!(!catalog.is_fresh(&key));
+        catalog.pivot(&["x"]).unwrap();
+        assert!(catalog.is_fresh(&key));
+    }
+
+    #[test]
+    fn latest_view_dedupes_and_caches() {
+        let db = Database::in_memory(flor_schema());
+        let catalog = ViewCatalog::new(db.clone(), 4);
+        for ts in 1..=3 {
+            db.insert("logs", log_row(ts, "acc", &ts.to_string()))
+                .unwrap();
+            db.commit().unwrap();
+        }
+        let latest = catalog.latest(&["acc"], &["projid"]).unwrap();
+        assert_eq!(latest.n_rows(), 1);
+        assert_eq!(latest.get(0, "acc"), Some(&Value::Int(3)));
+        let again = catalog.latest(&["acc"], &["projid"]).unwrap();
+        assert!(Arc::ptr_eq(&latest, &again));
+        // Unknown group column errors like the from-scratch path.
+        assert!(catalog.latest(&["acc"], &["nope"]).is_err());
+    }
+
+    #[test]
+    fn latest_upsert_at_max_tstamp_does_not_duplicate() {
+        // Regression: filling a hole in the newest row (same tstamp, same
+        // context — the backfill shape) upserts a cell of a row already
+        // tracked at the max timestamp; the latest view must not emit the
+        // row twice.
+        let db = Database::in_memory(flor_schema());
+        let catalog = ViewCatalog::new(db.clone(), 4);
+        db.insert("logs", log_row(1, "loss", "10")).unwrap();
+        db.commit().unwrap();
+        let first = catalog.latest(&["loss", "acc"], &["projid"]).unwrap();
+        assert_eq!(first.n_rows(), 1);
+        // Same (projid, tstamp, filename, ctx): lands in the existing row.
+        db.insert("logs", log_row(1, "acc", "7")).unwrap();
+        db.commit().unwrap();
+        let after = catalog.latest(&["loss", "acc"], &["projid"]).unwrap();
+        assert_eq!(after.n_rows(), 1, "upsert must not duplicate the row");
+        assert_eq!(after.get(0, "acc"), Some(&Value::Int(7)));
+        let oracle = catalog
+            .pivot(&["loss", "acc"])
+            .unwrap()
+            .latest(&["projid"], "tstamp")
+            .unwrap();
+        assert_eq!(*after, oracle);
+    }
+
+    #[test]
+    fn latest_by_value_column_recomputes_and_stays_correct() {
+        // Grouping by a *value* column is unstable under upserts: the
+        // catalog must serve it by recomputation, not the upsert map —
+        // even when the column name looks like a loop dimension.
+        let db = Database::in_memory(flor_schema());
+        let catalog = ViewCatalog::new(db.clone(), 4);
+        let str_row = |ts: i64, name: &str, value: &str| -> Vec<Value> {
+            vec![
+                "p".into(),
+                ts.into(),
+                "f.fl".into(),
+                0.into(),
+                name.into(),
+                value.into(),
+                4.into(), // value_type: Str
+            ]
+        };
+        db.insert("logs", str_row(1, "f1_value", "a")).unwrap();
+        db.insert("logs", log_row(1, "score", "1")).unwrap();
+        db.commit().unwrap();
+        catalog
+            .latest(&["f1_value", "score"], &["f1_value"])
+            .unwrap();
+        // Re-log moves the row to group "b"; tstamp unchanged.
+        db.insert("logs", str_row(1, "f1_value", "b")).unwrap();
+        db.commit().unwrap();
+        let latest = catalog
+            .latest(&["f1_value", "score"], &["f1_value"])
+            .unwrap();
+        let oracle = catalog
+            .pivot(&["f1_value", "score"])
+            .unwrap()
+            .latest(&["f1_value"], "tstamp")
+            .unwrap();
+        assert_eq!(*latest, oracle);
+        assert_eq!(latest.n_rows(), 1);
+        assert_eq!(latest.get(0, "f1_value"), Some(&Value::Str("b".into())));
+    }
+
+    #[test]
+    fn overflowed_subscriber_falls_back_to_rebuild() {
+        // A view left unqueried past the feed's queue bound loses old
+        // batches; on the next query it must detect the gap, rebuild, and
+        // still serve the right answer.
+        use flor_store::feed::MAX_PENDING_BATCHES;
+        let db = Database::in_memory(flor_schema());
+        let catalog = ViewCatalog::new(db.clone(), 4);
+        db.insert("logs", log_row(0, "x", "0")).unwrap();
+        db.commit().unwrap();
+        catalog.pivot(&["x"]).unwrap();
+        let n = MAX_PENDING_BATCHES + 10;
+        for ts in 1..=(n as i64) {
+            db.insert("logs", log_row(ts, "x", &ts.to_string()))
+                .unwrap();
+            db.commit().unwrap();
+        }
+        let view = catalog.pivot(&["x"]).unwrap();
+        assert_eq!(view.n_rows(), n + 1);
+        let stats = catalog.stats();
+        assert_eq!(stats.fallback_rebuilds, 1, "gap must trigger one rebuild");
+        // And the rebuilt view keeps applying deltas afterwards.
+        db.insert("logs", log_row(-1, "x", "tail")).unwrap();
+        db.commit().unwrap();
+        assert_eq!(catalog.pivot(&["x"]).unwrap().n_rows(), n + 2);
+        assert_eq!(catalog.stats().fallback_rebuilds, 1);
+    }
+
+    #[test]
+    fn clear_forces_rebuild() {
+        let db = Database::in_memory(flor_schema());
+        let catalog = ViewCatalog::new(db.clone(), 4);
+        db.insert("logs", log_row(1, "x", "1")).unwrap();
+        db.commit().unwrap();
+        catalog.pivot(&["x"]).unwrap();
+        catalog.clear();
+        assert!(catalog.is_empty());
+        assert_eq!(catalog.pivot(&["x"]).unwrap().n_rows(), 1);
+        assert_eq!(catalog.stats().misses, 2);
+    }
+}

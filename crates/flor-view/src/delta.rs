@@ -1,0 +1,562 @@
+//! Delta operators: incremental maintenance of the pivoted context view.
+//!
+//! [`PivotState`] holds the wide `flor.dataframe` result and applies
+//! change-feed batches to it instead of rebuilding. Per log row the work
+//! is: resolve the loop-context chain against a cumulative ctx map
+//! (incremental join with `loops`), widen the schema if the row carries a
+//! never-seen loop dimension or `value_name` (new-column discovery), and
+//! upsert one cell keyed by the row's index tuple (incremental
+//! group-by/pivot). [`LatestState`] layers `flor.utils.latest` on top via
+//! a per-group-key max-timestamp upsert.
+//!
+//! The invariant, enforced by `tests/prop_view.rs` against the kernel's
+//! from-scratch recompute as oracle: after any interleaving of inserts,
+//! commits and backfills, the maintained frame is cell-for-cell identical
+//! to a full rebuild — including column order, row order, and nulls.
+
+use flor_df::{Column, DataFrame, DataType, Value};
+use flor_store::{CommitBatch, RowDelta};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Fixed index columns every context row carries (paper Fig. 3).
+const FIXED: [&str; 3] = ["projid", "tstamp", "filename"];
+
+// Column positions in the Fig. 1 `logs` and `loops` schemas.
+const LOG_PROJID: usize = 0;
+const LOG_TSTAMP: usize = 1;
+const LOG_FILENAME: usize = 2;
+const LOG_CTX: usize = 3;
+const LOG_NAME: usize = 4;
+const LOG_VALUE: usize = 5;
+const LOG_TYPE: usize = 6;
+const LOG_ARITY: usize = 7;
+const LOOP_CTX: usize = 3;
+const LOOP_PARENT: usize = 4;
+const LOOP_NAME: usize = 5;
+const LOOP_ITER: usize = 6;
+const LOOP_VALUE: usize = 7;
+const LOOP_ARITY: usize = 8;
+
+/// Why a delta batch could not be applied; the catalog reacts by falling
+/// back to a full rebuild of the view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// Batches arrived out of order (a feed epoch was skipped).
+    EpochGap {
+        /// The view's current epoch.
+        have: u64,
+        /// The batch that arrived.
+        got: u64,
+    },
+    /// A delta row does not match the expected table schema.
+    Malformed(String),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::EpochGap { have, got } => {
+                write!(f, "epoch gap: view at {have}, batch at {got}")
+            }
+            DeltaError::Malformed(m) => write!(f, "malformed delta: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+#[derive(Debug, Clone)]
+struct CtxRow {
+    parent: i64,
+    loop_name: String,
+    iteration: i64,
+    value: String,
+}
+
+/// Incrementally maintained pivoted view over `logs ⋈ loops`, projected
+/// onto a set of requested `value_name`s.
+#[derive(Debug, Clone)]
+pub struct PivotState {
+    names: Vec<String>,
+    /// Cumulative loop-context map (incremental join state).
+    ctx: HashMap<i64, CtxRow>,
+    /// Dimension columns after the three fixed ones, in first-seen order —
+    /// the same order a from-scratch long-frame build discovers them.
+    dim_cols: Vec<String>,
+    /// Index tuple (fixed + dims, nulls for absent dims) → row position.
+    row_pos: HashMap<Vec<Value>, usize>,
+    /// The maintained wide frame. Shared out to readers; deltas mutate in
+    /// place via `Arc::make_mut` (copy-on-write only while a reader still
+    /// holds an old snapshot).
+    frame: Arc<DataFrame>,
+    epoch: u64,
+}
+
+impl PivotState {
+    /// Empty view at epoch `epoch` for the given projection.
+    pub fn new(names: &[&str], epoch: u64) -> PivotState {
+        PivotState {
+            names: names.iter().map(|s| s.to_string()).collect(),
+            ctx: HashMap::new(),
+            dim_cols: Vec::new(),
+            row_pos: HashMap::new(),
+            frame: Arc::new(DataFrame::new()),
+            epoch,
+        }
+    }
+
+    /// Build from a consistent `(epoch, logs, loops)` snapshot by feeding
+    /// every historical row through the same delta path a live batch
+    /// takes. Insertion order is preserved, so the result is identical to
+    /// an incremental build that watched the log grow row by row.
+    pub fn from_snapshot(
+        names: &[&str],
+        epoch: u64,
+        logs: &DataFrame,
+        loops: &DataFrame,
+    ) -> Result<PivotState, DeltaError> {
+        let mut state = PivotState::new(names, epoch);
+        for row in loops.rows() {
+            state.apply_loop_row(&row.to_vec())?;
+        }
+        for row in logs.rows() {
+            state.apply_log_row(&row.to_vec())?;
+        }
+        Ok(state)
+    }
+
+    /// The epoch this view reflects.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The requested projection.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Whether `col` is an index column of the maintained frame — one of
+    /// the three fixed context columns or a discovered loop dimension.
+    /// Index cells are written once when their row is created and never
+    /// rewritten by an upsert; value columns can be.
+    pub fn is_index_col(&self, col: &str) -> bool {
+        FIXED.contains(&col) || self.dim_cols.iter().any(|d| d == col)
+    }
+
+    /// Shared snapshot of the maintained frame. Cheap (`Arc` clone).
+    pub fn frame(&self) -> Arc<DataFrame> {
+        Arc::clone(&self.frame)
+    }
+
+    /// Apply one commit batch. Returns the positions of rows added or
+    /// updated (deduplicated, ascending). Batches at or below the view's
+    /// epoch are skipped (already reflected by the snapshot the view was
+    /// built from); a skipped-ahead epoch is an [`DeltaError::EpochGap`].
+    pub fn apply(&mut self, batch: &CommitBatch) -> Result<Vec<usize>, DeltaError> {
+        if batch.epoch <= self.epoch {
+            return Ok(Vec::new());
+        }
+        if batch.epoch != self.epoch + 1 {
+            return Err(DeltaError::EpochGap {
+                have: self.epoch,
+                got: batch.epoch,
+            });
+        }
+        // Loop rows first: within a transaction a log row may reference a
+        // ctx minted earlier in the same transaction, and the full-rebuild
+        // oracle resolves chains against the complete loops table.
+        for delta in batch.deltas.iter() {
+            if delta.table == "loops" {
+                self.apply_loop_row(&delta.row)?;
+            }
+        }
+        let mut changed = Vec::new();
+        for delta in batch.deltas.iter() {
+            if delta.table == "logs" {
+                if let Some(pos) = self.apply_log_row(&delta.row)? {
+                    changed.push(pos);
+                }
+            }
+        }
+        self.epoch = batch.epoch;
+        changed.sort_unstable();
+        changed.dedup();
+        Ok(changed)
+    }
+
+    /// Total deltas in `batch` this view would look at (logs + loops).
+    pub fn relevant_deltas(batch: &CommitBatch) -> usize {
+        batch
+            .deltas
+            .iter()
+            .filter(|d: &&RowDelta| d.table == "logs" || d.table == "loops")
+            .count()
+    }
+
+    fn apply_loop_row(&mut self, row: &[Value]) -> Result<(), DeltaError> {
+        if row.len() != LOOP_ARITY {
+            return Err(DeltaError::Malformed(format!(
+                "loops row has {} columns, expected {LOOP_ARITY}",
+                row.len()
+            )));
+        }
+        let ctx_id = row[LOOP_CTX].as_i64().unwrap_or(0);
+        self.ctx.insert(
+            ctx_id,
+            CtxRow {
+                parent: row[LOOP_PARENT].as_i64().unwrap_or(0),
+                loop_name: row[LOOP_NAME].to_text(),
+                iteration: row[LOOP_ITER].as_i64().unwrap_or(0),
+                value: row[LOOP_VALUE].to_text(),
+            },
+        );
+        Ok(())
+    }
+
+    fn apply_log_row(&mut self, row: &[Value]) -> Result<Option<usize>, DeltaError> {
+        if row.len() != LOG_ARITY {
+            return Err(DeltaError::Malformed(format!(
+                "logs row has {} columns, expected {LOG_ARITY}",
+                row.len()
+            )));
+        }
+        let name = row[LOG_NAME].to_text();
+        if !self.names.contains(&name) {
+            return Ok(None);
+        }
+        // Resolve the ctx chain outward, then reverse to outermost-first —
+        // mirroring the kernel's full-recompute walk (a missing link
+        // truncates the chain there, exactly as the oracle does).
+        let mut chain: Vec<&CtxRow> = Vec::new();
+        let mut cur = row[LOG_CTX].as_i64().unwrap_or(0);
+        while cur != 0 {
+            let Some(c) = self.ctx.get(&cur) else { break };
+            chain.push(c);
+            cur = c.parent;
+        }
+        chain.reverse();
+        let dims: Vec<(String, Value)> = chain
+            .iter()
+            .flat_map(|c| {
+                [
+                    (
+                        format!("{}_iteration", c.loop_name),
+                        Value::Int(c.iteration),
+                    ),
+                    (
+                        format!("{}_value", c.loop_name),
+                        Value::from(c.value.as_str()),
+                    ),
+                ]
+            })
+            .collect();
+        // Decode the text-stored value via its type tag, as the oracle does.
+        let tag = row[LOG_TYPE].as_i64().unwrap_or(DataType::Str.tag());
+        let value = Value::from_text(&row[LOG_VALUE].to_text(), DataType::from_tag(tag));
+
+        let frame = Arc::make_mut(&mut self.frame);
+        if frame.n_cols() == 0 {
+            // First row: push_row creates every column in entry order,
+            // which is exactly the long-frame first-seen order.
+            for (d, _) in &dims {
+                self.dim_cols.push(d.clone());
+            }
+            let mut entries: Vec<(&str, Value)> = vec![
+                (FIXED[0], row[LOG_PROJID].clone()),
+                (FIXED[1], row[LOG_TSTAMP].clone()),
+                (FIXED[2], row[LOG_FILENAME].clone()),
+            ];
+            for (d, v) in &dims {
+                entries.push((d.as_str(), v.clone()));
+            }
+            entries.push((name.as_str(), value));
+            frame.push_row(&entries);
+            let key: Vec<Value> = entries[..3 + dims.len()]
+                .iter()
+                .map(|(_, v)| v.clone())
+                .collect();
+            self.row_pos.insert(key, 0);
+            return Ok(Some(0));
+        }
+        // New-dimension discovery: a never-seen loop name widens the index
+        // region (inserted before the value columns, nulls backfilled) and
+        // extends every existing index key with a null.
+        for (d, _) in &dims {
+            if !self.dim_cols.contains(d) {
+                let pos = FIXED.len() + self.dim_cols.len();
+                frame
+                    .insert_column(
+                        pos,
+                        Column {
+                            name: d.clone(),
+                            values: vec![Value::Null; frame.n_rows()],
+                        },
+                    )
+                    .map_err(|e| DeltaError::Malformed(e.to_string()))?;
+                self.dim_cols.push(d.clone());
+                self.row_pos = self
+                    .row_pos
+                    .drain()
+                    .map(|(mut key, pos)| {
+                        key.push(Value::Null);
+                        (key, pos)
+                    })
+                    .collect();
+            }
+        }
+        // New-column discovery for the value: appended after all existing
+        // columns, in first-seen order of value_name.
+        if frame.column(&name).is_none() {
+            frame
+                .add_column(Column {
+                    name: name.clone(),
+                    values: vec![Value::Null; frame.n_rows()],
+                })
+                .map_err(|e| DeltaError::Malformed(e.to_string()))?;
+        }
+        // Upsert keyed by the index tuple.
+        let mut key: Vec<Value> = vec![
+            row[LOG_PROJID].clone(),
+            row[LOG_TSTAMP].clone(),
+            row[LOG_FILENAME].clone(),
+        ];
+        for d in &self.dim_cols {
+            let v = dims
+                .iter()
+                .find(|(n, _)| n == d)
+                .map(|(_, v)| v.clone())
+                .unwrap_or(Value::Null);
+            key.push(v);
+        }
+        match self.row_pos.get(&key) {
+            Some(&pos) => {
+                // Same context re-logged the value: last write wins.
+                frame
+                    .set_cell(pos, &name, value)
+                    .map_err(|e| DeltaError::Malformed(e.to_string()))?;
+                Ok(Some(pos))
+            }
+            None => {
+                let mut entries: Vec<(&str, Value)> = vec![
+                    (FIXED[0], row[LOG_PROJID].clone()),
+                    (FIXED[1], row[LOG_TSTAMP].clone()),
+                    (FIXED[2], row[LOG_FILENAME].clone()),
+                ];
+                for (d, v) in &dims {
+                    entries.push((d.as_str(), v.clone()));
+                }
+                entries.push((name.as_str(), value));
+                frame.push_row(&entries);
+                let pos = frame.n_rows() - 1;
+                self.row_pos.insert(key, pos);
+                Ok(Some(pos))
+            }
+        }
+    }
+}
+
+/// Incremental `flor.utils.latest`: for each distinct group-key, keep the
+/// rows carrying the maximum `tstamp`. Maintained by per-key upsert from
+/// the pivot's changed-row reports.
+#[derive(Debug, Clone)]
+pub struct LatestState {
+    group: Vec<String>,
+    /// group key → (max tstamp, pivot row positions at that tstamp).
+    best: HashMap<Vec<Value>, (Value, Vec<usize>)>,
+}
+
+impl LatestState {
+    /// Empty state for the given group columns.
+    pub fn new(group: &[&str]) -> LatestState {
+        LatestState {
+            group: group.iter().map(|s| s.to_string()).collect(),
+            best: HashMap::new(),
+        }
+    }
+
+    /// The group columns.
+    pub fn group(&self) -> &[String] {
+        &self.group
+    }
+
+    /// Observe added or upserted rows of the pivot frame (per-key upsert).
+    pub fn observe(&mut self, frame: &DataFrame, added_rows: &[usize]) {
+        for &r in added_rows {
+            let key: Vec<Value> = self
+                .group
+                .iter()
+                .map(|g| frame.get(r, g).cloned().unwrap_or(Value::Null))
+                .collect();
+            let ts = frame.get(r, "tstamp").cloned().unwrap_or(Value::Null);
+            match self.best.get_mut(&key) {
+                None => {
+                    self.best.insert(key, (ts, vec![r]));
+                }
+                Some((max, rows)) => {
+                    if ts > *max {
+                        *max = ts;
+                        rows.clear();
+                        rows.push(r);
+                    } else if ts == *max && !rows.contains(&r) {
+                        // `changed` includes in-place upserts: a row already
+                        // tracked at the max timestamp must not be pushed
+                        // again, or the materialized view duplicates it.
+                        rows.push(r);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Row positions surviving the latest-filter, ascending — the rows a
+    /// from-scratch `frame.latest(group, "tstamp")` would keep.
+    pub fn surviving_rows(&self) -> Vec<usize> {
+        let mut keep: Vec<usize> = self
+            .best
+            .values()
+            .flat_map(|(_, rows)| rows.iter().copied())
+            .collect();
+        keep.sort_unstable();
+        keep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flor_store::{flor_schema, Database};
+
+    fn log_row(ts: i64, ctx: i64, name: &str, value: &str, tag: i64) -> Vec<Value> {
+        vec![
+            "p".into(),
+            ts.into(),
+            "f.fl".into(),
+            ctx.into(),
+            name.into(),
+            value.into(),
+            tag.into(),
+        ]
+    }
+
+    fn loop_row(ts: i64, ctx: i64, parent: i64, name: &str, iter: i64, val: &str) -> Vec<Value> {
+        vec![
+            "p".into(),
+            ts.into(),
+            "f.fl".into(),
+            ctx.into(),
+            parent.into(),
+            name.into(),
+            iter.into(),
+            val.into(),
+        ]
+    }
+
+    #[test]
+    fn pivot_state_builds_and_applies() {
+        let db = Database::in_memory(flor_schema());
+        let sub = db.subscribe();
+        let mut view = PivotState::new(&["loss", "acc"], 0);
+
+        db.insert("logs", log_row(1, 0, "loss", "0.5", 3)).unwrap();
+        db.insert("logs", log_row(1, 0, "acc", "0.9", 3)).unwrap();
+        db.commit().unwrap();
+        for batch in sub.poll() {
+            view.apply(&batch).unwrap();
+        }
+        let f = view.frame();
+        assert_eq!(
+            f.column_names(),
+            vec!["projid", "tstamp", "filename", "loss", "acc"]
+        );
+        assert_eq!(f.n_rows(), 1);
+        assert_eq!(f.get(0, "loss"), Some(&Value::Float(0.5)));
+
+        // Second commit: new tstamp row plus a re-log (upsert) is additive.
+        db.insert("logs", log_row(2, 0, "loss", "0.25", 3)).unwrap();
+        db.commit().unwrap();
+        for batch in sub.poll() {
+            let changed = view.apply(&batch).unwrap();
+            assert_eq!(changed, vec![1]);
+        }
+        let f = view.frame();
+        assert_eq!(f.n_rows(), 2);
+        assert_eq!(f.get(1, "acc"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn new_dimension_discovery_mid_stream() {
+        let db = Database::in_memory(flor_schema());
+        let sub = db.subscribe();
+        let mut view = PivotState::new(&["loss"], 0);
+        db.insert("logs", log_row(1, 0, "loss", "1", 2)).unwrap();
+        db.commit().unwrap();
+        db.insert("loops", loop_row(2, 7, 0, "epoch", 0, "0"))
+            .unwrap();
+        db.insert("logs", log_row(2, 7, "loss", "2", 2)).unwrap();
+        db.commit().unwrap();
+        for batch in sub.poll() {
+            view.apply(&batch).unwrap();
+        }
+        let f = view.frame();
+        assert_eq!(
+            f.column_names(),
+            vec![
+                "projid",
+                "tstamp",
+                "filename",
+                "epoch_iteration",
+                "epoch_value",
+                "loss"
+            ]
+        );
+        // The old row's late-added dimension cells are null.
+        assert_eq!(f.get(0, "epoch_iteration"), Some(&Value::Null));
+        assert_eq!(f.get(1, "epoch_iteration"), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn epoch_gap_detected() {
+        let db = Database::in_memory(flor_schema());
+        let sub = db.subscribe();
+        let mut view = PivotState::new(&["x"], 0);
+        db.insert("logs", log_row(1, 0, "x", "1", 2)).unwrap();
+        db.commit().unwrap();
+        db.insert("logs", log_row(2, 0, "x", "2", 2)).unwrap();
+        db.commit().unwrap();
+        let batches = sub.poll();
+        assert_eq!(batches.len(), 2);
+        // Skip the first batch: the view must refuse the second.
+        assert!(matches!(
+            view.apply(&batches[1]),
+            Err(DeltaError::EpochGap { have: 0, got: 2 })
+        ));
+        // And stale batches are ignored once the view catches up.
+        view.apply(&batches[0]).unwrap();
+        view.apply(&batches[1]).unwrap();
+        assert!(view.apply(&batches[0]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_rows_rejected() {
+        let mut view = PivotState::new(&["x"], 0);
+        assert!(view.apply_log_row(&["p".into()]).is_err());
+        assert!(view.apply_loop_row(&["p".into()]).is_err());
+    }
+
+    #[test]
+    fn latest_state_per_key_upsert() {
+        let mut frame = DataFrame::new();
+        frame.push_row(&[("tstamp", 1.into()), ("doc_value", "a".into())]);
+        frame.push_row(&[("tstamp", 2.into()), ("doc_value", "a".into())]);
+        frame.push_row(&[("tstamp", 1.into()), ("doc_value", "b".into())]);
+        let mut latest = LatestState::new(&["doc_value"]);
+        latest.observe(&frame, &[0, 1, 2]);
+        assert_eq!(latest.surviving_rows(), vec![1, 2]);
+        // A newer row for "b" evicts the old one; ties keep both.
+        frame.push_row(&[("tstamp", 5.into()), ("doc_value", "b".into())]);
+        frame.push_row(&[("tstamp", 5.into()), ("doc_value", "b".into())]);
+        latest.observe(&frame, &[3, 4]);
+        assert_eq!(latest.surviving_rows(), vec![1, 3, 4]);
+    }
+}

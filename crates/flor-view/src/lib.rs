@@ -1,0 +1,62 @@
+//! # flor-view — incremental materialized views for `flor.dataframe`
+//!
+//! The FlorDB paper's central promise is *incremental context
+//! maintenance*: the pivoted context dataframe stays current as runs,
+//! log statements and hindsight backfills land — it is not recomputed
+//! from the base tables on every query. This crate delivers that promise
+//! for the Rust reproduction:
+//!
+//! * [`PivotState`] — a delta operator that applies change-feed batches
+//!   ([`flor_store::CommitBatch`]) to a maintained wide
+//!   [`flor_df::DataFrame`]: incremental join against `loops` (a
+//!   cumulative ctx map), new-column discovery on first sight of a
+//!   `value_name` or loop dimension, and per-index-tuple cell upsert.
+//!   The maintained frame is **cell-for-cell identical** to the kernel's
+//!   from-scratch recompute (property-tested in `tests/prop_view.rs`).
+//! * [`LatestState`] — incremental `flor.utils.latest` via per-group-key
+//!   max-timestamp upsert.
+//! * [`ViewCatalog`] — named views keyed by projection (and optional
+//!   `latest` group), staleness tracked by commit epoch / WAL offset, an
+//!   LRU capacity bound, and transparent fallback to a full snapshot
+//!   rebuild whenever a delta cannot be applied.
+//!
+//! `flor-core` wires `Flor::dataframe` / `Flor::dataframe_latest`
+//! through a catalog, so repeated queries after new commits apply deltas
+//! instead of re-pivoting history, and `backfill` publishes recovered
+//! values through the same feed into live views.
+//!
+//! ```
+//! use flor_store::{flor_schema, Database};
+//! use flor_view::ViewCatalog;
+//!
+//! let db = Database::in_memory(flor_schema());
+//! let catalog = ViewCatalog::new(db.clone(), 8);
+//!
+//! let log = |ts: i64, name: &str, value: &str| {
+//!     db.insert("logs", vec![
+//!         "demo".into(), ts.into(), "train.fl".into(), 0.into(),
+//!         name.into(), value.into(), 3.into(),
+//!     ]).unwrap();
+//! };
+//! log(1, "loss", "0.5");
+//! db.commit().unwrap();
+//!
+//! let v1 = catalog.pivot(&["loss"]).unwrap();
+//! assert_eq!(v1.n_rows(), 1);
+//!
+//! // A new commit refreshes the view incrementally: one delta applied,
+//! // no re-pivot of history.
+//! log(2, "loss", "0.25");
+//! db.commit().unwrap();
+//! let v2 = catalog.pivot(&["loss"]).unwrap();
+//! assert_eq!(v2.n_rows(), 2);
+//! assert_eq!(catalog.stats().misses, 1); // built once, refreshed in place
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod delta;
+
+pub use catalog::{CatalogStats, ViewCatalog, ViewInfo, ViewKey};
+pub use delta::{DeltaError, LatestState, PivotState};

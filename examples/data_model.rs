@@ -36,7 +36,10 @@ fn main() {
     flor.for_each("document", ["a.pdf", "b.pdf"], |flor, doc| {
         flor.for_each("page", 0..2, |flor, &p| {
             flor.log("text_src", if p == 0 { "OCR" } else { "TXT" });
-            flor.log("page_text", format!("{doc} page {p} {}", "lorem ".repeat(900)));
+            flor.log(
+                "page_text",
+                format!("{doc} page {p} {}", "lorem ".repeat(900)),
+            );
         });
     });
     flor.record_build_dep(

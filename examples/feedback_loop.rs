@@ -106,7 +106,10 @@ fn main() {
 
     // Another round via the route function itself.
     save_colors(&flor, "case_000.pdf", &[0, 1, 1, 2, 2]);
-    println!("after second save_colors:              {:?}", get_colors(&flor, "case_000.pdf"));
+    println!(
+        "after second save_colors:              {:?}",
+        get_colors(&flor, "case_000.pdf")
+    );
 
     // Provenance: both machine and human labels live side by side.
     let df = flor.dataframe(&["label_src"]).unwrap();

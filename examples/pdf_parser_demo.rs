@@ -13,7 +13,6 @@
 
 use flordb::pipeline::{best_model, labeled_view, prediction_accuracy, CorpusConfig, PdfPipeline};
 
-
 fn main() {
     let cfg = CorpusConfig {
         n_pdfs: 10,
@@ -39,7 +38,11 @@ fn main() {
         .flor
         .dataframe(&["heading_density", "page_numbers", "headings"])
         .unwrap();
-    println!("feature store ({} pages):\n{}\n", feats.n_rows(), feats.head(6));
+    println!(
+        "feature store ({} pages):\n{}\n",
+        feats.n_rows(),
+        feats.head(6)
+    );
 
     // Training data store.
     let labeled = labeled_view(&pipeline.flor).unwrap();
@@ -66,13 +69,21 @@ fn main() {
     for (round, chunk) in remaining.chunks(2).enumerate() {
         let names: Vec<&str> = chunk.iter().map(String::as_str).collect();
         let acc = pipeline.feedback_round(&names).unwrap();
-        println!("after feedback round {} ({:?}): accuracy {:.3}", round + 1, names, acc);
+        println!(
+            "after feedback round {} ({:?}): accuracy {:.3}",
+            round + 1,
+            names,
+            acc
+        );
     }
 
     // Incremental rebuild: nothing changed → everything cached.
     println!("\n$ make run          # nothing changed");
     let report = pipeline.make("run").unwrap();
-    println!("  executed: {:?}, cached: {:?}", report.executed, report.cached);
+    println!(
+        "  executed: {:?}, cached: {:?}",
+        report.executed, report.cached
+    );
 
     // Change one stage: only downstream work reruns.
     pipeline.flor.fs.write("infer.fl", "// tweaked inference");

@@ -56,7 +56,8 @@ fn main() {
                 }
                 other => println!("    (skipping unknown command {other:?})"),
             }
-            flor.commit(&format!("ran: {cmd}")).map_err(|e| e.to_string())?;
+            flor.commit(&format!("ran: {cmd}"))
+                .map_err(|e| e.to_string())?;
             Ok(())
         })
         .unwrap()
@@ -67,11 +68,17 @@ fn main() {
     println!("  executed: {:?}", report.executed);
     println!("\n$ make train");
     let report = build("train");
-    println!("  executed: {:?} (prep cached: {:?})", report.executed, report.cached);
+    println!(
+        "  executed: {:?} (prep cached: {:?})",
+        report.executed, report.cached
+    );
 
     println!("\n$ make run          # nothing changed");
     let report = build("run");
-    println!("  executed: {:?}, cached: {:?}", report.executed, report.cached);
+    println!(
+        "  executed: {:?}, cached: {:?}",
+        report.executed, report.cached
+    );
 
     // The right pane of Fig. 2: one dataframe spanning every stage of the
     // pipeline, with filename revealing the dataflow pathway.

@@ -38,6 +38,11 @@ fn main() {
     // Change context: every commit is a version.
     println!("version history:");
     for (vid, commit) in flor.repo.log_head().unwrap() {
-        println!("  {}  tstamp={}  {}", vid.short(), commit.tstamp, commit.message);
+        println!(
+            "  {}  tstamp={}  {}",
+            vid.short(),
+            commit.tstamp,
+            commit.message
+        );
     }
 }

@@ -42,10 +42,9 @@ fn main() {
         flor.set_cli_arg("hidden", hidden);
         flor.set_cli_arg("lr", lr);
         flor.set_cli_arg("seed", "7");
-        let out = flordb::core::run_script(&flor, "train.fl", CheckpointPolicy::Adaptive {
-            alpha: 5.0,
-        })
-        .unwrap();
+        let out =
+            flordb::core::run_script(&flor, "train.fl", CheckpointPolicy::Adaptive { alpha: 5.0 })
+                .unwrap();
         println!(
             "run tstamp={} hidden={hidden} lr={lr}: {} checkpoints, final loss {}",
             out.tstamp,

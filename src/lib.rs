@@ -15,6 +15,7 @@
 //! | [`diff`] | GumTree-style AST diff + statement propagation |
 //! | [`record`] | record/replay: checkpoints, planning, parallelism |
 //! | [`make`] | Make-lite build DAG (behavioral context) |
+//! | [`view`] | incremental materialized views over the context tables |
 //! | [`core`] | the Flor kernel: `log`/`arg`/`loop`/`commit`/`dataframe` |
 //! | [`pipeline`] | the PDF Parser demo (paper §4) |
 //!
@@ -44,6 +45,7 @@ pub use flor_pipeline as pipeline;
 pub use flor_record as record;
 pub use flor_script as script;
 pub use flor_store as store;
+pub use flor_view as view;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
@@ -54,4 +56,5 @@ pub mod prelude {
     pub use flor_pipeline::{run_demo, CorpusConfig, PdfPipeline};
     pub use flor_record::{CheckpointPolicy, RunRecord};
     pub use flor_script::{parse, to_source, Interpreter, NullRuntime};
+    pub use flor_view::{CatalogStats, ViewCatalog, ViewKey};
 }

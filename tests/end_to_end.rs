@@ -74,10 +74,23 @@ fn hindsight_equals_foresight() {
     truth.fs.write("train.fl", TRAIN_V2);
     flordb::core::run_script(&truth, "train.fl", CheckpointPolicy::None).unwrap();
 
-    let a = flor.dataframe(&["acc"]).unwrap().sort_by(&[("epoch_iteration", true)]).unwrap();
-    let b = truth.dataframe(&["acc"]).unwrap().sort_by(&[("epoch_iteration", true)]).unwrap();
+    let a = flor
+        .dataframe(&["acc"])
+        .unwrap()
+        .sort_by(&[("epoch_iteration", true)])
+        .unwrap();
+    let b = truth
+        .dataframe(&["acc"])
+        .unwrap()
+        .sort_by(&[("epoch_iteration", true)])
+        .unwrap();
     let texts = |df: &DataFrame| -> Vec<String> {
-        df.column("acc").unwrap().values.iter().map(|v| v.to_text()).collect()
+        df.column("acc")
+            .unwrap()
+            .values
+            .iter()
+            .map(|v| v.to_text())
+            .collect()
     };
     assert_eq!(texts(&a), texts(&b));
 }

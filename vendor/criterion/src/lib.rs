@@ -1,0 +1,257 @@
+//! Vendored subset of the `criterion` benchmarking API (no crates.io
+//! access in the build environment).
+//!
+//! Benchmarks compile and run with the same source as against upstream
+//! criterion: groups, `bench_function` / `bench_with_input`,
+//! [`BenchmarkId`], and `b.iter(..)`. Measurement is a pragmatic
+//! wall-clock sampler — warm up, auto-scale the per-sample iteration
+//! count, take `sample_size` samples, report min/mean/max — with plain
+//! text output and none of upstream's statistical machinery.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name}");
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.default_sample_size, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure that receives `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark's identifier: function name plus an optional parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (`from_parameter` in upstream criterion).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Measure `routine`, called `iters × samples` times.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up + auto-scale: pick an iteration count that makes one
+        // sample take roughly a millisecond.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F>(label: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        target_samples: sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let per_iter = |d: &Duration| d.as_nanos() as f64 / b.iters_per_sample as f64;
+    let mut times: Vec<f64> = b.samples.iter().map(per_iter).collect();
+    times.sort_by(f64::total_cmp);
+    let min = times[0];
+    let max = times[times.len() - 1];
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "{label:<48} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Group benchmark functions under one registration symbol.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

@@ -1,0 +1,227 @@
+//! Vendored subset of the `proptest` API (no crates.io access in the
+//! build environment).
+//!
+//! Implements the slice of proptest this workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map`/`boxed`, range / tuple / regex /
+//! collection strategies, weighted [`prop_oneof!`], and the [`proptest!`]
+//! test macro. Generation is deterministic (seeded per test case); there
+//! is **no shrinking** — a failing case panics with the generated inputs
+//! visible via the assertion message.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`vec`, `btree_set`, `btree_map`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy};
+    use crate::test_runner::TestRng;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` targeting a size drawn from `size`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>` targeting a size drawn
+    /// from `size`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            // Duplicates shrink the set; retry a bounded number of times so
+            // minimum sizes are honoured for value spaces larger than `n`.
+            let mut attempts = 0;
+            while out.len() < n && attempts < n * 10 + 10 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// See [`btree_map`].
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            let mut out = BTreeMap::new();
+            let mut attempts = 0;
+            while out.len() < n && attempts < n * 10 + 10 {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// The `use proptest::prelude::*` surface.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Assert a condition inside a property; panics with generated-input
+/// context on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Reject the current case (counts as a skip, not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Weighted union of strategies sharing a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Define property tests: each function runs its body over `cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::Config = $cfg;
+            for case in 0..cfg.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(case as u64);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) | Err($crate::test_runner::TestCaseError::Reject) => {}
+                }
+            }
+        }
+    )*};
+}

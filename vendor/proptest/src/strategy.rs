@@ -1,0 +1,518 @@
+//! The [`Strategy`] trait and the combinators this workspace uses.
+
+use crate::test_runner::TestRng;
+use std::sync::Arc;
+
+/// A generator of random values of one type.
+///
+/// Unlike upstream proptest there is no shrinking: a strategy is just a
+/// deterministic function of the per-case RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(move |rng: &mut TestRng| self.generate(rng)),
+        }
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    #[allow(clippy::type_complexity)]
+    inner: Arc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.inner)(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted union produced by [`crate::prop_oneof!`].
+#[derive(Clone)]
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Build a union from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, arm) in &self.arms {
+            if pick < *w as u64 {
+                return arm.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick within total")
+    }
+}
+
+/// Collection-size specification: a half-open range of lengths.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl SizeRange {
+    /// Draw a size.
+    pub fn sample(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi_inclusive - self.lo + 1) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+// ---- primitive strategies -------------------------------------------------
+
+/// `any::<T>()`: uniform over the whole type.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// See [`any`].
+#[derive(Clone)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Raw bit patterns: exercises infinities, NaN payloads, subnormals —
+        // exactly what codec round-trip tests want.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.next_f64() as $t * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+// ---- tuples ---------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(S0.0);
+tuple_strategy!(S0.0, S1.1);
+tuple_strategy!(S0.0, S1.1, S2.2);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+
+// ---- regex string strategies ----------------------------------------------
+
+/// String literals act as regex strategies over a small, explicit subset:
+/// char classes `[a-z0-9_./-]` (ranges + literals), literal characters,
+/// `\`-escapes, optional groups `(...)?`, and `{m}` / `{m,n}` / `?`
+/// quantifiers. This covers every pattern in the workspace's tests.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_regex(self).unwrap_or_else(|e| panic!("unsupported regex {self:?}: {e}"));
+        let mut out = String::new();
+        gen_seq(&atoms, rng, &mut out);
+        out
+    }
+}
+
+/// See [`Strategy`] for `&str`: same subset, owned pattern.
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_regex(self).unwrap_or_else(|e| panic!("unsupported regex {self:?}: {e}"));
+        let mut out = String::new();
+        gen_seq(&atoms, rng, &mut out);
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Class(Vec<(char, char)>, usize, usize),
+    Literal(char, usize, usize),
+    Group(Vec<Atom>, usize, usize),
+}
+
+fn gen_seq(atoms: &[Atom], rng: &mut TestRng, out: &mut String) {
+    for atom in atoms {
+        let (lo, hi) = match atom {
+            Atom::Class(_, lo, hi) | Atom::Literal(_, lo, hi) | Atom::Group(_, lo, hi) => {
+                (*lo, *hi)
+            }
+        };
+        let reps = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..reps {
+            match atom {
+                Atom::Class(ranges, ..) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|(a, b)| (*b as u64) - (*a as u64) + 1)
+                        .sum();
+                    let mut pick = rng.below(total);
+                    for (a, b) in ranges {
+                        let span = (*b as u64) - (*a as u64) + 1;
+                        if pick < span {
+                            out.push(char::from_u32(*a as u32 + pick as u32).unwrap_or(*a));
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+                Atom::Literal(c, ..) => out.push(*c),
+                Atom::Group(inner, ..) => gen_seq(inner, rng, out),
+            }
+        }
+    }
+}
+
+fn parse_regex(pattern: &str) -> Result<Vec<Atom>, String> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (atoms, consumed) = parse_seq(&chars, 0)?;
+    if consumed != chars.len() {
+        return Err(format!("trailing input at {consumed}"));
+    }
+    Ok(atoms)
+}
+
+fn parse_seq(chars: &[char], mut i: usize) -> Result<(Vec<Atom>, usize), String> {
+    let mut atoms = Vec::new();
+    while i < chars.len() && chars[i] != ')' {
+        let atom = match chars[i] {
+            '[' => {
+                let (ranges, next) = parse_class(chars, i + 1)?;
+                i = next;
+                Atom::Class(ranges, 1, 1)
+            }
+            '(' => {
+                let (inner, next) = parse_seq(chars, i + 1)?;
+                if next >= chars.len() || chars[next] != ')' {
+                    return Err("unclosed group".into());
+                }
+                i = next + 1;
+                Atom::Group(inner, 1, 1)
+            }
+            '\\' => {
+                if i + 1 >= chars.len() {
+                    return Err("dangling escape".into());
+                }
+                i += 2;
+                Atom::Literal(chars[i - 1], 1, 1)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c, 1, 1)
+            }
+        };
+        let (lo, hi, next) = parse_quantifier(chars, i)?;
+        i = next;
+        atoms.push(match atom {
+            Atom::Class(r, ..) => Atom::Class(r, lo, hi),
+            Atom::Literal(c, ..) => Atom::Literal(c, lo, hi),
+            Atom::Group(g, ..) => Atom::Group(g, lo, hi),
+        });
+    }
+    Ok((atoms, i))
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<(char, char)>, usize), String> {
+    let mut ranges = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            *chars.get(i).ok_or("dangling escape in class")?
+        } else {
+            chars[i]
+        };
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let hi = chars[i + 2];
+            if hi < c {
+                return Err(format!("inverted range {c}-{hi}"));
+            }
+            ranges.push((c, hi));
+            i += 3;
+        } else {
+            ranges.push((c, c));
+            i += 1;
+        }
+    }
+    if i >= chars.len() {
+        return Err("unclosed class".into());
+    }
+    if ranges.is_empty() {
+        return Err("empty class".into());
+    }
+    Ok((ranges, i + 1))
+}
+
+fn parse_quantifier(chars: &[char], i: usize) -> Result<(usize, usize, usize), String> {
+    match chars.get(i) {
+        Some('?') => Ok((0, 1, i + 1)),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or("unclosed quantifier")?
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (lo, hi) = match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().map_err(|e| format!("{e}"))?,
+                    b.trim().parse().map_err(|e| format!("{e}"))?,
+                ),
+                None => {
+                    let n = body.trim().parse().map_err(|e| format!("{e}"))?;
+                    (n, n)
+                }
+            };
+            if hi < lo {
+                return Err("inverted quantifier".into());
+            }
+            Ok((lo, hi, close + 1))
+        }
+        _ => Ok((1, 1, i)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(0)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3i64..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+            let u = (0u8..5).generate(&mut r);
+            assert!(u < 5);
+            let f = (0.25f64..0.75).generate(&mut r);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_char_class_counts() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut r);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn regex_optional_group() {
+        let mut r = rng();
+        let mut with = 0;
+        let mut without = 0;
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}(\\.fl)?".generate(&mut r);
+            if s.ends_with(".fl") {
+                with += 1;
+            } else {
+                without += 1;
+            }
+        }
+        assert!(with > 0 && without > 0);
+    }
+
+    #[test]
+    fn regex_mixed_class() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z/._-]{1,12}".generate(&mut r);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || "/._-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let u = crate::prop_oneof![9 => Just(1i64), 1 => Just(2i64)];
+        let mut r = rng();
+        let ones = (0..1000).filter(|_| u.generate(&mut r) == 1).count();
+        assert!(ones > 700, "got {ones}");
+    }
+
+    #[test]
+    fn collections_hit_sizes() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = crate::collection::vec(0i64..10, 2..5).generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+            let m = crate::collection::btree_map("[a-z]{6,8}", 0i64..3, 1..4).generate(&mut r);
+            assert!(!m.is_empty());
+        }
+    }
+}
