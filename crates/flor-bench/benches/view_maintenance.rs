@@ -7,8 +7,9 @@
 //! * `full_recompute` — `Flor::dataframe_full`: index fetch + ctx-chain
 //!   resolution + pivot over the entire history (the seed's behaviour).
 //! * `incremental_refresh` — a live commit followed by
-//!   `Flor::dataframe_view`: the catalog applies just the committed
-//!   deltas to the maintained frame and hands back a shared snapshot.
+//!   `Flor::query(..).collect_view()`: the catalog applies just the
+//!   committed deltas to the maintained frame and hands back a shared
+//!   snapshot.
 //!
 //! The `speedup_report` section prints the headline ratio at a 10k-row
 //! log history; the acceptance target is ≥10×.
@@ -24,7 +25,7 @@ fn prepared(rows: usize) -> Flor {
     let epochs = 10;
     let runs = rows / (epochs * NAMES.len());
     let flor = flor_with_logs(runs.max(1), epochs, &NAMES);
-    flor.dataframe_view(&NAMES).expect("materialize view");
+    flor.query(&NAMES).collect_view().expect("materialize view");
     flor
 }
 
@@ -37,7 +38,7 @@ fn live_update(flor: &Flor, i: usize) -> usize {
         }
     });
     flor.commit("live").expect("commit");
-    flor.dataframe_view(&NAMES).expect("refresh").n_rows()
+    flor.query(&NAMES).collect_view().expect("refresh").n_rows()
 }
 
 fn bench_view_maintenance(c: &mut Criterion) {

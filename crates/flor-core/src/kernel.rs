@@ -169,7 +169,7 @@ impl Flor {
             Value::Int(ctx_id),
             Value::from(name),
             Value::Str(stored),
-            Value::Int(type_tag(value.data_type())),
+            Value::Int(value.data_type().tag()),
         ];
         self.db.insert("logs", row).expect("logs schema fixed");
         if spilled {
@@ -362,26 +362,36 @@ impl Flor {
     /// dimension columns — the layout of the paper's Figs. 2/3/5
     /// dataframes.
     ///
-    /// Served from the incremental view catalog: the first call builds the
-    /// view, later calls apply only the deltas committed since (paper §1:
-    /// incremental context maintenance). [`Flor::dataframe_full`] is the
-    /// from-scratch equivalent and the correctness oracle.
+    /// A one-line wrapper over [`Flor::query`] — served from the
+    /// incremental view catalog: the first call builds the view, later
+    /// calls apply only the deltas committed since (paper §1: incremental
+    /// context maintenance). [`Flor::dataframe_full`] is the from-scratch
+    /// equivalent and the correctness oracle.
     pub fn dataframe(&self, names: &[&str]) -> StoreResult<DataFrame> {
-        self.views.pivot(names).map(|arc| (*arc).clone())
+        self.query(names).collect()
     }
 
     /// [`Flor::dataframe`] without copying: a shared snapshot of the
     /// maintained view. The cheap path for hot-loop consumers — repeated
     /// calls with no intervening commits return the same allocation.
+    #[deprecated(note = "use Flor::query(names).collect_view()")]
     pub fn dataframe_view(&self, names: &[&str]) -> StoreResult<Arc<DataFrame>> {
-        self.views.pivot(names)
+        self.query(names).collect_view()
     }
 
     /// From-scratch `flor.dataframe`: re-fetches, re-joins and re-pivots
     /// the base tables on every call. Kept as the incremental path's
     /// correctness oracle and fallback; `flor-bench`'s `view_maintenance`
-    /// benchmark measures the two against each other.
+    /// benchmark measures the two against each other. A one-line wrapper
+    /// over [`Flor::query`]'s `collect_full`.
     pub fn dataframe_full(&self, names: &[&str]) -> StoreResult<DataFrame> {
+        self.query(names).collect_full()
+    }
+
+    /// The from-scratch pivot every `collect_full` oracle starts from:
+    /// fetch the projected log rows, resolve loop-context chains, and
+    /// pivot long → wide.
+    pub(crate) fn pivot_from_scratch(&self, names: &[&str]) -> StoreResult<DataFrame> {
         // 1. Fetch matching log rows via the value_name index, in log
         //    insertion order — the same order the change feed delivers
         //    deltas, so both paths produce identical frames.
@@ -451,7 +461,7 @@ impl Flor {
             // Decode the stored value via its type tag.
             let tag = r.get("value_type").and_then(Value::as_i64).unwrap_or(4);
             let text = r.get("value").map(|v| v.to_text()).unwrap_or_default();
-            let value = Value::from_text(&text, tag_type(tag));
+            let value = Value::from_text(&text, DataType::from_tag(tag));
             entries.push((
                 "value_name".to_string(),
                 r.get("value_name").cloned().unwrap_or(Value::Null),
@@ -477,41 +487,29 @@ impl Flor {
     }
 
     /// Convenience: dataframe + `latest` (paper Fig. 6's
-    /// `flor.utils.latest`). Incrementally maintained like
-    /// [`Flor::dataframe`]; [`Flor::dataframe_latest_full`] is the oracle.
+    /// `flor.utils.latest`), as a one-line wrapper over [`Flor::query`].
+    /// Incrementally maintained like [`Flor::dataframe`];
+    /// [`Flor::dataframe_latest_full`] is the oracle.
     pub fn dataframe_latest(&self, names: &[&str], group: &[&str]) -> StoreResult<DataFrame> {
-        self.views.latest(names, group).map(|arc| (*arc).clone())
+        self.query(names).latest(group).collect()
     }
 
     /// [`Flor::dataframe_latest`] without copying: a shared snapshot.
+    #[deprecated(note = "use Flor::query(names).latest(group).collect_view()")]
     pub fn dataframe_latest_view(
         &self,
         names: &[&str],
         group: &[&str],
     ) -> StoreResult<Arc<DataFrame>> {
-        self.views.latest(names, group)
+        self.query(names).latest(group).collect_view()
     }
 
-    /// From-scratch `dataframe` + `latest`: the incremental path's oracle.
+    /// From-scratch `dataframe` + `latest`: the incremental path's
+    /// oracle, as a one-line wrapper over [`Flor::query`]'s
+    /// `collect_full`.
     pub fn dataframe_latest_full(&self, names: &[&str], group: &[&str]) -> StoreResult<DataFrame> {
-        let df = self.dataframe_full(names)?;
-        if df.n_rows() == 0 {
-            return Ok(df);
-        }
-        df.latest(group, "tstamp").map_err(StoreError::Df)
+        self.query(names).latest(group).collect_full()
     }
-}
-
-/// Map a dataframe type to the integer `value_type` tag of Fig. 1.
-/// (Delegates to [`DataType::tag`], shared with `flor-view`'s delta
-/// decoder so both paths agree byte for byte.)
-pub fn type_tag(ty: DataType) -> i64 {
-    ty.tag()
-}
-
-/// Inverse of [`type_tag`].
-pub fn tag_type(tag: i64) -> DataType {
-    DataType::from_tag(tag)
 }
 
 #[cfg(test)]
@@ -724,9 +722,32 @@ mod tests {
             assert_eq!(inc, full, "round {round}");
         }
         // Repeated reads with no new commits share one snapshot.
-        let a = flor.dataframe_view(&["loss", "acc"]).unwrap();
-        let b = flor.dataframe_view(&["loss", "acc"]).unwrap();
+        let a = flor.query(&["loss", "acc"]).collect_view().unwrap();
+        let b = flor.query(&["loss", "acc"]).collect_view().unwrap();
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_view_entrypoints_route_through_the_builder() {
+        let flor = Flor::new("demo");
+        flor.set_filename("app.fl");
+        flor.iteration("document", "d.pdf", |flor| {
+            flor.log("page_color", 1);
+        });
+        flor.commit("c").unwrap();
+        let legacy = flor.dataframe_view(&["page_color"]).unwrap();
+        let builder = flor.query(&["page_color"]).collect_view().unwrap();
+        assert!(Arc::ptr_eq(&legacy, &builder), "one execution path");
+        let legacy = flor
+            .dataframe_latest_view(&["page_color"], &["document_value"])
+            .unwrap();
+        let builder = flor
+            .query(&["page_color"])
+            .latest(&["document_value"])
+            .collect_view()
+            .unwrap();
+        assert!(Arc::ptr_eq(&legacy, &builder), "one execution path");
     }
 
     #[test]
@@ -770,18 +791,5 @@ mod tests {
         assert_eq!(stats.misses, 1, "one build, then deltas only");
         assert_eq!(stats.fallback_rebuilds, 0);
         assert!(stats.batches_applied >= 5);
-    }
-
-    #[test]
-    fn type_tags_round_trip() {
-        for ty in [
-            DataType::Null,
-            DataType::Bool,
-            DataType::Int,
-            DataType::Float,
-            DataType::Str,
-        ] {
-            assert_eq!(tag_type(type_tag(ty)), ty);
-        }
     }
 }

@@ -4,8 +4,13 @@
 //! over the Fig. 1 relational data model, wired to every substrate.
 //!
 //! * [`Flor`] — `log` / `arg` / loop contexts (`for_each`, `iteration`) /
-//!   `commit` / `dataframe` / `dataframe_latest`, writing the `logs`,
-//!   `loops`, `ts2vid`, `git`, `obj_store` and `build_deps` tables;
+//!   `commit` / `query` / `dataframe` / `dataframe_latest`, writing the
+//!   `logs`, `loops`, `ts2vid`, `git`, `obj_store` and `build_deps`
+//!   tables;
+//! * [`QueryBuilder`] — the lazy query surface behind [`Flor::query`]:
+//!   filters, `latest` dedup, ordering and limits, lowered onto
+//!   incrementally maintained views with predicate pushdown (the legacy
+//!   `dataframe*` entrypoints are one-line wrappers over it);
 //! * [`run_script`] — execute a versioned florscript file under full
 //!   instrumentation with a checkpoint policy, persisting replay metadata;
 //! * [`backfill`] — multiversion hindsight logging: propagate new log
@@ -28,8 +33,10 @@
 
 pub mod hindsight;
 pub mod kernel;
+pub mod query;
 pub mod runtime;
 
 pub use hindsight::{backfill, runs_of, BackfillReport, VersionOutcome};
-pub use kernel::{tag_type, type_tag, Flor, BLOB_SPILL_BYTES};
+pub use kernel::{Flor, BLOB_SPILL_BYTES};
+pub use query::QueryBuilder;
 pub use runtime::{load_record, persist_record, run_script, RunError, RunOutcome, ScriptRuntime};

@@ -1,0 +1,274 @@
+//! The lazy query builder: one composable, typed surface for every
+//! context read.
+//!
+//! The paper's core promise is that practitioners *query* the
+//! ML-lifecycle context — filter runs by hyperparameter, slice metrics
+//! per epoch, take the latest per group. [`Flor::query`] builds a
+//! [`QueryPlan`] lazily; nothing touches the store until a `collect`
+//! call, at which point the plan lowers through three layers (store
+//! index pushdown → incrementally maintained view → dataframe
+//! post-pass; see [`flor_view::plan`]). All six legacy `dataframe*`
+//! entrypoints are one-line wrappers over this builder.
+//!
+//! ```
+//! use flor_core::Flor;
+//! use flor_store::CmpOp;
+//!
+//! let flor = Flor::new("demo");
+//! flor.set_filename("train.fl");
+//! for run in 0..3 {
+//!     flor.log("lr", 0.01 * (run + 1) as f64);
+//!     flor.log("loss", 1.0 / (run + 1) as f64);
+//!     flor.commit("run").unwrap();
+//! }
+//!
+//! let df = flor
+//!     .query(&["lr", "loss"])
+//!     .filter("lr", CmpOp::Gt, 0.015)
+//!     .order_by("tstamp", false)
+//!     .limit(10)
+//!     .collect()
+//!     .unwrap();
+//! assert_eq!(df.n_rows(), 2);
+//!
+//! // The incremental path always equals the from-scratch oracle.
+//! let oracle = flor
+//!     .query(&["lr", "loss"])
+//!     .filter("lr", CmpOp::Gt, 0.015)
+//!     .order_by("tstamp", false)
+//!     .limit(10)
+//!     .collect_full()
+//!     .unwrap();
+//! assert_eq!(df, oracle);
+//! ```
+
+use crate::kernel::Flor;
+use flor_df::{DataFrame, Value};
+use flor_store::{CmpOp, Predicate, StoreResult};
+use flor_view::QueryPlan;
+use std::sync::Arc;
+
+/// A lazy dataframe query over one [`Flor`] instance.
+///
+/// Built by [`Flor::query`]; executes on [`QueryBuilder::collect`] (or
+/// its variants). Every combinator is cheap — it only edits the plan.
+#[derive(Clone)]
+pub struct QueryBuilder<'a> {
+    flor: &'a Flor,
+    plan: QueryPlan,
+}
+
+impl std::fmt::Debug for QueryBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryBuilder")
+            .field("plan", &self.plan)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Flor {
+    /// Start a lazy query projecting the log `value_name`s in `names`.
+    ///
+    /// Chain [`QueryBuilder::filter`], [`QueryBuilder::latest`],
+    /// [`QueryBuilder::order_by`] and [`QueryBuilder::limit`], then
+    /// execute with [`QueryBuilder::collect`] (incremental),
+    /// [`QueryBuilder::collect_view`] (incremental, shared snapshot) or
+    /// [`QueryBuilder::collect_full`] (from-scratch oracle).
+    pub fn query(&self, names: &[&str]) -> QueryBuilder<'_> {
+        QueryBuilder {
+            flor: self,
+            plan: QueryPlan::new(names),
+        }
+    }
+
+    /// Execute a ready-made [`QueryPlan`] incrementally (the path behind
+    /// [`QueryBuilder::collect_view`]).
+    pub fn run_plan(&self, plan: &QueryPlan) -> StoreResult<Arc<DataFrame>> {
+        self.views.plan(plan)
+    }
+
+    /// Execute a [`QueryPlan`] from scratch: re-fetch, re-join and
+    /// re-pivot the base tables, then apply the whole plan as a
+    /// post-pass. The correctness oracle for [`Flor::run_plan`].
+    pub fn run_plan_full(&self, plan: &QueryPlan) -> StoreResult<DataFrame> {
+        let names: Vec<&str> = plan.names.iter().map(String::as_str).collect();
+        let base = self.pivot_from_scratch(&names)?;
+        if plan.post_pass_is_identity(&plan.predicates, plan.latest_group.is_some()) {
+            return Ok(base);
+        }
+        plan.post_pass(&base, &plan.predicates, true)
+    }
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// Keep rows where `col op value` over the pivoted view's columns
+    /// (fixed context columns, loop dimensions, or logged values).
+    /// Predicates over `projid`/`tstamp`/`filename` are pushed down and
+    /// maintained inside the materialized view; the rest run as a cheap
+    /// post-pass. A predicate naming an unknown column matches nothing.
+    pub fn filter(mut self, col: &str, op: CmpOp, value: impl Into<Value>) -> Self {
+        self.plan.predicates.push(Predicate::new(col, op, value));
+        self
+    }
+
+    /// Shorthand for an equality [`QueryBuilder::filter`].
+    pub fn filter_eq(self, col: &str, value: impl Into<Value>) -> Self {
+        self.filter(col, CmpOp::Eq, value)
+    }
+
+    /// Deduplicate to the max-`tstamp` rows per distinct `group` key
+    /// (paper Fig. 6's `flor.utils.latest`), after filtering.
+    pub fn latest(mut self, group: &[&str]) -> Self {
+        self.plan.latest_group = Some(group.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Sort by `col`, ascending (`true`) or descending; may be chained
+    /// for tie-breaking. Applied after filtering and dedup.
+    pub fn order_by(mut self, col: &str, ascending: bool) -> Self {
+        self.plan.order_by.push((col.to_string(), ascending));
+        self
+    }
+
+    /// Keep at most `n` rows, after ordering.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.plan.limit = Some(n);
+        self
+    }
+
+    /// The canonical plan built so far.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// Consume the builder, yielding the plan (e.g. to run it later or
+    /// against another instance).
+    pub fn into_plan(self) -> QueryPlan {
+        self.plan
+    }
+
+    /// Execute incrementally and return an owned frame.
+    pub fn collect(self) -> StoreResult<DataFrame> {
+        self.flor.run_plan(&self.plan).map(|arc| (*arc).clone())
+    }
+
+    /// Execute incrementally without copying: plans with no post-pass
+    /// (no residual filter, order or limit) share the maintained view's
+    /// allocation — repeated calls with no intervening commits return
+    /// the same `Arc`.
+    pub fn collect_view(self) -> StoreResult<Arc<DataFrame>> {
+        self.flor.run_plan(&self.plan)
+    }
+
+    /// Execute from scratch (the correctness oracle): full re-pivot of
+    /// the projected history, then the whole plan as a post-pass —
+    /// equivalent to post-hoc filtering of `dataframe_full`.
+    pub fn collect_full(self) -> StoreResult<DataFrame> {
+        self.flor.run_plan_full(&self.plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> Flor {
+        let flor = Flor::new("q");
+        flor.set_filename("train.fl");
+        for run in 0..4i64 {
+            flor.for_each("epoch", 0..3, |flor, &e| {
+                flor.log("loss", 1.0 / (run + e + 1) as f64);
+                flor.log("lr", 0.01 * (run + 1) as f64);
+            });
+            flor.commit("run").unwrap();
+        }
+        flor
+    }
+
+    #[test]
+    fn filter_order_limit_matches_oracle() {
+        let flor = seeded();
+        let build = || {
+            flor.query(&["loss", "lr"])
+                .filter("lr", CmpOp::Gt, 0.015)
+                .filter("tstamp", CmpOp::Le, 3)
+                .order_by("loss", true)
+                .limit(4)
+        };
+        let inc = build().collect().unwrap();
+        let full = build().collect_full().unwrap();
+        assert_eq!(inc, full);
+        assert_eq!(inc.n_rows(), 4);
+    }
+
+    #[test]
+    fn latest_after_filter_matches_oracle() {
+        let flor = seeded();
+        let build = || {
+            flor.query(&["loss", "lr"])
+                .filter("lr", CmpOp::Lt, 0.035)
+                .latest(&["epoch_iteration"])
+        };
+        let inc = build().collect().unwrap();
+        let full = build().collect_full().unwrap();
+        assert_eq!(inc, full);
+        // Latest over the filtered rows: runs 1..3 survive the lr filter,
+        // so the max surviving tstamp per epoch is run 3's.
+        assert_eq!(inc.n_rows(), 3);
+        for v in &inc.column("tstamp").unwrap().values {
+            assert_eq!(v, &Value::Int(3));
+        }
+    }
+
+    #[test]
+    fn pushdown_views_refresh_incrementally() {
+        let flor = seeded();
+        let q = || {
+            flor.query(&["loss"])
+                .filter("tstamp", CmpOp::Ge, 3)
+                .collect_view()
+        };
+        let first = q().unwrap();
+        assert_eq!(first.n_rows(), 6);
+        let before = flor.views.stats();
+        flor.log("loss", 0.123);
+        flor.commit("live").unwrap();
+        let after = q().unwrap();
+        assert_eq!(after.n_rows(), 7);
+        let stats = flor.views.stats();
+        assert_eq!(stats.misses, before.misses, "delta applied, no rebuild");
+        // No post-pass → snapshot sharing.
+        assert!(Arc::ptr_eq(&after, &q().unwrap()));
+    }
+
+    #[test]
+    fn unknown_filter_column_matches_nothing_in_both_paths() {
+        let flor = seeded();
+        let inc = flor
+            .query(&["loss"])
+            .filter_eq("no_such", 1)
+            .collect()
+            .unwrap();
+        let full = flor
+            .query(&["loss"])
+            .filter_eq("no_such", 1)
+            .collect_full()
+            .unwrap();
+        assert_eq!(inc, full);
+        assert_eq!(inc.n_rows(), 0);
+        assert!(inc.n_cols() > 0, "columns survive an empty match");
+    }
+
+    #[test]
+    fn plan_round_trip() {
+        let flor = seeded();
+        let plan = flor
+            .query(&["loss"])
+            .filter("tstamp", CmpOp::Gt, 1)
+            .limit(2)
+            .into_plan();
+        let via_plan = flor.run_plan(&plan).unwrap();
+        assert_eq!(via_plan.n_rows(), 2);
+        assert_eq!(*via_plan, flor.run_plan_full(&plan).unwrap());
+    }
+}

@@ -301,6 +301,25 @@ impl DataFrame {
         self.filter(|r| r.get(col) == Some(value))
     }
 
+    /// Keep rows where `keep` accepts the cell of the named column —
+    /// the row-level filter the query builder's residual pass and its
+    /// from-scratch collect path share. Unlike [`DataFrame::filter_eq`],
+    /// an unknown column is an error, so callers choose their own
+    /// missing-column semantics explicitly.
+    pub fn filter_by<F: Fn(&Value) -> bool>(&self, col: &str, keep: F) -> DfResult<DataFrame> {
+        let c = self
+            .column(col)
+            .ok_or_else(|| DfError::UnknownColumn(col.to_string()))?;
+        let idx: Vec<usize> = c
+            .values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| keep(v))
+            .map(|(i, _)| i)
+            .collect();
+        Ok(self.take(&idx))
+    }
+
     /// Materialise the rows at `indices` (in order, duplicates allowed).
     pub fn take(&self, indices: &[usize]) -> DataFrame {
         DataFrame {
@@ -513,6 +532,19 @@ mod tests {
         let df = sample().filter_eq("name", &Value::from("a"));
         assert_eq!(df.n_rows(), 2);
         assert_eq!(df.get(1, "x"), Some(&Value::Int(4)));
+    }
+
+    #[test]
+    fn filter_by_predicate_and_unknown_column() {
+        let df = sample()
+            .filter_by("x", |v| v.as_i64().unwrap() > 2)
+            .unwrap();
+        assert_eq!(df.n_rows(), 2);
+        assert_eq!(df.get(0, "name"), Some(&Value::from("c")));
+        assert!(matches!(
+            sample().filter_by("zzz", |_| true),
+            Err(DfError::UnknownColumn(_))
+        ));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! GumTree-style tree matching (Falleri et al. [6], simplified).
+//! GumTree-style tree matching (Falleri et al. \[6\], simplified).
 //!
 //! Two phases, as in the paper's cited technique:
 //! 1. **Top-down**: greedily match subtrees with identical structure

@@ -3,7 +3,7 @@
 //! Implements the code-diffing half of FlorDB's multiversion hindsight
 //! logging (CIDR 2025, §2): injecting newly-written `flor.log` statements
 //! "into the correct locations in all prior versions of the code", using
-//! "techniques adapted from code diffing [6]" (GumTree, Falleri et al.).
+//! "techniques adapted from code diffing \[6\]" (GumTree, Falleri et al.).
 //!
 //! * [`tree`] — flattens florscript ASTs into labelled trees with subtree
 //!   hashes and AST back-pointers;

@@ -3,7 +3,7 @@
 //! Used for two things in the reproduction: human-readable version diffs
 //! (change context), and as the coarse pre-filter before AST-level
 //! differencing in `flor-diff` (per the paper, statement propagation uses
-//! "techniques adapted from code diffing [6]").
+//! "techniques adapted from code diffing \[6\]").
 
 /// One step of an edit script transforming `old` into `new`.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -5,7 +5,7 @@
 //! `ts2vid` tables). This crate is a from-scratch, in-memory git-alike
 //! providing exactly the capabilities FlorDB consumes:
 //!
-//! * content-addressed object store (own [`sha256`] implementation pinned
+//! * content-addressed object store (own [`sha256`](fn@sha256) implementation pinned
 //!   to NIST vectors) with [`objects::Blob`]/[`objects::Tree`]/
 //!   [`objects::Commit`] objects;
 //! * [`Repository::commit`] snapshots of a [`VirtualFs`] working tree —

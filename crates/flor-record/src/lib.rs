@@ -3,11 +3,11 @@
 //! The mechanics behind FlorDB's "magic trick" (CIDR 2025, §2): log now,
 //! get data from the past.
 //!
-//! * [`record`] — run a program under a [`Recorder`], capturing every
+//! * [`record()`](fn@record) — run a program under a [`Recorder`], capturing every
 //!   `flor.log` with loop context, resolved `flor.arg`s, and state
 //!   snapshots at checkpoint-loop boundaries under a [`CheckpointPolicy`]
 //!   (`None` / `EveryK` / the paper's `Adaptive` low-overhead policy);
-//! * [`replay`] — given a (patched) program and a prior [`RunRecord`],
+//! * [`replay()`](fn@replay) — given a (patched) program and a prior [`RunRecord`],
 //!   plan the minimal set of iterations to execute ([`plan_replay`]),
 //!   restore from the nearest checkpoints, skip memoized iterations, and
 //!   fan work out across threads;

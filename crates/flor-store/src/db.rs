@@ -295,6 +295,28 @@ impl Database {
         Ok((g.epoch, frames))
     }
 
+    /// Atomic multi-query snapshot: like [`Database::snapshot`], but each
+    /// table is fetched through a [`crate::query::Query`] — predicate
+    /// pushdown and index fast paths included — under one lock, so every
+    /// result reflects the same epoch. This is how a filtered
+    /// materialized-view build pushes its scan down into the store instead
+    /// of materialising whole tables first.
+    pub fn snapshot_with(
+        &self,
+        queries: &[crate::query::Query],
+    ) -> StoreResult<(u64, Vec<DataFrame>)> {
+        let g = self.inner.read();
+        let mut frames = Vec::with_capacity(queries.len());
+        for q in queries {
+            let t = g
+                .tables
+                .get(q.table_name())
+                .ok_or_else(|| StoreError::NoSuchTable(q.table_name().to_string()))?;
+            frames.push(q.run_on(t)?);
+        }
+        Ok((g.epoch, frames))
+    }
+
     /// Discard the open transaction's staged rows. (The WAL keeps the
     /// orphaned inserts, but without a commit marker recovery ignores
     /// them — same effect as a crash.)
@@ -721,6 +743,26 @@ mod tests {
             assert!(db.stats().wal_offset_bytes > 0);
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_with_runs_queries_at_one_epoch() {
+        use crate::query::Query;
+        let db = Database::in_memory(tiny_schema());
+        for (k, v) in [("a", 1i64), ("b", 2), ("a", 3)] {
+            db.insert("t", vec![k.into(), v.into()]).unwrap();
+        }
+        db.commit().unwrap();
+        let (epoch, frames) = db
+            .snapshot_with(&[
+                Query::table("t").filter_in("k", vec!["a".into()]),
+                Query::table("t"),
+            ])
+            .unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(frames[0].n_rows(), 2);
+        assert_eq!(frames[1].n_rows(), 3);
+        assert!(db.snapshot_with(&[Query::table("absent")]).is_err());
     }
 
     #[test]

@@ -3,15 +3,19 @@
 //!
 //! FlorDB promises "powerful, SQL-like data reads" (§3.1). Complex
 //! relational work (joins, pivots) happens on the dataframe layer; the
-//! query layer's job is to get the right rows out of the store cheaply —
-//! equality predicates are served from secondary hash indexes when one is
-//! available.
+//! query layer's job is to get the right rows out of the store cheaply.
+//! The planner picks the most selective index-backed access path among the
+//! equality ([`Query::filter_eq`]) and set-membership ([`Query::filter_in`])
+//! predicates, then applies the rest as residual filters over the fetched
+//! rows. The same [`CmpOp`]/[`Predicate`] vocabulary is reused by the
+//! lazy query builder (`flor_view::QueryPlan` / `Flor::query`) so one
+//! predicate type spans every layer of the stack.
 
-use crate::db::{rows_to_frame, Database, StoreResult};
+use crate::db::{rows_to_frame, Database, StoreResult, Table};
 use flor_df::{DataFrame, Value};
 
 /// Comparison operators for scan predicates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// Equality (index-eligible).
     Eq,
@@ -28,7 +32,8 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    fn eval(&self, a: &Value, b: &Value) -> bool {
+    /// Evaluate `a op b` under the total value order of [`Value`].
+    pub fn eval(&self, a: &Value, b: &Value) -> bool {
         match self {
             CmpOp::Eq => a == b,
             CmpOp::Ne => a != b,
@@ -40,8 +45,22 @@ impl CmpOp {
     }
 }
 
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
 /// One predicate: `column op literal`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Predicate {
     /// Column name.
     pub col: String,
@@ -51,14 +70,49 @@ pub struct Predicate {
     pub value: Value,
 }
 
+impl Predicate {
+    /// Build a predicate.
+    pub fn new(col: &str, op: CmpOp, value: impl Into<Value>) -> Predicate {
+        Predicate {
+            col: col.to_string(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Whether a cell value satisfies this predicate.
+    pub fn matches(&self, v: &Value) -> bool {
+        self.op.eval(v, &self.value)
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} {:?}", self.col, self.op, self.value)
+    }
+}
+
 /// A declarative query against one table.
 #[derive(Debug, Clone)]
 pub struct Query {
     table: String,
     predicates: Vec<Predicate>,
+    /// Set-membership predicates: `col IN (values)`, index-eligible.
+    in_predicates: Vec<(String, Vec<Value>)>,
     projection: Option<Vec<String>>,
     order_by: Vec<(String, bool)>,
     limit: Option<usize>,
+}
+
+/// The access path the planner settled on (see [`Query::run_on`]).
+enum Access {
+    /// Full scan: every row id is a candidate.
+    Scan,
+    /// The `i`-th equality predicate, served from a secondary index.
+    EqIndex(usize),
+    /// The `i`-th IN predicate, served from a secondary index
+    /// (the `lookup_many` fast path).
+    InIndex(usize),
 }
 
 impl Query {
@@ -67,10 +121,16 @@ impl Query {
         Query {
             table: table.to_string(),
             predicates: Vec::new(),
+            in_predicates: Vec::new(),
             projection: None,
             order_by: Vec::new(),
             limit: None,
         }
+    }
+
+    /// The queried table's name.
+    pub fn table_name(&self) -> &str {
+        &self.table
     }
 
     /// Add an equality predicate (index-eligible).
@@ -83,6 +143,14 @@ impl Query {
         self
     }
 
+    /// Add a set-membership predicate: `col IN (values)`. Index-eligible —
+    /// over an indexed column this is the `lookup_many` fast path, yielding
+    /// matches in insertion order without touching non-matching rows.
+    pub fn filter_in(mut self, col: &str, values: Vec<Value>) -> Query {
+        self.in_predicates.push((col.to_string(), values));
+        self
+    }
+
     /// Add a general comparison predicate.
     pub fn filter(mut self, col: &str, op: CmpOp, value: impl Into<Value>) -> Query {
         self.predicates.push(Predicate {
@@ -90,6 +158,12 @@ impl Query {
             op,
             value: value.into(),
         });
+        self
+    }
+
+    /// Add a ready-made [`Predicate`].
+    pub fn filter_pred(mut self, pred: Predicate) -> Query {
+        self.predicates.push(pred);
         self
     }
 
@@ -113,46 +187,116 @@ impl Query {
 
     /// Execute against `db`.
     pub fn execute(&self, db: &Database) -> StoreResult<DataFrame> {
-        // Plan: pick the first Eq predicate over an indexed column as the
-        // access path; residual predicates filter the fetched rows.
-        let access = self
+        db.with_table(&self.table, |t| self.run_on(t))?
+    }
+
+    /// Candidate row count if the access path `a` were chosen — the
+    /// planner's (exact, hash-index-backed) selectivity estimate.
+    fn candidates(&self, t: &Table, a: &Access) -> usize {
+        match a {
+            Access::Scan => t.rows.len(),
+            Access::EqIndex(i) => {
+                let p = &self.predicates[*i];
+                t.indexes
+                    .get(&p.col)
+                    .and_then(|idx| idx.get(&p.value))
+                    .map_or(0, Vec::len)
+            }
+            Access::InIndex(i) => {
+                let (col, values) = &self.in_predicates[*i];
+                t.indexes.get(col).map_or(0, |idx| {
+                    values.iter().map(|v| idx.get(v).map_or(0, Vec::len)).sum()
+                })
+            }
+        }
+    }
+
+    /// Execute against an already-locked table. Crate-internal: this is
+    /// what lets [`Database::snapshot_with`] run several queries under one
+    /// read lock, so a materialized-view build sees one consistent epoch.
+    pub(crate) fn run_on(&self, t: &Table) -> StoreResult<DataFrame> {
+        // Plan: among the index-eligible predicates (Eq and IN over indexed
+        // columns), pick the one with the fewest candidate rows; everything
+        // else becomes a residual filter over the fetched rows.
+        let mut access = Access::Scan;
+        let mut best = self.candidates(t, &access);
+        for (i, p) in self.predicates.iter().enumerate() {
+            if p.op == CmpOp::Eq && t.indexes.contains_key(&p.col) {
+                let cand = Access::EqIndex(i);
+                let n = self.candidates(t, &cand);
+                if n < best {
+                    best = n;
+                    access = cand;
+                }
+            }
+        }
+        for (i, (col, _)) in self.in_predicates.iter().enumerate() {
+            if t.indexes.contains_key(col) {
+                let cand = Access::InIndex(i);
+                let n = self.candidates(t, &cand);
+                if n < best {
+                    best = n;
+                    access = cand;
+                }
+            }
+        }
+
+        let candidate_rids: Vec<usize> = match access {
+            Access::Scan => (0..t.rows.len()).collect(),
+            Access::EqIndex(i) => {
+                let p = &self.predicates[i];
+                t.indexes
+                    .get(&p.col)
+                    .and_then(|idx| idx.get(&p.value))
+                    .cloned()
+                    .unwrap_or_default()
+            }
+            Access::InIndex(i) => {
+                let (col, values) = &self.in_predicates[i];
+                let idx = t.indexes.get(col).expect("planned over an index");
+                let mut rids: Vec<usize> = values
+                    .iter()
+                    .flat_map(|v| idx.get(v).map(Vec::as_slice).unwrap_or_default())
+                    .copied()
+                    .collect();
+                // Restore insertion order (per-value postings are each
+                // ascending, but values interleave in the log).
+                rids.sort_unstable();
+                rids.dedup();
+                rids
+            }
+        };
+
+        let residual: Vec<(usize, &Predicate)> = self
             .predicates
             .iter()
-            .position(|p| p.op == CmpOp::Eq && db.has_index(&self.table, &p.col));
-
-        let mut df = db.with_table(&self.table, |t| {
-            let candidate_rids: Vec<usize> = match access {
-                Some(i) => {
-                    let p = &self.predicates[i];
-                    t.indexes
-                        .get(&p.col)
-                        .and_then(|idx| idx.get(&p.value))
-                        .cloned()
-                        .unwrap_or_default()
-                }
-                None => (0..t.rows.len()).collect(),
-            };
-            let residual: Vec<(usize, &Predicate)> = self
-                .predicates
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| Some(*i) != access)
-                .filter_map(|(_, p)| t.schema.col_index(&p.col).map(|ci| (ci, p)))
-                .collect();
-            let rows = candidate_rids.iter().map(|&r| &t.rows[r]).filter(|row| {
-                residual
-                    .iter()
-                    .all(|(ci, p)| p.op.eval(&row[*ci], &p.value))
-            });
-            rows_to_frame(&t.schema, rows)
-        })?;
+            .enumerate()
+            .filter(|(i, _)| !matches!(access, Access::EqIndex(j) if j == *i))
+            .filter_map(|(_, p)| t.schema.col_index(&p.col).map(|ci| (ci, p)))
+            .collect();
+        let residual_in: Vec<(usize, &Vec<Value>)> = self
+            .in_predicates
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !matches!(access, Access::InIndex(j) if j == *i))
+            .filter_map(|(_, (col, vs))| t.schema.col_index(col).map(|ci| (ci, vs)))
+            .collect();
+        let rows = candidate_rids.iter().map(|&r| &t.rows[r]).filter(|row| {
+            residual.iter().all(|(ci, p)| p.matches(&row[*ci]))
+                && residual_in.iter().all(|(ci, vs)| vs.contains(&row[*ci]))
+        });
+        let mut df = rows_to_frame(&t.schema, rows);
 
         // Drop rows referencing unknown predicate columns conservatively:
         // a predicate over a column the schema lacks matches nothing.
-        for p in &self.predicates {
-            if df.column(&p.col).is_none() {
-                df = df.head(0);
-            }
+        let unknown_col = self
+            .predicates
+            .iter()
+            .map(|p| p.col.as_str())
+            .chain(self.in_predicates.iter().map(|(c, _)| c.as_str()))
+            .any(|c| df.column(c).is_none());
+        if unknown_col {
+            df = df.head(0);
         }
         if !self.order_by.is_empty() {
             let keys: Vec<(&str, bool)> = self
@@ -236,6 +380,61 @@ mod tests {
     }
 
     #[test]
+    fn in_predicate_uses_index_in_insertion_order() {
+        let db = db_with_rows(9);
+        let df = Query::table("logs")
+            .filter_in("name", vec!["m2".into(), "m0".into()])
+            .execute(&db)
+            .unwrap();
+        // Insertion order, not per-value order: m0 at 0,3,6; m2 at 2,5,8.
+        let ts: Vec<i64> = df
+            .column("tstamp")
+            .unwrap()
+            .values
+            .iter()
+            .map(|v| v.as_i64().unwrap())
+            .collect();
+        assert_eq!(ts, vec![0, 2, 3, 5, 6, 8]);
+        // Identical to the unindexed evaluation of the same predicate.
+        let scan = db
+            .scan("logs")
+            .unwrap()
+            .filter(|r| ["m0", "m2"].contains(&r.get("name").unwrap().to_text().as_str()));
+        assert_eq!(df.to_rows(), scan.to_rows());
+    }
+
+    #[test]
+    fn in_predicate_residual_on_unindexed_column() {
+        let db = db_with_rows(10);
+        let df = Query::table("logs")
+            .filter_in("tstamp", vec![1.into(), 4.into(), 99.into()])
+            .execute(&db)
+            .unwrap();
+        assert_eq!(df.n_rows(), 2);
+    }
+
+    #[test]
+    fn planner_picks_most_selective_index() {
+        // name is indexed with 10 rows per value; the IN predicate narrows
+        // to a single value → the IN path (10 candidates) must win over the
+        // Eq path only when it is tighter.
+        let db = db_with_rows(30);
+        let df = Query::table("logs")
+            .filter_eq("name", "m0")
+            .filter_in("name", vec!["m0".into()])
+            .execute(&db)
+            .unwrap();
+        assert_eq!(df.n_rows(), 10);
+        // Disjoint Eq + IN predicates conjoin to nothing.
+        let df = Query::table("logs")
+            .filter_eq("name", "m0")
+            .filter_in("name", vec!["m1".into()])
+            .execute(&db)
+            .unwrap();
+        assert_eq!(df.n_rows(), 0);
+    }
+
+    #[test]
     fn projection_and_order_and_limit() {
         let db = db_with_rows(10);
         let df = Query::table("logs")
@@ -260,6 +459,11 @@ mod tests {
         let db = db_with_rows(5);
         let df = Query::table("logs")
             .filter_eq("no_such_col", 1)
+            .execute(&db)
+            .unwrap();
+        assert_eq!(df.n_rows(), 0);
+        let df = Query::table("logs")
+            .filter_in("no_such_col", vec![1.into()])
             .execute(&db)
             .unwrap();
         assert_eq!(df.n_rows(), 0);
@@ -290,5 +494,13 @@ mod tests {
     fn missing_table_errors() {
         let db = db_with_rows(1);
         assert!(Query::table("absent").execute(&db).is_err());
+    }
+
+    #[test]
+    fn predicate_matches_and_displays() {
+        let p = Predicate::new("tstamp", CmpOp::Ge, 5);
+        assert!(p.matches(&Value::Int(5)));
+        assert!(!p.matches(&Value::Int(4)));
+        assert_eq!(p.to_string(), "tstamp >= Int(5)");
     }
 }

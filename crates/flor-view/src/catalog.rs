@@ -11,20 +11,27 @@
 //! counted in [`CatalogStats::fallback_rebuilds`].
 
 use crate::delta::{DeltaError, LatestState, PivotState};
+use crate::plan::QueryPlan;
 use flor_df::{DataFrame, DfError};
-use flor_store::{Database, StoreError, StoreResult, Subscription};
+use flor_store::{Database, Predicate, Query, StoreError, StoreResult, Subscription};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Identity of a materialized view: the projected `value_name`s, plus the
-/// `latest` group columns for deduplicated views.
+/// Identity of a materialized view: the fingerprint of the *maintained*
+/// part of a [`QueryPlan`] — the projected `value_name`s, the pushdown
+/// predicates enforced inside the view, and the `latest` group columns
+/// for deduplicated views. Two plans that differ only in their post-pass
+/// (residual predicates, ordering, limits) share one maintained view.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ViewKey {
     /// Projected log names, in request order.
-    pub names: Vec<String>,
+    names: Vec<String>,
     /// `Some(group)` for a `latest`-deduplicated view.
-    pub group: Option<Vec<String>>,
+    group: Option<Vec<String>>,
+    /// Pushdown predicates maintained inside the view, canonically
+    /// ordered so predicate call order does not split the cache.
+    pushdown: Vec<Predicate>,
 }
 
 impl ViewKey {
@@ -33,15 +40,70 @@ impl ViewKey {
         ViewKey {
             names: names.iter().map(|s| s.to_string()).collect(),
             group: None,
+            pushdown: Vec::new(),
         }
     }
 
     /// Key for a `latest`-deduplicated view.
     pub fn latest(names: &[&str], group: &[&str]) -> ViewKey {
         ViewKey {
-            names: names.iter().map(|s| s.to_string()).collect(),
             group: Some(group.iter().map(|s| s.to_string()).collect()),
+            ..ViewKey::pivot(names)
         }
+    }
+
+    /// The maintained-part fingerprint of `plan`: its names, its pushdown
+    /// predicates (canonically sorted and deduplicated), and — only when
+    /// no residual predicate intervenes before the dedup — its `latest`
+    /// group. A residual filter must run *before* `latest`, so such plans
+    /// lower onto the underlying pivot view and dedup in the post-pass.
+    pub fn for_plan(plan: &QueryPlan) -> ViewKey {
+        let (pushdown, residual) = plan.split_predicates();
+        ViewKey::from_split(plan, pushdown, residual.is_empty())
+    }
+
+    /// [`ViewKey::for_plan`] for a caller that already split the
+    /// predicates (the catalog's hot read path splits exactly once).
+    fn from_split(plan: &QueryPlan, mut pushdown: Vec<Predicate>, no_residual: bool) -> ViewKey {
+        pushdown.sort_by_key(|p| p.to_string());
+        pushdown.dedup();
+        ViewKey {
+            names: plan.names.clone(),
+            group: if no_residual {
+                plan.latest_group.clone()
+            } else {
+                None
+            },
+            pushdown,
+        }
+    }
+
+    /// Projected log names, in request order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The `latest` group columns, if this is a deduplicated view.
+    pub fn group(&self) -> Option<&[String]> {
+        self.group.as_deref()
+    }
+
+    /// The pushdown predicates maintained inside the view.
+    pub fn pushdown(&self) -> &[Predicate] {
+        &self.pushdown
+    }
+
+    /// Canonical one-line rendering, for logs and `ViewInfo` displays.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write;
+        let mut s = format!("pivot[{}]", self.names.join(","));
+        for p in &self.pushdown {
+            write!(s, " where {p}").expect("string write");
+        }
+        if let Some(group) = &self.group {
+            write!(s, " latest by [{}]", group.join(",")).expect("string write");
+        }
+        s
     }
 }
 
@@ -124,12 +186,7 @@ impl ViewCatalog {
     /// The pivoted view for `names`, up to date with every commit. Cheap
     /// (`Arc` clone) when nothing changed since the last call.
     pub fn pivot(&self, names: &[&str]) -> StoreResult<Arc<DataFrame>> {
-        let key = ViewKey::pivot(names);
-        let mut g = self.inner.lock();
-        self.drain_and_apply(&mut g)?;
-        self.ensure_view(&mut g, &key)?;
-        let view = g.views.get(&key).expect("just ensured");
-        Ok(view.pivot.frame())
+        self.plan(&QueryPlan::new(names))
     }
 
     /// The `latest`-deduplicated view for `names` grouped by `group`.
@@ -137,11 +194,46 @@ impl ViewCatalog {
     /// Errors like the from-scratch path does when a group column does not
     /// exist in the pivoted frame.
     pub fn latest(&self, names: &[&str], group: &[&str]) -> StoreResult<Arc<DataFrame>> {
-        let key = ViewKey::latest(names, group);
-        let mut g = self.inner.lock();
-        self.drain_and_apply(&mut g)?;
-        self.ensure_view(&mut g, &key)?;
-        let view = g.views.get_mut(&key).expect("just ensured");
+        self.plan(&QueryPlan::with_latest(names, group))
+    }
+
+    /// Serve a [`QueryPlan`] — the single execution path behind every
+    /// dataframe read. The plan's maintained part (projection, pushdown
+    /// predicates, and `latest` group when no residual filter precedes
+    /// it) is served from the catalog as an incrementally maintained
+    /// view; the rest runs as a post-pass over that frame. Plans with no
+    /// post-pass share the maintained snapshot allocation (`Arc` clone).
+    pub fn plan(&self, plan: &QueryPlan) -> StoreResult<Arc<DataFrame>> {
+        let (pushdown, residual) = plan.split_predicates();
+        let key = ViewKey::from_split(plan, pushdown, residual.is_empty());
+        let base = {
+            let mut g = self.inner.lock();
+            self.drain_and_apply(&mut g)?;
+            self.ensure_view(&mut g, &key)?;
+            if key.group.is_some() {
+                self.materialize_latest(&mut g, &key)?
+            } else {
+                g.views.get(&key).expect("just ensured").pivot.frame()
+            }
+        };
+        // `latest` runs in the post-pass only when a residual predicate
+        // must filter rows first (the maintained key then has no group).
+        let apply_latest = key.group.is_none() && plan.latest_group.is_some();
+        if plan.post_pass_is_identity(&residual, apply_latest) {
+            return Ok(base);
+        }
+        plan.post_pass(&base, &residual, apply_latest).map(Arc::new)
+    }
+
+    /// Materialize the `latest` output of an already-ensured view, with
+    /// per-view caching (invalidated whenever the pivot moves).
+    fn materialize_latest(
+        &self,
+        g: &mut CatalogInner,
+        key: &ViewKey,
+    ) -> StoreResult<Arc<DataFrame>> {
+        let view = g.views.get_mut(key).expect("caller ensured the view");
+        let group = key.group().expect("caller checked the key is grouped");
         if let Some(cached) = &view.latest_frame {
             return Ok(Arc::clone(cached));
         }
@@ -153,7 +245,7 @@ impl ViewCatalog {
         } else {
             for gcol in group {
                 if frame.column(gcol).is_none() {
-                    return Err(StoreError::Df(DfError::UnknownColumn((*gcol).to_string())));
+                    return Err(StoreError::Df(DfError::UnknownColumn(gcol.clone())));
                 }
             }
             // The per-key upsert state is only sound when every group
@@ -170,7 +262,10 @@ impl ViewCatalog {
                     let keep = latest.surviving_rows();
                     Arc::new(frame.take(&keep))
                 }
-                _ => Arc::new(frame.latest(group, "tstamp").map_err(StoreError::Df)?),
+                _ => {
+                    let gs: Vec<&str> = group.iter().map(String::as_str).collect();
+                    Arc::new(frame.latest(&gs, "tstamp").map_err(StoreError::Df)?)
+                }
             }
         };
         view.latest_frame = Some(Arc::clone(&out));
@@ -245,9 +340,15 @@ impl ViewCatalog {
             {
                 let view = g.views.get_mut(&key).expect("key from live map");
                 for batch in &batches {
+                    // A batch can widen the pivot's schema without
+                    // materializing any row (a pushdown-excluded row
+                    // discovering a new loop dimension), so the cached
+                    // latest output is stale whenever rows changed *or*
+                    // columns appeared.
+                    let cols_before = view.pivot.frame().n_cols();
                     match view.pivot.apply(batch) {
                         Ok(changed) => {
-                            if !changed.is_empty() {
+                            if !changed.is_empty() || view.pivot.frame().n_cols() != cols_before {
                                 view.latest_frame = None;
                                 if let Some(latest) = &mut view.latest {
                                     let frame = view.pivot.frame();
@@ -311,11 +412,22 @@ impl ViewCatalog {
     /// subscription predates every snapshot, so any commit not covered by
     /// the snapshot is still queued and will be applied as a delta (and
     /// batches the snapshot already covers are skipped by epoch).
+    ///
+    /// The `logs` fetch pushes the name projection down into the store
+    /// scan (`value_name IN names`, served from the secondary index), so
+    /// a build touches only the log rows the view projects — not the
+    /// whole history. The key's pushdown predicates are *not* pushed into
+    /// the fetch: excluded rows still drive schema discovery (see
+    /// [`PivotState::filtered`]), so the pivot state must see them.
     fn build(&self, key: &ViewKey) -> StoreResult<CachedView> {
         let names: Vec<&str> = key.names.iter().map(String::as_str).collect();
-        let (epoch, frames) = self.db.snapshot(&["logs", "loops"])?;
+        let name_values = key.names.iter().map(|n| n.as_str().into()).collect();
+        let (epoch, frames) = self.db.snapshot_with(&[
+            Query::table("logs").filter_in("value_name", name_values),
+            Query::table("loops"),
+        ])?;
         let [logs, loops]: [DataFrame; 2] = frames.try_into().expect("two tables requested");
-        let pivot = PivotState::from_snapshot(&names, epoch, &logs, &loops)
+        let pivot = PivotState::from_snapshot_filtered(&names, &key.pushdown, epoch, &logs, &loops)
             .map_err(|e| StoreError::Invalid(format!("view build: {e}")))?;
         // Latest views always carry upsert state; whether it is *used*
         // (vs. recomputing from the frame) is decided per materialization,
@@ -406,6 +518,168 @@ mod tests {
         let keys: Vec<ViewKey> = catalog.view_infos().into_iter().map(|i| i.key).collect();
         assert!(keys.contains(&ViewKey::pivot(&["a"])));
         assert!(keys.contains(&ViewKey::pivot(&["c"])));
+    }
+
+    #[test]
+    fn plan_with_pushdown_maintains_filtered_view() {
+        use flor_store::CmpOp;
+        let db = Database::in_memory(flor_schema());
+        let catalog = ViewCatalog::new(db.clone(), 4);
+        for ts in 1..=4 {
+            db.insert("logs", log_row(ts, "loss", &ts.to_string()))
+                .unwrap();
+        }
+        db.commit().unwrap();
+        let plan = QueryPlan::new(&["loss"]).filter("tstamp", CmpOp::Ge, 3);
+        let v = catalog.plan(&plan).unwrap();
+        assert_eq!(v.n_rows(), 2);
+        // New commits land as deltas on the filtered view: no new build.
+        db.insert("logs", log_row(5, "loss", "5")).unwrap();
+        db.insert("logs", log_row(0, "loss", "0")).unwrap();
+        db.commit().unwrap();
+        let v = catalog.plan(&plan).unwrap();
+        assert_eq!(v.n_rows(), 3, "ts=5 admitted, ts=0 filtered out");
+        assert_eq!(catalog.stats().misses, 1);
+        // A plan with no post-pass shares the maintained allocation.
+        let again = catalog.plan(&plan).unwrap();
+        assert!(Arc::ptr_eq(&v, &again));
+    }
+
+    #[test]
+    fn plans_share_a_maintained_view_across_post_passes() {
+        use flor_store::CmpOp;
+        let db = Database::in_memory(flor_schema());
+        let catalog = ViewCatalog::new(db.clone(), 4);
+        for ts in 1..=5 {
+            db.insert("logs", log_row(ts, "x", &ts.to_string()))
+                .unwrap();
+        }
+        db.commit().unwrap();
+        let base = QueryPlan::new(&["x"]).filter("tstamp", CmpOp::Gt, 1);
+        let limited = QueryPlan {
+            order_by: vec![("tstamp".into(), false)],
+            limit: Some(2),
+            ..base.clone()
+        };
+        assert_eq!(catalog.plan(&base).unwrap().n_rows(), 4);
+        let top = catalog.plan(&limited).unwrap();
+        assert_eq!(top.n_rows(), 2);
+        assert_eq!(top.get(0, "tstamp"), Some(&Value::Int(5)));
+        // Same maintained part → one build, differing post-passes only.
+        assert_eq!(catalog.stats().misses, 1);
+        assert_eq!(catalog.len(), 1);
+        // Predicate call order does not split the cache either.
+        let swapped = QueryPlan::new(&["x"])
+            .filter("tstamp", CmpOp::Lt, 9)
+            .filter("tstamp", CmpOp::Gt, 1);
+        let canon = QueryPlan::new(&["x"])
+            .filter("tstamp", CmpOp::Gt, 1)
+            .filter("tstamp", CmpOp::Lt, 9);
+        assert_eq!(ViewKey::for_plan(&swapped), ViewKey::for_plan(&canon));
+    }
+
+    #[test]
+    fn residual_latest_runs_in_post_pass() {
+        use flor_store::CmpOp;
+        let db = Database::in_memory(flor_schema());
+        let catalog = ViewCatalog::new(db.clone(), 4);
+        for ts in 1..=3 {
+            db.insert("logs", log_row(ts, "acc", &ts.to_string()))
+                .unwrap();
+        }
+        db.commit().unwrap();
+        // A residual (value-column) predicate must filter *before* the
+        // dedup, so latest runs over the filtered rows in the post-pass.
+        let plan = QueryPlan {
+            latest_group: Some(vec!["projid".into()]),
+            ..QueryPlan::new(&["acc"])
+        }
+        .filter("acc", CmpOp::Le, 2);
+        let v = catalog.plan(&plan).unwrap();
+        assert_eq!(v.n_rows(), 1);
+        assert_eq!(v.get(0, "acc"), Some(&Value::Int(2)));
+        // The maintained view is the plain pivot (group lowered away).
+        let keys: Vec<ViewKey> = catalog.view_infos().into_iter().map(|i| i.key).collect();
+        assert_eq!(keys, vec![ViewKey::pivot(&["acc"])]);
+    }
+
+    #[test]
+    fn excluded_delta_widening_schema_invalidates_latest_cache() {
+        // Regression: a pushdown-excluded log row can widen the pivot's
+        // schema (new loop dimension) while materializing no row; the
+        // cached `latest` output must still be invalidated, or it serves
+        // a stale column set.
+        use flor_store::CmpOp;
+        let db = Database::in_memory(flor_schema());
+        let catalog = ViewCatalog::new(db.clone(), 4);
+        db.insert("logs", log_row(1, "loss", "10")).unwrap();
+        db.commit().unwrap();
+        let plan = QueryPlan {
+            latest_group: Some(vec!["projid".into()]),
+            ..QueryPlan::new(&["loss"])
+        }
+        .filter("tstamp", CmpOp::Le, 1);
+        let v = catalog.plan(&plan).unwrap();
+        assert_eq!(
+            v.column_names(),
+            vec!["projid", "tstamp", "filename", "loss"]
+        );
+        // Excluded by the pushdown gate, but discovers the "batch" dims.
+        db.insert(
+            "loops",
+            vec![
+                "p".into(),
+                2.into(),
+                "f.fl".into(),
+                9.into(),
+                0.into(),
+                "batch".into(),
+                0.into(),
+                "0".into(),
+            ],
+        )
+        .unwrap();
+        db.insert(
+            "logs",
+            vec![
+                "p".into(),
+                2.into(),
+                "f.fl".into(),
+                9.into(),
+                "loss".into(),
+                "20".into(),
+                2.into(),
+            ],
+        )
+        .unwrap();
+        db.commit().unwrap();
+        let v = catalog.plan(&plan).unwrap();
+        assert_eq!(
+            v.column_names(),
+            vec![
+                "projid",
+                "tstamp",
+                "filename",
+                "batch_iteration",
+                "batch_value",
+                "loss"
+            ],
+            "stale latest cache served after schema widening"
+        );
+        assert_eq!(v.n_rows(), 1, "the ts=2 row itself stays excluded");
+        assert_eq!(catalog.stats().fallback_rebuilds, 0);
+    }
+
+    #[test]
+    fn view_key_fingerprint_renders_plan() {
+        use flor_store::CmpOp;
+        let plan =
+            QueryPlan::with_latest(&["loss", "acc"], &["projid"]).filter("tstamp", CmpOp::Ge, 2);
+        let key = ViewKey::for_plan(&plan);
+        assert_eq!(
+            key.fingerprint(),
+            "pivot[loss,acc] where tstamp >= Int(2) latest by [projid]"
+        );
     }
 
     #[test]

@@ -14,13 +14,11 @@
 //! commits and backfills, the maintained frame is cell-for-cell identical
 //! to a full rebuild — including column order, row order, and nulls.
 
+use crate::plan::FIXED_COLS as FIXED;
 use flor_df::{Column, DataFrame, DataType, Value};
-use flor_store::{CommitBatch, RowDelta};
+use flor_store::{CommitBatch, Predicate, RowDelta};
 use std::collections::HashMap;
 use std::sync::Arc;
-
-/// Fixed index columns every context row carries (paper Fig. 3).
-const FIXED: [&str; 3] = ["projid", "tstamp", "filename"];
 
 // Column positions in the Fig. 1 `logs` and `loops` schemas.
 const LOG_PROJID: usize = 0;
@@ -79,6 +77,14 @@ struct CtxRow {
 #[derive(Debug, Clone)]
 pub struct PivotState {
     names: Vec<String>,
+    /// Pushdown predicates over the fixed context columns, enforced at
+    /// materialization time: rows failing any predicate are skipped at the
+    /// upsert — but still participate in schema discovery, because the
+    /// from-scratch oracle's column set and order are determined by *all*
+    /// matching-name rows, filtered or not. Fixed columns are part of the
+    /// row key, so an excluded log row can never share a pivot row with an
+    /// included one and last-write-wins stays intact.
+    pushdown: Vec<Predicate>,
     /// Cumulative loop-context map (incremental join state).
     ctx: HashMap<i64, CtxRow>,
     /// Dimension columns after the three fixed ones, in first-seen order —
@@ -96,8 +102,19 @@ pub struct PivotState {
 impl PivotState {
     /// Empty view at epoch `epoch` for the given projection.
     pub fn new(names: &[&str], epoch: u64) -> PivotState {
+        PivotState::filtered(names, &[], epoch)
+    }
+
+    /// Empty view with pushdown predicates over the fixed context columns
+    /// (see the `pushdown` field docs): the maintained frame holds only
+    /// rows satisfying every predicate. The caller (the query planner's
+    /// [`crate::QueryPlan::split_predicates`]) guarantees predicate
+    /// columns are fixed context columns; a predicate over any other
+    /// column conservatively matches nothing.
+    pub fn filtered(names: &[&str], pushdown: &[Predicate], epoch: u64) -> PivotState {
         PivotState {
             names: names.iter().map(|s| s.to_string()).collect(),
+            pushdown: pushdown.to_vec(),
             ctx: HashMap::new(),
             dim_cols: Vec::new(),
             row_pos: HashMap::new(),
@@ -116,7 +133,19 @@ impl PivotState {
         logs: &DataFrame,
         loops: &DataFrame,
     ) -> Result<PivotState, DeltaError> {
-        let mut state = PivotState::new(names, epoch);
+        PivotState::from_snapshot_filtered(names, &[], epoch, logs, loops)
+    }
+
+    /// [`PivotState::from_snapshot`] with pushdown predicates (see
+    /// [`PivotState::filtered`]).
+    pub fn from_snapshot_filtered(
+        names: &[&str],
+        pushdown: &[Predicate],
+        epoch: u64,
+        logs: &DataFrame,
+        loops: &DataFrame,
+    ) -> Result<PivotState, DeltaError> {
+        let mut state = PivotState::filtered(names, pushdown, epoch);
         for row in loops.rows() {
             state.apply_loop_row(&row.to_vec())?;
         }
@@ -256,28 +285,19 @@ impl PivotState {
         let value = Value::from_text(&row[LOG_VALUE].to_text(), DataType::from_tag(tag));
 
         let frame = Arc::make_mut(&mut self.frame);
+        // Schema discovery below runs for every projected log row — even
+        // one the pushdown gate will exclude — because the from-scratch
+        // oracle's column set and column order are determined by all
+        // matching-name rows, filtered or not.
         if frame.n_cols() == 0 {
-            // First row: push_row creates every column in entry order,
-            // which is exactly the long-frame first-seen order.
-            for (d, _) in &dims {
-                self.dim_cols.push(d.clone());
+            for f in FIXED {
+                frame
+                    .add_column(Column {
+                        name: f.to_string(),
+                        values: Vec::new(),
+                    })
+                    .expect("empty frame accepts the fixed columns");
             }
-            let mut entries: Vec<(&str, Value)> = vec![
-                (FIXED[0], row[LOG_PROJID].clone()),
-                (FIXED[1], row[LOG_TSTAMP].clone()),
-                (FIXED[2], row[LOG_FILENAME].clone()),
-            ];
-            for (d, v) in &dims {
-                entries.push((d.as_str(), v.clone()));
-            }
-            entries.push((name.as_str(), value));
-            frame.push_row(&entries);
-            let key: Vec<Value> = entries[..3 + dims.len()]
-                .iter()
-                .map(|(_, v)| v.clone())
-                .collect();
-            self.row_pos.insert(key, 0);
-            return Ok(Some(0));
         }
         // New-dimension discovery: a never-seen loop name widens the index
         // region (inserted before the value columns, nulls backfilled) and
@@ -314,6 +334,22 @@ impl PivotState {
                     values: vec![Value::Null; frame.n_rows()],
                 })
                 .map_err(|e| DeltaError::Malformed(e.to_string()))?;
+        }
+        // Pushdown gate: rows failing a maintained predicate are excluded
+        // from materialization (discovery above already happened). The
+        // predicate columns are fixed context columns by caller contract;
+        // anything else conservatively matches nothing.
+        let excluded = self.pushdown.iter().any(|p| {
+            let cell = match p.col.as_str() {
+                c if c == FIXED[0] => &row[LOG_PROJID],
+                c if c == FIXED[1] => &row[LOG_TSTAMP],
+                c if c == FIXED[2] => &row[LOG_FILENAME],
+                _ => return true,
+            };
+            !p.matches(cell)
+        });
+        if excluded {
+            return Ok(None);
         }
         // Upsert keyed by the index tuple.
         let mut key: Vec<Value> = vec![
@@ -513,6 +549,42 @@ mod tests {
         // The old row's late-added dimension cells are null.
         assert_eq!(f.get(0, "epoch_iteration"), Some(&Value::Null));
         assert_eq!(f.get(1, "epoch_iteration"), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn filtered_state_skips_rows_but_discovers_columns() {
+        use flor_store::CmpOp;
+        let db = Database::in_memory(flor_schema());
+        let sub = db.subscribe();
+        let mut view =
+            PivotState::filtered(&["loss"], &[Predicate::new("tstamp", CmpOp::Gt, 1)], 0);
+        // ts=1 fails the predicate but its loop dimension must still be
+        // discovered (the oracle pivots all rows, then filters).
+        db.insert("loops", loop_row(1, 5, 0, "epoch", 0, "0"))
+            .unwrap();
+        db.insert("logs", log_row(1, 5, "loss", "9", 2)).unwrap();
+        db.insert("logs", log_row(2, 0, "loss", "1", 2)).unwrap();
+        db.commit().unwrap();
+        for batch in sub.poll() {
+            let changed = view.apply(&batch).unwrap();
+            assert_eq!(changed, vec![0], "only the ts=2 row materializes");
+        }
+        let f = view.frame();
+        assert_eq!(
+            f.column_names(),
+            vec![
+                "projid",
+                "tstamp",
+                "filename",
+                "epoch_iteration",
+                "epoch_value",
+                "loss"
+            ]
+        );
+        assert_eq!(f.n_rows(), 1);
+        assert_eq!(f.get(0, "tstamp"), Some(&Value::Int(2)));
+        // The excluded row's dimension cells stay null on the survivor.
+        assert_eq!(f.get(0, "epoch_iteration"), Some(&Value::Null));
     }
 
     #[test]

@@ -15,10 +15,16 @@
 //!   from-scratch recompute (property-tested in `tests/prop_view.rs`).
 //! * [`LatestState`] — incremental `flor.utils.latest` via per-group-key
 //!   max-timestamp upsert.
-//! * [`ViewCatalog`] — named views keyed by projection (and optional
-//!   `latest` group), staleness tracked by commit epoch / WAL offset, an
-//!   LRU capacity bound, and transparent fallback to a full snapshot
-//!   rebuild whenever a delta cannot be applied.
+//! * [`ViewCatalog`] — named views keyed by a [`ViewKey`] plan
+//!   fingerprint (projection, pushdown predicates, optional `latest`
+//!   group), staleness tracked by commit epoch / WAL offset, an LRU
+//!   capacity bound, and transparent fallback to a full snapshot rebuild
+//!   whenever a delta cannot be applied.
+//! * [`QueryPlan`] — the canonical lazy-query plan behind `Flor::query`:
+//!   filters (reusing [`flor_store::Predicate`]), `latest` dedup,
+//!   ordering and limits, lowered onto maintained views with pushdown
+//!   predicates enforced incrementally and the rest as a cheap
+//!   post-pass ([`ViewCatalog::plan`]).
 //!
 //! `flor-core` wires `Flor::dataframe` / `Flor::dataframe_latest`
 //! through a catalog, so repeated queries after new commits apply deltas
@@ -57,6 +63,8 @@
 
 pub mod catalog;
 pub mod delta;
+pub mod plan;
 
 pub use catalog::{CatalogStats, ViewCatalog, ViewInfo, ViewKey};
 pub use delta::{DeltaError, LatestState, PivotState};
+pub use plan::{QueryPlan, FIXED_COLS};

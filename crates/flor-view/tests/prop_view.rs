@@ -6,8 +6,10 @@
 //! deltas, never by falling back to a rebuild.
 
 use flor_core::{backfill, run_script, Flor};
-use flor_df::Value;
+use flor_df::{DataFrame, Value};
 use flor_record::CheckpointPolicy;
+use flor_store::{CmpOp, Predicate, StoreResult};
+use flor_view::QueryPlan;
 use proptest::prelude::*;
 
 const NAMES: [&str; 3] = ["loss", "acc", "note"];
@@ -106,6 +108,123 @@ fn assert_matches_oracle(flor: &Flor, names: &[&str]) {
     );
 }
 
+/// Literals random predicates compare against: values that do and do not
+/// occur in the session (`projid` is "prop", `filename` "session.fl",
+/// tstamps are small ints), plus nulls and arbitrary strings.
+fn arb_pred_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-3i64..12).prop_map(Value::Int),
+        (-100.0f64..100.0).prop_map(Value::Float),
+        Just(Value::Str("prop".into())),
+        Just(Value::Str("session.fl".into())),
+        "[a-z]{0,3}".prop_map(Value::Str),
+        Just(Value::Null),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    let col = prop_oneof![
+        // Fixed context columns (pushdown-maintained)...
+        Just("projid"),
+        Just("tstamp"),
+        Just("filename"),
+        // ...loop dimensions and value columns (residual post-pass)...
+        Just("document_iteration"),
+        Just("document_value"),
+        Just("page_iteration"),
+        Just("loss"),
+        Just("acc"),
+        Just("note"),
+        // ...and a column no frame will ever have.
+        Just("missing_col"),
+    ];
+    let op = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ];
+    (col, op, arb_pred_value()).prop_map(|(c, o, v)| Predicate::new(c, o, v))
+}
+
+/// Random full plans: filter × latest × order × limit over a random
+/// projection.
+fn arb_plan() -> impl Strategy<Value = QueryPlan> {
+    let names = prop_oneof![
+        Just(vec!["loss", "acc", "note"]),
+        Just(vec!["loss", "acc"]),
+        Just(vec!["acc"]),
+        Just(vec!["note", "loss"]),
+    ];
+    let latest = prop_oneof![
+        Just(None),
+        Just(Some(vec!["projid".to_string()])),
+        Just(Some(vec!["document_value".to_string()])),
+        Just(Some(vec!["projid".to_string(), "tstamp".to_string()])),
+    ];
+    let order = prop_oneof![
+        Just(Vec::new()),
+        Just(vec![("tstamp".to_string(), false)]),
+        Just(vec![
+            ("loss".to_string(), true),
+            ("tstamp".to_string(), false)
+        ]),
+        Just(vec![("document_iteration".to_string(), true)]),
+    ];
+    let limit = prop_oneof![Just(None), (0usize..15).prop_map(Some)];
+    (
+        names,
+        proptest::collection::vec(arb_predicate(), 0..3),
+        latest,
+        order,
+        limit,
+    )
+        .prop_map(
+            |(names, predicates, latest_group, order_by, limit)| QueryPlan {
+                names: names.into_iter().map(String::from).collect(),
+                predicates,
+                latest_group,
+                order_by,
+                limit,
+            },
+        )
+}
+
+/// The independent oracle for a full plan: `dataframe_full` (from-scratch
+/// re-pivot), then *post-hoc* filtering/dedup/order/limit written with
+/// different operators than the production post-pass uses.
+fn posthoc_oracle(flor: &Flor, plan: &QueryPlan) -> StoreResult<DataFrame> {
+    let names: Vec<&str> = plan.names.iter().map(String::as_str).collect();
+    let mut df = flor.dataframe_full(&names)?;
+    for p in &plan.predicates {
+        df = if df.column(&p.col).is_none() {
+            df.head(0)
+        } else {
+            df.filter(|r| p.matches(r.get(&p.col).expect("column checked")))
+        };
+    }
+    if let Some(group) = &plan.latest_group {
+        if df.n_rows() > 0 {
+            let gs: Vec<&str> = group.iter().map(String::as_str).collect();
+            df = df.latest(&gs, "tstamp")?;
+        }
+    }
+    if !plan.order_by.is_empty() {
+        let keys: Vec<(&str, bool)> = plan
+            .order_by
+            .iter()
+            .map(|(c, a)| (c.as_str(), *a))
+            .collect();
+        df = df.sort_by(&keys)?;
+    }
+    if let Some(n) = plan.limit {
+        df = df.head(n);
+    }
+    Ok(df)
+}
+
 const TRAIN_V1: &str = r#"
 let data = load_dataset("first_page", 30, 42);
 let net = make_model(5, 4, 2, 7);
@@ -163,6 +282,58 @@ proptest! {
             (Err(_), Err(_)) => {} // both reject the missing dimension
             (a, b) => prop_assert!(false, "divergent outcomes: {:?} vs {:?}", a, b),
         }
+    }
+
+    /// Random full plans (filter × latest × order × limit) over random
+    /// op interleavings: the lazy builder's incremental result is
+    /// cell-for-cell equal to post-hoc filtering of the from-scratch
+    /// `_full` oracle — and gets there by deltas, never a rebuild.
+    #[test]
+    fn random_plans_equal_posthoc_oracle(
+        ops in proptest::collection::vec(arb_op(), 0..40),
+        plans in proptest::collection::vec(arb_plan(), 1..4),
+    ) {
+        let flor = run_ops(&ops);
+        for plan in &plans {
+            match (flor.run_plan(plan), posthoc_oracle(&flor, plan)) {
+                (Ok(inc), Ok(oracle)) => prop_assert_eq!(
+                    (*inc).clone(),
+                    oracle,
+                    "lazy plan diverged from post-hoc oracle: {:?}",
+                    plan
+                ),
+                (Err(_), Err(_)) => {} // both reject (e.g. unknown sort/group column)
+                (a, b) => prop_assert!(
+                    false,
+                    "divergent outcomes for {:?}: {:?} vs {:?}",
+                    plan,
+                    a.map(|d| d.n_rows()),
+                    b.map(|d| d.n_rows())
+                ),
+            }
+        }
+        // Querying again after a live commit still applies deltas only.
+        // The commit logs inside a never-seen loop, so it also widens the
+        // schema of every already-materialized view — including filtered
+        // ones whose pushdown gate excludes the new row.
+        flor.loop_iter("tail", 0, &Value::Int(0));
+        flor.log("loss", Value::Float(0.125));
+        flor.loop_end();
+        flor.commit("tail").unwrap();
+        for plan in &plans {
+            match (flor.run_plan(plan), posthoc_oracle(&flor, plan)) {
+                (Ok(inc), Ok(oracle)) => prop_assert_eq!((*inc).clone(), oracle),
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(
+                    false,
+                    "post-commit divergence for {:?}: {:?} vs {:?}",
+                    plan,
+                    a.map(|d| d.n_rows()),
+                    b.map(|d| d.n_rows())
+                ),
+            }
+        }
+        prop_assert_eq!(flor.views.stats().fallback_rebuilds, 0);
     }
 
     /// Hindsight backfill interleaved with live logging: recovered values

@@ -45,7 +45,10 @@ fn main() {
             flor.log("recall", 0.65);
         });
         flor.commit(&format!("run {run}")).unwrap();
-        let view = flor.dataframe_view(&["loss", "acc", "recall"]).unwrap();
+        let view = flor
+            .query(&["loss", "acc", "recall"])
+            .collect_view()
+            .unwrap();
         println!("after run {run}: view has {} rows", view.n_rows());
     }
     println!(

@@ -15,25 +15,60 @@
 //! | [`diff`] | GumTree-style AST diff + statement propagation |
 //! | [`record`] | record/replay: checkpoints, planning, parallelism |
 //! | [`make`] | Make-lite build DAG (behavioral context) |
-//! | [`view`] | incremental materialized views over the context tables |
-//! | [`core`] | the Flor kernel: `log`/`arg`/`loop`/`commit`/`dataframe` |
+//! | [`view`] | incremental materialized views + the canonical query plan |
+//! | [`core`] | the Flor kernel: `log`/`arg`/`loop`/`commit`/`query` |
 //! | [`pipeline`] | the PDF Parser demo (paper §4) |
 //!
-//! ## Quickstart
+//! ## Querying the context
+//!
+//! Everything logged through the kernel is read back through **one lazy
+//! query builder**, [`core::Flor::query`]: project the log names you
+//! want, filter, deduplicate to the latest run per group, order, limit —
+//! then `collect`. The plan lowers through three layers: index-backed
+//! predicate pushdown in the store, an incrementally maintained
+//! materialized view (deltas, not re-pivots), and a cheap dataframe
+//! post-pass for whatever remains.
 //!
 //! ```
 //! use flordb::prelude::*;
 //!
 //! let flor = Flor::new("quickstart");
 //! flor.set_filename("train.fl");
-//! flor.for_each("epoch", 0..3, |flor, &e| {
-//!     flor.log("loss", 1.0 / (e + 1) as f64);
-//! });
-//! flor.commit("first run").unwrap();
+//! for run in 0..3i64 {
+//!     flor.for_each("epoch", 0..4, |flor, &e| {
+//!         let lr = flor.arg("lr", 0.01 * (run + 1) as f64);
+//!         flor.log("loss", 1.0 / (run + e + 1) as f64 * lr.as_f64().unwrap());
+//!     });
+//!     flor.commit("run").unwrap();
+//! }
 //!
-//! let df = flor.dataframe(&["loss"]).unwrap();
-//! assert_eq!(df.n_rows(), 3);
+//! // "Which epochs of the high-learning-rate runs lost the least?"
+//! let df = flor
+//!     .query(&["loss", "arg::lr"])
+//!     .filter("arg::lr", CmpOp::Gt, 0.015)
+//!     .order_by("loss", true)
+//!     .limit(5)
+//!     .collect()
+//!     .unwrap();
+//! assert_eq!(df.n_rows(), 5);
+//!
+//! // The legacy entrypoints are one-line wrappers over the same builder:
+//! let pivot = flor.dataframe(&["loss"]).unwrap();
+//! assert_eq!(pivot.n_rows(), 3 * 4);
+//!
+//! // And every lazy query equals its from-scratch oracle, cell for cell.
+//! let oracle = flor
+//!     .query(&["loss", "arg::lr"])
+//!     .filter("arg::lr", CmpOp::Gt, 0.015)
+//!     .order_by("loss", true)
+//!     .limit(5)
+//!     .collect_full()
+//!     .unwrap();
+//! assert_eq!(df, oracle);
 //! ```
+//!
+//! `latest`-style registry reads (paper Fig. 6) ride the same plan:
+//! `flor.query(&["acc"]).latest(&["document_value"]).collect()`.
 
 pub use flor_core as core;
 pub use flor_df as df;
@@ -49,12 +84,13 @@ pub use flor_view as view;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use flor_core::{backfill, run_script, Flor, RunOutcome};
+    pub use flor_core::{backfill, run_script, Flor, QueryBuilder, RunOutcome};
     pub use flor_df::{AggFn, DataFrame, JoinKind, Value};
     pub use flor_git::{Repository, VirtualFs};
     pub use flor_make::{parse_makefile, Makefile};
     pub use flor_pipeline::{run_demo, CorpusConfig, PdfPipeline};
     pub use flor_record::{CheckpointPolicy, RunRecord};
     pub use flor_script::{parse, to_source, Interpreter, NullRuntime};
-    pub use flor_view::{CatalogStats, ViewCatalog, ViewKey};
+    pub use flor_store::{CmpOp, Predicate};
+    pub use flor_view::{CatalogStats, QueryPlan, ViewCatalog, ViewKey};
 }

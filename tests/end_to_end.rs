@@ -58,6 +58,18 @@ fn multiversion_hindsight_round_trip() {
             "column {col} still has holes"
         );
     }
+
+    // Selective lazy queries see the backfilled values too, and the
+    // pushdown path equals the from-scratch oracle over them.
+    let query = || {
+        flor.query(&["loss", "acc", "recall"])
+            .filter("epoch_iteration", CmpOp::Ge, 2)
+            .order_by("recall", false)
+            .limit(4)
+    };
+    let top = query().collect().unwrap();
+    assert_eq!(top, query().collect_full().unwrap());
+    assert_eq!(top.n_rows(), 4);
 }
 
 /// Backfilled values must equal what foresight logging would have produced
@@ -93,6 +105,73 @@ fn hindsight_equals_foresight() {
             .collect()
     };
     assert_eq!(texts(&a), texts(&b));
+}
+
+/// The lazy query builder end to end: a filtered, deduped, ordered and
+/// limited read over live history matches the from-scratch oracle with
+/// post-hoc filtering, stays incremental across commits, and the legacy
+/// entrypoints are byte-identical wrappers over the same builder.
+#[test]
+fn lazy_query_round_trip() {
+    let flor = Flor::new("e2e");
+    flor.set_filename("train.fl");
+    for run in 0..5i64 {
+        flor.for_each("epoch", 0..4, |flor, &e| {
+            flor.log("loss", 1.0 / (run + e + 1) as f64);
+            flor.log("acc", 0.6 + 0.05 * run as f64 + 0.01 * e as f64);
+        });
+        flor.commit("run").unwrap();
+    }
+    let query = || {
+        flor.query(&["loss", "acc"])
+            .filter("tstamp", CmpOp::Ge, 2)
+            .filter("acc", CmpOp::Gt, 0.7)
+            .latest(&["epoch_value"])
+            .order_by("acc", false)
+            .limit(3)
+    };
+    let df = query().collect().unwrap();
+    assert_eq!(df, query().collect_full().unwrap());
+    assert_eq!(df.n_rows(), 3);
+    // Descending acc: the filtered max per epoch comes from the last run.
+    assert_eq!(df.get(0, "tstamp"), Some(&Value::Int(5)));
+
+    // New commits land as deltas in the maintained plan views.
+    let before = flor.views.stats();
+    flor.for_each("epoch", 0..4, |flor, &e| {
+        flor.log("loss", 0.01);
+        flor.log("acc", 0.9 + 0.01 * e as f64);
+    });
+    flor.commit("one more").unwrap();
+    let df = query().collect().unwrap();
+    assert_eq!(df, query().collect_full().unwrap());
+    assert_eq!(df.get(0, "tstamp"), Some(&Value::Int(6)));
+    let stats = flor.views.stats();
+    assert_eq!(stats.misses, before.misses, "refresh must be delta-applied");
+    assert_eq!(stats.fallback_rebuilds, 0);
+
+    // Legacy entrypoints: one-line wrappers over the builder, equal to
+    // their from-scratch oracles.
+    assert_eq!(
+        flor.dataframe(&["loss"]).unwrap(),
+        flor.query(&["loss"]).collect().unwrap()
+    );
+    assert_eq!(
+        flor.dataframe(&["loss"]).unwrap(),
+        flor.dataframe_full(&["loss"]).unwrap()
+    );
+    assert_eq!(
+        flor.dataframe_latest(&["acc"], &["epoch_value"]).unwrap(),
+        flor.query(&["acc"])
+            .latest(&["epoch_value"])
+            .collect()
+            .unwrap()
+    );
+    assert_eq!(
+        flor.dataframe_latest(&["acc"], &["epoch_value"]).unwrap(),
+        flor.dataframe_latest_full(&["acc"], &["epoch_value"])
+            .unwrap()
+    );
 }
 
 /// Durability: a WAL-backed FlorDB instance survives process restart with

@@ -2,7 +2,7 @@
 //! build environment).
 //!
 //! Implements the slice of proptest this workspace's property tests use:
-//! the [`Strategy`] trait with `prop_map`/`boxed`, range / tuple / regex /
+//! the [`Strategy`](strategy::Strategy) trait with `prop_map`/`boxed`, range / tuple / regex /
 //! collection strategies, weighted [`prop_oneof!`], and the [`proptest!`]
 //! test macro. Generation is deterministic (seeded per test case); there
 //! is **no shrinking** — a failing case panics with the generated inputs
@@ -53,7 +53,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](fn@vec).
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,
