@@ -13,14 +13,22 @@
 //! stored checkpoints, in parallel), and ingests the recovered values into
 //! the `logs` table *at the original run's timestamp* — so the next
 //! `flor.dataframe` call sees a complete history.
+//!
+//! Since the flor-jobs control plane landed, [`backfill`] is a thin
+//! submit-then-wait wrapper over [`Flor::submit_backfill`]: the work is
+//! decomposed into one unit per prior version (a pure compute phase and
+//! a staging phase the runner commits atomically), scheduled by priority
+//! across the kernel's worker pool, committed incrementally (live views
+//! refresh as each version completes), cancellable, and resumed from the
+//! `jobs` table after a crash. See [`crate::jobs`] for the kernel wiring.
 
 use crate::kernel::Flor;
 use crate::runtime::load_record;
 use flor_df::Value;
 use flor_diff::propagate_logs;
-use flor_record::{iterations_logging, replay, LogRecord};
-use flor_script::parse;
-use flor_store::StoreResult;
+use flor_record::{iterations_logging, replay_with, LogRecord, ReplayControl};
+use flor_script::{parse, Program};
+use flor_store::{Query, StoreResult};
 use std::collections::HashMap;
 
 /// What happened for one prior version during backfill.
@@ -56,131 +64,246 @@ pub struct BackfillReport {
 }
 
 /// All recorded runs of `filename`: `(tstamp, vid)`, oldest first.
+///
+/// Served by indexed store scans (the PR 2 query layer): the run tstamps
+/// come from the `logs` table via its `filename` index projected down to
+/// one column — not a full-width table scan — and each run is matched to
+/// its commit window by binary search over the sorted `ts2vid` spans.
 pub fn runs_of(flor: &Flor, filename: &str) -> StoreResult<Vec<(i64, String)>> {
-    let ts2vid = flor.db.scan("ts2vid")?;
-    // Distinct run tstamps come from the logs table.
-    let logs = flor.db.scan("logs")?;
-    let mut tstamps: Vec<i64> = logs
-        .filter_eq("filename", &Value::from(filename))
+    let ts = Query::table("logs")
+        .filter_eq("filename", filename)
+        .project(&["tstamp"])
+        .execute(&flor.db)?;
+    let mut tstamps: Vec<i64> = ts
         .column("tstamp")
         .map(|c| c.values.iter().filter_map(Value::as_i64).collect())
         .unwrap_or_default();
     tstamps.sort_unstable();
     tstamps.dedup();
+    if tstamps.is_empty() {
+        return Ok(Vec::new());
+    }
+    let windows = Query::table("ts2vid")
+        .project(&["ts_start", "ts_end", "vid"])
+        .order_by("ts_start", true)
+        .execute(&flor.db)?;
+    let spans: Vec<(i64, i64, String)> = windows
+        .rows()
+        .map(|r| {
+            (
+                r.get("ts_start")
+                    .and_then(Value::as_i64)
+                    .unwrap_or(i64::MAX),
+                r.get("ts_end").and_then(Value::as_i64).unwrap_or(i64::MIN),
+                r.get("vid").map(|v| v.to_text()).unwrap_or_default(),
+            )
+        })
+        .collect();
     let mut out = Vec::new();
     for t in tstamps {
-        // Find the commit window containing t.
-        let vid = ts2vid
-            .rows()
-            .find(|r| {
-                let s = r
-                    .get("ts_start")
-                    .and_then(Value::as_i64)
-                    .unwrap_or(i64::MAX);
-                let e = r.get("ts_end").and_then(Value::as_i64).unwrap_or(i64::MIN);
-                s <= t && t <= e
-            })
-            .and_then(|r| r.get("vid").map(|v| v.to_text()));
-        if let Some(vid) = vid {
-            out.push((t, vid));
+        // Last window opening at or before t; commit windows are disjoint.
+        let idx = spans.partition_point(|(s, _, _)| *s <= t);
+        if idx > 0 {
+            let (s, e, vid) = &spans[idx - 1];
+            if *s <= t && t <= *e {
+                out.push((t, vid.clone()));
+            }
         }
     }
     Ok(out)
+}
+
+/// The contents of `filename` at version `vid`: from the in-memory gitlite
+/// repository when it has the commit, else from the durable `git` table —
+/// the fallback that makes backfill *resumable*: a reopened kernel has an
+/// empty repository, but the `git` rows written at commit time survive.
+pub(crate) fn source_at(flor: &Flor, vid: &str, filename: &str) -> StoreResult<Option<String>> {
+    if let Ok(Some(src)) = flor.repo.file_at(&flor_git::Oid(vid.to_string()), filename) {
+        return Ok(Some(src));
+    }
+    let rows = flor.db.lookup("git", "vid", &Value::from(vid))?;
+    let found = rows
+        .rows()
+        .find(|r| r.get("filename").map(|v| v.to_text()).as_deref() == Some(filename))
+        .and_then(|r| r.get("contents").map(|v| v.to_text()));
+    Ok(found)
+}
+
+/// One backfill unit's full result: the human-facing [`VersionOutcome`]
+/// plus the recovered log records the staging phase writes and the
+/// full-reexecution iteration count the report aggregates. This is the
+/// per-unit outcome type the kernel's `JobRunner` carries.
+#[derive(Debug, Clone)]
+pub struct VersionResult {
+    /// The per-version outcome.
+    pub outcome: VersionOutcome,
+    /// Recovered log records (filtered to the requested names), pending
+    /// ingestion at the original run's timestamp.
+    pub new_logs: Vec<LogRecord>,
+    /// Iterations a naive full re-execution of this version would run
+    /// (0 when the version was skipped).
+    pub full_iterations: usize,
+}
+
+/// The unit-independent half of a backfill job: what every version of
+/// one request shares (the script, the requested names, the per-version
+/// replay parallelism, and the parsed new source).
+pub(crate) struct BackfillTask<'a> {
+    pub filename: &'a str,
+    pub names: &'a [String],
+    pub parallelism: usize,
+    pub new_prog: &'a Program,
+}
+
+/// The compute phase of one backfill unit: load the run's record, find
+/// the iterations lacking the requested names, propagate the new log
+/// statements into that version's source, and incrementally replay only
+/// what is needed. Pure with respect to the store — nothing is staged or
+/// committed — so any number of versions can compute concurrently while
+/// readers keep flowing; [`stage_version`] applies the results.
+pub(crate) fn compute_version(
+    flor: &Flor,
+    task: &BackfillTask<'_>,
+    tstamp: i64,
+    vid: &str,
+    ctl: &ReplayControl,
+) -> StoreResult<VersionResult> {
+    let BackfillTask {
+        filename,
+        names,
+        parallelism,
+        new_prog,
+    } = *task;
+    let mut result = VersionResult {
+        outcome: VersionOutcome {
+            tstamp,
+            vid: vid.to_string(),
+            injected: 0,
+            iterations_replayed: 0,
+            iterations_total: 0,
+            values_recovered: 0,
+            skipped: None,
+        },
+        new_logs: Vec::new(),
+        full_iterations: 0,
+    };
+    let outcome = &mut result.outcome;
+    let record = load_record(flor, filename, tstamp)?;
+    let Some((_, total)) = record.ckpt_loop.clone() else {
+        outcome.skipped = Some("run had no checkpoint loop".to_string());
+        return Ok(result);
+    };
+    outcome.iterations_total = total;
+    // Which iterations lack which names?
+    let mut needed: Vec<usize> = Vec::new();
+    for name in names {
+        let have = iterations_logging(&record.logs, name);
+        for i in 0..total {
+            if !have.contains(&i) {
+                needed.push(i);
+            }
+        }
+    }
+    needed.sort_unstable();
+    needed.dedup();
+    if needed.is_empty() {
+        outcome.skipped = Some("all requested values already logged".to_string());
+        return Ok(result);
+    }
+    result.full_iterations = total;
+    // The old source at that version (repo, or the durable git table).
+    let Some(old_source) = source_at(flor, vid, filename)? else {
+        outcome.skipped = Some("source missing at that version".to_string());
+        return Ok(result);
+    };
+    let Ok(old_prog) = parse(&old_source) else {
+        outcome.skipped = Some("old source failed to parse".to_string());
+        return Ok(result);
+    };
+    // (a) inject the new statements into the old version.
+    let prop = propagate_logs(&old_prog, new_prog);
+    outcome.injected = prop.injected.len();
+    // (b) incremental replay of only the needed iterations, with the
+    // job's cancellation token and progress counter threaded through.
+    match replay_with(&prop.patched, &record, &needed, parallelism, ctl) {
+        Ok(replayed) if replayed.cancelled => {
+            // Partial logs must not be ingested; the executor surfaces
+            // the cancellation from the control flag.
+        }
+        Ok(replayed) => {
+            outcome.iterations_replayed = replayed.iterations_executed;
+            result.new_logs = replayed
+                .new_logs
+                .into_iter()
+                .filter(|l| names.iter().any(|n| n == &l.name))
+                .collect();
+            outcome.values_recovered = result.new_logs.len();
+        }
+        Err(e) => {
+            outcome.skipped = Some(format!("replay failed: {e}"));
+        }
+    }
+    Ok(result)
+}
+
+/// The staging phase of one backfill unit: write the recovered values
+/// into `logs`/`loops` at the original run's timestamp. Inserts only —
+/// the job runner commits them atomically with the job's progress
+/// transition, which is what makes a crash between versions recoverable.
+pub(crate) fn stage_version(flor: &Flor, filename: &str, result: &VersionResult) {
+    let mut ingestor = Ingestor::new(flor, filename, result.outcome.tstamp);
+    for log in &result.new_logs {
+        ingestor.ingest(log);
+    }
+}
+
+/// Assemble the aggregate report from per-version results, oldest first
+/// (results arrive in completion order, which under multiple workers is
+/// not submission order).
+pub(crate) fn assemble_report(mut results: Vec<VersionResult>) -> BackfillReport {
+    results.sort_by_key(|r| r.outcome.tstamp);
+    let mut report = BackfillReport::default();
+    for r in results {
+        report.values_recovered += r.outcome.values_recovered;
+        report.iterations_replayed += r.outcome.iterations_replayed;
+        report.iterations_full += r.full_iterations;
+        report.versions.push(r.outcome);
+    }
+    report
 }
 
 /// Backfill `names` for every prior run of `filename`, using the *current
 /// working-tree* source as the version carrying the new log statements.
 ///
 /// `parallelism` caps replay worker threads per version.
+///
+/// Since flor-jobs, this is submit-then-wait over the kernel's background
+/// scheduler ([`Flor::submit_backfill_with`]): identical results, but the
+/// work is durable (resumed after a crash), prioritized, and ingested
+/// per-version — a concurrent reader sees values land incrementally
+/// rather than all at once. Callers who want the asynchronous form use
+/// [`Flor::submit_backfill`] directly.
 pub fn backfill(
     flor: &Flor,
     filename: &str,
     names: &[&str],
     parallelism: usize,
 ) -> StoreResult<BackfillReport> {
-    let mut report = BackfillReport::default();
-    let Some(new_source) = flor.fs.read(filename) else {
-        return Ok(report);
-    };
-    let Ok(new_prog) = parse(&new_source) else {
-        return Ok(report);
-    };
-    for (tstamp, vid) in runs_of(flor, filename)? {
-        let mut outcome = VersionOutcome {
-            tstamp,
-            vid: vid.clone(),
-            injected: 0,
-            iterations_replayed: 0,
-            iterations_total: 0,
-            values_recovered: 0,
-            skipped: None,
-        };
-        let record = load_record(flor, filename, tstamp)?;
-        let Some((_, total)) = record.ckpt_loop.clone() else {
-            outcome.skipped = Some("run had no checkpoint loop".to_string());
-            report.versions.push(outcome);
-            continue;
-        };
-        outcome.iterations_total = total;
-        // Which iterations lack which names?
-        let mut needed: Vec<usize> = Vec::new();
-        for name in names {
-            let have = iterations_logging(&record.logs, name);
-            for i in 0..total {
-                if !have.contains(&i) {
-                    needed.push(i);
-                }
-            }
+    let handle = flor.submit_backfill_with(filename, names, 0, parallelism)?;
+    let report = handle.wait();
+    if handle.state() == flor_jobs::JobState::Failed {
+        let detail = handle.detail();
+        // Legacy contract: a missing or unparseable new script yields an
+        // empty report, not an error...
+        if detail.starts_with("script missing") || detail.starts_with("new source failed to parse")
+        {
+            return Ok(report);
         }
-        needed.sort_unstable();
-        needed.dedup();
-        if needed.is_empty() {
-            outcome.skipped = Some("all requested values already logged".to_string());
-            report.versions.push(outcome);
-            continue;
-        }
-        report.iterations_full += total;
-        // The old source at that version.
-        let old_source = flor
-            .repo
-            .file_at(&flor_git::Oid(vid.clone()), filename)
-            .ok()
-            .flatten();
-        let Some(old_source) = old_source else {
-            outcome.skipped = Some("source missing at that version".to_string());
-            report.versions.push(outcome);
-            continue;
-        };
-        let Ok(old_prog) = parse(&old_source) else {
-            outcome.skipped = Some("old source failed to parse".to_string());
-            report.versions.push(outcome);
-            continue;
-        };
-        // (a) inject the new statements into the old version.
-        let prop = propagate_logs(&old_prog, &new_prog);
-        outcome.injected = prop.injected.len();
-        // (b) incremental replay of only the needed iterations.
-        match replay(&prop.patched, &record, &needed, parallelism) {
-            Ok(replayed) => {
-                outcome.iterations_replayed = replayed.iterations_executed;
-                // Ingest recovered values at the original timestamp.
-                let mut ingestor = Ingestor::new(flor, filename, tstamp);
-                for log in &replayed.new_logs {
-                    if names.contains(&log.name.as_str()) {
-                        ingestor.ingest(log);
-                        outcome.values_recovered += 1;
-                    }
-                }
-            }
-            Err(e) => {
-                outcome.skipped = Some(format!("replay failed: {e}"));
-            }
-        }
-        report.values_recovered += outcome.values_recovered;
-        report.iterations_replayed += outcome.iterations_replayed;
-        report.versions.push(outcome);
+        // ...but store/replay failures propagate, as they always did.
+        return Err(flor_store::StoreError::Invalid(format!(
+            "backfill failed: {detail}"
+        )));
     }
-    flor.db.commit()?;
     Ok(report)
 }
 

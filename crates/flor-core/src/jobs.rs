@@ -1,0 +1,463 @@
+//! Kernel wiring for the flor-jobs control plane: hindsight backfill as
+//! durable, prioritized, cancellable background work.
+//!
+//! [`Flor::submit_backfill`] decomposes one backfill request into
+//! per-version replay units executed by the kernel's shared
+//! [`JobRunner`]: each unit computes off-thread (incremental replay with
+//! the job's cancellation token and progress counter threaded into
+//! `flor_record::replay_with`), then stages its recovered values and
+//! commits them atomically with a progress transition in the `jobs`
+//! table. Queries keep flowing while the job runs, and live materialized
+//! views pick the recovered values up through the change feed as each
+//! version completes. On [`Flor::open`], incomplete jobs found in the
+//! `jobs` table are resumed from their persisted `done_keys` cursor.
+//!
+//! ```
+//! use flor_core::Flor;
+//! use flor_record::CheckpointPolicy;
+//!
+//! let v1 = r#"
+//! let net = make_model(5, 4, 2, 7);
+//! with flor.checkpointing(net) {
+//!     for e in flor.loop("epoch", range(0, 3)) {
+//!         flor.log("loss", e);
+//!     }
+//! }
+//! "#;
+//! let v2 = r#"
+//! let net = make_model(5, 4, 2, 7);
+//! with flor.checkpointing(net) {
+//!     for e in flor.loop("epoch", range(0, 3)) {
+//!         flor.log("loss", e);
+//!         flor.log("double", e * 2);
+//!     }
+//! }
+//! "#;
+//! let flor = Flor::new("demo");
+//! flor.fs.write("t.fl", v1);
+//! flor_core::run_script(&flor, "t.fl", CheckpointPolicy::EveryK(1)).unwrap();
+//! flor.fs.write("t.fl", v2);
+//! let handle = flor.submit_backfill("t.fl", &["double"]).unwrap();
+//! let report = handle.wait();
+//! assert_eq!(report.values_recovered, 3);
+//! assert_eq!(flor.job_stats().unwrap().done, 1);
+//! ```
+
+use crate::hindsight::{assemble_report, compute_version, runs_of, stage_version, BackfillTask};
+use crate::hindsight::{BackfillReport, VersionOutcome, VersionResult};
+use crate::kernel::Flor;
+use flor_jobs::{
+    recover_records, JobControl, JobExecutor, JobHandle, JobId, JobProgress, JobRecord, JobRunner,
+    JobSpec, JobState, JobStats, UnitSpec,
+};
+use flor_record::ReplayControl;
+use flor_script::parse;
+use flor_store::StoreResult;
+use std::sync::Arc;
+
+/// Replay worker threads per version when submitting via the plain
+/// [`Flor::submit_backfill`].
+pub const DEFAULT_REPLAY_PARALLELISM: usize = 2;
+
+/// The `jobs.kind` tag for backfill jobs.
+pub const BACKFILL_KIND: &str = "backfill";
+
+/// The persisted description of one backfill job. Carries the *submit
+/// time* working-tree source so a resumed job replays exactly what was
+/// requested, even if the working tree has moved on (or, after a process
+/// restart, is empty).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BackfillPayload {
+    pub filename: String,
+    pub names: Vec<String>,
+    pub parallelism: usize,
+    pub source: String,
+}
+
+/// Field separator for the payload encoding: the ASCII unit separator,
+/// which cannot appear in florscript source or log names.
+const SEP: char = '\u{1f}';
+
+impl BackfillPayload {
+    pub fn encode(&self) -> String {
+        format!(
+            "{}{SEP}{}{SEP}{}{SEP}{}",
+            self.filename,
+            self.names.join(","),
+            self.parallelism,
+            self.source
+        )
+    }
+
+    pub fn decode(payload: &str) -> Result<BackfillPayload, String> {
+        let mut parts = payload.splitn(4, SEP);
+        let (Some(filename), Some(names), Some(par), Some(source)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err("malformed backfill payload".to_string());
+        };
+        Ok(BackfillPayload {
+            filename: filename.to_string(),
+            names: names
+                .split(',')
+                .filter(|n| !n.is_empty())
+                .map(str::to_string)
+                .collect(),
+            parallelism: par.parse().map_err(|_| "bad parallelism".to_string())?,
+            source: source.to_string(),
+        })
+    }
+}
+
+/// The [`JobExecutor`] for hindsight backfill: plans one unit per prior
+/// run of the script, computes each unit by incremental replay, and
+/// stages recovered values for the runner's atomic per-unit commit.
+struct BackfillExecutor {
+    flor: Flor,
+}
+
+impl JobExecutor<VersionResult> for BackfillExecutor {
+    fn plan(&self, spec: &JobSpec) -> Result<Vec<UnitSpec>, String> {
+        let payload = BackfillPayload::decode(&spec.payload)?;
+        if payload.source.is_empty() {
+            return Err(format!(
+                "script missing from working tree: {}",
+                payload.filename
+            ));
+        }
+        parse(&payload.source).map_err(|e| format!("new source failed to parse: {e}"))?;
+        let runs = runs_of(&self.flor, &payload.filename).map_err(|e| e.to_string())?;
+        Ok(runs
+            .into_iter()
+            .map(|(tstamp, vid)| UnitSpec {
+                key: tstamp,
+                label: vid,
+            })
+            .collect())
+    }
+
+    fn run_unit(
+        &self,
+        spec: &JobSpec,
+        unit: &UnitSpec,
+        ctl: &JobControl,
+    ) -> Result<VersionResult, String> {
+        let payload = BackfillPayload::decode(&spec.payload)?;
+        let new_prog =
+            parse(&payload.source).map_err(|e| format!("new source failed to parse: {e}"))?;
+        // Share the job's cancellation flag and progress counter with the
+        // replay workers: cancelling the job halts every version at its
+        // next iteration boundary, and JobHandle::progress ticks live.
+        let replay_ctl = ReplayControl::shared(ctl.cancel_flag(), ctl.tick_counter());
+        let task = BackfillTask {
+            filename: &payload.filename,
+            names: &payload.names,
+            parallelism: payload.parallelism.max(1),
+            new_prog: &new_prog,
+        };
+        let result = compute_version(&self.flor, &task, unit.key, &unit.label, &replay_ctl)
+            .map_err(|e| e.to_string())?;
+        if ctl.is_cancelled() {
+            return Err("cancelled".to_string());
+        }
+        Ok(result)
+    }
+
+    fn stage_unit(
+        &self,
+        spec: &JobSpec,
+        _unit: &UnitSpec,
+        outcome: &VersionResult,
+    ) -> Result<(), String> {
+        let payload = BackfillPayload::decode(&spec.payload)?;
+        stage_version(&self.flor, &payload.filename, outcome);
+        Ok(())
+    }
+}
+
+/// A handle on one background backfill job: status, live progress,
+/// per-version outcomes streaming in as versions complete, a blocking
+/// `wait`, and durable cancellation. Cloneable.
+#[derive(Clone)]
+pub struct BackfillHandle {
+    inner: JobHandle<VersionResult>,
+}
+
+impl BackfillHandle {
+    /// The job's durable id (its key in the `jobs` table).
+    pub fn job_id(&self) -> JobId {
+        self.inner.job_id()
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> JobState {
+        self.inner.state()
+    }
+
+    /// Progress snapshot: versions done / total, plus live replayed
+    /// iteration count (`ticks`) even mid-version.
+    pub fn progress(&self) -> JobProgress {
+        self.inner.progress()
+    }
+
+    /// Per-version outcomes completed so far, oldest run first — the
+    /// incremental view of what [`BackfillReport::versions`] will hold.
+    pub fn outcomes(&self) -> Vec<VersionOutcome> {
+        let mut out: Vec<VersionOutcome> = self
+            .inner
+            .outcomes()
+            .into_iter()
+            .map(|r| r.outcome)
+            .collect();
+        out.sort_by_key(|o| o.tstamp);
+        out
+    }
+
+    /// Request cancellation: pending versions are dropped, the running
+    /// replay halts at its next iteration boundary, and the cancellation
+    /// is persisted (a restart will not revive the job).
+    pub fn cancel(&self) {
+        self.inner.cancel();
+    }
+
+    /// Block until the job is terminal, then assemble the aggregate
+    /// report (empty if planning failed — e.g. the script is missing).
+    pub fn wait(&self) -> BackfillReport {
+        let report = self.inner.wait();
+        assemble_report(report.outcomes)
+    }
+
+    /// Failure detail, if the job failed.
+    pub fn detail(&self) -> String {
+        self.inner.detail()
+    }
+}
+
+impl Flor {
+    /// Submit a background backfill of `names` over every prior run of
+    /// `filename` (default priority and replay parallelism). Returns
+    /// immediately; query through [`BackfillHandle`].
+    ///
+    /// Concurrency contract: readers (`Flor::query` and friends) are
+    /// never blocked and always see committed state. *Writes*, however,
+    /// share the store's single logical write transaction — each
+    /// completed version commits it, flushing any rows another thread
+    /// has staged but not yet committed. Keep foreground `flor.log` /
+    /// `flor.commit` sequences on one thread (the paper's one-driver
+    /// model) or commit them before submitting background work.
+    pub fn submit_backfill(&self, filename: &str, names: &[&str]) -> StoreResult<BackfillHandle> {
+        self.submit_backfill_with(filename, names, 0, DEFAULT_REPLAY_PARALLELISM)
+    }
+
+    /// [`Flor::submit_backfill`] with an explicit scheduling `priority`
+    /// (higher runs first) and per-version replay `parallelism`.
+    pub fn submit_backfill_with(
+        &self,
+        filename: &str,
+        names: &[&str],
+        priority: i64,
+        parallelism: usize,
+    ) -> StoreResult<BackfillHandle> {
+        let payload = BackfillPayload {
+            filename: filename.to_string(),
+            names: names.iter().map(|s| s.to_string()).collect(),
+            parallelism,
+            source: self.fs.read(filename).unwrap_or_default(),
+        };
+        let spec = JobSpec {
+            kind: BACKFILL_KIND.to_string(),
+            priority,
+            payload: payload.encode(),
+        };
+        let executor = Arc::new(BackfillExecutor { flor: self.clone() });
+        let inner = self.runner.submit(spec, executor)?;
+        Ok(BackfillHandle { inner })
+    }
+
+    /// Resume every incomplete job found in the `jobs` table from its
+    /// last completed version. Called automatically by [`Flor::open`];
+    /// public so embedders constructing kernels differently can opt in.
+    pub fn resume_jobs(&self) -> StoreResult<Vec<BackfillHandle>> {
+        let mut out = Vec::new();
+        for rec in recover_records(&self.db)? {
+            if rec.state.is_terminal() || rec.kind != BACKFILL_KIND {
+                continue;
+            }
+            if self.runner.handle(rec.job_id).is_some() {
+                continue; // already live in this process
+            }
+            let executor = Arc::new(BackfillExecutor { flor: self.clone() });
+            let inner = self.runner.resume(&rec, executor)?;
+            out.push(BackfillHandle { inner });
+        }
+        Ok(out)
+    }
+
+    /// Every job's latest durable state, ordered by job id — served from
+    /// the incrementally maintained [`flor_jobs::JobBoard`].
+    pub fn jobs(&self) -> StoreResult<Vec<JobRecord>> {
+        self.board.list()
+    }
+
+    /// Job counts by state (queued/running/done/failed/cancelled).
+    pub fn job_stats(&self) -> StoreResult<JobStats> {
+        self.board.stats()
+    }
+
+    /// The kernel's shared background-job runner (worker-pool sizing,
+    /// idle waits, crash instrumentation for tests and benches).
+    pub fn job_runner(&self) -> &JobRunner<VersionResult> {
+        &self.runner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run_script;
+    use flor_record::CheckpointPolicy;
+
+    const V1: &str = r#"
+let data = load_dataset("first_page", 60, 42);
+let net = make_model(5, 4, 2, 7);
+with flor.checkpointing(net) {
+    for e in flor.loop("epoch", range(0, 4)) {
+        let loss = train_step(net, data, 0.5);
+        flor.log("loss", loss);
+    }
+}
+"#;
+
+    const V2: &str = r#"
+let data = load_dataset("first_page", 60, 42);
+let net = make_model(5, 4, 2, 7);
+with flor.checkpointing(net) {
+    for e in flor.loop("epoch", range(0, 4)) {
+        let loss = train_step(net, data, 0.5);
+        flor.log("loss", loss);
+        let m = eval_model(net, data);
+        flor.log("acc", m[0]);
+    }
+}
+"#;
+
+    fn seeded(versions: usize) -> Flor {
+        let flor = Flor::new("jobs");
+        flor.fs.write("train.fl", V1);
+        for _ in 0..versions {
+            run_script(&flor, "train.fl", CheckpointPolicy::EveryK(1)).unwrap();
+        }
+        flor.fs.write("train.fl", V2);
+        flor
+    }
+
+    #[test]
+    fn payload_round_trips() {
+        let p = BackfillPayload {
+            filename: "train.fl".into(),
+            names: vec!["acc".into(), "recall".into()],
+            parallelism: 3,
+            source: "let x = 1;\nflor.log(\"x\", x);".into(),
+        };
+        assert_eq!(BackfillPayload::decode(&p.encode()), Ok(p));
+        assert!(BackfillPayload::decode("nonsense").is_err());
+    }
+
+    #[test]
+    fn submitted_backfill_reports_incrementally_and_lands_in_views() {
+        let flor = seeded(3);
+        // Materialize the view while the history has no acc values yet.
+        let before = flor.dataframe(&["loss", "acc"]).unwrap();
+        assert!(before.column("acc").is_none(), "no acc logged yet");
+        assert_eq!(before.n_rows(), 12);
+        let handle = flor.submit_backfill("train.fl", &["acc"]).unwrap();
+        let report = handle.wait();
+        assert_eq!(report.versions.len(), 3);
+        assert_eq!(report.values_recovered, 12);
+        // Outcomes stream on the handle too, oldest run first.
+        let outcomes = handle.outcomes();
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes.windows(2).all(|w| w[0].tstamp < w[1].tstamp));
+        assert!(handle.progress().ticks >= 12, "live iteration counter");
+        // The recovered values flowed into the live view via the feed.
+        let after = flor.dataframe(&["loss", "acc"]).unwrap();
+        assert_eq!(
+            after
+                .column("acc")
+                .unwrap()
+                .values
+                .iter()
+                .filter(|v| v.is_null())
+                .count(),
+            0
+        );
+        assert_eq!(after, flor.dataframe_full(&["loss", "acc"]).unwrap());
+        // Durable observability.
+        assert_eq!(flor.job_stats().unwrap().done, 1);
+        assert_eq!(flor.jobs().unwrap()[0].state, JobState::Done);
+        assert_eq!(flor.jobs().unwrap()[0].units_done, 3);
+    }
+
+    #[test]
+    fn cancelled_backfill_stops_and_persists() {
+        // A heavier script so cancellation lands mid-run deterministically.
+        let slow_v1 = V1.replace("range(0, 4)", "range(0, 12)");
+        let slow_v2 = V2.replace("range(0, 4)", "range(0, 12)");
+        let flor = Flor::new("jobs");
+        flor.fs.write("train.fl", &slow_v1);
+        for _ in 0..6 {
+            run_script(&flor, "train.fl", CheckpointPolicy::EveryK(1)).unwrap();
+        }
+        flor.fs.write("train.fl", &slow_v2);
+        flor.job_runner().set_workers(1);
+        let handle = flor
+            .submit_backfill_with("train.fl", &["acc"], 0, 1)
+            .unwrap();
+        // Wait for the replay to actually start, then cancel mid-flight.
+        while handle.progress().ticks == 0 && !handle.state().is_terminal() {
+            std::thread::yield_now();
+        }
+        handle.cancel();
+        let report = handle.wait();
+        assert_eq!(handle.state(), JobState::Cancelled);
+        assert!(report.versions.len() < 6, "not all versions ran");
+        flor.job_runner().wait_idle();
+        assert_eq!(flor.job_stats().unwrap().cancelled, 1);
+        // Whatever did land kept the view consistent with the oracle.
+        assert_eq!(
+            flor.dataframe(&["loss", "acc"]).unwrap(),
+            flor.dataframe_full(&["loss", "acc"]).unwrap()
+        );
+    }
+
+    #[test]
+    fn missing_script_is_a_failed_job_and_empty_sync_report() {
+        let flor = Flor::new("jobs");
+        let handle = flor.submit_backfill("ghost.fl", &["acc"]).unwrap();
+        let report = handle.wait();
+        assert_eq!(handle.state(), JobState::Failed);
+        assert!(handle.detail().contains("missing"));
+        assert!(report.versions.is_empty());
+        // The legacy sync API keeps its old contract: empty report.
+        let report = crate::hindsight::backfill(&flor, "ghost.fl", &["acc"], 1).unwrap();
+        assert!(report.versions.is_empty());
+        assert_eq!(flor.job_stats().unwrap().failed, 2);
+    }
+
+    #[test]
+    fn priorities_order_queued_jobs() {
+        let flor = seeded(2);
+        // One worker: the higher-priority job's versions run first once
+        // the queue has both.
+        flor.job_runner().set_workers(1);
+        let low = flor
+            .submit_backfill_with("train.fl", &["acc"], 0, 1)
+            .unwrap();
+        let high = flor
+            .submit_backfill_with("train.fl", &["recall"], 5, 1)
+            .unwrap();
+        low.wait();
+        high.wait();
+        assert_eq!(flor.job_stats().unwrap().done, 2);
+    }
+}

@@ -6,8 +6,10 @@
 //! `projid`, logical `tstamp`, executing `filename`, and the nested
 //! loop-context (`ctx_id`) stack.
 
+use crate::hindsight::VersionResult;
 use flor_df::{DataFrame, DataType, Value};
 use flor_git::{Oid, Repository, VirtualFs};
+use flor_jobs::{JobBoard, JobRunner};
 use flor_store::{flor_schema, Database, StoreError, StoreResult};
 use flor_view::ViewCatalog;
 use parking_lot::Mutex;
@@ -22,6 +24,11 @@ pub const BLOB_SPILL_BYTES: usize = 4096;
 /// How many materialized views a kernel's catalog keeps before LRU
 /// eviction kicks in.
 pub const VIEW_CACHE_CAPACITY: usize = 8;
+
+/// Default background-job worker-pool size (per-version backfill units
+/// executing concurrently); tune with `JobRunner::set_workers` via
+/// [`Flor::job_runner`] or open with [`Flor::open_with_workers`].
+pub const DEFAULT_JOB_WORKERS: usize = 2;
 
 /// Kernel session state.
 #[derive(Debug)]
@@ -56,20 +63,39 @@ pub struct Flor {
     /// [`Flor::dataframe`] serves from here, applying change-feed deltas
     /// instead of re-pivoting history on every call.
     pub views: ViewCatalog,
+    /// The background-job control plane (see [`flor_jobs`]):
+    /// [`Flor::submit_backfill`] schedules per-version replay units here.
+    pub(crate) runner: JobRunner<VersionResult>,
+    /// Incrementally maintained `jobs`-table listing behind
+    /// [`Flor::jobs`] / [`Flor::job_stats`].
+    pub(crate) board: JobBoard,
     pub(crate) state: Arc<Mutex<KernelState>>,
 }
 
 impl Flor {
     /// In-memory FlorDB for project `projid`.
     pub fn new(projid: &str) -> Flor {
-        Flor::with_db(projid, Database::in_memory(flor_schema()))
+        Flor::with_db(
+            projid,
+            Database::in_memory(flor_schema()),
+            DEFAULT_JOB_WORKERS,
+        )
     }
 
-    /// Durable FlorDB backed by a WAL file.
+    /// Durable FlorDB backed by a WAL file. Incomplete background jobs
+    /// found in the `jobs` table are resumed from their last completed
+    /// version (see [`Flor::resume_jobs`]).
     pub fn open(projid: &str, wal_path: &Path) -> StoreResult<Flor> {
+        Flor::open_with_workers(projid, wal_path, DEFAULT_JOB_WORKERS)
+    }
+
+    /// [`Flor::open`] with an explicit background-job worker-pool size
+    /// (1 makes job scheduling fully deterministic — what the
+    /// crash-recovery tests use).
+    pub fn open_with_workers(projid: &str, wal_path: &Path, workers: usize) -> StoreResult<Flor> {
         let db = Database::open(wal_path, flor_schema())?;
+        let flor = Flor::with_db(projid, db, workers);
         // Resume the logical clock past anything recorded.
-        let flor = Flor::with_db(projid, db);
         let max_ts = flor
             .db
             .scan("logs")
@@ -79,17 +105,33 @@ impl Flor {
                     .map(|c| c.values.iter().filter_map(Value::as_i64).max().unwrap_or(0))
             })
             .unwrap_or(0);
+        // And the ctx-id allocator past every recorded loop context, so
+        // post-reopen logging (and hindsight ingestion) mints fresh ids
+        // instead of colliding with history.
+        let max_ctx = flor
+            .db
+            .scan("loops")
+            .ok()
+            .and_then(|df| {
+                df.column("ctx_id")
+                    .map(|c| c.values.iter().filter_map(Value::as_i64).max().unwrap_or(0))
+            })
+            .unwrap_or(0);
         {
             let mut st = flor.state.lock();
             st.tstamp = max_ts + 1;
             st.ts_start = max_ts + 1;
+            st.next_ctx = max_ctx + 1;
         }
+        flor.resume_jobs()?;
         Ok(flor)
     }
 
-    fn with_db(projid: &str, db: Database) -> Flor {
+    fn with_db(projid: &str, db: Database, workers: usize) -> Flor {
         Flor {
             views: ViewCatalog::new(db.clone(), VIEW_CACHE_CAPACITY),
+            runner: JobRunner::new(db.clone(), workers),
+            board: JobBoard::new(db.clone()),
             db,
             repo: Repository::new(),
             fs: VirtualFs::new(),

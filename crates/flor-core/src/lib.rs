@@ -16,7 +16,12 @@
 //! * [`backfill`] — multiversion hindsight logging: propagate new log
 //!   statements into prior versions and incrementally replay only what is
 //!   needed, filling the dataframe's holes with values bit-identical to
-//!   what foresight logging would have produced.
+//!   what foresight logging would have produced;
+//! * [`Flor::submit_backfill`] — the same work as a durable background
+//!   job ([`flor_jobs`]): prioritized per-version units, results landing
+//!   incrementally in live views, cancellation, live progress on a
+//!   [`BackfillHandle`], and crash-resume on [`Flor::open`] (the
+//!   synchronous [`backfill`] is submit-then-wait over this).
 //!
 //! ```
 //! use flor_core::Flor;
@@ -32,11 +37,13 @@
 #![warn(missing_docs)]
 
 pub mod hindsight;
+pub mod jobs;
 pub mod kernel;
 pub mod query;
 pub mod runtime;
 
-pub use hindsight::{backfill, runs_of, BackfillReport, VersionOutcome};
-pub use kernel::{Flor, BLOB_SPILL_BYTES};
+pub use hindsight::{backfill, runs_of, BackfillReport, VersionOutcome, VersionResult};
+pub use jobs::{BackfillHandle, DEFAULT_REPLAY_PARALLELISM};
+pub use kernel::{Flor, BLOB_SPILL_BYTES, DEFAULT_JOB_WORKERS};
 pub use query::QueryBuilder;
 pub use runtime::{load_record, persist_record, run_script, RunError, RunOutcome, ScriptRuntime};

@@ -25,6 +25,6 @@ pub mod replay;
 
 pub use record::{record, CheckpointPolicy, LogRecord, Recorder, RunRecord};
 pub use replay::{
-    iterations_logging, merge_logs, plan_replay, replay, IterAction, ReplayOutcome, ReplayPlan,
-    Replayer,
+    iterations_logging, merge_logs, plan_replay, replay, replay_with, IterAction, ReplayControl,
+    ReplayOutcome, ReplayPlan, Replayer,
 };

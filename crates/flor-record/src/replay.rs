@@ -17,6 +17,57 @@ use flor_script::{
     Directive, ExecStats, FlorRuntime, Interpreter, LoopFrame, Program, RtResult, RtValue,
 };
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Shared cancellation + progress channel threaded through a replay.
+///
+/// Cloning shares the same flags, so a background scheduler (flor-jobs)
+/// can hold one half while the replay workers hold the other: `cancel`
+/// makes every worker halt at its next checkpoint-loop boundary, and
+/// `iterations_executed` ticks up live as iterations run — the per-unit
+/// progress a `JobHandle` reports mid-flight.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayControl {
+    cancelled: Arc<AtomicBool>,
+    iterations: Arc<AtomicUsize>,
+}
+
+impl ReplayControl {
+    /// Fresh control: not cancelled, zero progress.
+    pub fn new() -> ReplayControl {
+        ReplayControl::default()
+    }
+
+    /// A control sharing an external cancellation flag and progress
+    /// counter (the job scheduler's), so cancelling the job cancels the
+    /// replay and replayed iterations tick the job's progress.
+    pub fn shared(cancelled: Arc<AtomicBool>, iterations: Arc<AtomicUsize>) -> ReplayControl {
+        ReplayControl {
+            cancelled,
+            iterations,
+        }
+    }
+
+    /// Request cancellation: workers stop at the next iteration boundary.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Iterations executed so far across all workers (live counter).
+    pub fn iterations_executed(&self) -> usize {
+        self.iterations.load(Ordering::SeqCst)
+    }
+
+    fn tick(&self) {
+        self.iterations.fetch_add(1, Ordering::SeqCst);
+    }
+}
 
 /// Planned action for one checkpoint-loop iteration.
 #[derive(Debug, Clone, PartialEq)]
@@ -137,16 +188,28 @@ pub struct Replayer<'a> {
     /// Logs captured during replay.
     pub logs: Vec<LogRecord>,
     ckpt_loop_name: Option<String>,
+    control: ReplayControl,
 }
 
 impl<'a> Replayer<'a> {
     /// Build a replayer for a plan over a prior record.
     pub fn new(plan: &'a ReplayPlan, record: &'a RunRecord) -> Replayer<'a> {
+        Replayer::with_control(plan, record, ReplayControl::new())
+    }
+
+    /// [`Replayer::new`] with a shared [`ReplayControl`] for cancellation
+    /// and live progress reporting.
+    pub fn with_control(
+        plan: &'a ReplayPlan,
+        record: &'a RunRecord,
+        control: ReplayControl,
+    ) -> Replayer<'a> {
         Replayer {
             plan,
             record,
             logs: Vec::new(),
             ckpt_loop_name: record.ckpt_loop.as_ref().map(|(n, _)| n.clone()),
+            control,
         }
     }
 }
@@ -173,10 +236,19 @@ impl FlorRuntime for Replayer<'_> {
         if self.ckpt_loop_name.as_deref() != Some(loop_name) {
             return Directive::Run;
         }
+        // Cooperative cancellation: a cancelled replay halts at the next
+        // iteration boundary instead of finishing the plan.
+        if self.control.is_cancelled() {
+            return Directive::Stop;
+        }
         match self.plan.actions.get(iteration) {
             Some(IterAction::Skip) | None => Directive::Skip,
-            Some(IterAction::Run) => Directive::Run,
+            Some(IterAction::Run) => {
+                self.control.tick();
+                Directive::Run
+            }
             Some(IterAction::RestoreThenRun { ckpt }) => {
+                self.control.tick();
                 match self.record.checkpoints.get(ckpt) {
                     Some(snap) => Directive::Restore(snap.clone()),
                     None => Directive::Run, // defensive: plan referenced a missing ckpt
@@ -224,6 +296,9 @@ pub struct ReplayOutcome {
     /// worker. On a machine with ≥ `workers` cores, wall-clock tracks this
     /// rather than the summed stats — the parallel-replay speedup metric.
     pub critical_path_work: u64,
+    /// Whether the replay was cut short by a [`ReplayControl`] cancel.
+    /// A cancelled outcome's logs are partial and must not be ingested.
+    pub cancelled: bool,
 }
 
 /// Replay `needed` iterations of `prog` (typically a patched prior
@@ -238,6 +313,21 @@ pub fn replay(
     needed: &[usize],
     parallelism: usize,
 ) -> RtResult<ReplayOutcome> {
+    replay_with(prog, record, needed, parallelism, &ReplayControl::new())
+}
+
+/// [`replay`] with a shared [`ReplayControl`]: the caller can cancel the
+/// replay mid-flight (workers halt at the next iteration boundary and the
+/// outcome comes back with `cancelled = true`) and read live progress via
+/// [`ReplayControl::iterations_executed`] — the hooks the flor-jobs
+/// background scheduler threads through every unit of backfill work.
+pub fn replay_with(
+    prog: &Program,
+    record: &RunRecord,
+    needed: &[usize],
+    parallelism: usize,
+    control: &ReplayControl,
+) -> RtResult<ReplayOutcome> {
     let total = record.ckpt_loop.as_ref().map(|(_, n)| *n).unwrap_or(0);
     let mut needed: Vec<usize> = needed.iter().copied().filter(|&i| i < total).collect();
     needed.sort_unstable();
@@ -250,13 +340,13 @@ pub fn replay(
     let results: Vec<RtResult<(Vec<LogRecord>, ExecStats, usize)>> = if parts.len() <= 1 {
         parts
             .iter()
-            .map(|part| run_worker(prog, record, part, total))
+            .map(|part| run_worker(prog, record, part, total, control))
             .collect()
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = parts
                 .iter()
-                .map(|part| scope.spawn(move || run_worker(prog, record, part, total)))
+                .map(|part| scope.spawn(move || run_worker(prog, record, part, total, control)))
                 .collect();
             handles
                 .into_iter()
@@ -267,6 +357,7 @@ pub fn replay(
 
     let mut outcome = ReplayOutcome {
         workers: parts.len(),
+        cancelled: control.is_cancelled(),
         ..Default::default()
     };
     for r in results {
@@ -291,9 +382,10 @@ fn run_worker(
     record: &RunRecord,
     part: &[usize],
     total: usize,
+    control: &ReplayControl,
 ) -> RtResult<(Vec<LogRecord>, ExecStats, usize)> {
     let plan = plan_replay(total, part, &record.checkpoints);
-    let mut replayer = Replayer::new(&plan, record);
+    let mut replayer = Replayer::with_control(&plan, record, control.clone());
     let mut interp = Interpreter::new();
     let stats = interp.run(prog, &mut replayer)?;
     // Keep only logs from iterations this worker was asked for (it may have
@@ -535,6 +627,32 @@ with flor.checkpointing(net) {
         let patched = parse(TRAIN_PATCHED).unwrap();
         let out = replay(&patched, &rec, &[0, 1, 2], 1).unwrap();
         assert_eq!(iterations_logging(&out.new_logs, "acc"), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cancelled_control_stops_replay_early() {
+        let orig = parse(TRAIN).unwrap();
+        let (rec, _) = record(&orig, CheckpointPolicy::EveryK(1), &[]).unwrap();
+        let patched = parse(TRAIN_PATCHED).unwrap();
+        let needed: Vec<usize> = (0..6).collect();
+        let ctl = ReplayControl::new();
+        ctl.cancel();
+        let out = replay_with(&patched, &rec, &needed, 1, &ctl).unwrap();
+        assert!(out.cancelled);
+        assert_eq!(out.stats.iterations_run, 0, "cancelled before any work");
+    }
+
+    #[test]
+    fn control_counts_iterations_live() {
+        let orig = parse(TRAIN).unwrap();
+        let (rec, _) = record(&orig, CheckpointPolicy::EveryK(1), &[]).unwrap();
+        let patched = parse(TRAIN_PATCHED).unwrap();
+        let needed: Vec<usize> = (0..6).collect();
+        let ctl = ReplayControl::new();
+        let out = replay_with(&patched, &rec, &needed, 2, &ctl).unwrap();
+        assert!(!out.cancelled);
+        assert_eq!(ctl.iterations_executed(), out.iterations_executed);
+        assert_eq!(out.iterations_executed, 6);
     }
 
     #[test]

@@ -132,10 +132,11 @@ impl TableSchema {
     }
 }
 
-/// The FlorDB schema from paper Fig. 1. "Basic tables denoted in white;
-/// virtual tables in gray" — we materialise all six; the gray ones
-/// (`ts2vid`, `git`, `build_deps`) are populated by the kernel rather than
-/// by user log statements.
+/// The FlorDB schema from paper Fig. 1, plus the `jobs` control-plane
+/// table. "Basic tables denoted in white; virtual tables in gray" — we
+/// materialise all six; the gray ones (`ts2vid`, `git`, `build_deps`) are
+/// populated by the kernel rather than by user log statements. The `jobs`
+/// table records background-job state transitions (see `flor-jobs`).
 pub fn flor_schema() -> Vec<TableSchema> {
     vec![
         // logs(projid, tstamp, filename, ctx_id, value_name, value, value_type)
@@ -144,7 +145,7 @@ pub fn flor_schema() -> Vec<TableSchema> {
             vec![
                 ColumnDef::indexed("projid", ColType::Str),
                 ColumnDef::indexed("tstamp", ColType::Int),
-                ColumnDef::new("filename", ColType::Str),
+                ColumnDef::indexed("filename", ColType::Str),
                 ColumnDef::indexed("ctx_id", ColType::Int),
                 ColumnDef::indexed("value_name", ColType::Str),
                 ColumnDef::new("value", ColType::Str),
@@ -211,6 +212,27 @@ pub fn flor_schema() -> Vec<TableSchema> {
                 ColumnDef::new("cached", ColType::Bool),
             ],
         ),
+        // jobs(job_id, seq, kind, priority, state, payload, units_total,
+        //      units_done, done_keys, detail) — the flor-jobs control
+        // plane. Not a Fig. 1 table: the store has no in-place update, so
+        // job state transitions are append-only rows and the *latest* row
+        // per job_id (max seq) is the job's current state — the same
+        // latest-wins discipline `flor.utils.latest` applies to log rows.
+        TableSchema::new(
+            "jobs",
+            vec![
+                ColumnDef::indexed("job_id", ColType::Int),
+                ColumnDef::new("seq", ColType::Int),
+                ColumnDef::new("kind", ColType::Str),
+                ColumnDef::new("priority", ColType::Int),
+                ColumnDef::new("state", ColType::Str),
+                ColumnDef::new("payload", ColType::Str),
+                ColumnDef::new("units_total", ColType::Int),
+                ColumnDef::new("units_done", ColType::Int),
+                ColumnDef::new("done_keys", ColType::Str),
+                ColumnDef::new("detail", ColType::Str),
+            ],
+        ),
     ]
 }
 
@@ -219,12 +241,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn flor_schema_has_six_tables() {
+    fn flor_schema_has_fig1_tables_plus_jobs() {
         let s = flor_schema();
         let names: Vec<&str> = s.iter().map(|t| t.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["logs", "loops", "ts2vid", "git", "obj_store", "build_deps"]
+            vec![
+                "logs",
+                "loops",
+                "ts2vid",
+                "git",
+                "obj_store",
+                "build_deps",
+                "jobs"
+            ]
         );
     }
 

@@ -1,9 +1,10 @@
-//! Property tests: WAL codec round-trips, crash-prefix recovery, and
-//! index/scan equivalence.
+//! Property tests: WAL codec round-trips, crash-prefix recovery,
+//! index/scan equivalence, and the change feed's slow-consumer path.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use flor_df::Value;
 use flor_store::codec::{decode_record, decode_row, encode_record, encode_row, WalRecord};
+use flor_store::feed::MAX_PENDING_BATCHES;
 use flor_store::wal::{recover, Wal};
 use flor_store::{ColType, ColumnDef, Database, Query, TableSchema};
 use proptest::prelude::*;
@@ -172,5 +173,88 @@ proptest! {
             }
         }
         prop_assert_eq!(db.row_count("t").unwrap(), expected);
+    }
+}
+
+/// A feed consumer maintaining a mirror of table `t`, with the documented
+/// slow-consumer discipline: apply contiguous batches; on an epoch gap
+/// (the feed shed batches we never polled), rebuild from an epoch-stamped
+/// snapshot and continue. Returns how many rebuilds a drain performed.
+fn drain_into_mirror(
+    db: &Database,
+    sub: &flor_store::Subscription,
+    mirror: &mut Vec<Vec<Value>>,
+    epoch: &mut u64,
+) -> usize {
+    let mut rebuilds = 0usize;
+    for batch in sub.poll() {
+        if batch.epoch <= *epoch {
+            continue; // already covered by a snapshot rebuild
+        }
+        if batch.epoch != *epoch + 1 {
+            let (e, frames) = db.snapshot(&["t"]).expect("snapshot");
+            *mirror = frames[0].to_rows();
+            *epoch = e;
+            rebuilds += 1;
+            continue;
+        }
+        for delta in batch.deltas.iter() {
+            if delta.table == "t" {
+                mirror.push(delta.row.clone());
+            }
+        }
+        *epoch = batch.epoch;
+    }
+    rebuilds
+}
+
+proptest! {
+    // Each case drives > MAX_PENDING_BATCHES commits; a handful of cases
+    // exercises the gap/rebuild path without dominating the suite.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Slow-consumer path end to end: a subscriber that falls behind the
+    /// feed's queue bound observes an epoch gap on its next poll, rebuilds
+    /// from a snapshot, keeps applying later deltas — and its mirror is
+    /// row-for-row identical to the scan oracle throughout.
+    #[test]
+    fn slow_consumer_gap_rebuild_matches_oracle(
+        warmup in 0usize..5,
+        overflow_extra in 1usize..40,
+        tail in 1usize..15,
+    ) {
+        let db = Database::in_memory(vec![TableSchema::new(
+            "t",
+            vec![ColumnDef::new("v", ColType::Int)],
+        )]);
+        let sub = db.subscribe();
+        let mut mirror: Vec<Vec<Value>> = Vec::new();
+        let mut epoch = 0u64;
+        let commit = |i: i64| {
+            db.insert("t", vec![i.into()]).unwrap();
+            db.commit().unwrap();
+        };
+        // Phase 1: the consumer keeps up — contiguous deltas, no rebuild.
+        for i in 0..warmup {
+            commit(i as i64);
+            prop_assert_eq!(drain_into_mirror(&db, &sub, &mut mirror, &mut epoch), 0);
+        }
+        prop_assert_eq!(&mirror, &db.scan("t").unwrap().to_rows());
+        // Phase 2: the consumer stalls while commits overflow its queue.
+        for i in 0..(MAX_PENDING_BATCHES + overflow_extra) {
+            commit(1000 + i as i64);
+        }
+        prop_assert_eq!(sub.pending(), MAX_PENDING_BATCHES, "queue stays bounded");
+        // Phase 3: the next drain detects the gap and rebuilds exactly once.
+        prop_assert_eq!(drain_into_mirror(&db, &sub, &mut mirror, &mut epoch), 1);
+        prop_assert_eq!(&mirror, &db.scan("t").unwrap().to_rows());
+        prop_assert_eq!(epoch, db.epoch());
+        // Phase 4: the rebuilt consumer applies later commits as plain
+        // deltas again — no further rebuilds.
+        for i in 0..tail {
+            commit(-(i as i64) - 1);
+            prop_assert_eq!(drain_into_mirror(&db, &sub, &mut mirror, &mut epoch), 0);
+        }
+        prop_assert_eq!(&mirror, &db.scan("t").unwrap().to_rows());
     }
 }

@@ -16,6 +16,7 @@
 //! | [`record`] | record/replay: checkpoints, planning, parallelism |
 //! | [`make`] | Make-lite build DAG (behavioral context) |
 //! | [`view`] | incremental materialized views + the canonical query plan |
+//! | [`jobs`] | durable background scheduler (prioritized, cancellable, crash-resumable) |
 //! | [`core`] | the Flor kernel: `log`/`arg`/`loop`/`commit`/`query` |
 //! | [`pipeline`] | the PDF Parser demo (paper §4) |
 //!
@@ -69,11 +70,24 @@
 //!
 //! `latest`-style registry reads (paper Fig. 6) ride the same plan:
 //! `flor.query(&["acc"]).latest(&["document_value"]).collect()`.
+//!
+//! ## Background work
+//!
+//! Retroactive computation — hindsight backfill foremost — runs on the
+//! [`jobs`] control plane instead of blocking the process:
+//! [`core::Flor::submit_backfill`] returns a [`core::BackfillHandle`]
+//! (status, live progress, per-version outcomes streaming in, `wait`,
+//! durable `cancel`), recovered values land in live views version by
+//! version through the change feed, and a job interrupted by a crash is
+//! resumed automatically on the next [`core::Flor::open`]. The classic
+//! synchronous [`core::backfill`] is submit-then-wait over the same path.
+//! See `examples/background_backfill.rs` for the full workflow.
 
 pub use flor_core as core;
 pub use flor_df as df;
 pub use flor_diff as diff;
 pub use flor_git as git;
+pub use flor_jobs as jobs;
 pub use flor_make as make;
 pub use flor_ml as ml;
 pub use flor_pipeline as pipeline;
@@ -84,12 +98,16 @@ pub use flor_view as view;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use flor_core::{backfill, run_script, Flor, QueryBuilder, RunOutcome};
+    pub use flor_core::{
+        backfill, run_script, BackfillHandle, BackfillReport, Flor, QueryBuilder, RunOutcome,
+        VersionOutcome,
+    };
     pub use flor_df::{AggFn, DataFrame, JoinKind, Value};
     pub use flor_git::{Repository, VirtualFs};
+    pub use flor_jobs::{JobProgress, JobRecord, JobState, JobStats};
     pub use flor_make::{parse_makefile, Makefile};
     pub use flor_pipeline::{run_demo, CorpusConfig, PdfPipeline};
-    pub use flor_record::{CheckpointPolicy, RunRecord};
+    pub use flor_record::{CheckpointPolicy, ReplayControl, RunRecord};
     pub use flor_script::{parse, to_source, Interpreter, NullRuntime};
     pub use flor_store::{CmpOp, Predicate};
     pub use flor_view::{CatalogStats, QueryPlan, ViewCatalog, ViewKey};
