@@ -65,15 +65,19 @@ pub struct BackfillReport {
 
 /// All recorded runs of `filename`: `(tstamp, vid)`, oldest first.
 ///
-/// Served by indexed store scans (the PR 2 query layer): the run tstamps
+/// Served by indexed store scans (the PR 2 query layer) against one
+/// pinned snapshot, so the run list and the commit windows reflect the
+/// same epoch even while the writer is landing versions: the run tstamps
 /// come from the `logs` table via its `filename` index projected down to
 /// one column — not a full-width table scan — and each run is matched to
 /// its commit window by binary search over the sorted `ts2vid` spans.
 pub fn runs_of(flor: &Flor, filename: &str) -> StoreResult<Vec<(i64, String)>> {
-    let ts = Query::table("logs")
-        .filter_eq("filename", filename)
-        .project(&["tstamp"])
-        .execute(&flor.db)?;
+    let snap = flor.db.pin();
+    let ts = snap.query(
+        &Query::table("logs")
+            .filter_eq("filename", filename)
+            .project(&["tstamp"]),
+    )?;
     let mut tstamps: Vec<i64> = ts
         .column("tstamp")
         .map(|c| c.values.iter().filter_map(Value::as_i64).collect())
@@ -83,10 +87,11 @@ pub fn runs_of(flor: &Flor, filename: &str) -> StoreResult<Vec<(i64, String)>> {
     if tstamps.is_empty() {
         return Ok(Vec::new());
     }
-    let windows = Query::table("ts2vid")
-        .project(&["ts_start", "ts_end", "vid"])
-        .order_by("ts_start", true)
-        .execute(&flor.db)?;
+    let windows = snap.query(
+        &Query::table("ts2vid")
+            .project(&["ts_start", "ts_end", "vid"])
+            .order_by("ts_start", true),
+    )?;
     let spans: Vec<(i64, i64, String)> = windows
         .rows()
         .map(|r| {
@@ -375,7 +380,7 @@ impl<'f> Ingestor<'f> {
         } else if let Ok(f) = log.value.parse::<f64>() {
             Value::Float(f)
         } else {
-            Value::Str(log.value.clone())
+            Value::from(log.value.as_str())
         };
         self.flor
             .log_at(&log.name, &value, self.tstamp, &self.filename, ctx);

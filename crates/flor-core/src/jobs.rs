@@ -52,7 +52,7 @@ use flor_jobs::{
 };
 use flor_record::ReplayControl;
 use flor_script::parse;
-use flor_store::StoreResult;
+use flor_store::{CheckpointStats, Database, StoreResult};
 use std::sync::Arc;
 
 /// Replay worker threads per version when submitting via the plain
@@ -61,6 +61,24 @@ pub const DEFAULT_REPLAY_PARALLELISM: usize = 2;
 
 /// The `jobs.kind` tag for backfill jobs.
 pub const BACKFILL_KIND: &str = "backfill";
+
+/// The `jobs.kind` tag for WAL-checkpoint jobs.
+pub const CHECKPOINT_KIND: &str = "checkpoint";
+
+/// Priority checkpoint jobs are submitted at: above default backfill
+/// priority (0), so a queued checkpoint is not starved behind a long
+/// backfill's remaining versions.
+pub const CHECKPOINT_PRIORITY: i64 = 100;
+
+/// The per-unit outcome type the kernel's shared [`JobRunner`] carries —
+/// one variant per job kind it schedules.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// One backfill version's result.
+    Version(VersionResult),
+    /// One completed store checkpoint.
+    Checkpoint(CheckpointStats),
+}
 
 /// The persisted description of one backfill job. Carries the *submit
 /// time* working-tree source so a resumed job replays exactly what was
@@ -116,7 +134,7 @@ struct BackfillExecutor {
     flor: Flor,
 }
 
-impl JobExecutor<VersionResult> for BackfillExecutor {
+impl JobExecutor<JobOutcome> for BackfillExecutor {
     fn plan(&self, spec: &JobSpec) -> Result<Vec<UnitSpec>, String> {
         let payload = BackfillPayload::decode(&spec.payload)?;
         if payload.source.is_empty() {
@@ -141,7 +159,7 @@ impl JobExecutor<VersionResult> for BackfillExecutor {
         spec: &JobSpec,
         unit: &UnitSpec,
         ctl: &JobControl,
-    ) -> Result<VersionResult, String> {
+    ) -> Result<JobOutcome, String> {
         let payload = BackfillPayload::decode(&spec.payload)?;
         let new_prog =
             parse(&payload.source).map_err(|e| format!("new source failed to parse: {e}"))?;
@@ -160,17 +178,54 @@ impl JobExecutor<VersionResult> for BackfillExecutor {
         if ctl.is_cancelled() {
             return Err("cancelled".to_string());
         }
-        Ok(result)
+        Ok(JobOutcome::Version(result))
     }
 
     fn stage_unit(
         &self,
         spec: &JobSpec,
         _unit: &UnitSpec,
-        outcome: &VersionResult,
+        outcome: &JobOutcome,
     ) -> Result<(), String> {
+        let JobOutcome::Version(result) = outcome else {
+            return Err("backfill executor handed a non-version outcome".to_string());
+        };
         let payload = BackfillPayload::decode(&spec.payload)?;
-        stage_version(&self.flor, &payload.filename, outcome);
+        stage_version(&self.flor, &payload.filename, result);
+        Ok(())
+    }
+}
+
+/// The [`JobExecutor`] for store checkpoints: one unit that serializes
+/// the committed state to the WAL sidecar and truncates the log. The
+/// serialization runs against a pinned snapshot (no store writes), so it
+/// obeys the executor contract: nothing is staged; the runner's progress
+/// transition is the only row the unit commits.
+struct CheckpointExecutor {
+    db: Database,
+}
+
+impl JobExecutor<JobOutcome> for CheckpointExecutor {
+    fn plan(&self, _spec: &JobSpec) -> Result<Vec<UnitSpec>, String> {
+        Ok(vec![UnitSpec {
+            key: 0,
+            label: "checkpoint".to_string(),
+        }])
+    }
+
+    fn run_unit(
+        &self,
+        _spec: &JobSpec,
+        _unit: &UnitSpec,
+        _ctl: &JobControl,
+    ) -> Result<JobOutcome, String> {
+        self.db
+            .checkpoint()
+            .map(JobOutcome::Checkpoint)
+            .map_err(|e| e.to_string())
+    }
+
+    fn stage_unit(&self, _: &JobSpec, _: &UnitSpec, _: &JobOutcome) -> Result<(), String> {
         Ok(())
     }
 }
@@ -180,7 +235,7 @@ impl JobExecutor<VersionResult> for BackfillExecutor {
 /// `wait`, and durable cancellation. Cloneable.
 #[derive(Clone)]
 pub struct BackfillHandle {
-    inner: JobHandle<VersionResult>,
+    inner: JobHandle<JobOutcome>,
 }
 
 impl BackfillHandle {
@@ -207,7 +262,10 @@ impl BackfillHandle {
             .inner
             .outcomes()
             .into_iter()
-            .map(|r| r.outcome)
+            .filter_map(|r| match r {
+                JobOutcome::Version(v) => Some(v.outcome),
+                JobOutcome::Checkpoint(_) => None,
+            })
             .collect();
         out.sort_by_key(|o| o.tstamp);
         out
@@ -224,7 +282,53 @@ impl BackfillHandle {
     /// report (empty if planning failed — e.g. the script is missing).
     pub fn wait(&self) -> BackfillReport {
         let report = self.inner.wait();
-        assemble_report(report.outcomes)
+        assemble_report(
+            report
+                .outcomes
+                .into_iter()
+                .filter_map(|r| match r {
+                    JobOutcome::Version(v) => Some(v),
+                    JobOutcome::Checkpoint(_) => None,
+                })
+                .collect(),
+        )
+    }
+
+    /// Failure detail, if the job failed.
+    pub fn detail(&self) -> String {
+        self.inner.detail()
+    }
+}
+
+/// A handle on one background checkpoint job. Cloneable.
+#[derive(Clone)]
+pub struct CheckpointHandle {
+    inner: JobHandle<JobOutcome>,
+}
+
+impl CheckpointHandle {
+    /// The job's durable id (its key in the `jobs` table).
+    pub fn job_id(&self) -> JobId {
+        self.inner.job_id()
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> JobState {
+        self.inner.state()
+    }
+
+    /// Block until the checkpoint completes; `Some(stats)` on success,
+    /// `None` if the job failed or was cancelled (see
+    /// [`CheckpointHandle::detail`]).
+    pub fn wait(&self) -> Option<CheckpointStats> {
+        self.inner
+            .wait()
+            .outcomes
+            .into_iter()
+            .find_map(|r| match r {
+                JobOutcome::Checkpoint(stats) => Some(stats),
+                JobOutcome::Version(_) => None,
+            })
     }
 
     /// Failure detail, if the job failed.
@@ -274,21 +378,61 @@ impl Flor {
         Ok(BackfillHandle { inner })
     }
 
+    /// Submit a background checkpoint: serialize the committed state to
+    /// the WAL sidecar and truncate the log, scheduled on the kernel's
+    /// job runner (so it shows up on the jobs board like any other job)
+    /// at [`CHECKPOINT_PRIORITY`]. Returns immediately.
+    ///
+    /// [`Flor::commit`] submits one automatically whenever the WAL grows
+    /// past the configured threshold (see
+    /// [`Flor::set_checkpoint_threshold`]).
+    pub fn submit_checkpoint(&self) -> StoreResult<CheckpointHandle> {
+        let spec = JobSpec {
+            kind: CHECKPOINT_KIND.to_string(),
+            priority: CHECKPOINT_PRIORITY,
+            payload: String::new(),
+        };
+        let executor = Arc::new(CheckpointExecutor {
+            db: self.db.clone(),
+        });
+        let inner = self.runner.submit(spec, executor)?;
+        Ok(CheckpointHandle { inner })
+    }
+
+    /// Checkpoint synchronously: submit and wait. `Err` if the job
+    /// failed.
+    pub fn checkpoint(&self) -> StoreResult<CheckpointStats> {
+        let handle = self.submit_checkpoint()?;
+        handle.wait().ok_or_else(|| {
+            flor_store::StoreError::Invalid(format!("checkpoint failed: {}", handle.detail()))
+        })
+    }
+
     /// Resume every incomplete job found in the `jobs` table from its
     /// last completed version. Called automatically by [`Flor::open`];
     /// public so embedders constructing kernels differently can opt in.
     pub fn resume_jobs(&self) -> StoreResult<Vec<BackfillHandle>> {
         let mut out = Vec::new();
         for rec in recover_records(&self.db)? {
-            if rec.state.is_terminal() || rec.kind != BACKFILL_KIND {
-                continue;
+            if rec.state.is_terminal() || self.runner.handle(rec.job_id).is_some() {
+                continue; // finished, or already live in this process
             }
-            if self.runner.handle(rec.job_id).is_some() {
-                continue; // already live in this process
+            match rec.kind.as_str() {
+                BACKFILL_KIND => {
+                    let executor = Arc::new(BackfillExecutor { flor: self.clone() });
+                    let inner = self.runner.resume(&rec, executor)?;
+                    out.push(BackfillHandle { inner });
+                }
+                // An interrupted checkpoint is simply re-run: the
+                // operation is idempotent (pin, serialize, truncate).
+                CHECKPOINT_KIND => {
+                    let executor = Arc::new(CheckpointExecutor {
+                        db: self.db.clone(),
+                    });
+                    self.runner.resume(&rec, executor)?;
+                }
+                _ => {}
             }
-            let executor = Arc::new(BackfillExecutor { flor: self.clone() });
-            let inner = self.runner.resume(&rec, executor)?;
-            out.push(BackfillHandle { inner });
         }
         Ok(out)
     }
@@ -306,7 +450,7 @@ impl Flor {
 
     /// The kernel's shared background-job runner (worker-pool sizing,
     /// idle waits, crash instrumentation for tests and benches).
-    pub fn job_runner(&self) -> &JobRunner<VersionResult> {
+    pub fn job_runner(&self) -> &JobRunner<JobOutcome> {
         &self.runner
     }
 }
@@ -396,6 +540,54 @@ with flor.checkpointing(net) {
         assert_eq!(flor.job_stats().unwrap().done, 1);
         assert_eq!(flor.jobs().unwrap()[0].state, JobState::Done);
         assert_eq!(flor.jobs().unwrap()[0].units_done, 3);
+    }
+
+    #[test]
+    fn checkpoint_job_truncates_wal_and_lands_on_the_board() {
+        let flor = seeded(2);
+        let wal_before = flor.db.wal_bytes();
+        assert!(wal_before > 0);
+        let stats = flor.checkpoint().unwrap();
+        assert!(stats.rows > 0);
+        assert!(flor.db.wal_bytes() < wal_before, "log compacted");
+        flor.job_runner().wait_idle();
+        // The checkpoint shows up as a first-class job.
+        let jobs = flor.jobs().unwrap();
+        assert!(jobs
+            .iter()
+            .any(|j| j.kind == CHECKPOINT_KIND && j.state == JobState::Done));
+        assert_eq!(flor.db.stats().checkpoints, 1);
+        // Reads are unaffected.
+        assert_eq!(
+            flor.dataframe(&["loss"]).unwrap(),
+            flor.dataframe_full(&["loss"]).unwrap()
+        );
+    }
+
+    #[test]
+    fn commit_auto_spawns_checkpoint_past_wal_threshold() {
+        let flor = Flor::new("autockpt");
+        flor.set_filename("train.fl");
+        flor.set_checkpoint_threshold(Some(1)); // every commit trips it
+        flor.log("loss", 0.5f64);
+        flor.commit("run").unwrap();
+        // The store spawns the checkpoint off-thread; wait for it.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while flor.db.stats().checkpoints == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "auto-checkpoint never ran"
+            );
+            std::thread::yield_now();
+        }
+        assert!(flor.db.stats().checkpoints >= 1);
+        // Disabled threshold stops the trigger.
+        let quiet = Flor::new("nockpt");
+        quiet.set_checkpoint_threshold(None);
+        quiet.log("loss", 0.5f64);
+        quiet.commit("run").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(quiet.db.stats().checkpoints, 0);
     }
 
     #[test]

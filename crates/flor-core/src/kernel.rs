@@ -6,7 +6,7 @@
 //! `projid`, logical `tstamp`, executing `filename`, and the nested
 //! loop-context (`ctx_id`) stack.
 
-use crate::hindsight::VersionResult;
+use crate::jobs::JobOutcome;
 use flor_df::{DataFrame, DataType, Value};
 use flor_git::{Oid, Repository, VirtualFs};
 use flor_jobs::{JobBoard, JobRunner};
@@ -29,6 +29,14 @@ pub const VIEW_CACHE_CAPACITY: usize = 8;
 /// executing concurrently); tune with `JobRunner::set_workers` via
 /// [`Flor::job_runner`] or open with [`Flor::open_with_workers`].
 pub const DEFAULT_JOB_WORKERS: usize = 2;
+
+/// Default WAL-bytes threshold past which any store commit — a
+/// foreground [`Flor::commit`] or a background job's per-unit
+/// transaction — spawns a background checkpoint (see
+/// [`Flor::set_checkpoint_threshold`]). Sized so interactive sessions
+/// never trip it accidentally while long-running drivers keep their
+/// logs — and therefore their reopen times — bounded.
+pub const DEFAULT_CHECKPOINT_THRESHOLD_BYTES: u64 = 8 * 1024 * 1024;
 
 /// Kernel session state.
 #[derive(Debug)]
@@ -64,8 +72,9 @@ pub struct Flor {
     /// instead of re-pivoting history on every call.
     pub views: ViewCatalog,
     /// The background-job control plane (see [`flor_jobs`]):
-    /// [`Flor::submit_backfill`] schedules per-version replay units here.
-    pub(crate) runner: JobRunner<VersionResult>,
+    /// [`Flor::submit_backfill`] schedules per-version replay units (and
+    /// [`Flor::submit_checkpoint`] WAL checkpoints) here.
+    pub(crate) runner: JobRunner<JobOutcome>,
     /// Incrementally maintained `jobs`-table listing behind
     /// [`Flor::jobs`] / [`Flor::job_stats`].
     pub(crate) board: JobBoard,
@@ -95,9 +104,10 @@ impl Flor {
     pub fn open_with_workers(projid: &str, wal_path: &Path, workers: usize) -> StoreResult<Flor> {
         let db = Database::open(wal_path, flor_schema())?;
         let flor = Flor::with_db(projid, db, workers);
-        // Resume the logical clock past anything recorded.
-        let max_ts = flor
-            .db
+        // Resume the logical clock past anything recorded, reading both
+        // tables from one pinned snapshot.
+        let snap = flor.db.pin();
+        let max_ts = snap
             .scan("logs")
             .ok()
             .and_then(|df| {
@@ -108,8 +118,7 @@ impl Flor {
         // And the ctx-id allocator past every recorded loop context, so
         // post-reopen logging (and hindsight ingestion) mints fresh ids
         // instead of colliding with history.
-        let max_ctx = flor
-            .db
+        let max_ctx = snap
             .scan("loops")
             .ok()
             .and_then(|df| {
@@ -117,6 +126,7 @@ impl Flor {
                     .map(|c| c.values.iter().filter_map(Value::as_i64).max().unwrap_or(0))
             })
             .unwrap_or(0);
+        drop(snap);
         {
             let mut st = flor.state.lock();
             st.tstamp = max_ts + 1;
@@ -128,6 +138,10 @@ impl Flor {
     }
 
     fn with_db(projid: &str, db: Database, workers: usize) -> Flor {
+        // Auto-checkpointing is enforced at the store commit layer, so
+        // background-job transactions trip it too, not only the kernel's
+        // own commits.
+        db.set_auto_checkpoint(Some(DEFAULT_CHECKPOINT_THRESHOLD_BYTES));
         Flor {
             views: ViewCatalog::new(db.clone(), VIEW_CACHE_CAPACITY),
             runner: JobRunner::new(db.clone(), workers),
@@ -145,6 +159,14 @@ impl Flor {
                 cli_args: HashMap::new(),
             })),
         }
+    }
+
+    /// Set (or disable, with `None`) the WAL-bytes threshold past which
+    /// a commit spawns a background checkpoint. Enforced at the store
+    /// layer, so background jobs' per-unit commits count too. Defaults
+    /// to [`DEFAULT_CHECKPOINT_THRESHOLD_BYTES`].
+    pub fn set_checkpoint_threshold(&self, bytes: Option<u64>) {
+        self.db.set_auto_checkpoint(bytes);
     }
 
     /// Set the executing filename (the paper profiles this automatically at
@@ -210,7 +232,7 @@ impl Flor {
             Value::from(filename),
             Value::Int(ctx_id),
             Value::from(name),
-            Value::Str(stored),
+            Value::from(stored),
             Value::Int(value.data_type().tag()),
         ];
         self.db.insert("logs", row).expect("logs schema fixed");
@@ -255,7 +277,7 @@ impl Flor {
                 st.ctx_stack.last().map(|(c, _)| *c).unwrap_or(0),
             )
         };
-        let stub = Value::Str(format!("<blob {} bytes>", contents.len()));
+        let stub = Value::from(format!("<blob {} bytes>", contents.len()));
         self.log_at(name, &stub, tstamp, &filename, ctx_id);
         self.put_blob(name, contents, tstamp, &filename, ctx_id);
     }
@@ -288,7 +310,7 @@ impl Flor {
             Value::Int(parent),
             Value::from(loop_name),
             Value::Int(iteration as i64),
-            Value::Str(value.to_text()),
+            Value::from(value.to_text()),
         ];
         st.ctx_stack.push((ctx_id, loop_name.to_string()));
         drop(st);
@@ -366,7 +388,7 @@ impl Flor {
                     Value::from(vid.0.as_str()),
                     Value::from(path.as_str()),
                     Value::from(parent_text.as_str()),
-                    Value::Str(entry.contents),
+                    Value::from(entry.contents),
                 ],
             )?;
         }
@@ -391,8 +413,8 @@ impl Flor {
             vec![
                 Value::from(vid),
                 Value::from(target),
-                Value::Str(deps.join("\n")),
-                Value::Str(cmds.join("\n")),
+                Value::from(deps.join("\n")),
+                Value::from(cmds.join("\n")),
                 Value::Bool(cached),
             ],
         )
@@ -413,14 +435,6 @@ impl Flor {
         self.query(names).collect()
     }
 
-    /// [`Flor::dataframe`] without copying: a shared snapshot of the
-    /// maintained view. The cheap path for hot-loop consumers — repeated
-    /// calls with no intervening commits return the same allocation.
-    #[deprecated(note = "use Flor::query(names).collect_view()")]
-    pub fn dataframe_view(&self, names: &[&str]) -> StoreResult<Arc<DataFrame>> {
-        self.query(names).collect_view()
-    }
-
     /// From-scratch `flor.dataframe`: re-fetches, re-joins and re-pivots
     /// the base tables on every call. Kept as the incremental path's
     /// correctness oracle and fallback; `flor-bench`'s `view_maintenance`
@@ -434,13 +448,16 @@ impl Flor {
     /// fetch the projected log rows, resolve loop-context chains, and
     /// pivot long → wide.
     pub(crate) fn pivot_from_scratch(&self, names: &[&str]) -> StoreResult<DataFrame> {
-        // 1. Fetch matching log rows via the value_name index, in log
-        //    insertion order — the same order the change feed delivers
-        //    deltas, so both paths produce identical frames.
+        // 1. Pin one snapshot so the log fetch and the loop-context
+        //    resolution reflect the same epoch, then fetch matching log
+        //    rows via the value_name index, in log insertion order — the
+        //    same order the change feed delivers deltas, so both paths
+        //    produce identical frames. Both reads are lock-free.
+        let snap = self.db.pin();
         let values: Vec<Value> = names.iter().map(|n| Value::from(*n)).collect();
-        let logs = self.db.lookup_many("logs", "value_name", &values)?;
+        let logs = snap.lookup_many("logs", "value_name", &values)?;
         // 2. Resolve ctx chains from the loops table.
-        let loops = self.db.scan("loops")?;
+        let loops = snap.scan("loops")?;
         #[derive(Clone)]
         struct CtxRow {
             parent: i64,
@@ -534,16 +551,6 @@ impl Flor {
     /// [`Flor::dataframe_latest_full`] is the oracle.
     pub fn dataframe_latest(&self, names: &[&str], group: &[&str]) -> StoreResult<DataFrame> {
         self.query(names).latest(group).collect()
-    }
-
-    /// [`Flor::dataframe_latest`] without copying: a shared snapshot.
-    #[deprecated(note = "use Flor::query(names).latest(group).collect_view()")]
-    pub fn dataframe_latest_view(
-        &self,
-        names: &[&str],
-        group: &[&str],
-    ) -> StoreResult<Arc<DataFrame>> {
-        self.query(names).latest(group).collect_view()
     }
 
     /// From-scratch `dataframe` + `latest`: the incremental path's
@@ -767,29 +774,6 @@ mod tests {
         let a = flor.query(&["loss", "acc"]).collect_view().unwrap();
         let b = flor.query(&["loss", "acc"]).collect_view().unwrap();
         assert!(Arc::ptr_eq(&a, &b));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_view_entrypoints_route_through_the_builder() {
-        let flor = Flor::new("demo");
-        flor.set_filename("app.fl");
-        flor.iteration("document", "d.pdf", |flor| {
-            flor.log("page_color", 1);
-        });
-        flor.commit("c").unwrap();
-        let legacy = flor.dataframe_view(&["page_color"]).unwrap();
-        let builder = flor.query(&["page_color"]).collect_view().unwrap();
-        assert!(Arc::ptr_eq(&legacy, &builder), "one execution path");
-        let legacy = flor
-            .dataframe_latest_view(&["page_color"], &["document_value"])
-            .unwrap();
-        let builder = flor
-            .query(&["page_color"])
-            .latest(&["document_value"])
-            .collect_view()
-            .unwrap();
-        assert!(Arc::ptr_eq(&legacy, &builder), "one execution path");
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub mod query;
 pub mod runtime;
 
 pub use hindsight::{backfill, runs_of, BackfillReport, VersionOutcome, VersionResult};
-pub use jobs::{BackfillHandle, DEFAULT_REPLAY_PARALLELISM};
-pub use kernel::{Flor, BLOB_SPILL_BYTES, DEFAULT_JOB_WORKERS};
+pub use jobs::{
+    BackfillHandle, CheckpointHandle, JobOutcome, CHECKPOINT_PRIORITY, DEFAULT_REPLAY_PARALLELISM,
+};
+pub use kernel::{Flor, BLOB_SPILL_BYTES, DEFAULT_CHECKPOINT_THRESHOLD_BYTES, DEFAULT_JOB_WORKERS};
 pub use query::QueryBuilder;
 pub use runtime::{load_record, persist_record, run_script, RunError, RunOutcome, ScriptRuntime};

@@ -23,7 +23,7 @@ pub fn rt_to_value(v: &RtValue) -> Value {
         RtValue::Int(i) => Value::Int(*i),
         RtValue::Float(f) => Value::Float(*f),
         RtValue::Bool(b) => Value::Bool(*b),
-        other => Value::Str(other.display_text()),
+        other => Value::from(other.display_text()),
     }
 }
 
@@ -212,7 +212,7 @@ pub fn persist_record(
     if let Some((name, len)) = &record.ckpt_loop {
         flor.log_at(
             "ckpt_loop::meta",
-            &Value::Str(format!("{name}\n{len}")),
+            &Value::from(format!("{name}\n{len}")),
             tstamp,
             filename,
             0,

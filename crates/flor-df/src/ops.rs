@@ -354,7 +354,7 @@ impl DataFrame {
                     .iter()
                     .map(|k| self.column(k).unwrap().values[i].clone())
                     .collect();
-                row.push(Value::Str((*vc).to_string()));
+                row.push(Value::from(*vc));
                 row.push(v);
                 rows.push(row);
             }

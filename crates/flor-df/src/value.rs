@@ -8,6 +8,7 @@
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// The type of a [`Value`], mirroring the `value_type` tag in the paper's
 /// `logs` table (Fig. 1).
@@ -67,6 +68,13 @@ impl fmt::Display for DataType {
 ///
 /// `Value` implements a *total* order and total equality (floats compare by
 /// IEEE total ordering) so it can serve as a group-by or join key.
+///
+/// Strings are `Arc<str>`: cloning a `Value` — which every scan, pivot,
+/// delta application and snapshot materialization does per cell — bumps a
+/// reference count instead of copying the bytes. One logged string is
+/// allocated once and shared by the WAL-recovered row, every segment it
+/// is compacted into, every materialized view cell and every query
+/// result.
 #[derive(Debug, Clone)]
 pub enum Value {
     /// Missing / NA.
@@ -77,8 +85,8 @@ pub enum Value {
     Int(i64),
     /// Float.
     Float(f64),
-    /// String.
-    Str(String),
+    /// String (shared; clones are reference-count bumps).
+    Str(Arc<str>),
 }
 
 impl Value {
@@ -122,7 +130,15 @@ impl Value {
     /// String view (only for `Str`).
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(&**s),
+            _ => None,
+        }
+    }
+
+    /// Shared string view (only for `Str`): an `Arc` clone, no byte copy.
+    pub fn as_shared_str(&self) -> Option<Arc<str>> {
+        match self {
+            Value::Str(s) => Some(Arc::clone(s)),
             _ => None,
         }
     }
@@ -143,7 +159,7 @@ impl Value {
             Value::Bool(b) => b.to_string(),
             Value::Int(i) => i.to_string(),
             Value::Float(f) => format_float(*f),
-            Value::Str(s) => s.clone(),
+            Value::Str(s) => s.to_string(),
         }
     }
 
@@ -159,7 +175,7 @@ impl Value {
             },
             DataType::Int => text.parse().map(Value::Int).unwrap_or(Value::Null),
             DataType::Float => text.parse().map(Value::Float).unwrap_or(Value::Null),
-            DataType::Str => Value::Str(text.to_string()),
+            DataType::Str => Value::Str(Arc::from(text)),
         }
     }
 
@@ -291,11 +307,16 @@ impl From<f32> for Value {
 }
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Str(s.to_string())
+        Value::Str(Arc::from(s))
     }
 }
 impl From<String> for Value {
     fn from(s: String) -> Self {
+        Value::Str(Arc::from(s))
+    }
+}
+impl From<Arc<str>> for Value {
+    fn from(s: Arc<str>) -> Self {
         Value::Str(s)
     }
 }

@@ -9,7 +9,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
         any::<bool>().prop_map(Value::Bool),
         (-1000i64..1000).prop_map(Value::Int),
         (-1000.0f64..1000.0).prop_map(Value::Float),
-        "[a-z]{0,6}".prop_map(Value::Str),
+        "[a-z]{0,6}".prop_map(Value::from),
     ]
 }
 
@@ -19,7 +19,7 @@ fn arb_long() -> impl Strategy<Value = DataFrame> {
         DataFrame::from_rows(
             vec!["run", "name", "value"],
             rows.into_iter()
-                .map(|(r, n, v)| vec![Value::Int(r), Value::Str(format!("m{n}")), v])
+                .map(|(r, n, v)| vec![Value::Int(r), Value::from(format!("m{n}")), v])
                 .collect(),
         )
         .unwrap()

@@ -154,7 +154,7 @@ impl JobRecord {
             Value::from(self.payload.as_str()),
             Value::Int(self.units_total as i64),
             Value::Int(self.units_done as i64),
-            Value::Str(done_keys),
+            Value::from(done_keys),
             Value::from(self.detail.as_str()),
         ]
     }

@@ -1,0 +1,251 @@
+//! Checkpoints: O(live-data) recovery instead of O(history) replay.
+//!
+//! The WAL is append-only and latest-wins tables (`jobs`, and much of
+//! `logs`/`loops` after hindsight backfill) accumulate long dead
+//! prefixes, so replaying the whole log on `Database::open` costs time
+//! proportional to everything that *ever* happened. A checkpoint
+//! serializes the committed state — the sealed segments of a pinned
+//! [`crate::db::Snapshot`] — into a sidecar file next to the WAL, then
+//! truncates the log down to the records the checkpoint does not cover.
+//! Recovery becomes: load the sidecar (O(live rows)), then replay only
+//! the short WAL tail.
+//!
+//! Crash safety is rename-based, in two independently-atomic steps:
+//!
+//! 1. The sidecar is staged at `<wal>.ckpt.tmp`, fsynced, and renamed to
+//!    `<wal>.ckpt`. A crash before the rename leaves the old state
+//!    (previous sidecar, full WAL) — recovery is unchanged.
+//! 2. The WAL is rewritten via [`crate::wal::Wal::rewrite`] (stage, fsync,
+//!    rename) keeping only records with `txn > max_txn`. A crash *between*
+//!    steps leaves the new sidecar plus the full WAL: replay skips every
+//!    record the checkpoint covers (`txn <= max_txn`), so recovery still
+//!    converges to the same state — the property the
+//!    `checkpoint_recovery` tests assert.
+//!
+//! The sidecar is one CRC-guarded blob:
+//! `[magic u32][version u8][fnv u64 of body][body]` where the body is
+//! `[epoch u64][max_txn u64][n_tables u16]` followed per table by
+//! `[name_len u16][name][n_rows u64][rows…]` in [`crate::codec`] row
+//! encoding.
+
+use crate::codec::{decode_row, encode_row, fnv1a, CodecError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use flor_df::Value;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: u32 = 0x464C_4F52; // "FLOR"
+const VERSION: u8 = 1;
+
+/// A decoded checkpoint: the committed state at `epoch`, covering every
+/// transaction with id `<= max_txn`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointData {
+    /// Epoch (commit count) the snapshot reflects.
+    pub epoch: u64,
+    /// Highest committed transaction id the snapshot covers; WAL replay
+    /// skips records at or below it.
+    pub max_txn: u64,
+    /// Per-table committed rows, in scan order.
+    pub tables: Vec<(String, Vec<Vec<Value>>)>,
+}
+
+impl CheckpointData {
+    /// Total rows across all tables.
+    pub fn rows(&self) -> usize {
+        self.tables.iter().map(|(_, r)| r.len()).sum()
+    }
+}
+
+/// The sidecar path for a WAL at `wal_path`: `<wal>.ckpt` (appended, not
+/// substituted, so distinct WALs can never share a sidecar).
+pub fn sidecar_path(wal_path: &Path) -> PathBuf {
+    PathBuf::from(format!("{}.ckpt", wal_path.display()))
+}
+
+/// Serialize a checkpoint body.
+pub fn encode_checkpoint(data: &CheckpointData) -> Vec<u8> {
+    let mut body = BytesMut::new();
+    body.put_u64(data.epoch);
+    body.put_u64(data.max_txn);
+    body.put_u16(data.tables.len() as u16);
+    for (name, rows) in &data.tables {
+        body.put_u16(name.len() as u16);
+        body.put_slice(name.as_bytes());
+        body.put_u64(rows.len() as u64);
+        for row in rows {
+            encode_row(row, &mut body);
+        }
+    }
+    let mut out = Vec::with_capacity(body.len() + 13);
+    out.extend_from_slice(&MAGIC.to_be_bytes());
+    out.push(VERSION);
+    out.extend_from_slice(&fnv1a(&body).to_be_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode a checkpoint blob (header, checksum, body). Takes the bytes by
+/// value: the body is consumed through a zero-copy [`Bytes`] view, so
+/// the only per-cell copies are the decoded values themselves.
+pub fn decode_checkpoint(bytes: Vec<u8>) -> Result<CheckpointData, CodecError> {
+    if bytes.len() < 13 {
+        return Err(CodecError::Truncated);
+    }
+    let magic = u32::from_be_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(CodecError::Malformed("bad checkpoint magic".into()));
+    }
+    if bytes[4] != VERSION {
+        return Err(CodecError::Malformed(format!(
+            "unsupported checkpoint version {}",
+            bytes[4]
+        )));
+    }
+    let crc = u64::from_be_bytes(bytes[5..13].try_into().expect("8 bytes"));
+    let all = Bytes::from(bytes);
+    let b = all.slice(13..);
+    if fnv1a(&b) != crc {
+        return Err(CodecError::BadChecksum);
+    }
+    let mut b = b;
+    if b.remaining() < 18 {
+        return Err(CodecError::Truncated);
+    }
+    let epoch = b.get_u64();
+    let max_txn = b.get_u64();
+    let n_tables = b.get_u16() as usize;
+    let mut tables = Vec::with_capacity(n_tables);
+    for _ in 0..n_tables {
+        if b.remaining() < 2 {
+            return Err(CodecError::Truncated);
+        }
+        let nlen = b.get_u16() as usize;
+        if b.remaining() < nlen {
+            return Err(CodecError::Truncated);
+        }
+        let raw = b.copy_to_bytes(nlen);
+        let name = std::str::from_utf8(&raw)
+            .map_err(|e| CodecError::Malformed(e.to_string()))?
+            .to_string();
+        if b.remaining() < 8 {
+            return Err(CodecError::Truncated);
+        }
+        let n_rows = b.get_u64() as usize;
+        let mut rows = Vec::with_capacity(n_rows.min(1 << 20));
+        for _ in 0..n_rows {
+            rows.push(decode_row(&mut b)?);
+        }
+        tables.push((name, rows));
+    }
+    Ok(CheckpointData {
+        epoch,
+        max_txn,
+        tables,
+    })
+}
+
+/// Write the sidecar atomically: stage at `<sidecar>.tmp`, fsync, rename,
+/// fsync the directory (the rename itself must be durable before the WAL
+/// may be truncated). Returns the sidecar's byte size.
+pub fn write_sidecar(wal_path: &Path, data: &CheckpointData) -> std::io::Result<u64> {
+    let bytes = encode_checkpoint(data);
+    let final_path = sidecar_path(wal_path);
+    let tmp = PathBuf::from(format!("{}.tmp", final_path.display()));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, &final_path)?;
+    let dir = match final_path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    File::open(dir)?.sync_all()?;
+    Ok(bytes.len() as u64)
+}
+
+/// Load the sidecar for `wal_path`, if one exists. A corrupt sidecar is
+/// an error, not silently ignored: its WAL may already be truncated, so
+/// pretending there is no checkpoint would silently drop committed data.
+pub fn load_sidecar(wal_path: &Path) -> Result<Option<CheckpointData>, crate::db::StoreError> {
+    let path = sidecar_path(wal_path);
+    let mut f = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(crate::db::StoreError::Io(e)),
+    };
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes)
+        .map_err(crate::db::StoreError::Io)?;
+    decode_checkpoint(bytes)
+        .map(Some)
+        .map_err(crate::db::StoreError::Codec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CheckpointData {
+        CheckpointData {
+            epoch: 7,
+            max_txn: 12,
+            tables: vec![
+                (
+                    "logs".into(),
+                    vec![
+                        vec![Value::from("p"), Value::Int(1), Value::Null],
+                        vec![Value::from("p"), Value::Int(2), Value::Float(0.5)],
+                    ],
+                ),
+                ("loops".into(), Vec::new()),
+            ],
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let data = sample();
+        let bytes = encode_checkpoint(&data);
+        assert_eq!(decode_checkpoint(bytes).unwrap(), data);
+        assert_eq!(data.rows(), 2);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let data = sample();
+        let mut bytes = encode_checkpoint(&data);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        assert!(matches!(
+            decode_checkpoint(bytes[..5].to_vec()),
+            Err(CodecError::Truncated)
+        ));
+        assert!(matches!(
+            decode_checkpoint(bytes),
+            Err(CodecError::BadChecksum)
+        ));
+        let mut bad_magic = encode_checkpoint(&data);
+        bad_magic[0] ^= 0xff;
+        assert!(matches!(
+            decode_checkpoint(bad_magic),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn sidecar_write_and_load() {
+        let dir = std::env::temp_dir().join(format!("florckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join("a.wal");
+        let _ = std::fs::remove_file(sidecar_path(&wal));
+        assert!(load_sidecar(&wal).unwrap().is_none());
+        let data = sample();
+        write_sidecar(&wal, &data).unwrap();
+        assert_eq!(load_sidecar(&wal).unwrap(), Some(data));
+        let _ = std::fs::remove_file(sidecar_path(&wal));
+    }
+}

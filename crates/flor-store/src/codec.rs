@@ -97,10 +97,8 @@ pub fn decode_value(buf: &mut Bytes) -> Result<Value, CodecError> {
                 return Err(CodecError::Truncated);
             }
             let raw = buf.copy_to_bytes(len);
-            let s = std::str::from_utf8(&raw)
-                .map_err(|e| CodecError::Malformed(e.to_string()))?
-                .to_string();
-            Ok(Value::Str(s))
+            let s = std::str::from_utf8(&raw).map_err(|e| CodecError::Malformed(e.to_string()))?;
+            Ok(Value::Str(s.into()))
         }
         t => Err(CodecError::BadTag(t)),
     }
@@ -202,6 +200,11 @@ pub fn decode_record(buf: &mut Bytes) -> Result<Option<WalRecord>, CodecError> {
     if fnv1a(&payload) != crc {
         return Err(CodecError::BadChecksum);
     }
+    decode_payload(payload).map(Some)
+}
+
+/// Decode a frame's already-checksummed payload into a [`WalRecord`].
+pub fn decode_payload(payload: Bytes) -> Result<WalRecord, CodecError> {
     let mut p = payload;
     if p.remaining() < 1 {
         return Err(CodecError::Truncated);
@@ -221,13 +224,13 @@ pub fn decode_record(buf: &mut Bytes) -> Result<Option<WalRecord>, CodecError> {
                 .map_err(|e| CodecError::Malformed(e.to_string()))?
                 .to_string();
             let row = decode_row(&mut p)?;
-            Ok(Some(WalRecord::Insert { txn, table, row }))
+            Ok(WalRecord::Insert { txn, table, row })
         }
         REC_COMMIT => {
             if p.remaining() < 8 {
                 return Err(CodecError::Truncated);
             }
-            Ok(Some(WalRecord::Commit { txn: p.get_u64() }))
+            Ok(WalRecord::Commit { txn: p.get_u64() })
         }
         t => Err(CodecError::BadTag(t)),
     }
@@ -253,7 +256,7 @@ mod tests {
         round_trip_value(Value::Float(3.25));
         round_trip_value(Value::Float(f64::NAN)); // NaN bits preserved
         round_trip_value(Value::Str("hello 世界".into()));
-        round_trip_value(Value::Str(String::new()));
+        round_trip_value(Value::from(""));
     }
 
     #[test]

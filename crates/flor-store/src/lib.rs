@@ -7,11 +7,21 @@
 //!
 //! * typed [`schema::TableSchema`]s, including [`schema::flor_schema`] —
 //!   the paper's six tables verbatim;
-//! * an append-only, CRC-framed [`wal`] with crash recovery that honours
-//!   transaction commit markers (the semantics of `flor.commit()`, §2.1:
-//!   staged rows are invisible until the marker lands);
-//! * secondary hash indexes and a [`query::Query`] layer with predicate
-//!   pushdown ("NoSQL-like writes, SQL-like reads", §3.1);
+//! * an append-only, CRC-framed [`wal`] with *streaming* crash recovery
+//!   that honours transaction commit markers (the semantics of
+//!   `flor.commit()`, §2.1: staged rows are invisible until the marker
+//!   lands);
+//! * an MVCC table layout — immutable, `Arc`-shared sealed segments —
+//!   where [`db::Database::pin`] hands out epoch-stamped
+//!   [`db::Snapshot`]s in O(1) and every scan runs **lock-free**:
+//!   readers never block the writer and the writer never blocks readers
+//!   (see the [`db`] module docs for the full concurrency model);
+//! * [`checkpoint`]ing: `Database::checkpoint` serializes the live state
+//!   to a sidecar and truncates the WAL, making reopen O(live data)
+//!   instead of O(history);
+//! * secondary hash indexes (per sealed segment) and a [`query::Query`]
+//!   layer with predicate pushdown ("NoSQL-like writes, SQL-like reads",
+//!   §3.1);
 //! * materialisation into `flor-df` [`flor_df::DataFrame`]s, feeding the
 //!   pivoted `flor.dataframe` view.
 //!
@@ -29,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod codec;
 pub mod db;
 pub mod feed;
@@ -36,7 +47,7 @@ pub mod query;
 pub mod schema;
 pub mod wal;
 
-pub use db::{Database, DbStats, StoreError, StoreResult};
+pub use db::{CheckpointStats, Database, DbStats, RecoveryInfo, Snapshot, StoreError, StoreResult};
 pub use feed::{CommitBatch, RowDelta, Subscription};
 pub use query::{CmpOp, Predicate, Query};
 pub use schema::{flor_schema, ColType, ColumnDef, TableSchema};

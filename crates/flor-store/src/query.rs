@@ -11,7 +11,7 @@
 //! lazy query builder (`flor_view::QueryPlan` / `Flor::query`) so one
 //! predicate type spans every layer of the stack.
 
-use crate::db::{rows_to_frame, Database, StoreResult, Table};
+use crate::db::{rows_to_frame, Database, StoreResult, TableVersion};
 use flor_df::{DataFrame, Value};
 
 /// Comparison operators for scan predicates.
@@ -185,43 +185,40 @@ impl Query {
         self
     }
 
-    /// Execute against `db`.
+    /// Execute against `db`: pins a snapshot and runs lock-free against
+    /// it (equivalent to `db.pin().query(self)`).
     pub fn execute(&self, db: &Database) -> StoreResult<DataFrame> {
-        db.with_table(&self.table, |t| self.run_on(t))?
+        db.pin().query(self)
     }
 
     /// Candidate row count if the access path `a` were chosen — the
     /// planner's (exact, hash-index-backed) selectivity estimate.
-    fn candidates(&self, t: &Table, a: &Access) -> usize {
+    fn candidates(&self, t: &TableVersion, a: &Access) -> usize {
         match a {
-            Access::Scan => t.rows.len(),
+            Access::Scan => t.total_rows,
             Access::EqIndex(i) => {
                 let p = &self.predicates[*i];
-                t.indexes
-                    .get(&p.col)
-                    .and_then(|idx| idx.get(&p.value))
-                    .map_or(0, Vec::len)
+                t.index_len(&p.col, &p.value)
             }
             Access::InIndex(i) => {
                 let (col, values) = &self.in_predicates[*i];
-                t.indexes.get(col).map_or(0, |idx| {
-                    values.iter().map(|v| idx.get(v).map_or(0, Vec::len)).sum()
-                })
+                values.iter().map(|v| t.index_len(col, v)).sum()
             }
         }
     }
 
-    /// Execute against an already-locked table. Crate-internal: this is
-    /// what lets [`Database::snapshot_with`] run several queries under one
-    /// read lock, so a materialized-view build sees one consistent epoch.
-    pub(crate) fn run_on(&self, t: &Table) -> StoreResult<DataFrame> {
+    /// Execute against one pinned table version. Crate-internal: this is
+    /// what lets [`crate::db::Snapshot::query`] (and therefore
+    /// [`Database::snapshot_with`]) run several queries against one
+    /// consistent epoch, entirely lock-free.
+    pub(crate) fn run_on(&self, t: &TableVersion) -> StoreResult<DataFrame> {
         // Plan: among the index-eligible predicates (Eq and IN over indexed
         // columns), pick the one with the fewest candidate rows; everything
         // else becomes a residual filter over the fetched rows.
         let mut access = Access::Scan;
         let mut best = self.candidates(t, &access);
         for (i, p) in self.predicates.iter().enumerate() {
-            if p.op == CmpOp::Eq && t.indexes.contains_key(&p.col) {
+            if p.op == CmpOp::Eq && t.has_index(&p.col) {
                 let cand = Access::EqIndex(i);
                 let n = self.candidates(t, &cand);
                 if n < best {
@@ -231,7 +228,7 @@ impl Query {
             }
         }
         for (i, (col, _)) in self.in_predicates.iter().enumerate() {
-            if t.indexes.contains_key(col) {
+            if t.has_index(col) {
                 let cand = Access::InIndex(i);
                 let n = self.candidates(t, &cand);
                 if n < best {
@@ -241,29 +238,24 @@ impl Query {
             }
         }
 
-        let candidate_rids: Vec<usize> = match access {
-            Access::Scan => (0..t.rows.len()).collect(),
+        let candidate_rids: Option<Vec<usize>> = match access {
+            // Full scan iterates the segments directly; no rid list.
+            Access::Scan => None,
             Access::EqIndex(i) => {
                 let p = &self.predicates[i];
-                t.indexes
-                    .get(&p.col)
-                    .and_then(|idx| idx.get(&p.value))
-                    .cloned()
-                    .unwrap_or_default()
+                Some(t.index_rids(&p.col, &p.value).unwrap_or_default())
             }
             Access::InIndex(i) => {
                 let (col, values) = &self.in_predicates[i];
-                let idx = t.indexes.get(col).expect("planned over an index");
                 let mut rids: Vec<usize> = values
                     .iter()
-                    .flat_map(|v| idx.get(v).map(Vec::as_slice).unwrap_or_default())
-                    .copied()
+                    .flat_map(|v| t.index_rids(col, v).unwrap_or_default())
                     .collect();
                 // Restore insertion order (per-value postings are each
                 // ascending, but values interleave in the log).
                 rids.sort_unstable();
                 rids.dedup();
-                rids
+                Some(rids)
             }
         };
 
@@ -281,11 +273,14 @@ impl Query {
             .filter(|(i, _)| !matches!(access, Access::InIndex(j) if j == *i))
             .filter_map(|(_, (col, vs))| t.schema.col_index(col).map(|ci| (ci, vs)))
             .collect();
-        let rows = candidate_rids.iter().map(|&r| &t.rows[r]).filter(|row| {
+        let keep = |row: &&Vec<Value>| {
             residual.iter().all(|(ci, p)| p.matches(&row[*ci]))
                 && residual_in.iter().all(|(ci, vs)| vs.contains(&row[*ci]))
-        });
-        let mut df = rows_to_frame(&t.schema, rows);
+        };
+        let mut df = match &candidate_rids {
+            None => rows_to_frame(&t.schema, t.iter_rows().filter(keep)),
+            Some(rids) => rows_to_frame(&t.schema, rids.iter().map(|&r| t.row(r)).filter(keep)),
+        };
 
         // Drop rows referencing unknown predicate columns conservatively:
         // a predicate over a column the schema lacks matches nothing.

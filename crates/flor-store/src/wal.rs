@@ -6,12 +6,36 @@
 //! immediately, but recovery only surfaces rows whose transaction has a
 //! commit marker — an uncommitted tail (crashed run) is invisible, exactly
 //! the visibility semantics the paper describes.
+//!
+//! Recovery *streams* frames from the log (a small reused buffer per
+//! frame) instead of slurping the whole file into memory, so reopening a
+//! database costs O(tail) memory no matter how long the history is. With
+//! [`crate::checkpoint`] the tail itself is short: `Database::open` loads
+//! the sidecar snapshot and replays only the records the checkpoint does
+//! not cover (`base_txn` below).
 
-use crate::codec::{decode_record, encode_record, CodecError, WalRecord};
+use crate::codec::{decode_payload, encode_record, fnv1a, CodecError, WalRecord};
 use bytes::Bytes;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+
+/// Fsync the directory containing `path`, making a just-completed rename
+/// durable (file-content fsyncs alone do not order or persist the
+/// directory entry).
+fn fsync_dir(path: &Path) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    File::open(dir)?.sync_all()
+}
+
+/// Upper bound on a single frame's payload. Real frames are far smaller
+/// (rows, plus occasional `obj_store` blobs); a length prefix beyond this
+/// is treated as tail corruption rather than honoured with a giant
+/// allocation.
+const MAX_FRAME_BYTES: usize = 1 << 30;
 
 /// Where the WAL lives: a real file, or in memory (for tests and
 /// benchmarks that should not touch disk).
@@ -38,6 +62,33 @@ pub struct Wal {
     /// recovered from disk. Views use this (with the epoch) for cheap
     /// staleness checks without re-reading the log.
     pub bytes_written: u64,
+}
+
+/// Errors surfaced by WAL recovery: I/O on the log file, or a frame that
+/// is structurally bad in a way truncation can't explain.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Frame decode failure.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::Codec(e) => write!(f, "wal codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
 }
 
 impl Wal {
@@ -68,6 +119,14 @@ impl Wal {
         }
     }
 
+    /// The path of a file-backed log.
+    pub fn path(&self) -> Option<&Path> {
+        match &self.backend {
+            WalBackend::File { path, .. } => Some(path),
+            WalBackend::Memory(_) => None,
+        }
+    }
+
     /// Append a record. File backend writes through to the OS immediately
     /// (the file is opened in append mode); callers control transaction
     /// visibility via commit markers, not buffering.
@@ -92,22 +151,130 @@ impl Wal {
         Ok(())
     }
 
-    /// Read back the raw byte stream.
-    pub fn read_all(&mut self) -> std::io::Result<Vec<u8>> {
-        match &mut self.backend {
+    /// Byte length of the log. Bookkept, not re-read: `bytes_written`
+    /// includes any prefix found on disk at open time.
+    pub fn len_bytes(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Replay the log, streaming frames (no full-log buffering), skipping
+    /// every record with `txn <= base_txn` — the transactions a checkpoint
+    /// already covers. `base_txn == 0` replays everything.
+    pub fn recover(&self, base_txn: u64) -> Result<Recovery, WalError> {
+        match &self.backend {
             WalBackend::File { path, .. } => {
-                let mut f = File::open(path)?;
-                let mut buf = Vec::new();
-                f.read_to_end(&mut buf)?;
-                Ok(buf)
+                let f = File::open(path)?;
+                recover_frames(BufReader::new(f), base_txn)
             }
-            WalBackend::Memory(buf) => Ok(buf.clone()),
+            WalBackend::Memory(buf) => recover_frames(buf.as_slice(), base_txn),
         }
     }
 
-    /// Byte length of the log.
-    pub fn len_bytes(&mut self) -> std::io::Result<u64> {
-        Ok(self.read_all()?.len() as u64)
+    /// Atomically replace the log's contents with `records` — the
+    /// checkpoint truncation step. File backend stages the new log in a
+    /// sidecar temp file, fsyncs it, renames it over the old log, and
+    /// fsyncs the directory, so a crash at any point leaves either the
+    /// complete old log or the complete new one; memory backend just
+    /// swaps the buffer.
+    pub fn rewrite(&mut self, records: &[WalRecord]) -> std::io::Result<()> {
+        let mut bytes = Vec::new();
+        for rec in records {
+            bytes.extend_from_slice(&encode_record(rec));
+        }
+        match &mut self.backend {
+            WalBackend::File { file, path } => {
+                let tmp = PathBuf::from(format!("{}.rewrite", path.display()));
+                {
+                    let mut t = File::create(&tmp)?;
+                    t.write_all(&bytes)?;
+                    t.sync_data()?;
+                }
+                std::fs::rename(&tmp, &*path)?;
+                fsync_dir(path)?;
+                // The old handle points at the unlinked inode; reopen.
+                *file = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .read(true)
+                    .open(path)?;
+            }
+            WalBackend::Memory(buf) => {
+                *buf = bytes.clone();
+            }
+        }
+        self.records_written = records.len() as u64;
+        self.bytes_written = bytes.len() as u64;
+        Ok(())
+    }
+}
+
+/// A partially-built replacement log: the kept tail of `[0, upto)`
+/// already staged (and fsynced) at `<wal>.rewrite`. Built with *no*
+/// database lock held; [`Wal::finish_rewrite`] completes it under the
+/// lock by appending only what committed since.
+pub struct TailStage {
+    tmp_path: PathBuf,
+    file: File,
+    records: u64,
+}
+
+/// Stage the kept tail of the log file at `path`: decode the frames in
+/// `[0, upto)` — `upto` must be an offset captured under the database
+/// lock, so every frame below it is complete — keep those with
+/// `txn > keep_txn_above`, write them to `<path>.rewrite`, and fsync.
+/// Runs lock-free; the bulk of the truncation I/O happens here.
+pub fn stage_tail(path: &Path, upto: u64, keep_txn_above: u64) -> Result<TailStage, WalError> {
+    let f = File::open(path)?;
+    let records = read_records(BufReader::new(f).take(upto), keep_txn_above)?;
+    let tmp_path = PathBuf::from(format!("{}.rewrite", path.display()));
+    let mut file = File::create(&tmp_path)?;
+    for rec in &records {
+        file.write_all(&encode_record(rec))?;
+    }
+    file.sync_data()?;
+    Ok(TailStage {
+        tmp_path,
+        file,
+        records: records.len() as u64,
+    })
+}
+
+impl Wal {
+    /// Complete a staged rewrite under the database write lock: append
+    /// the records that landed at or past `from` (only what committed
+    /// while the stage was built — the fsync pays for the small delta,
+    /// not the whole tail), rename the staged file over the log, fsync
+    /// the directory, and reopen the append handle.
+    pub fn finish_rewrite(
+        &mut self,
+        mut stage: TailStage,
+        from: u64,
+        keep_txn_above: u64,
+    ) -> Result<(), WalError> {
+        let WalBackend::File { file, path } = &mut self.backend else {
+            return Err(WalError::Io(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "finish_rewrite requires a file-backed log",
+            )));
+        };
+        let mut reader = File::open(&*path)?;
+        reader.seek(SeekFrom::Start(from))?;
+        let delta = read_records(BufReader::new(reader), keep_txn_above)?;
+        for rec in &delta {
+            stage.file.write_all(&encode_record(rec))?;
+        }
+        stage.records += delta.len() as u64;
+        stage.file.sync_data()?;
+        std::fs::rename(&stage.tmp_path, &*path)?;
+        fsync_dir(path)?;
+        *file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&*path)?;
+        self.records_written = stage.records;
+        self.bytes_written = file.metadata().map_err(WalError::Io)?.len();
+        Ok(())
     }
 }
 
@@ -122,38 +289,105 @@ pub struct Recovery {
     pub torn_tail: bool,
     /// Highest transaction id seen (committed or not).
     pub max_txn: u64,
-    /// Number of distinct committed transactions: the epoch a database
-    /// recovered from this log resumes at.
+    /// Number of distinct committed transactions replayed — the epochs
+    /// the log tail adds on top of a checkpoint's epoch.
     pub committed_txns: usize,
+    /// Frames decoded from the log, including skipped and uncommitted
+    /// ones — the physical replay cost of this recovery.
+    pub records_replayed: usize,
+    /// Frames skipped because a checkpoint already covered their
+    /// transaction (`txn <= base_txn`).
+    pub records_skipped: usize,
 }
 
-/// Replay a WAL byte stream, honouring commit markers.
+/// Read one `[len:u32][crc:u64][payload]` frame from `r`. Returns
+/// `Ok(None)` at a clean end of stream; a partial header/payload or a
+/// checksum mismatch reads as a torn tail (`Err(Truncated)` /
+/// `Err(BadChecksum)`).
+fn read_frame(r: &mut impl Read) -> Result<Option<WalRecord>, WalError> {
+    let mut header = [0u8; 12];
+    match read_exact_or_eof(r, &mut header)? {
+        FillResult::Empty => return Ok(None),
+        FillResult::Partial => return Err(WalError::Codec(CodecError::Truncated)),
+        FillResult::Full => {}
+    }
+    let len = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    let crc = u64::from_be_bytes(header[4..12].try_into().expect("8 bytes"));
+    if len > MAX_FRAME_BYTES {
+        return Err(WalError::Codec(CodecError::Truncated));
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_or_eof(r, &mut payload)? {
+        FillResult::Full => {}
+        _ => return Err(WalError::Codec(CodecError::Truncated)),
+    }
+    if fnv1a(&payload) != crc {
+        return Err(WalError::Codec(CodecError::BadChecksum));
+    }
+    decode_payload(Bytes::from(payload))
+        .map(Some)
+        .map_err(WalError::Codec)
+}
+
+enum FillResult {
+    Full,
+    Empty,
+    Partial,
+}
+
+/// `read_exact`, but distinguishing "stream ended before the first byte"
+/// from "stream ended mid-buffer" (a torn frame).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<FillResult> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..])? {
+            0 => {
+                return Ok(if filled == 0 {
+                    FillResult::Empty
+                } else {
+                    FillResult::Partial
+                })
+            }
+            n => filled += n,
+        }
+    }
+    Ok(FillResult::Full)
+}
+
+/// Replay a WAL frame stream, honouring commit markers and skipping
+/// records whose transaction a checkpoint already covers
+/// (`txn <= base_txn`).
 ///
 /// Records after the first torn frame are dropped (append-only format: a
 /// crash can only damage the tail). Inserts from transactions that never
 /// committed are discarded.
-pub fn recover(bytes: Vec<u8>) -> Result<Recovery, CodecError> {
-    let mut buf = Bytes::from(bytes);
+pub fn recover_frames(mut read: impl Read, base_txn: u64) -> Result<Recovery, WalError> {
     let mut staged: Vec<(u64, String, Vec<flor_df::Value>)> = Vec::new();
     let mut committed_txns: std::collections::HashSet<u64> = std::collections::HashSet::new();
     let mut rec = Recovery::default();
     loop {
-        match decode_record(&mut buf) {
+        match read_frame(&mut read) {
             Ok(Some(WalRecord::Insert { txn, table, row })) => {
+                rec.records_replayed += 1;
                 rec.max_txn = rec.max_txn.max(txn);
+                if txn <= base_txn {
+                    rec.records_skipped += 1;
+                    continue;
+                }
                 staged.push((txn, table, row));
             }
             Ok(Some(WalRecord::Commit { txn })) => {
+                rec.records_replayed += 1;
                 rec.max_txn = rec.max_txn.max(txn);
+                if txn <= base_txn {
+                    rec.records_skipped += 1;
+                    continue;
+                }
                 committed_txns.insert(txn);
             }
             Ok(None) => break,
-            Err(CodecError::Truncated) => {
-                rec.torn_tail = true;
-                break;
-            }
-            Err(CodecError::BadChecksum) => {
-                // Treat like a torn tail: everything from here on is suspect.
+            Err(WalError::Codec(CodecError::Truncated | CodecError::BadChecksum)) => {
+                // Torn or corrupt: everything from here on is suspect.
                 rec.torn_tail = true;
                 break;
             }
@@ -171,6 +405,53 @@ pub fn recover(bytes: Vec<u8>) -> Result<Recovery, CodecError> {
     Ok(rec)
 }
 
+/// Replay an in-memory WAL byte stream from its start (no checkpoint
+/// base). Convenience for tests and tools holding raw bytes.
+pub fn recover(bytes: &[u8]) -> Result<Recovery, CodecError> {
+    recover_frames(bytes, 0).map_err(|e| match e {
+        WalError::Codec(c) => c,
+        // A slice reader cannot fail with a real I/O error.
+        WalError::Io(e) => CodecError::Malformed(e.to_string()),
+    })
+}
+
+/// Collect the full record stream of a reader, stopping at a torn tail —
+/// what the checkpoint truncation step uses to carry the post-checkpoint
+/// tail (and any open transaction's staged inserts) into the fresh log.
+pub fn read_records(mut read: impl Read, keep_txn_above: u64) -> Result<Vec<WalRecord>, WalError> {
+    let mut out = Vec::new();
+    loop {
+        match read_frame(&mut read) {
+            Ok(Some(rec)) => {
+                let txn = match &rec {
+                    WalRecord::Insert { txn, .. } | WalRecord::Commit { txn } => *txn,
+                };
+                if txn > keep_txn_above {
+                    out.push(rec);
+                }
+            }
+            Ok(None) => break,
+            Err(WalError::Codec(CodecError::Truncated | CodecError::BadChecksum)) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+impl Wal {
+    /// The log's records with `txn > keep_txn_above`, streamed from the
+    /// backend — the tail a checkpoint must preserve.
+    pub fn tail_records(&self, keep_txn_above: u64) -> Result<Vec<WalRecord>, WalError> {
+        match &self.backend {
+            WalBackend::File { path, .. } => {
+                let f = File::open(path)?;
+                read_records(BufReader::new(f), keep_txn_above)
+            }
+            WalBackend::Memory(buf) => read_records(buf.as_slice(), keep_txn_above),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,16 +465,25 @@ mod tests {
         }
     }
 
+    fn frames(recs: &[WalRecord]) -> Vec<u8> {
+        let mut all = Vec::new();
+        for r in recs {
+            all.extend_from_slice(&encode_record(r));
+        }
+        all
+    }
+
     #[test]
     fn committed_rows_recovered_in_order() {
         let mut wal = Wal::in_memory();
         wal.append(&ins(1, "logs", 10)).unwrap();
         wal.append(&ins(1, "logs", 11)).unwrap();
         wal.append(&WalRecord::Commit { txn: 1 }).unwrap();
-        let rec = recover(wal.read_all().unwrap()).unwrap();
+        let rec = wal.recover(0).unwrap();
         assert_eq!(rec.committed.len(), 2);
         assert_eq!(rec.committed[0].1[0], Value::Int(10));
         assert_eq!(rec.committed[1].1[0], Value::Int(11));
+        assert_eq!(rec.records_replayed, 3);
         assert!(!rec.torn_tail);
     }
 
@@ -203,39 +493,51 @@ mod tests {
         wal.append(&ins(1, "logs", 1)).unwrap();
         wal.append(&WalRecord::Commit { txn: 1 }).unwrap();
         wal.append(&ins(2, "logs", 2)).unwrap(); // never committed
-        let rec = recover(wal.read_all().unwrap()).unwrap();
+        let rec = wal.recover(0).unwrap();
         assert_eq!(rec.committed.len(), 1);
         assert_eq!(rec.discarded_uncommitted, 1);
         assert_eq!(rec.max_txn, 2);
     }
 
     #[test]
-    fn torn_tail_truncated() {
+    fn base_txn_skips_checkpointed_transactions() {
         let mut wal = Wal::in_memory();
         wal.append(&ins(1, "logs", 1)).unwrap();
         wal.append(&WalRecord::Commit { txn: 1 }).unwrap();
-        let mut bytes = wal.read_all().unwrap();
+        wal.append(&ins(2, "logs", 2)).unwrap();
+        wal.append(&WalRecord::Commit { txn: 2 }).unwrap();
+        let rec = wal.recover(1).unwrap();
+        assert_eq!(rec.committed.len(), 1);
+        assert_eq!(rec.committed[0].1[0], Value::Int(2));
+        assert_eq!(rec.committed_txns, 1);
+        assert_eq!(rec.records_skipped, 2);
+        assert_eq!(rec.max_txn, 2, "max_txn still counts skipped frames");
+    }
+
+    #[test]
+    fn torn_tail_truncated() {
+        let mut bytes = frames(&[ins(1, "logs", 1), WalRecord::Commit { txn: 1 }]);
         // Simulate a crash mid-append of a new frame.
         let extra = encode_record(&ins(2, "logs", 2));
         bytes.extend_from_slice(&extra[..extra.len() / 2]);
-        let rec = recover(bytes).unwrap();
+        let rec = recover(&bytes).unwrap();
         assert!(rec.torn_tail);
         assert_eq!(rec.committed.len(), 1);
     }
 
     #[test]
     fn corrupt_middle_stops_replay_conservatively() {
-        let mut wal = Wal::in_memory();
-        wal.append(&ins(1, "logs", 1)).unwrap();
-        wal.append(&WalRecord::Commit { txn: 1 }).unwrap();
-        wal.append(&ins(2, "logs", 2)).unwrap();
-        wal.append(&WalRecord::Commit { txn: 2 }).unwrap();
-        let mut bytes = wal.read_all().unwrap();
+        let mut bytes = frames(&[
+            ins(1, "logs", 1),
+            WalRecord::Commit { txn: 1 },
+            ins(2, "logs", 2),
+            WalRecord::Commit { txn: 2 },
+        ]);
         // Flip a payload byte in the third frame.
         let f1 = encode_record(&ins(1, "logs", 1)).len();
         let f2 = encode_record(&WalRecord::Commit { txn: 1 }).len();
         bytes[f1 + f2 + 13] ^= 0xff;
-        let rec = recover(bytes).unwrap();
+        let rec = recover(&bytes).unwrap();
         assert!(rec.torn_tail);
         assert_eq!(rec.committed.len(), 1);
     }
@@ -254,7 +556,7 @@ mod tests {
         }
         {
             let mut wal = Wal::open(&path).unwrap();
-            let rec = recover(wal.read_all().unwrap()).unwrap();
+            let rec = wal.recover(0).unwrap();
             assert_eq!(rec.committed.len(), 1);
             assert_eq!(rec.committed[0].1[0], Value::Int(99));
             // Appending after reopen extends, not truncates.
@@ -262,19 +564,47 @@ mod tests {
             wal.append(&WalRecord::Commit { txn: 2 }).unwrap();
         }
         {
-            let mut wal = Wal::open(&path).unwrap();
-            let rec = recover(wal.read_all().unwrap()).unwrap();
+            let wal = Wal::open(&path).unwrap();
+            let rec = wal.recover(0).unwrap();
             assert_eq!(rec.committed.len(), 2);
         }
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
+    fn rewrite_replaces_log_atomically() {
+        let dir = std::env::temp_dir().join(format!("florwal-rw-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rewrite.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path).unwrap();
+        for t in 1..=5u64 {
+            wal.append(&ins(t, "logs", t as i64)).unwrap();
+            wal.append(&WalRecord::Commit { txn: t }).unwrap();
+        }
+        let tail = wal.tail_records(3).unwrap();
+        assert_eq!(tail.len(), 4, "two txns × (insert + commit)");
+        wal.rewrite(&tail).unwrap();
+        assert_eq!(wal.records_written, 4);
+        // The rewritten log recovers only the preserved tail...
+        let rec = wal.recover(0).unwrap();
+        assert_eq!(rec.committed.len(), 2);
+        assert_eq!(rec.committed[0].1[0], Value::Int(4));
+        // ...and stays appendable afterwards.
+        wal.append(&ins(6, "logs", 6)).unwrap();
+        wal.append(&WalRecord::Commit { txn: 6 }).unwrap();
+        let rec = Wal::open(&path).unwrap().recover(0).unwrap();
+        assert_eq!(rec.committed.len(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn empty_wal_recovers_empty() {
-        let rec = recover(Vec::new()).unwrap();
+        let rec = recover(&[]).unwrap();
         assert!(rec.committed.is_empty());
         assert!(!rec.torn_tail);
         assert_eq!(rec.max_txn, 0);
+        assert_eq!(rec.records_replayed, 0);
     }
 
     #[test]
@@ -285,7 +615,7 @@ mod tests {
         wal.append(&ins(1, "a", 3)).unwrap();
         wal.append(&WalRecord::Commit { txn: 2 }).unwrap();
         // txn 1 never commits.
-        let rec = recover(wal.read_all().unwrap()).unwrap();
+        let rec = wal.recover(0).unwrap();
         assert_eq!(rec.committed.len(), 1);
         assert_eq!(rec.committed[0].0, "b");
         assert_eq!(rec.discarded_uncommitted, 2);

@@ -39,7 +39,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
         any::<bool>().prop_map(Value::Bool),
         (-1000i64..1000).prop_map(Value::Int),
         (-100.0f64..100.0).prop_map(Value::Float),
-        "[a-z]{0,6}".prop_map(Value::Str),
+        "[a-z]{0,6}".prop_map(Value::from),
     ]
 }
 
@@ -117,7 +117,7 @@ fn arb_pred_value() -> impl Strategy<Value = Value> {
         (-100.0f64..100.0).prop_map(Value::Float),
         Just(Value::Str("prop".into())),
         Just(Value::Str("session.fl".into())),
-        "[a-z]{0,3}".prop_map(Value::Str),
+        "[a-z]{0,3}".prop_map(Value::from),
         Just(Value::Null),
     ]
 }
