@@ -1,0 +1,251 @@
+//! Experiment: background segment compaction + zone-map pruning.
+//!
+//! A 10k-row history where the `jobs` table is latest-wins-heavy (100
+//! jobs × ~100 state transitions each: exactly the shape the flor-jobs
+//! control plane writes) plus a multi-segment `logs` history. Acceptance
+//! criteria asserted at bench time:
+//!
+//! * post-compaction full scans of the latest-wins table touch **≥ 5×
+//!   fewer rows** than pre-compaction;
+//! * a selective `tstamp`-window query prunes **≥ 80 % of segments**
+//!   through the seal-time zone maps;
+//! * both with results equivalent to the uncompacted oracle — raw scans
+//!   byte-identical for append-only tables, the latest-wins fold
+//!   byte-identical for `jobs` — and a reader pinned before the
+//!   compaction still re-scanning its original view byte-identically.
+//!
+//! Benchmarked timings compare the full-scan and window-query cost
+//! before and after the compaction pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flor_df::Value;
+use flor_store::{flor_schema, CmpOp, CompactionPolicy, Database, Predicate, Query};
+use std::collections::HashMap;
+
+const JOBS: i64 = 100;
+const TRANSITIONS_PER_JOB: i64 = 99;
+const LOG_ROWS: i64 = 10_000;
+const LOG_COMMIT_ROWS: i64 = 625; // ≥ SEGMENT_COALESCE_ROWS → 16 sealed segments
+
+fn job_row(job_id: i64, seq: i64) -> Vec<Value> {
+    let payload = if seq == 1 {
+        format!("script-source-for-job-{job_id}")
+    } else {
+        String::new()
+    };
+    vec![
+        job_id.into(),
+        seq.into(),
+        "backfill".into(),
+        0i64.into(),
+        if seq > TRANSITIONS_PER_JOB {
+            "done"
+        } else {
+            "running"
+        }
+        .into(),
+        payload.into(),
+        TRANSITIONS_PER_JOB.into(),
+        seq.into(),
+        "".into(),
+        "".into(),
+    ]
+}
+
+fn log_row(ts: i64) -> Vec<Value> {
+    vec![
+        "bench".into(),
+        ts.into(),
+        "train.fl".into(),
+        0.into(),
+        "loss".into(),
+        format!("{}", ts as f64 / 100.0).into(),
+        3.into(),
+    ]
+}
+
+/// The latest-wins fold every `jobs` consumer applies (max seq per job,
+/// payload carried forward) — the equivalence oracle for compacted scans.
+fn fold_jobs(db: &Database) -> Vec<(i64, i64, String, String)> {
+    let df = db.scan("jobs").expect("jobs scans");
+    let mut best: HashMap<i64, (i64, String, String)> = HashMap::new();
+    let mut payloads: HashMap<i64, String> = HashMap::new();
+    for row in df.rows() {
+        let id = row.get("job_id").and_then(Value::as_i64).unwrap();
+        let seq = row.get("seq").and_then(Value::as_i64).unwrap();
+        let state = row.get("state").map(|v| v.to_text()).unwrap_or_default();
+        let payload = row.get("payload").map(|v| v.to_text()).unwrap_or_default();
+        if !payload.is_empty() {
+            payloads.entry(id).or_insert_with(|| payload.clone());
+        }
+        match best.get(&id) {
+            Some((prev, _, _)) if *prev >= seq => {}
+            _ => {
+                best.insert(id, (seq, state, payload));
+            }
+        }
+    }
+    let mut out: Vec<(i64, i64, String, String)> = best
+        .into_iter()
+        .map(|(id, (seq, state, p))| {
+            let p = if p.is_empty() {
+                payloads.get(&id).cloned().unwrap_or_default()
+            } else {
+                p
+            };
+            (id, seq, state, p)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Seed a database with the latest-wins-heavy history. `jobs` rows land
+/// interleaved across many commits, like a real backfill wave would
+/// write them.
+fn seeded() -> Database {
+    let db = Database::in_memory(flor_schema());
+    // Jobs: transition waves — every job advances one seq per wave.
+    for seq in 1..=TRANSITIONS_PER_JOB {
+        for job in 1..=JOBS {
+            db.insert("jobs", job_row(job, seq)).unwrap();
+        }
+        if seq % 10 == 0 {
+            db.commit().unwrap();
+        }
+    }
+    db.commit().unwrap();
+    // Logs: big commits so each seals its own segment (zone-map targets).
+    for batch in 0..(LOG_ROWS / LOG_COMMIT_ROWS) {
+        for i in 0..LOG_COMMIT_ROWS {
+            db.insert("logs", log_row(batch * LOG_COMMIT_ROWS + i))
+                .unwrap();
+        }
+        db.commit().unwrap();
+    }
+    db
+}
+
+fn window_query() -> Query {
+    Query::table("logs")
+        .filter("tstamp", CmpOp::Ge, 4000)
+        .filter("tstamp", CmpOp::Lt, 4500)
+}
+
+fn window_predicates() -> Vec<Predicate> {
+    vec![
+        Predicate::new("tstamp", CmpOp::Ge, 4000),
+        Predicate::new("tstamp", CmpOp::Lt, 4500),
+    ]
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compaction");
+    group.sample_size(10);
+
+    let db = seeded();
+    let oracle_fold = fold_jobs(&db);
+    let oracle_logs = db.scan("logs").unwrap();
+    let jobs_rows_before = db.pin().live_rows("jobs").unwrap();
+    assert_eq!(jobs_rows_before as i64, JOBS * TRANSITIONS_PER_JOB);
+
+    group.bench_function("jobs_full_scan_uncompacted", |b| {
+        b.iter(|| db.scan("jobs").unwrap().n_rows())
+    });
+    group.bench_function("tstamp_window_uncompacted", |b| {
+        b.iter(|| db.pin().query(&window_query()).unwrap().n_rows())
+    });
+
+    // Pin a reader mid-history, then compact.
+    let pinned = db.pin();
+    let pinned_jobs = pinned.scan("jobs").unwrap();
+    let stats = db
+        .compact_with(&CompactionPolicy {
+            min_dead_rows: 1,
+            min_dead_ratio: 0.0,
+            target_segment_rows: 1024,
+        })
+        .unwrap();
+
+    // ---- acceptance: scan-volume reduction ----------------------------
+    let jobs_rows_after = db.pin().live_rows("jobs").unwrap();
+    let reduction = jobs_rows_before as f64 / jobs_rows_after as f64;
+    assert!(
+        reduction >= 5.0,
+        "post-compaction jobs scans touch {jobs_rows_after} rows vs {jobs_rows_before} \
+         ({reduction:.1}x) — acceptance requires >= 5x"
+    );
+
+    // ---- acceptance: zone-map pruning ---------------------------------
+    let (visited, total) = db
+        .pin()
+        .zone_prune_stats("logs", &window_predicates())
+        .unwrap();
+    let pruned_frac = 1.0 - visited as f64 / total as f64;
+    assert!(
+        pruned_frac >= 0.8,
+        "tstamp window visits {visited}/{total} segments \
+         ({:.0}% pruned) — acceptance requires >= 80%",
+        pruned_frac * 100.0
+    );
+
+    // ---- acceptance: equivalence to the uncompacted oracle ------------
+    assert_eq!(fold_jobs(&db), oracle_fold, "latest-wins fold changed");
+    assert_eq!(db.scan("logs").unwrap(), oracle_logs, "logs scan changed");
+    assert_eq!(
+        db.pin().query(&window_query()).unwrap(),
+        oracle_logs.filter(|r| {
+            r.get("tstamp")
+                .and_then(Value::as_i64)
+                .is_some_and(|t| (4000..4500).contains(&t))
+        }),
+        "pruned window query changed"
+    );
+    // ---- acceptance: pinned pre-compaction reader is untouched --------
+    assert_eq!(
+        pinned.scan("jobs").unwrap(),
+        pinned_jobs,
+        "pinned reader's view changed under compaction"
+    );
+
+    group.bench_function("jobs_full_scan_compacted", |b| {
+        b.iter(|| db.scan("jobs").unwrap().n_rows())
+    });
+    group.bench_function("tstamp_window_compacted", |b| {
+        b.iter(|| db.pin().query(&window_query()).unwrap().n_rows())
+    });
+
+    // Micro-bench for the amortized tail coalescing: N one-row commits.
+    // The pre-fix scheme re-copied the whole sub-threshold tail on every
+    // commit (O(N²) rows); geometric folding copies each row O(log) times.
+    group.bench_function("tiny_commits_2000", |b| {
+        b.iter(|| {
+            let db = Database::in_memory(flor_schema());
+            for i in 0..2000i64 {
+                db.insert("logs", log_row(i)).unwrap();
+                db.commit().unwrap();
+            }
+            let copied = db.stats().rows_coalesced;
+            assert!(
+                copied <= 2000 * 11,
+                "coalescing copied {copied} rows across 2000 tiny commits — \
+                 amortization bound is 11 copies/row (old scheme: ~1000/row)"
+            );
+            copied
+        })
+    });
+    group.finish();
+
+    println!(
+        "\ncompaction report: jobs rows {jobs_rows_before} -> {jobs_rows_after} \
+         ({reduction:.1}x fewer), dropped {} rows, segments {} -> {}, \
+         window visits {visited}/{total} segments ({:.0}% pruned)",
+        stats.rows_dropped,
+        stats.segments_before,
+        stats.segments_after,
+        pruned_frac * 100.0,
+    );
+}
+
+criterion_group!(benches, bench_compaction);
+criterion_main!(benches);

@@ -52,7 +52,7 @@ use flor_jobs::{
 };
 use flor_record::ReplayControl;
 use flor_script::parse;
-use flor_store::{CheckpointStats, Database, StoreResult};
+use flor_store::{CheckpointStats, CompactionStats, Database, StoreResult};
 use std::sync::Arc;
 
 /// Replay worker threads per version when submitting via the plain
@@ -65,10 +65,18 @@ pub const BACKFILL_KIND: &str = "backfill";
 /// The `jobs.kind` tag for WAL-checkpoint jobs.
 pub const CHECKPOINT_KIND: &str = "checkpoint";
 
+/// The `jobs.kind` tag for segment-compaction jobs.
+pub const COMPACTION_KIND: &str = "compaction";
+
 /// Priority checkpoint jobs are submitted at: above default backfill
 /// priority (0), so a queued checkpoint is not starved behind a long
 /// backfill's remaining versions.
 pub const CHECKPOINT_PRIORITY: i64 = 100;
+
+/// Priority compaction jobs are submitted at: above backfill (scans get
+/// faster for everyone) but below checkpoints (durability first; the two
+/// are serialized at the store layer regardless).
+pub const COMPACTION_PRIORITY: i64 = 50;
 
 /// The per-unit outcome type the kernel's shared [`JobRunner`] carries —
 /// one variant per job kind it schedules.
@@ -78,6 +86,8 @@ pub enum JobOutcome {
     Version(VersionResult),
     /// One completed store checkpoint.
     Checkpoint(CheckpointStats),
+    /// One completed segment-compaction pass.
+    Compaction(CompactionStats),
 }
 
 /// The persisted description of one backfill job. Carries the *submit
@@ -230,6 +240,42 @@ impl JobExecutor<JobOutcome> for CheckpointExecutor {
     }
 }
 
+/// The [`JobExecutor`] for segment compaction: one unit that merges cold
+/// sealed segments and drops latest-wins dead rows
+/// ([`Database::compact`]). Like checkpoints, the pass reads a pinned
+/// snapshot and publishes by pointer swap — nothing is staged, so the
+/// runner's progress transition is the only row the unit commits, and an
+/// interrupted job is simply re-run on resume (the pass is idempotent:
+/// re-compacting a compacted table is a no-op).
+struct CompactionExecutor {
+    db: Database,
+}
+
+impl JobExecutor<JobOutcome> for CompactionExecutor {
+    fn plan(&self, _spec: &JobSpec) -> Result<Vec<UnitSpec>, String> {
+        Ok(vec![UnitSpec {
+            key: 0,
+            label: "compact".to_string(),
+        }])
+    }
+
+    fn run_unit(
+        &self,
+        _spec: &JobSpec,
+        _unit: &UnitSpec,
+        _ctl: &JobControl,
+    ) -> Result<JobOutcome, String> {
+        self.db
+            .compact()
+            .map(JobOutcome::Compaction)
+            .map_err(|e| e.to_string())
+    }
+
+    fn stage_unit(&self, _: &JobSpec, _: &UnitSpec, _: &JobOutcome) -> Result<(), String> {
+        Ok(())
+    }
+}
+
 /// A handle on one background backfill job: status, live progress,
 /// per-version outcomes streaming in as versions complete, a blocking
 /// `wait`, and durable cancellation. Cloneable.
@@ -264,7 +310,7 @@ impl BackfillHandle {
             .into_iter()
             .filter_map(|r| match r {
                 JobOutcome::Version(v) => Some(v.outcome),
-                JobOutcome::Checkpoint(_) => None,
+                _ => None,
             })
             .collect();
         out.sort_by_key(|o| o.tstamp);
@@ -288,7 +334,7 @@ impl BackfillHandle {
                 .into_iter()
                 .filter_map(|r| match r {
                     JobOutcome::Version(v) => Some(v),
-                    JobOutcome::Checkpoint(_) => None,
+                    _ => None,
                 })
                 .collect(),
         )
@@ -300,13 +346,25 @@ impl BackfillHandle {
     }
 }
 
-/// A handle on one background checkpoint job. Cloneable.
-#[derive(Clone)]
-pub struct CheckpointHandle {
+/// A handle on one single-unit background maintenance job (checkpoint,
+/// compaction) whose success yields one stats value of type `T`.
+/// Cloneable; all clones observe the same job.
+pub struct MaintenanceHandle<T> {
     inner: JobHandle<JobOutcome>,
+    /// Pulls this job kind's stats out of the shared outcome enum.
+    extract: fn(JobOutcome) -> Option<T>,
 }
 
-impl CheckpointHandle {
+impl<T> Clone for MaintenanceHandle<T> {
+    fn clone(&self) -> Self {
+        MaintenanceHandle {
+            inner: self.inner.clone(),
+            extract: self.extract,
+        }
+    }
+}
+
+impl<T> MaintenanceHandle<T> {
     /// The job's durable id (its key in the `jobs` table).
     pub fn job_id(&self) -> JobId {
         self.inner.job_id()
@@ -317,18 +375,14 @@ impl CheckpointHandle {
         self.inner.state()
     }
 
-    /// Block until the checkpoint completes; `Some(stats)` on success,
-    /// `None` if the job failed or was cancelled (see
-    /// [`CheckpointHandle::detail`]).
-    pub fn wait(&self) -> Option<CheckpointStats> {
+    /// Block until the job is terminal; `Some(stats)` on success, `None`
+    /// if it failed or was cancelled (see [`MaintenanceHandle::detail`]).
+    pub fn wait(&self) -> Option<T> {
         self.inner
             .wait()
             .outcomes
             .into_iter()
-            .find_map(|r| match r {
-                JobOutcome::Checkpoint(stats) => Some(stats),
-                JobOutcome::Version(_) => None,
-            })
+            .find_map(self.extract)
     }
 
     /// Failure detail, if the job failed.
@@ -336,6 +390,12 @@ impl CheckpointHandle {
         self.inner.detail()
     }
 }
+
+/// A handle on one background checkpoint job.
+pub type CheckpointHandle = MaintenanceHandle<CheckpointStats>;
+
+/// A handle on one background segment-compaction job.
+pub type CompactionHandle = MaintenanceHandle<CompactionStats>;
 
 impl Flor {
     /// Submit a background backfill of `names` over every prior run of
@@ -396,7 +456,13 @@ impl Flor {
             db: self.db.clone(),
         });
         let inner = self.runner.submit(spec, executor)?;
-        Ok(CheckpointHandle { inner })
+        Ok(CheckpointHandle {
+            inner,
+            extract: |o| match o {
+                JobOutcome::Checkpoint(stats) => Some(stats),
+                _ => None,
+            },
+        })
     }
 
     /// Checkpoint synchronously: submit and wait. `Err` if the job
@@ -405,6 +471,42 @@ impl Flor {
         let handle = self.submit_checkpoint()?;
         handle.wait().ok_or_else(|| {
             flor_store::StoreError::Invalid(format!("checkpoint failed: {}", handle.detail()))
+        })
+    }
+
+    /// Submit a background segment compaction: merge cold sealed
+    /// segments and drop latest-wins dead rows (superseded `jobs`
+    /// transitions), scheduled on the kernel's job runner at
+    /// [`COMPACTION_PRIORITY`] so it is board-visible and resumed on
+    /// reopen like any other job. Returns immediately.
+    ///
+    /// The store also auto-triggers compaction from the commit layer when
+    /// a table's dead-row ratio crosses the configured threshold (see
+    /// [`Flor::set_compaction_trigger`]).
+    pub fn submit_compaction(&self) -> StoreResult<CompactionHandle> {
+        let spec = JobSpec {
+            kind: COMPACTION_KIND.to_string(),
+            priority: COMPACTION_PRIORITY,
+            payload: String::new(),
+        };
+        let executor = Arc::new(CompactionExecutor {
+            db: self.db.clone(),
+        });
+        let inner = self.runner.submit(spec, executor)?;
+        Ok(CompactionHandle {
+            inner,
+            extract: |o| match o {
+                JobOutcome::Compaction(stats) => Some(stats),
+                _ => None,
+            },
+        })
+    }
+
+    /// Compact synchronously: submit and wait. `Err` if the job failed.
+    pub fn compact(&self) -> StoreResult<CompactionStats> {
+        let handle = self.submit_compaction()?;
+        handle.wait().ok_or_else(|| {
+            flor_store::StoreError::Invalid(format!("compaction failed: {}", handle.detail()))
         })
     }
 
@@ -427,6 +529,14 @@ impl Flor {
                 // operation is idempotent (pin, serialize, truncate).
                 CHECKPOINT_KIND => {
                     let executor = Arc::new(CheckpointExecutor {
+                        db: self.db.clone(),
+                    });
+                    self.runner.resume(&rec, executor)?;
+                }
+                // Likewise for compaction: re-running over an already
+                // compacted store is a cheap no-op pass.
+                COMPACTION_KIND => {
+                    let executor = Arc::new(CompactionExecutor {
                         db: self.db.clone(),
                     });
                     self.runner.resume(&rec, executor)?;
@@ -588,6 +698,101 @@ with flor.checkpointing(net) {
         quiet.commit("run").unwrap();
         std::thread::sleep(std::time::Duration::from_millis(50));
         assert_eq!(quiet.db.stats().checkpoints, 0);
+    }
+
+    #[test]
+    fn compaction_job_drops_dead_rows_and_lands_on_the_board() {
+        let flor = seeded(3);
+        flor.submit_backfill("train.fl", &["acc"]).unwrap().wait();
+        // Re-log the same value name at the same coordinates: the pivot
+        // only ever shows the last write, but `logs` declares no
+        // latest-wins policy (replay needs every row), so compaction must
+        // keep all five rows while still dropping dead `jobs` transitions.
+        flor.set_filename("train.fl");
+        for round in 0..5 {
+            flor.log("status", format!("round {round}"));
+        }
+        flor.commit("re-log").unwrap();
+        flor.job_runner().wait_idle();
+        let logs_rows = flor.db.row_count("logs").unwrap();
+        assert_eq!(flor.db.dead_rows("logs").unwrap(), 0, "logs has no policy");
+        assert!(
+            flor.db.dead_rows("jobs").unwrap() > 0,
+            "job transitions leave dead rows"
+        );
+        let before_inc = flor.dataframe(&["loss", "acc"]).unwrap();
+        let stats = flor.compact().unwrap();
+        assert!(stats.rows_dropped > 0);
+        assert_eq!(
+            flor.db.row_count("logs").unwrap(),
+            logs_rows,
+            "every raw log row survives — replay depends on them"
+        );
+        flor.job_runner().wait_idle();
+        // Board-visible like any other job.
+        assert!(flor
+            .jobs()
+            .unwrap()
+            .iter()
+            .any(|j| j.kind == COMPACTION_KIND && j.state == JobState::Done));
+        // Query results are unchanged: the incremental view, the
+        // from-scratch oracle (over the compacted scan), and the
+        // pre-compaction frame all agree.
+        let after_inc = flor.dataframe(&["loss", "acc"]).unwrap();
+        let after_full = flor.dataframe_full(&["loss", "acc"]).unwrap();
+        assert_eq!(after_inc, before_inc);
+        assert_eq!(after_full, before_inc);
+        // The jobs fold still resolves every payload/state.
+        let recs = flor_jobs::recover_records(&flor.db).unwrap();
+        assert!(recs.iter().all(|r| r.state.is_terminal()));
+        assert!(
+            recs.iter()
+                .filter(|r| r.kind == BACKFILL_KIND)
+                .all(|r| !r.payload.is_empty()),
+            "carry-forward payloads survive"
+        );
+    }
+
+    #[test]
+    fn unfinished_compaction_job_is_resumed_on_reopen() {
+        let dir = std::env::temp_dir().join(format!("flor-compact-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join("resume.wal");
+        let _ = std::fs::remove_file(&wal);
+        let _ = std::fs::remove_file(flor_store::checkpoint::sidecar_path(&wal));
+        {
+            // Persist a Queued compaction transition without running it —
+            // the on-disk shape a crash right after submit leaves behind.
+            let flor = Flor::open("resume", &wal).unwrap();
+            let rec = JobRecord {
+                job_id: 77,
+                seq: 1,
+                kind: COMPACTION_KIND.to_string(),
+                priority: COMPACTION_PRIORITY,
+                state: JobState::Queued,
+                payload: String::new(),
+                units_total: 1,
+                units_done: 0,
+                done_keys: Vec::new(),
+                detail: String::new(),
+            };
+            flor.db.insert("jobs", rec.row()).unwrap();
+            flor.db.commit().unwrap();
+            flor.job_runner().wait_idle();
+        }
+        {
+            let flor = Flor::open_with_workers("resume", &wal, 1).unwrap();
+            flor.job_runner().wait_idle();
+            let rec = flor
+                .jobs()
+                .unwrap()
+                .into_iter()
+                .find(|j| j.job_id == 77)
+                .expect("recovered job");
+            assert_eq!(rec.state, JobState::Done, "resumed and completed");
+        }
+        let _ = std::fs::remove_file(&wal);
+        let _ = std::fs::remove_file(flor_store::checkpoint::sidecar_path(&wal));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::jobs::JobOutcome;
 use flor_df::{DataFrame, DataType, Value};
 use flor_git::{Oid, Repository, VirtualFs};
 use flor_jobs::{JobBoard, JobRunner};
-use flor_store::{flor_schema, Database, StoreError, StoreResult};
+use flor_store::{flor_schema, CompactionTrigger, Database, StoreError, StoreResult};
 use flor_view::ViewCatalog;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -138,10 +138,11 @@ impl Flor {
     }
 
     fn with_db(projid: &str, db: Database, workers: usize) -> Flor {
-        // Auto-checkpointing is enforced at the store commit layer, so
-        // background-job transactions trip it too, not only the kernel's
-        // own commits.
+        // Auto-checkpointing and auto-compaction are enforced at the
+        // store commit layer, so background-job transactions trip them
+        // too, not only the kernel's own commits.
         db.set_auto_checkpoint(Some(DEFAULT_CHECKPOINT_THRESHOLD_BYTES));
+        db.set_auto_compact(Some(CompactionTrigger::default()));
         Flor {
             views: ViewCatalog::new(db.clone(), VIEW_CACHE_CAPACITY),
             runner: JobRunner::new(db.clone(), workers),
@@ -167,6 +168,16 @@ impl Flor {
     /// to [`DEFAULT_CHECKPOINT_THRESHOLD_BYTES`].
     pub fn set_checkpoint_threshold(&self, bytes: Option<u64>) {
         self.db.set_auto_checkpoint(bytes);
+    }
+
+    /// Set (or disable, with `None`) the commit-layer compaction trigger:
+    /// every `check_every_rows` appended rows a background pass evaluates
+    /// dead-row ratios and compacts tables past the policy thresholds.
+    /// Enforced at the store layer like auto-checkpointing; defaults to
+    /// [`CompactionTrigger::default`]. For a one-off, board-visible pass
+    /// use [`Flor::submit_compaction`] instead.
+    pub fn set_compaction_trigger(&self, trigger: Option<CompactionTrigger>) {
+        self.db.set_auto_compact(trigger);
     }
 
     /// Set the executing filename (the paper profiles this automatically at

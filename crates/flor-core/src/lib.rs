@@ -44,7 +44,8 @@ pub mod runtime;
 
 pub use hindsight::{backfill, runs_of, BackfillReport, VersionOutcome, VersionResult};
 pub use jobs::{
-    BackfillHandle, CheckpointHandle, JobOutcome, CHECKPOINT_PRIORITY, DEFAULT_REPLAY_PARALLELISM,
+    BackfillHandle, CheckpointHandle, CompactionHandle, JobOutcome, MaintenanceHandle,
+    CHECKPOINT_PRIORITY, COMPACTION_PRIORITY, DEFAULT_REPLAY_PARALLELISM,
 };
 pub use kernel::{Flor, BLOB_SPILL_BYTES, DEFAULT_CHECKPOINT_THRESHOLD_BYTES, DEFAULT_JOB_WORKERS};
 pub use query::QueryBuilder;

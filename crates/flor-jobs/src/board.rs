@@ -103,8 +103,10 @@ impl JobBoard {
             if batch.epoch <= g.epoch {
                 continue;
             }
-            if batch.epoch != g.epoch + 1 {
-                // Slow consumer: the feed shed batches we never polled.
+            if batch.first_epoch() != g.epoch + 1 {
+                // Slow consumer: the feed shed batches we never polled
+                // (coalesced batches widen `span` instead, and stay
+                // contiguous).
                 return self.rebuild(g);
             }
             for delta in batch.deltas.iter() {
@@ -248,7 +250,10 @@ mod tests {
     }
 
     #[test]
-    fn board_rebuilds_on_feed_gap() {
+    fn board_absorbs_batch_overflow_without_rebuild() {
+        // Past the feed's batch-count bound the queue coalesces adjacent
+        // batches instead of shedding, so the board keeps applying deltas
+        // — no gap, no rebuild (only the initial snapshot build counts).
         use flor_store::feed::MAX_PENDING_BATCHES;
         let db = Database::in_memory(flor_schema());
         let board = JobBoard::new(db.clone());
@@ -261,9 +266,34 @@ mod tests {
         let listed = board.list().unwrap();
         assert_eq!(listed.len(), 1);
         assert_eq!(listed[0].seq, MAX_PENDING_BATCHES as i64 + 20);
-        assert_eq!(board.rebuilds(), 2, "gap forces one snapshot rebuild");
+        assert_eq!(board.rebuilds(), 1, "coalescing keeps the feed gap-free");
+    }
+
+    #[test]
+    fn board_rebuilds_once_on_feed_gap() {
+        // Overflowing the queue's hard delta bound forces a shed; the
+        // board detects the gap and rebuilds exactly once.
+        use flor_store::feed::MAX_PENDING_DELTAS;
+        let db = Database::in_memory(flor_schema());
+        let board = JobBoard::new(db.clone());
+        board.list().unwrap(); // subscribe
+        let per_commit = 64i64;
+        let commits = MAX_PENDING_DELTAS as i64 / per_commit + 40;
+        let mut seq = 0i64;
+        for _ in 0..commits {
+            for _ in 0..per_commit {
+                seq += 1;
+                db.insert("jobs", transition(1, seq, JobState::Running))
+                    .unwrap();
+            }
+            db.commit().unwrap();
+        }
+        let listed = board.list().unwrap();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].seq, seq);
+        assert_eq!(board.rebuilds(), 2, "one gap, one rebuild");
         // And deltas apply again afterwards.
-        db.insert("jobs", transition(1, 9_999, JobState::Done))
+        db.insert("jobs", transition(1, 999_999, JobState::Done))
             .unwrap();
         db.commit().unwrap();
         assert_eq!(board.list().unwrap()[0].state, JobState::Done);

@@ -1,0 +1,343 @@
+//! The segment compaction planner: merge cold sealed segments, drop
+//! latest-wins dead rows.
+//!
+//! PR 4's MVCC layout seals every commit into immutable segments and
+//! coalesces only the small tail; the sealed middle is never merged, and
+//! latest-wins tables (`jobs` state transitions) accumulate dead rows
+//! every scan still touches. This module plans the maintenance pass
+//! [`crate::Database::compact_with`] executes:
+//!
+//! 1. **Liveness fold.** For tables with a declared
+//!    [`LatestWins`] policy, one pass over the pinned version computes
+//!    the winning row per key (max `ord`, ties to the oldest row — the
+//!    `recover_records` convention — or pure insertion order without an
+//!    `ord` column) and the carry-forward rows the fold still needs
+//!    (`jobs.payload` lands only on a job's first transition).
+//!    Everything else is dead.
+//! 2. **Run selection.** Adjacent segments are grouped into runs of at
+//!    most `target_segment_rows` live rows; a run is rewritten when it
+//!    merges ≥ 2 segments or drops ≥ 1 dead row, and passed through
+//!    untouched (same `Arc`) otherwise.
+//!
+//! The plan is computed against a pinned version with no lock held; the
+//! publish step validates, under the write lock, that the planned
+//! segments are still the table's segments (by pointer identity) and
+//! retries the table when a concurrent commit folded the tail meanwhile.
+//!
+//! Rewritten segments keep their rows' original global row ids through an
+//! explicit rid map (`Segment::seal_mapped`), so index postings and
+//! pinned readers agree on identity across compactions; rid holes are why
+//! `TableVersion::row` returns `Option`.
+
+use crate::db::{Segment, TableVersion};
+use crate::schema::LatestWins;
+use flor_df::Value;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Tuning knobs for one compaction pass. The default is the explicit
+/// "compact whatever is worth compacting" policy: any dead row is worth
+/// dropping, any mergeable run is worth merging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactionPolicy {
+    /// Drop dead rows only when a table has at least this many.
+    pub min_dead_rows: usize,
+    /// ... and the dead fraction of the table is at least this.
+    pub min_dead_ratio: f64,
+    /// Cap on live rows per merged segment: runs close at this size, so
+    /// compaction also right-sizes segments for zone-map pruning instead
+    /// of producing one monolith per table.
+    pub target_segment_rows: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> CompactionPolicy {
+        CompactionPolicy {
+            min_dead_rows: 1,
+            min_dead_ratio: 0.0,
+            target_segment_rows: 4096,
+        }
+    }
+}
+
+/// When the commit layer triggers a background compaction (see
+/// [`crate::Database::set_auto_compact`]). The commit path pays one
+/// counter bump; the dead-row analysis runs on the spawned thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactionTrigger {
+    /// Appended rows between trigger evaluations.
+    pub check_every_rows: u64,
+    /// The policy the background pass runs with.
+    pub policy: CompactionPolicy,
+}
+
+impl Default for CompactionTrigger {
+    fn default() -> CompactionTrigger {
+        CompactionTrigger {
+            check_every_rows: 4096,
+            policy: CompactionPolicy {
+                // Conservative background thresholds: don't churn tables
+                // whose dead fraction is still small.
+                min_dead_rows: 1024,
+                min_dead_ratio: 0.25,
+                target_segment_rows: 4096,
+            },
+        }
+    }
+}
+
+/// Summary of one completed [`crate::Database::compact_with`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Tables whose segment list was replaced.
+    pub tables_compacted: usize,
+    /// Runs of adjacent segments merged into one.
+    pub runs_merged: usize,
+    /// Segments across all tables before the pass.
+    pub segments_before: usize,
+    /// Segments across all tables after the pass.
+    pub segments_after: usize,
+    /// Superseded rows dropped.
+    pub rows_dropped: usize,
+    /// Live rows copied into merged segments (the rewrite cost).
+    pub rows_rewritten: usize,
+}
+
+/// One table's planned replacement: the segments to swap out (kept for
+/// pointer-identity validation at publish time) and what replaces them.
+pub(crate) struct TableCompaction {
+    /// The exact segment list this plan replaces — the table's segments
+    /// at planning time.
+    pub source: Vec<Arc<Segment>>,
+    /// Their replacement (merged/pruned, or pass-through `Arc`s).
+    pub new_segments: Vec<Arc<Segment>>,
+    /// Runs of ≥ 2 segments merged.
+    pub runs_merged: usize,
+    /// Dead rows dropped.
+    pub rows_dropped: usize,
+    /// Live rows copied into rewritten segments.
+    pub rows_rewritten: usize,
+}
+
+/// The global row ids a latest-wins fold of `t` retains: per key, the
+/// winning row (max `ord`, ties to the oldest rid — the
+/// `recover_records` convention) plus — per carry-forward column whose
+/// winner cell is empty — the oldest row holding a non-empty value.
+fn retained_rids(t: &TableVersion, lw: &LatestWins) -> HashSet<usize> {
+    let key_pos: Vec<usize> = lw
+        .key
+        .iter()
+        .filter_map(|c| t.schema.col_index(c))
+        .collect();
+    let ord_pos = lw.ord.as_ref().and_then(|c| t.schema.col_index(c));
+    let carry_pos: Vec<usize> = lw
+        .carry_first
+        .iter()
+        .filter_map(|c| t.schema.col_index(c))
+        .collect();
+    // A policy naming any unknown column can't be folded faithfully —
+    // a typo'd `ord` would silently change which row wins, a typo'd
+    // carry column would drop the carrier. Keep every row instead.
+    if key_pos.len() != lw.key.len()
+        || ord_pos.is_none() != lw.ord.is_none()
+        || carry_pos.len() != lw.carry_first.len()
+    {
+        return all_rids(t);
+    }
+    struct KeyState {
+        winner_rid: usize,
+        winner_ord: Option<Value>,
+        /// Per carry column: oldest rid with a non-empty cell.
+        carry_rid: Vec<Option<usize>>,
+    }
+    let mut keys: HashMap<Vec<Value>, KeyState> = HashMap::new();
+    for seg in &t.segments {
+        for (local, row) in seg.rows.iter().enumerate() {
+            let rid = seg.rid_at(local);
+            let key: Vec<Value> = key_pos.iter().map(|&p| row[p].clone()).collect();
+            let ord = ord_pos.map(|p| row[p].clone());
+            let entry = keys.entry(key).or_insert_with(|| KeyState {
+                winner_rid: rid,
+                winner_ord: ord.clone(),
+                carry_rid: vec![None; carry_pos.len()],
+            });
+            // Segments are walked in ascending rid order. With an `ord`
+            // column a strictly greater value wins (ties keep the older
+            // row — the `recover_records` fold convention); without one,
+            // insertion order decides and the newest row wins.
+            let wins = match (&ord, &entry.winner_ord) {
+                (Some(a), Some(b)) => a > b,
+                _ => true,
+            };
+            if rid != entry.winner_rid && wins {
+                entry.winner_rid = rid;
+                entry.winner_ord = ord;
+            }
+            for (ci, &p) in carry_pos.iter().enumerate() {
+                if entry.carry_rid[ci].is_none() && !cell_is_empty(&row[p]) {
+                    entry.carry_rid[ci] = Some(rid);
+                }
+            }
+        }
+    }
+    let mut retained = HashSet::with_capacity(keys.len());
+    for state in keys.values() {
+        retained.insert(state.winner_rid);
+        if carry_pos.is_empty() {
+            continue;
+        }
+        let winner = t.row(state.winner_rid).expect("winner rid is retained");
+        for (ci, &p) in carry_pos.iter().enumerate() {
+            if cell_is_empty(&winner[p]) {
+                if let Some(rid) = state.carry_rid[ci] {
+                    retained.insert(rid);
+                }
+            }
+        }
+    }
+    retained
+}
+
+fn all_rids(t: &TableVersion) -> HashSet<usize> {
+    t.segments
+        .iter()
+        .flat_map(|s| (0..s.rows.len()).map(move |i| s.rid_at(i)))
+        .collect()
+}
+
+/// "Empty" for carry-forward purposes: a null, or text of length zero —
+/// the shape of a `jobs.payload` cell on every transition after the
+/// first.
+fn cell_is_empty(v: &Value) -> bool {
+    match v {
+        Value::Null => true,
+        Value::Str(s) => s.is_empty(),
+        _ => false,
+    }
+}
+
+/// Dead-row count for one table version under its declared policy (0
+/// without one) — the observability fold behind
+/// [`crate::Database::dead_rows`].
+pub(crate) fn dead_rows(t: &TableVersion) -> usize {
+    match &t.schema.latest_wins {
+        None => 0,
+        Some(lw) => t.total_rows - retained_rids(t, lw).len(),
+    }
+}
+
+/// Plan one table's compaction, or `None` when there is nothing worth
+/// doing. Pure read over the pinned version; builds the replacement
+/// segments eagerly (still off-lock — the caller publishes them).
+pub(crate) fn plan_table(t: &TableVersion, policy: &CompactionPolicy) -> Option<TableCompaction> {
+    let k = t.segments.len();
+    if k == 0 {
+        return None;
+    }
+    let retained = t.schema.latest_wins.as_ref().map(|lw| retained_rids(t, lw));
+    let droppable: usize = match &retained {
+        None => 0,
+        Some(r) => t.total_rows - r.len(),
+    };
+    let drop_mode = droppable >= policy.min_dead_rows.max(1)
+        && droppable as f64 >= policy.min_dead_ratio * t.total_rows as f64;
+    let keep =
+        |rid: usize| -> bool { !drop_mode || retained.as_ref().is_none_or(|r| r.contains(&rid)) };
+    // Group the segments into runs of at most target_segment_rows live
+    // rows (an oversized single segment forms its own run).
+    let live: Vec<usize> = t
+        .segments
+        .iter()
+        .map(|s| (0..s.rows.len()).filter(|&i| keep(s.rid_at(i))).count())
+        .collect();
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    let (mut run_start, mut run_live) = (0usize, 0usize);
+    for (i, &n) in live.iter().enumerate() {
+        if i > run_start && run_live + n > policy.target_segment_rows {
+            runs.push((run_start, i));
+            run_start = i;
+            run_live = 0;
+        }
+        run_live += n;
+    }
+    runs.push((run_start, k));
+
+    let mut plan = TableCompaction {
+        source: t.segments.clone(),
+        new_segments: Vec::new(),
+        runs_merged: 0,
+        rows_dropped: 0,
+        rows_rewritten: 0,
+    };
+    let mut rewrote = false;
+    for &(a, b) in &runs {
+        let run_rows: usize = t.segments[a..b].iter().map(|s| s.rows.len()).sum();
+        let run_live: usize = live[a..b].iter().sum();
+        if b - a == 1 && run_live == run_rows && run_rows <= policy.target_segment_rows {
+            // Nothing to merge, drop or split: pass the segment through.
+            plan.new_segments.push(Arc::clone(&t.segments[a]));
+            continue;
+        }
+        // Rewrite the run, chunking the output at target_segment_rows —
+        // this both caps merged segments and *splits* an oversized
+        // monolith (e.g. a pre-chunking recovery segment) so zone maps
+        // get ranges narrow enough to prune.
+        rewrote = true;
+        let mut rids: Vec<usize> = Vec::new();
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut chunks: Vec<Arc<Segment>> = Vec::new();
+        for seg in &t.segments[a..b] {
+            for (local, row) in seg.rows.iter().enumerate() {
+                let rid = seg.rid_at(local);
+                if keep(rid) {
+                    rids.push(rid);
+                    rows.push(row.clone());
+                    if rows.len() >= policy.target_segment_rows {
+                        chunks.push(Arc::new(Segment::seal_mapped(
+                            &t.schema,
+                            std::mem::take(&mut rids),
+                            std::mem::take(&mut rows),
+                        )));
+                    }
+                } else {
+                    plan.rows_dropped += 1;
+                }
+            }
+        }
+        if !rows.is_empty() {
+            chunks.push(Arc::new(Segment::seal_mapped(&t.schema, rids, rows)));
+        }
+        plan.rows_rewritten += chunks.iter().map(|s| s.rows.len()).sum::<usize>();
+        plan.new_segments.extend(chunks);
+        if b - a > 1 {
+            plan.runs_merged += 1;
+        }
+    }
+    if !rewrote {
+        return None;
+    }
+    Some(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_eager_and_trigger_is_conservative() {
+        let p = CompactionPolicy::default();
+        assert_eq!(p.min_dead_rows, 1);
+        assert_eq!(p.min_dead_ratio, 0.0);
+        let t = CompactionTrigger::default();
+        assert!(t.policy.min_dead_rows > p.min_dead_rows);
+        assert!(t.policy.min_dead_ratio > 0.0);
+    }
+
+    #[test]
+    fn empty_cell_detection() {
+        assert!(cell_is_empty(&Value::Null));
+        assert!(cell_is_empty(&Value::Str("".into())));
+        assert!(!cell_is_empty(&Value::Str("x".into())));
+        assert!(!cell_is_empty(&Value::Int(0)));
+    }
+}

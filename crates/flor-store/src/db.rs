@@ -26,22 +26,54 @@
 //! `snapshot_isolation` property test).
 //!
 //! Secondary hash indexes are per-segment, built once at seal time, with
-//! global row ids (`segment.start + local offset`) so multi-segment
-//! results recover scan order by a plain sort.
+//! global row ids so multi-segment results recover scan order by a plain
+//! sort. Seal time also builds per-segment **zone maps** — min/max per
+//! column — which the query planner uses to prune whole segments from
+//! range scans (`tstamp` windows, time travel) without reading a row.
+//!
+//! # Segment lifecycle: seal → coalesce → compact → checkpoint
+//!
+//! 1. **Seal.** A commit seals its staged rows into a fresh immutable
+//!    segment (indexes + zone maps built once, rows never mutated).
+//! 2. **Coalesce.** Small trailing segments are folded geometrically at
+//!    commit time (a segment is absorbed only once the incoming run is at
+//!    least its size, up to [`SEGMENT_COALESCE_ROWS`]), so N tiny commits
+//!    cost O(N log N) row copies — not O(N²) — and leave O(log N)
+//!    segments. Only the trailing run of small, contiguous segments is
+//!    ever touched by a commit; everything before it is *cold*.
+//! 3. **Compact.** [`Database::compact`] merges runs of cold sealed
+//!    segments into fewer, right-sized ones and — for tables with a
+//!    declared [`crate::schema::LatestWins`] policy (the `jobs` control
+//!    plane) — drops rows a newer row has superseded, so scans touch
+//!    only live data. (`logs` deliberately declares no policy: replay
+//!    and the pivot depend on raw row order and multiplicity — see
+//!    [`crate::schema::flor_schema`].) Compacted segments carry an explicit rid map (the
+//!    dropped rows leave holes in the global row-id space) and the
+//!    successor table version is published by the same pointer swap a
+//!    commit uses: snapshots pinned before the compaction keep re-reading
+//!    their original segments, byte-identically, forever. Compaction
+//!    never bumps the epoch and publishes nothing to the change feed —
+//!    it is invisible to every fold-respecting reader.
+//! 4. **Checkpoint.** [`Database::checkpoint`] serializes a pinned
+//!    snapshot to a `<wal>.ckpt` sidecar and truncates the WAL to the
+//!    uncovered tail, making [`Database::open`] O(live data). A
+//!    checkpoint taken after a compaction persists the *compacted* state,
+//!    which is how dropped rows eventually leave the log too (see
+//!    [`crate::checkpoint`] for the crash-safety argument). Compactions
+//!    and checkpoints are serialized against each other.
 //!
 //! # Durability
 //!
 //! Writes go to the [`crate::wal`] as before (staged inserts immediately,
-//! visibility at the commit marker). [`Database::checkpoint`] serializes
-//! a pinned snapshot to a `<wal>.ckpt` sidecar and truncates the WAL to
-//! the uncovered tail, making [`Database::open`] O(live data): load the
-//! sidecar, replay only the tail (see [`crate::checkpoint`] for the
-//! crash-safety argument, including a crash *between* the sidecar write
-//! and the truncation).
+//! visibility at the commit marker). Compaction itself writes nothing:
+//! replaying the full WAL reproduces the uncompacted state, and the next
+//! checkpoint captures the compacted one.
 
 use crate::checkpoint::{self, CheckpointData};
 use crate::codec::WalRecord;
+use crate::compact::{self, CompactionPolicy, CompactionStats, CompactionTrigger};
 use crate::feed::{CommitBatch, Publisher, RowDelta, Subscription};
+use crate::query::{CmpOp, Predicate};
 use crate::schema::TableSchema;
 use crate::wal::{Wal, WalError};
 use flor_df::{Column, DataFrame, DfResult, Value};
@@ -50,12 +82,21 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
 
-/// Tail segments smaller than this are coalesced into their successor at
-/// commit time, bounding per-table segment counts (and therefore pin and
-/// multi-segment-lookup costs) under many small commits. Coalescing
-/// copies at most this many row vectors of cheap `Arc`-clone values; the
-/// sealed segments readers already pinned are untouched.
+/// Tail segments smaller than this participate in commit-time coalescing.
+/// Folding is geometric — a trailing segment is absorbed only when the
+/// incoming run is at least its size — so each row is re-copied O(log)
+/// times on its way to a full-size segment, and sub-threshold segment
+/// counts stay logarithmic in history. The sealed segments readers
+/// already pinned are untouched. Segments at or past this size are never
+/// modified by commits again: they are *cold*, and only [`Database::compact`]
+/// may replace them.
 pub const SEGMENT_COALESCE_ROWS: usize = 512;
+
+/// Chunk size for segments sealed on the recovery path
+/// ([`Database::open`]): a reopened table is rebuilt as several
+/// bounded segments rather than one history-wide monolith, so zone-map
+/// pruning keeps working across restarts.
+pub const RECOVERED_SEGMENT_ROWS: usize = 4096;
 
 /// Store-level errors.
 #[derive(Debug)]
@@ -108,22 +149,58 @@ impl From<WalError> for StoreError {
 /// Result alias for store operations.
 pub type StoreResult<T> = Result<T, StoreError>;
 
-/// One immutable run of committed rows. Sealed at commit time, shared by
-/// `Arc` between the live table and every pinned snapshot; never mutated
-/// afterwards.
+/// One immutable run of committed rows. Sealed at commit time (or built
+/// by compaction), shared by `Arc` between the live table and every
+/// pinned snapshot; never mutated afterwards.
 #[derive(Debug)]
 pub(crate) struct Segment {
     /// Global row id of this segment's first row.
     pub start: usize,
-    /// Committed rows, in insertion order.
+    /// Committed rows, in insertion (global row id) order.
     pub rows: Vec<Vec<Value>>,
+    /// Global row id of each row, ascending. `None` for plain sealed
+    /// segments whose rids are contiguous (`start + offset`); `Some` for
+    /// compacted segments where dropped rows left holes in the rid space.
+    pub rids: Option<Vec<usize>>,
     /// column name → value → local row offsets (ascending). Built once
     /// at seal time.
     pub indexes: HashMap<String, HashMap<Value, Vec<u32>>>,
+    /// column name → (min, max) over this segment's rows, built once at
+    /// seal time (segments are immutable, so zone maps are free to keep
+    /// current). Range and equality predicates prune whole segments with
+    /// them; absent for empty segments.
+    pub zones: HashMap<String, (Value, Value)>,
 }
 
 impl Segment {
     fn seal(schema: &TableSchema, start: usize, rows: Vec<Vec<Value>>) -> Segment {
+        Segment::build(schema, start, None, rows)
+    }
+
+    /// Seal a compacted segment whose retained rows keep their original
+    /// (now non-contiguous) global row ids. Contiguous rid runs collapse
+    /// back to a plain segment.
+    pub(crate) fn seal_mapped(
+        schema: &TableSchema,
+        rids: Vec<usize>,
+        rows: Vec<Vec<Value>>,
+    ) -> Segment {
+        debug_assert_eq!(rids.len(), rows.len());
+        debug_assert!(rids.windows(2).all(|w| w[0] < w[1]), "rids ascending");
+        let start = rids.first().copied().unwrap_or(0);
+        let contiguous = rids
+            .last()
+            .is_none_or(|&last| last + 1 - start == rids.len());
+        let rids = if contiguous { None } else { Some(rids) };
+        Segment::build(schema, start, rids, rows)
+    }
+
+    fn build(
+        schema: &TableSchema,
+        start: usize,
+        rids: Option<Vec<usize>>,
+        rows: Vec<Vec<Value>>,
+    ) -> Segment {
         let mut indexes: HashMap<String, HashMap<Value, Vec<u32>>> = schema
             .columns
             .iter()
@@ -138,21 +215,93 @@ impl Segment {
                 idx.entry(row[pos].clone()).or_default().push(i as u32);
             }
         }
+        let mut zones = HashMap::new();
+        for (pos, col) in schema.columns.iter().enumerate() {
+            let mut vals = rows.iter().map(|r| &r[pos]);
+            if let Some(first) = vals.next() {
+                let (mut lo, mut hi) = (first, first);
+                for v in vals {
+                    if v < lo {
+                        lo = v;
+                    }
+                    if v > hi {
+                        hi = v;
+                    }
+                }
+                zones.insert(col.name.clone(), (lo.clone(), hi.clone()));
+            }
+        }
         Segment {
             start,
             rows,
+            rids,
             indexes,
+            zones,
         }
+    }
+
+    /// The global row id of the row at local offset `local`.
+    pub fn rid_at(&self, local: usize) -> usize {
+        match &self.rids {
+            Some(rids) => rids[local],
+            None => self.start + local,
+        }
+    }
+
+    /// The local offset of global row id `rid`, if this segment retains
+    /// it (a compacted segment may have dropped it).
+    pub fn local_of(&self, rid: usize) -> Option<usize> {
+        match &self.rids {
+            Some(rids) => rids.binary_search(&rid).ok(),
+            None => {
+                (rid >= self.start && rid < self.start + self.rows.len()).then(|| rid - self.start)
+            }
+        }
+    }
+
+    /// Whether this segment's zone map admits any row satisfying `pred`.
+    /// `true` means "must scan"; `false` proves no row here can match.
+    /// Columns without a zone (unknown column, empty segment) are never
+    /// pruned.
+    pub fn may_match(&self, pred: &Predicate) -> bool {
+        let Some((lo, hi)) = self.zones.get(&pred.col) else {
+            return true;
+        };
+        let v = &pred.value;
+        match pred.op {
+            CmpOp::Eq => v >= lo && v <= hi,
+            CmpOp::Ne => !(lo == hi && lo == v),
+            CmpOp::Lt => lo < v,
+            CmpOp::Le => lo <= v,
+            CmpOp::Gt => hi > v,
+            CmpOp::Ge => hi >= v,
+        }
+    }
+
+    /// Zone check for an equality lookup on `col` (the index fast path's
+    /// pre-filter: segments whose range excludes the value skip the hash
+    /// probe entirely).
+    pub fn zone_admits_eq(&self, col: &str, v: &Value) -> bool {
+        self.zones
+            .get(col)
+            .is_none_or(|(lo, hi)| v >= lo && v <= hi)
     }
 }
 
 /// One published version of a table: its schema plus the segment list at
-/// some epoch. Immutable; commits publish a successor version.
+/// some epoch. Immutable; commits (and compactions) publish a successor
+/// version.
 #[derive(Debug)]
 pub(crate) struct TableVersion {
     pub schema: Arc<TableSchema>,
     pub segments: Vec<Arc<Segment>>,
+    /// Live (retained) rows across all segments — what a full scan
+    /// touches. Compaction shrinks this; the rid space does not shrink.
     pub total_rows: usize,
+    /// Global row-id high watermark: the rid the next appended row gets.
+    /// Diverges from `total_rows` once compaction drops dead rows (rids
+    /// are never reused, so pinned index results stay unambiguous).
+    pub next_rid: usize,
 }
 
 impl TableVersion {
@@ -161,36 +310,63 @@ impl TableVersion {
             schema,
             segments: Vec::new(),
             total_rows: 0,
+            next_rid: 0,
         }
     }
 
-    /// Successor version with `new_rows` appended: seals a new segment,
-    /// coalescing a small tail segment (not the pinned copies of it).
-    fn with_appended(&self, new_rows: Vec<Vec<Value>>) -> TableVersion {
+    /// Successor version with `new_rows` appended. The incoming run is
+    /// sealed as a segment, geometrically folding in trailing segments no
+    /// larger than itself (and below [`SEGMENT_COALESCE_ROWS`]) — the
+    /// amortization that keeps N tiny commits at O(N log N) copied rows
+    /// instead of O(N²). Pinned copies of the folded segments are
+    /// untouched. Returns the successor and how many existing rows were
+    /// re-copied by the fold (the coalescing cost a bench can assert on).
+    fn with_appended(&self, new_rows: Vec<Vec<Value>>) -> (TableVersion, u64) {
         let mut segments = self.segments.clone();
         let added = new_rows.len();
-        let merged = match segments.last() {
-            Some(last) if last.rows.len() < SEGMENT_COALESCE_ROWS => {
-                let last = segments.pop().expect("just matched");
-                let mut rows = last.rows.clone();
-                rows.extend(new_rows);
-                Segment::seal(&self.schema, last.start, rows)
+        let mut rows = new_rows;
+        let mut start = self.next_rid;
+        let mut copied = 0u64;
+        while let Some(last) = segments.last() {
+            // Compacted segments (rid-mapped) are cold: commits never
+            // re-open them. Plain segments fold only while they are both
+            // small and no larger than the run being sealed — and flush
+            // with the run's first rid: a compaction that dropped a dead
+            // suffix can leave a plain segment ending below `next_rid`,
+            // and folding across that hole would re-issue dropped rids.
+            if last.rids.is_some()
+                || last.rows.len() >= SEGMENT_COALESCE_ROWS
+                || last.rows.len() > rows.len()
+                || last.start + last.rows.len() != start
+            {
+                break;
             }
-            _ => Segment::seal(&self.schema, self.total_rows, new_rows),
-        };
-        segments.push(Arc::new(merged));
-        TableVersion {
-            schema: Arc::clone(&self.schema),
-            segments,
-            total_rows: self.total_rows + added,
+            let last = segments.pop().expect("just peeked");
+            copied += last.rows.len() as u64;
+            start = last.start;
+            let mut merged = last.rows.clone();
+            merged.extend(rows);
+            rows = merged;
         }
+        segments.push(Arc::new(Segment::seal(&self.schema, start, rows)));
+        (
+            TableVersion {
+                schema: Arc::clone(&self.schema),
+                segments,
+                total_rows: self.total_rows + added,
+                next_rid: self.next_rid + added,
+            },
+            copied,
+        )
     }
 
-    /// Row by global id.
-    pub fn row(&self, rid: usize) -> &Vec<Value> {
-        let i = self.segments.partition_point(|s| s.start <= rid) - 1;
-        let seg = &self.segments[i];
-        &seg.rows[rid - seg.start]
+    /// Row by global id. `None` for rids past the high watermark or
+    /// dropped by compaction — callers must not assume every rid below
+    /// [`TableVersion::next_rid`] is still retained.
+    pub fn row(&self, rid: usize) -> Option<&Vec<Value>> {
+        let i = self.segments.partition_point(|s| s.start <= rid);
+        let seg = self.segments.get(i.checked_sub(1)?)?;
+        seg.rows.get(seg.local_of(rid)?)
     }
 
     /// All rows, in insertion (global id) order.
@@ -207,15 +383,19 @@ impl TableVersion {
     }
 
     /// Global row ids matching `col == value` via the per-segment
-    /// indexes, ascending. `None` when the column has no index.
+    /// indexes, ascending. `None` when the column has no index. Segments
+    /// whose zone map excludes `value` are skipped before the hash probe.
     pub fn index_rids(&self, col: &str, value: &Value) -> Option<Vec<usize>> {
         if !self.has_index(col) {
             return None;
         }
         let mut out = Vec::new();
         for seg in &self.segments {
+            if !seg.zone_admits_eq(col, value) {
+                continue;
+            }
             if let Some(postings) = seg.indexes.get(col).and_then(|idx| idx.get(value)) {
-                out.extend(postings.iter().map(|&i| seg.start + i as usize));
+                out.extend(postings.iter().map(|&i| seg.rid_at(i as usize)));
             }
         }
         Some(out)
@@ -226,9 +406,23 @@ impl TableVersion {
     pub fn index_len(&self, col: &str, value: &Value) -> usize {
         self.segments
             .iter()
+            .filter(|seg| seg.zone_admits_eq(col, value))
             .filter_map(|seg| seg.indexes.get(col).and_then(|idx| idx.get(value)))
             .map(Vec::len)
             .sum()
+    }
+
+    /// The segments a scan under `predicates` must visit, by zone map:
+    /// a segment is skipped when any predicate provably matches no row in
+    /// it. Sound for conjunctions only (which is what [`crate::query::Query`]
+    /// evaluates).
+    pub fn pruned_segments<'a>(
+        &'a self,
+        predicates: &'a [&'a Predicate],
+    ) -> impl Iterator<Item = &'a Arc<Segment>> + 'a {
+        self.segments
+            .iter()
+            .filter(move |s| predicates.iter().all(|p| s.may_match(p)))
     }
 }
 
@@ -283,6 +477,21 @@ struct DbInner {
     /// checkpoint (None = disabled, the store default; the kernel turns
     /// it on).
     auto_checkpoint: Option<u64>,
+    /// Commit-layer compaction trigger (None = disabled, the store
+    /// default; the kernel turns it on). Every `check_every_rows`
+    /// appended rows, a background thread evaluates dead-row ratios and
+    /// compacts tables past the policy thresholds.
+    auto_compact: Option<CompactionTrigger>,
+    /// Rows appended since the auto-compact trigger last fired.
+    rows_since_compact_check: u64,
+    /// Compaction passes completed by this handle.
+    compactions: u64,
+    /// Superseded rows dropped by compaction so far.
+    rows_dropped: u64,
+    /// Rows re-copied by commit-time tail coalescing so far — the
+    /// amortization cost `with_appended` pays (a micro-bench asserts it
+    /// stays O(N log N) across N tiny commits).
+    rows_coalesced: u64,
     /// Checkpoints taken by this handle.
     checkpoints: u64,
     /// Epoch of the newest completed checkpoint.
@@ -297,13 +506,18 @@ struct DbInner {
 #[derive(Clone)]
 pub struct Database {
     inner: Arc<RwLock<DbInner>>,
-    /// Serializes whole checkpoints. Two concurrent checkpoints could
-    /// otherwise interleave so that a *stale* sidecar (pinned earlier)
-    /// overwrites a newer one after the newer run already truncated the
-    /// WAL — permanently losing the transactions in between.
+    /// Serializes whole checkpoints — and compactions, which share this
+    /// mutex so a compaction's pointer swap never interleaves with a
+    /// checkpoint's pin/serialize/truncate sequence. Two concurrent
+    /// checkpoints could otherwise interleave so that a *stale* sidecar
+    /// (pinned earlier) overwrites a newer one after the newer run
+    /// already truncated the WAL — permanently losing the transactions in
+    /// between.
     ckpt_serial: Arc<parking_lot::Mutex<()>>,
     /// Single-flight guard for the auto-checkpoint thread.
     auto_ckpt_running: Arc<std::sync::atomic::AtomicBool>,
+    /// Single-flight guard for the auto-compaction thread.
+    auto_compact_running: Arc<std::sync::atomic::AtomicBool>,
 }
 
 impl std::fmt::Debug for Database {
@@ -364,7 +578,10 @@ impl Snapshot {
     pub fn lookup(&self, table: &str, col: &str, value: &Value) -> StoreResult<DataFrame> {
         let t = self.table(table)?;
         if let Some(rids) = t.index_rids(col, value) {
-            return Ok(rows_to_frame(&t.schema, rids.iter().map(|&r| t.row(r))));
+            return Ok(rows_to_frame(
+                &t.schema,
+                rids.iter().filter_map(|&r| t.row(r)),
+            ));
         }
         let pos = t
             .schema
@@ -388,7 +605,10 @@ impl Snapshot {
                 .collect();
             rids.sort_unstable();
             rids.dedup();
-            return Ok(rows_to_frame(&t.schema, rids.iter().map(|&r| t.row(r))));
+            return Ok(rows_to_frame(
+                &t.schema,
+                rids.iter().filter_map(|&r| t.row(r)),
+            ));
         }
         let pos = t
             .schema
@@ -403,6 +623,27 @@ impl Snapshot {
     /// Execute a [`crate::query::Query`] against this snapshot.
     pub fn query(&self, q: &crate::query::Query) -> StoreResult<DataFrame> {
         q.run_on(self.table(q.table_name())?)
+    }
+
+    /// Zone-map pruning accounting for a full scan of `table` under the
+    /// conjunction of `predicates`: `(segments that must be visited,
+    /// total segments)`. What the compaction bench and property tests
+    /// assert pruning ratios on.
+    pub fn zone_prune_stats(
+        &self,
+        table: &str,
+        predicates: &[Predicate],
+    ) -> StoreResult<(usize, usize)> {
+        let t = self.table(table)?;
+        let refs: Vec<&Predicate> = predicates.iter().collect();
+        Ok((t.pruned_segments(&refs).count(), t.segments.len()))
+    }
+
+    /// Live (retained) rows in `table` — what a full scan touches. After
+    /// a compaction of a latest-wins table this is smaller than the rid
+    /// high watermark.
+    pub fn live_rows(&self, table: &str) -> StoreResult<usize> {
+        Ok(self.table(table)?.total_rows)
     }
 
     /// Total committed rows across all tables.
@@ -451,6 +692,13 @@ pub struct DbStats {
     pub checkpoints: u64,
     /// Epoch of the newest completed checkpoint (0 if none).
     pub last_checkpoint_epoch: u64,
+    /// Compaction passes completed by this handle.
+    pub compactions: u64,
+    /// Superseded rows dropped by compaction so far.
+    pub rows_dropped: u64,
+    /// Rows re-copied by commit-time tail coalescing so far (the
+    /// amortized cost of keeping segment counts logarithmic).
+    pub rows_coalesced: u64,
     /// Live change-feed subscriptions.
     pub subscribers: usize,
 }
@@ -484,6 +732,22 @@ impl Database {
             })
             .collect();
         let mut recovery_info = RecoveryInfo::default();
+        // Seal recovered rows in bounded chunks, not one monolith per
+        // table: zone-map pruning needs multiple segments to prune, and
+        // a single history-wide segment's min/max covers everything. The
+        // chunks are >= SEGMENT_COALESCE_ROWS, so commit-time folding
+        // never re-merges them.
+        let append_chunked =
+            |tables: &mut HashMap<String, Arc<TableVersion>>, name: &str, rows: Vec<Vec<Value>>| {
+                if let Some(t) = tables.get_mut(name) {
+                    let mut rows = rows;
+                    while !rows.is_empty() {
+                        let rest = rows.split_off(rows.len().min(RECOVERED_SEGMENT_ROWS));
+                        *t = Arc::new(t.with_appended(rows).0);
+                        rows = rest;
+                    }
+                }
+            };
         let (base_epoch, base_txn) = match ckpt {
             Some(data) => {
                 recovery_info.from_checkpoint = true;
@@ -491,11 +755,7 @@ impl Database {
                 // sidecar decode is the only copy on the reopen path.
                 for (name, rows) in data.tables {
                     recovery_info.checkpoint_rows += rows.len();
-                    if let Some(t) = tables.get_mut(&name) {
-                        if !rows.is_empty() {
-                            *t = Arc::new(t.with_appended(rows));
-                        }
-                    }
+                    append_chunked(&mut tables, &name, rows);
                 }
                 (data.epoch, data.max_txn)
             }
@@ -504,16 +764,13 @@ impl Database {
         let recovery = wal.recover(base_txn)?;
         recovery_info.wal_records_replayed = recovery.records_replayed;
         recovery_info.rows_replayed = recovery.committed.len();
-        // Group the replayed tail per table, preserving log order, and
-        // seal one segment per table.
+        // Group the replayed tail per table, preserving log order.
         let mut per_table: HashMap<String, Vec<Vec<Value>>> = HashMap::new();
         for (tname, row) in recovery.committed {
             per_table.entry(tname).or_default().push(row);
         }
         for (tname, rows) in per_table {
-            if let Some(t) = tables.get_mut(&tname) {
-                *t = Arc::new(t.with_appended(rows));
-            }
+            append_chunked(&mut tables, &tname, rows);
         }
         // Uncommitted ids from a crashed process never commit later, so
         // the checkpoint coverage bound may safely advance past them.
@@ -521,6 +778,7 @@ impl Database {
         Ok(Database {
             ckpt_serial: Arc::new(parking_lot::Mutex::new(())),
             auto_ckpt_running: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            auto_compact_running: Arc::new(std::sync::atomic::AtomicBool::new(false)),
             inner: Arc::new(RwLock::new(DbInner {
                 tables: Arc::new(tables),
                 next_txn: last_committed_txn + 1,
@@ -530,6 +788,11 @@ impl Database {
                 last_committed_txn,
                 feed: Publisher::default(),
                 auto_checkpoint: None,
+                auto_compact: None,
+                rows_since_compact_check: 0,
+                compactions: 0,
+                rows_dropped: 0,
+                rows_coalesced: 0,
                 checkpoints: 0,
                 last_checkpoint_epoch: if recovery_info.from_checkpoint {
                     base_epoch
@@ -633,27 +896,41 @@ impl Database {
             }
         }
         let tables = Arc::make_mut(&mut g.tables);
+        let mut coalesced = 0u64;
         for (tname, rows) in per_table {
             if let Some(t) = tables.get_mut(&tname) {
-                *t = Arc::new(t.with_appended(rows));
+                let (next, copied) = t.with_appended(rows);
+                *t = Arc::new(next);
+                coalesced += copied;
             }
         }
+        g.rows_coalesced += coalesced;
         g.epoch += 1;
         g.last_committed_txn = txn;
         if publishing {
             let batch = CommitBatch {
                 epoch: g.epoch,
                 txn,
+                span: 1,
                 deltas: Arc::new(deltas),
             };
             g.feed.publish(batch);
         }
-        // Auto-checkpoint lives here, at the store commit layer, so every
-        // writer trips it — including background jobs, whose per-unit
-        // transactions never pass through the kernel's commit API.
+        // Auto-checkpoint and auto-compaction live here, at the store
+        // commit layer, so every writer trips them — including background
+        // jobs, whose per-unit transactions never pass through the
+        // kernel's commit API.
         let trigger = g
             .auto_checkpoint
             .is_some_and(|threshold| g.wal.len_bytes() >= threshold);
+        g.rows_since_compact_check += n as u64;
+        let compact_policy = match &g.auto_compact {
+            Some(t) if g.rows_since_compact_check >= t.check_every_rows => Some(t.policy.clone()),
+            _ => None,
+        };
+        if compact_policy.is_some() {
+            g.rows_since_compact_check = 0;
+        }
         drop(g);
         if trigger
             && !self
@@ -667,6 +944,19 @@ impl Database {
                     .store(false, std::sync::atomic::Ordering::SeqCst);
             });
         }
+        if let Some(policy) = compact_policy {
+            if !self
+                .auto_compact_running
+                .swap(true, std::sync::atomic::Ordering::SeqCst)
+            {
+                let db = self.clone();
+                std::thread::spawn(move || {
+                    let _ = db.compact_with(&policy);
+                    db.auto_compact_running
+                        .store(false, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+        }
         Ok(n)
     }
 
@@ -676,6 +966,122 @@ impl Database {
     /// are serialized regardless).
     pub fn set_auto_checkpoint(&self, threshold: Option<u64>) {
         self.inner.write().auto_checkpoint = threshold;
+    }
+
+    /// Enable (or disable, with `None`) commit-layer auto-compaction:
+    /// every `trigger.check_every_rows` appended rows, one background
+    /// [`Database::compact_with`] runs under `trigger.policy`
+    /// (single-flight; compactions are serialized against checkpoints
+    /// regardless). The commit path itself only bumps a counter — the
+    /// dead-row analysis happens on the background thread.
+    pub fn set_auto_compact(&self, trigger: Option<CompactionTrigger>) {
+        self.inner.write().auto_compact = trigger;
+    }
+
+    /// Compact every table under the default [`CompactionPolicy`]: merge
+    /// runs of cold sealed segments and drop every row superseded under
+    /// the table's declared [`crate::schema::LatestWins`] policy.
+    pub fn compact(&self) -> StoreResult<CompactionStats> {
+        self.compact_with(&CompactionPolicy::default())
+    }
+
+    /// Compact every table under `policy`. Runs in three phases, like a
+    /// checkpoint: pin the current table versions (O(1) under the read
+    /// lock), plan and build replacement segments with **no lock held**,
+    /// then publish each table's successor version by pointer swap under
+    /// the write lock. The swap validates — by pointer identity — that
+    /// the planned segments are still the table's segments; a table whose
+    /// tail a concurrent commit folded meanwhile is re-planned (bounded
+    /// retries), so the writer is never blocked by the rewrite work.
+    ///
+    /// Snapshots pinned before the swap keep re-scanning their original
+    /// segments byte-identically; the epoch does not move and nothing is
+    /// published to the change feed — for every reader that folds
+    /// latest-wins tables by their declared policy (all of them do),
+    /// compaction is invisible except for speed.
+    pub fn compact_with(&self, policy: &CompactionPolicy) -> StoreResult<CompactionStats> {
+        // Serialized against checkpoints (and other compactions): the
+        // shared mutex means a checkpoint observes either the fully
+        // pre-compaction or fully post-compaction state.
+        let _serial = self.ckpt_serial.lock();
+        let mut stats = CompactionStats {
+            segments_before: {
+                let g = self.inner.read();
+                g.tables.values().map(|t| t.segments.len()).sum()
+            },
+            ..CompactionStats::default()
+        };
+        // `None` = every table is still a candidate; after a raced swap,
+        // only the raced tables are re-planned.
+        let mut remaining: Option<Vec<String>> = None;
+        for _attempt in 0..3 {
+            let pinned = Arc::clone(&self.inner.read().tables);
+            let mut plans = Vec::new();
+            for (name, t) in pinned.iter() {
+                if remaining.as_ref().is_some_and(|r| !r.contains(name)) {
+                    continue;
+                }
+                if let Some(plan) = compact::plan_table(t, policy) {
+                    plans.push((name.clone(), plan));
+                }
+            }
+            if plans.is_empty() {
+                break;
+            }
+            let mut raced = Vec::new();
+            {
+                let mut g = self.inner.write();
+                let tables = Arc::make_mut(&mut g.tables);
+                for (name, plan) in plans {
+                    let Some(cur) = tables.get_mut(&name) else {
+                        continue;
+                    };
+                    let stable = cur.segments.len() == plan.source.len()
+                        && plan
+                            .source
+                            .iter()
+                            .zip(cur.segments.iter())
+                            .all(|(a, b)| Arc::ptr_eq(a, b));
+                    if !stable {
+                        raced.push(name);
+                        continue;
+                    }
+                    let total_rows = plan.new_segments.iter().map(|s| s.rows.len()).sum();
+                    *cur = Arc::new(TableVersion {
+                        schema: Arc::clone(&cur.schema),
+                        segments: plan.new_segments,
+                        total_rows,
+                        next_rid: cur.next_rid,
+                    });
+                    stats.tables_compacted += 1;
+                    stats.runs_merged += plan.runs_merged;
+                    stats.rows_dropped += plan.rows_dropped;
+                    stats.rows_rewritten += plan.rows_rewritten;
+                }
+            }
+            if raced.is_empty() {
+                break;
+            }
+            remaining = Some(raced);
+        }
+        let mut g = self.inner.write();
+        stats.segments_after = g.tables.values().map(|t| t.segments.len()).sum();
+        if stats.tables_compacted > 0 {
+            g.compactions += 1;
+            g.rows_dropped += stats.rows_dropped as u64;
+        }
+        Ok(stats)
+    }
+
+    /// How many of `table`'s rows are dead under its declared
+    /// [`crate::schema::LatestWins`] policy — rows a compaction would
+    /// drop (0 for tables without a policy). Observability for trigger
+    /// tuning and tests; runs the same fold the compaction planner uses,
+    /// against a pinned snapshot.
+    pub fn dead_rows(&self, table: &str) -> StoreResult<usize> {
+        let snap = self.pin();
+        let t = snap.table(table)?;
+        Ok(compact::dead_rows(t))
     }
 
     /// Subscribe to the change feed: every subsequent [`Database::commit`]
@@ -878,6 +1284,9 @@ impl Database {
             wal_offset_bytes: g.wal.len_bytes(),
             checkpoints: g.checkpoints,
             last_checkpoint_epoch: g.last_checkpoint_epoch,
+            compactions: g.compactions,
+            rows_dropped: g.rows_dropped,
+            rows_coalesced: g.rows_coalesced,
             subscribers: g.feed.live(),
         }
     }
@@ -1014,9 +1423,40 @@ mod tests {
                 .unwrap();
             db.commit().unwrap();
         }
-        // 50 one-row commits coalesce into a single tail segment, not 50.
-        assert_eq!(db.stats().segments, 1);
+        // Geometric coalescing: 50 one-row commits leave O(log n) tail
+        // segments (the binary-counter invariant), not 50 and not 1.
+        assert!(
+            db.stats().segments <= 6,
+            "got {} segments",
+            db.stats().segments
+        );
         assert_eq!(db.row_count("t").unwrap(), 50);
+    }
+
+    #[test]
+    fn tail_coalescing_cost_is_amortized_not_quadratic() {
+        // The old scheme re-copied the whole sub-threshold tail on every
+        // commit: N one-row commits copied ~N²/2 rows. Geometric folding
+        // copies each row O(log N) times on its way up.
+        let n: usize = 256;
+        let db = Database::in_memory(tiny_schema());
+        for i in 0..n {
+            db.insert("t", vec![format!("k{i}").into(), (i as i64).into()])
+                .unwrap();
+            db.commit().unwrap();
+        }
+        let copied = db.stats().rows_coalesced;
+        let quadratic = (n * (n - 1) / 2) as u64;
+        let amortized_bound = (n * 8) as u64; // n · log2(256)
+        assert!(
+            copied <= amortized_bound,
+            "coalescing copied {copied} rows; amortized bound is {amortized_bound} \
+             (the old quadratic scheme copies {quadratic})"
+        );
+        // And the rows all arrive, in order.
+        let df = db.scan("t").unwrap();
+        assert_eq!(df.n_rows(), n);
+        assert_eq!(df.get(n - 1, "v"), Some(&Value::Int(n as i64 - 1)));
     }
 
     #[test]
@@ -1334,13 +1774,58 @@ mod tests {
         }
         assert_eq!(sub.pending(), MAX_PENDING_BATCHES);
         let batches = sub.poll();
-        // Oldest batches were shed: the survivor prefix starts past epoch 1
-        // (visible to consumers as an epoch gap) and ends at the newest.
-        assert_eq!(batches[0].epoch, 51);
+        // The overflow was absorbed by coalescing, not shedding: some
+        // batches widened (span > 1), every delta survives, and the
+        // epochs stay contiguous end to end.
+        assert_eq!(batches[0].first_epoch(), 1);
+        assert!(batches.iter().any(|b| b.span > 1), "pairs were merged");
         assert_eq!(
             batches.last().unwrap().epoch,
             (MAX_PENDING_BATCHES + 50) as u64
         );
+        let total: usize = batches.iter().map(|b| b.deltas.len()).sum();
+        assert_eq!(total, MAX_PENDING_BATCHES + 50, "no delta was lost");
+        for w in batches.windows(2) {
+            assert_eq!(w[1].first_epoch(), w[0].epoch + 1, "no epoch gap");
+        }
+    }
+
+    #[test]
+    fn sustained_overload_sheds_only_past_the_delta_bound() {
+        // Regression for the rebuild-storm: coalescing absorbs sustained
+        // overload gap-free until the queue's hard delta bound, and only
+        // then sheds — a slow subscriber rebuilds at most once per drain
+        // instead of once per overflowing commit.
+        use crate::feed::{MAX_PENDING_BATCHES, MAX_PENDING_DELTAS};
+        let rows_per_commit = 32usize;
+        let commits = MAX_PENDING_DELTAS / rows_per_commit + 200;
+        let db = Database::in_memory(tiny_schema());
+        let sub = db.subscribe();
+        for i in 0..commits {
+            for j in 0..rows_per_commit {
+                db.insert(
+                    "t",
+                    vec![format!("k{i}").into(), ((i * 64 + j) as i64).into()],
+                )
+                .unwrap();
+            }
+            db.commit().unwrap();
+        }
+        assert!(sub.pending() <= MAX_PENDING_BATCHES);
+        let batches = sub.poll();
+        let retained: usize = batches.iter().map(|b| b.deltas.len()).sum();
+        assert!(
+            retained <= MAX_PENDING_DELTAS + rows_per_commit,
+            "queue memory stays bounded ({retained} deltas retained)"
+        );
+        // At most one discontinuity: everything after the first surviving
+        // batch is contiguous, so one rebuild catches the consumer up.
+        let gaps = batches
+            .windows(2)
+            .filter(|w| w[1].first_epoch() != w[0].epoch + 1)
+            .count();
+        assert_eq!(gaps, 0, "shedding only ever trims the queue's front");
+        assert_eq!(batches.last().unwrap().epoch, commits as u64);
     }
 
     #[test]
@@ -1381,6 +1866,362 @@ mod tests {
         assert_eq!(frames[0].n_rows(), 2);
         assert_eq!(frames[1].n_rows(), 3);
         assert!(db.snapshot_with(&[Query::table("absent")]).is_err());
+    }
+
+    fn lw_schema() -> Vec<TableSchema> {
+        use crate::schema::LatestWins;
+        vec![TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::indexed("k", ColType::Int),
+                ColumnDef::new("s", ColType::Int),
+                ColumnDef::new("p", ColType::Str),
+            ],
+        )
+        .with_latest_wins(LatestWins::new(&["k"], Some("s")).carry_first(&["p"]))]
+    }
+
+    #[test]
+    fn compaction_merges_cold_segments_preserving_scans() {
+        let db = Database::in_memory(tiny_schema());
+        for batch in 0..5 {
+            for i in 0..SEGMENT_COALESCE_ROWS {
+                db.insert(
+                    "t",
+                    vec![
+                        format!("k{batch}").into(),
+                        ((batch * 10_000 + i) as i64).into(),
+                    ],
+                )
+                .unwrap();
+            }
+            db.commit().unwrap();
+        }
+        assert_eq!(db.stats().segments, 5);
+        let before = db.scan("t").unwrap();
+        let pinned = db.pin();
+        let stats = db.compact().unwrap();
+        assert_eq!(stats.tables_compacted, 1);
+        assert_eq!(stats.rows_dropped, 0, "no latest-wins policy declared");
+        assert!(stats.segments_after < stats.segments_before);
+        // Scans, pinned or fresh, are byte-identical across the swap.
+        assert_eq!(db.scan("t").unwrap(), before);
+        assert_eq!(pinned.scan("t").unwrap(), before);
+        // Index lookups agree too (rids are preserved by the merge).
+        let df = db.lookup("t", "k", &"k3".into()).unwrap();
+        assert_eq!(df.n_rows(), SEGMENT_COALESCE_ROWS);
+        // A second pass finds nothing left to do.
+        let again = db.compact().unwrap();
+        assert_eq!(again.tables_compacted, 0);
+    }
+
+    #[test]
+    fn compaction_drops_superseded_rows_and_keeps_carry_payload() {
+        let db = Database::in_memory(lw_schema());
+        // 4 generations of the same 128 keys; the payload lands only on
+        // generation 0 (the `jobs.payload` shape).
+        for gen in 0..4i64 {
+            for k in 0..128i64 {
+                let p = if gen == 0 {
+                    format!("pay{k}")
+                } else {
+                    String::new()
+                };
+                db.insert("t", vec![k.into(), gen.into(), p.into()])
+                    .unwrap();
+            }
+            db.commit().unwrap();
+        }
+        assert_eq!(db.dead_rows("t").unwrap(), 256, "2 middle generations dead");
+        let pinned = db.pin();
+        let before = pinned.scan("t").unwrap();
+        let stats = db.compact().unwrap();
+        assert_eq!(stats.rows_dropped, 256);
+        assert_eq!(db.dead_rows("t").unwrap(), 0);
+        // Live rows: 128 winners (gen 3) + 128 carry rows (gen 0, payload).
+        let snap = db.pin();
+        assert_eq!(snap.live_rows("t").unwrap(), 256);
+        let df = snap.scan("t").unwrap();
+        // The latest-wins fold over the compacted scan matches the fold
+        // over the uncompacted oracle: max s per key, payload carried.
+        let fold = |df: &DataFrame| -> Vec<(i64, i64, String)> {
+            let mut best: HashMap<i64, (i64, String)> = HashMap::new();
+            let mut pay: HashMap<i64, String> = HashMap::new();
+            for r in df.rows() {
+                let k = r.get("k").and_then(Value::as_i64).unwrap();
+                let s = r.get("s").and_then(Value::as_i64).unwrap();
+                let p = r.get("p").map(|v| v.to_text()).unwrap_or_default();
+                if !p.is_empty() {
+                    pay.entry(k).or_insert(p.clone());
+                }
+                match best.get(&k) {
+                    Some((prev, _)) if *prev >= s => {}
+                    _ => {
+                        best.insert(k, (s, p));
+                    }
+                }
+            }
+            let mut out: Vec<(i64, i64, String)> = best
+                .into_iter()
+                .map(|(k, (s, p))| {
+                    let p = if p.is_empty() {
+                        pay.get(&k).cloned().unwrap_or_default()
+                    } else {
+                        p
+                    };
+                    (k, s, p)
+                })
+                .collect();
+            out.sort();
+            out
+        };
+        assert_eq!(fold(&df), fold(&before));
+        assert_eq!(fold(&df)[5], (5, 3, "pay5".to_string()));
+        // The pre-compaction pin still re-reads every superseded row.
+        assert_eq!(pinned.scan("t").unwrap(), before);
+        assert_eq!(pinned.row_count("t").unwrap(), 512);
+        // Indexed lookups against the compacted version return only live
+        // rows, in insertion order.
+        let hits = db.lookup("t", "k", &7i64.into()).unwrap();
+        assert_eq!(hits.n_rows(), 2);
+        assert_eq!(hits.get(0, "s"), Some(&Value::Int(0)));
+        assert_eq!(hits.get(1, "s"), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn appends_after_compaction_use_fresh_rids() {
+        let db = Database::in_memory(lw_schema());
+        for gen in 0..2i64 {
+            for k in 0..256i64 {
+                db.insert("t", vec![k.into(), gen.into(), "".into()])
+                    .unwrap();
+            }
+            db.commit().unwrap();
+        }
+        db.compact().unwrap();
+        let live_before = db.pin().live_rows("t").unwrap();
+        assert_eq!(live_before, 256);
+        // New commits append past the rid high watermark; their rows are
+        // reachable by index and by scan, and never collide with holes.
+        for k in 0..10i64 {
+            db.insert("t", vec![k.into(), 99i64.into(), "".into()])
+                .unwrap();
+        }
+        db.commit().unwrap();
+        let hits = db.lookup("t", "k", &3i64.into()).unwrap();
+        assert_eq!(hits.n_rows(), 2);
+        assert_eq!(
+            hits.column("s").unwrap().values,
+            vec![Value::Int(1), Value::Int(99)]
+        );
+        assert_eq!(db.pin().live_rows("t").unwrap(), 266);
+    }
+
+    #[test]
+    fn dropped_suffix_rids_are_never_reissued() {
+        // A dead row at the very end of a table (an equal-`s` tie loses
+        // to the older row) leaves the compacted tail segment ending
+        // below `next_rid`. The next commit must NOT fold into it with
+        // implicit rids — that would re-issue the dropped rid.
+        let db = Database::in_memory(lw_schema());
+        db.insert("t", vec![1i64.into(), 5i64.into(), "pay".into()])
+            .unwrap();
+        db.insert("t", vec![1i64.into(), 5i64.into(), "".into()])
+            .unwrap();
+        db.commit().unwrap();
+        let stats = db.compact().unwrap();
+        assert_eq!(stats.rows_dropped, 1, "tie keeps the older row");
+        db.insert("t", vec![2i64.into(), 1i64.into(), "".into()])
+            .unwrap();
+        db.commit().unwrap();
+        let g = db.inner.read();
+        let t = g.tables.get("t").unwrap();
+        assert_eq!(t.row(0).map(|r| r[2].clone()), Some(Value::from("pay")));
+        assert!(t.row(1).is_none(), "dropped rid stays a hole forever");
+        assert_eq!(t.row(2).map(|r| r[0].clone()), Some(Value::Int(2)));
+        assert_eq!(t.next_rid, 3);
+        drop(g);
+        let hits = db.lookup("t", "k", &2i64.into()).unwrap();
+        assert_eq!(hits.n_rows(), 1);
+    }
+
+    #[test]
+    fn zone_maps_prune_range_scans() {
+        use crate::query::Query;
+        let db = Database::in_memory(tiny_schema());
+        // 4 cold segments with disjoint, increasing `v` ranges.
+        for batch in 0..4 {
+            for i in 0..SEGMENT_COALESCE_ROWS {
+                db.insert(
+                    "t",
+                    vec![
+                        format!("k{i}").into(),
+                        ((batch * SEGMENT_COALESCE_ROWS + i) as i64).into(),
+                    ],
+                )
+                .unwrap();
+            }
+            db.commit().unwrap();
+        }
+        let snap = db.pin();
+        let preds = vec![
+            Predicate::new("v", CmpOp::Ge, 600),
+            Predicate::new("v", CmpOp::Lt, 700),
+        ];
+        let (visited, total) = snap.zone_prune_stats("t", &preds).unwrap();
+        assert_eq!(total, 4);
+        assert_eq!(visited, 1, "the window lies inside one segment");
+        // And the pruned execution is byte-identical to the full filter.
+        let q = Query::table("t")
+            .filter("v", CmpOp::Ge, 600)
+            .filter("v", CmpOp::Lt, 700);
+        let pruned = snap.query(&q).unwrap();
+        let oracle = snap.scan("t").unwrap().filter(|r| {
+            r.get("v")
+                .and_then(Value::as_i64)
+                .is_some_and(|v| (600..700).contains(&v))
+        });
+        assert_eq!(pruned.to_rows(), oracle.to_rows());
+        assert_eq!(pruned.n_rows(), 100);
+        // An out-of-range window visits nothing.
+        let none = vec![Predicate::new("v", CmpOp::Gt, 1_000_000)];
+        assert_eq!(snap.zone_prune_stats("t", &none).unwrap().0, 0);
+    }
+
+    #[test]
+    fn reopen_rebuilds_bounded_segments_so_zone_maps_keep_pruning() {
+        // Regression: recovery used to seal each table as ONE monolithic
+        // segment, whose history-wide min/max made zone maps useless
+        // after every restart.
+        let path = temp_wal("reopen-chunks");
+        let n = RECOVERED_SEGMENT_ROWS as i64 * 3;
+        {
+            let db = Database::open(&path, tiny_schema()).unwrap();
+            for i in 0..n {
+                db.insert("t", vec![format!("k{i}").into(), i.into()])
+                    .unwrap();
+                if i % 1000 == 999 {
+                    db.commit().unwrap();
+                }
+            }
+            db.commit().unwrap();
+            db.checkpoint().unwrap();
+        }
+        {
+            let db = Database::open(&path, tiny_schema()).unwrap();
+            assert!(db.recovery_info().from_checkpoint);
+            assert_eq!(db.row_count("t").unwrap(), n as usize);
+            let preds = vec![
+                Predicate::new("v", CmpOp::Ge, 100),
+                Predicate::new("v", CmpOp::Lt, 200),
+            ];
+            let (visited, total) = db.pin().zone_prune_stats("t", &preds).unwrap();
+            assert!(total >= 3, "recovery sealed bounded chunks, got {total}");
+            assert_eq!(visited, 1, "the window still prunes after reopen");
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(crate::checkpoint::sidecar_path(&path));
+    }
+
+    #[test]
+    fn compaction_splits_oversized_segments() {
+        // A monolithic segment (here: one giant commit) is split at
+        // target_segment_rows so zone maps get prunable ranges.
+        let db = Database::in_memory(tiny_schema());
+        for i in 0..5000i64 {
+            db.insert("t", vec![format!("k{i}").into(), i.into()])
+                .unwrap();
+        }
+        db.commit().unwrap();
+        assert_eq!(db.stats().segments, 1);
+        let before = db.scan("t").unwrap();
+        let stats = db
+            .compact_with(&CompactionPolicy {
+                target_segment_rows: 1024,
+                ..CompactionPolicy::default()
+            })
+            .unwrap();
+        assert_eq!(stats.rows_dropped, 0);
+        assert_eq!(db.stats().segments, 5, "5000 rows / 1024-row chunks");
+        assert_eq!(db.scan("t").unwrap(), before);
+        let preds = vec![Predicate::new("v", CmpOp::Lt, 1000)];
+        let (visited, total) = db.pin().zone_prune_stats("t", &preds).unwrap();
+        assert_eq!((visited, total), (1, 5));
+        // Idempotent: chunks at the target size pass through untouched.
+        let again = db
+            .compact_with(&CompactionPolicy {
+                target_segment_rows: 1024,
+                ..CompactionPolicy::default()
+            })
+            .unwrap();
+        assert_eq!(again.tables_compacted, 0);
+    }
+
+    #[test]
+    fn row_lookup_is_total() {
+        let db = Database::in_memory(lw_schema());
+        {
+            let g = db.inner.read();
+            let t = g.tables.get("t").unwrap();
+            assert!(t.row(0).is_none(), "empty table has no rows");
+        }
+        for gen in 0..2i64 {
+            for k in 0..256i64 {
+                db.insert("t", vec![k.into(), gen.into(), "".into()])
+                    .unwrap();
+            }
+            db.commit().unwrap();
+        }
+        db.compact().unwrap();
+        let g = db.inner.read();
+        let t = g.tables.get("t").unwrap();
+        // Generation-0 rows (rids 0..256) were dropped: holes, not panics.
+        assert!(t.row(3).is_none(), "dead rid resolves to None");
+        assert_eq!(t.row(256 + 3).map(|r| r[1].clone()), Some(Value::Int(1)));
+        assert!(t.row(999_999).is_none(), "past the high watermark");
+        assert_eq!(t.total_rows, 256);
+        assert_eq!(t.next_rid, 512);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_at_commit_layer() {
+        let db = Database::in_memory(lw_schema());
+        // 1024 appended rows = exactly the two generations below, so one
+        // trigger fires, after the superseding commit.
+        db.set_auto_compact(Some(CompactionTrigger {
+            check_every_rows: 1024,
+            policy: CompactionPolicy::default(),
+        }));
+        for gen in 0..2i64 {
+            for k in 0..512i64 {
+                db.insert("t", vec![k.into(), gen.into(), "".into()])
+                    .unwrap();
+            }
+            db.commit().unwrap();
+        }
+        // The second commit superseded generation 0; the spawned
+        // background pass must drop it.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while db.stats().compactions == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "auto-compaction never ran"
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(db.pin().live_rows("t").unwrap(), 512);
+        assert_eq!(db.stats().rows_dropped, 512);
+        // Disabled trigger stays quiet.
+        let quiet = Database::in_memory(lw_schema());
+        quiet.set_auto_compact(None);
+        for k in 0..600i64 {
+            quiet
+                .insert("t", vec![k.into(), 0i64.into(), "".into()])
+                .unwrap();
+        }
+        quiet.commit().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(quiet.stats().compactions, 0);
     }
 
     #[test]

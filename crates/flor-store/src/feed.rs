@@ -12,19 +12,39 @@
 //! Delivery is pull-based: batches queue per subscriber and are drained
 //! with [`Subscription::poll`]. Dropping a subscription detaches it; the
 //! database garbage-collects dead queues on the next commit.
+//!
+//! # Backpressure
+//!
+//! A consumer that stops polling would otherwise retain a clone of every
+//! row ever committed. When a queue reaches [`MAX_PENDING_BATCHES`], the
+//! publisher first **coalesces**: it merges the oldest epoch-contiguous
+//! pair of pending batches into one wider batch (`span > 1`), preserving
+//! every delta and the epoch continuity consumers rely on. Only when no
+//! pair can be merged within [`MAX_COALESCED_DELTAS`], or the queue's
+//! total retained deltas exceed [`MAX_PENDING_DELTAS`], is the oldest
+//! batch shed — the consumer then observes an epoch gap and falls back to
+//! a snapshot rebuild. Coalescing-first means a subscriber that falls
+//! behind under sustained load absorbs the backlog without a gap (and
+//! therefore without a rebuild storm) until the hard memory bound is hit.
 
 use flor_df::Value;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-/// Bound on undrained batches per subscriber. A consumer that stops
-/// polling (e.g. a view that is never queried again) would otherwise
-/// retain a clone of every row ever committed; past this bound the
-/// oldest batches are dropped. Consumers detect the truncation as an
-/// epoch gap and fall back to a snapshot rebuild, so slow readers cost
-/// bounded memory instead of unbounded growth.
+/// Bound on undrained batches per subscriber; past it the publisher
+/// coalesces adjacent batches (and sheds only as a last resort).
 pub const MAX_PENDING_BATCHES: usize = 1024;
+
+/// Bound on row deltas a single coalesced batch may accumulate; a pair
+/// whose merge would exceed it is left split (a later pair may still
+/// merge).
+pub const MAX_COALESCED_DELTAS: usize = 4096;
+
+/// Hard bound on row deltas retained across one subscriber's whole queue.
+/// Past it the publisher stops coalescing and sheds the oldest batch —
+/// the point where bounded memory wins over gap-free delivery.
+pub const MAX_PENDING_DELTAS: usize = 16_384;
 
 /// One committed row: which table it landed in, and its values in schema
 /// order.
@@ -36,36 +56,74 @@ pub struct RowDelta {
     pub row: Vec<Value>,
 }
 
-/// Everything one transaction made visible, in insertion order.
+/// Everything one transaction — or, after queue coalescing, a run of
+/// `span` consecutive transactions — made visible, in insertion order.
 #[derive(Debug, Clone)]
 pub struct CommitBatch {
-    /// The database epoch *after* this commit applied (first commit = 1).
-    /// Consumers at epoch `e` are up to date iff they have applied every
-    /// batch with `epoch <= e`.
+    /// The database epoch *after* the last commit in this batch applied
+    /// (first commit = 1). Consumers at epoch `e` are up to date iff they
+    /// have applied every batch with `epoch <= e`.
     pub epoch: u64,
-    /// The committed transaction id.
+    /// The last committed transaction id in this batch.
     pub txn: u64,
+    /// How many consecutive commits this batch carries. Freshly published
+    /// batches have `span == 1`; queue coalescing merges epoch-adjacent
+    /// batches and sums their spans, so a batch covers epochs
+    /// `first_epoch()..=epoch` with no commit missing in between.
+    pub span: u64,
     /// The rows, shared between all subscribers.
     pub deltas: Arc<Vec<RowDelta>>,
+}
+
+impl CommitBatch {
+    /// The epoch of the first commit this batch carries. A consumer at
+    /// epoch `e` can apply the batch iff `first_epoch() == e + 1`; a
+    /// larger value means intervening batches were shed (an epoch gap).
+    pub fn first_epoch(&self) -> u64 {
+        self.epoch + 1 - self.span
+    }
 }
 
 /// A live change-feed subscription. Created by
 /// [`crate::Database::subscribe`]; batches accumulate until polled.
 #[derive(Debug)]
 pub struct Subscription {
-    queue: Arc<Mutex<VecDeque<CommitBatch>>>,
+    queue: Arc<Mutex<SubQueue>>,
     /// Database epoch at subscription time: the subscriber will see every
     /// commit with `epoch > since_epoch` and none at or before it.
     since_epoch: u64,
 }
 
+/// One subscriber's pending batches plus an incrementally maintained
+/// retained-delta count, so the publish hot path never walks the queue
+/// just to know its size in rows.
+#[derive(Debug, Default)]
+pub(crate) struct SubQueue {
+    batches: VecDeque<CommitBatch>,
+    /// Invariant: sum of `batches[i].deltas.len()`.
+    retained: usize,
+}
+
+impl SubQueue {
+    fn push_back(&mut self, batch: CommitBatch) {
+        self.retained += batch.deltas.len();
+        self.batches.push_back(batch);
+    }
+
+    fn pop_front(&mut self) -> Option<CommitBatch> {
+        let batch = self.batches.pop_front()?;
+        self.retained -= batch.deltas.len();
+        Some(batch)
+    }
+}
+
 impl Subscription {
-    pub(crate) fn new(queue: Arc<Mutex<VecDeque<CommitBatch>>>, since_epoch: u64) -> Subscription {
+    pub(crate) fn new(queue: Arc<Mutex<SubQueue>>, since_epoch: u64) -> Subscription {
         Subscription { queue, since_epoch }
     }
 
     /// The epoch this subscription started at (its first batch, if any,
-    /// has `epoch == since_epoch() + 1`).
+    /// has `first_epoch() == since_epoch() + 1`).
     pub fn since_epoch(&self) -> u64 {
         self.since_epoch
     }
@@ -73,39 +131,54 @@ impl Subscription {
     /// Drain all pending batches, oldest first.
     pub fn poll(&self) -> Vec<CommitBatch> {
         let mut q = self.queue.lock();
-        q.drain(..).collect()
+        q.retained = 0;
+        q.batches.drain(..).collect()
     }
 
     /// Number of undrained batches.
     pub fn pending(&self) -> usize {
-        self.queue.lock().len()
+        self.queue.lock().batches.len()
     }
 }
 
 /// Publisher half, owned by the database.
 #[derive(Debug, Default)]
 pub(crate) struct Publisher {
-    queues: Vec<Arc<Mutex<VecDeque<CommitBatch>>>>,
+    queues: Vec<Arc<Mutex<SubQueue>>>,
 }
 
 impl Publisher {
     /// Register a new subscriber queue.
-    pub fn attach(&mut self) -> Arc<Mutex<VecDeque<CommitBatch>>> {
-        let queue = Arc::new(Mutex::new(VecDeque::new()));
+    pub fn attach(&mut self) -> Arc<Mutex<SubQueue>> {
+        let queue = Arc::new(Mutex::new(SubQueue::default()));
         self.queues.push(Arc::clone(&queue));
         queue
     }
 
     /// Deliver a batch to every live subscriber, pruning dropped ones (a
-    /// queue only we hold has lost its [`Subscription`]). Queues at
-    /// [`MAX_PENDING_BATCHES`] shed their oldest batch first — the
-    /// subscriber will observe the hole as an epoch gap.
+    /// queue only we hold has lost its [`Subscription`]). Full queues
+    /// coalesce their oldest epoch-contiguous pair before resorting to a
+    /// shed (see the module docs on backpressure).
     pub fn publish(&mut self, batch: CommitBatch) {
         self.queues.retain(|q| Arc::strong_count(q) > 1);
         for q in &self.queues {
             let mut q = q.lock();
-            if q.len() >= MAX_PENDING_BATCHES {
-                q.pop_front();
+            if q.retained + batch.deltas.len() > MAX_PENDING_DELTAS {
+                // Past the memory bound: shed oldest-first down to it.
+                // The subscriber observes one hole at the front of its
+                // backlog — a single epoch gap, one rebuild.
+                while !q.batches.is_empty() && q.retained + batch.deltas.len() > MAX_PENDING_DELTAS
+                {
+                    q.pop_front();
+                }
+            } else if q.batches.len() >= MAX_PENDING_BATCHES {
+                // Over the batch-count bound but within memory: reclaim a
+                // queue slot by merging instead of dropping. Shed only
+                // when no adjacent pair is mergeable. (Merging preserves
+                // `retained`: the same deltas live in one batch.)
+                if !coalesce_cheapest(&mut q.batches) {
+                    q.pop_front();
+                }
             }
             q.push_back(batch.clone());
         }
@@ -118,4 +191,47 @@ impl Publisher {
             .filter(|q| Arc::strong_count(q) > 1)
             .count()
     }
+}
+
+/// Merge the *smallest* adjacent, epoch-contiguous pair of batches whose
+/// combined delta count stays within [`MAX_COALESCED_DELTAS`]. Returns
+/// whether a merge happened (i.e. one queue slot was reclaimed).
+///
+/// Picking the cheapest pair — not the oldest — is the same amortization
+/// commit-time segment coalescing uses: a batch is only re-copied into a
+/// merge at least as large as itself, so each delta is cloned O(log)
+/// times over the queue's lifetime instead of once per publish. The
+/// selection scan is O(queue length) of integer compares, no cloning,
+/// and runs only once the queue is saturated — the unsaturated publish
+/// path is O(1) thanks to [`SubQueue`]'s incremental delta count.
+fn coalesce_cheapest(q: &mut VecDeque<CommitBatch>) -> bool {
+    let mut best: Option<(usize, usize)> = None;
+    for i in 0..q.len().saturating_sub(1) {
+        let (a, b) = (&q[i], &q[i + 1]);
+        // A prior shed can leave one discontinuity at the front; merging
+        // across it would hide the gap from the consumer.
+        if b.first_epoch() != a.epoch + 1 {
+            continue;
+        }
+        let combined = a.deltas.len() + b.deltas.len();
+        if combined > MAX_COALESCED_DELTAS {
+            continue;
+        }
+        if best.is_none_or(|(_, size)| combined < size) {
+            best = Some((i, combined));
+        }
+    }
+    let Some((i, _)) = best else {
+        return false;
+    };
+    let (a, b) = (&q[i], &q[i + 1]);
+    let merged = CommitBatch {
+        epoch: b.epoch,
+        txn: b.txn,
+        span: a.span + b.span,
+        deltas: Arc::new(a.deltas.iter().chain(b.deltas.iter()).cloned().collect()),
+    };
+    q[i] = merged;
+    q.remove(i + 1);
+    true
 }

@@ -19,9 +19,16 @@
 //! * [`checkpoint`]ing: `Database::checkpoint` serializes the live state
 //!   to a sidecar and truncates the WAL, making reopen O(live data)
 //!   instead of O(history);
+//! * background segment [`compact`]ion: `Database::compact` merges runs
+//!   of cold sealed segments and drops rows superseded under a table's
+//!   declared [`schema::LatestWins`] policy, so scans touch only live
+//!   data — published by the same pointer swap commits use, invisible to
+//!   pinned snapshots and the change feed (see the [`db`] module docs on
+//!   the seal → coalesce → compact → checkpoint lifecycle);
 //! * secondary hash indexes (per sealed segment) and a [`query::Query`]
-//!   layer with predicate pushdown ("NoSQL-like writes, SQL-like reads",
-//!   §3.1);
+//!   layer with predicate pushdown plus seal-time zone maps (per-segment
+//!   min/max) that prune whole segments from range scans ("NoSQL-like
+//!   writes, SQL-like reads", §3.1);
 //! * materialisation into `flor-df` [`flor_df::DataFrame`]s, feeding the
 //!   pivoted `flor.dataframe` view.
 //!
@@ -41,13 +48,15 @@
 
 pub mod checkpoint;
 pub mod codec;
+pub mod compact;
 pub mod db;
 pub mod feed;
 pub mod query;
 pub mod schema;
 pub mod wal;
 
+pub use compact::{CompactionPolicy, CompactionStats, CompactionTrigger};
 pub use db::{CheckpointStats, Database, DbStats, RecoveryInfo, Snapshot, StoreError, StoreResult};
 pub use feed::{CommitBatch, RowDelta, Subscription};
 pub use query::{CmpOp, Predicate, Query};
-pub use schema::{flor_schema, ColType, ColumnDef, TableSchema};
+pub use schema::{flor_schema, ColType, ColumnDef, LatestWins, TableSchema};

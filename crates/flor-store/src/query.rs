@@ -7,8 +7,12 @@
 //! The planner picks the most selective index-backed access path among the
 //! equality ([`Query::filter_eq`]) and set-membership ([`Query::filter_in`])
 //! predicates, then applies the rest as residual filters over the fetched
-//! rows. The same [`CmpOp`]/[`Predicate`] vocabulary is reused by the
-//! lazy query builder (`flor_view::QueryPlan` / `Flor::query`) so one
+//! rows. Full scans prune whole segments through the per-segment zone
+//! maps (min/max per column, built at seal time): a range predicate —
+//! e.g. a `tstamp` window for `runs_of` or a time-travel query — skips
+//! every segment whose range cannot intersect it, so cold history is
+//! never read. The same [`CmpOp`]/[`Predicate`] vocabulary is reused by
+//! the lazy query builder (`flor_view::QueryPlan` / `Flor::query`) so one
 //! predicate type spans every layer of the stack.
 
 use crate::db::{rows_to_frame, Database, StoreResult, TableVersion};
@@ -278,8 +282,23 @@ impl Query {
                 && residual_in.iter().all(|(ci, vs)| vs.contains(&row[*ci]))
         };
         let mut df = match &candidate_rids {
-            None => rows_to_frame(&t.schema, t.iter_rows().filter(keep)),
-            Some(rids) => rows_to_frame(&t.schema, rids.iter().map(|&r| t.row(r)).filter(keep)),
+            None => {
+                // Zone-map pruning: a segment whose per-column min/max
+                // range proves a predicate can match no row in it is
+                // skipped wholesale — a `tstamp` window over a long
+                // history reads only the segments the window touches.
+                let prunable: Vec<&Predicate> = self.predicates.iter().collect();
+                rows_to_frame(
+                    &t.schema,
+                    t.pruned_segments(&prunable)
+                        .flat_map(|s| s.rows.iter())
+                        .filter(keep),
+                )
+            }
+            Some(rids) => rows_to_frame(
+                &t.schema,
+                rids.iter().filter_map(|&r| t.row(r)).filter(keep),
+            ),
         };
 
         // Drop rows referencing unknown predicate columns conservatively:

@@ -79,6 +79,51 @@ impl ColumnDef {
     }
 }
 
+/// A declared latest-wins policy: the store is append-only, so "updates"
+/// to these tables land as fresh rows and only the newest row per key
+/// tuple is semantically live. Segment compaction uses the declaration to
+/// drop superseded rows; every consumer of such a table must already fold
+/// by this rule (the `jobs` recovery fold, the pivot's last-write-wins
+/// upserts), so the fold result is identical before and after compaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatestWins {
+    /// Key columns: one live row per distinct key tuple.
+    pub key: Vec<String>,
+    /// Ordering column deciding the winner (max wins). `None` falls back
+    /// to insertion (global row id) order, newest row wins. With an
+    /// `ord` column, a tie keeps the *oldest* row — the `recover_records`
+    /// fold convention — but writers should keep `(key, ord)` pairs
+    /// unique (the jobs runner's `seq` is strictly monotonic per job):
+    /// consumers that retain *all* rows at the max `ord` (a
+    /// `LatestState`-backed listing) would otherwise observe a tied
+    /// duplicate disappear when compaction drops it.
+    pub ord: Option<String>,
+    /// Columns written only on a key's *first* row and carried forward by
+    /// the fold (`jobs.payload`): when the winner's own cell is empty,
+    /// compaction retains the earliest row holding a non-empty value so
+    /// the fold keeps finding it.
+    pub carry_first: Vec<String>,
+}
+
+impl LatestWins {
+    /// Declare a latest-wins policy keyed by `key`, with the winner
+    /// decided by the maximum of `ord` (insertion order when `None`).
+    pub fn new(key: &[&str], ord: Option<&str>) -> LatestWins {
+        LatestWins {
+            key: key.iter().map(|s| s.to_string()).collect(),
+            ord: ord.map(str::to_string),
+            carry_first: Vec::new(),
+        }
+    }
+
+    /// Add columns whose first non-empty value must survive compaction
+    /// even when a later row wins.
+    pub fn carry_first(mut self, cols: &[&str]) -> LatestWins {
+        self.carry_first = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+}
+
 /// A table schema.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableSchema {
@@ -86,6 +131,9 @@ pub struct TableSchema {
     pub name: String,
     /// Ordered column definitions.
     pub columns: Vec<ColumnDef>,
+    /// Declared latest-wins policy, if any — what lets segment compaction
+    /// drop superseded rows (see [`LatestWins`]).
+    pub latest_wins: Option<LatestWins>,
 }
 
 impl TableSchema {
@@ -94,7 +142,14 @@ impl TableSchema {
         TableSchema {
             name: name.to_string(),
             columns,
+            latest_wins: None,
         }
+    }
+
+    /// Attach a latest-wins policy (builder style).
+    pub fn with_latest_wins(mut self, policy: LatestWins) -> Self {
+        self.latest_wins = Some(policy);
+        self
     }
 
     /// Position of a column by name.
@@ -140,6 +195,15 @@ impl TableSchema {
 pub fn flor_schema() -> Vec<TableSchema> {
     vec![
         // logs(projid, tstamp, filename, ctx_id, value_name, value, value_type)
+        //
+        // Deliberately NOT latest-wins, even though the pivot upserts
+        // last-write-wins per (coordinates, value_name): two consumers
+        // depend on the raw rows' insertion order and multiplicity.
+        // Hindsight replay (`load_record`) reconstructs a run's log
+        // sequence row by row — duplicates included — and the pivot
+        // orders its rows and value columns by *first* appearance, which
+        // a superseded row may own. Compaction therefore only merges
+        // `logs` segments; it never drops rows here.
         TableSchema::new(
             "logs",
             vec![
@@ -232,7 +296,11 @@ pub fn flor_schema() -> Vec<TableSchema> {
                 ColumnDef::new("done_keys", ColType::Str),
                 ColumnDef::new("detail", ColType::Str),
             ],
-        ),
+        )
+        // One live row per job (max seq); the payload lands only on the
+        // first transition, so compaction must keep that row around until
+        // a winning row carries the payload itself.
+        .with_latest_wins(LatestWins::new(&["job_id"], Some("seq")).carry_first(&["payload"])),
     ]
 }
 

@@ -177,9 +177,11 @@ proptest! {
 }
 
 /// A feed consumer maintaining a mirror of table `t`, with the documented
-/// slow-consumer discipline: apply contiguous batches; on an epoch gap
-/// (the feed shed batches we never polled), rebuild from an epoch-stamped
-/// snapshot and continue. Returns how many rebuilds a drain performed.
+/// slow-consumer discipline: apply batches whose first commit is the
+/// mirror's next epoch (coalesced batches span several commits but stay
+/// contiguous); on an epoch gap (the feed shed batches we never polled),
+/// rebuild from an epoch-stamped snapshot and continue. Returns how many
+/// rebuilds a drain performed.
 fn drain_into_mirror(
     db: &Database,
     sub: &flor_store::Subscription,
@@ -191,7 +193,7 @@ fn drain_into_mirror(
         if batch.epoch <= *epoch {
             continue; // already covered by a snapshot rebuild
         }
-        if batch.epoch != *epoch + 1 {
+        if batch.first_epoch() != *epoch + 1 {
             let (e, frames) = db.snapshot(&["t"]).expect("snapshot");
             *mirror = frames[0].to_rows();
             *epoch = e;
@@ -210,15 +212,16 @@ fn drain_into_mirror(
 
 proptest! {
     // Each case drives > MAX_PENDING_BATCHES commits; a handful of cases
-    // exercises the gap/rebuild path without dominating the suite.
+    // exercises the coalesce/shed paths without dominating the suite.
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// Slow-consumer path end to end: a subscriber that falls behind the
-    /// feed's queue bound observes an epoch gap on its next poll, rebuilds
-    /// from a snapshot, keeps applying later deltas — and its mirror is
-    /// row-for-row identical to the scan oracle throughout.
+    /// Slow-consumer path under batch-count overflow: the queue coalesces
+    /// adjacent batches instead of shedding, so the consumer catches up
+    /// by pure delta application — zero rebuilds, mirror identical to the
+    /// scan oracle throughout (the regression test for the PR 1..4
+    /// rebuild-storm behaviour, where every overflow shed a batch).
     #[test]
-    fn slow_consumer_gap_rebuild_matches_oracle(
+    fn slow_consumer_coalesced_overflow_needs_no_rebuild(
         warmup in 0usize..5,
         overflow_extra in 1usize..40,
         tail in 1usize..15,
@@ -245,14 +248,58 @@ proptest! {
             commit(1000 + i as i64);
         }
         prop_assert_eq!(sub.pending(), MAX_PENDING_BATCHES, "queue stays bounded");
-        // Phase 3: the next drain detects the gap and rebuilds exactly once.
+        // Phase 3: the drain applies coalesced batches — no gap at all.
+        prop_assert_eq!(drain_into_mirror(&db, &sub, &mut mirror, &mut epoch), 0);
+        prop_assert_eq!(&mirror, &db.scan("t").unwrap().to_rows());
+        prop_assert_eq!(epoch, db.epoch());
+        // Phase 4: later commits keep applying as plain deltas.
+        for i in 0..tail {
+            commit(-(i as i64) - 1);
+            prop_assert_eq!(drain_into_mirror(&db, &sub, &mut mirror, &mut epoch), 0);
+        }
+        prop_assert_eq!(&mirror, &db.scan("t").unwrap().to_rows());
+    }
+}
+
+proptest! {
+    // Each case drives > MAX_PENDING_DELTAS rows; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Slow-consumer path past the queue's hard memory bound: oldest
+    /// batches are shed, the consumer observes one epoch gap, rebuilds
+    /// exactly once from a snapshot, and keeps applying deltas after.
+    #[test]
+    fn slow_consumer_past_delta_bound_rebuilds_once(
+        rows_per_commit in 17usize..33,
+        overflow_extra in 1usize..20,
+        tail in 1usize..10,
+    ) {
+        use flor_store::feed::MAX_PENDING_DELTAS;
+        let db = Database::in_memory(vec![TableSchema::new(
+            "t",
+            vec![ColumnDef::new("v", ColType::Int)],
+        )]);
+        let sub = db.subscribe();
+        let mut mirror: Vec<Vec<Value>> = Vec::new();
+        let mut epoch = 0u64;
+        let mut next = 0i64;
+        let commits = MAX_PENDING_DELTAS / rows_per_commit + overflow_extra;
+        for _ in 0..commits {
+            for _ in 0..rows_per_commit {
+                db.insert("t", vec![next.into()]).unwrap();
+                next += 1;
+            }
+            db.commit().unwrap();
+        }
+        prop_assert!(sub.pending() <= MAX_PENDING_BATCHES);
+        // The drain detects the single front gap and rebuilds once.
         prop_assert_eq!(drain_into_mirror(&db, &sub, &mut mirror, &mut epoch), 1);
         prop_assert_eq!(&mirror, &db.scan("t").unwrap().to_rows());
         prop_assert_eq!(epoch, db.epoch());
-        // Phase 4: the rebuilt consumer applies later commits as plain
-        // deltas again — no further rebuilds.
-        for i in 0..tail {
-            commit(-(i as i64) - 1);
+        for _ in 0..tail {
+            db.insert("t", vec![next.into()]).unwrap();
+            next += 1;
+            db.commit().unwrap();
             prop_assert_eq!(drain_into_mirror(&db, &sub, &mut mirror, &mut epoch), 0);
         }
         prop_assert_eq!(&mirror, &db.scan("t").unwrap().to_rows());

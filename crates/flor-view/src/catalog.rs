@@ -783,10 +783,10 @@ mod tests {
     }
 
     #[test]
-    fn overflowed_subscriber_falls_back_to_rebuild() {
-        // A view left unqueried past the feed's queue bound loses old
-        // batches; on the next query it must detect the gap, rebuild, and
-        // still serve the right answer.
+    fn overflowed_subscriber_applies_coalesced_batches_without_rebuild() {
+        // A view left unqueried past the feed's batch-count bound now
+        // receives *coalesced* batches (wider span, same deltas, no
+        // gap) — it catches up by delta application, not by rebuilding.
         use flor_store::feed::MAX_PENDING_BATCHES;
         let db = Database::in_memory(flor_schema());
         let catalog = ViewCatalog::new(db.clone(), 4);
@@ -802,11 +802,39 @@ mod tests {
         let view = catalog.pivot(&["x"]).unwrap();
         assert_eq!(view.n_rows(), n + 1);
         let stats = catalog.stats();
+        assert_eq!(stats.fallback_rebuilds, 0, "coalescing leaves no gap");
+    }
+
+    #[test]
+    fn subscriber_past_delta_bound_falls_back_to_one_rebuild() {
+        // Past the feed's hard memory bound the oldest batches are shed;
+        // on the next query the view must detect the gap, rebuild once,
+        // and still serve the right answer.
+        use flor_store::feed::MAX_PENDING_DELTAS;
+        let db = Database::in_memory(flor_schema());
+        let catalog = ViewCatalog::new(db.clone(), 4);
+        db.insert("logs", log_row(0, "x", "0")).unwrap();
+        db.commit().unwrap();
+        catalog.pivot(&["x"]).unwrap();
+        let per_commit = 64usize;
+        let commits = MAX_PENDING_DELTAS / per_commit + 20;
+        let mut ts = 0i64;
+        for _ in 0..commits {
+            for _ in 0..per_commit {
+                ts += 1;
+                db.insert("logs", log_row(ts, "x", &ts.to_string()))
+                    .unwrap();
+            }
+            db.commit().unwrap();
+        }
+        let view = catalog.pivot(&["x"]).unwrap();
+        assert_eq!(view.n_rows(), ts as usize + 1);
+        let stats = catalog.stats();
         assert_eq!(stats.fallback_rebuilds, 1, "gap must trigger one rebuild");
         // And the rebuilt view keeps applying deltas afterwards.
         db.insert("logs", log_row(-1, "x", "tail")).unwrap();
         db.commit().unwrap();
-        assert_eq!(catalog.pivot(&["x"]).unwrap().n_rows(), n + 2);
+        assert_eq!(catalog.pivot(&["x"]).unwrap().n_rows(), ts as usize + 2);
         assert_eq!(catalog.stats().fallback_rebuilds, 1);
     }
 

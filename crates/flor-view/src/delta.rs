@@ -186,10 +186,14 @@ impl PivotState {
         if batch.epoch <= self.epoch {
             return Ok(Vec::new());
         }
-        if batch.epoch != self.epoch + 1 {
+        // A coalesced batch spans `first_epoch()..=epoch`; it applies
+        // cleanly only when its first commit is the view's next one. A
+        // later first commit means batches were shed (an epoch gap); an
+        // earlier one would straddle the view's snapshot — also a rebuild.
+        if batch.first_epoch() != self.epoch + 1 {
             return Err(DeltaError::EpochGap {
                 have: self.epoch,
-                got: batch.epoch,
+                got: batch.first_epoch(),
             });
         }
         // Loop rows first: within a transaction a log row may reference a
