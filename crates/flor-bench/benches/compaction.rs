@@ -18,6 +18,7 @@
 //! before and after the compaction pass.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use flor_bench::instrumentation_overhead;
 use flor_df::Value;
 use flor_store::{flor_schema, CmpOp, CompactionPolicy, Database, Predicate, Query};
 use std::collections::HashMap;
@@ -247,5 +248,32 @@ fn bench_compaction(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_compaction);
+/// Observability acceptance gate for the store read path: the traced
+/// query accounting (zone-map prune counters, rows examined/returned)
+/// must cost the pruned window query under 5%.
+fn instrumentation_overhead_report(_c: &mut Criterion) {
+    let db = seeded();
+    db.compact_with(&CompactionPolicy {
+        min_dead_rows: 1,
+        min_dead_ratio: 0.0,
+        target_segment_rows: 1024,
+    })
+    .unwrap();
+    let registry = db.metrics_registry();
+    let ratio = instrumentation_overhead(&registry, 400, || {
+        std::hint::black_box(db.pin().query(&window_query()).unwrap().n_rows());
+    });
+    println!(
+        "\ncompaction instrumentation overhead: {:+.2}% on the pruned \
+         window query (metrics enabled vs disabled, target < +5%)",
+        (ratio - 1.0) * 100.0
+    );
+    assert!(
+        ratio < 1.05,
+        "metrics must cost the pruned window query < 5%, measured {:+.2}%",
+        (ratio - 1.0) * 100.0
+    );
+}
+
+criterion_group!(benches, bench_compaction, instrumentation_overhead_report);
 criterion_main!(benches);

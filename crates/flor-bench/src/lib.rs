@@ -5,7 +5,9 @@
 //! measure identical setups. See EXPERIMENTS.md for the experiment index.
 
 use flor_core::{run_script, Flor};
+use flor_obs::MetricsRegistry;
 use flor_record::CheckpointPolicy;
+use std::time::{Duration, Instant};
 
 /// A Fig. 5-style training script with controllable cost.
 ///
@@ -61,6 +63,68 @@ pub fn flor_with_logs(runs: usize, epochs: usize, names: &[&str]) -> Flor {
         flor.commit("run").expect("commit");
     }
     flor
+}
+
+/// Measure `work` with metrics collection enabled vs disabled and return
+/// the wall-clock ratio `enabled / disabled`.
+///
+/// Runs `pairs` back-to-back enabled/disabled pairs, choosing the order
+/// within each pair by a deterministic LCG, and returns the **median of
+/// the per-pair ratios**: pairing cancels slow machine drift, the
+/// random order keeps periodic workload effects from resonating with a
+/// fixed mode pattern, and the median discards the pairs a one-off
+/// spike lands in. A few untimed warmup calls precede measurement; the
+/// registry is left enabled on return.
+///
+/// Suited to **steady-state** work (reads, or writes whose cost does
+/// not trend). For `work` that grows the database, per-call cost is
+/// nonstationary — commit-time segment folds fire on a geometric
+/// schedule and grow with history — and no interleaving rescues the
+/// comparison; measure those by running the same deterministic workload
+/// on identical fresh instances per mode instead (see the
+/// `query_pushdown` bench's overhead gate).
+///
+/// The observability acceptance gate asserts this ratio stays under
+/// 1.05 on the hot query and commit paths.
+pub fn instrumentation_overhead(
+    registry: &MetricsRegistry,
+    pairs: usize,
+    mut work: impl FnMut(),
+) -> f64 {
+    assert!(pairs > 0, "need at least one measurement pair");
+    let time_one = |enabled: bool, work: &mut dyn FnMut()| {
+        registry.set_enabled(enabled);
+        let t = Instant::now();
+        work();
+        t.elapsed()
+    };
+    for _ in 0..3 {
+        time_one(true, &mut work);
+        time_one(false, &mut work);
+    }
+    let mut on: Vec<Duration> = Vec::with_capacity(pairs);
+    let mut off: Vec<Duration> = Vec::with_capacity(pairs);
+    let mut lcg: u64 = 0x2545_f491_4f6c_dd1d;
+    for _ in 0..pairs {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if (lcg >> 33) & 1 == 0 {
+            on.push(time_one(true, &mut work));
+            off.push(time_one(false, &mut work));
+        } else {
+            off.push(time_one(false, &mut work));
+            on.push(time_one(true, &mut work));
+        }
+    }
+    registry.set_enabled(true);
+    let mut ratios: Vec<f64> = on
+        .iter()
+        .zip(off.iter())
+        .map(|(a, b)| a.as_secs_f64() / b.as_secs_f64().max(1e-12))
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    ratios[pairs / 2]
 }
 
 /// Two script versions sized by duplicating pipeline stages: `old` lacks

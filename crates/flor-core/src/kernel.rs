@@ -10,6 +10,7 @@ use crate::jobs::JobOutcome;
 use flor_df::{DataFrame, DataType, Value};
 use flor_git::{Oid, Repository, VirtualFs};
 use flor_jobs::{JobBoard, JobRunner};
+use flor_obs::{MetricsRegistry, MetricsSnapshot};
 use flor_store::{flor_schema, CompactionTrigger, Database, StoreError, StoreResult};
 use flor_view::ViewCatalog;
 use parking_lot::Mutex;
@@ -178,6 +179,29 @@ impl Flor {
     /// use [`Flor::submit_compaction`] instead.
     pub fn set_compaction_trigger(&self, trigger: Option<CompactionTrigger>) {
         self.db.set_auto_compact(trigger);
+    }
+
+    /// One consistent snapshot of every metric this instance records —
+    /// commit/WAL/checkpoint/compaction latency histograms, zone-map
+    /// prune ratios, feed queue depth and shed counts, per-job
+    /// queue-wait vs run time, view hit/miss/rebuild counters — across
+    /// the storage, jobs and view layers at once. See [`flor_obs`] for
+    /// the metric-name registry and the snapshot's text/JSON renderers.
+    ///
+    /// Collection is on by default and costs almost nothing (relaxed
+    /// atomics, no hot-path allocation); turn it off entirely via
+    /// [`Flor::metrics_registry`]'s `set_enabled(false)`.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.db.metrics_registry().snapshot()
+    }
+
+    /// The shared [`MetricsRegistry`] every layer of this instance
+    /// records into (the store hands one registry to the job runner and
+    /// the view catalog, so [`Flor::metrics`] sees all three). Use it to
+    /// enable/disable collection or to register embedder-side metrics
+    /// alongside the built-in ones.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        self.db.metrics_registry()
     }
 
     /// Set the executing filename (the paper profiles this automatically at

@@ -48,5 +48,5 @@ pub use jobs::{
     CHECKPOINT_PRIORITY, COMPACTION_PRIORITY, DEFAULT_REPLAY_PARALLELISM,
 };
 pub use kernel::{Flor, BLOB_SPILL_BYTES, DEFAULT_CHECKPOINT_THRESHOLD_BYTES, DEFAULT_JOB_WORKERS};
-pub use query::QueryBuilder;
+pub use query::{ExplainReport, QueryBuilder};
 pub use runtime::{load_record, persist_record, run_script, RunError, RunOutcome, ScriptRuntime};

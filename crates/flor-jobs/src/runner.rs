@@ -25,11 +25,42 @@
 //! model — commit foreground transactions before background jobs run.
 
 use crate::job::{JobId, JobRecord, JobSpec, JobState, UnitSpec};
+use flor_obs::{Counter, Histogram, MetricsRegistry, Span};
 use flor_store::{Database, StoreResult};
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Pre-bound handles into the database's metrics registry — the runner
+/// shares it, so the kernel's one snapshot covers storage and jobs
+/// alike. `jobs.unit.queue_wait_nanos` vs `jobs.unit.run_nanos` is the
+/// scheduling-pressure signal: wait growing while run holds steady means
+/// the pool is too small (or a higher-priority job is starving this one).
+struct JobsMetrics {
+    registry: MetricsRegistry,
+    /// `jobs.unit.queue_wait_nanos` — enqueue → worker pop.
+    queue_wait: Arc<Histogram>,
+    /// `jobs.unit.run_nanos` — the compute phase (`run_unit`).
+    run: Arc<Histogram>,
+    /// `jobs.unit.done` — units fully committed.
+    done: Arc<Counter>,
+    /// `jobs.unit.failed` — units whose compute or staging failed.
+    failed: Arc<Counter>,
+}
+
+impl JobsMetrics {
+    fn new(registry: MetricsRegistry) -> JobsMetrics {
+        JobsMetrics {
+            queue_wait: registry.histogram("jobs.unit.queue_wait_nanos"),
+            run: registry.histogram("jobs.unit.run_nanos"),
+            done: registry.counter("jobs.unit.done"),
+            failed: registry.counter("jobs.unit.failed"),
+            registry,
+        }
+    }
+}
 
 /// Per-job cancellation token and fine-grained progress counter, shared
 /// between the scheduler, the [`JobHandle`], and the executor's compute
@@ -103,6 +134,9 @@ struct QueuedUnit {
     priority: i64,
     job_id: JobId,
     unit: UnitSpec,
+    /// When this unit was enqueued; `None` while metrics are disabled.
+    /// Deliberately excluded from the ordering below.
+    enqueued_at: Option<Instant>,
 }
 
 impl PartialEq for QueuedUnit {
@@ -127,6 +161,9 @@ impl Ord for QueuedUnit {
 
 struct ActiveJob<O> {
     spec: JobSpec,
+    /// `jobs.done.<kind>` — per-kind unit throughput, resolved once at
+    /// admit so completions never touch the registry's name map.
+    kind_done: Arc<Counter>,
     /// Dropped at terminal transitions (and on crash) so the executor's
     /// captured context — for backfill, a whole kernel — is not kept
     /// alive by finished jobs.
@@ -186,6 +223,7 @@ struct RunnerState<O> {
 
 struct RunnerInner<O> {
     db: Database,
+    metrics: JobsMetrics,
     state: Mutex<RunnerState<O>>,
     cv: Condvar,
     /// Serializes unit ingestion: `stage_unit` + the progress transition
@@ -343,9 +381,11 @@ impl<O: Clone + Send + 'static> JobRunner<O> {
     /// concurrent unit executions. Threads are spawned lazily on submit
     /// and exit when the queue drains.
     pub fn new(db: Database, workers: usize) -> JobRunner<O> {
+        let metrics = JobsMetrics::new(db.metrics_registry());
         JobRunner {
             inner: Arc::new(RunnerInner {
                 db,
+                metrics,
                 state: Mutex::new(RunnerState {
                     queue: BinaryHeap::new(),
                     jobs: HashMap::new(),
@@ -395,6 +435,14 @@ impl<O: Clone + Send + 'static> JobRunner<O> {
         executor: Arc<dyn JobExecutor<O>>,
     ) -> StoreResult<JobHandle<O>> {
         let planned = executor.plan(&spec);
+        let kind_done = self
+            .inner
+            .metrics
+            .registry
+            .counter(&format!("jobs.done.{}", spec.kind));
+        // One clock read stamps the whole batch of units (None while
+        // metrics are disabled, so the hot pop path skips the math too).
+        let enqueued_at = self.inner.metrics.registry.enabled().then(Instant::now);
         let (job_id, record) = {
             let mut st = lock(&self.inner.state);
             let (job_id, done_keys, seq) = match resumed {
@@ -406,6 +454,7 @@ impl<O: Clone + Send + 'static> JobRunner<O> {
             };
             let mut job = ActiveJob {
                 spec,
+                kind_done,
                 executor: Some(executor),
                 state: JobState::Queued,
                 units_total: 0,
@@ -443,6 +492,7 @@ impl<O: Clone + Send + 'static> JobRunner<O> {
                                 priority: job.spec.priority,
                                 job_id,
                                 unit,
+                                enqueued_at,
                             });
                         }
                     }
@@ -602,7 +652,11 @@ fn worker_loop<O: Clone + Send + 'static>(inner: Arc<RunnerInner<O>>) {
             } => {
                 // Compute phase: no locks held; this is where the
                 // worker-count scaling comes from.
-                let result = executor.run_unit(&spec, &unit, &control);
+                let result = {
+                    let m = &inner.metrics;
+                    let _run = Span::enter(&m.registry, &m.run);
+                    executor.run_unit(&spec, &unit, &control)
+                };
                 complete_unit(&inner, job_id, &spec, &unit, executor, result);
                 inner.cv.notify_all();
             }
@@ -635,6 +689,10 @@ fn next_step<O>(inner: &RunnerInner<O>) -> Step<O> {
             job.state = JobState::Running;
         }
         job.inflight += 1;
+        // Queue wait ends the moment the unit is handed to a worker.
+        if let Some(t0) = queued.enqueued_at {
+            inner.metrics.queue_wait.record_duration(t0.elapsed());
+        }
         return Step::Task {
             job_id: queued.job_id,
             spec: job.spec.clone(),
@@ -659,7 +717,7 @@ fn complete_unit<O: Clone>(
         Ok(outcome) => {
             let ig = inner.ingest.lock().unwrap_or_else(PoisonError::into_inner);
             // Decide under the state lock, write under the ingest lock.
-            let (rows, finalizes) = {
+            let (rows, finalizes, kind_done) = {
                 let mut st = lock(&inner.state);
                 let crashed = st.crashed;
                 let job = st.jobs.get_mut(&job_id).expect("inflight job exists");
@@ -669,6 +727,7 @@ fn complete_unit<O: Clone>(
                     // discard the outcome; nothing may be staged.
                     return;
                 }
+                let kind_done = Arc::clone(&job.kind_done);
                 job.done_keys.push(unit.key);
                 job.outcomes.push(outcome.clone());
                 job.seq += 1;
@@ -702,7 +761,7 @@ fn complete_unit<O: Clone>(
                         rows.push(done);
                     }
                 }
-                (rows, finalizes)
+                (rows, finalizes, kind_done)
             };
             // Stage the unit's data-plane writes and its control-plane
             // transition(s), then commit once: atomic unit completion.
@@ -725,9 +784,21 @@ fn complete_unit<O: Clone>(
                 }
             }
             drop(ig);
+            let m = &inner.metrics;
             if !committed {
+                if m.registry.enabled() {
+                    m.failed.inc();
+                    m.registry.event(
+                        "job.unit_failed",
+                        format!("job={job_id} unit={} staging/commit failed", unit.key),
+                    );
+                }
                 fail_job(inner, job_id, "unit staging/commit failed");
-            } else if finalizes {
+            } else if m.registry.enabled() {
+                m.done.inc();
+                kind_done.inc();
+            }
+            if committed && finalizes {
                 let mut st = lock(&inner.state);
                 if let Some(job) = st.jobs.get_mut(&job_id) {
                     if !job.state.is_terminal() {
@@ -744,6 +815,14 @@ fn complete_unit<O: Clone>(
             let cancelled = job.control.is_cancelled() || job.state == JobState::Cancelled;
             drop(st);
             if !cancelled {
+                let m = &inner.metrics;
+                if m.registry.enabled() {
+                    m.failed.inc();
+                    m.registry.event(
+                        "job.unit_failed",
+                        format!("job={job_id} unit={}: {e}", unit.key),
+                    );
+                }
                 fail_job(inner, job_id, &e);
             }
         }

@@ -73,14 +73,17 @@ use crate::checkpoint::{self, CheckpointData};
 use crate::codec::WalRecord;
 use crate::compact::{self, CompactionPolicy, CompactionStats, CompactionTrigger};
 use crate::feed::{CommitBatch, Publisher, RowDelta, Subscription};
-use crate::query::{CmpOp, Predicate};
+use crate::metrics::StoreMetrics;
+use crate::query::{CmpOp, Predicate, QueryExplain};
 use crate::schema::TableSchema;
 use crate::wal::{Wal, WalError};
 use flor_df::{Column, DataFrame, DfResult, Value};
+use flor_obs::{MetricsRegistry, Span};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Tail segments smaller than this participate in commit-time coalescing.
 /// Folding is geometric — a trailing segment is absorbed only when the
@@ -518,6 +521,9 @@ pub struct Database {
     auto_ckpt_running: Arc<std::sync::atomic::AtomicBool>,
     /// Single-flight guard for the auto-compaction thread.
     auto_compact_running: Arc<std::sync::atomic::AtomicBool>,
+    /// Pre-bound metric handles (one registry per database). Lives
+    /// outside the `RwLock`: recording never contends with the writer.
+    metrics: Arc<StoreMetrics>,
 }
 
 impl std::fmt::Debug for Database {
@@ -540,6 +546,8 @@ impl std::fmt::Debug for Database {
 pub struct Snapshot {
     epoch: u64,
     tables: Arc<HashMap<String, Arc<TableVersion>>>,
+    /// Query-path accounting flows into the owning database's registry.
+    metrics: Arc<StoreMetrics>,
 }
 
 impl Snapshot {
@@ -622,7 +630,22 @@ impl Snapshot {
 
     /// Execute a [`crate::query::Query`] against this snapshot.
     pub fn query(&self, q: &crate::query::Query) -> StoreResult<DataFrame> {
-        q.run_on(self.table(q.table_name())?)
+        let (df, ex) = q.run_traced(self.table(q.table_name())?)?;
+        self.metrics.record_query(&ex);
+        Ok(df)
+    }
+
+    /// Execute a [`crate::query::Query`] and return the frame together
+    /// with its [`QueryExplain`] — access path, zone-map pruning, rows
+    /// examined vs returned, and wall-clock timing. The query really
+    /// runs (the counts are measurements, not estimates) and its
+    /// accounting feeds the `store.query.*` counters like any other run.
+    pub fn explain(&self, q: &crate::query::Query) -> StoreResult<(DataFrame, QueryExplain)> {
+        let start = Instant::now();
+        let (df, mut ex) = q.run_traced(self.table(q.table_name())?)?;
+        ex.elapsed_nanos = start.elapsed().as_nanos() as u64;
+        self.metrics.record_query(&ex);
+        Ok((df, ex))
     }
 
     /// Zone-map pruning accounting for a full scan of `table` under the
@@ -775,6 +798,7 @@ impl Database {
         // Uncommitted ids from a crashed process never commit later, so
         // the checkpoint coverage bound may safely advance past them.
         let last_committed_txn = recovery.max_txn.max(base_txn);
+        let metrics = Arc::new(StoreMetrics::new(MetricsRegistry::new()));
         Ok(Database {
             ckpt_serial: Arc::new(parking_lot::Mutex::new(())),
             auto_ckpt_running: Arc::new(std::sync::atomic::AtomicBool::new(false)),
@@ -786,7 +810,7 @@ impl Database {
                 staged: Vec::new(),
                 epoch: base_epoch + recovery.committed_txns as u64,
                 last_committed_txn,
-                feed: Publisher::default(),
+                feed: Publisher::new(metrics.feed()),
                 auto_checkpoint: None,
                 auto_compact: None,
                 rows_since_compact_check: 0,
@@ -802,7 +826,17 @@ impl Database {
                 recovery: recovery_info,
                 wal,
             })),
+            metrics,
         })
+    }
+
+    /// The database's [`MetricsRegistry`]: live counters, latency
+    /// histograms and the event ring for every layer wired through this
+    /// handle (see the `flor-obs` crate docs for the name registry).
+    /// Snapshot it with [`MetricsRegistry::snapshot`]; disable recording
+    /// entirely with [`MetricsRegistry::set_enabled`].
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        self.metrics.registry.clone()
     }
 
     /// Register an additional table (no-op if it already exists).
@@ -830,7 +864,26 @@ impl Database {
         Snapshot {
             epoch: g.epoch,
             tables: Arc::clone(&g.tables),
+            metrics: Arc::clone(&self.metrics),
         }
+    }
+
+    /// Pin a [`Snapshot`] and take a [`DbStats`] sample under **one**
+    /// read-lock acquisition, so the two observe the same committed
+    /// state: `stats.wal_epoch == snapshot.epoch()`, and counters like
+    /// `staged_rows`/`rows_coalesced` cannot drift against the pinned
+    /// tables the way two separate calls can when a commit lands between
+    /// them.
+    pub fn pin_with_stats(&self) -> (Snapshot, DbStats) {
+        let g = self.inner.read();
+        (
+            Snapshot {
+                epoch: g.epoch,
+                tables: Arc::clone(&g.tables),
+                metrics: Arc::clone(&self.metrics),
+            },
+            g.stats(),
+        )
     }
 
     /// Stage a row into the open transaction (starting one if needed) and
@@ -853,11 +906,15 @@ impl Database {
                 t
             }
         };
-        g.wal.append(&WalRecord::Insert {
-            txn,
-            table: table.to_string(),
-            row: row.clone(),
-        })?;
+        {
+            let m = &self.metrics;
+            let _append = Span::enter(&m.registry, &m.wal_append_nanos);
+            g.wal.append(&WalRecord::Insert {
+                txn,
+                table: table.to_string(),
+                row: row.clone(),
+            })?;
+        }
         g.staged.push((table.to_string(), row));
         Ok(())
     }
@@ -873,8 +930,16 @@ impl Database {
         let Some(txn) = g.open_txn.take() else {
             return Ok(0);
         };
-        g.wal.append(&WalRecord::Commit { txn })?;
-        g.wal.sync()?;
+        let m = Arc::clone(&self.metrics);
+        let commit_span = Span::enter(&m.registry, &m.commit_nanos);
+        {
+            let _append = Span::enter(&m.registry, &m.wal_append_nanos);
+            g.wal.append(&WalRecord::Commit { txn })?;
+        }
+        {
+            let _fsync = Span::enter(&m.registry, &m.wal_fsync_nanos);
+            g.wal.sync()?;
+        }
         let staged = std::mem::take(&mut g.staged);
         let n = staged.len();
         // Only clone rows into a feed batch when someone is listening;
@@ -916,6 +981,15 @@ impl Database {
             };
             g.feed.publish(batch);
         }
+        if m.registry.enabled() {
+            m.commit_rows.add(n as u64);
+            if coalesced > 0 {
+                m.rows_coalesced.add(coalesced);
+            }
+        }
+        // The commit latency sample ends here: trigger evaluation and
+        // background-thread spawning below are not commit work.
+        drop(commit_span);
         // Auto-checkpoint and auto-compaction live here, at the store
         // commit layer, so every writer trips them — including background
         // jobs, whose per-unit transactions never pass through the
@@ -1004,6 +1078,7 @@ impl Database {
         // shared mutex means a checkpoint observes either the fully
         // pre-compaction or fully post-compaction state.
         let _serial = self.ckpt_serial.lock();
+        let _pass = Span::enter(&self.metrics.registry, &self.metrics.compaction_nanos);
         let mut stats = CompactionStats {
             segments_before: {
                 let g = self.inner.read();
@@ -1069,6 +1144,19 @@ impl Database {
         if stats.tables_compacted > 0 {
             g.compactions += 1;
             g.rows_dropped += stats.rows_dropped as u64;
+        }
+        drop(g);
+        if stats.tables_compacted > 0 {
+            self.metrics.registry.event(
+                "compaction",
+                format!(
+                    "tables={} rows_dropped={} segments {}->{}",
+                    stats.tables_compacted,
+                    stats.rows_dropped,
+                    stats.segments_before,
+                    stats.segments_after
+                ),
+            );
         }
         Ok(stats)
     }
@@ -1191,6 +1279,7 @@ impl Database {
     fn checkpoint_inner(&self, truncate: bool) -> StoreResult<CheckpointStats> {
         // Whole-checkpoint serialization: see the `ckpt_serial` field.
         let _serial = self.ckpt_serial.lock();
+        let _pass = Span::enter(&self.metrics.registry, &self.metrics.checkpoint_nanos);
         // Phase 1: pin the committed state (O(1) under the read lock).
         // The read lock excludes the writer, so `wal_bytes_before` is a
         // frame boundary: every frame below it is complete.
@@ -1200,6 +1289,7 @@ impl Database {
                 Snapshot {
                     epoch: g.epoch,
                     tables: Arc::clone(&g.tables),
+                    metrics: Arc::clone(&self.metrics),
                 },
                 g.last_committed_txn,
                 g.wal.path().map(Path::to_path_buf),
@@ -1243,6 +1333,13 @@ impl Database {
         } else {
             wal_bytes_before
         };
+        self.metrics.registry.event(
+            "checkpoint",
+            format!(
+                "epoch={} rows={rows} wal {wal_bytes_before}->{wal_bytes_after} bytes",
+                data.epoch
+            ),
+        );
         Ok(CheckpointStats {
             epoch: data.epoch,
             max_txn,
@@ -1265,10 +1362,22 @@ impl Database {
         self.inner.read().recovery.clone()
     }
 
-    /// Statistics snapshot.
+    /// Statistics snapshot. Sampled under one read-lock acquisition, so
+    /// every field reflects the same committed state (pair with a pinned
+    /// snapshot via [`Database::pin_with_stats`] when the caller needs
+    /// the stats and the data to agree too).
     pub fn stats(&self) -> DbStats {
-        let g = self.inner.read();
-        let mut rows_per_table: Vec<(String, usize)> = g
+        self.inner.read().stats()
+    }
+}
+
+impl DbInner {
+    /// The [`DbStats`] sample for the state this guard observes. All
+    /// fields come from one lock acquisition — a concurrent commit can
+    /// never make `staged_rows`/`rows_coalesced` disagree with the table
+    /// counts.
+    fn stats(&self) -> DbStats {
+        let mut rows_per_table: Vec<(String, usize)> = self
             .tables
             .iter()
             .map(|(n, t)| (n.clone(), t.total_rows))
@@ -1276,18 +1385,18 @@ impl Database {
         rows_per_table.sort();
         DbStats {
             total_rows: rows_per_table.iter().map(|(_, n)| n).sum(),
-            segments: g.tables.values().map(|t| t.segments.len()).sum(),
+            segments: self.tables.values().map(|t| t.segments.len()).sum(),
             rows_per_table,
-            wal_records: g.wal.records_written,
-            staged_rows: g.staged.len(),
-            wal_epoch: g.epoch,
-            wal_offset_bytes: g.wal.len_bytes(),
-            checkpoints: g.checkpoints,
-            last_checkpoint_epoch: g.last_checkpoint_epoch,
-            compactions: g.compactions,
-            rows_dropped: g.rows_dropped,
-            rows_coalesced: g.rows_coalesced,
-            subscribers: g.feed.live(),
+            wal_records: self.wal.records_written,
+            staged_rows: self.staged.len(),
+            wal_epoch: self.epoch,
+            wal_offset_bytes: self.wal.len_bytes(),
+            checkpoints: self.checkpoints,
+            last_checkpoint_epoch: self.last_checkpoint_epoch,
+            compactions: self.compactions,
+            rows_dropped: self.rows_dropped,
+            rows_coalesced: self.rows_coalesced,
+            subscribers: self.feed.live(),
         }
     }
 }

@@ -51,6 +51,7 @@ pub mod codec;
 pub mod compact;
 pub mod db;
 pub mod feed;
+pub(crate) mod metrics;
 pub mod query;
 pub mod schema;
 pub mod wal;
@@ -58,5 +59,6 @@ pub mod wal;
 pub use compact::{CompactionPolicy, CompactionStats, CompactionTrigger};
 pub use db::{CheckpointStats, Database, DbStats, RecoveryInfo, Snapshot, StoreError, StoreResult};
 pub use feed::{CommitBatch, RowDelta, Subscription};
-pub use query::{CmpOp, Predicate, Query};
+pub use flor_obs::{MetricsRegistry, MetricsSnapshot};
+pub use query::{AccessPath, CmpOp, Predicate, Query, QueryExplain};
 pub use schema::{flor_schema, ColType, ColumnDef, LatestWins, TableSchema};

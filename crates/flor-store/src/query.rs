@@ -17,6 +17,7 @@
 
 use crate::db::{rows_to_frame, Database, StoreResult, TableVersion};
 use flor_df::{DataFrame, Value};
+use std::cell::Cell;
 
 /// Comparison operators for scan predicates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -108,7 +109,7 @@ pub struct Query {
     limit: Option<usize>,
 }
 
-/// The access path the planner settled on (see [`Query::run_on`]).
+/// The access path the planner settled on (see [`Query::run_traced`]).
 enum Access {
     /// Full scan: every row id is a candidate.
     Scan,
@@ -117,6 +118,84 @@ enum Access {
     /// The `i`-th IN predicate, served from a secondary index
     /// (the `lookup_many` fast path).
     InIndex(usize),
+}
+
+/// The access path a query executed with, as reported by
+/// [`QueryExplain`] — the public mirror of the planner's decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Full segment scan (zone-map pruned).
+    FullScan,
+    /// Equality probe against the secondary index on the named column.
+    IndexEq(String),
+    /// Set-membership probe against the secondary index on the named
+    /// column.
+    IndexIn(String),
+}
+
+impl std::fmt::Display for AccessPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessPath::FullScan => f.write_str("full-scan"),
+            AccessPath::IndexEq(c) => write!(f, "index-eq({c})"),
+            AccessPath::IndexIn(c) => write!(f, "index-in({c})"),
+        }
+    }
+}
+
+/// Execution accounting for one store query, produced by every run and
+/// surfaced through [`crate::Snapshot::explain`] (and, at the kernel,
+/// `QueryBuilder::explain`).
+///
+/// Counts describe the run itself, not estimates: `rows_examined` is the
+/// number of rows the engine materialized and tested against residual
+/// predicates, `rows_matched` how many survived them, and
+/// `rows_returned` the final frame size after ordering/limit/projection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryExplain {
+    /// Queried table.
+    pub table: String,
+    /// Access path the planner chose.
+    pub access: AccessPath,
+    /// Segments in the pinned table version.
+    pub segments_total: usize,
+    /// Segments actually visited (scanned or index-probed).
+    pub segments_scanned: usize,
+    /// Segments skipped wholesale via zone maps.
+    pub segments_pruned: usize,
+    /// Rows materialized and tested against residual predicates.
+    pub rows_examined: usize,
+    /// Rows that satisfied every predicate.
+    pub rows_matched: usize,
+    /// Rows in the returned frame (after order/limit/projection).
+    pub rows_returned: usize,
+    /// Predicates applied as residual filters (not served by the access
+    /// path).
+    pub residual_predicates: usize,
+    /// Wall-clock execution time. Zero unless the caller timed the run
+    /// (e.g. [`crate::Snapshot::explain`]).
+    pub elapsed_nanos: u64,
+}
+
+impl std::fmt::Display for QueryExplain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "QUERY {} via {}", self.table, self.access)?;
+        writeln!(
+            f,
+            "  segments: {} scanned, {} pruned of {}",
+            self.segments_scanned, self.segments_pruned, self.segments_total
+        )?;
+        writeln!(
+            f,
+            "  rows: {} examined, {} matched, {} returned",
+            self.rows_examined, self.rows_matched, self.rows_returned
+        )?;
+        write!(
+            f,
+            "  residual predicates: {}; elapsed: {}ns",
+            self.residual_predicates, self.elapsed_nanos
+        )
+    }
 }
 
 impl Query {
@@ -211,11 +290,15 @@ impl Query {
         }
     }
 
-    /// Execute against one pinned table version. Crate-internal: this is
-    /// what lets [`crate::db::Snapshot::query`] (and therefore
+    /// Execute against one pinned table version, returning the frame plus
+    /// its execution accounting. Crate-internal: this is what lets
+    /// [`crate::db::Snapshot::query`] (and therefore
     /// [`Database::snapshot_with`]) run several queries against one
-    /// consistent epoch, entirely lock-free.
-    pub(crate) fn run_on(&self, t: &TableVersion) -> StoreResult<DataFrame> {
+    /// consistent epoch, entirely lock-free. The trace rides along on
+    /// every run (a handful of `Cell` bumps per row — noise next to row
+    /// materialization); timing is left to callers so the untimed path
+    /// never touches the clock.
+    pub(crate) fn run_traced(&self, t: &TableVersion) -> StoreResult<(DataFrame, QueryExplain)> {
         // Plan: among the index-eligible predicates (Eq and IN over indexed
         // columns), pick the one with the fewest candidate rows; everything
         // else becomes a residual filter over the fetched rows.
@@ -277,10 +360,19 @@ impl Query {
             .filter(|(i, _)| !matches!(access, Access::InIndex(j) if j == *i))
             .filter_map(|(_, (col, vs))| t.schema.col_index(col).map(|ci| (ci, vs)))
             .collect();
+        let examined = Cell::new(0usize);
+        let matched = Cell::new(0usize);
         let keep = |row: &&Vec<Value>| {
-            residual.iter().all(|(ci, p)| p.matches(&row[*ci]))
-                && residual_in.iter().all(|(ci, vs)| vs.contains(&row[*ci]))
+            examined.set(examined.get() + 1);
+            let ok = residual.iter().all(|(ci, p)| p.matches(&row[*ci]))
+                && residual_in.iter().all(|(ci, vs)| vs.contains(&row[*ci]));
+            if ok {
+                matched.set(matched.get() + 1);
+            }
+            ok
         };
+        let segments_total = t.segments.len();
+        let segments_scanned = Cell::new(0usize);
         let mut df = match &candidate_rids {
             None => {
                 // Zone-map pruning: a segment whose per-column min/max
@@ -291,14 +383,38 @@ impl Query {
                 rows_to_frame(
                     &t.schema,
                     t.pruned_segments(&prunable)
+                        .inspect(|_| segments_scanned.set(segments_scanned.get() + 1))
                         .flat_map(|s| s.rows.iter())
                         .filter(keep),
                 )
             }
-            Some(rids) => rows_to_frame(
-                &t.schema,
-                rids.iter().filter_map(|&r| t.row(r)).filter(keep),
-            ),
+            Some(rids) => {
+                // Index probes skip segments through the same zone maps
+                // (`index_rids` pre-filters on `zone_admits_eq`); count
+                // the segments the probe actually touched.
+                let probed = match &access {
+                    Access::EqIndex(i) => {
+                        let p = &self.predicates[*i];
+                        t.segments
+                            .iter()
+                            .filter(|s| s.zone_admits_eq(&p.col, &p.value))
+                            .count()
+                    }
+                    Access::InIndex(i) => {
+                        let (col, values) = &self.in_predicates[*i];
+                        t.segments
+                            .iter()
+                            .filter(|s| values.iter().any(|v| s.zone_admits_eq(col, v)))
+                            .count()
+                    }
+                    Access::Scan => unreachable!("scan path has no rid list"),
+                };
+                segments_scanned.set(probed);
+                rows_to_frame(
+                    &t.schema,
+                    rids.iter().filter_map(|&r| t.row(r)).filter(keep),
+                )
+            }
         };
 
         // Drop rows referencing unknown predicate columns conservatively:
@@ -327,7 +443,23 @@ impl Query {
             let cols: Vec<&str> = proj.iter().map(String::as_str).collect();
             df = df.select(&cols)?;
         }
-        Ok(df)
+        let explain = QueryExplain {
+            table: self.table.clone(),
+            access: match access {
+                Access::Scan => AccessPath::FullScan,
+                Access::EqIndex(i) => AccessPath::IndexEq(self.predicates[i].col.clone()),
+                Access::InIndex(i) => AccessPath::IndexIn(self.in_predicates[i].0.clone()),
+            },
+            segments_total,
+            segments_scanned: segments_scanned.get(),
+            segments_pruned: segments_total - segments_scanned.get(),
+            rows_examined: examined.get(),
+            rows_matched: matched.get(),
+            rows_returned: df.n_rows(),
+            residual_predicates: residual.len() + residual_in.len(),
+            elapsed_nanos: 0,
+        };
+        Ok((df, explain))
     }
 }
 

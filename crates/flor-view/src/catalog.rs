@@ -13,10 +13,45 @@
 use crate::delta::{DeltaError, LatestState, PivotState};
 use crate::plan::QueryPlan;
 use flor_df::{DataFrame, DfError};
+use flor_obs::{Counter, Histogram, MetricsRegistry, Span};
 use flor_store::{Database, Predicate, Query, StoreError, StoreResult, Subscription};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Pre-bound handles into the database's metrics registry (shared with
+/// the store and the jobs runner, so the kernel snapshots all three at
+/// once). `view.build_nanos` vs `view.refresh_nanos` is the paper's
+/// incremental-maintenance claim in histogram form: refreshes should
+/// stay orders of magnitude cheaper than builds.
+struct ViewMetrics {
+    registry: MetricsRegistry,
+    /// `view.build_nanos` — full builds from a snapshot (miss or
+    /// fallback rebuild).
+    build_nanos: Arc<Histogram>,
+    /// `view.refresh_nanos` — one incremental drain-and-apply pass over
+    /// the cached views (only recorded when batches were pending).
+    refresh_nanos: Arc<Histogram>,
+    /// `view.hits` — requests served from a cached view.
+    hits: Arc<Counter>,
+    /// `view.misses` — requests that built a new view.
+    misses: Arc<Counter>,
+    /// `view.rebuilds` — fallback full rebuilds after a rejected delta.
+    rebuilds: Arc<Counter>,
+}
+
+impl ViewMetrics {
+    fn new(registry: MetricsRegistry) -> ViewMetrics {
+        ViewMetrics {
+            build_nanos: registry.histogram("view.build_nanos"),
+            refresh_nanos: registry.histogram("view.refresh_nanos"),
+            hits: registry.counter("view.hits"),
+            misses: registry.counter("view.misses"),
+            rebuilds: registry.counter("view.rebuilds"),
+            registry,
+        }
+    }
+}
 
 /// Identity of a materialized view: the fingerprint of the *maintained*
 /// part of a [`QueryPlan`] — the projected `value_name`s, the pushdown
@@ -165,15 +200,18 @@ struct CatalogInner {
 pub struct ViewCatalog {
     db: Database,
     capacity: usize,
+    metrics: Arc<ViewMetrics>,
     inner: Arc<Mutex<CatalogInner>>,
 }
 
 impl ViewCatalog {
     /// Catalog over `db` holding at most `capacity` views.
     pub fn new(db: Database, capacity: usize) -> ViewCatalog {
+        let metrics = Arc::new(ViewMetrics::new(db.metrics_registry()));
         ViewCatalog {
             db,
             capacity: capacity.max(1),
+            metrics,
             inner: Arc::new(Mutex::new(CatalogInner {
                 sub: None,
                 views: HashMap::new(),
@@ -330,6 +368,10 @@ impl ViewCatalog {
         if batches.is_empty() {
             return Ok(());
         }
+        // Time the whole incremental pass (every cached view, all pending
+        // batches) — the counterpart of `view.build_nanos` for full
+        // builds.
+        let _refresh = Span::enter(&self.metrics.registry, &self.metrics.refresh_nanos);
         g.stats.batches_applied += batches.len() as u64;
         for batch in &batches {
             g.stats.deltas_applied += PivotState::relevant_deltas(batch) as u64;
@@ -366,6 +408,12 @@ impl ViewCatalog {
             if failed.is_some() {
                 // Transparent fallback: rebuild from a fresh snapshot.
                 g.stats.fallback_rebuilds += 1;
+                if self.metrics.registry.enabled() {
+                    self.metrics.rebuilds.inc();
+                    self.metrics
+                        .registry
+                        .event("view.rebuild", key.fingerprint());
+                }
                 let last_used = g.views[&key].last_used;
                 let rebuilt = self.build(&key)?;
                 g.views.insert(
@@ -388,9 +436,15 @@ impl ViewCatalog {
         if let Some(view) = g.views.get_mut(key) {
             view.last_used = clock;
             g.stats.hits += 1;
+            if self.metrics.registry.enabled() {
+                self.metrics.hits.inc();
+            }
             return Ok(());
         }
         g.stats.misses += 1;
+        if self.metrics.registry.enabled() {
+            self.metrics.misses.inc();
+        }
         let mut built = self.build(key)?;
         built.last_used = clock;
         g.views.insert(key.clone(), built);
@@ -420,13 +474,17 @@ impl ViewCatalog {
     /// the fetch: excluded rows still drive schema discovery (see
     /// [`PivotState::filtered`]), so the pivot state must see them.
     fn build(&self, key: &ViewKey) -> StoreResult<CachedView> {
+        let _build = Span::enter(&self.metrics.registry, &self.metrics.build_nanos);
         let names: Vec<&str> = key.names.iter().map(String::as_str).collect();
         let name_values = key.names.iter().map(|n| n.as_str().into()).collect();
-        let (epoch, frames) = self.db.snapshot_with(&[
-            Query::table("logs").filter_in("value_name", name_values),
-            Query::table("loops"),
-        ])?;
-        let [logs, loops]: [DataFrame; 2] = frames.try_into().expect("two tables requested");
+        // One lock acquisition pins the snapshot AND samples the stats:
+        // `wal_offset_bytes` below is guaranteed to describe the same
+        // committed state the queries read (two separate calls could
+        // interleave with a commit and disagree).
+        let (snap, stats) = self.db.pin_with_stats();
+        let epoch = snap.epoch();
+        let logs = snap.query(&Query::table("logs").filter_in("value_name", name_values))?;
+        let loops = snap.query(&Query::table("loops"))?;
         let pivot = PivotState::from_snapshot_filtered(&names, &key.pushdown, epoch, &logs, &loops)
             .map_err(|e| StoreError::Invalid(format!("view build: {e}")))?;
         // Latest views always carry upsert state; whether it is *used*
@@ -445,7 +503,7 @@ impl ViewCatalog {
             latest,
             latest_frame: None,
             last_used: 0,
-            wal_offset_bytes: self.db.stats().wal_offset_bytes,
+            wal_offset_bytes: stats.wal_offset_bytes,
         })
     }
 }

@@ -17,6 +17,7 @@
 //! | [`make`] | Make-lite build DAG (behavioral context) |
 //! | [`view`] | incremental materialized views + the canonical query plan |
 //! | [`jobs`] | durable background scheduler (prioritized, cancellable, crash-resumable) |
+//! | [`obs`] | zero-dependency metrics: counters, histograms, spans, events |
 //! | [`core`] | the Flor kernel: `log`/`arg`/`loop`/`commit`/`query` |
 //! | [`pipeline`] | the PDF Parser demo (paper §4) |
 //!
@@ -82,6 +83,17 @@
 //! resumed automatically on the next [`core::Flor::open`]. The classic
 //! synchronous [`core::backfill`] is submit-then-wait over the same path.
 //! See `examples/background_backfill.rs` for the full workflow.
+//!
+//! ## Observability
+//!
+//! Every layer records into one shared [`obs`] registry:
+//! [`core::Flor::metrics`] returns a consistent snapshot of commit/WAL/
+//! checkpoint/compaction latency histograms, zone-map prune ratios, feed
+//! queue depth and shed counts, job queue-wait vs run time, and view
+//! hit/miss/rebuild counters — renderable as text or JSON. Per query,
+//! `flor.query(..).explain()` executes the plan and returns a
+//! [`core::ExplainReport`]: access path, segments pruned, rows examined
+//! vs returned, and per-stage timings. See `examples/observability.rs`.
 
 pub use flor_core as core;
 pub use flor_df as df;
@@ -90,6 +102,7 @@ pub use flor_git as git;
 pub use flor_jobs as jobs;
 pub use flor_make as make;
 pub use flor_ml as ml;
+pub use flor_obs as obs;
 pub use flor_pipeline as pipeline;
 pub use flor_record as record;
 pub use flor_script as script;
@@ -99,13 +112,14 @@ pub use flor_view as view;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use flor_core::{
-        backfill, run_script, BackfillHandle, BackfillReport, Flor, QueryBuilder, RunOutcome,
-        VersionOutcome,
+        backfill, run_script, BackfillHandle, BackfillReport, ExplainReport, Flor, QueryBuilder,
+        RunOutcome, VersionOutcome,
     };
     pub use flor_df::{AggFn, DataFrame, JoinKind, Value};
     pub use flor_git::{Repository, VirtualFs};
     pub use flor_jobs::{JobProgress, JobRecord, JobState, JobStats};
     pub use flor_make::{parse_makefile, Makefile};
+    pub use flor_obs::{MetricsRegistry, MetricsSnapshot};
     pub use flor_pipeline::{run_demo, CorpusConfig, PdfPipeline};
     pub use flor_record::{CheckpointPolicy, ReplayControl, RunRecord};
     pub use flor_script::{parse, to_source, Interpreter, NullRuntime};
