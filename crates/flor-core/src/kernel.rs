@@ -11,7 +11,9 @@ use flor_df::{DataFrame, DataType, Value};
 use flor_git::{Oid, Repository, VirtualFs};
 use flor_jobs::{JobBoard, JobRunner};
 use flor_obs::{MetricsRegistry, MetricsSnapshot};
-use flor_store::{flor_schema, CompactionTrigger, Database, StoreError, StoreResult};
+use flor_store::{
+    flor_schema, CompactionTrigger, Database, Snapshot, StoreError, StoreResult, TailProgress,
+};
 use flor_view::ViewCatalog;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -105,9 +107,45 @@ impl Flor {
     pub fn open_with_workers(projid: &str, wal_path: &Path, workers: usize) -> StoreResult<Flor> {
         let db = Database::open(wal_path, flor_schema())?;
         let flor = Flor::with_db(projid, db, workers);
-        // Resume the logical clock past anything recorded, reading both
-        // tables from one pinned snapshot.
-        let snap = flor.db.pin();
+        flor.resume_clocks();
+        flor.resume_jobs()?;
+        Ok(flor)
+    }
+
+    /// Open a **read-only follower** over another process's WAL file: the
+    /// kernel bootstraps from the checkpoint sidecar, then each
+    /// [`Flor::poll_follower`] call tails newly committed transactions,
+    /// so this handle serves the writer's data with staleness bounded by
+    /// its poll interval. Every query path works unchanged; every write
+    /// ([`Flor::log`], [`Flor::commit`], job submission, …) fails with
+    /// [`StoreError::ReadOnly`] — in particular [`Flor::log`] *panics*
+    /// (it expects logging to be infallible), so don't log on a follower
+    /// handle. Unlike [`Flor::open`], no background jobs are resumed and
+    /// no auto-checkpoint/compaction threads are armed.
+    pub fn open_follower(projid: &str, wal_path: &Path) -> StoreResult<Flor> {
+        let db = Database::open_follower(wal_path, flor_schema())?;
+        let flor = Flor::with_db(projid, db, DEFAULT_JOB_WORKERS);
+        flor.resume_clocks();
+        Ok(flor)
+    }
+
+    /// Apply WAL frames the writer committed since the last poll (or
+    /// re-bootstrap from the sidecar if a checkpoint truncated the log
+    /// under us). Only valid on handles from [`Flor::open_follower`].
+    pub fn poll_follower(&self) -> StoreResult<TailProgress> {
+        self.db.poll_tail()
+    }
+
+    /// `true` when this handle came from [`Flor::open_follower`] and will
+    /// refuse every write with [`StoreError::ReadOnly`].
+    pub fn is_follower(&self) -> bool {
+        self.db.is_read_only()
+    }
+
+    /// Resume the logical clock past anything recorded, reading both
+    /// tables from one pinned snapshot.
+    fn resume_clocks(&self) {
+        let snap = self.db.pin();
         let max_ts = snap
             .scan("logs")
             .ok()
@@ -128,14 +166,10 @@ impl Flor {
             })
             .unwrap_or(0);
         drop(snap);
-        {
-            let mut st = flor.state.lock();
-            st.tstamp = max_ts + 1;
-            st.ts_start = max_ts + 1;
-            st.next_ctx = max_ctx + 1;
-        }
-        flor.resume_jobs()?;
-        Ok(flor)
+        let mut st = self.state.lock();
+        st.tstamp = max_ts + 1;
+        st.ts_start = max_ts + 1;
+        st.next_ctx = max_ctx + 1;
     }
 
     fn with_db(projid: &str, db: Database, workers: usize) -> Flor {
@@ -394,6 +428,11 @@ impl Flor {
     /// and increments the tstamp" — flushes the store transaction, snapshots
     /// the working tree, records `ts2vid` and `git` rows, bumps the clock.
     pub fn commit(&self, message: &str) -> StoreResult<Oid> {
+        // Refuse before touching the in-process repo: a follower commit
+        // must leave no trace anywhere, not even in gitlite.
+        if self.db.is_read_only() {
+            return Err(StoreError::ReadOnly);
+        }
         let (ts_start, tstamp, filename) = {
             let st = self.state.lock();
             (st.ts_start, st.tstamp, st.filename.clone())
@@ -483,12 +522,21 @@ impl Flor {
     /// fetch the projected log rows, resolve loop-context chains, and
     /// pivot long → wide.
     pub(crate) fn pivot_from_scratch(&self, names: &[&str]) -> StoreResult<DataFrame> {
-        // 1. Pin one snapshot so the log fetch and the loop-context
-        //    resolution reflect the same epoch, then fetch matching log
-        //    rows via the value_name index, in log insertion order — the
-        //    same order the change feed delivers deltas, so both paths
-        //    produce identical frames. Both reads are lock-free.
-        let snap = self.db.pin();
+        // Pin one snapshot so the log fetch and the loop-context
+        // resolution reflect the same epoch.
+        Flor::pivot_at(&self.db.pin(), names)
+    }
+
+    /// The same from-scratch pivot against a **caller-pinned** snapshot:
+    /// the log fetch and loop-context resolution both read `snap`, so
+    /// the frame reflects exactly `snap.epoch()` no matter how many
+    /// commits land meanwhile. This is how a server session answers
+    /// every request at the epoch it pinned at open.
+    pub(crate) fn pivot_at(snap: &Snapshot, names: &[&str]) -> StoreResult<DataFrame> {
+        // 1. Fetch matching log rows via the value_name index, in log
+        //    insertion order — the same order the change feed delivers
+        //    deltas, so both paths produce identical frames. All reads
+        //    here are lock-free.
         let values: Vec<Value> = names.iter().map(|n| Value::from(*n)).collect();
         let logs = snap.lookup_many("logs", "value_name", &values)?;
         // 2. Resolve ctx chains from the loops table.

@@ -152,6 +152,26 @@ impl Flor {
         }
         plan.post_pass(&base, &plan.predicates, true)
     }
+
+    /// Execute a [`QueryPlan`] against a **caller-pinned**
+    /// [`Snapshot`](flor_store::Snapshot): the from-scratch pivot and the
+    /// whole plan post-pass run at exactly the snapshot's epoch, no
+    /// matter how many commits land meanwhile. This is how `flor-serve`
+    /// answers every request of a session at the epoch the session
+    /// pinned: the response is byte-identical to what
+    /// [`Flor::run_plan_full`] would have returned at that moment.
+    pub fn run_plan_at(
+        &self,
+        snap: &flor_store::Snapshot,
+        plan: &QueryPlan,
+    ) -> StoreResult<DataFrame> {
+        let names: Vec<&str> = plan.names.iter().map(String::as_str).collect();
+        let base = Flor::pivot_at(snap, &names)?;
+        if plan.post_pass_is_identity(&plan.predicates, plan.latest_group.is_some()) {
+            return Ok(base);
+        }
+        plan.post_pass(&base, &plan.predicates, true)
+    }
 }
 
 impl<'a> QueryBuilder<'a> {

@@ -6,8 +6,10 @@
 //! [`Span`] timings, and a bounded ring-buffer [`Event`] log for discrete
 //! occurrences (checkpoint done, compaction pass, feed shed, job-unit
 //! failure). [`MetricsRegistry::snapshot`] produces a consistent
-//! [`MetricsSnapshot`] with text and JSON rendering — what
-//! `Flor::metrics()` surfaces at the kernel.
+//! [`MetricsSnapshot`] with text, JSON and Prometheus exposition-format
+//! rendering ([`MetricsSnapshot::render_prometheus`], served by
+//! `flor-serve`'s scrape verb) — what `Flor::metrics()` surfaces at the
+//! kernel.
 //!
 //! # Design constraints
 //!
@@ -555,6 +557,57 @@ impl MetricsSnapshot {
         out
     }
 
+    /// Prometheus text-format (exposition format version 0.0.4)
+    /// rendering, suitable for a `/metrics` scrape endpoint (what
+    /// `flor-serve` exposes as its `MetricsPrometheus` verb).
+    ///
+    /// Dotted names become underscore identifiers (`store.commit.rows`
+    /// → `store_commit_rows`); counters get the conventional `_total`
+    /// suffix; histograms render as **cumulative** `_bucket{le="..."}`
+    /// series closed by `le="+Inf"`, plus `_sum` and `_count`. Every
+    /// series is preceded by its `# HELP` (carrying the original dotted
+    /// name) and `# TYPE` lines. Events have no Prometheus analogue and
+    /// are not rendered.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let mut p = prom_name(name);
+            if !p.ends_with("_total") {
+                p.push_str("_total");
+            }
+            writeln!(out, "# HELP {p} FlorDB counter {name}").expect("string write");
+            writeln!(out, "# TYPE {p} counter").expect("string write");
+            writeln!(out, "{p} {v}").expect("string write");
+        }
+        for (name, v) in &self.gauges {
+            let p = prom_name(name);
+            writeln!(out, "# HELP {p} FlorDB gauge {name}").expect("string write");
+            writeln!(out, "# TYPE {p} gauge").expect("string write");
+            writeln!(out, "{p} {v}").expect("string write");
+        }
+        for (name, h) in &self.histograms {
+            let p = prom_name(name);
+            writeln!(out, "# HELP {p} FlorDB histogram {name}").expect("string write");
+            writeln!(out, "# TYPE {p} histogram").expect("string write");
+            let mut cum = 0u64;
+            for &(upper, n) in &h.buckets {
+                cum += n;
+                // The unbounded last bucket folds into the mandatory
+                // +Inf series below rather than printing u64::MAX as a
+                // finite bound.
+                if upper == u64::MAX {
+                    continue;
+                }
+                writeln!(out, "{p}_bucket{{le=\"{upper}\"}} {cum}").expect("string write");
+            }
+            writeln!(out, "{p}_bucket{{le=\"+Inf\"}} {}", h.count).expect("string write");
+            writeln!(out, "{p}_sum {}", h.sum).expect("string write");
+            writeln!(out, "{p}_count {}", h.count).expect("string write");
+        }
+        out
+    }
+
     /// Compact JSON rendering (hand-rolled; the workspace carries no
     /// serializer dependency).
     pub fn to_json(&self) -> String {
@@ -612,6 +665,24 @@ impl MetricsSnapshot {
         out.push_str("]}");
         out
     }
+}
+
+/// A dotted metric name as a Prometheus identifier: every character
+/// outside `[a-zA-Z0-9_:]` becomes `_`, with a leading `_` prepended if
+/// the name would otherwise start with a digit.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
 }
 
 /// Minimal JSON string escaping.
@@ -766,6 +837,64 @@ mod tests {
         assert!(json.contains("\"g.one\":-3"));
         assert!(json.contains("\"count\":1"));
         assert!(json.contains("\"kind\":\"checkpoint\""));
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(prom_name("store.commit.rows"), "store_commit_rows");
+        assert_eq!(prom_name("jobs.done.my-kind"), "jobs_done_my_kind");
+        assert_eq!(prom_name("9lives.x"), "_9lives_x");
+        assert_eq!(prom_name("a:b_c"), "a:b_c");
+    }
+
+    #[test]
+    fn prometheus_counters_and_gauges() {
+        let reg = MetricsRegistry::new();
+        reg.counter("store.commit.rows").add(5);
+        reg.counter("already_total").add(1);
+        reg.gauge("store.feed.depth").set(-3);
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("# HELP store_commit_rows_total FlorDB counter store.commit.rows\n"));
+        assert!(text.contains("# TYPE store_commit_rows_total counter\n"));
+        assert!(text.contains("\nstore_commit_rows_total 5\n"));
+        // An existing `_total` suffix is not doubled.
+        assert!(text.contains("\nalready_total 1\n"));
+        assert!(!text.contains("already_total_total"));
+        assert!(text.contains("# TYPE store_feed_depth gauge\n"));
+        assert!(text.contains("\nstore_feed_depth -3\n"));
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("store.commit.nanos");
+        // Buckets: 0 → upper 0, 1 → upper 1, {2,3} → upper 3.
+        for v in [0u64, 1, 2, 3] {
+            h.record(v);
+        }
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE store_commit_nanos histogram\n"));
+        assert!(text.contains("store_commit_nanos_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("store_commit_nanos_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("store_commit_nanos_bucket{le=\"3\"} 4\n"));
+        assert!(text.contains("store_commit_nanos_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("store_commit_nanos_sum 6\n"));
+        assert!(text.contains("store_commit_nanos_count 4\n"));
+    }
+
+    #[test]
+    fn prometheus_unbounded_bucket_folds_into_inf() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h");
+        h.record(u64::MAX);
+        h.record(1);
+        let text = reg.snapshot().render_prometheus();
+        // The u64::MAX bucket must not appear as a finite bound…
+        assert!(!text.contains(&u64::MAX.to_string()));
+        // …its sample shows up only in the +Inf series.
+        assert!(text.contains("h_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("h_count 2\n"));
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! The blocking client: connect, handshake, then typed calls that
+//! mirror the protocol verbs one-to-one.
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, Request, Response, WireError, DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+};
+use flor_df::DataFrame;
+use flor_view::QueryPlan;
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure: a wire problem or a typed server refusal.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport or codec failure.
+    Wire(WireError),
+    /// The server answered with a typed error.
+    Remote {
+        /// Machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a response of the wrong kind.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Wire(e) => write!(f, "wire: {e}"),
+            ServeError::Remote { code, message } => write!(f, "server refused: {code}: {message}"),
+            ServeError::Unexpected(what) => write!(f, "unexpected response kind: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> ServeError {
+        ServeError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> ServeError {
+        ServeError::Wire(WireError::Io(e))
+    }
+}
+
+/// A connected session. Every [`Client::query`] answers from the
+/// snapshot pinned at connect (or the last [`Client::pin`]), so results
+/// are repeatable no matter what the writer does meanwhile.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    epoch: u64,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+impl Client {
+    /// Connect and perform the `Hello` handshake (with `token` when the
+    /// server demands one). On success the session is pinned at
+    /// [`Client::epoch`].
+    pub fn connect(addr: impl ToSocketAddrs, token: Option<&str>) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut client = Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            epoch: 0,
+        };
+        let resp = client.call(&Request::Hello {
+            version: PROTOCOL_VERSION,
+            token: token.map(str::to_string),
+        })?;
+        match resp {
+            Response::HelloOk { epoch, .. } => {
+                client.epoch = epoch;
+                Ok(client)
+            }
+            other => Err(refused(other)),
+        }
+    }
+
+    /// The epoch this session is pinned at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Run `plan` at the pinned epoch; returns `(epoch, frame)`.
+    pub fn query(&mut self, plan: &QueryPlan) -> Result<(u64, DataFrame), ServeError> {
+        match self.call(&Request::Query { plan: plan.clone() })? {
+            Response::Frame { epoch, df } => Ok((epoch, df)),
+            other => Err(refused(other)),
+        }
+    }
+
+    /// Re-pin the session to the server's current epoch.
+    pub fn pin(&mut self) -> Result<u64, ServeError> {
+        match self.call(&Request::Pin)? {
+            Response::Pinned { epoch } => {
+                self.epoch = epoch;
+                Ok(epoch)
+            }
+            other => Err(refused(other)),
+        }
+    }
+
+    /// `(pinned, latest)` epochs as the server sees them.
+    pub fn epochs(&mut self) -> Result<(u64, u64), ServeError> {
+        match self.call(&Request::Epoch)? {
+            Response::Epochs { pinned, latest } => Ok((pinned, latest)),
+            other => Err(refused(other)),
+        }
+    }
+
+    /// Human-readable metrics dump.
+    pub fn metrics_text(&mut self) -> Result<String, ServeError> {
+        match self.call(&Request::Metrics)? {
+            Response::Text { body } => Ok(body),
+            other => Err(refused(other)),
+        }
+    }
+
+    /// Prometheus exposition-format scrape.
+    pub fn metrics_prometheus(&mut self) -> Result<String, ServeError> {
+        match self.call(&Request::MetricsPrometheus)? {
+            Response::Text { body } => Ok(body),
+            other => Err(refused(other)),
+        }
+    }
+
+    /// Orderly goodbye.
+    pub fn close(mut self) -> Result<(), ServeError> {
+        match self.call(&Request::Close)? {
+            Response::Bye => Ok(()),
+            other => Err(refused(other)),
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        write_frame(&mut self.writer, &req.encode())?;
+        let payload = read_frame(&mut self.reader, DEFAULT_MAX_FRAME_BYTES)?;
+        Ok(Response::decode(payload)?)
+    }
+}
+
+fn refused(resp: Response) -> ServeError {
+    match resp {
+        Response::Error { code, message } => ServeError::Remote { code, message },
+        Response::HelloOk { .. } => ServeError::Unexpected("hello-ok"),
+        Response::Frame { .. } => ServeError::Unexpected("frame"),
+        Response::Pinned { .. } => ServeError::Unexpected("pinned"),
+        Response::Epochs { .. } => ServeError::Unexpected("epochs"),
+        Response::Text { .. } => ServeError::Unexpected("text"),
+        Response::Bye => ServeError::Unexpected("bye"),
+    }
+}

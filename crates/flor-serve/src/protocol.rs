@@ -1,0 +1,722 @@
+//! The flor-serve wire protocol: length-prefixed, CRC-guarded frames
+//! carrying typed request/response payloads.
+//!
+//! A frame on the wire is `[len: u32][crc: u64][payload]` (big-endian),
+//! where `crc` is the FNV-1a hash of the payload — the same checksum the
+//! WAL uses ([`flor_store::codec::fnv1a`]), so a flipped bit anywhere in
+//! the payload is caught before decoding starts. The payload's first
+//! byte is a kind tag; the rest is the variant body, encoded with the
+//! store's value codec ([`flor_store::codec::encode_value`]) so the
+//! dataframe cells a server ships are byte-identical to what the WAL
+//! would persist.
+//!
+//! Robustness contract (exercised by the `protocol_robustness` test):
+//! a malformed, truncated or oversized frame decodes to a typed
+//! [`WireError`] — never a panic — and the server answers with a typed
+//! [`Response::Error`] before dropping that connection only.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use flor_df::{Column, DataFrame, Value};
+use flor_store::codec::{decode_value, encode_value, fnv1a, CodecError};
+use flor_store::{CmpOp, Predicate};
+use flor_view::QueryPlan;
+use std::io::{Read, Write};
+
+/// Protocol version carried by [`Request::Hello`]; the server refuses
+/// anything else.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Default per-frame size cap (64 MiB): a frame announcing more than
+/// this is rejected as [`WireError::TooLarge`] without allocating.
+pub const DEFAULT_MAX_FRAME_BYTES: u32 = 1 << 26;
+
+/// Everything that can go wrong on the wire.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket-level failure (includes idle-timeout and peer-gone).
+    Io(std::io::Error),
+    /// Payload failed to decode (truncated, bad tag, malformed).
+    Codec(CodecError),
+    /// Frame header announced a payload larger than the cap.
+    TooLarge {
+        /// Announced payload length.
+        len: u32,
+        /// The enforced cap.
+        max: u32,
+    },
+    /// Frame checksum mismatch: the payload was corrupted in flight.
+    BadChecksum,
+    /// Unknown request/response kind tag.
+    UnknownKind(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io: {e}"),
+            WireError::Codec(e) => write!(f, "codec: {e}"),
+            WireError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::BadChecksum => write!(f, "frame checksum mismatch"),
+            WireError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> WireError {
+        WireError::Codec(e)
+    }
+}
+
+fn trunc() -> WireError {
+    WireError::Codec(CodecError::Truncated)
+}
+
+fn malformed(m: impl Into<String>) -> WireError {
+    WireError::Codec(CodecError::Malformed(m.into()))
+}
+
+/// Typed error codes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed or protocol-violating request.
+    BadRequest,
+    /// Auth token missing or wrong.
+    Unauthorized,
+    /// Accept pool or in-flight limit exhausted; retry later.
+    Busy,
+    /// Per-session admission rate exceeded; retry later.
+    RateLimited,
+    /// The server refused a write (read-only follower).
+    ReadOnly,
+    /// Request was valid but execution failed server-side.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 0,
+            ErrorCode::Unauthorized => 1,
+            ErrorCode::Busy => 2,
+            ErrorCode::RateLimited => 3,
+            ErrorCode::ReadOnly => 4,
+            ErrorCode::Internal => 5,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<ErrorCode, WireError> {
+        Ok(match b {
+            0 => ErrorCode::BadRequest,
+            1 => ErrorCode::Unauthorized,
+            2 => ErrorCode::Busy,
+            3 => ErrorCode::RateLimited,
+            4 => ErrorCode::ReadOnly,
+            5 => ErrorCode::Internal,
+            k => return Err(WireError::UnknownKind(k)),
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::Unauthorized => "unauthorized",
+            ErrorCode::Busy => "busy",
+            ErrorCode::RateLimited => "rate-limited",
+            ErrorCode::ReadOnly => "read-only",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A client request. The first request on a connection must be
+/// [`Request::Hello`]; everything after executes against the session's
+/// pinned snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open a session: protocol version check plus optional auth token.
+    Hello {
+        /// Must equal [`PROTOCOL_VERSION`].
+        version: u16,
+        /// Auth token, when the server's middleware demands one.
+        token: Option<String>,
+    },
+    /// Execute a [`QueryPlan`] at the session's pinned epoch.
+    Query {
+        /// The plan to run.
+        plan: QueryPlan,
+    },
+    /// Re-pin the session to the server's current epoch.
+    Pin,
+    /// Report the session's pinned epoch and the server's latest.
+    Epoch,
+    /// Human-readable metrics dump ([`flor_obs::MetricsSnapshot::render_text`]).
+    Metrics,
+    /// Prometheus scrape ([`flor_obs::MetricsSnapshot::render_prometheus`]).
+    MetricsPrometheus,
+    /// Orderly goodbye; the server answers [`Response::Bye`] and hangs up.
+    Close,
+}
+
+impl Request {
+    /// Stable lowercase verb name (metric labels, logs).
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "hello",
+            Request::Query { .. } => "query",
+            Request::Pin => "pin",
+            Request::Epoch => "epoch",
+            Request::Metrics => "metrics",
+            Request::MetricsPrometheus => "metrics_prometheus",
+            Request::Close => "close",
+        }
+    }
+
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Request::Hello { version, token } => {
+                buf.put_u8(1);
+                buf.put_u16(*version);
+                match token {
+                    None => buf.put_u8(0),
+                    Some(t) => {
+                        buf.put_u8(1);
+                        put_str(&mut buf, t);
+                    }
+                }
+            }
+            Request::Query { plan } => {
+                buf.put_u8(2);
+                encode_plan(plan, &mut buf);
+            }
+            Request::Pin => buf.put_u8(3),
+            Request::Epoch => buf.put_u8(4),
+            Request::Metrics => buf.put_u8(5),
+            Request::MetricsPrometheus => buf.put_u8(6),
+            Request::Close => buf.put_u8(7),
+        }
+        buf.freeze()
+    }
+
+    /// Decode a frame payload; trailing bytes are a protocol violation.
+    pub fn decode(mut buf: Bytes) -> Result<Request, WireError> {
+        if buf.remaining() < 1 {
+            return Err(trunc());
+        }
+        let req = match buf.get_u8() {
+            1 => {
+                if buf.remaining() < 3 {
+                    return Err(trunc());
+                }
+                let version = buf.get_u16();
+                let token = match buf.get_u8() {
+                    0 => None,
+                    _ => Some(get_str(&mut buf)?),
+                };
+                Request::Hello { version, token }
+            }
+            2 => Request::Query {
+                plan: decode_plan(&mut buf)?,
+            },
+            3 => Request::Pin,
+            4 => Request::Epoch,
+            5 => Request::Metrics,
+            6 => Request::MetricsPrometheus,
+            7 => Request::Close,
+            k => return Err(WireError::UnknownKind(k)),
+        };
+        if buf.remaining() > 0 {
+            return Err(malformed("trailing bytes after request"));
+        }
+        Ok(req)
+    }
+}
+
+/// A server response; every result frame carries the epoch it was
+/// computed at.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Session opened, pinned at `epoch`.
+    HelloOk {
+        /// Server's protocol version.
+        version: u16,
+        /// The epoch this session is pinned at.
+        epoch: u64,
+    },
+    /// A query result: the dataframe as of the session's pinned epoch.
+    Frame {
+        /// Epoch the result was computed at.
+        epoch: u64,
+        /// The result dataframe.
+        df: DataFrame,
+    },
+    /// The session re-pinned to `epoch`.
+    Pinned {
+        /// New pinned epoch.
+        epoch: u64,
+    },
+    /// Epoch report.
+    Epochs {
+        /// The session's pinned epoch.
+        pinned: u64,
+        /// The server's latest committed epoch.
+        latest: u64,
+    },
+    /// A text body (metrics dumps).
+    Text {
+        /// The rendered body.
+        body: String,
+    },
+    /// A typed failure; the connection stays up unless the error was a
+    /// protocol violation.
+    Error {
+        /// Machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Orderly goodbye.
+    Bye,
+}
+
+impl Response {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Response::HelloOk { version, epoch } => {
+                buf.put_u8(1);
+                buf.put_u16(*version);
+                buf.put_u64(*epoch);
+            }
+            Response::Frame { epoch, df } => {
+                buf.put_u8(2);
+                buf.put_u64(*epoch);
+                encode_frame(df, &mut buf);
+            }
+            Response::Pinned { epoch } => {
+                buf.put_u8(3);
+                buf.put_u64(*epoch);
+            }
+            Response::Epochs { pinned, latest } => {
+                buf.put_u8(4);
+                buf.put_u64(*pinned);
+                buf.put_u64(*latest);
+            }
+            Response::Text { body } => {
+                buf.put_u8(5);
+                put_str(&mut buf, body);
+            }
+            Response::Error { code, message } => {
+                buf.put_u8(6);
+                buf.put_u8(code.to_u8());
+                put_str(&mut buf, message);
+            }
+            Response::Bye => buf.put_u8(7),
+        }
+        buf.freeze()
+    }
+
+    /// Decode a frame payload; trailing bytes are a protocol violation.
+    pub fn decode(mut buf: Bytes) -> Result<Response, WireError> {
+        if buf.remaining() < 1 {
+            return Err(trunc());
+        }
+        let resp = match buf.get_u8() {
+            1 => {
+                if buf.remaining() < 10 {
+                    return Err(trunc());
+                }
+                Response::HelloOk {
+                    version: buf.get_u16(),
+                    epoch: buf.get_u64(),
+                }
+            }
+            2 => {
+                if buf.remaining() < 8 {
+                    return Err(trunc());
+                }
+                let epoch = buf.get_u64();
+                Response::Frame {
+                    epoch,
+                    df: decode_frame(&mut buf)?,
+                }
+            }
+            3 => {
+                if buf.remaining() < 8 {
+                    return Err(trunc());
+                }
+                Response::Pinned {
+                    epoch: buf.get_u64(),
+                }
+            }
+            4 => {
+                if buf.remaining() < 16 {
+                    return Err(trunc());
+                }
+                Response::Epochs {
+                    pinned: buf.get_u64(),
+                    latest: buf.get_u64(),
+                }
+            }
+            5 => Response::Text {
+                body: get_str(&mut buf)?,
+            },
+            6 => {
+                if buf.remaining() < 1 {
+                    return Err(trunc());
+                }
+                let code = ErrorCode::from_u8(buf.get_u8())?;
+                Response::Error {
+                    code,
+                    message: get_str(&mut buf)?,
+                }
+            }
+            7 => Response::Bye,
+            k => return Err(WireError::UnknownKind(k)),
+        };
+        if buf.remaining() > 0 {
+            return Err(malformed("trailing bytes after response"));
+        }
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------- frame io
+
+/// Write one `[len][crc][payload]` frame and flush.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    let mut head = [0u8; 12];
+    head[..4].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    head[4..].copy_from_slice(&fnv1a(payload).to_be_bytes());
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame, enforcing the size cap *before* allocating and the
+/// checksum *before* returning the payload.
+pub fn read_frame(r: &mut impl Read, max_bytes: u32) -> Result<Bytes, WireError> {
+    let mut head = [0u8; 12];
+    r.read_exact(&mut head)?;
+    let len = u32::from_be_bytes(head[..4].try_into().expect("4 bytes"));
+    if len > max_bytes {
+        return Err(WireError::TooLarge {
+            len,
+            max: max_bytes,
+        });
+    }
+    let crc = u64::from_be_bytes(head[4..].try_into().expect("8 bytes"));
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    if fnv1a(&payload) != crc {
+        return Err(WireError::BadChecksum);
+    }
+    Ok(Bytes::from(payload))
+}
+
+// ------------------------------------------------------------- primitives
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, WireError> {
+    if buf.remaining() < 4 {
+        return Err(trunc());
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(trunc());
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|e| malformed(e.to_string()))
+}
+
+fn cmp_to_u8(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn cmp_from_u8(b: u8) -> Result<CmpOp, WireError> {
+    Ok(match b {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        k => return Err(WireError::UnknownKind(k)),
+    })
+}
+
+// ------------------------------------------------------------- query plan
+
+fn encode_plan(plan: &QueryPlan, buf: &mut BytesMut) {
+    buf.put_u32(plan.names.len() as u32);
+    for n in &plan.names {
+        put_str(buf, n);
+    }
+    buf.put_u32(plan.predicates.len() as u32);
+    for p in &plan.predicates {
+        put_str(buf, &p.col);
+        buf.put_u8(cmp_to_u8(p.op));
+        encode_value(&p.value, buf);
+    }
+    match &plan.latest_group {
+        None => buf.put_u8(0),
+        Some(group) => {
+            buf.put_u8(1);
+            buf.put_u32(group.len() as u32);
+            for g in group {
+                put_str(buf, g);
+            }
+        }
+    }
+    buf.put_u32(plan.order_by.len() as u32);
+    for (col, asc) in &plan.order_by {
+        put_str(buf, col);
+        buf.put_u8(*asc as u8);
+    }
+    match plan.limit {
+        None => buf.put_u8(0),
+        Some(n) => {
+            buf.put_u8(1);
+            buf.put_u64(n as u64);
+        }
+    }
+}
+
+fn decode_plan(buf: &mut Bytes) -> Result<QueryPlan, WireError> {
+    let mut plan = QueryPlan::new(&[]);
+    let n_names = get_count(buf)?;
+    for _ in 0..n_names {
+        plan.names.push(get_str(buf)?);
+    }
+    let n_preds = get_count(buf)?;
+    for _ in 0..n_preds {
+        let col = get_str(buf)?;
+        let op = {
+            if buf.remaining() < 1 {
+                return Err(trunc());
+            }
+            cmp_from_u8(buf.get_u8())?
+        };
+        let value = decode_value(buf)?;
+        plan.predicates.push(Predicate { col, op, value });
+    }
+    if buf.remaining() < 1 {
+        return Err(trunc());
+    }
+    if buf.get_u8() != 0 {
+        let n = get_count(buf)?;
+        let mut group = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            group.push(get_str(buf)?);
+        }
+        plan.latest_group = Some(group);
+    }
+    let n_order = get_count(buf)?;
+    for _ in 0..n_order {
+        let col = get_str(buf)?;
+        if buf.remaining() < 1 {
+            return Err(trunc());
+        }
+        plan.order_by.push((col, buf.get_u8() != 0));
+    }
+    if buf.remaining() < 1 {
+        return Err(trunc());
+    }
+    if buf.get_u8() != 0 {
+        if buf.remaining() < 8 {
+            return Err(trunc());
+        }
+        plan.limit = Some(buf.get_u64() as usize);
+    }
+    Ok(plan)
+}
+
+fn get_count(buf: &mut Bytes) -> Result<usize, WireError> {
+    if buf.remaining() < 4 {
+        return Err(trunc());
+    }
+    Ok(buf.get_u32() as usize)
+}
+
+// -------------------------------------------------------------- dataframe
+
+/// Encode a dataframe column-by-column with the store's value codec, so
+/// two servers at the same epoch produce byte-identical frames.
+fn encode_frame(df: &DataFrame, buf: &mut BytesMut) {
+    buf.put_u32(df.columns().len() as u32);
+    for col in df.columns() {
+        put_str(buf, &col.name);
+        buf.put_u32(col.values.len() as u32);
+        for v in &col.values {
+            encode_value(v, buf);
+        }
+    }
+}
+
+fn decode_frame(buf: &mut Bytes) -> Result<DataFrame, WireError> {
+    let n_cols = get_count(buf)?;
+    let mut cols = Vec::with_capacity(n_cols.min(1024));
+    for _ in 0..n_cols {
+        let name = get_str(buf)?;
+        let n_rows = get_count(buf)?;
+        let mut values: Vec<Value> = Vec::with_capacity(n_rows.min(4096));
+        for _ in 0..n_rows {
+            values.push(decode_value(buf)?);
+        }
+        cols.push(Column::new(name, values));
+    }
+    DataFrame::from_columns(cols).map_err(|e| malformed(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let decoded = Request::decode(req.encode()).expect("decode");
+        assert_eq!(decoded, req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let decoded = Response::decode(resp.encode()).expect("decode");
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Hello {
+            version: PROTOCOL_VERSION,
+            token: None,
+        });
+        roundtrip_req(Request::Hello {
+            version: 9,
+            token: Some("s3cret".into()),
+        });
+        let plan = QueryPlan::with_latest(&["loss", "acc"], &["filename"])
+            .filter("tstamp", CmpOp::Ge, 3i64)
+            .filter("loss", CmpOp::Lt, 0.5f64);
+        let mut plan = plan;
+        plan.order_by.push(("tstamp".into(), false));
+        plan.limit = Some(10);
+        roundtrip_req(Request::Query { plan });
+        roundtrip_req(Request::Pin);
+        roundtrip_req(Request::Epoch);
+        roundtrip_req(Request::Metrics);
+        roundtrip_req(Request::MetricsPrometheus);
+        roundtrip_req(Request::Close);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::HelloOk {
+            version: 1,
+            epoch: 42,
+        });
+        let df = DataFrame::from_rows(
+            vec!["a", "b"],
+            vec![
+                vec![Value::Int(1), Value::from("x")],
+                vec![Value::Null, Value::Float(2.5)],
+            ],
+        )
+        .expect("frame");
+        roundtrip_resp(Response::Frame { epoch: 7, df });
+        roundtrip_resp(Response::Pinned { epoch: 3 });
+        roundtrip_resp(Response::Epochs {
+            pinned: 3,
+            latest: 9,
+        });
+        roundtrip_resp(Response::Text {
+            body: "# TYPE x counter\nx 1\n".into(),
+        });
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::RateLimited,
+            message: "slow down".into(),
+        });
+        roundtrip_resp(Response::Bye);
+    }
+
+    #[test]
+    fn frame_io_roundtrips_and_checks_crc() {
+        let payload = Request::Pin.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).expect("write");
+        let got = read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME_BYTES).expect("read");
+        assert_eq!(got, payload);
+
+        // Flip one payload byte: the checksum must catch it.
+        let mut corrupt = wire.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xff;
+        assert!(matches!(
+            read_frame(&mut corrupt.as_slice(), DEFAULT_MAX_FRAME_BYTES),
+            Err(WireError::BadChecksum)
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_be_bytes());
+        wire.extend_from_slice(&0u64.to_be_bytes());
+        assert!(matches!(
+            read_frame(&mut wire.as_slice(), 1024),
+            Err(WireError::TooLarge { len: u32::MAX, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_payloads_yield_typed_errors() {
+        // Every prefix of a valid encoding must fail cleanly, not panic.
+        let plan =
+            QueryPlan::with_latest(&["loss"], &["filename"]).filter("tstamp", CmpOp::Ge, 3i64);
+        let full = Request::Query { plan }.encode();
+        for cut in 0..full.len() {
+            let res = Request::decode(full.slice(..cut));
+            assert!(res.is_err(), "prefix of {cut} bytes decoded");
+        }
+        // And trailing garbage is rejected too.
+        let mut extended = BytesMut::new();
+        extended.put_slice(&full);
+        extended.put_u8(0);
+        assert!(Request::decode(extended.freeze()).is_err());
+    }
+
+    #[test]
+    fn unknown_kind_is_typed() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(200);
+        assert!(matches!(
+            Request::decode(buf.freeze()),
+            Err(WireError::UnknownKind(200))
+        ));
+    }
+}

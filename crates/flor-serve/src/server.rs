@@ -1,0 +1,408 @@
+//! The blocking TCP server: bounded thread-per-connection accept pool,
+//! session handshake, snapshot-pinned request execution, middleware
+//! dispatch, and the follower poll loop.
+//!
+//! Concurrency model: the accept loop admits at most
+//! [`ServerConfig::max_sessions`] live connections (excess connections
+//! get a typed `Busy` error and are closed); each admitted connection is
+//! served by its own thread, and a global [`Gate`] additionally bounds
+//! how many requests *execute* at once. Every session's queries run
+//! against the snapshot pinned at handshake (or last `Pin`), via
+//! [`Flor::run_plan_at`] — lock-free reads, so a committing writer in
+//! the same process never blocks serving.
+//!
+//! When the served handle is a follower ([`Flor::open_follower`]), the
+//! server also runs a poll thread calling [`Flor::poll_follower`] every
+//! [`ServerConfig::follower_poll`], which bounds the follower's
+//! staleness by that interval.
+
+use crate::middleware::Middleware;
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, Request, Response, WireError, DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+};
+use crate::session::{Gate, Session};
+use flor_core::Flor;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Server tunables; [`ServerConfig::default`] is sized for tests and
+/// small deployments.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Accept-pool bound: live sessions past this get `Busy` + close.
+    pub max_sessions: usize,
+    /// Global bound on concurrently *executing* requests.
+    pub max_in_flight: usize,
+    /// Per-session idle timeout; a session silent this long is dropped.
+    pub idle_timeout: Duration,
+    /// Per-frame size cap (both directions).
+    pub max_frame_bytes: u32,
+    /// Follower staleness bound: how often the poll thread tails the
+    /// writer's WAL. Ignored for non-follower handles.
+    pub follower_poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_sessions: 32,
+            max_in_flight: 8,
+            idle_timeout: Duration::from_secs(30),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            follower_poll: Duration::from_millis(20),
+        }
+    }
+}
+
+struct Shared {
+    flor: Flor,
+    cfg: ServerConfig,
+    middleware: Vec<Arc<dyn Middleware>>,
+    gate: Arc<Gate>,
+    live_sessions: AtomicUsize,
+    next_session: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A bound-but-not-yet-running server. Configure middleware, then
+/// either [`Server::run`] on this thread or [`Server::spawn`] one.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) serving `flor`.
+    pub fn bind(
+        flor: Flor,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let gate = Gate::new(cfg.max_in_flight);
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                flor,
+                cfg,
+                middleware: Vec::new(),
+                gate,
+                live_sessions: AtomicUsize::new(0),
+                next_session: AtomicU64::new(1),
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// Push a middleware onto the stack (dispatched in push order).
+    ///
+    /// # Panics
+    /// If called after [`Server::spawn`] cloned the shared state (build
+    /// the full stack before starting the server).
+    pub fn with_middleware(mut self, mw: Arc<dyn Middleware>) -> Server {
+        Arc::get_mut(&mut self.shared)
+            .expect("add middleware before spawning")
+            .middleware
+            .push(mw);
+        self
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve on a background thread; the returned handle stops the
+    /// server on [`ServerHandle::stop`] or drop.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shared = Arc::clone(&self.shared);
+        let join = thread::spawn(move || self.run());
+        Ok(ServerHandle {
+            addr,
+            shared,
+            join: Some(join),
+        })
+    }
+
+    /// Serve on the calling thread until shut down.
+    pub fn run(self) {
+        let Server { listener, shared } = self;
+        let poller = spawn_follower_poll(&shared);
+        for stream in listener.incoming() {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            // Bounded accept pool: admit or refuse with a typed error.
+            if shared.live_sessions.fetch_add(1, Ordering::AcqRel) >= shared.cfg.max_sessions {
+                shared.live_sessions.fetch_sub(1, Ordering::AcqRel);
+                refuse_busy(stream);
+                continue;
+            }
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || {
+                let _ = handle_conn(&shared, stream);
+                shared.live_sessions.fetch_sub(1, Ordering::AcqRel);
+            });
+        }
+        if let Some(p) = poller {
+            let _ = p.join();
+        }
+    }
+}
+
+/// Handle to a spawned server; stops it on [`ServerHandle::stop`] or drop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live session count (admitted, not yet disconnected).
+    pub fn live_sessions(&self) -> usize {
+        self.shared.live_sessions.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, wake the accept loop, and join the server thread.
+    /// Connections already being served drain on their own (idle timeout
+    /// at the latest).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        // Self-connect to wake the blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// On a follower handle, tail the writer's WAL every `follower_poll` so
+/// served epochs lag the writer by at most one interval.
+fn spawn_follower_poll(shared: &Arc<Shared>) -> Option<JoinHandle<()>> {
+    if !shared.flor.is_follower() {
+        return None;
+    }
+    let shared = Arc::clone(shared);
+    Some(thread::spawn(move || {
+        while !shared.shutdown.load(Ordering::Relaxed) {
+            // A poll error (e.g. the writer's directory vanished) is
+            // retried next tick; the follower keeps serving its last
+            // good state meanwhile.
+            let _ = shared.flor.poll_follower();
+            thread::sleep(shared.cfg.follower_poll);
+        }
+    }))
+}
+
+/// Refuse an over-capacity connection with `Busy` on a best-effort
+/// write, then drop it.
+fn refuse_busy(stream: TcpStream) {
+    let mut w = BufWriter::new(stream);
+    let resp = Response::Error {
+        code: ErrorCode::Busy,
+        message: "session pool exhausted; retry later".into(),
+    };
+    let _ = write_frame(&mut w, &resp.encode());
+    let _ = w.flush();
+}
+
+/// Serve one connection: handshake, then the request loop. Protocol
+/// violations answer a typed error and drop only this connection.
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), WireError> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(shared.cfg.idle_timeout)).ok();
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown".into());
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let max = shared.cfg.max_frame_bytes;
+
+    // --- handshake: the first frame must be a version-matched Hello ---
+    let hello = match read_request(&mut reader, max) {
+        Ok(req) => req,
+        Err(e) => return send_protocol_error(&mut writer, &e),
+    };
+    let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+    let mut session = Session::new(id, peer, shared.flor.db.pin());
+    match &hello {
+        Request::Hello { version, .. } if *version != PROTOCOL_VERSION => {
+            return send_and_close(
+                &mut writer,
+                Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: format!(
+                        "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
+                    ),
+                },
+            );
+        }
+        Request::Hello { .. } => {}
+        other => {
+            return send_and_close(
+                &mut writer,
+                Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: format!("expected hello, got {}", other.verb()),
+                },
+            );
+        }
+    }
+    for mw in &shared.middleware {
+        if let Err(resp) = mw.on_request(&session, &hello) {
+            return send_and_close(&mut writer, resp);
+        }
+    }
+    session.authed = true;
+    write_frame(
+        &mut writer,
+        &Response::HelloOk {
+            version: PROTOCOL_VERSION,
+            epoch: session.epoch(),
+        }
+        .encode(),
+    )?;
+
+    // --- request loop ---
+    loop {
+        let req = match read_request(&mut reader, max) {
+            Ok(req) => req,
+            Err(WireError::Io(e)) => {
+                // Peer gone or idle timeout: just drop the connection.
+                return Err(WireError::Io(e));
+            }
+            Err(e) => return send_protocol_error(&mut writer, &e),
+        };
+        // Middleware veto: answer the prepared error. Auth failures end
+        // the connection; admission failures leave it up for a retry.
+        let veto = shared
+            .middleware
+            .iter()
+            .find_map(|mw| mw.on_request(&session, &req).err());
+        if let Some(resp) = veto {
+            let fatal = matches!(
+                resp,
+                Response::Error {
+                    code: ErrorCode::Unauthorized,
+                    ..
+                }
+            );
+            write_frame(&mut writer, &resp.encode())?;
+            if fatal {
+                return Ok(());
+            }
+            continue;
+        }
+        let start = Instant::now();
+        let resp = match shared.gate.try_enter() {
+            None => Response::Error {
+                code: ErrorCode::Busy,
+                message: "too many in-flight requests; retry later".into(),
+            },
+            Some(permit) => {
+                let resp = execute(&shared.flor, &mut session, &req);
+                drop(permit);
+                resp
+            }
+        };
+        session.requests += 1;
+        for mw in &shared.middleware {
+            mw.on_response(&session, &req, &resp, start.elapsed());
+        }
+        let bye = matches!(resp, Response::Bye);
+        write_frame(&mut writer, &resp.encode())?;
+        if bye {
+            return Ok(());
+        }
+    }
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>, max: u32) -> Result<Request, WireError> {
+    Request::decode(read_frame(reader, max)?)
+}
+
+/// Send a typed error for a protocol violation, then drop the
+/// connection (other sessions are untouched).
+fn send_protocol_error(
+    writer: &mut BufWriter<TcpStream>,
+    err: &WireError,
+) -> Result<(), WireError> {
+    if let WireError::Io(e) = err {
+        // Nothing to answer into a dead/idle socket.
+        return Err(WireError::Io(std::io::Error::new(e.kind(), e.to_string())));
+    }
+    send_and_close(
+        writer,
+        Response::Error {
+            code: ErrorCode::BadRequest,
+            message: err.to_string(),
+        },
+    )
+}
+
+fn send_and_close(writer: &mut BufWriter<TcpStream>, resp: Response) -> Result<(), WireError> {
+    write_frame(writer, &resp.encode())
+}
+
+/// Execute one admitted request against the session's pinned snapshot.
+fn execute(flor: &Flor, session: &mut Session, req: &Request) -> Response {
+    match req {
+        Request::Hello { .. } => Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "duplicate hello".into(),
+        },
+        Request::Query { plan } => match flor.run_plan_at(session.snapshot(), plan) {
+            Ok(df) => Response::Frame {
+                epoch: session.epoch(),
+                df,
+            },
+            Err(e) => Response::Error {
+                code: ErrorCode::Internal,
+                message: e.to_string(),
+            },
+        },
+        Request::Pin => {
+            session.repin(flor.db.pin());
+            Response::Pinned {
+                epoch: session.epoch(),
+            }
+        }
+        Request::Epoch => Response::Epochs {
+            pinned: session.epoch(),
+            latest: flor.db.pin().epoch(),
+        },
+        Request::Metrics => Response::Text {
+            body: flor.metrics().render_text(),
+        },
+        Request::MetricsPrometheus => Response::Text {
+            body: flor.metrics().render_prometheus(),
+        },
+        Request::Close => Response::Bye,
+    }
+}

@@ -1,0 +1,138 @@
+//! Server-side session state: a pinned snapshot per connection plus the
+//! global in-flight admission gate.
+//!
+//! Every connection that completes the `Hello` handshake gets a
+//! [`Session`] pinned at the epoch current at handshake time
+//! ([`flor_store::Database::pin`] — O(1), lock-free). All of the
+//! session's queries execute against that snapshot, so a client sees one
+//! frozen world no matter how many commits land meanwhile; `Pin` re-pins
+//! on demand. The [`Gate`] bounds how many requests execute at once
+//! across *all* sessions — excess requests get a typed `Busy` error
+//! instead of queueing unboundedly.
+
+use flor_store::Snapshot;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One client session: identity, auth state, pinned snapshot, counters.
+#[derive(Debug)]
+pub struct Session {
+    /// Server-unique session id.
+    pub id: u64,
+    /// Peer address, for logs.
+    pub peer: String,
+    /// Set once the `Hello` handshake (and any auth middleware) passed.
+    pub authed: bool,
+    /// Requests served so far on this session.
+    pub requests: u64,
+    /// When the session was opened.
+    pub started: Instant,
+    snap: Snapshot,
+}
+
+impl Session {
+    /// Open a session pinned at `snap`.
+    pub fn new(id: u64, peer: String, snap: Snapshot) -> Session {
+        Session {
+            id,
+            peer,
+            authed: false,
+            requests: 0,
+            started: Instant::now(),
+            snap,
+        }
+    }
+
+    /// The epoch this session is pinned at.
+    pub fn epoch(&self) -> u64 {
+        self.snap.epoch()
+    }
+
+    /// The pinned snapshot every query of this session runs against.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snap
+    }
+
+    /// Re-pin to a fresh snapshot (the `Pin` verb).
+    pub fn repin(&mut self, snap: Snapshot) {
+        self.snap = snap;
+    }
+}
+
+/// A bounded admission gate: at most `limit` permits are out at once.
+///
+/// Lock-free compare-and-swap acquire; the permit releases on drop, so a
+/// panicking handler can't leak capacity.
+#[derive(Debug)]
+pub struct Gate {
+    limit: usize,
+    active: AtomicUsize,
+}
+
+impl Gate {
+    /// A gate admitting at most `limit` concurrent holders (a limit of 0
+    /// admits nobody).
+    pub fn new(limit: usize) -> Arc<Gate> {
+        Arc::new(Gate {
+            limit,
+            active: AtomicUsize::new(0),
+        })
+    }
+
+    /// Try to take a permit; `None` when the gate is full.
+    pub fn try_enter(self: &Arc<Gate>) -> Option<GatePermit> {
+        let mut cur = self.active.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.limit {
+                return None;
+            }
+            match self.active.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(GatePermit(Arc::clone(self))),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Permits currently held.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+}
+
+/// An admission permit; returns its slot to the [`Gate`] on drop.
+#[derive(Debug)]
+pub struct GatePermit(Arc<Gate>);
+
+impl Drop for GatePermit {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_bounds_and_releases() {
+        let gate = Gate::new(2);
+        let a = gate.try_enter().expect("first");
+        let _b = gate.try_enter().expect("second");
+        assert!(gate.try_enter().is_none(), "third must be refused");
+        assert_eq!(gate.active(), 2);
+        drop(a);
+        assert!(gate.try_enter().is_some(), "slot freed on drop");
+    }
+
+    #[test]
+    fn zero_gate_admits_nobody() {
+        let gate = Gate::new(0);
+        assert!(gate.try_enter().is_none());
+    }
+}

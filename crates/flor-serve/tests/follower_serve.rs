@@ -1,0 +1,106 @@
+//! Read-only follower serving: a second `Flor` handle opened with
+//! [`Flor::open_follower`] over the writer's WAL serves the same data
+//! through flor-serve, with staleness bounded by the server's poll
+//! interval, and refuses writes with a typed error.
+
+use flor_core::Flor;
+use flor_serve::{Client, Response, ServeExt, ServerConfig};
+use flor_store::StoreError;
+use flor_view::QueryPlan;
+use std::time::{Duration, Instant};
+
+#[test]
+fn follower_serves_writer_data_with_bounded_staleness() {
+    let dir = std::env::temp_dir().join(format!("flor-follower-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("writer.wal");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(dir.join("writer.wal.ckpt"));
+
+    // The writer: a normal durable kernel.
+    let writer = Flor::open("follower-demo", &path).expect("open writer");
+    writer.set_filename("train.fl");
+    writer.log("loss", 0.9);
+    writer.commit("round 0").expect("commit");
+
+    // The follower: read-only over the same WAL, served with a tight
+    // poll so staleness stays small.
+    let follower = Flor::open_follower("follower-demo", &path).expect("open follower");
+    assert!(follower.is_follower());
+    let poll = Duration::from_millis(5);
+    let cfg = ServerConfig {
+        follower_poll: poll,
+        ..ServerConfig::default()
+    };
+    let handle = follower.serve("127.0.0.1:0", cfg).expect("serve follower");
+
+    let mut client = Client::connect(handle.addr(), None).expect("connect");
+    let plan = QueryPlan::new(&["loss"]);
+    let (_, df) = client.query(&plan).expect("query seed");
+    assert_eq!(df.n_rows(), 1, "follower must serve the bootstrap state");
+
+    // More commits land on the writer; the serving follower must catch
+    // up on its own (the server's poll thread), within a small multiple
+    // of the poll interval.
+    for round in 1..6 {
+        writer.log("loss", 0.9 / round as f64);
+        writer.commit(&format!("round {round}")).expect("commit");
+    }
+    let writer_epoch = writer.db.pin().epoch();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let converged_in = loop {
+        let started = Instant::now();
+        let (_, latest) = client.epochs().expect("epochs");
+        if latest >= writer_epoch {
+            break started.elapsed();
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower never caught up: {latest} < {writer_epoch}"
+        );
+        std::thread::sleep(poll / 2);
+    };
+    // Not a strict one-interval assertion (scheduler noise), but it must
+    // be the same order of magnitude.
+    assert!(
+        converged_in < poll * 200,
+        "staleness way past the poll interval: {converged_in:?}"
+    );
+
+    // Re-pin and the served frame must now be byte-identical to the
+    // writer's own from-scratch result at the same epoch.
+    let epoch = client.pin().expect("pin");
+    assert!(epoch >= writer_epoch);
+    let (got_epoch, df) = client.query(&plan).expect("query converged");
+    let local = writer.run_plan_full(&plan).expect("writer oracle");
+    assert_eq!(
+        Response::Frame {
+            epoch: got_epoch,
+            df
+        }
+        .encode(),
+        Response::Frame {
+            epoch: got_epoch,
+            df: local
+        }
+        .encode(),
+        "follower frame diverged from the writer's"
+    );
+
+    // Writes are refused at the kernel with the typed store error.
+    match follower.commit("nope") {
+        Err(StoreError::ReadOnly) => {}
+        other => panic!("follower commit must refuse read-only, got {other:?}"),
+    }
+    assert!(matches!(
+        follower.record_build_dep("v1", "t", &[], &[], false),
+        Err(StoreError::ReadOnly)
+    ));
+
+    client.close().expect("close");
+    handle.stop();
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(dir.join("writer.wal.ckpt"));
+    let _ = std::fs::remove_dir(&dir);
+}

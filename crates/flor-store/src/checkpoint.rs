@@ -167,6 +167,55 @@ pub fn write_sidecar(wal_path: &Path, data: &CheckpointData) -> std::io::Result<
     Ok(bytes.len() as u64)
 }
 
+/// Cheap identity of a sidecar file: header fields read without decoding
+/// (or checksumming) the body. The `crc` covers the whole body — epoch
+/// and max_txn included — so two sidecars with equal marks are the same
+/// checkpoint. Followers compare marks around every WAL tail read: a
+/// changed mark means a checkpoint replaced the sidecar (and may have
+/// truncated the WAL), so byte offsets into the old log are void.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SidecarMark {
+    /// FNV-1a checksum of the sidecar body.
+    pub crc: u64,
+    /// Epoch the checkpoint reflects.
+    pub epoch: u64,
+    /// Highest committed transaction id the checkpoint covers.
+    pub max_txn: u64,
+}
+
+/// Read just the header of the sidecar for `wal_path` — magic, version,
+/// checksum, epoch, max_txn — without decoding the table payload. `None`
+/// when no sidecar exists. O(1) in the sidecar size: this is the
+/// per-poll staleness probe a follower runs before and after each tail
+/// read.
+pub fn peek_sidecar(wal_path: &Path) -> Result<Option<SidecarMark>, crate::db::StoreError> {
+    let path = sidecar_path(wal_path);
+    let mut f = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(crate::db::StoreError::Io(e)),
+    };
+    let mut header = [0u8; 29];
+    f.read_exact(&mut header)
+        .map_err(|_| crate::db::StoreError::Codec(CodecError::Truncated))?;
+    let magic = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(crate::db::StoreError::Codec(CodecError::Malformed(
+            "bad checkpoint magic".into(),
+        )));
+    }
+    if header[4] != VERSION {
+        return Err(crate::db::StoreError::Codec(CodecError::Malformed(
+            format!("unsupported checkpoint version {}", header[4]),
+        )));
+    }
+    Ok(Some(SidecarMark {
+        crc: u64::from_be_bytes(header[5..13].try_into().expect("8 bytes")),
+        epoch: u64::from_be_bytes(header[13..21].try_into().expect("8 bytes")),
+        max_txn: u64::from_be_bytes(header[21..29].try_into().expect("8 bytes")),
+    }))
+}
+
 /// Load the sidecar for `wal_path`, if one exists. A corrupt sidecar is
 /// an error, not silently ignored: its WAL may already be truncated, so
 /// pretending there is no checkpoint would silently drop committed data.
@@ -246,6 +295,32 @@ mod tests {
         let data = sample();
         write_sidecar(&wal, &data).unwrap();
         assert_eq!(load_sidecar(&wal).unwrap(), Some(data));
+        let _ = std::fs::remove_file(sidecar_path(&wal));
+    }
+
+    #[test]
+    fn peek_matches_full_decode_and_distinguishes_checkpoints() {
+        let dir = std::env::temp_dir().join(format!("florckpt-peek-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join("b.wal");
+        let _ = std::fs::remove_file(sidecar_path(&wal));
+        assert!(peek_sidecar(&wal).unwrap().is_none());
+        let data = sample();
+        write_sidecar(&wal, &data).unwrap();
+        let mark1 = peek_sidecar(&wal).unwrap().expect("sidecar written");
+        assert_eq!(mark1.epoch, data.epoch);
+        assert_eq!(mark1.max_txn, data.max_txn);
+        // A different checkpoint (one more row) produces a different mark.
+        let mut data2 = sample();
+        data2.epoch += 1;
+        data2.max_txn += 3;
+        data2.tables[0]
+            .1
+            .push(vec![Value::from("p"), Value::Int(9), Value::Null]);
+        write_sidecar(&wal, &data2).unwrap();
+        let mark2 = peek_sidecar(&wal).unwrap().expect("sidecar replaced");
+        assert_ne!(mark1, mark2);
+        assert_eq!(mark2.epoch, data2.epoch);
         let _ = std::fs::remove_file(sidecar_path(&wal));
     }
 }

@@ -69,19 +69,19 @@
 //! replaying the full WAL reproduces the uncompacted state, and the next
 //! checkpoint captures the compacted one.
 
-use crate::checkpoint::{self, CheckpointData};
+use crate::checkpoint::{self, CheckpointData, SidecarMark};
 use crate::codec::WalRecord;
 use crate::compact::{self, CompactionPolicy, CompactionStats, CompactionTrigger};
 use crate::feed::{CommitBatch, Publisher, RowDelta, Subscription};
 use crate::metrics::StoreMetrics;
 use crate::query::{CmpOp, Predicate, QueryExplain};
 use crate::schema::TableSchema;
-use crate::wal::{Wal, WalError};
+use crate::wal::{self, TailChunk, Wal, WalError};
 use flor_df::{Column, DataFrame, DfResult, Value};
 use flor_obs::{MetricsRegistry, Span};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -114,6 +114,10 @@ pub enum StoreError {
     Codec(crate::codec::CodecError),
     /// Dataframe construction failure.
     Df(flor_df::DfError),
+    /// Mutation attempted through a read-only handle (a follower opened
+    /// with [`Database::open_follower`]). Followers apply the writer's
+    /// WAL; they never originate writes.
+    ReadOnly,
 }
 
 impl std::fmt::Display for StoreError {
@@ -124,6 +128,7 @@ impl std::fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "io error: {e}"),
             StoreError::Codec(e) => write!(f, "wal codec error: {e}"),
             StoreError::Df(e) => write!(f, "dataframe error: {e}"),
+            StoreError::ReadOnly => write!(f, "read-only handle: followers cannot write"),
         }
     }
 }
@@ -501,6 +506,48 @@ struct DbInner {
     last_checkpoint_epoch: u64,
     /// What the last `open` cost (checkpoint rows vs WAL replay).
     recovery: RecoveryInfo,
+    /// Whether this handle refuses mutations ([`Database::open_follower`]).
+    read_only: bool,
+    /// Follower tail cursor; `Some` exactly when `read_only` came from
+    /// `open_follower`.
+    tail: Option<TailState>,
+}
+
+/// A follower's cursor into the writer's log: where the next poll reads
+/// from, which checkpoint the current table state was built on, and the
+/// writer's not-yet-committed staged inserts carried across polls.
+struct TailState {
+    /// The writer's WAL path (the follower holds no open handle on it).
+    path: PathBuf,
+    /// Byte offset of the first unread frame.
+    offset: u64,
+    /// Transactions at or below this are covered by the bootstrap
+    /// sidecar and must not be re-applied.
+    base_txn: u64,
+    /// Identity of the sidecar the current state was bootstrapped from.
+    /// A differing mark on disk means a checkpoint truncated the log:
+    /// the offset is void and the follower re-bootstraps.
+    sidecar: Option<SidecarMark>,
+    /// Inserts whose commit marker has not been seen yet, by transaction.
+    /// The writer appends staged rows immediately but they become visible
+    /// only at the commit marker — a follower poll may see the inserts
+    /// frames polls before the commit frame.
+    staged: HashMap<u64, Vec<(String, Vec<Value>)>>,
+}
+
+/// What one [`Database::poll_tail`] call applied.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TailProgress {
+    /// Committed transactions applied by this poll.
+    pub committed_txns: usize,
+    /// Rows made visible by this poll.
+    pub rows_applied: usize,
+    /// Whether the poll found the log truncated by a checkpoint and
+    /// rebuilt the whole state from the new sidecar instead of applying
+    /// incrementally.
+    pub rebootstrapped: bool,
+    /// The follower's epoch after the poll.
+    pub epoch: u64,
 }
 
 /// An embedded relational database holding the FlorDB context tables.
@@ -726,6 +773,147 @@ pub struct DbStats {
     pub subscribers: usize,
 }
 
+/// Seal recovered `rows` into `tables[name]` in bounded chunks, not one
+/// monolith per table: zone-map pruning needs multiple segments to
+/// prune, and a single history-wide segment's min/max covers everything.
+/// The chunks are >= [`SEGMENT_COALESCE_ROWS`], so commit-time folding
+/// never re-merges them.
+fn append_chunked(
+    tables: &mut HashMap<String, Arc<TableVersion>>,
+    name: &str,
+    rows: Vec<Vec<Value>>,
+) {
+    if let Some(t) = tables.get_mut(name) {
+        let mut rows = rows;
+        while !rows.is_empty() {
+            let rest = rows.split_off(rows.len().min(RECOVERED_SEGMENT_ROWS));
+            *t = Arc::new(t.with_appended(rows).0);
+            rows = rest;
+        }
+    }
+}
+
+/// Apply one committed transaction's rows to `tables`, exactly the way
+/// [`Database::commit`] does: grouped per table in insertion order, each
+/// table publishing a successor version via `with_appended`. Returns the
+/// rows applied (rows of unknown tables are skipped, like recovery).
+fn apply_commit_rows(
+    tables: &mut HashMap<String, Arc<TableVersion>>,
+    rows: Vec<(String, Vec<Value>)>,
+) -> usize {
+    let mut per_table: Vec<(String, Vec<Vec<Value>>)> = Vec::new();
+    for (tname, row) in rows {
+        match per_table.iter_mut().find(|(t, _)| *t == tname) {
+            Some((_, rs)) => rs.push(row),
+            None => per_table.push((tname, vec![row])),
+        }
+    }
+    let mut applied = 0;
+    for (tname, rows) in per_table {
+        if let Some(t) = tables.get_mut(&tname) {
+            applied += rows.len();
+            *t = Arc::new(t.with_appended(rows).0);
+        }
+    }
+    applied
+}
+
+/// Everything a follower bootstrap produces: fresh table versions, the
+/// watermarks, and the tail cursor to continue polling from.
+struct FollowerBoot {
+    tables: HashMap<String, Arc<TableVersion>>,
+    epoch: u64,
+    last_committed_txn: u64,
+    tail: TailState,
+    recovery: RecoveryInfo,
+}
+
+/// Build follower state from the on-disk artifacts at `path`: load the
+/// checkpoint sidecar, then stream every complete WAL frame from byte 0,
+/// applying committed transactions and *retaining* uncommitted staged
+/// inserts in the tail cursor (they may commit in a later poll).
+///
+/// The read is guarded by a peek–read–peek protocol on the sidecar
+/// header: the sidecar is replaced (atomic rename) *before* the WAL is
+/// truncated, so if the mark is identical before and after the log read,
+/// the log bytes we read belong to that sidecar's world — no checkpoint
+/// truncation completed mid-read. A changed mark retries (bounded).
+fn follower_bootstrap(path: &Path, schemas: Vec<Arc<TableSchema>>) -> StoreResult<FollowerBoot> {
+    for _attempt in 0..8 {
+        let mark_before = checkpoint::peek_sidecar(path)?;
+        let ckpt = checkpoint::load_sidecar(path)?;
+        let chunk = wal::tail_from(path, 0)?;
+        if checkpoint::peek_sidecar(path)? != mark_before {
+            continue;
+        }
+        let TailChunk::Frames {
+            records,
+            new_offset,
+        } = chunk
+        else {
+            // `Truncated` at offset 0 means unparseable bytes at the log
+            // head — a rewrite racing this read. Retry.
+            continue;
+        };
+        let mut tables: HashMap<String, Arc<TableVersion>> = schemas
+            .iter()
+            .map(|s| (s.name.clone(), Arc::new(TableVersion::empty(Arc::clone(s)))))
+            .collect();
+        let mut recovery = RecoveryInfo::default();
+        let (base_epoch, base_txn) = match ckpt {
+            Some(data) => {
+                recovery.from_checkpoint = true;
+                let (epoch, max_txn) = (data.epoch, data.max_txn);
+                for (name, rows) in data.tables {
+                    recovery.checkpoint_rows += rows.len();
+                    append_chunked(&mut tables, &name, rows);
+                }
+                (epoch, max_txn)
+            }
+            None => (0, 0),
+        };
+        let mut staged: HashMap<u64, Vec<(String, Vec<Value>)>> = HashMap::new();
+        let mut epoch = base_epoch;
+        let mut last_committed_txn = base_txn;
+        for rec in records {
+            recovery.wal_records_replayed += 1;
+            match rec {
+                WalRecord::Insert { txn, table, row } => {
+                    if txn <= base_txn {
+                        continue;
+                    }
+                    staged.entry(txn).or_default().push((table, row));
+                }
+                WalRecord::Commit { txn } => {
+                    if txn <= base_txn {
+                        continue;
+                    }
+                    let rows = staged.remove(&txn).unwrap_or_default();
+                    recovery.rows_replayed += apply_commit_rows(&mut tables, rows);
+                    epoch += 1;
+                    last_committed_txn = last_committed_txn.max(txn);
+                }
+            }
+        }
+        return Ok(FollowerBoot {
+            tables,
+            epoch,
+            last_committed_txn,
+            tail: TailState {
+                path: path.to_path_buf(),
+                offset: new_offset,
+                base_txn,
+                sidecar: mark_before,
+                staged,
+            },
+            recovery,
+        });
+    }
+    Err(StoreError::Invalid(
+        "follower bootstrap kept racing checkpoint truncation".into(),
+    ))
+}
+
 impl Database {
     /// In-memory database with the given schemas.
     pub fn in_memory(schemas: Vec<TableSchema>) -> Database {
@@ -742,6 +930,233 @@ impl Database {
         Database::from_parts(schemas, wal, ckpt)
     }
 
+    /// Open a **read-only follower** of the database whose WAL lives at
+    /// `path` — typically one a *different process* is actively writing.
+    /// Bootstraps from the checkpoint sidecar plus the committed WAL
+    /// tail, exactly like [`Database::open`], but:
+    ///
+    /// - every mutating entry point returns [`StoreError::ReadOnly`];
+    /// - no background thread is ever spawned (auto-checkpoint and
+    ///   auto-compaction stay permanently disabled);
+    /// - the handle keeps a byte cursor into the live log, and
+    ///   [`Database::poll_tail`] applies newly committed transactions
+    ///   incrementally — snapshots, queries, and change-feed
+    ///   subscriptions then behave exactly as on the writer, with
+    ///   staleness bounded by the caller's poll interval.
+    ///
+    /// The follower holds no open handle on the writer's files: each
+    /// poll re-opens the log read-only, so checkpoint truncation by the
+    /// writer is always detected (via the sidecar identity) and answered
+    /// with a clean re-bootstrap, never a torn read.
+    pub fn open_follower(path: &Path, schemas: Vec<TableSchema>) -> StoreResult<Database> {
+        let schemas: Vec<Arc<TableSchema>> = schemas.into_iter().map(Arc::new).collect();
+        let boot = follower_bootstrap(path, schemas)?;
+        let metrics = Arc::new(StoreMetrics::new(MetricsRegistry::new()));
+        Ok(Database {
+            ckpt_serial: Arc::new(parking_lot::Mutex::new(())),
+            auto_ckpt_running: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            auto_compact_running: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            inner: Arc::new(RwLock::new(DbInner {
+                tables: Arc::new(boot.tables),
+                // Followers never allocate transaction ids; keep the
+                // counter past everything seen for sanity's sake.
+                next_txn: boot.last_committed_txn + 1,
+                open_txn: None,
+                staged: Vec::new(),
+                epoch: boot.epoch,
+                last_committed_txn: boot.last_committed_txn,
+                feed: Publisher::new(metrics.feed()),
+                auto_checkpoint: None,
+                auto_compact: None,
+                rows_since_compact_check: 0,
+                compactions: 0,
+                rows_dropped: 0,
+                rows_coalesced: 0,
+                checkpoints: 0,
+                last_checkpoint_epoch: if boot.recovery.from_checkpoint {
+                    boot.tail.sidecar.map(|m| m.epoch).unwrap_or(0)
+                } else {
+                    0
+                },
+                recovery: boot.recovery,
+                read_only: true,
+                tail: Some(boot.tail),
+                // No append handle on the writer's log: the follower
+                // reads it per poll and never writes.
+                wal: Wal::in_memory(),
+            })),
+            metrics,
+        })
+    }
+
+    /// Whether this handle is a read-only follower: mutations return
+    /// [`StoreError::ReadOnly`] and state advances only via
+    /// [`Database::poll_tail`].
+    pub fn is_read_only(&self) -> bool {
+        self.inner.read().read_only
+    }
+
+    /// One follower poll: read the writer's log from the saved byte
+    /// cursor and apply every newly committed transaction — sealing
+    /// segments, bumping the epoch, and publishing change-feed batches
+    /// exactly like a local [`Database::commit`] would. Staged inserts
+    /// whose commit marker has not arrived yet are carried to the next
+    /// poll (visibility stays commit-gated, same as recovery).
+    ///
+    /// If the writer checkpointed meanwhile (the sidecar identity
+    /// changed, or the log no longer parses at the cursor), the follower
+    /// discards its cursor and re-bootstraps wholesale from the new
+    /// sidecar — `rebootstrapped` in the returned [`TailProgress`]. The
+    /// epoch still only moves forward: the rebuilt state reflects at
+    /// least every commit the follower had already applied.
+    ///
+    /// Errors with [`StoreError::Invalid`] on a non-follower handle.
+    pub fn poll_tail(&self) -> StoreResult<TailProgress> {
+        let (path, mark, offset) = {
+            let g = self.inner.read();
+            let Some(t) = &g.tail else {
+                return Err(StoreError::Invalid(
+                    "poll_tail on a non-follower database".into(),
+                ));
+            };
+            (t.path.clone(), t.sidecar, t.offset)
+        };
+        // Peek–read–peek: the sidecar is replaced before the WAL is
+        // truncated, so an unchanged mark on both sides of the read
+        // proves no truncation completed while we were reading — the
+        // frames are safe to apply at our cursor.
+        if checkpoint::peek_sidecar(&path)? != mark {
+            return self.follower_rebootstrap();
+        }
+        let chunk = wal::tail_from(&path, offset)?;
+        if checkpoint::peek_sidecar(&path)? != mark {
+            return self.follower_rebootstrap();
+        }
+        let TailChunk::Frames {
+            records,
+            new_offset,
+        } = chunk
+        else {
+            return self.follower_rebootstrap();
+        };
+        let mut g = self.inner.write();
+        let mut tail = g.tail.take().expect("follower state checked above");
+        if tail.offset != offset {
+            // A concurrent poll already advanced the cursor; nothing to do.
+            let epoch = g.epoch;
+            g.tail = Some(tail);
+            return Ok(TailProgress {
+                epoch,
+                ..TailProgress::default()
+            });
+        }
+        let mut progress = TailProgress::default();
+        let publishing = g.feed.live() > 0;
+        let mut stale = false;
+        for rec in records {
+            match rec {
+                WalRecord::Insert { txn, table, row } => {
+                    if txn <= tail.base_txn || txn <= g.last_committed_txn {
+                        // Insert frames for an already-applied transaction
+                        // cannot appear past our cursor in an append-only
+                        // log; treat them as a missed rewrite.
+                        stale = stale || (txn > tail.base_txn && txn <= g.last_committed_txn);
+                        continue;
+                    }
+                    tail.staged.entry(txn).or_default().push((table, row));
+                }
+                WalRecord::Commit { txn } => {
+                    if txn <= tail.base_txn {
+                        continue;
+                    }
+                    if txn <= g.last_committed_txn {
+                        // A commit id at or below what we already applied
+                        // cannot come from the log we bootstrapped: the
+                        // log was replaced under us in a way the mark
+                        // checks missed. Rebuild rather than double-apply.
+                        stale = true;
+                        continue;
+                    }
+                    let rows = tail.staged.remove(&txn).unwrap_or_default();
+                    let deltas: Vec<RowDelta> = if publishing {
+                        rows.iter()
+                            .map(|(table, row)| RowDelta {
+                                table: table.clone(),
+                                row: row.clone(),
+                            })
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    let tables = Arc::make_mut(&mut g.tables);
+                    progress.rows_applied += apply_commit_rows(tables, rows);
+                    progress.committed_txns += 1;
+                    g.epoch += 1;
+                    g.last_committed_txn = txn;
+                    if publishing {
+                        let batch = CommitBatch {
+                            epoch: g.epoch,
+                            txn,
+                            span: 1,
+                            deltas: Arc::new(deltas),
+                        };
+                        g.feed.publish(batch);
+                    }
+                }
+            }
+        }
+        tail.offset = new_offset;
+        progress.epoch = g.epoch;
+        g.tail = Some(tail);
+        drop(g);
+        if stale {
+            return self.follower_rebootstrap();
+        }
+        Ok(progress)
+    }
+
+    /// Rebuild the whole follower state from the sidecar + log currently
+    /// on disk, replacing tables, watermarks, and the tail cursor. The
+    /// epoch of the rebuilt state is at least the old epoch: the new
+    /// sidecar covers a superset of the commits the follower had applied.
+    fn follower_rebootstrap(&self) -> StoreResult<TailProgress> {
+        let (path, schemas) = {
+            let g = self.inner.read();
+            let Some(t) = &g.tail else {
+                return Err(StoreError::Invalid(
+                    "poll_tail on a non-follower database".into(),
+                ));
+            };
+            (
+                t.path.clone(),
+                g.tables
+                    .values()
+                    .map(|t| Arc::clone(&t.schema))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let boot = follower_bootstrap(&path, schemas)?;
+        let mut g = self.inner.write();
+        g.tables = Arc::new(boot.tables);
+        g.epoch = g.epoch.max(boot.epoch);
+        g.last_committed_txn = boot.last_committed_txn;
+        g.next_txn = boot.last_committed_txn + 1;
+        g.last_checkpoint_epoch = boot.tail.sidecar.map(|m| m.epoch).unwrap_or(0);
+        g.recovery = boot.recovery;
+        g.tail = Some(boot.tail);
+        let epoch = g.epoch;
+        drop(g);
+        self.metrics
+            .registry
+            .event("follower", format!("rebootstrapped at epoch {epoch}"));
+        Ok(TailProgress {
+            committed_txns: 0,
+            rows_applied: 0,
+            rebootstrapped: true,
+            epoch,
+        })
+    }
+
     fn from_parts(
         schemas: Vec<TableSchema>,
         wal: Wal,
@@ -755,22 +1170,6 @@ impl Database {
             })
             .collect();
         let mut recovery_info = RecoveryInfo::default();
-        // Seal recovered rows in bounded chunks, not one monolith per
-        // table: zone-map pruning needs multiple segments to prune, and
-        // a single history-wide segment's min/max covers everything. The
-        // chunks are >= SEGMENT_COALESCE_ROWS, so commit-time folding
-        // never re-merges them.
-        let append_chunked =
-            |tables: &mut HashMap<String, Arc<TableVersion>>, name: &str, rows: Vec<Vec<Value>>| {
-                if let Some(t) = tables.get_mut(name) {
-                    let mut rows = rows;
-                    while !rows.is_empty() {
-                        let rest = rows.split_off(rows.len().min(RECOVERED_SEGMENT_ROWS));
-                        *t = Arc::new(t.with_appended(rows).0);
-                        rows = rest;
-                    }
-                }
-            };
         let (base_epoch, base_txn) = match ckpt {
             Some(data) => {
                 recovery_info.from_checkpoint = true;
@@ -824,6 +1223,8 @@ impl Database {
                     0
                 },
                 recovery: recovery_info,
+                read_only: false,
+                tail: None,
                 wal,
             })),
             metrics,
@@ -890,6 +1291,9 @@ impl Database {
     /// append it to the WAL. Invisible to readers until [`Database::commit`].
     pub fn insert(&self, table: &str, row: Vec<Value>) -> StoreResult<()> {
         let mut g = self.inner.write();
+        if g.read_only {
+            return Err(StoreError::ReadOnly);
+        }
         let schema = Arc::clone(
             &g.tables
                 .get(table)
@@ -927,6 +1331,9 @@ impl Database {
     /// keep reading the old segment lists untouched.
     pub fn commit(&self) -> StoreResult<usize> {
         let mut g = self.inner.write();
+        if g.read_only {
+            return Err(StoreError::ReadOnly);
+        }
         let Some(txn) = g.open_txn.take() else {
             return Ok(0);
         };
@@ -1039,7 +1446,13 @@ impl Database {
     /// background [`Database::checkpoint`] (single-flight; checkpoints
     /// are serialized regardless).
     pub fn set_auto_checkpoint(&self, threshold: Option<u64>) {
-        self.inner.write().auto_checkpoint = threshold;
+        let mut g = self.inner.write();
+        if g.read_only {
+            // Followers never commit, so the trigger could never fire —
+            // keep it structurally disabled rather than latently armed.
+            return;
+        }
+        g.auto_checkpoint = threshold;
     }
 
     /// Enable (or disable, with `None`) commit-layer auto-compaction:
@@ -1049,7 +1462,11 @@ impl Database {
     /// regardless). The commit path itself only bumps a counter — the
     /// dead-row analysis happens on the background thread.
     pub fn set_auto_compact(&self, trigger: Option<CompactionTrigger>) {
-        self.inner.write().auto_compact = trigger;
+        let mut g = self.inner.write();
+        if g.read_only {
+            return;
+        }
+        g.auto_compact = trigger;
     }
 
     /// Compact every table under the default [`CompactionPolicy`]: merge
@@ -1074,6 +1491,12 @@ impl Database {
     /// latest-wins tables by their declared policy (all of them do),
     /// compaction is invisible except for speed.
     pub fn compact_with(&self, policy: &CompactionPolicy) -> StoreResult<CompactionStats> {
+        if self.inner.read().read_only {
+            // A follower's segments are replaced wholesale by tail
+            // application and rebootstraps; compacting them here would
+            // race poll_tail for no benefit.
+            return Err(StoreError::ReadOnly);
+        }
         // Serialized against checkpoints (and other compactions): the
         // shared mutex means a checkpoint observes either the fully
         // pre-compaction or fully post-compaction state.
@@ -1277,6 +1700,11 @@ impl Database {
     }
 
     fn checkpoint_inner(&self, truncate: bool) -> StoreResult<CheckpointStats> {
+        if self.inner.read().read_only {
+            // Checkpointing is the writer's job: a follower writing the
+            // shared sidecar would corrupt the very artifact it tails.
+            return Err(StoreError::ReadOnly);
+        }
         // Whole-checkpoint serialization: see the `ckpt_serial` field.
         let _serial = self.ckpt_serial.lock();
         let _pass = Span::enter(&self.metrics.registry, &self.metrics.checkpoint_nanos);

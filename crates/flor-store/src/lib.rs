@@ -19,6 +19,13 @@
 //! * [`checkpoint`]ing: `Database::checkpoint` serializes the live state
 //!   to a sidecar and truncates the WAL, making reopen O(live data)
 //!   instead of O(history);
+//! * **read-only followers**: [`db::Database::open_follower`] bootstraps
+//!   from the sidecar, then tails the live WAL incrementally
+//!   ([`wal::tail_from`] + [`db::Database::poll_tail`]) so a second
+//!   process serves the same data with staleness bounded by its poll
+//!   interval — checkpoint truncation under the reader triggers a clean
+//!   re-bootstrap, and every mutating call returns
+//!   [`db::StoreError::ReadOnly`];
 //! * background segment [`compact`]ion: `Database::compact` merges runs
 //!   of cold sealed segments and drops rows superseded under a table's
 //!   declared [`schema::LatestWins`] policy, so scans touch only live
@@ -56,8 +63,12 @@ pub mod query;
 pub mod schema;
 pub mod wal;
 
+pub use checkpoint::SidecarMark;
 pub use compact::{CompactionPolicy, CompactionStats, CompactionTrigger};
-pub use db::{CheckpointStats, Database, DbStats, RecoveryInfo, Snapshot, StoreError, StoreResult};
+pub use db::{
+    CheckpointStats, Database, DbStats, RecoveryInfo, Snapshot, StoreError, StoreResult,
+    TailProgress,
+};
 pub use feed::{CommitBatch, RowDelta, Subscription};
 pub use flor_obs::{MetricsRegistry, MetricsSnapshot};
 pub use query::{AccessPath, CmpOp, Predicate, Query, QueryExplain};

@@ -303,8 +303,10 @@ pub struct Recovery {
 /// Read one `[len:u32][crc:u64][payload]` frame from `r`. Returns
 /// `Ok(None)` at a clean end of stream; a partial header/payload or a
 /// checksum mismatch reads as a torn tail (`Err(Truncated)` /
-/// `Err(BadChecksum)`).
-fn read_frame(r: &mut impl Read) -> Result<Option<WalRecord>, WalError> {
+/// `Err(BadChecksum)`). On success the record comes with its framed size
+/// in bytes (header + payload), so streaming readers can track exact
+/// byte offsets.
+fn read_frame(r: &mut impl Read) -> Result<Option<(WalRecord, u64)>, WalError> {
     let mut header = [0u8; 12];
     match read_exact_or_eof(r, &mut header)? {
         FillResult::Empty => return Ok(None),
@@ -325,7 +327,7 @@ fn read_frame(r: &mut impl Read) -> Result<Option<WalRecord>, WalError> {
         return Err(WalError::Codec(CodecError::BadChecksum));
     }
     decode_payload(Bytes::from(payload))
-        .map(Some)
+        .map(|rec| Some((rec, 12 + len as u64)))
         .map_err(WalError::Codec)
 }
 
@@ -367,7 +369,7 @@ pub fn recover_frames(mut read: impl Read, base_txn: u64) -> Result<Recovery, Wa
     let mut rec = Recovery::default();
     loop {
         match read_frame(&mut read) {
-            Ok(Some(WalRecord::Insert { txn, table, row })) => {
+            Ok(Some((WalRecord::Insert { txn, table, row }, _))) => {
                 rec.records_replayed += 1;
                 rec.max_txn = rec.max_txn.max(txn);
                 if txn <= base_txn {
@@ -376,7 +378,7 @@ pub fn recover_frames(mut read: impl Read, base_txn: u64) -> Result<Recovery, Wa
                 }
                 staged.push((txn, table, row));
             }
-            Ok(Some(WalRecord::Commit { txn })) => {
+            Ok(Some((WalRecord::Commit { txn }, _))) => {
                 rec.records_replayed += 1;
                 rec.max_txn = rec.max_txn.max(txn);
                 if txn <= base_txn {
@@ -422,7 +424,7 @@ pub fn read_records(mut read: impl Read, keep_txn_above: u64) -> Result<Vec<WalR
     let mut out = Vec::new();
     loop {
         match read_frame(&mut read) {
-            Ok(Some(rec)) => {
+            Ok(Some((rec, _))) => {
                 let txn = match &rec {
                     WalRecord::Insert { txn, .. } | WalRecord::Commit { txn } => *txn,
                 };
@@ -450,6 +452,84 @@ impl Wal {
             WalBackend::Memory(buf) => read_records(buf.as_slice(), keep_txn_above),
         }
     }
+}
+
+/// One incremental read of a live log, produced by [`tail_from`].
+#[derive(Debug)]
+pub enum TailChunk {
+    /// Complete frames decoded from `[offset, new_offset)`. A partial
+    /// frame at end of file (the writer mid-append) is left unconsumed:
+    /// the next poll re-reads it from `new_offset` once it is whole.
+    Frames {
+        /// Decoded records, in log order.
+        records: Vec<WalRecord>,
+        /// Byte offset of the first unconsumed frame.
+        new_offset: u64,
+    },
+    /// The log shrank below `offset`, vanished, or the bytes at `offset`
+    /// no longer parse as frames: a checkpoint rewrote the log under the
+    /// reader, so byte offsets into the old log are void. Re-bootstrap
+    /// from the checkpoint sidecar.
+    Truncated,
+}
+
+/// Stream complete frames from the log file at `path`, starting at byte
+/// `offset` — the follower's incremental tailing primitive. Unlike
+/// [`recover_frames`] this does **not** interpret commit markers: it
+/// returns raw records plus the exact offset consumed, so a caller can
+/// poll repeatedly and carry uncommitted transactions across polls.
+///
+/// The three outcomes:
+/// - complete frames (possibly none) and a new offset — the common poll;
+/// - a torn final frame — the writer is mid-append; the complete prefix
+///   is returned and the torn frame stays unconsumed;
+/// - [`TailChunk::Truncated`] — the log was rewritten (checkpoint
+///   truncation); the caller must re-bootstrap from the sidecar.
+pub fn tail_from(path: &Path, offset: u64) -> Result<TailChunk, WalError> {
+    let f = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            // No log yet is a valid (empty) tail only from the start.
+            return Ok(if offset == 0 {
+                TailChunk::Frames {
+                    records: Vec::new(),
+                    new_offset: 0,
+                }
+            } else {
+                TailChunk::Truncated
+            });
+        }
+        Err(e) => return Err(WalError::Io(e)),
+    };
+    if f.metadata()?.len() < offset {
+        return Ok(TailChunk::Truncated);
+    }
+    let mut r = BufReader::new(f);
+    r.seek(SeekFrom::Start(offset))?;
+    let mut records = Vec::new();
+    let mut consumed = 0u64;
+    loop {
+        match read_frame(&mut r) {
+            Ok(Some((rec, n))) => {
+                consumed += n;
+                records.push(rec);
+            }
+            Ok(None) => break,
+            // Partial frame at EOF: the writer is mid-append (or a crash
+            // left a torn tail). Surface the complete prefix; the caller
+            // re-reads from `new_offset` next poll.
+            Err(WalError::Codec(CodecError::Truncated)) => break,
+            // Structurally bad bytes that a short read cannot explain
+            // (checksum/tag/shape): `offset` is not a frame boundary in
+            // this file any more — the log was rewritten underneath us.
+            Err(WalError::Codec(_)) => return Ok(TailChunk::Truncated),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(TailChunk::Frames {
+        records,
+        new_offset: offset + consumed,
+    })
 }
 
 #[cfg(test)]
@@ -605,6 +685,107 @@ mod tests {
         assert!(!rec.torn_tail);
         assert_eq!(rec.max_txn, 0);
         assert_eq!(rec.records_replayed, 0);
+    }
+
+    #[test]
+    fn tail_from_streams_incrementally() {
+        let dir = std::env::temp_dir().join(format!("florwal-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tail.wal");
+        let _ = std::fs::remove_file(&path);
+        // Tailing a not-yet-created log from the start is an empty chunk.
+        match tail_from(&path, 0).unwrap() {
+            TailChunk::Frames {
+                records,
+                new_offset,
+            } => {
+                assert!(records.is_empty());
+                assert_eq!(new_offset, 0);
+            }
+            TailChunk::Truncated => panic!("missing log at offset 0 is an empty tail"),
+        }
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&ins(1, "logs", 1)).unwrap();
+        wal.append(&WalRecord::Commit { txn: 1 }).unwrap();
+        let off1 = match tail_from(&path, 0).unwrap() {
+            TailChunk::Frames {
+                records,
+                new_offset,
+            } => {
+                assert_eq!(records.len(), 2);
+                assert_eq!(new_offset, wal.len_bytes());
+                new_offset
+            }
+            TailChunk::Truncated => panic!("clean log"),
+        };
+        // Append more; a poll from the saved offset sees only the delta.
+        wal.append(&ins(2, "logs", 2)).unwrap();
+        match tail_from(&path, off1).unwrap() {
+            TailChunk::Frames {
+                records,
+                new_offset,
+            } => {
+                assert_eq!(records.len(), 1);
+                assert_eq!(new_offset, wal.len_bytes());
+            }
+            TailChunk::Truncated => panic!("clean log"),
+        }
+        // A torn final frame (writer mid-append) yields the complete
+        // prefix and leaves the torn bytes unconsumed.
+        let torn = encode_record(&ins(3, "logs", 3));
+        let mut raw = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        raw.write_all(&torn[..torn.len() / 2]).unwrap();
+        match tail_from(&path, off1).unwrap() {
+            TailChunk::Frames {
+                records,
+                new_offset,
+            } => {
+                assert_eq!(records.len(), 1, "only the complete frame");
+                assert_eq!(new_offset, wal.len_bytes(), "torn bytes unconsumed");
+            }
+            TailChunk::Truncated => panic!("a torn tail is not a rewrite"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tail_from_detects_rewrite() {
+        let dir = std::env::temp_dir().join(format!("florwal-tailrw-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tailrw.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path).unwrap();
+        for t in 1..=6u64 {
+            wal.append(&ins(t, "logs", t as i64)).unwrap();
+            wal.append(&WalRecord::Commit { txn: t }).unwrap();
+        }
+        let old_len = wal.len_bytes();
+        // Truncating rewrite: the file shrinks below the reader's offset.
+        let tail = wal.tail_records(5).unwrap();
+        wal.rewrite(&tail).unwrap();
+        assert!(wal.len_bytes() < old_len);
+        assert!(matches!(
+            tail_from(&path, old_len).unwrap(),
+            TailChunk::Truncated
+        ));
+        // An offset inside the new, shorter file that is not a frame
+        // boundary reads as a rewrite too (checksum/shape mismatch), not
+        // as frames.
+        if wal.len_bytes() > 4 {
+            match tail_from(&path, 3).unwrap() {
+                TailChunk::Truncated => {}
+                TailChunk::Frames { records, .. } => {
+                    assert!(
+                        records.is_empty(),
+                        "misaligned offset must never decode records"
+                    );
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

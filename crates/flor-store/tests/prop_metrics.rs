@@ -181,7 +181,15 @@ fn metrics_stay_consistent_under_concurrency() {
         .histogram("store.commit.nanos")
         .expect("commit histogram exists")
         .count;
-    assert_eq!(commits, (WRITERS * ROUNDS) as u64);
+    // Two writers share the single logical writer's open transaction: an
+    // insert can join the other writer's txn, whose commit() then seals
+    // both writers' rows while the second commit() finds nothing open
+    // (and records no sample). The exact invariant is one histogram
+    // sample per *applied* commit — i.e. per epoch bump — bounded above
+    // by the number of commit() calls.
+    assert_eq!(commits, db.stats().wal_epoch);
+    assert!(commits <= (WRITERS * ROUNDS) as u64);
+    assert!(commits > 0);
     assert_eq!(
         fin.counter("store.commit.rows"),
         Some((WRITERS * ROUNDS * ROWS_PER_COMMIT) as u64)

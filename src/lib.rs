@@ -19,6 +19,7 @@
 //! | [`jobs`] | durable background scheduler (prioritized, cancellable, crash-resumable) |
 //! | [`obs`] | zero-dependency metrics: counters, histograms, spans, events |
 //! | [`core`] | the Flor kernel: `log`/`arg`/`loop`/`commit`/`query` |
+//! | [`serve`] | multi-client dataframe server + read-only followers |
 //! | [`pipeline`] | the PDF Parser demo (paper §4) |
 //!
 //! ## Querying the context
@@ -94,6 +95,26 @@
 //! `flor.query(..).explain()` executes the plan and returns a
 //! [`core::ExplainReport`]: access path, segments pruned, rows examined
 //! vs returned, and per-stage timings. See `examples/observability.rs`.
+//! For scraping, [`obs::MetricsSnapshot::render_prometheus`] emits the
+//! Prometheus exposition format, served over the wire by [`serve`]'s
+//! `MetricsPrometheus` verb.
+//!
+//! ## Serving
+//!
+//! [`serve`] puts many clients behind one instance: a session-oriented,
+//! length-prefixed TCP protocol (std-only, thread-per-connection with a
+//! bounded accept pool) where each session pins a snapshot at handshake
+//! and every [`view::QueryPlan`] it submits executes at exactly that
+//! epoch ([`core::Flor::run_plan_at`]) — results are repeatable, and
+//! byte-identical to a local `collect_full` at the same epoch, no matter
+//! how many commits land meanwhile. Composable middleware adds auth
+//! tokens, per-session rate limits and request logging into [`obs`].
+//! And because the protocol is read-only, a **second process** can serve
+//! the same data: [`core::Flor::open_follower`] bootstraps from the
+//! checkpoint sidecar and tails the live WAL ([`store::db`]'s
+//! `poll_tail`), so a follower server lags the writer by at most its
+//! poll interval and refuses writes with a typed error. See
+//! `examples/serve.rs`.
 
 pub use flor_core as core;
 pub use flor_df as df;
@@ -106,6 +127,7 @@ pub use flor_obs as obs;
 pub use flor_pipeline as pipeline;
 pub use flor_record as record;
 pub use flor_script as script;
+pub use flor_serve as serve;
 pub use flor_store as store;
 pub use flor_view as view;
 
@@ -123,6 +145,7 @@ pub mod prelude {
     pub use flor_pipeline::{run_demo, CorpusConfig, PdfPipeline};
     pub use flor_record::{CheckpointPolicy, ReplayControl, RunRecord};
     pub use flor_script::{parse, to_source, Interpreter, NullRuntime};
+    pub use flor_serve::{Client, ServeExt, ServerConfig};
     pub use flor_store::{CmpOp, Predicate};
     pub use flor_view::{CatalogStats, QueryPlan, ViewCatalog, ViewKey};
 }
