@@ -191,10 +191,58 @@ fn instrumentation_overhead_report(_c: &mut Criterion) {
     );
 }
 
+/// Tracing acceptance gate: with metrics already on, *enabling request
+/// tracing* must cost the same hot update→query cycle under 5% more.
+///
+/// Same fresh-instance min-of-totals methodology as the metrics gate
+/// above (the cycle is nonstationary); the only difference between the
+/// two modes is `TraceStore::set_enabled`, so the measured delta is the
+/// span building, ring pushes and explain probes the traced path adds.
+fn tracing_overhead_report(_c: &mut Criterion) {
+    use std::time::{Duration, Instant};
+    let run_one = |traced: bool| -> Duration {
+        let (flor, ts) = prepared(1_000);
+        flor.set_compaction_trigger(None);
+        flor.set_checkpoint_threshold(None);
+        flor.metrics_registry().set_enabled(true);
+        flor.set_tracing(traced);
+        let t = Instant::now();
+        for i in 0..300 {
+            std::hint::black_box(live_update(&flor, ts, i));
+        }
+        t.elapsed()
+    };
+    run_one(true);
+    run_one(false);
+    let mut best_on = Duration::MAX;
+    let mut best_off = Duration::MAX;
+    for k in 0..4 {
+        if k % 2 == 0 {
+            best_on = best_on.min(run_one(true));
+            best_off = best_off.min(run_one(false));
+        } else {
+            best_off = best_off.min(run_one(false));
+            best_on = best_on.min(run_one(true));
+        }
+    }
+    let ratio = best_on.as_secs_f64() / best_off.as_secs_f64().max(1e-12);
+    println!(
+        "\nquery_pushdown tracing overhead: {:+.2}% over 300 update+query \
+         cycles (tracing enabled vs disabled, metrics on in both, target < +5%)",
+        (ratio - 1.0) * 100.0
+    );
+    assert!(
+        ratio < 1.05,
+        "tracing must cost the update+query cycle < 5%, measured {:+.2}%",
+        (ratio - 1.0) * 100.0
+    );
+}
+
 criterion_group!(
     benches,
     bench_query_pushdown,
     speedup_report,
-    instrumentation_overhead_report
+    instrumentation_overhead_report,
+    tracing_overhead_report
 );
 criterion_main!(benches);

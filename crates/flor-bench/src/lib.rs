@@ -89,11 +89,24 @@ pub fn flor_with_logs(runs: usize, epochs: usize, names: &[&str]) -> Flor {
 pub fn instrumentation_overhead(
     registry: &MetricsRegistry,
     pairs: usize,
-    mut work: impl FnMut(),
+    work: impl FnMut(),
 ) -> f64 {
+    let ratio = overhead_ratio(pairs, |on| registry.set_enabled(on), work);
+    registry.set_enabled(true);
+    ratio
+}
+
+/// The measurement engine behind [`instrumentation_overhead`],
+/// generalized over *what* is being toggled: `set_mode(true)` arms the
+/// feature under test (metrics, tracing, ...), `set_mode(false)` disarms
+/// it, and the returned ratio is `armed / disarmed` wall-clock — same
+/// paired-LCG-ordered, median-of-ratios discipline, same steady-state
+/// caveat. The mode is left wherever the last timed run put it; callers
+/// restore their preferred state.
+pub fn overhead_ratio(pairs: usize, mut set_mode: impl FnMut(bool), mut work: impl FnMut()) -> f64 {
     assert!(pairs > 0, "need at least one measurement pair");
-    let time_one = |enabled: bool, work: &mut dyn FnMut()| {
-        registry.set_enabled(enabled);
+    let mut time_one = |enabled: bool, work: &mut dyn FnMut()| {
+        set_mode(enabled);
         let t = Instant::now();
         work();
         t.elapsed()
@@ -117,7 +130,6 @@ pub fn instrumentation_overhead(
             on.push(time_one(true, &mut work));
         }
     }
-    registry.set_enabled(true);
     let mut ratios: Vec<f64> = on
         .iter()
         .zip(off.iter())

@@ -238,6 +238,52 @@ impl Flor {
         self.db.metrics_registry()
     }
 
+    /// Turn per-request tracing on or off (off by default). While on,
+    /// instrumented paths ([`Flor::run_plan`], `flor-serve` requests)
+    /// publish completed [`flor_obs::Trace`]s into the registry's
+    /// bounded ring, retrievable via [`Flor::traces`].
+    pub fn set_tracing(&self, on: bool) {
+        self.metrics_registry().traces().set_enabled(on);
+    }
+
+    /// Whether per-request tracing is on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.metrics_registry().traces().enabled()
+    }
+
+    /// Every retained completed trace, oldest first.
+    pub fn traces(&self) -> Vec<flor_obs::Trace> {
+        self.metrics_registry().traces().snapshot()
+    }
+
+    /// The retained trace with identity `id`, if it has not fallen off
+    /// the ring.
+    pub fn find_trace(&self, id: flor_obs::TraceId) -> Option<flor_obs::Trace> {
+        self.metrics_registry().traces().find(id)
+    }
+
+    /// Arm (or with `None` disarm) the slow-query log: any
+    /// [`Flor::run_plan`] or served query strictly slower than
+    /// `threshold` captures its measured explain report + trace into a
+    /// bounded ring, regardless of whether tracing is enabled.
+    pub fn set_slow_query_threshold(&self, threshold: Option<std::time::Duration>) {
+        self.metrics_registry()
+            .slow_queries()
+            .set_threshold(threshold);
+    }
+
+    /// Every retained slow-query record, oldest first.
+    pub fn slow_queries(&self) -> Vec<flor_obs::SlowQueryRecord> {
+        self.metrics_registry().slow_queries().snapshot()
+    }
+
+    /// Follower lag estimate — committed transactions durable in the
+    /// writer's log but not yet applied here. `Ok(None)` on a writer
+    /// handle (see [`flor_store::Database::follower_lag`]).
+    pub fn follower_lag(&self) -> StoreResult<Option<u64>> {
+        self.db.follower_lag()
+    }
+
     /// Set the executing filename (the paper profiles this automatically at
     /// import time; embedders set it per script run).
     pub fn set_filename(&self, filename: &str) {
@@ -539,6 +585,15 @@ impl Flor {
         //    here are lock-free.
         let values: Vec<Value> = names.iter().map(|n| Value::from(*n)).collect();
         let logs = snap.lookup_many("logs", "value_name", &values)?;
+        Flor::pivot_logs(snap, logs)
+    }
+
+    /// Steps 2–4 of the pivot, split out so the traced serve path can
+    /// fetch the log rows through the *measured* store query (for an
+    /// explain/zone-prune span) and still share the exact join + pivot —
+    /// the store returns rows in the same order either way, so frames
+    /// stay byte-identical.
+    pub(crate) fn pivot_logs(snap: &Snapshot, logs: DataFrame) -> StoreResult<DataFrame> {
         // 2. Resolve ctx chains from the loops table.
         let loops = snap.scan("loops")?;
         #[derive(Clone)]

@@ -137,8 +137,69 @@ impl Flor {
 
     /// Execute a ready-made [`QueryPlan`] incrementally (the path behind
     /// [`QueryBuilder::collect_view`]).
+    ///
+    /// When tracing is enabled ([`Flor::set_tracing`]) the execution
+    /// publishes a `query.collect` trace; when the slow-query log is
+    /// armed ([`Flor::set_slow_query_threshold`]) and the execution
+    /// exceeds the threshold, a measured [`ExplainReport`] plus the
+    /// trace land in [`Flor::slow_queries`]. With both off, this is two
+    /// relaxed loads on top of the plain view serve.
     pub fn run_plan(&self, plan: &QueryPlan) -> StoreResult<Arc<DataFrame>> {
-        self.views.plan(plan)
+        let registry = self.metrics_registry();
+        let traces = registry.traces();
+        let slow = registry.slow_queries();
+        if !traces.enabled() && !slow.armed() {
+            return self.views.plan(plan);
+        }
+        let mut tr =
+            flor_obs::ActiveTrace::start_detached(flor_obs::TraceId::generate(), "query.collect");
+        tr.set_detail(format!("{:?}", plan.names));
+        // The stats delta is only consumed by a slow-query capture;
+        // don't pay for the catalog lock when no threshold is armed.
+        let before = slow.armed().then(|| self.views.stats());
+        let sp = tr.begin("view.plan");
+        let result = self.views.plan(plan);
+        tr.end(sp);
+        if let Ok(frame) = &result {
+            tr.event(format!("rows={}", frame.n_rows()));
+        }
+        let total = tr.elapsed_nanos();
+        let threshold = slow.threshold_nanos();
+        let breach = result.is_ok() && matches!(threshold, Some(t) if total > t);
+        let trace = tr.finish(traces);
+        if breach {
+            let frame = result.as_ref().expect("breach implies ok");
+            let before = before.expect("breach implies armed");
+            let after = self.views.stats();
+            // The same measured report `QueryBuilder::explain` builds:
+            // view-stage deltas plus a store probe of the base fetch.
+            let names: Vec<Value> = plan.names.iter().map(|n| Value::from(n.as_str())).collect();
+            let snap = self.db.pin();
+            if let Ok((_, store)) =
+                snap.explain(&Query::table("logs").filter_in("value_name", names))
+            {
+                let report = ExplainReport {
+                    store,
+                    view_hit: after.hits > before.hits,
+                    view_rebuilt: after.fallback_rebuilds > before.fallback_rebuilds,
+                    batches_applied: after.batches_applied.saturating_sub(before.batches_applied),
+                    serve_nanos: total,
+                    rows_returned: frame.n_rows(),
+                    plan: plan.clone(),
+                    frame: Arc::clone(frame),
+                };
+                slow.record(flor_obs::SlowQueryRecord {
+                    trace,
+                    verb: "query.collect".into(),
+                    plan: format!("{:?}", plan.names),
+                    explain: report.to_string(),
+                    total_nanos: total,
+                    threshold_nanos: threshold.unwrap_or(u64::MAX),
+                    at_unix_micros: flor_obs::unix_micros(),
+                });
+            }
+        }
+        result
     }
 
     /// Execute a [`QueryPlan`] from scratch: re-fetch, re-join and
@@ -171,6 +232,45 @@ impl Flor {
             return Ok(base);
         }
         plan.post_pass(&base, &plan.predicates, true)
+    }
+
+    /// [`Flor::run_plan_at`] with child spans recorded into an active
+    /// trace: `store.scan` (the base `logs` fetch through the *measured*
+    /// store query, its access path and zone pruning as a span event),
+    /// `pivot`, and `post_pass` when one runs. The returned frame is
+    /// byte-identical to [`Flor::run_plan_at`]'s — the measured fetch
+    /// returns rows in the same order as the untraced index path — and
+    /// the measured [`QueryExplain`] rides along for slow-query capture.
+    pub fn run_plan_at_traced(
+        &self,
+        snap: &flor_store::Snapshot,
+        plan: &QueryPlan,
+        tr: &mut flor_obs::ActiveTrace,
+    ) -> StoreResult<(DataFrame, QueryExplain)> {
+        let values: Vec<Value> = plan.names.iter().map(|n| Value::from(n.as_str())).collect();
+        let scan = tr.begin("store.scan");
+        let (logs, explain) =
+            snap.explain(&Query::table("logs").filter_in("value_name", values))?;
+        tr.event(format!(
+            "access={} segments={}/{} pruned={} rows examined={} returned={}",
+            explain.access,
+            explain.segments_scanned,
+            explain.segments_total,
+            explain.segments_pruned,
+            explain.rows_examined,
+            explain.rows_returned,
+        ));
+        tr.end(scan);
+        let piv = tr.begin("pivot");
+        let base = Flor::pivot_logs(snap, logs)?;
+        tr.end(piv);
+        if plan.post_pass_is_identity(&plan.predicates, plan.latest_group.is_some()) {
+            return Ok((base, explain));
+        }
+        let pp = tr.begin("post_pass");
+        let out = plan.post_pass(&base, &plan.predicates, true)?;
+        tr.end(pp);
+        Ok((out, explain))
     }
 }
 
@@ -367,6 +467,53 @@ mod tests {
         assert_eq!(inc, full);
         assert_eq!(inc.n_rows(), 0);
         assert!(inc.n_cols() > 0, "columns survive an empty match");
+    }
+
+    #[test]
+    fn run_plan_traces_and_captures_slow_queries() {
+        let flor = seeded();
+        flor.set_tracing(true);
+        flor.set_slow_query_threshold(Some(std::time::Duration::ZERO));
+        let df = flor.query(&["loss"]).collect().unwrap();
+        assert!(df.n_rows() > 0);
+        let traces = flor.traces();
+        let t = traces.last().expect("trace recorded");
+        assert_eq!(t.label, "query.collect");
+        assert!(t.span("view.plan").is_some());
+        assert_eq!(flor.find_trace(t.id).as_ref(), Some(t));
+        let slow = flor.slow_queries();
+        let rec = slow.last().expect("zero threshold captures everything");
+        assert!(rec.explain.contains("QUERY logs"), "store probe rendered");
+        assert!(rec.explain.contains("rows returned to caller"));
+        assert_eq!(rec.trace.label, "query.collect");
+        flor.set_tracing(false);
+        flor.set_slow_query_threshold(None);
+        let n = flor.traces().len();
+        flor.query(&["loss"]).collect().unwrap();
+        assert_eq!(flor.traces().len(), n, "disabled: nothing recorded");
+    }
+
+    #[test]
+    fn traced_snapshot_execution_is_byte_identical() {
+        let flor = seeded();
+        let plan = flor
+            .query(&["loss", "lr"])
+            .filter("lr", CmpOp::Gt, 0.015)
+            .order_by("loss", true)
+            .limit(5)
+            .into_plan();
+        let snap = flor.db.pin();
+        let plain = flor.run_plan_at(&snap, &plan).unwrap();
+        let mut tr = flor_obs::ActiveTrace::start_detached(flor_obs::TraceId::generate(), "query");
+        let (traced, explain) = flor.run_plan_at_traced(&snap, &plan, &mut tr).unwrap();
+        assert_eq!(plain, traced);
+        assert!(explain.rows_returned > 0);
+        let trace = tr.into_trace();
+        assert!(trace.span("store.scan").is_some());
+        assert!(trace.span("pivot").is_some());
+        assert!(trace.span("post_pass").is_some());
+        let scan = trace.span("store.scan").unwrap();
+        assert!(scan.events.iter().any(|e| e.message.contains("access=")));
     }
 
     #[test]

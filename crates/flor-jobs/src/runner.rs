@@ -788,7 +788,8 @@ fn complete_unit<O: Clone>(
             if !committed {
                 if m.registry.enabled() {
                     m.failed.inc();
-                    m.registry.event(
+                    m.registry.event_at(
+                        flor_obs::Level::Error,
                         "job.unit_failed",
                         format!("job={job_id} unit={} staging/commit failed", unit.key),
                     );
@@ -818,7 +819,8 @@ fn complete_unit<O: Clone>(
                 let m = &inner.metrics;
                 if m.registry.enabled() {
                     m.failed.inc();
-                    m.registry.event(
+                    m.registry.event_at(
+                        flor_obs::Level::Error,
                         "job.unit_failed",
                         format!("job={job_id} unit={}: {e}", unit.key),
                     );

@@ -62,7 +62,21 @@
 //! | `view.rebuilds` | counter | fallback full rebuilds |
 //!
 //! Event kinds: `checkpoint`, `compaction`, `feed.coalesce`, `feed.shed`,
-//! `job.unit_failed`, `view.rebuild`.
+//! `job.unit_failed`, `view.rebuild`, `follower`, `serve.error`,
+//! `session`. Each event carries a severity [`Level`] and a wall-clock
+//! timestamp; filter with [`MetricsRegistry::events_at_least`].
+//!
+//! # Tracing
+//!
+//! Alongside aggregate metrics the registry owns two bounded rings for
+//! per-request forensics (see the [`trace`](crate::TraceStore) types):
+//! a [`TraceStore`] of completed hierarchical [`Trace`]s (opt-in via
+//! `registry.traces().set_enabled(true)`; an [`ActiveTrace`] is built
+//! lock-free by one request handler and published in one short lock
+//! hold) and a [`SlowQueryStore`] capturing requests that exceed an
+//! armed latency threshold together with their rendered explain report.
+//! `flor-serve` threads a [`TraceId`] over the wire so clients can
+//! retrieve the server-side trace of their own query.
 //!
 //! ```
 //! use flor_obs::{MetricsRegistry, Span};
@@ -87,6 +101,12 @@ use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
+mod trace;
+pub use trace::{
+    ActiveTrace, SlowQueryRecord, SlowQueryStore, SpanEvent, SpanId, Trace, TraceId, TraceSpan,
+    TraceStore, SLOW_QUERY_CAPACITY, TRACE_STORE_CAPACITY,
+};
+
 /// Number of power-of-two histogram buckets. Bucket `i` holds values
 /// whose bit length is `i` (bucket 0 holds the value 0), so the bounded
 /// range covers `[0, 2^42)` — about 73 minutes in nanoseconds — with the
@@ -96,8 +116,43 @@ pub const HIST_BUCKETS: usize = 44;
 /// Capacity of the bounded event ring; older events fall off.
 pub const EVENT_LOG_CAPACITY: usize = 256;
 
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Wall-clock now, microseconds since the Unix epoch (0 if the clock is
+/// before the epoch).
+pub fn unix_micros() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Severity of an [`Event`]: ordered so that snapshots can be filtered
+/// with [`MetricsSnapshot::events_at_least`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Chatty diagnostics (session open/close).
+    Debug,
+    /// Normal operational milestones (checkpoint, compaction).
+    Info,
+    /// Degraded-but-working conditions (backpressure shed, rebuild
+    /// fallback, request errors).
+    Warn,
+    /// Lost work (job unit failed after staging).
+    Error,
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        })
+    }
 }
 
 /// A monotonically increasing counter (relaxed atomic adds).
@@ -311,6 +366,10 @@ pub struct Event {
     pub seq: u64,
     /// Microseconds since the registry was created.
     pub at_micros: u64,
+    /// Wall-clock timestamp, microseconds since the Unix epoch.
+    pub at_unix_micros: u64,
+    /// Severity; [`MetricsRegistry::event`] records at [`Level::Info`].
+    pub level: Level,
     /// Static kind tag (`checkpoint`, `feed.shed`, ...).
     pub kind: &'static str,
     /// Free-form detail, small by convention.
@@ -335,6 +394,8 @@ struct RegistryInner {
     metrics: Mutex<BTreeMap<String, Metric>>,
     events: Mutex<EventRing>,
     start: Instant,
+    traces: TraceStore,
+    slow: SlowQueryStore,
 }
 
 /// The process-wide metric registry: named handles, the enabled flag,
@@ -373,8 +434,23 @@ impl MetricsRegistry {
                 metrics: Mutex::new(BTreeMap::new()),
                 events: Mutex::new(EventRing::default()),
                 start: Instant::now(),
+                traces: TraceStore::default(),
+                slow: SlowQueryStore::default(),
             }),
         }
+    }
+
+    /// The registry's completed-trace ring. Disabled by default; turn on
+    /// with `traces().set_enabled(true)` — independent of the metric
+    /// kill switch so tracing can stay off while counters run.
+    pub fn traces(&self) -> &TraceStore {
+        &self.inner.traces
+    }
+
+    /// The registry's slow-query ring. Unarmed by default; arm with
+    /// `slow_queries().set_threshold(Some(..))`.
+    pub fn slow_queries(&self) -> &SlowQueryStore {
+        &self.inner.slow
     }
 
     /// Whether recording is enabled (one relaxed load; the gate every
@@ -434,14 +510,21 @@ impl MetricsRegistry {
         }
     }
 
-    /// Record a discrete event into the bounded ring (dropped when the
-    /// registry is disabled). `detail` should stay small — events are
-    /// rare occurrences, not a log stream.
+    /// Record a discrete [`Level::Info`] event into the bounded ring
+    /// (dropped when the registry is disabled). `detail` should stay
+    /// small — events are rare occurrences, not a log stream.
     pub fn event(&self, kind: &'static str, detail: impl Into<String>) {
+        self.event_at(Level::Info, kind, detail);
+    }
+
+    /// Record a discrete event at an explicit severity (dropped when the
+    /// registry is disabled).
+    pub fn event_at(&self, level: Level, kind: &'static str, detail: impl Into<String>) {
         if !self.enabled() {
             return;
         }
         let at_micros = u64::try_from(self.inner.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let at_unix_micros = unix_micros();
         let mut g = lock(&self.inner.events);
         let seq = g.next_seq;
         g.next_seq += 1;
@@ -451,9 +534,22 @@ impl MetricsRegistry {
         g.ring.push_back(Event {
             seq,
             at_micros,
+            at_unix_micros,
+            level,
             kind,
             detail: detail.into(),
         });
+    }
+
+    /// Retained events at severity `min` or higher, oldest first —
+    /// a filter over the ring without taking a full metric snapshot.
+    pub fn events_at_least(&self, min: Level) -> Vec<Event> {
+        lock(&self.inner.events)
+            .ring
+            .iter()
+            .filter(|e| e.level >= min)
+            .cloned()
+            .collect()
     }
 
     /// A consistent point-in-time snapshot of every metric and the event
@@ -517,6 +613,11 @@ impl MetricsSnapshot {
             .map(|(_, h)| h)
     }
 
+    /// Retained events at severity `min` or higher, oldest first.
+    pub fn events_at_least(&self, min: Level) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.level >= min).collect()
+    }
+
     /// Human-readable multi-line rendering: one line per metric, then
     /// the retained events.
     pub fn render_text(&self) -> String {
@@ -549,8 +650,8 @@ impl MetricsSnapshot {
         for e in &self.events {
             writeln!(
                 out,
-                "event    #{} +{}us {} {}",
-                e.seq, e.at_micros, e.kind, e.detail
+                "event    #{} +{}us [{}] {} {}",
+                e.seq, e.at_micros, e.level, e.kind, e.detail
             )
             .expect("string write");
         }
@@ -571,23 +672,30 @@ impl MetricsSnapshot {
     pub fn render_prometheus(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
+        // Sanitization is lossy (`a.b` and `a_b` both map to `a_b`), and
+        // counter `_total` suffixing can alias a counter `x` with a
+        // counter `x_total`. Track every emitted series base name and
+        // disambiguate collisions with a numeric suffix — sorted metric
+        // order makes the assignment deterministic.
+        let mut taken = std::collections::HashSet::new();
         for (name, v) in &self.counters {
             let mut p = prom_name(name);
             if !p.ends_with("_total") {
                 p.push_str("_total");
             }
+            let p = dedup_prom_name(&mut taken, p);
             writeln!(out, "# HELP {p} FlorDB counter {name}").expect("string write");
             writeln!(out, "# TYPE {p} counter").expect("string write");
             writeln!(out, "{p} {v}").expect("string write");
         }
         for (name, v) in &self.gauges {
-            let p = prom_name(name);
+            let p = dedup_prom_name(&mut taken, prom_name(name));
             writeln!(out, "# HELP {p} FlorDB gauge {name}").expect("string write");
             writeln!(out, "# TYPE {p} gauge").expect("string write");
             writeln!(out, "{p} {v}").expect("string write");
         }
         for (name, h) in &self.histograms {
-            let p = prom_name(name);
+            let p = dedup_prom_name(&mut taken, prom_name(name));
             writeln!(out, "# HELP {p} FlorDB histogram {name}").expect("string write");
             writeln!(out, "# TYPE {p} histogram").expect("string write");
             let mut cum = 0u64;
@@ -654,9 +762,11 @@ impl MetricsSnapshot {
             }
             write!(
                 out,
-                "{{\"seq\":{},\"at_micros\":{},\"kind\":{},\"detail\":{}}}",
+                "{{\"seq\":{},\"at_micros\":{},\"at_unix_micros\":{},\"level\":{},\"kind\":{},\"detail\":{}}}",
                 e.seq,
                 e.at_micros,
+                e.at_unix_micros,
+                json_str(&e.level.to_string()),
                 json_str(e.kind),
                 json_str(&e.detail)
             )
@@ -664,6 +774,23 @@ impl MetricsSnapshot {
         }
         out.push_str("]}");
         out
+    }
+}
+
+/// Claim `candidate` in `taken`, appending `_2`, `_3`, ... until it is
+/// unique — the sanitized-name collision escape hatch for
+/// [`MetricsSnapshot::render_prometheus`].
+fn dedup_prom_name(taken: &mut std::collections::HashSet<String>, candidate: String) -> String {
+    if taken.insert(candidate.clone()) {
+        return candidate;
+    }
+    let mut n = 2u64;
+    loop {
+        let alt = format!("{candidate}_{n}");
+        if taken.insert(alt.clone()) {
+            return alt;
+        }
+        n += 1;
     }
 }
 
@@ -895,6 +1022,91 @@ mod tests {
         assert!(text.contains("h_bucket{le=\"1\"} 1\n"));
         assert!(text.contains("h_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("h_count 2\n"));
+    }
+
+    #[test]
+    fn events_carry_level_and_wallclock_and_filter() {
+        let reg = MetricsRegistry::new();
+        reg.event_at(Level::Debug, "session", "open");
+        reg.event("checkpoint", "epoch=1"); // Info
+        reg.event_at(Level::Warn, "feed.shed", "dropped=2");
+        reg.event_at(Level::Error, "job.unit_failed", "unit=3");
+        let warn_up = reg.events_at_least(Level::Warn);
+        assert_eq!(warn_up.len(), 2);
+        assert_eq!(warn_up[0].kind, "feed.shed");
+        assert_eq!(warn_up[1].level, Level::Error);
+        let snap = reg.snapshot();
+        assert_eq!(snap.events_at_least(Level::Debug).len(), 4);
+        assert_eq!(snap.events_at_least(Level::Info).len(), 3);
+        assert_eq!(snap.events_at_least(Level::Error).len(), 1);
+        for e in &snap.events {
+            assert!(e.at_unix_micros > 1_600_000_000_000_000, "wall clock set");
+        }
+        let text = snap.render_text();
+        assert!(text.contains("[warn] feed.shed dropped=2"));
+        assert!(text.contains("[info] checkpoint epoch=1"));
+        let json = snap.to_json();
+        assert!(json.contains("\"level\":\"error\""));
+        assert!(json.contains("\"at_unix_micros\":"));
+    }
+
+    #[test]
+    fn level_ordering() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+        assert_eq!(Level::Warn.to_string(), "warn");
+    }
+
+    #[test]
+    fn prometheus_sanitized_name_collisions_are_disambiguated() {
+        let reg = MetricsRegistry::new();
+        // `a.b` and `a_b` both sanitize to `a_b` (here: `a_b_total`).
+        reg.counter("a.b").add(1);
+        reg.counter("a_b").add(2);
+        let text = reg.snapshot().render_prometheus();
+        // Sorted order: "a.b" < "a_b", so the dotted name wins the base.
+        assert!(text.contains("\na_b_total 1\n"));
+        assert!(text.contains("\na_b_total_2 2\n"));
+        assert!(text.contains("# TYPE a_b_total_2 counter\n"));
+    }
+
+    #[test]
+    fn prometheus_counter_total_suffix_collision_is_disambiguated() {
+        let reg = MetricsRegistry::new();
+        // Counter `x` gains `_total` and would alias counter `x_total`.
+        reg.counter("x").add(1);
+        reg.counter("x_total").add(2);
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("\nx_total 1\n"));
+        assert!(text.contains("\nx_total_2 2\n"));
+    }
+
+    #[test]
+    fn prometheus_gauge_vs_counter_collision_is_disambiguated() {
+        let reg = MetricsRegistry::new();
+        reg.counter("q.depth").add(1);
+        reg.gauge("q_depth_total").set(9);
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("\nq_depth_total 1\n"));
+        assert!(text.contains("\nq_depth_total_2 9\n"));
+        assert!(text.contains("# TYPE q_depth_total_2 gauge\n"));
+    }
+
+    #[test]
+    fn registry_exposes_trace_and_slow_stores() {
+        let reg = MetricsRegistry::new();
+        assert!(!reg.traces().enabled(), "tracing is opt-in");
+        assert!(!reg.slow_queries().armed(), "slow log is unarmed");
+        reg.traces().set_enabled(true);
+        let mut tr = ActiveTrace::start(reg.traces(), None, "query").unwrap();
+        let s = tr.begin("store.scan");
+        tr.end(s);
+        let done = tr.finish(reg.traces());
+        assert_eq!(reg.traces().find(done.id).unwrap(), done);
+        // Disabling metrics does not disable tracing and vice versa.
+        reg.set_enabled(false);
+        assert!(reg.traces().enabled());
     }
 
     #[test]

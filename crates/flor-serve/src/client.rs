@@ -2,10 +2,11 @@
 //! mirror the protocol verbs one-to-one.
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, Request, Response, WireError, DEFAULT_MAX_FRAME_BYTES,
-    PROTOCOL_VERSION,
+    read_frame, write_frame, ErrorCode, HealthReport, Request, Response, WireError,
+    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use flor_df::DataFrame;
+use flor_obs::{SlowQueryRecord, Trace, TraceId};
 use flor_view::QueryPlan;
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -105,6 +106,57 @@ impl Client {
         }
     }
 
+    /// Run `plan` like [`Client::query`], but originate a trace context:
+    /// the server executes the request under a trace carrying the
+    /// returned [`TraceId`], retrievable afterwards with
+    /// [`Client::trace`] (when the server has tracing enabled).
+    pub fn query_traced(
+        &mut self,
+        plan: &QueryPlan,
+    ) -> Result<(TraceId, u64, DataFrame), ServeError> {
+        let trace = TraceId::generate();
+        let req = Request::Traced {
+            trace,
+            inner: Box::new(Request::Query { plan: plan.clone() }),
+        };
+        match self.call(&req)? {
+            Response::Frame { epoch, df } => Ok((trace, epoch, df)),
+            other => Err(refused(other)),
+        }
+    }
+
+    /// One-stop operational health: epoch, WAL position, follower lag,
+    /// session and in-flight occupancy.
+    pub fn health(&mut self) -> Result<HealthReport, ServeError> {
+        match self.call(&Request::Health)? {
+            Response::Health(report) => Ok(report),
+            other => Err(refused(other)),
+        }
+    }
+
+    /// Up to `limit` recent request traces, newest first. Empty unless
+    /// the server has tracing enabled.
+    pub fn traces(&mut self, limit: u32) -> Result<Vec<Trace>, ServeError> {
+        match self.call(&Request::Traces { limit })? {
+            Response::Traces { traces } => Ok(traces),
+            other => Err(refused(other)),
+        }
+    }
+
+    /// Fetch one trace by id, if it is still in the server's ring.
+    pub fn trace(&mut self, id: TraceId) -> Result<Option<Trace>, ServeError> {
+        Ok(self.traces(u32::MAX)?.into_iter().find(|t| t.id == id))
+    }
+
+    /// Up to `limit` recent slow-query captures, newest first. Empty
+    /// unless the server has a slow-query threshold armed.
+    pub fn slow_queries(&mut self, limit: u32) -> Result<Vec<SlowQueryRecord>, ServeError> {
+        match self.call(&Request::SlowQueries { limit })? {
+            Response::SlowQueries { records } => Ok(records),
+            other => Err(refused(other)),
+        }
+    }
+
     /// Re-pin the session to the server's current epoch.
     pub fn pin(&mut self) -> Result<u64, ServeError> {
         match self.call(&Request::Pin)? {
@@ -164,5 +216,8 @@ fn refused(resp: Response) -> ServeError {
         Response::Epochs { .. } => ServeError::Unexpected("epochs"),
         Response::Text { .. } => ServeError::Unexpected("text"),
         Response::Bye => ServeError::Unexpected("bye"),
+        Response::Health(_) => ServeError::Unexpected("health"),
+        Response::Traces { .. } => ServeError::Unexpected("traces"),
+        Response::SlowQueries { .. } => ServeError::Unexpected("slow-queries"),
     }
 }

@@ -27,6 +27,21 @@
 //! * [`server`] — the blocking accept loop and [`server::ServerHandle`];
 //! * [`client`] — the blocking [`client::Client`].
 //!
+//! **Observability.** The server is traceable end to end. A client can
+//! originate a trace context ([`client::Client::query_traced`] wraps the
+//! query in [`protocol::Request::Traced`]); the server then records a
+//! hierarchical [`flor_obs::Trace`] — middleware verdicts, gate
+//! admission, plan execution down to the store scan with zone-map
+//! pruning counts — into the served registry's
+//! [`flor_obs::TraceStore`], retrievable over the wire with the
+//! `Traces` verb. Requests that exceed the registry's slow-query
+//! threshold are captured with their full explain report (`SlowQueries`
+//! verb), and the `Health` verb answers a [`protocol::HealthReport`]:
+//! epoch, WAL position, checkpoint/compaction counts, session and
+//! in-flight occupancy, and — on a follower — the estimated replication
+//! lag in pending commits. All of it is off by default and costs two
+//! atomic loads per request until enabled.
+//!
 //! **Read-only followers.** Because the protocol is read-only, a second
 //! process can serve the same data: open the writer's WAL with
 //! [`Flor::open_follower`] and serve it — the server notices the
@@ -64,7 +79,8 @@ pub mod session;
 pub use client::{Client, ServeError};
 pub use middleware::{AuthToken, Middleware, RateLimit, RequestLog};
 pub use protocol::{
-    ErrorCode, Request, Response, WireError, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    ErrorCode, HealthReport, Request, Response, WireError, DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use session::{Gate, GatePermit, Session};

@@ -17,6 +17,12 @@ use std::time::{Duration, Instant};
 
 /// A server hook. Implement one or both methods.
 pub trait Middleware: Send + Sync {
+    /// A short stable name used in trace span events ("auth: ok",
+    /// "rate-limit: veto", ...).
+    fn name(&self) -> &'static str {
+        "middleware"
+    }
+
     /// Inspect a request before execution; `Err` short-circuits with
     /// that response.
     fn on_request(&self, _session: &Session, _req: &Request) -> Result<(), Response> {
@@ -52,6 +58,10 @@ impl AuthToken {
 }
 
 impl Middleware for AuthToken {
+    fn name(&self) -> &'static str {
+        "auth"
+    }
+
     fn on_request(&self, session: &Session, req: &Request) -> Result<(), Response> {
         match req {
             Request::Hello { token, .. } => {
@@ -98,6 +108,10 @@ impl RateLimit {
 }
 
 impl Middleware for RateLimit {
+    fn name(&self) -> &'static str {
+        "rate-limit"
+    }
+
     fn on_request(&self, session: &Session, req: &Request) -> Result<(), Response> {
         // The handshake itself is admitted free; it is already bounded by
         // the accept pool.
@@ -149,6 +163,10 @@ impl RequestLog {
 }
 
 impl Middleware for RequestLog {
+    fn name(&self) -> &'static str {
+        "request-log"
+    }
+
     fn on_response(&self, session: &Session, req: &Request, resp: &Response, elapsed: Duration) {
         self.requests.inc();
         self.nanos
@@ -158,7 +176,8 @@ impl Middleware for RequestLog {
             .inc();
         if let Response::Error { code, message } = resp {
             self.errors.inc();
-            self.registry.event(
+            self.registry.event_at(
+                flor_obs::Level::Warn,
                 "serve.error",
                 format!("session {} {}: {code} {message}", session.id, req.verb()),
             );

@@ -17,6 +17,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use flor_df::{Column, DataFrame, Value};
+use flor_obs::{SlowQueryRecord, SpanEvent, SpanId, Trace, TraceId, TraceSpan};
 use flor_store::codec::{decode_value, encode_value, fnv1a, CodecError};
 use flor_store::{CmpOp, Predicate};
 use flor_view::QueryPlan;
@@ -104,6 +105,22 @@ pub enum ErrorCode {
 }
 
 impl ErrorCode {
+    /// Every code, in tag order — lets the server pre-register one
+    /// response counter per code.
+    pub(crate) const ALL: [ErrorCode; 6] = [
+        ErrorCode::BadRequest,
+        ErrorCode::Unauthorized,
+        ErrorCode::Busy,
+        ErrorCode::RateLimited,
+        ErrorCode::ReadOnly,
+        ErrorCode::Internal,
+    ];
+
+    /// Position in [`ErrorCode::ALL`].
+    pub(crate) fn index(self) -> usize {
+        self.to_u8() as usize
+    }
+
     fn to_u8(self) -> u8 {
         match self {
             ErrorCode::BadRequest => 0,
@@ -169,10 +186,39 @@ pub enum Request {
     MetricsPrometheus,
     /// Orderly goodbye; the server answers [`Response::Bye`] and hangs up.
     Close,
+    /// A request wrapped with a client-originated trace context: the
+    /// server instruments `inner`'s execution under this [`TraceId`], so
+    /// the client can retrieve the server-side trace afterwards via
+    /// [`Request::Traces`]. Wrapping never changes `inner`'s result.
+    /// Old-style clients simply never send this tag — absent context is
+    /// always fine.
+    Traced {
+        /// The trace identity to record under.
+        trace: TraceId,
+        /// The request to execute (itself never `Traced`).
+        inner: Box<Request>,
+    },
+    /// Liveness/readiness probe: epoch, WAL position, follower lag,
+    /// session and in-flight occupancy ([`Response::Health`]).
+    Health,
+    /// Retrieve up to `limit` most recent completed traces, newest
+    /// first ([`Response::Traces`]).
+    Traces {
+        /// Maximum traces to return.
+        limit: u32,
+    },
+    /// Retrieve up to `limit` most recent slow-query records, newest
+    /// first ([`Response::SlowQueries`]).
+    SlowQueries {
+        /// Maximum records to return.
+        limit: u32,
+    },
 }
 
 impl Request {
-    /// Stable lowercase verb name (metric labels, logs).
+    /// Stable lowercase verb name (metric labels, logs). A traced
+    /// request reports its inner verb — the wrapper is transport, not
+    /// semantics.
     pub fn verb(&self) -> &'static str {
         match self {
             Request::Hello { .. } => "hello",
@@ -182,6 +228,10 @@ impl Request {
             Request::Metrics => "metrics",
             Request::MetricsPrometheus => "metrics_prometheus",
             Request::Close => "close",
+            Request::Traced { inner, .. } => inner.verb(),
+            Request::Health => "health",
+            Request::Traces { .. } => "traces",
+            Request::SlowQueries { .. } => "slow_queries",
         }
     }
 
@@ -209,6 +259,20 @@ impl Request {
             Request::Metrics => buf.put_u8(5),
             Request::MetricsPrometheus => buf.put_u8(6),
             Request::Close => buf.put_u8(7),
+            Request::Traced { trace, inner } => {
+                buf.put_u8(8);
+                buf.put_u64(trace.0);
+                buf.put_slice(&inner.encode());
+            }
+            Request::Health => buf.put_u8(9),
+            Request::Traces { limit } => {
+                buf.put_u8(10);
+                buf.put_u32(*limit);
+            }
+            Request::SlowQueries { limit } => {
+                buf.put_u8(11);
+                buf.put_u32(*limit);
+            }
         }
         buf.freeze()
     }
@@ -238,12 +302,172 @@ impl Request {
             5 => Request::Metrics,
             6 => Request::MetricsPrometheus,
             7 => Request::Close,
+            8 => {
+                if buf.remaining() < 8 {
+                    return Err(trunc());
+                }
+                let trace = TraceId(buf.get_u64());
+                // The recursive decode consumes the rest of the payload
+                // and enforces the no-trailing-bytes contract itself.
+                let inner = Request::decode(buf)?;
+                if matches!(inner, Request::Traced { .. }) {
+                    return Err(malformed("nested trace context"));
+                }
+                return Ok(Request::Traced {
+                    trace,
+                    inner: Box::new(inner),
+                });
+            }
+            9 => Request::Health,
+            10 => Request::Traces {
+                limit: get_count(&mut buf)? as u32,
+            },
+            11 => Request::SlowQueries {
+                limit: get_count(&mut buf)? as u32,
+            },
             k => return Err(WireError::UnknownKind(k)),
         };
         if buf.remaining() > 0 {
             return Err(malformed("trailing bytes after request"));
         }
         Ok(req)
+    }
+}
+
+/// The [`Response::Health`] body: one consistent liveness/readiness
+/// picture of the serving instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Whether this instance is a read-only follower.
+    pub follower: bool,
+    /// Latest committed epoch visible to new sessions.
+    pub epoch: u64,
+    /// Byte length of the write-ahead log (the follower's applied
+    /// cursor position on a follower).
+    pub wal_offset_bytes: u64,
+    /// Epoch covered by the last completed checkpoint (0 = never).
+    pub last_checkpoint_epoch: u64,
+    /// Checkpoints completed since open.
+    pub checkpoints: u64,
+    /// Compaction passes completed since open.
+    pub compactions: u64,
+    /// Total live rows across tables.
+    pub total_rows: u64,
+    /// Sessions currently open on the server.
+    pub live_sessions: u64,
+    /// The accept pool's session cap.
+    pub max_sessions: u64,
+    /// Requests executing right now (gate occupancy).
+    pub in_flight: u64,
+    /// The gate's in-flight cap.
+    pub max_in_flight: u64,
+    /// Follower lag estimate: committed transactions durable in the
+    /// writer's log but not applied here. `None` on a writer, and on a
+    /// follower whose cursor was just truncated by a writer checkpoint.
+    pub follower_lag: Option<u64>,
+}
+
+impl HealthReport {
+    /// Multi-line operator rendering.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "health: {} epoch={}",
+            if self.follower { "follower" } else { "writer" },
+            self.epoch
+        )
+        .expect("string write");
+        writeln!(
+            out,
+            "  wal: offset={}B checkpoints={} (last epoch {}) compactions={}",
+            self.wal_offset_bytes, self.checkpoints, self.last_checkpoint_epoch, self.compactions
+        )
+        .expect("string write");
+        writeln!(out, "  rows: {}", self.total_rows).expect("string write");
+        writeln!(
+            out,
+            "  sessions: {}/{} in-flight: {}/{}",
+            self.live_sessions, self.max_sessions, self.in_flight, self.max_in_flight
+        )
+        .expect("string write");
+        match self.follower_lag {
+            Some(lag) => {
+                writeln!(out, "  follower lag: {lag} commit(s) behind").expect("string write")
+            }
+            None if self.follower => writeln!(out, "  follower lag: unknown (writer checkpointed)")
+                .expect("string write"),
+            None => {}
+        }
+        out
+    }
+
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(self.follower as u8);
+        buf.put_u64(self.epoch);
+        buf.put_u64(self.wal_offset_bytes);
+        buf.put_u64(self.last_checkpoint_epoch);
+        buf.put_u64(self.checkpoints);
+        buf.put_u64(self.compactions);
+        buf.put_u64(self.total_rows);
+        buf.put_u64(self.live_sessions);
+        buf.put_u64(self.max_sessions);
+        buf.put_u64(self.in_flight);
+        buf.put_u64(self.max_in_flight);
+        match self.follower_lag {
+            None => buf.put_u8(0),
+            Some(lag) => {
+                buf.put_u8(1);
+                buf.put_u64(lag);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<HealthReport, WireError> {
+        if buf.remaining() < 1 + 8 * 10 + 1 {
+            return Err(trunc());
+        }
+        let follower = buf.get_u8() != 0;
+        let epoch = buf.get_u64();
+        let wal_offset_bytes = buf.get_u64();
+        let last_checkpoint_epoch = buf.get_u64();
+        let checkpoints = buf.get_u64();
+        let compactions = buf.get_u64();
+        let total_rows = buf.get_u64();
+        let live_sessions = buf.get_u64();
+        let max_sessions = buf.get_u64();
+        let in_flight = buf.get_u64();
+        let max_in_flight = buf.get_u64();
+        let follower_lag = match buf.get_u8() {
+            0 => None,
+            _ => {
+                if buf.remaining() < 8 {
+                    return Err(trunc());
+                }
+                Some(buf.get_u64())
+            }
+        };
+        Ok(HealthReport {
+            follower,
+            epoch,
+            wal_offset_bytes,
+            last_checkpoint_epoch,
+            checkpoints,
+            compactions,
+            total_rows,
+            live_sessions,
+            max_sessions,
+            in_flight,
+            max_in_flight,
+            follower_lag,
+        })
+    }
+}
+
+impl std::fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.render_text().trim_end())
     }
 }
 
@@ -292,6 +516,19 @@ pub enum Response {
     },
     /// Orderly goodbye.
     Bye,
+    /// The server's liveness/readiness picture ([`Request::Health`]).
+    Health(HealthReport),
+    /// Recent completed traces, newest first ([`Request::Traces`]).
+    Traces {
+        /// The retrieved traces.
+        traces: Vec<Trace>,
+    },
+    /// Recent slow-query records, newest first
+    /// ([`Request::SlowQueries`]).
+    SlowQueries {
+        /// The retrieved records.
+        records: Vec<SlowQueryRecord>,
+    },
 }
 
 impl Response {
@@ -328,6 +565,24 @@ impl Response {
                 put_str(&mut buf, message);
             }
             Response::Bye => buf.put_u8(7),
+            Response::Health(report) => {
+                buf.put_u8(8);
+                report.encode(&mut buf);
+            }
+            Response::Traces { traces } => {
+                buf.put_u8(9);
+                buf.put_u32(traces.len() as u32);
+                for t in traces {
+                    encode_trace(t, &mut buf);
+                }
+            }
+            Response::SlowQueries { records } => {
+                buf.put_u8(10);
+                buf.put_u32(records.len() as u32);
+                for r in records {
+                    encode_slow_query(r, &mut buf);
+                }
+            }
         }
         buf.freeze()
     }
@@ -388,6 +643,23 @@ impl Response {
                 }
             }
             7 => Response::Bye,
+            8 => Response::Health(HealthReport::decode(&mut buf)?),
+            9 => {
+                let n = get_count(&mut buf)?;
+                let mut traces = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    traces.push(decode_trace(&mut buf)?);
+                }
+                Response::Traces { traces }
+            }
+            10 => {
+                let n = get_count(&mut buf)?;
+                let mut records = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    records.push(decode_slow_query(&mut buf)?);
+                }
+                Response::SlowQueries { records }
+            }
             k => return Err(WireError::UnknownKind(k)),
         };
         if buf.remaining() > 0 {
@@ -566,6 +838,129 @@ fn get_count(buf: &mut Bytes) -> Result<usize, WireError> {
     Ok(buf.get_u32() as usize)
 }
 
+// ----------------------------------------------------------------- traces
+
+fn encode_trace(t: &Trace, buf: &mut BytesMut) {
+    buf.put_u64(t.id.0);
+    put_str(buf, &t.label);
+    put_str(buf, &t.detail);
+    buf.put_u64(t.started_unix_micros);
+    buf.put_u64(t.total_nanos);
+    buf.put_u32(t.spans.len() as u32);
+    for s in &t.spans {
+        buf.put_u32(s.id.0);
+        match s.parent {
+            None => buf.put_u8(0),
+            Some(p) => {
+                buf.put_u8(1);
+                buf.put_u32(p.0);
+            }
+        }
+        put_str(buf, &s.name);
+        buf.put_u64(s.start_nanos);
+        buf.put_u64(s.duration_nanos);
+        buf.put_u32(s.events.len() as u32);
+        for e in &s.events {
+            buf.put_u64(e.at_nanos);
+            put_str(buf, &e.message);
+        }
+    }
+}
+
+fn decode_trace(buf: &mut Bytes) -> Result<Trace, WireError> {
+    if buf.remaining() < 8 {
+        return Err(trunc());
+    }
+    let id = TraceId(buf.get_u64());
+    let label = get_str(buf)?;
+    let detail = get_str(buf)?;
+    if buf.remaining() < 16 {
+        return Err(trunc());
+    }
+    let started_unix_micros = buf.get_u64();
+    let total_nanos = buf.get_u64();
+    let n_spans = get_count(buf)?;
+    let mut spans = Vec::with_capacity(n_spans.min(1024));
+    for _ in 0..n_spans {
+        if buf.remaining() < 5 {
+            return Err(trunc());
+        }
+        let id = SpanId(buf.get_u32());
+        let parent = match buf.get_u8() {
+            0 => None,
+            _ => {
+                if buf.remaining() < 4 {
+                    return Err(trunc());
+                }
+                Some(SpanId(buf.get_u32()))
+            }
+        };
+        let name = get_str(buf)?;
+        if buf.remaining() < 16 {
+            return Err(trunc());
+        }
+        let start_nanos = buf.get_u64();
+        let duration_nanos = buf.get_u64();
+        let n_events = get_count(buf)?;
+        let mut events = Vec::with_capacity(n_events.min(1024));
+        for _ in 0..n_events {
+            if buf.remaining() < 8 {
+                return Err(trunc());
+            }
+            let at_nanos = buf.get_u64();
+            events.push(SpanEvent {
+                at_nanos,
+                message: get_str(buf)?,
+            });
+        }
+        spans.push(TraceSpan {
+            id,
+            parent,
+            name,
+            start_nanos,
+            duration_nanos,
+            events,
+        });
+    }
+    Ok(Trace {
+        id,
+        label,
+        detail,
+        started_unix_micros,
+        total_nanos,
+        spans,
+    })
+}
+
+fn encode_slow_query(r: &SlowQueryRecord, buf: &mut BytesMut) {
+    encode_trace(&r.trace, buf);
+    put_str(buf, &r.verb);
+    put_str(buf, &r.plan);
+    put_str(buf, &r.explain);
+    buf.put_u64(r.total_nanos);
+    buf.put_u64(r.threshold_nanos);
+    buf.put_u64(r.at_unix_micros);
+}
+
+fn decode_slow_query(buf: &mut Bytes) -> Result<SlowQueryRecord, WireError> {
+    let trace = decode_trace(buf)?;
+    let verb = get_str(buf)?;
+    let plan = get_str(buf)?;
+    let explain = get_str(buf)?;
+    if buf.remaining() < 24 {
+        return Err(trunc());
+    }
+    Ok(SlowQueryRecord {
+        trace,
+        verb,
+        plan,
+        explain,
+        total_nanos: buf.get_u64(),
+        threshold_nanos: buf.get_u64(),
+        at_unix_micros: buf.get_u64(),
+    })
+}
+
 // -------------------------------------------------------------- dataframe
 
 /// Encode a dataframe column-by-column with the store's value codec, so
@@ -662,6 +1057,141 @@ mod tests {
             message: "slow down".into(),
         });
         roundtrip_resp(Response::Bye);
+    }
+
+    fn sample_trace() -> Trace {
+        Trace {
+            id: TraceId(0xdead_beef),
+            label: "query".into(),
+            detail: "session 3 peer 127.0.0.1:9".into(),
+            started_unix_micros: 1_700_000_000_000_000,
+            total_nanos: 123_456,
+            spans: vec![
+                TraceSpan {
+                    id: SpanId(0),
+                    parent: None,
+                    name: "request".into(),
+                    start_nanos: 0,
+                    duration_nanos: 123_000,
+                    events: vec![],
+                },
+                TraceSpan {
+                    id: SpanId(1),
+                    parent: Some(SpanId(0)),
+                    name: "store.scan".into(),
+                    start_nanos: 10,
+                    duration_nanos: 99,
+                    events: vec![SpanEvent {
+                        at_nanos: 12,
+                        message: "access=index-in(value_name)".into(),
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn ops_requests_roundtrip() {
+        roundtrip_req(Request::Health);
+        roundtrip_req(Request::Traces { limit: 16 });
+        roundtrip_req(Request::SlowQueries { limit: 0 });
+        roundtrip_req(Request::Traced {
+            trace: TraceId(42),
+            inner: Box::new(Request::Query {
+                plan: QueryPlan::new(&["loss"]),
+            }),
+        });
+        roundtrip_req(Request::Traced {
+            trace: TraceId(7),
+            inner: Box::new(Request::Pin),
+        });
+    }
+
+    #[test]
+    fn nested_trace_context_is_rejected() {
+        let inner = Request::Traced {
+            trace: TraceId(1),
+            inner: Box::new(Request::Pin),
+        };
+        let bad = Request::Traced {
+            trace: TraceId(2),
+            inner: Box::new(inner),
+        };
+        assert!(Request::decode(bad.encode()).is_err());
+    }
+
+    #[test]
+    fn ops_responses_roundtrip() {
+        roundtrip_resp(Response::Health(HealthReport {
+            follower: true,
+            epoch: 9,
+            wal_offset_bytes: 4096,
+            last_checkpoint_epoch: 5,
+            checkpoints: 2,
+            compactions: 1,
+            total_rows: 1234,
+            live_sessions: 3,
+            max_sessions: 32,
+            in_flight: 1,
+            max_in_flight: 8,
+            follower_lag: Some(4),
+        }));
+        roundtrip_resp(Response::Health(HealthReport {
+            follower: false,
+            epoch: 0,
+            wal_offset_bytes: 0,
+            last_checkpoint_epoch: 0,
+            checkpoints: 0,
+            compactions: 0,
+            total_rows: 0,
+            live_sessions: 0,
+            max_sessions: 0,
+            in_flight: 0,
+            max_in_flight: 0,
+            follower_lag: None,
+        }));
+        roundtrip_resp(Response::Traces {
+            traces: vec![sample_trace(), sample_trace()],
+        });
+        roundtrip_resp(Response::Traces { traces: vec![] });
+        roundtrip_resp(Response::SlowQueries {
+            records: vec![SlowQueryRecord {
+                trace: sample_trace(),
+                verb: "query".into(),
+                plan: "[\"loss\"]".into(),
+                explain: "QUERY logs via index-in(value_name)\n  rows: 3".into(),
+                total_nanos: 5_000_000,
+                threshold_nanos: 1_000_000,
+                at_unix_micros: 1_700_000_000_000_001,
+            }],
+        });
+    }
+
+    #[test]
+    fn truncated_ops_payloads_yield_typed_errors() {
+        let traced = Request::Traced {
+            trace: TraceId(3),
+            inner: Box::new(Request::Query {
+                plan: QueryPlan::new(&["loss"]).filter("tstamp", CmpOp::Ge, 1i64),
+            }),
+        }
+        .encode();
+        for cut in 0..traced.len() {
+            assert!(
+                Request::decode(traced.slice(..cut)).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        let resp = Response::Traces {
+            traces: vec![sample_trace()],
+        }
+        .encode();
+        for cut in 0..resp.len() {
+            assert!(
+                Response::decode(resp.slice(..cut)).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
     }
 
     #[test]

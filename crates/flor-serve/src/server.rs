@@ -18,11 +18,15 @@
 
 use crate::middleware::Middleware;
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, Request, Response, WireError, DEFAULT_MAX_FRAME_BYTES,
-    PROTOCOL_VERSION,
+    read_frame, write_frame, ErrorCode, HealthReport, Request, Response, WireError,
+    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use crate::session::{Gate, Session};
 use flor_core::Flor;
+use flor_obs::{
+    unix_micros, ActiveTrace, Counter, Gauge, Level, MetricsRegistry, SlowQueryRecord, TraceId,
+};
+use flor_store::QueryExplain;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -59,11 +63,49 @@ impl Default for ServerConfig {
     }
 }
 
+/// Server-level gauges and counters, resolved once at bind time so the
+/// accept loop and request path never touch the registry map — they
+/// land in the same [`MetricsRegistry`] the kernel records into, so the
+/// Prometheus scrape carries them alongside the store/view/job metrics.
+struct ServeMetrics {
+    registry: MetricsRegistry,
+    /// `serve.sessions.live`: admitted sessions not yet disconnected.
+    live_sessions: Arc<Gauge>,
+    /// `serve.inflight`: requests executing inside the gate right now.
+    in_flight: Arc<Gauge>,
+    /// `serve.busy`: refusals from the accept pool or the gate.
+    busy: Arc<Counter>,
+    /// `serve.error.<code>`: error responses per [`ErrorCode`].
+    errors: [Arc<Counter>; ErrorCode::ALL.len()],
+    /// `serve.follower.wal_lag`: commits behind the writer, updated by
+    /// the poll thread (stays 0 on a writer).
+    wal_lag: Arc<Gauge>,
+}
+
+impl ServeMetrics {
+    fn new(registry: MetricsRegistry) -> ServeMetrics {
+        let errors = ErrorCode::ALL.map(|c| registry.counter(&format!("serve.error.{c}")));
+        ServeMetrics {
+            live_sessions: registry.gauge("serve.sessions.live"),
+            in_flight: registry.gauge("serve.inflight"),
+            busy: registry.counter("serve.busy"),
+            wal_lag: registry.gauge("serve.follower.wal_lag"),
+            errors,
+            registry,
+        }
+    }
+
+    fn on_error(&self, code: ErrorCode) {
+        self.errors[code.index()].inc();
+    }
+}
+
 struct Shared {
     flor: Flor,
     cfg: ServerConfig,
     middleware: Vec<Arc<dyn Middleware>>,
     gate: Arc<Gate>,
+    metrics: ServeMetrics,
     live_sessions: AtomicUsize,
     next_session: AtomicU64,
     shutdown: AtomicBool,
@@ -85,6 +127,7 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let gate = Gate::new(cfg.max_in_flight);
+        let metrics = ServeMetrics::new(flor.metrics_registry());
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -92,6 +135,7 @@ impl Server {
                 cfg,
                 middleware: Vec::new(),
                 gate,
+                metrics,
                 live_sessions: AtomicUsize::new(0),
                 next_session: AtomicU64::new(1),
                 shutdown: AtomicBool::new(false),
@@ -145,13 +189,17 @@ impl Server {
             // Bounded accept pool: admit or refuse with a typed error.
             if shared.live_sessions.fetch_add(1, Ordering::AcqRel) >= shared.cfg.max_sessions {
                 shared.live_sessions.fetch_sub(1, Ordering::AcqRel);
+                shared.metrics.busy.inc();
+                shared.metrics.on_error(ErrorCode::Busy);
                 refuse_busy(stream);
                 continue;
             }
+            shared.metrics.live_sessions.add(1);
             let shared = Arc::clone(&shared);
             thread::spawn(move || {
                 let _ = handle_conn(&shared, stream);
                 shared.live_sessions.fetch_sub(1, Ordering::AcqRel);
+                shared.metrics.live_sessions.add(-1);
             });
         }
         if let Some(p) = poller {
@@ -214,7 +262,20 @@ fn spawn_follower_poll(shared: &Arc<Shared>) -> Option<JoinHandle<()>> {
             // retried next tick; the follower keeps serving its last
             // good state meanwhile.
             let _ = shared.flor.poll_follower();
-            thread::sleep(shared.cfg.follower_poll);
+            // Refresh the scrape-visible lag estimate after applying;
+            // an unknown estimate (writer just checkpointed) keeps the
+            // previous value until the next successful peek.
+            if let Ok(Some(lag)) = shared.flor.follower_lag() {
+                shared.metrics.wal_lag.set(lag as i64);
+            }
+            // Sleep in short slices so a long poll interval doesn't hold
+            // up shutdown for a whole tick.
+            let mut remaining = shared.cfg.follower_poll;
+            while !remaining.is_zero() && !shared.shutdown.load(Ordering::Relaxed) {
+                let slice = remaining.min(Duration::from_millis(25));
+                thread::sleep(slice);
+                remaining -= slice;
+            }
         }
     }))
 }
@@ -280,6 +341,11 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), WireError>
         }
     }
     session.authed = true;
+    shared.metrics.registry.event_at(
+        Level::Debug,
+        "session",
+        format!("open id={} peer={}", session.id, session.peer),
+    );
     write_frame(
         &mut writer,
         &Response::HelloOk {
@@ -290,21 +356,75 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), WireError>
     )?;
 
     // --- request loop ---
+    let result = request_loop(shared, &mut session, &mut reader, &mut writer, max);
+    shared.metrics.registry.event_at(
+        Level::Debug,
+        "session",
+        format!(
+            "close id={} peer={} requests={}",
+            session.id, session.peer, session.requests
+        ),
+    );
+    result
+}
+
+fn request_loop(
+    shared: &Arc<Shared>,
+    session: &mut Session,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    max: u32,
+) -> Result<(), WireError> {
     loop {
-        let req = match read_request(&mut reader, max) {
+        let req = match read_request(reader, max) {
             Ok(req) => req,
             Err(WireError::Io(e)) => {
                 // Peer gone or idle timeout: just drop the connection.
                 return Err(WireError::Io(e));
             }
-            Err(e) => return send_protocol_error(&mut writer, &e),
+            Err(e) => return send_protocol_error(writer, &e),
         };
-        // Middleware veto: answer the prepared error. Auth failures end
-        // the connection; admission failures leave it up for a retry.
-        let veto = shared
-            .middleware
-            .iter()
-            .find_map(|mw| mw.on_request(&session, &req).err());
+        // Unwrap the optional client-originated trace context; the
+        // wrapper is transport only, so everything below (middleware,
+        // gate, execute, metrics) sees the inner request.
+        let (req, ctx) = match req {
+            Request::Traced { trace, inner } => (*inner, Some(trace)),
+            other => (other, None),
+        };
+        let traces = shared.metrics.registry.traces();
+        let slow = shared.metrics.registry.slow_queries();
+        // Two relaxed loads decide the whole per-request overhead: with
+        // tracing off and the slow log unarmed, no trace is allocated.
+        let mut tr = (traces.enabled() || slow.armed()).then(|| {
+            let mut t =
+                ActiveTrace::start_detached(ctx.unwrap_or_else(TraceId::generate), req.verb());
+            t.set_detail(format!("session {} peer {}", session.id, session.peer));
+            t.begin("request");
+            t
+        });
+
+        // Middleware: every verdict becomes a span event. Auth failures
+        // end the connection; admission failures leave it up for retry.
+        let mut veto = None;
+        if let Some(t) = tr.as_mut() {
+            let mw_span = t.begin("middleware");
+            for mw in &shared.middleware {
+                match mw.on_request(session, &req) {
+                    Ok(()) => t.event(format!("{}: ok", mw.name())),
+                    Err(resp) => {
+                        t.event(format!("{}: veto", mw.name()));
+                        veto = Some(resp);
+                        break;
+                    }
+                }
+            }
+            t.end(mw_span);
+        } else {
+            veto = shared
+                .middleware
+                .iter()
+                .find_map(|mw| mw.on_request(session, &req).err());
+        }
         if let Some(resp) = veto {
             let fatal = matches!(
                 resp,
@@ -313,30 +433,83 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), WireError>
                     ..
                 }
             );
-            write_frame(&mut writer, &resp.encode())?;
+            if let Response::Error { code, .. } = &resp {
+                shared.metrics.on_error(*code);
+            }
+            if let Some(t) = tr.take() {
+                t.finish(traces);
+            }
+            write_frame(writer, &resp.encode())?;
             if fatal {
                 return Ok(());
             }
             continue;
         }
+
         let start = Instant::now();
-        let resp = match shared.gate.try_enter() {
-            None => Response::Error {
-                code: ErrorCode::Busy,
-                message: "too many in-flight requests; retry later".into(),
-            },
+        let mut explain = None;
+        let gate_span = tr.as_mut().map(|t| t.begin("gate"));
+        let permit = shared.gate.try_enter();
+        if let (Some(t), Some(gs)) = (tr.as_mut(), gate_span) {
+            t.event(if permit.is_some() {
+                "admitted"
+            } else {
+                "busy: in-flight limit reached"
+            });
+            t.end(gs);
+        }
+        let resp = match permit {
+            None => {
+                shared.metrics.busy.inc();
+                Response::Error {
+                    code: ErrorCode::Busy,
+                    message: "too many in-flight requests; retry later".into(),
+                }
+            }
             Some(permit) => {
-                let resp = execute(&shared.flor, &mut session, &req);
+                shared.metrics.in_flight.add(1);
+                let ex_span = tr.as_mut().map(|t| t.begin("execute"));
+                let (resp, ex) = execute(shared, session, &req, tr.as_mut());
+                explain = ex;
+                if let (Some(t), Some(es)) = (tr.as_mut(), ex_span) {
+                    t.end(es);
+                }
+                shared.metrics.in_flight.add(-1);
                 drop(permit);
                 resp
             }
         };
         session.requests += 1;
+        if let Response::Error { code, .. } = &resp {
+            shared.metrics.on_error(*code);
+        }
         for mw in &shared.middleware {
-            mw.on_response(&session, &req, &resp, start.elapsed());
+            mw.on_response(session, &req, &resp, start.elapsed());
+        }
+        // Publish the trace, and capture a slow-query record when a
+        // Query breached the armed threshold — the measured explain
+        // from the traced execution rides along.
+        if let Some(t) = tr.take() {
+            let total = t.elapsed_nanos();
+            let trace = t.finish(traces);
+            if let Some(threshold) = slow.threshold_nanos() {
+                if total > threshold {
+                    if let Request::Query { plan } = &req {
+                        slow.record(SlowQueryRecord {
+                            trace,
+                            verb: "query".into(),
+                            plan: format!("{:?}", plan.names),
+                            explain: explain.map(|e| e.to_string()).unwrap_or_default(),
+                            total_nanos: total,
+                            threshold_nanos: threshold,
+                            at_unix_micros: unix_micros(),
+                        });
+                    }
+                }
+            }
         }
         let bye = matches!(resp, Response::Bye);
-        write_frame(&mut writer, &resp.encode())?;
+        write_frame(writer, &resp.encode())?;
         if bye {
             return Ok(());
         }
@@ -371,22 +544,48 @@ fn send_and_close(writer: &mut BufWriter<TcpStream>, resp: Response) -> Result<(
 }
 
 /// Execute one admitted request against the session's pinned snapshot.
-fn execute(flor: &Flor, session: &mut Session, req: &Request) -> Response {
-    match req {
+/// With an active trace, queries run through the measured store path
+/// (child spans for scan/pivot/post-pass) and return their
+/// [`QueryExplain`] for slow-query capture — the frame stays
+/// byte-identical to the untraced path's.
+fn execute(
+    shared: &Shared,
+    session: &mut Session,
+    req: &Request,
+    tr: Option<&mut ActiveTrace>,
+) -> (Response, Option<QueryExplain>) {
+    let flor = &shared.flor;
+    let resp = match req {
         Request::Hello { .. } => Response::Error {
             code: ErrorCode::BadRequest,
             message: "duplicate hello".into(),
         },
-        Request::Query { plan } => match flor.run_plan_at(session.snapshot(), plan) {
-            Ok(df) => Response::Frame {
-                epoch: session.epoch(),
-                df,
-            },
-            Err(e) => Response::Error {
-                code: ErrorCode::Internal,
-                message: e.to_string(),
-            },
-        },
+        Request::Query { plan } => {
+            let result = match tr {
+                Some(t) => flor
+                    .run_plan_at_traced(session.snapshot(), plan, t)
+                    .map(|(df, ex)| (df, Some(ex))),
+                None => flor
+                    .run_plan_at(session.snapshot(), plan)
+                    .map(|df| (df, None)),
+            };
+            return match result {
+                Ok((df, ex)) => (
+                    Response::Frame {
+                        epoch: session.epoch(),
+                        df,
+                    },
+                    ex,
+                ),
+                Err(e) => (
+                    Response::Error {
+                        code: ErrorCode::Internal,
+                        message: e.to_string(),
+                    },
+                    None,
+                ),
+            };
+        }
         Request::Pin => {
             session.repin(flor.db.pin());
             Response::Pinned {
@@ -404,5 +603,51 @@ fn execute(flor: &Flor, session: &mut Session, req: &Request) -> Response {
             body: flor.metrics().render_prometheus(),
         },
         Request::Close => Response::Bye,
+        // The loop unwraps trace contexts before execution; a nested one
+        // is a protocol violation the decoder already rejects.
+        Request::Traced { .. } => Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "nested trace context".into(),
+        },
+        Request::Health => Response::Health(health_report(shared)),
+        Request::Traces { limit } => Response::Traces {
+            traces: shared.metrics.registry.traces().recent(*limit as usize),
+        },
+        Request::SlowQueries { limit } => Response::SlowQueries {
+            records: shared
+                .metrics
+                .registry
+                .slow_queries()
+                .recent(*limit as usize),
+        },
+    };
+    (resp, None)
+}
+
+/// One consistent liveness/readiness picture: store watermarks from
+/// [`flor_store::DbStats`], occupancy from the accept pool and the
+/// gate, and (on a follower) a fresh lag estimate peeked from the
+/// writer's log.
+fn health_report(shared: &Shared) -> HealthReport {
+    let stats = shared.flor.db.stats();
+    let follower = shared.flor.is_follower();
+    let follower_lag = if follower {
+        shared.flor.follower_lag().ok().flatten()
+    } else {
+        None
+    };
+    HealthReport {
+        follower,
+        epoch: stats.wal_epoch,
+        wal_offset_bytes: stats.wal_offset_bytes,
+        last_checkpoint_epoch: stats.last_checkpoint_epoch,
+        checkpoints: stats.checkpoints,
+        compactions: stats.compactions,
+        total_rows: stats.total_rows as u64,
+        live_sessions: shared.live_sessions.load(Ordering::Relaxed) as u64,
+        max_sessions: shared.cfg.max_sessions as u64,
+        in_flight: shared.gate.active() as u64,
+        max_in_flight: shared.cfg.max_in_flight as u64,
+        follower_lag,
     }
 }

@@ -1,0 +1,181 @@
+//! The ops surface end to end: `Health` on writer and follower,
+//! client-originated trace contexts with retrievable span trees,
+//! slow-query capture with the full explain report, and back-compat —
+//! an old-style client that never sends the new verbs keeps working
+//! unchanged while tracing is on.
+
+use flor_core::Flor;
+use flor_serve::{Client, RequestLog, ServeExt, Server, ServerConfig};
+use flor_view::QueryPlan;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn traced_queries_health_and_slow_capture_on_writer() {
+    let flor = Flor::new("ops-writer");
+    flor.set_filename("train.fl");
+    for step in 0..8 {
+        flor.log("loss", 1.0 / (step + 1) as f64);
+        flor.log("acc", step as f64 / 8.0);
+        flor.commit(&format!("step {step}")).expect("commit");
+    }
+
+    // Tracing on, slow threshold at zero so every query is "slow".
+    flor.set_tracing(true);
+    flor.set_slow_query_threshold(Some(Duration::ZERO));
+
+    let registry = flor.metrics_registry();
+    let server = Server::bind(flor.clone(), "127.0.0.1:0", ServerConfig::default())
+        .expect("bind")
+        .with_middleware(Arc::new(RequestLog::new(registry.clone())));
+    let handle = server.spawn().expect("spawn");
+
+    let mut client = Client::connect(handle.addr(), None).expect("connect");
+    let plan = QueryPlan::new(&["loss", "acc"]);
+
+    // Old-style path first: a plain query must behave exactly as before
+    // even though tracing and slow capture are armed server-side.
+    let (_, plain_df) = client.query(&plan).expect("plain query");
+    assert_eq!(plain_df.n_rows(), 8);
+
+    // Client-originated trace context: same bytes back, plus a
+    // retrievable trace carrying the request anatomy.
+    let (trace_id, _, traced_df) = client.query_traced(&plan).expect("traced query");
+    assert_eq!(
+        format!("{traced_df:?}"),
+        format!("{plain_df:?}"),
+        "trace context changed the result"
+    );
+
+    let trace = client
+        .trace(trace_id)
+        .expect("traces verb")
+        .expect("originated trace must be retrievable");
+    assert_eq!(trace.id, trace_id);
+    for span in [
+        "request",
+        "middleware",
+        "gate",
+        "execute",
+        "store.scan",
+        "pivot",
+    ] {
+        assert!(
+            trace.span(span).is_some(),
+            "trace missing span `{span}`:\n{trace}"
+        );
+    }
+    let rendered = trace.render_text();
+    assert!(
+        rendered.contains("request-log: ok"),
+        "middleware verdict event missing:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("admitted"),
+        "gate admission event missing:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("access="),
+        "store-scan access-path event missing:\n{rendered}"
+    );
+
+    // The plain query ran under a server-generated trace too.
+    assert!(client.traces(16).expect("traces").len() >= 2);
+
+    // Slow capture: threshold zero means both queries breached; records
+    // carry the full explain report.
+    let slow = client.slow_queries(16).expect("slow queries");
+    assert!(
+        slow.len() >= 2,
+        "expected both queries captured, got {}",
+        slow.len()
+    );
+    let rec = &slow[0];
+    assert_eq!(rec.verb, "query");
+    assert!(
+        rec.plan.contains("loss"),
+        "plan names missing: {}",
+        rec.plan
+    );
+    assert!(
+        rec.explain.contains("QUERY logs"),
+        "explain report missing from slow capture: {:?}",
+        rec.explain
+    );
+    assert_eq!(rec.threshold_nanos, 0);
+    assert!(rec.total_nanos > 0);
+
+    // Health on the writer: no follower lag, occupancy visible.
+    let health = client.health().expect("health");
+    assert!(!health.follower);
+    assert_eq!(health.follower_lag, None);
+    assert!(health.epoch >= 8);
+    assert!(
+        health.total_rows >= 16,
+        "16 logged values plus context rows"
+    );
+    assert_eq!(health.live_sessions, 1);
+    assert!(health.max_sessions >= 1);
+    assert!(health.render_text().contains("health: writer"));
+
+    // Disarm and the rings stop growing, old client still fine.
+    flor.set_tracing(false);
+    flor.set_slow_query_threshold(None);
+    let before = client.traces(64).expect("traces").len();
+    let slow_before = client.slow_queries(64).expect("slow").len();
+    client.query(&plan).expect("query after disarm");
+    assert_eq!(client.traces(64).expect("traces").len(), before);
+    assert_eq!(client.slow_queries(64).expect("slow").len(), slow_before);
+
+    client.close().expect("close");
+    handle.stop();
+}
+
+#[test]
+fn health_on_follower_reports_replication_lag() {
+    let dir = std::env::temp_dir().join(format!("flor-ops-health-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("writer.wal");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(dir.join("writer.wal.ckpt"));
+
+    let writer = Flor::open("ops-follower", &path).expect("open writer");
+    writer.set_filename("train.fl");
+    writer.log("loss", 0.9);
+    writer.commit("seed").expect("commit");
+
+    let follower = Flor::open_follower("ops-follower", &path).expect("open follower");
+    // A poll interval far beyond the test's lifetime: the follower stays
+    // deliberately stale so pending commits are observable as lag.
+    let cfg = ServerConfig {
+        follower_poll: Duration::from_secs(3600),
+        ..ServerConfig::default()
+    };
+    let handle = follower.serve("127.0.0.1:0", cfg).expect("serve follower");
+    let mut client = Client::connect(handle.addr(), None).expect("connect");
+
+    let health = client.health().expect("health while caught up");
+    assert!(health.follower);
+    let caught_up = health
+        .follower_lag
+        .expect("lag must be known on a live tail");
+    assert_eq!(caught_up, 0, "no pending commits yet");
+
+    // Land commits the follower has not applied: lag counts them.
+    for round in 0..3 {
+        writer.log("loss", 0.5 / (round + 1) as f64);
+        writer.commit(&format!("round {round}")).expect("commit");
+    }
+    let health = client.health().expect("health while lagging");
+    assert_eq!(health.follower_lag, Some(3), "three unapplied commits");
+    assert!(health
+        .render_text()
+        .contains("follower lag: 3 commit(s) behind"));
+
+    client.close().expect("close");
+    handle.stop();
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(dir.join("writer.wal.ckpt"));
+    let _ = std::fs::remove_dir(&dir);
+}

@@ -1146,15 +1146,49 @@ impl Database {
         g.tail = Some(boot.tail);
         let epoch = g.epoch;
         drop(g);
-        self.metrics
-            .registry
-            .event("follower", format!("rebootstrapped at epoch {epoch}"));
+        self.metrics.registry.event_at(
+            flor_obs::Level::Warn,
+            "follower",
+            format!("rebootstrapped at epoch {epoch}"),
+        );
         Ok(TailProgress {
             committed_txns: 0,
             rows_applied: 0,
             rebootstrapped: true,
             epoch,
         })
+    }
+
+    /// Estimate how far this follower trails the writer: the number of
+    /// committed transactions already durable in the writer's log but
+    /// not yet applied here. `Ok(None)` on a non-follower handle, and
+    /// also when the writer checkpointed since the last poll (the log
+    /// was truncated under our cursor — the next [`Database::poll_tail`]
+    /// re-bootstraps and the estimate becomes meaningful again).
+    ///
+    /// Read-only and racy by design: the log is peeked without touching
+    /// follower state, so this is safe to call from a health probe while
+    /// the poll thread runs.
+    pub fn follower_lag(&self) -> StoreResult<Option<u64>> {
+        let (path, offset, base_txn, last_committed) = {
+            let g = self.inner.read();
+            let Some(t) = &g.tail else {
+                return Ok(None);
+            };
+            (t.path.clone(), t.offset, t.base_txn, g.last_committed_txn)
+        };
+        match wal::tail_from(&path, offset)? {
+            TailChunk::Truncated => Ok(None),
+            TailChunk::Frames { records, .. } => {
+                let lag = records
+                    .iter()
+                    .filter(
+                        |r| matches!(r, WalRecord::Commit { txn } if *txn > base_txn && *txn > last_committed),
+                    )
+                    .count();
+                Ok(Some(lag as u64))
+            }
+        }
     }
 
     fn from_parts(

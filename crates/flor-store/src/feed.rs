@@ -309,12 +309,19 @@ impl Publisher {
             m.depth.set(max_depth as i64);
             if coalesced > 0 {
                 m.coalesced.add(coalesced);
-                m.registry
-                    .event("feed.coalesce", format!("pairs={coalesced}"));
+                m.registry.event_at(
+                    flor_obs::Level::Warn,
+                    "feed.coalesce",
+                    format!("pairs={coalesced}"),
+                );
             }
             if shed > 0 {
                 m.shed.add(shed);
-                m.registry.event("feed.shed", format!("batches={shed}"));
+                m.registry.event_at(
+                    flor_obs::Level::Warn,
+                    "feed.shed",
+                    format!("batches={shed}"),
+                );
             }
         }
     }

@@ -410,9 +410,11 @@ impl ViewCatalog {
                 g.stats.fallback_rebuilds += 1;
                 if self.metrics.registry.enabled() {
                     self.metrics.rebuilds.inc();
-                    self.metrics
-                        .registry
-                        .event("view.rebuild", key.fingerprint());
+                    self.metrics.registry.event_at(
+                        flor_obs::Level::Warn,
+                        "view.rebuild",
+                        key.fingerprint(),
+                    );
                 }
                 let last_used = g.views[&key].last_used;
                 let rebuilt = self.build(&key)?;

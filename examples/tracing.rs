@@ -1,0 +1,86 @@
+//! End-to-end request tracing and the ops surface: a served FlorDB
+//! instance with tracing enabled, a client-originated trace context, the
+//! retrieved span tree, the slow-query log with its explain report, and
+//! the `Health` verb.
+//!
+//! Run with `cargo run --example tracing`.
+
+use flordb::prelude::*;
+use flordb::serve::{RequestLog, Server};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // --- a kernel with some training history ---------------------------
+    let flor = Flor::new("tracing-demo");
+    flor.set_filename("train.fl");
+    for run in 0..4i64 {
+        flor.for_each("epoch", 0..8, |flor, &e| {
+            flor.log("loss", 1.0 / (run + e + 1) as f64);
+            flor.log("acc", 0.70 + e as f64 * 0.03);
+        });
+        flor.commit(&format!("run {run}")).expect("commit");
+    }
+
+    // --- arm the observability layer ------------------------------------
+    // Tracing and slow capture are off by default and cost two atomic
+    // loads per request until enabled. A zero threshold marks every
+    // query "slow" so the demo always has something to show.
+    flor.set_tracing(true);
+    flor.set_slow_query_threshold(Some(Duration::ZERO));
+
+    // --- serve it --------------------------------------------------------
+    let handle = Server::bind(flor.clone(), "127.0.0.1:0", ServerConfig::default())
+        .expect("bind")
+        .with_middleware(Arc::new(RequestLog::new(flor.metrics_registry())))
+        .spawn()
+        .expect("serve");
+    println!("serving on {}\n", handle.addr());
+
+    // --- a traced query --------------------------------------------------
+    // The client originates the trace id; the server executes the query
+    // under it and keeps the span tree in a bounded ring.
+    let mut client = Client::connect(handle.addr(), None).expect("connect");
+    let plan = QueryPlan::new(&["loss", "acc"]);
+    let (trace_id, epoch, df) = client.query_traced(&plan).expect("traced query");
+    println!(
+        "query at epoch {epoch}: {} rows under trace {trace_id}",
+        df.n_rows()
+    );
+
+    let trace = client
+        .trace(trace_id)
+        .expect("fetch traces")
+        .expect("trace retained");
+    println!("\n--- trace ---\n{trace}\n");
+
+    // The same anatomy is visible on every request, traced or not: plain
+    // queries get a server-generated id while tracing is on.
+    let (_, _) = client.query(&plan).expect("plain query");
+    println!(
+        "traces in the ring: {}",
+        client.traces(32).expect("traces").len()
+    );
+
+    // --- the slow-query log ----------------------------------------------
+    // Both queries breached the (zero) threshold; each capture carries
+    // the full explain report and its trace.
+    let slow = client.slow_queries(8).expect("slow queries");
+    println!("\n--- slow-query log ({} captured) ---", slow.len());
+    if let Some(rec) = slow.first() {
+        println!("{rec}");
+    }
+
+    // --- health ----------------------------------------------------------
+    let health = client.health().expect("health");
+    println!("--- health ---\n{health}");
+    assert!(!health.follower);
+    assert!(health.live_sessions >= 1);
+
+    // Local introspection sees the same rings without a wire round-trip.
+    assert_eq!(flor.find_trace(trace_id).map(|t| t.id), Some(trace_id));
+    assert!(!flor.slow_queries().is_empty());
+
+    client.close().expect("close");
+    handle.stop();
+}

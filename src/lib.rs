@@ -97,7 +97,27 @@
 //! vs returned, and per-stage timings. See `examples/observability.rs`.
 //! For scraping, [`obs::MetricsSnapshot::render_prometheus`] emits the
 //! Prometheus exposition format, served over the wire by [`serve`]'s
-//! `MetricsPrometheus` verb.
+//! `MetricsPrometheus` verb. Events carry a wall-clock timestamp and a
+//! severity [`obs::Level`], filterable with
+//! [`core::Flor::metrics`]'s snapshot (`events_at_least`).
+//!
+//! On top of the metrics sit **request traces** and the **slow-query
+//! log**. Enable tracing ([`core::Flor::set_tracing`]) and every query —
+//! local or served — records a hierarchical [`obs::Trace`]: middleware
+//! verdicts, gate admission, plan execution down to the store scan with
+//! zone-map pruning counts, each span nanosecond-timed. Traces land in a
+//! bounded in-memory ring ([`obs::TraceStore`], retrievable by
+//! [`obs::TraceId`]), cost two atomic loads per request when disabled,
+//! and propagate over the wire: a [`serve`] client can originate the
+//! trace id for a query (`query_traced`) and fetch the server-side span
+//! tree afterwards (`Traces` verb). Arm a threshold
+//! ([`core::Flor::set_slow_query_threshold`]) and every breaching
+//! request is captured as a [`obs::SlowQueryRecord`] — full
+//! [`core::ExplainReport`] plus the trace — in its own ring
+//! (`SlowQueries` verb). The `Health` verb rounds out the ops surface:
+//! epoch, WAL position, checkpoint/compaction counts, session and
+//! in-flight occupancy, and follower replication lag. See
+//! `examples/tracing.rs`.
 //!
 //! ## Serving
 //!
@@ -141,11 +161,11 @@ pub mod prelude {
     pub use flor_git::{Repository, VirtualFs};
     pub use flor_jobs::{JobProgress, JobRecord, JobState, JobStats};
     pub use flor_make::{parse_makefile, Makefile};
-    pub use flor_obs::{MetricsRegistry, MetricsSnapshot};
+    pub use flor_obs::{Level, MetricsRegistry, MetricsSnapshot, SlowQueryRecord, Trace, TraceId};
     pub use flor_pipeline::{run_demo, CorpusConfig, PdfPipeline};
     pub use flor_record::{CheckpointPolicy, ReplayControl, RunRecord};
     pub use flor_script::{parse, to_source, Interpreter, NullRuntime};
-    pub use flor_serve::{Client, ServeExt, ServerConfig};
+    pub use flor_serve::{Client, HealthReport, ServeExt, ServerConfig};
     pub use flor_store::{CmpOp, Predicate};
     pub use flor_view::{CatalogStats, QueryPlan, ViewCatalog, ViewKey};
 }
