@@ -70,10 +70,13 @@ pub struct ExplainReport {
     pub plan: QueryPlan,
     /// Store-layer report for the base `logs` fetch that feeds the
     /// view: access path (index vs full scan), zone-map segment
-    /// pruning, and rows examined vs returned at the store. Probed on
-    /// a fresh snapshot with the same index query the view's build
-    /// uses, so under concurrent commits the counts can trail the
-    /// serving snapshot's by the interleaved rows.
+    /// pruning, rows examined vs returned at the store, binary-search
+    /// probes into clustered segments (`clustered_probes` — `logs` is
+    /// clustered by `tstamp`), and the order path (full sort vs
+    /// streaming top-K) when the query sorts. Probed on a fresh
+    /// snapshot with the same index query the view's build uses, so
+    /// under concurrent commits the counts can trail the serving
+    /// snapshot's by the interleaved rows.
     pub store: QueryExplain,
     /// Whether the view catalog served the plan from an existing
     /// materialized view (after applying any pending feed deltas).

@@ -24,19 +24,47 @@
 //!
 //! The sidecar is one CRC-guarded blob:
 //! `[magic u32][version u8][fnv u64 of body][body]` where the body is
-//! `[epoch u64][max_txn u64][n_tables u16]` followed per table by
-//! `[name_len u16][name][n_rows u64][rows…]` in [`crate::codec`] row
-//! encoding.
+//! `[epoch u64][max_txn u64][n_tables u16]` followed by one block per
+//! table. Two body versions exist:
+//!
+//! * **Version 1** (row-major, legacy): per table
+//!   `[name_len u16][name][n_rows u64][rows…]` in [`crate::codec`] row
+//!   encoding. Still *read* transparently — a database checkpointed
+//!   before the columnar refactor reopens cleanly.
+//! * **Version 2** (columnar, written since the columnar segment
+//!   layout): per table `[name_len u16][name][n_rows u64][n_cols u16]`
+//!   then per column `[enc u8]` + payload. `enc = 0` (plain) is
+//!   `n_rows` tagged values; `enc = 1` (dictionary) is
+//!   `[n_dict u32][dict strings as u32-len + bytes][n_rows × u32
+//!   codes]` with the out-of-range code `n_dict` standing for null —
+//!   chosen for string columns whose distinct count is at most half the
+//!   row count, so string-heavy tables (`logs.value`, `git.contents`)
+//!   serialize each distinct string once.
+//!
+//! [`encode_checkpoint`] writes version 2 (falling back to version 1
+//! for the shape it cannot express: tables with non-uniform row arity,
+//! impossible through the schema'd write path); [`decode_checkpoint`]
+//! and [`peek_sidecar`] accept both.
 
-use crate::codec::{decode_row, encode_row, fnv1a, CodecError};
+use crate::codec::{decode_row, decode_value, encode_row, encode_value, fnv1a, CodecError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use flor_df::Value;
+use std::collections::HashMap;
 use std::fs::File;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const MAGIC: u32 = 0x464C_4F52; // "FLOR"
-const VERSION: u8 = 1;
+/// Row-major body layout (legacy; read-only since the columnar bump).
+const VERSION_ROW: u8 = 1;
+/// Columnar body layout with dictionary-encoded string columns.
+const VERSION_COLUMNAR: u8 = 2;
+
+/// Plain column payload: `n_rows` tagged values.
+const ENC_PLAIN: u8 = 0;
+/// Dictionary column payload: distinct strings once + u32 codes.
+const ENC_DICT: u8 = 1;
 
 /// A decoded checkpoint: the committed state at `epoch`, covering every
 /// transaction with id `<= max_txn`.
@@ -64,8 +92,40 @@ pub fn sidecar_path(wal_path: &Path) -> PathBuf {
     PathBuf::from(format!("{}.ckpt", wal_path.display()))
 }
 
-/// Serialize a checkpoint body.
+/// Serialize a checkpoint body in the current (columnar, version 2)
+/// layout. Falls back to the row-major version 1 layout for the one
+/// shape the columnar body cannot express — a table whose rows disagree
+/// on arity (impossible through the schema'd write path).
 pub fn encode_checkpoint(data: &CheckpointData) -> Vec<u8> {
+    let uniform = data.tables.iter().all(|(_, rows)| {
+        rows.first()
+            .is_none_or(|first| rows.iter().all(|r| r.len() == first.len()))
+    });
+    if !uniform {
+        return encode_checkpoint_v1(data);
+    }
+    let mut body = BytesMut::new();
+    body.put_u64(data.epoch);
+    body.put_u64(data.max_txn);
+    body.put_u16(data.tables.len() as u16);
+    for (name, rows) in &data.tables {
+        body.put_u16(name.len() as u16);
+        body.put_slice(name.as_bytes());
+        body.put_u64(rows.len() as u64);
+        let n_cols = rows.first().map_or(0, Vec::len);
+        body.put_u16(n_cols as u16);
+        for c in 0..n_cols {
+            encode_column(rows, c, &mut body);
+        }
+    }
+    seal_blob(VERSION_COLUMNAR, &body)
+}
+
+/// Serialize a checkpoint body in the legacy row-major (version 1)
+/// layout. Kept public so back-compat tests (and tooling that needs a
+/// pre-columnar sidecar) can produce one; [`decode_checkpoint`] reads
+/// both versions.
+pub fn encode_checkpoint_v1(data: &CheckpointData) -> Vec<u8> {
     let mut body = BytesMut::new();
     body.put_u64(data.epoch);
     body.put_u64(data.max_txn);
@@ -78,17 +138,113 @@ pub fn encode_checkpoint(data: &CheckpointData) -> Vec<u8> {
             encode_row(row, &mut body);
         }
     }
+    seal_blob(VERSION_ROW, &body)
+}
+
+fn seal_blob(version: u8, body: &BytesMut) -> Vec<u8> {
     let mut out = Vec::with_capacity(body.len() + 13);
     out.extend_from_slice(&MAGIC.to_be_bytes());
-    out.push(VERSION);
-    out.extend_from_slice(&fnv1a(&body).to_be_bytes());
-    out.extend_from_slice(&body);
+    out.push(version);
+    out.extend_from_slice(&fnv1a(body).to_be_bytes());
+    out.extend_from_slice(body);
     out
 }
 
-/// Decode a checkpoint blob (header, checksum, body). Takes the bytes by
-/// value: the body is consumed through a zero-copy [`Bytes`] view, so
-/// the only per-cell copies are the decoded values themselves.
+/// Encode one column of a uniform-arity table. String columns (nulls
+/// allowed) whose distinct count is at most half the row count use the
+/// dictionary layout; everything else is plain tagged values.
+fn encode_column(rows: &[Vec<Value>], c: usize, body: &mut BytesMut) {
+    let dictable = rows
+        .iter()
+        .all(|r| matches!(&r[c], Value::Str(_) | Value::Null))
+        && rows.iter().any(|r| matches!(&r[c], Value::Str(_)));
+    if dictable {
+        let mut map: HashMap<&str, u32> = HashMap::new();
+        let mut dict: Vec<&str> = Vec::new();
+        for row in rows {
+            if let Value::Str(s) = &row[c] {
+                map.entry(s.as_ref()).or_insert_with(|| {
+                    dict.push(s.as_ref());
+                    dict.len() as u32 - 1
+                });
+            }
+        }
+        if dict.len() * 2 <= rows.len() {
+            body.put_u8(ENC_DICT);
+            body.put_u32(dict.len() as u32);
+            for s in &dict {
+                body.put_u32(s.len() as u32);
+                body.put_slice(s.as_bytes());
+            }
+            let null_code = dict.len() as u32;
+            for row in rows {
+                match &row[c] {
+                    Value::Str(s) => body.put_u32(map[s.as_ref()]),
+                    _ => body.put_u32(null_code),
+                }
+            }
+            return;
+        }
+    }
+    body.put_u8(ENC_PLAIN);
+    for row in rows {
+        encode_value(&row[c], body);
+    }
+}
+
+fn decode_column(b: &mut Bytes, n_rows: usize) -> Result<Vec<Value>, CodecError> {
+    if b.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    match b.get_u8() {
+        ENC_PLAIN => (0..n_rows).map(|_| decode_value(b)).collect(),
+        ENC_DICT => {
+            if b.remaining() < 4 {
+                return Err(CodecError::Truncated);
+            }
+            let n_dict = b.get_u32() as usize;
+            let mut dict: Vec<Arc<str>> = Vec::with_capacity(n_dict.min(1 << 20));
+            for _ in 0..n_dict {
+                if b.remaining() < 4 {
+                    return Err(CodecError::Truncated);
+                }
+                let len = b.get_u32() as usize;
+                if b.remaining() < len {
+                    return Err(CodecError::Truncated);
+                }
+                let raw = b.copy_to_bytes(len);
+                let s =
+                    std::str::from_utf8(&raw).map_err(|e| CodecError::Malformed(e.to_string()))?;
+                dict.push(Arc::from(s));
+            }
+            let mut out = Vec::with_capacity(n_rows.min(1 << 20));
+            for _ in 0..n_rows {
+                if b.remaining() < 4 {
+                    return Err(CodecError::Truncated);
+                }
+                let code = b.get_u32() as usize;
+                if code == n_dict {
+                    out.push(Value::Null);
+                } else if code < n_dict {
+                    out.push(Value::Str(Arc::clone(&dict[code])));
+                } else {
+                    return Err(CodecError::Malformed(format!(
+                        "dictionary code {code} out of range ({n_dict} entries)"
+                    )));
+                }
+            }
+            Ok(out)
+        }
+        other => Err(CodecError::Malformed(format!(
+            "unknown column encoding {other}"
+        ))),
+    }
+}
+
+/// Decode a checkpoint blob (header, checksum, body) of either body
+/// version. Takes the bytes by value: the body is consumed through a
+/// zero-copy [`Bytes`] view, so the only per-cell copies are the
+/// decoded values themselves.
 pub fn decode_checkpoint(bytes: Vec<u8>) -> Result<CheckpointData, CodecError> {
     if bytes.len() < 13 {
         return Err(CodecError::Truncated);
@@ -97,10 +253,10 @@ pub fn decode_checkpoint(bytes: Vec<u8>) -> Result<CheckpointData, CodecError> {
     if magic != MAGIC {
         return Err(CodecError::Malformed("bad checkpoint magic".into()));
     }
-    if bytes[4] != VERSION {
+    let version = bytes[4];
+    if version != VERSION_ROW && version != VERSION_COLUMNAR {
         return Err(CodecError::Malformed(format!(
-            "unsupported checkpoint version {}",
-            bytes[4]
+            "unsupported checkpoint version {version}"
         )));
     }
     let crc = u64::from_be_bytes(bytes[5..13].try_into().expect("8 bytes"));
@@ -133,10 +289,30 @@ pub fn decode_checkpoint(bytes: Vec<u8>) -> Result<CheckpointData, CodecError> {
             return Err(CodecError::Truncated);
         }
         let n_rows = b.get_u64() as usize;
-        let mut rows = Vec::with_capacity(n_rows.min(1 << 20));
-        for _ in 0..n_rows {
-            rows.push(decode_row(&mut b)?);
-        }
+        let rows = if version == VERSION_ROW {
+            let mut rows = Vec::with_capacity(n_rows.min(1 << 20));
+            for _ in 0..n_rows {
+                rows.push(decode_row(&mut b)?);
+            }
+            rows
+        } else {
+            if b.remaining() < 2 {
+                return Err(CodecError::Truncated);
+            }
+            let n_cols = b.get_u16() as usize;
+            let mut cols = Vec::with_capacity(n_cols);
+            for _ in 0..n_cols {
+                cols.push(decode_column(&mut b, n_rows)?);
+            }
+            // Transpose back to the row-major interchange shape.
+            let mut rows = vec![Vec::with_capacity(n_cols); n_rows];
+            for col in cols {
+                for (row, v) in rows.iter_mut().zip(col) {
+                    row.push(v);
+                }
+            }
+            rows
+        };
         tables.push((name, rows));
     }
     Ok(CheckpointData {
@@ -204,7 +380,7 @@ pub fn peek_sidecar(wal_path: &Path) -> Result<Option<SidecarMark>, crate::db::S
             "bad checkpoint magic".into(),
         )));
     }
-    if header[4] != VERSION {
+    if header[4] != VERSION_ROW && header[4] != VERSION_COLUMNAR {
         return Err(crate::db::StoreError::Codec(CodecError::Malformed(
             format!("unsupported checkpoint version {}", header[4]),
         )));
@@ -259,8 +435,95 @@ mod tests {
     fn checkpoint_round_trips() {
         let data = sample();
         let bytes = encode_checkpoint(&data);
+        assert_eq!(bytes[4], VERSION_COLUMNAR);
         assert_eq!(decode_checkpoint(bytes).unwrap(), data);
         assert_eq!(data.rows(), 2);
+    }
+
+    #[test]
+    fn legacy_v1_blob_still_decodes() {
+        let data = sample();
+        let bytes = encode_checkpoint_v1(&data);
+        assert_eq!(bytes[4], VERSION_ROW);
+        assert_eq!(decode_checkpoint(bytes).unwrap(), data);
+    }
+
+    #[test]
+    fn legacy_v1_sidecar_loads_and_peeks() {
+        let dir = std::env::temp_dir().join(format!("florckpt-v1-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join("v1.wal");
+        let data = sample();
+        std::fs::write(sidecar_path(&wal), encode_checkpoint_v1(&data)).unwrap();
+        assert_eq!(load_sidecar(&wal).unwrap(), Some(data.clone()));
+        let mark = peek_sidecar(&wal).unwrap().expect("v1 sidecar present");
+        assert_eq!(mark.epoch, data.epoch);
+        assert_eq!(mark.max_txn, data.max_txn);
+        let _ = std::fs::remove_file(sidecar_path(&wal));
+    }
+
+    #[test]
+    fn dictionary_shrinks_string_heavy_tables() {
+        // 256 rows over 3 distinct strings: the dictionary body must be
+        // far smaller than the row-major layout that repeats each string.
+        let rows: Vec<Vec<Value>> = (0..256)
+            .map(|i| {
+                vec![
+                    Value::from(format!("metric_name_number_{}", i % 3).as_str()),
+                    Value::Int(i),
+                ]
+            })
+            .collect();
+        let data = CheckpointData {
+            epoch: 1,
+            max_txn: 1,
+            tables: vec![("logs".into(), rows)],
+        };
+        let v2 = encode_checkpoint(&data);
+        let v1 = encode_checkpoint_v1(&data);
+        assert!(
+            v2.len() * 2 < v1.len(),
+            "dictionary layout should at least halve this blob: v2={} v1={}",
+            v2.len(),
+            v1.len()
+        );
+        assert_eq!(decode_checkpoint(v2).unwrap(), data);
+    }
+
+    #[test]
+    fn mixed_arity_falls_back_to_v1() {
+        let data = CheckpointData {
+            epoch: 1,
+            max_txn: 1,
+            tables: vec![(
+                "odd".into(),
+                vec![vec![Value::Int(1)], vec![Value::Int(1), Value::Int(2)]],
+            )],
+        };
+        let bytes = encode_checkpoint(&data);
+        assert_eq!(bytes[4], VERSION_ROW);
+        assert_eq!(decode_checkpoint(bytes).unwrap(), data);
+    }
+
+    #[test]
+    fn dict_code_out_of_range_is_malformed() {
+        let rows: Vec<Vec<Value>> = (0..8).map(|_| vec![Value::from("x")]).collect();
+        let data = CheckpointData {
+            epoch: 1,
+            max_txn: 1,
+            tables: vec![("t".into(), rows)],
+        };
+        let mut bytes = encode_checkpoint(&data);
+        // Corrupt the last code (the final 4 body bytes) to a huge value,
+        // then re-seal the checksum so decoding reaches the dict check.
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&99u32.to_be_bytes());
+        let crc = fnv1a(&bytes[13..]);
+        bytes[5..13].copy_from_slice(&crc.to_be_bytes());
+        assert!(matches!(
+            decode_checkpoint(bytes),
+            Err(CodecError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -16,8 +16,15 @@
 //!    Everything else is dead.
 //! 2. **Run selection.** Adjacent segments are grouped into runs of at
 //!    most `target_segment_rows` live rows; a run is rewritten when it
-//!    merges ≥ 2 segments or drops ≥ 1 dead row, and passed through
-//!    untouched (same `Arc`) otherwise.
+//!    merges ≥ 2 segments, drops ≥ 1 dead row, or — on a table with a
+//!    declared [`crate::schema::ClusterBy`] — still holds unsorted rows,
+//!    and passed through untouched (same `Arc`) otherwise.
+//! 3. **Clustering.** Rewritten runs of a clustered table are sorted by
+//!    the cluster column (ties by global row id, so the sort is stable
+//!    in insertion order) before chunking, which makes the output
+//!    chunks' zone maps **disjoint** on that column: a range scan prunes
+//!    every chunk but the overlapping ones and binary-searches into
+//!    those.
 //!
 //! The plan is computed against a pinned version with no lock held; the
 //! publish step validates, under the write lock, that the planned
@@ -152,10 +159,10 @@ fn retained_rids(t: &TableVersion, lw: &LatestWins) -> HashSet<usize> {
     }
     let mut keys: HashMap<Vec<Value>, KeyState> = HashMap::new();
     for seg in &t.segments {
-        for (local, row) in seg.rows.iter().enumerate() {
+        for local in 0..seg.len() {
             let rid = seg.rid_at(local);
-            let key: Vec<Value> = key_pos.iter().map(|&p| row[p].clone()).collect();
-            let ord = ord_pos.map(|p| row[p].clone());
+            let key: Vec<Value> = key_pos.iter().map(|&p| seg.cell(local, p)).collect();
+            let ord = ord_pos.map(|p| seg.cell(local, p));
             let entry = keys.entry(key).or_insert_with(|| KeyState {
                 winner_rid: rid,
                 winner_ord: ord.clone(),
@@ -174,7 +181,7 @@ fn retained_rids(t: &TableVersion, lw: &LatestWins) -> HashSet<usize> {
                 entry.winner_ord = ord;
             }
             for (ci, &p) in carry_pos.iter().enumerate() {
-                if entry.carry_rid[ci].is_none() && !cell_is_empty(&row[p]) {
+                if entry.carry_rid[ci].is_none() && !cell_is_empty(&seg.cell(local, p)) {
                     entry.carry_rid[ci] = Some(rid);
                 }
             }
@@ -201,7 +208,7 @@ fn retained_rids(t: &TableVersion, lw: &LatestWins) -> HashSet<usize> {
 fn all_rids(t: &TableVersion) -> HashSet<usize> {
     t.segments
         .iter()
-        .flat_map(|s| (0..s.rows.len()).map(move |i| s.rid_at(i)))
+        .flat_map(|s| (0..s.len()).map(move |i| s.rid_at(i)))
         .collect()
 }
 
@@ -248,7 +255,7 @@ pub(crate) fn plan_table(t: &TableVersion, policy: &CompactionPolicy) -> Option<
     let live: Vec<usize> = t
         .segments
         .iter()
-        .map(|s| (0..s.rows.len()).filter(|&i| keep(s.rid_at(i))).count())
+        .map(|s| (0..s.len()).filter(|&i| keep(s.rid_at(i))).count())
         .collect();
     let mut runs: Vec<(usize, usize)> = Vec::new();
     let (mut run_start, mut run_live) = (0usize, 0usize);
@@ -269,12 +276,32 @@ pub(crate) fn plan_table(t: &TableVersion, policy: &CompactionPolicy) -> Option<
         rows_dropped: 0,
         rows_rewritten: 0,
     };
+    // Clustering: rewritten runs are sorted by the declared cluster
+    // column (ties broken by rid, i.e. insertion order), making the
+    // output chunks' zone maps disjoint on that column — range scans
+    // then binary-search into them.
+    let cluster_pos = t
+        .schema
+        .cluster_by
+        .as_ref()
+        .and_then(|c| t.schema.col_index(&c.column));
     let mut rewrote = false;
     for &(a, b) in &runs {
-        let run_rows: usize = t.segments[a..b].iter().map(|s| s.rows.len()).sum();
+        let run_rows: usize = t.segments[a..b].iter().map(|s| s.len()).sum();
         let run_live: usize = live[a..b].iter().sum();
-        if b - a == 1 && run_live == run_rows && run_rows <= policy.target_segment_rows {
-            // Nothing to merge, drop or split: pass the segment through.
+        let cluster_ok = match cluster_pos {
+            None => true,
+            // An unsorted segment of a clustered table is worth a
+            // rewrite even when right-sized: once sorted, the next pass
+            // passes it through — compaction stays idempotent.
+            Some(ci) => t.segments[a].sorted_by == Some(ci),
+        };
+        if b - a == 1
+            && run_live == run_rows
+            && run_rows <= policy.target_segment_rows
+            && cluster_ok
+        {
+            // Nothing to merge, drop, split or sort: pass it through.
             plan.new_segments.push(Arc::clone(&t.segments[a]));
             continue;
         }
@@ -283,31 +310,38 @@ pub(crate) fn plan_table(t: &TableVersion, policy: &CompactionPolicy) -> Option<
         // monolith (e.g. a pre-chunking recovery segment) so zone maps
         // get ranges narrow enough to prune.
         rewrote = true;
-        let mut rids: Vec<usize> = Vec::new();
-        let mut rows: Vec<Vec<Value>> = Vec::new();
-        let mut chunks: Vec<Arc<Segment>> = Vec::new();
+        let mut pending: Vec<(usize, Vec<Value>)> = Vec::new();
         for seg in &t.segments[a..b] {
-            for (local, row) in seg.rows.iter().enumerate() {
+            for local in 0..seg.len() {
                 let rid = seg.rid_at(local);
                 if keep(rid) {
-                    rids.push(rid);
-                    rows.push(row.clone());
-                    if rows.len() >= policy.target_segment_rows {
-                        chunks.push(Arc::new(Segment::seal_mapped(
-                            &t.schema,
-                            std::mem::take(&mut rids),
-                            std::mem::take(&mut rows),
-                        )));
-                    }
+                    pending.push((rid, seg.row_at(local)));
                 } else {
                     plan.rows_dropped += 1;
                 }
             }
         }
+        if let Some(ci) = cluster_pos {
+            pending.sort_by(|x, y| x.1[ci].cmp(&y.1[ci]).then(x.0.cmp(&y.0)));
+        }
+        let mut chunks: Vec<Arc<Segment>> = Vec::new();
+        let mut rids: Vec<usize> = Vec::new();
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for (rid, row) in pending {
+            rids.push(rid);
+            rows.push(row);
+            if rows.len() >= policy.target_segment_rows {
+                chunks.push(Arc::new(Segment::seal_mapped(
+                    &t.schema,
+                    std::mem::take(&mut rids),
+                    std::mem::take(&mut rows),
+                )));
+            }
+        }
         if !rows.is_empty() {
             chunks.push(Arc::new(Segment::seal_mapped(&t.schema, rids, rows)));
         }
-        plan.rows_rewritten += chunks.iter().map(|s| s.rows.len()).sum::<usize>();
+        plan.rows_rewritten += chunks.iter().map(|s| s.len()).sum::<usize>();
         plan.new_segments.extend(chunks);
         if b - a > 1 {
             plan.runs_merged += 1;

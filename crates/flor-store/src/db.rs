@@ -25,16 +25,33 @@
 //! byte-identical frames no matter how many commits land meanwhile (the
 //! `snapshot_isolation` property test).
 //!
-//! Secondary hash indexes are per-segment, built once at seal time, with
-//! global row ids so multi-segment results recover scan order by a plain
-//! sort. Seal time also builds per-segment **zone maps** — min/max per
-//! column — which the query planner uses to prune whole segments from
-//! range scans (`tstamp` windows, time travel) without reading a row.
+//! # Columnar layout
 //!
-//! # Segment lifecycle: seal → coalesce → compact → checkpoint
+//! A sealed segment stores its rows **column-major**: one typed vector
+//! per column (`Vec<i64>`, `Vec<f64>`, `Vec<bool>`), a side null bitmap,
+//! and string columns **dictionary-encoded** — a per-segment first-
+//! appearance dict of `Arc<str>` plus `u32` codes per row (columns whose
+//! non-null cells mix types fall back to a tagged `Value` vector). The
+//! query layer evaluates predicates as tight loops over these vectors
+//! into selection bitmaps — an equality on a dict column precomputes one
+//! verdict per dict entry and then compares codes — and materialises
+//! [`flor_df::Value`]s only for the selected rows. Cell reads for
+//! point lookups transpose on demand.
+//!
+//! Secondary hash indexes are per-segment, built in the **same single
+//! pass** that seals the columns, with global row ids so multi-segment
+//! results recover scan order by a plain sort. That pass also builds
+//! per-segment **zone maps** — min/max per column — which the query
+//! planner uses to prune whole segments from range scans (`tstamp`
+//! windows, time travel) without reading a row.
+//!
+//! # Segment lifecycle: seal → coalesce → compact/cluster → checkpoint
 //!
 //! 1. **Seal.** A commit seals its staged rows into a fresh immutable
-//!    segment (indexes + zone maps built once, rows never mutated).
+//!    columnar segment (columns + dictionaries + indexes + zone maps
+//!    built in one pass over the rows, never mutated after). A segment
+//!    whose [`crate::schema::ClusterBy`] column arrives already
+//!    non-decreasing is marked sorted at seal time.
 //! 2. **Coalesce.** Small trailing segments are folded geometrically at
 //!    commit time (a segment is absorbed only once the incoming run is at
 //!    least its size, up to [`SEGMENT_COALESCE_ROWS`]), so N tiny commits
@@ -53,7 +70,11 @@
 //!    commit uses: snapshots pinned before the compaction keep re-reading
 //!    their original segments, byte-identically, forever. Compaction
 //!    never bumps the epoch and publishes nothing to the change feed —
-//!    it is invisible to every fold-respecting reader.
+//!    it is invisible to every fold-respecting reader. For tables with a
+//!    declared [`crate::schema::ClusterBy`] column (`logs` clusters by
+//!    `tstamp`), rewritten runs are **sorted** by that column (ties keep
+//!    insertion order), so the output chunks' zone maps are disjoint and
+//!    range scans binary-search into each admitted chunk.
 //! 4. **Checkpoint.** [`Database::checkpoint`] serializes a pinned
 //!    snapshot to a `<wal>.ckpt` sidecar and truncates the WAL to the
 //!    uncovered tail, making [`Database::open`] O(live data). A
@@ -71,6 +92,7 @@
 
 use crate::checkpoint::{self, CheckpointData, SidecarMark};
 use crate::codec::WalRecord;
+use crate::column;
 use crate::compact::{self, CompactionPolicy, CompactionStats, CompactionTrigger};
 use crate::feed::{CommitBatch, Publisher, RowDelta, Subscription};
 use crate::metrics::StoreMetrics;
@@ -157,19 +179,35 @@ impl From<WalError> for StoreError {
 /// Result alias for store operations.
 pub type StoreResult<T> = Result<T, StoreError>;
 
-/// One immutable run of committed rows. Sealed at commit time (or built
-/// by compaction), shared by `Arc` between the live table and every
-/// pinned snapshot; never mutated afterwards.
+/// One immutable run of committed rows, stored **columnar**: one typed
+/// [`column::Column`] per schema column (primitive vectors, dictionary-
+/// encoded strings, null bitmaps). Sealed at commit time (or built by
+/// compaction), shared by `Arc` between the live table and every pinned
+/// snapshot; never mutated afterwards.
 #[derive(Debug)]
 pub(crate) struct Segment {
-    /// Global row id of this segment's first row.
+    /// Global row id of this segment's first row (in insertion order —
+    /// for clustered segments this is still the smallest-at-seal first
+    /// row's rid; commit-time coalescing only ever folds unclustered
+    /// contiguous segments, for which `start + len` is the next rid).
     pub start: usize,
-    /// Committed rows, in insertion (global row id) order.
-    pub rows: Vec<Vec<Value>>,
-    /// Global row id of each row, ascending. `None` for plain sealed
+    /// Number of rows.
+    len: usize,
+    /// One typed column per schema column, all of length `len`.
+    pub cols: Vec<column::Column>,
+    /// Global row id of each row, in row order. `None` for plain sealed
     /// segments whose rids are contiguous (`start + offset`); `Some` for
-    /// compacted segments where dropped rows left holes in the rid space.
+    /// compacted segments where dropped rows left holes in the rid space
+    /// or clustering reordered rows.
     pub rids: Option<Vec<usize>>,
+    /// For clustered (row-reordered) segments: local offsets sorted by
+    /// rid, so [`Segment::local_of`] can still binary-search. `None`
+    /// when `rids` is already ascending.
+    rid_perm: Option<Vec<u32>>,
+    /// Smallest and largest rid in this segment (quick reject for
+    /// [`TableVersion::row`]).
+    pub min_rid: usize,
+    pub max_rid: usize,
     /// column name → value → local row offsets (ascending). Built once
     /// at seal time.
     pub indexes: HashMap<String, HashMap<Value, Vec<u32>>>,
@@ -178,6 +216,10 @@ pub(crate) struct Segment {
     /// current). Range and equality predicates prune whole segments with
     /// them; absent for empty segments.
     pub zones: HashMap<String, (Value, Value)>,
+    /// `Some(col_pos)` when this segment's rows are sorted non-decreasing
+    /// on the schema's [`crate::schema::ClusterBy`] column — range scans
+    /// then binary-search into the segment instead of filtering it.
+    pub sorted_by: Option<usize>,
 }
 
 impl Segment {
@@ -186,66 +228,132 @@ impl Segment {
     }
 
     /// Seal a compacted segment whose retained rows keep their original
-    /// (now non-contiguous) global row ids. Contiguous rid runs collapse
-    /// back to a plain segment.
+    /// (now non-contiguous, possibly reordered-by-clustering) global row
+    /// ids. Ascending contiguous rid runs collapse back to a plain
+    /// segment.
     pub(crate) fn seal_mapped(
         schema: &TableSchema,
         rids: Vec<usize>,
         rows: Vec<Vec<Value>>,
     ) -> Segment {
         debug_assert_eq!(rids.len(), rows.len());
-        debug_assert!(rids.windows(2).all(|w| w[0] < w[1]), "rids ascending");
+        let ascending = rids.windows(2).all(|w| w[0] < w[1]);
         let start = rids.first().copied().unwrap_or(0);
-        let contiguous = rids
-            .last()
-            .is_none_or(|&last| last + 1 - start == rids.len());
+        let contiguous = ascending
+            && rids
+                .last()
+                .is_none_or(|&last| last + 1 - start == rids.len());
         let rids = if contiguous { None } else { Some(rids) };
         Segment::build(schema, start, rids, rows)
     }
 
+    /// Single-pass seal: one walk over the rows feeds the per-column
+    /// builders *and* the secondary-index postings; zone maps then fall
+    /// out of the finished columns' min/max without touching rows again.
     fn build(
         schema: &TableSchema,
         start: usize,
         rids: Option<Vec<usize>>,
         rows: Vec<Vec<Value>>,
     ) -> Segment {
-        let mut indexes: HashMap<String, HashMap<Value, Vec<u32>>> = schema
+        let n_cols = schema.columns.len();
+        let indexed: Vec<usize> = schema
             .columns
             .iter()
-            .filter(|c| c.indexed)
-            .map(|c| (c.name.clone(), HashMap::new()))
+            .enumerate()
+            .filter(|(_, c)| c.indexed)
+            .map(|(i, _)| i)
             .collect();
-        for (col, idx) in &mut indexes {
-            let pos = schema
-                .col_index(col)
-                .expect("indexed column exists in schema");
-            for (i, row) in rows.iter().enumerate() {
+        let mut builders: Vec<column::ColumnBuilder> =
+            (0..n_cols).map(|_| column::ColumnBuilder::new()).collect();
+        let mut index_maps: Vec<HashMap<Value, Vec<u32>>> =
+            indexed.iter().map(|_| HashMap::new()).collect();
+        let len = rows.len();
+        for (i, row) in rows.into_iter().enumerate() {
+            for (&pos, idx) in indexed.iter().zip(&mut index_maps) {
                 idx.entry(row[pos].clone()).or_default().push(i as u32);
             }
-        }
-        let mut zones = HashMap::new();
-        for (pos, col) in schema.columns.iter().enumerate() {
-            let mut vals = rows.iter().map(|r| &r[pos]);
-            if let Some(first) = vals.next() {
-                let (mut lo, mut hi) = (first, first);
-                for v in vals {
-                    if v < lo {
-                        lo = v;
-                    }
-                    if v > hi {
-                        hi = v;
-                    }
-                }
-                zones.insert(col.name.clone(), (lo.clone(), hi.clone()));
+            for (cell, b) in row.into_iter().zip(&mut builders) {
+                b.push(&cell);
             }
         }
+        let cols: Vec<column::Column> = builders.into_iter().map(|b| b.finish()).collect();
+        let indexes = indexed
+            .iter()
+            .zip(index_maps)
+            .map(|(&pos, idx)| (schema.columns[pos].name.clone(), idx))
+            .collect();
+        let mut zones = HashMap::new();
+        for (col, def) in cols.iter().zip(&schema.columns) {
+            if let Some((lo, hi)) = col.min_max() {
+                zones.insert(def.name.clone(), (lo, hi));
+            }
+        }
+        let sorted_by = schema
+            .cluster_by
+            .as_ref()
+            .and_then(|c| schema.col_index(&c.column))
+            .filter(|&ci| len > 0 && cols[ci].is_non_decreasing());
+        let (min_rid, max_rid, rid_perm) = match &rids {
+            None => (start, start + len.saturating_sub(1), None),
+            Some(rids) => {
+                let min = rids.iter().copied().min().unwrap_or(0);
+                let max = rids.iter().copied().max().unwrap_or(0);
+                let perm = if rids.windows(2).all(|w| w[0] < w[1]) {
+                    None
+                } else {
+                    let mut perm: Vec<u32> = (0..len as u32).collect();
+                    perm.sort_unstable_by_key(|&l| rids[l as usize]);
+                    Some(perm)
+                };
+                (min, max, perm)
+            }
+        };
         Segment {
             start,
-            rows,
+            len,
+            cols,
             rids,
+            rid_perm,
+            min_rid,
+            max_rid,
             indexes,
             zones,
+            sorted_by,
         }
+    }
+
+    /// Number of rows in this segment.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Materialize the cell at (`local`, `col`) as an owned [`Value`].
+    pub fn cell(&self, local: usize, col: usize) -> Value {
+        self.cols[col].value_at(local)
+    }
+
+    /// Materialize the row at local offset `local`.
+    pub fn row_at(&self, local: usize) -> Vec<Value> {
+        self.cols.iter().map(|c| c.value_at(local)).collect()
+    }
+
+    /// Materialize every row, in row order (compaction's rewrite path).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        let mut rows = vec![Vec::with_capacity(self.cols.len()); self.len];
+        for col in &self.cols {
+            let mut cells = Vec::with_capacity(self.len);
+            col.extend_all(&mut cells);
+            for (row, cell) in rows.iter_mut().zip(cells) {
+                row.push(cell);
+            }
+        }
+        rows
+    }
+
+    /// Approximate resident heap bytes of this segment's column data.
+    pub fn mem_bytes(&self) -> usize {
+        self.cols.iter().map(|c| c.mem_bytes()).sum()
     }
 
     /// The global row id of the row at local offset `local`.
@@ -259,10 +367,14 @@ impl Segment {
     /// The local offset of global row id `rid`, if this segment retains
     /// it (a compacted segment may have dropped it).
     pub fn local_of(&self, rid: usize) -> Option<usize> {
-        match &self.rids {
-            Some(rids) => rids.binary_search(&rid).ok(),
-            None => {
-                (rid >= self.start && rid < self.start + self.rows.len()).then(|| rid - self.start)
+        match (&self.rids, &self.rid_perm) {
+            (Some(rids), None) => rids.binary_search(&rid).ok(),
+            (Some(rids), Some(perm)) => perm
+                .binary_search_by(|&l| rids[l as usize].cmp(&rid))
+                .ok()
+                .map(|i| perm[i] as usize),
+            (None, _) => {
+                (rid >= self.start && rid < self.start + self.len).then(|| rid - self.start)
             }
         }
     }
@@ -343,16 +455,16 @@ impl TableVersion {
             // suffix can leave a plain segment ending below `next_rid`,
             // and folding across that hole would re-issue dropped rids.
             if last.rids.is_some()
-                || last.rows.len() >= SEGMENT_COALESCE_ROWS
-                || last.rows.len() > rows.len()
-                || last.start + last.rows.len() != start
+                || last.len() >= SEGMENT_COALESCE_ROWS
+                || last.len() > rows.len()
+                || last.start + last.len() != start
             {
                 break;
             }
             let last = segments.pop().expect("just peeked");
-            copied += last.rows.len() as u64;
+            copied += last.len() as u64;
             start = last.start;
-            let mut merged = last.rows.clone();
+            let mut merged = last.to_rows();
             merged.extend(rows);
             rows = merged;
         }
@@ -368,18 +480,30 @@ impl TableVersion {
         )
     }
 
-    /// Row by global id. `None` for rids past the high watermark or
-    /// dropped by compaction — callers must not assume every rid below
-    /// [`TableVersion::next_rid`] is still retained.
-    pub fn row(&self, rid: usize) -> Option<&Vec<Value>> {
-        let i = self.segments.partition_point(|s| s.start <= rid);
-        let seg = self.segments.get(i.checked_sub(1)?)?;
-        seg.rows.get(seg.local_of(rid)?)
+    /// Row by global id, materialized from its segment's columns. `None`
+    /// for rids past the high watermark or dropped by compaction —
+    /// callers must not assume every rid below [`TableVersion::next_rid`]
+    /// is still retained. (Clustered segments reorder rows, so segment
+    /// `start`s are not globally sorted; each segment's `[min_rid,
+    /// max_rid]` span gives the quick reject instead.)
+    pub fn row(&self, rid: usize) -> Option<Vec<Value>> {
+        for seg in self.segments.iter().rev() {
+            if rid < seg.min_rid || rid > seg.max_rid {
+                continue;
+            }
+            if let Some(local) = seg.local_of(rid) {
+                return Some(seg.row_at(local));
+            }
+        }
+        None
     }
 
-    /// All rows, in insertion (global id) order.
-    pub fn iter_rows(&self) -> impl Iterator<Item = &Vec<Value>> {
-        self.segments.iter().flat_map(|s| s.rows.iter())
+    /// All rows, in segment/row order (insertion order until clustering
+    /// reorders a compacted segment's interior).
+    pub fn iter_rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        self.segments
+            .iter()
+            .flat_map(|s| (0..s.len()).map(move |i| s.row_at(i)))
     }
 
     /// Whether `col` carries a secondary index.
@@ -406,6 +530,9 @@ impl TableVersion {
                 out.extend(postings.iter().map(|&i| seg.rid_at(i as usize)));
             }
         }
+        // Clustered segments reorder rows, so postings are no longer
+        // rid-ascending by construction.
+        out.sort_unstable();
         Some(out)
     }
 
@@ -622,10 +749,37 @@ impl Snapshot {
         Ok(self.table(table)?.total_rows)
     }
 
-    /// Full scan of committed rows as a [`DataFrame`].
+    /// Full scan of committed rows as a [`DataFrame`]. Columnar fast
+    /// path: each segment column appends straight into the output
+    /// column, with no per-row `Vec` materialization.
     pub fn scan(&self, table: &str) -> StoreResult<DataFrame> {
         let t = self.table(table)?;
-        Ok(rows_to_frame(&t.schema, t.iter_rows()))
+        let mut out: Vec<Vec<Value>> =
+            vec![Vec::with_capacity(t.total_rows); t.schema.columns.len()];
+        for seg in &t.segments {
+            for (col, vals) in seg.cols.iter().zip(&mut out) {
+                col.extend_all(vals);
+            }
+        }
+        let cols = t
+            .schema
+            .columns
+            .iter()
+            .zip(out)
+            .map(|(def, vals)| Column::new(def.name.as_str(), vals))
+            .collect();
+        Ok(DataFrame::from_columns(cols).expect("schema columns are uniform"))
+    }
+
+    /// Approximate resident heap bytes of `table`'s sealed column data —
+    /// what dictionary encoding shrinks on string-heavy tables.
+    pub fn resident_bytes(&self, table: &str) -> StoreResult<usize> {
+        Ok(self
+            .table(table)?
+            .segments
+            .iter()
+            .map(|s| s.mem_bytes())
+            .sum())
     }
 
     /// Point lookup via a secondary index if one exists on `col`; falls
@@ -644,7 +798,7 @@ impl Snapshot {
             .ok_or_else(|| StoreError::Invalid(format!("no column {col}")))?;
         Ok(rows_to_frame(
             &t.schema,
-            t.iter_rows().filter(|r| &r[pos] == value),
+            t.iter_rows().filter(|r| r[pos] == *value),
         ))
     }
 
@@ -727,7 +881,7 @@ impl Snapshot {
         let mut tables: Vec<(String, Vec<Vec<Value>>)> = self
             .tables
             .iter()
-            .map(|(name, t)| (name.clone(), t.iter_rows().cloned().collect()))
+            .map(|(name, t)| (name.clone(), t.iter_rows().collect()))
             .collect();
         tables.sort_by(|(a, _), (b, _)| a.cmp(b));
         CheckpointData {
@@ -1578,7 +1732,7 @@ impl Database {
                         raced.push(name);
                         continue;
                     }
-                    let total_rows = plan.new_segments.iter().map(|s| s.rows.len()).sum();
+                    let total_rows = plan.new_segments.iter().map(|s| s.len()).sum();
                     *cur = Arc::new(TableVersion {
                         schema: Arc::clone(&cur.schema),
                         segments: plan.new_segments,
@@ -1864,9 +2018,9 @@ impl DbInner {
 }
 
 /// Materialise rows into a column-oriented frame with the schema's names.
-pub(crate) fn rows_to_frame<'a>(
+pub(crate) fn rows_to_frame(
     schema: &TableSchema,
-    rows: impl Iterator<Item = &'a Vec<Value>>,
+    rows: impl Iterator<Item = Vec<Value>>,
 ) -> DataFrame {
     let mut cols: Vec<Column> = schema
         .columns
@@ -1878,7 +2032,7 @@ pub(crate) fn rows_to_frame<'a>(
         .collect();
     for row in rows {
         for (c, v) in cols.iter_mut().zip(row) {
-            c.values.push(v.clone());
+            c.values.push(v);
         }
     }
     DataFrame::from_columns(cols).expect("schema guarantees equal lengths and unique names")

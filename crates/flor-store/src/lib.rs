@@ -16,9 +16,22 @@
 //!   [`db::Snapshot`]s in O(1) and every scan runs **lock-free**:
 //!   readers never block the writer and the writer never blocks readers
 //!   (see the [`db`] module docs for the full concurrency model);
+//! * **columnar segments**: sealing transposes rows into typed column
+//!   vectors (`i64`/`f64`/`bool` plus a null bitmap) with string columns
+//!   **dictionary-encoded** — one `Arc<str>` per distinct value, `u32`
+//!   codes per row — so predicates run as tight loops over primitive
+//!   vectors producing selection bitmaps, and only the selected rows
+//!   ever materialise [`flor_df::Value`]s; the same seal pass builds the
+//!   secondary-index postings and zone maps;
+//! * **sorted clustering**: a table may declare a [`schema::ClusterBy`]
+//!   column (`logs` clusters by `tstamp`) — compaction sorts rewritten
+//!   segments by it, so their zone maps become disjoint and range scans
+//!   binary-search into each admitted segment instead of filtering it;
 //! * [`checkpoint`]ing: `Database::checkpoint` serializes the live state
-//!   to a sidecar and truncates the WAL, making reopen O(live data)
-//!   instead of O(history);
+//!   to a sidecar — a **columnar body** (version 2) whose string columns
+//!   are dictionary-encoded on disk, with version-1 row-major sidecars
+//!   from earlier builds still read transparently — and truncates the
+//!   WAL, making reopen O(live data) instead of O(history);
 //! * **read-only followers**: [`db::Database::open_follower`] bootstraps
 //!   from the sidecar, then tails the live WAL incrementally
 //!   ([`wal::tail_from`] + [`db::Database::poll_tail`]) so a second
@@ -35,7 +48,9 @@
 //! * secondary hash indexes (per sealed segment) and a [`query::Query`]
 //!   layer with predicate pushdown plus seal-time zone maps (per-segment
 //!   min/max) that prune whole segments from range scans ("NoSQL-like
-//!   writes, SQL-like reads", §3.1);
+//!   writes, SQL-like reads", §3.1) — `order_by` + `limit` queries run a
+//!   bounded-heap **streaming top-K** instead of a full sort, surfaced
+//!   as [`query::OrderPath`] in the explain output;
 //! * materialisation into `flor-df` [`flor_df::DataFrame`]s, feeding the
 //!   pivoted `flor.dataframe` view.
 //!
@@ -55,6 +70,7 @@
 
 pub mod checkpoint;
 pub mod codec;
+pub(crate) mod column;
 pub mod compact;
 pub mod db;
 pub mod feed;
@@ -71,5 +87,5 @@ pub use db::{
 };
 pub use feed::{CommitBatch, RowDelta, Subscription};
 pub use flor_obs::{MetricsRegistry, MetricsSnapshot};
-pub use query::{AccessPath, CmpOp, Predicate, Query, QueryExplain};
-pub use schema::{flor_schema, ColType, ColumnDef, LatestWins, TableSchema};
+pub use query::{AccessPath, CmpOp, OrderPath, Predicate, Query, QueryExplain};
+pub use schema::{flor_schema, ClusterBy, ColType, ColumnDef, LatestWins, TableSchema};

@@ -15,9 +15,12 @@
 //! the lazy query builder (`flor_view::QueryPlan` / `Flor::query`) so one
 //! predicate type spans every layer of the stack.
 
+use crate::column::Bitmap;
 use crate::db::{rows_to_frame, Database, StoreResult, TableVersion};
-use flor_df::{DataFrame, Value};
+use flor_df::{Column, DataFrame, DfError, DfResult, Value};
 use std::cell::Cell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// Comparison operators for scan predicates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -143,6 +146,29 @@ impl std::fmt::Display for AccessPath {
     }
 }
 
+/// How the executor satisfied `order_by`, as reported by
+/// [`QueryExplain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderPath {
+    /// No ordering requested.
+    Unordered,
+    /// Full sort of the matched rows.
+    FullSort,
+    /// Bounded binary heap: `order_by` + `limit(n)` kept only the `n`
+    /// best rows — O(rows · log n) instead of a full sort.
+    TopK,
+}
+
+impl std::fmt::Display for OrderPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrderPath::Unordered => f.write_str("unordered"),
+            OrderPath::FullSort => f.write_str("full-sort"),
+            OrderPath::TopK => f.write_str("top-k"),
+        }
+    }
+}
+
 /// Execution accounting for one store query, produced by every run and
 /// surfaced through [`crate::Snapshot::explain`] (and, at the kernel,
 /// `QueryBuilder::explain`).
@@ -172,6 +198,13 @@ pub struct QueryExplain {
     /// Predicates applied as residual filters (not served by the access
     /// path).
     pub residual_predicates: usize,
+    /// Range predicates answered by **binary search** into a clustered
+    /// (sorted) segment instead of filtering it: each probe narrows one
+    /// segment's scan window and consumes the predicate there.
+    pub clustered_probes: usize,
+    /// How `order_by` was satisfied ([`OrderPath::TopK`] when a `limit`
+    /// let a bounded heap replace the full sort).
+    pub order: OrderPath,
     /// Wall-clock execution time. Zero unless the caller timed the run
     /// (e.g. [`crate::Snapshot::explain`]).
     pub elapsed_nanos: u64,
@@ -190,6 +223,12 @@ impl std::fmt::Display for QueryExplain {
             "  rows: {} examined, {} matched, {} returned",
             self.rows_examined, self.rows_matched, self.rows_returned
         )?;
+        if self.clustered_probes > 0 {
+            writeln!(f, "  clustered probes: {}", self.clustered_probes)?;
+        }
+        if self.order != OrderPath::Unordered {
+            writeln!(f, "  order: {}", self.order)?;
+        }
         write!(
             f,
             "  residual predicates: {}; elapsed: {}ns",
@@ -362,7 +401,7 @@ impl Query {
             .collect();
         let examined = Cell::new(0usize);
         let matched = Cell::new(0usize);
-        let keep = |row: &&Vec<Value>| {
+        let keep = |row: &Vec<Value>| {
             examined.set(examined.get() + 1);
             let ok = residual.iter().all(|(ci, p)| p.matches(&row[*ci]))
                 && residual_in.iter().all(|(ci, vs)| vs.contains(&row[*ci]));
@@ -373,20 +412,93 @@ impl Query {
         };
         let segments_total = t.segments.len();
         let segments_scanned = Cell::new(0usize);
+        let mut clustered_probes = 0usize;
         let mut df = match &candidate_rids {
             None => {
                 // Zone-map pruning: a segment whose per-column min/max
                 // range proves a predicate can match no row in it is
                 // skipped wholesale — a `tstamp` window over a long
                 // history reads only the segments the window touches.
+                //
+                // Surviving segments evaluate columnar: range predicates
+                // on a clustered segment's sort column binary-search the
+                // scan window down first, then each residual predicate
+                // runs as a tight loop over the segment's typed column,
+                // ANDing a selection bitmap. Values materialize only for
+                // selected rows, straight into the output columns.
                 let prunable: Vec<&Predicate> = self.predicates.iter().collect();
-                rows_to_frame(
-                    &t.schema,
-                    t.pruned_segments(&prunable)
-                        .inspect(|_| segments_scanned.set(segments_scanned.get() + 1))
-                        .flat_map(|s| s.rows.iter())
-                        .filter(keep),
-                )
+                let mut out_cols: Vec<Vec<Value>> = vec![Vec::new(); t.schema.columns.len()];
+                for seg in t.pruned_segments(&prunable) {
+                    segments_scanned.set(segments_scanned.get() + 1);
+                    let n = seg.len();
+                    if n == 0 {
+                        continue;
+                    }
+                    let (mut lo, mut hi) = (0usize, n);
+                    let mut consumed = vec![false; residual.len()];
+                    if let Some(ci) = seg.sorted_by {
+                        for (k, (pci, p)) in residual.iter().enumerate() {
+                            if *pci != ci {
+                                continue;
+                            }
+                            let col = &seg.cols[ci];
+                            let narrowed = match p.op {
+                                CmpOp::Ge => {
+                                    lo = lo.max(col.lower_bound(&p.value));
+                                    true
+                                }
+                                CmpOp::Gt => {
+                                    lo = lo.max(col.upper_bound(&p.value));
+                                    true
+                                }
+                                CmpOp::Le => {
+                                    hi = hi.min(col.upper_bound(&p.value));
+                                    true
+                                }
+                                CmpOp::Lt => {
+                                    hi = hi.min(col.lower_bound(&p.value));
+                                    true
+                                }
+                                CmpOp::Eq => {
+                                    lo = lo.max(col.lower_bound(&p.value));
+                                    hi = hi.min(col.upper_bound(&p.value));
+                                    true
+                                }
+                                CmpOp::Ne => false,
+                            };
+                            if narrowed {
+                                consumed[k] = true;
+                                clustered_probes += 1;
+                            }
+                        }
+                    }
+                    if lo >= hi {
+                        continue;
+                    }
+                    examined.set(examined.get() + (hi - lo));
+                    let mut sel = Bitmap::ones_in_range(n, lo, hi);
+                    for (k, (ci, p)) in residual.iter().enumerate() {
+                        if consumed[k] {
+                            continue;
+                        }
+                        seg.cols[*ci].eval(p.op, &p.value, lo, hi, &mut sel);
+                    }
+                    for (ci, vs) in &residual_in {
+                        seg.cols[*ci].eval_in(vs, lo, hi, &mut sel);
+                    }
+                    matched.set(matched.get() + sel.count_ones());
+                    for (col, out) in seg.cols.iter().zip(&mut out_cols) {
+                        col.extend_selected(&sel, out);
+                    }
+                }
+                let cols = t
+                    .schema
+                    .columns
+                    .iter()
+                    .zip(out_cols)
+                    .map(|(def, vals)| Column::new(def.name.as_str(), vals))
+                    .collect();
+                DataFrame::from_columns(cols).expect("schema columns are uniform")
             }
             Some(rids) => {
                 // Index probes skip segments through the same zone maps
@@ -428,13 +540,26 @@ impl Query {
         if unknown_col {
             df = df.head(0);
         }
+        let mut order = OrderPath::Unordered;
         if !self.order_by.is_empty() {
             let keys: Vec<(&str, bool)> = self
                 .order_by
                 .iter()
                 .map(|(c, a)| (c.as_str(), *a))
                 .collect();
-            df = df.sort_by(&keys)?;
+            match self.limit {
+                // A limit below the matched row count bounds the sort:
+                // a binary heap keeps only the `n` best rows seen so
+                // far, O(rows · log n) instead of O(rows · log rows).
+                Some(n) if n < df.n_rows() => {
+                    df = top_k(&df, &keys, n)?;
+                    order = OrderPath::TopK;
+                }
+                _ => {
+                    df = df.sort_by(&keys)?;
+                    order = OrderPath::FullSort;
+                }
+            }
         }
         if let Some(n) = self.limit {
             df = df.head(n);
@@ -457,10 +582,79 @@ impl Query {
             rows_matched: matched.get(),
             rows_returned: df.n_rows(),
             residual_predicates: residual.len() + residual_in.len(),
+            clustered_probes,
+            order,
             elapsed_nanos: 0,
         };
         Ok((df, explain))
     }
+}
+
+/// The `n` smallest rows of `df` under `keys` (each `(column, asc)`),
+/// in sorted order — byte-identical to `df.sort_by(keys)?.head(n)`,
+/// computed with a bounded max-heap instead of a full sort. Ties
+/// preserve row order, matching the stable sort.
+fn top_k(df: &DataFrame, keys: &[(&str, bool)], n: usize) -> DfResult<DataFrame> {
+    for (k, _) in keys {
+        if df.column(k).is_none() {
+            return Err(DfError::UnknownColumn((*k).to_string()));
+        }
+    }
+    if n == 0 {
+        return Ok(df.head(0));
+    }
+    let cols: Vec<&Column> = keys
+        .iter()
+        .map(|(k, _)| df.column(k).expect("validated above"))
+        .collect();
+    let dirs: Vec<bool> = keys.iter().map(|(_, asc)| *asc).collect();
+
+    struct Entry<'a> {
+        key: Vec<&'a Value>,
+        dirs: &'a [bool],
+        idx: usize,
+    }
+    impl PartialEq for Entry<'_> {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == Ordering::Equal
+        }
+    }
+    impl Eq for Entry<'_> {}
+    impl PartialOrd for Entry<'_> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry<'_> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            for ((a, b), &asc) in self.key.iter().zip(&other.key).zip(self.dirs) {
+                let ord = if asc { a.cmp(b) } else { b.cmp(a) };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            self.idx.cmp(&other.idx)
+        }
+    }
+
+    // Max-heap of the n best (smallest) rows: the root is the worst of
+    // the kept set and is evicted by any strictly better row.
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(n + 1);
+    for idx in 0..df.n_rows() {
+        let e = Entry {
+            key: cols.iter().map(|c| &c.values[idx]).collect(),
+            dirs: &dirs,
+            idx,
+        };
+        if heap.len() < n {
+            heap.push(e);
+        } else if e < *heap.peek().expect("heap is non-empty at capacity") {
+            heap.pop();
+            heap.push(e);
+        }
+    }
+    let indices: Vec<usize> = heap.into_sorted_vec().into_iter().map(|e| e.idx).collect();
+    Ok(df.take(&indices))
 }
 
 #[cfg(test)]
@@ -598,6 +792,54 @@ mod tests {
             .map(|v| v.as_i64().unwrap())
             .collect();
         assert_eq!(ts, vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn top_k_matches_full_sort_exactly() {
+        // 40 rows, 3-way ties on `name`: the heap must reproduce the
+        // stable sort's tie-breaking (row order) byte for byte, on both
+        // single- and multi-key orderings, ascending and descending.
+        let db = db_with_rows(40);
+        for keys in [
+            vec![("name", true)],
+            vec![("name", false)],
+            vec![("name", true), ("tstamp", false)],
+            vec![("tstamp", false)],
+        ] {
+            for n in [0usize, 1, 7, 39, 40, 100] {
+                let mut q = Query::table("logs").limit(n);
+                for (c, asc) in &keys {
+                    q = q.order_by(c, *asc);
+                }
+                let got = q.execute(&db).unwrap();
+                let want = db
+                    .pin()
+                    .scan("logs")
+                    .unwrap()
+                    .sort_by(&keys)
+                    .unwrap()
+                    .head(n);
+                assert_eq!(got.to_rows(), want.to_rows(), "keys={keys:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn explain_reports_order_path() {
+        let db = db_with_rows(20);
+        let snap = db.pin();
+        let (_, ex) = snap
+            .explain(&Query::table("logs").order_by("tstamp", false).limit(3))
+            .unwrap();
+        assert_eq!(ex.order, OrderPath::TopK);
+        assert!(ex.to_string().contains("order: top-k"));
+        let (_, ex) = snap
+            .explain(&Query::table("logs").order_by("tstamp", false))
+            .unwrap();
+        assert_eq!(ex.order, OrderPath::FullSort);
+        let (_, ex) = snap.explain(&Query::table("logs")).unwrap();
+        assert_eq!(ex.order, OrderPath::Unordered);
+        assert!(!ex.to_string().contains("order:"));
     }
 
     #[test]

@@ -124,6 +124,25 @@ impl LatestWins {
     }
 }
 
+/// A declared clustering column: segment compaction sorts the rows of
+/// each rewritten segment by this column (ties broken by global row id,
+/// so the sort is stable with respect to insertion order). Sorted
+/// segments get **disjoint zone maps** on the cluster column and range
+/// scans binary-search into them instead of linear-filtering.
+///
+/// Clustering reorders rows only *inside* compacted segments; scans of
+/// a clustered table yield rows in clustered order, which consumers that
+/// fold by key (or re-sort) are insensitive to. Tables whose consumers
+/// depend on raw insertion order across the whole history should not
+/// declare one... unless the cluster column itself is the insertion
+/// clock (`logs.tstamp`), in which case clustered order refines
+/// insertion order rather than fighting it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterBy {
+    /// The column rewritten segments are sorted by.
+    pub column: String,
+}
+
 /// A table schema.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableSchema {
@@ -134,6 +153,9 @@ pub struct TableSchema {
     /// Declared latest-wins policy, if any — what lets segment compaction
     /// drop superseded rows (see [`LatestWins`]).
     pub latest_wins: Option<LatestWins>,
+    /// Declared clustering column, if any — segment compaction sorts
+    /// rewritten segments by it (see [`ClusterBy`]).
+    pub cluster_by: Option<ClusterBy>,
 }
 
 impl TableSchema {
@@ -143,12 +165,21 @@ impl TableSchema {
             name: name.to_string(),
             columns,
             latest_wins: None,
+            cluster_by: None,
         }
     }
 
     /// Attach a latest-wins policy (builder style).
     pub fn with_latest_wins(mut self, policy: LatestWins) -> Self {
         self.latest_wins = Some(policy);
+        self
+    }
+
+    /// Declare a clustering column (builder style).
+    pub fn with_cluster_by(mut self, column: &str) -> Self {
+        self.cluster_by = Some(ClusterBy {
+            column: column.to_string(),
+        });
         self
     }
 
@@ -204,6 +235,12 @@ pub fn flor_schema() -> Vec<TableSchema> {
         // orders its rows and value columns by *first* appearance, which
         // a superseded row may own. Compaction therefore only merges
         // `logs` segments; it never drops rows here.
+        //
+        // It *is* clustered by tstamp: the logical clock is the primary
+        // range-scan axis (time travel, windows), and the (tstamp, rid)
+        // sort compaction applies refines insertion order — within one
+        // tstamp rows keep their relative order, so replay and the pivot
+        // see the same per-timestep sequences.
         TableSchema::new(
             "logs",
             vec![
@@ -215,7 +252,8 @@ pub fn flor_schema() -> Vec<TableSchema> {
                 ColumnDef::new("value", ColType::Str),
                 ColumnDef::new("value_type", ColType::Int),
             ],
-        ),
+        )
+        .with_cluster_by("tstamp"),
         // loops(projid, tstamp, filename, ctx_id, parent_ctx_id, loop_name,
         //       loop_iteration, iteration_value)
         TableSchema::new(
