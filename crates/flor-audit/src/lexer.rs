@@ -1,0 +1,450 @@
+//! A purpose-built lightweight Rust tokenizer.
+//!
+//! The audit does not need a full parse — only a token stream faithful
+//! enough to find lock acquisitions, I/O calls, atomic orderings and
+//! panic sites, and to segment the file into functions and test
+//! regions. Comments are consumed here and mined for `// audit:`
+//! annotations; string/char literals are opaque (so `".unwrap()"`
+//! inside a string never trips a rule); doc comments are skipped
+//! entirely (code in doc examples is not audited).
+
+use crate::rules::RuleId;
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (raw-identifier prefix `r#` stripped).
+    Ident(String),
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// String / char / byte / numeric literal (content irrelevant).
+    Lit,
+    /// A lifetime such as `'a` (distinct from a char literal).
+    Lifetime,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Tok::Punct(c)
+    }
+}
+
+/// What an `// audit:` comment suppresses and where.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// Line the comment appears on.
+    pub line: u32,
+    /// True when the comment is alone on its line (attaches to the
+    /// next code line, or to the enclosing function when that line is
+    /// part of a `fn` signature).
+    pub standalone: bool,
+    /// Rule being suppressed.
+    pub rule: RuleId,
+    /// Whole-file scope (`allow-file`).
+    pub file_scope: bool,
+    /// Justification text after the rule name (may be empty — the
+    /// annotation check then reports it).
+    pub reason: String,
+    /// Set when the comment looked like an audit annotation but could
+    /// not be parsed (unknown rule, bad syntax). Carried so the
+    /// annotation check can fail loudly instead of silently ignoring.
+    pub malformed: Option<String>,
+}
+
+/// Result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub annotations: Vec<Annotation>,
+}
+
+/// Tokenize `src`, collecting `// audit:` annotations on the side.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Line number of the most recent token, used to decide whether a
+    // comment is standalone on its line.
+    let mut last_tok_line: u32 = 0;
+
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                // Line comment. `///` and `//!` are doc comments and
+                // never carry audit annotations.
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                let is_doc = start < b.len() && (b[start] == b'/' || b[start] == b'!');
+                if !is_doc {
+                    let text = &src[start..j];
+                    if let Some(ann) = parse_annotation(text, line, last_tok_line == line) {
+                        out.annotations.push(ann);
+                    }
+                }
+                i = j;
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comment, nested. Audit annotations are
+                // line-comment-only by design; just skip.
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let (j, newlines) = skip_string(b, i);
+                out.tokens.push(Token {
+                    kind: Tok::Lit,
+                    line,
+                });
+                last_tok_line = line;
+                line += newlines;
+                i = j;
+            }
+            '\'' => {
+                // Lifetime or char literal. A lifetime is `'` followed
+                // by an identifier NOT terminated by another `'`.
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                let looks_like_lifetime = j > i + 1 && (j >= b.len() || b[j] != b'\'');
+                if looks_like_lifetime {
+                    out.tokens.push(Token {
+                        kind: Tok::Lifetime,
+                        line,
+                    });
+                    last_tok_line = line;
+                    i = j;
+                } else {
+                    // Char literal: consume through the closing quote,
+                    // honouring escapes.
+                    let mut j = i + 1;
+                    if j < b.len() && b[j] == b'\\' {
+                        j += 2;
+                        // \u{...}
+                        while j < b.len() && b[j] != b'\'' {
+                            j += 1;
+                        }
+                    } else {
+                        // Possibly multi-byte UTF-8 char.
+                        while j < b.len() && b[j] != b'\'' {
+                            j += 1;
+                        }
+                    }
+                    out.tokens.push(Token {
+                        kind: Tok::Lit,
+                        line,
+                    });
+                    last_tok_line = line;
+                    i = (j + 1).min(b.len());
+                }
+            }
+            'r' | 'b' if is_raw_or_byte_string(b, i) => {
+                let (j, newlines) = skip_raw_or_byte(b, i);
+                out.tokens.push(Token {
+                    kind: Tok::Lit,
+                    line,
+                });
+                last_tok_line = line;
+                line += newlines;
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: Tok::Ident(src[i..j].to_string()),
+                    line,
+                });
+                last_tok_line = line;
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < b.len()
+                    && (b[j].is_ascii_alphanumeric()
+                        || b[j] == b'_'
+                        || (b[j] == b'.' && j + 1 < b.len() && b[j + 1].is_ascii_digit()))
+                {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: Tok::Lit,
+                    line,
+                });
+                last_tok_line = line;
+                i = j;
+            }
+            _ => {
+                // Multi-byte UTF-8 punctuation (e.g. an em-dash in a
+                // string would have been consumed above; in code it is
+                // invalid Rust anyway) — advance by the full char.
+                let ch_len = utf8_len(b[i]);
+                out.tokens.push(Token {
+                    kind: Tok::Punct(c),
+                    line,
+                });
+                last_tok_line = line;
+                i += ch_len;
+            }
+        }
+    }
+    out
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// `r"`, `r#"`, `br"`, `b"`, `b'` starting at `i`?
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            j += 1;
+        }
+        return j < b.len() && b[j] == b'"';
+    }
+    // b"..." or b'...'
+    b[i] == b'b' && j < b.len() && (b[j] == b'"' || b[j] == b'\'')
+}
+
+/// Skip a raw/byte string starting at `i`; returns (end index, newline
+/// count consumed).
+fn skip_raw_or_byte(b: &[u8], i: usize) -> (usize, u32) {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        let mut hashes = 0usize;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        j += 1; // opening quote
+        let mut newlines = 0u32;
+        while j < b.len() {
+            if b[j] == b'\n' {
+                newlines += 1;
+            }
+            if b[j] == b'"' {
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while k < b.len() && b[k] == b'#' && seen < hashes {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return (k, newlines);
+                }
+            }
+            j += 1;
+        }
+        (j, newlines)
+    } else if b[j] == b'"' {
+        let (end, newlines) = skip_string(b, j);
+        (end, newlines)
+    } else {
+        // b'x'
+        let mut k = j + 1;
+        if k < b.len() && b[k] == b'\\' {
+            k += 1;
+        }
+        while k < b.len() && b[k] != b'\'' {
+            k += 1;
+        }
+        ((k + 1).min(b.len()), 0)
+    }
+}
+
+/// Skip a normal `"..."` string starting at the quote; returns (end
+/// index, newline count).
+fn skip_string(b: &[u8], i: usize) -> (usize, u32) {
+    let mut j = i + 1;
+    let mut newlines = 0u32;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return (j + 1, newlines),
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (j, newlines)
+}
+
+/// Parse a line-comment body into an audit annotation, if it is one.
+///
+/// Recognised forms (the justification after the separator is
+/// mandatory; the separator may be `—`, `-`, or `:`):
+///
+/// ```text
+/// // audit: allow(panic) — reason
+/// // audit: allow-file(panic) — reason
+/// // audit: ordering — reason          (sugar for allow(atomic-ordering))
+/// ```
+fn parse_annotation(comment: &str, line: u32, has_code_before: bool) -> Option<Annotation> {
+    let text = comment.trim();
+    let rest = text.strip_prefix("audit:")?.trim();
+    let standalone = !has_code_before;
+    let malformed = |why: &str| {
+        Some(Annotation {
+            line,
+            standalone,
+            rule: RuleId::Annotation,
+            file_scope: false,
+            reason: String::new(),
+            malformed: Some(why.to_string()),
+        })
+    };
+    let (rule, file_scope, after) = if let Some(r) = rest.strip_prefix("allow-file(") {
+        let Some(close) = r.find(')') else {
+            return malformed("missing ')' in allow-file(...)");
+        };
+        match RuleId::from_name(r[..close].trim()) {
+            Some(rule) => (rule, true, &r[close + 1..]),
+            None => return malformed("unknown rule in allow-file(...)"),
+        }
+    } else if let Some(r) = rest.strip_prefix("allow(") {
+        let Some(close) = r.find(')') else {
+            return malformed("missing ')' in allow(...)");
+        };
+        match RuleId::from_name(r[..close].trim()) {
+            Some(rule) => (rule, false, &r[close + 1..]),
+            None => return malformed("unknown rule in allow(...)"),
+        }
+    } else if let Some(r) = rest.strip_prefix("ordering") {
+        (RuleId::AtomicOrdering, false, r)
+    } else {
+        return malformed("expected allow(<rule>), allow-file(<rule>) or ordering");
+    };
+    let reason = after
+        .trim_start_matches(|c: char| c.is_whitespace() || c == '—' || c == '-' || c == ':')
+        .trim()
+        .to_string();
+    Some(Annotation {
+        line,
+        standalone,
+        rule,
+        file_scope,
+        reason,
+        malformed: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"
+            // has .unwrap() in a comment
+            /* block .expect( */
+            let s = ".unwrap()"; // trailing
+            let r = r#".expect("x")"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
+        let lifetimes = toks.iter().filter(|t| t.kind == Tok::Lifetime).count();
+        let lits = toks.iter().filter(|t| t.kind == Tok::Lit).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(lits, 1);
+    }
+
+    #[test]
+    fn annotations_parse_with_reason_and_scope() {
+        let src = "\
+x.load(Ordering::Relaxed); // audit: ordering — monotone counter\n\
+// audit: allow(panic) — poisoning is unreachable\n\
+v.unwrap();\n\
+// audit: allow(nonsense) — bad\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.annotations.len(), 3);
+        assert_eq!(lexed.annotations[0].rule, RuleId::AtomicOrdering);
+        assert!(!lexed.annotations[0].standalone);
+        assert_eq!(lexed.annotations[0].reason, "monotone counter");
+        assert_eq!(lexed.annotations[1].rule, RuleId::Panic);
+        assert!(lexed.annotations[1].standalone);
+        assert!(lexed.annotations[2].malformed.is_some());
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"line\nline\nline\";\nfoo();";
+        let toks = lex(src).tokens;
+        let foo = toks.iter().find(|t| t.ident() == Some("foo")).unwrap();
+        assert_eq!(foo.line, 4);
+    }
+}

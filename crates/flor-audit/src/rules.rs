@@ -1,0 +1,388 @@
+//! The four audit rules, applied to per-file [`FileFacts`], plus the
+//! annotation machinery that makes each rule individually suppressible
+//! with a written reason.
+
+use crate::analysis::FileFacts;
+use crate::manifest::Manifest;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Which rule a diagnostic (or annotation) belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Lock acquisitions must follow the `lockorder.toml` hierarchy;
+    /// the observed acquisition graph must be acyclic; every lock must
+    /// be classified.
+    LockOrder,
+    /// No file/network I/O while a guard is live ("short mutex hold").
+    HoldAcrossIo,
+    /// `Ordering::Relaxed` / `Ordering::SeqCst` need a written
+    /// justification.
+    AtomicOrdering,
+    /// No `.unwrap()` / `.expect()` / `panic!` / `unreachable!` in
+    /// non-test code without a written reason.
+    Panic,
+    /// Malformed or reason-less `// audit:` comments.
+    Annotation,
+}
+
+impl RuleId {
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::LockOrder => "lock-order",
+            RuleId::HoldAcrossIo => "hold-across-io",
+            RuleId::AtomicOrdering => "atomic-ordering",
+            RuleId::Panic => "panic",
+            RuleId::Annotation => "annotation",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<RuleId> {
+        match s.replace('_', "-").as_str() {
+            "lock-order" => Some(RuleId::LockOrder),
+            "hold-across-io" => Some(RuleId::HoldAcrossIo),
+            "atomic-ordering" | "ordering" => Some(RuleId::AtomicOrdering),
+            "panic" => Some(RuleId::Panic),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: u32,
+    pub rule: RuleId,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Per-file annotation index: which (rule, line) pairs are allowed.
+struct Allows {
+    /// Exact lines allowed per rule.
+    lines: BTreeMap<RuleId, BTreeSet<u32>>,
+    /// Whole-function line ranges allowed per rule.
+    ranges: BTreeMap<RuleId, Vec<(u32, u32)>>,
+    /// Whole-file allows.
+    file: BTreeSet<RuleId>,
+}
+
+impl Allows {
+    fn allowed(&self, rule: RuleId, line: u32) -> bool {
+        if self.file.contains(&rule) {
+            return true;
+        }
+        if self.lines.get(&rule).is_some_and(|s| s.contains(&line)) {
+            return true;
+        }
+        self.ranges
+            .get(&rule)
+            .is_some_and(|rs| rs.iter().any(|(a, b)| line >= *a && line <= *b))
+    }
+}
+
+/// Build the annotation index for one file; malformed or reason-less
+/// annotations become diagnostics.
+fn build_allows(facts: &FileFacts, diags: &mut Vec<Diagnostic>) -> Allows {
+    let mut allows = Allows {
+        lines: BTreeMap::new(),
+        ranges: BTreeMap::new(),
+        file: BTreeSet::new(),
+    };
+    // Sorted token lines let a standalone comment attach to the next
+    // code line.
+    let mut code_lines: Vec<u32> = facts
+        .functions
+        .iter()
+        .flat_map(|f| [f.sig_line, f.body_open_line, f.body_close_line])
+        .collect();
+    code_lines.extend(facts.locks.iter().map(|l| l.line));
+    code_lines.extend(facts.io.iter().map(|e| e.line));
+    code_lines.extend(facts.atomics.iter().map(|e| e.line));
+    code_lines.extend(facts.panics.iter().map(|e| e.line));
+    code_lines.sort_unstable();
+
+    for ann in &facts.annotations {
+        if let Some(why) = &ann.malformed {
+            diags.push(Diagnostic {
+                file: facts.path.clone(),
+                line: ann.line,
+                rule: RuleId::Annotation,
+                message: format!("unparseable audit annotation: {why}"),
+            });
+            continue;
+        }
+        if ann.reason.is_empty() {
+            diags.push(Diagnostic {
+                file: facts.path.clone(),
+                line: ann.line,
+                rule: RuleId::Annotation,
+                message: format!(
+                    "allow({}) needs a written reason after a dash",
+                    ann.rule.name()
+                ),
+            });
+            continue;
+        }
+        if ann.file_scope {
+            allows.file.insert(ann.rule);
+            continue;
+        }
+        // Effective line: the annotation's own line, or — when the
+        // comment stands alone — the next code line after it.
+        let eff = if ann.standalone {
+            code_lines
+                .iter()
+                .find(|l| **l > ann.line)
+                .copied()
+                .unwrap_or(ann.line)
+        } else {
+            ann.line
+        };
+        // When the effective line falls inside a `fn` signature (from
+        // the `fn` keyword through the body's `{`), the allow covers
+        // the entire function body — the escape hatch for multi-line
+        // statements and for functions with many same-reason sites.
+        let mut covered_fn = false;
+        for f in &facts.functions {
+            if eff >= f.sig_line && eff <= f.body_open_line {
+                allows
+                    .ranges
+                    .entry(ann.rule)
+                    .or_default()
+                    .push((f.sig_line, f.body_close_line));
+                covered_fn = true;
+                break;
+            }
+        }
+        if !covered_fn {
+            allows.lines.entry(ann.rule).or_default().insert(eff);
+        }
+    }
+    allows
+}
+
+/// Run every rule over the analyzed files; returns sorted diagnostics.
+pub fn check(files: &[FileFacts], manifest: &Manifest) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // Observed lock-acquisition edges for the global cycle check:
+    // (holder, acquired) -> one example site.
+    let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+
+    for facts in files {
+        let allows = build_allows(facts, &mut diags);
+
+        // ---- lock-order ----
+        for ev in &facts.locks {
+            match &ev.class {
+                None if ev.receiver_style && !allows.allowed(RuleId::LockOrder, ev.line) => {
+                    diags.push(Diagnostic {
+                        file: facts.path.clone(),
+                        line: ev.line,
+                        rule: RuleId::LockOrder,
+                        message: format!(
+                            "unclassified lock acquisition `{}.lock()` in fn {} — declare \
+                             it in lockorder.toml [classes.*] or annotate",
+                            ev.site, ev.in_fn
+                        ),
+                    });
+                }
+                None => {}
+                Some(class) => {
+                    for (held, held_line) in &ev.held {
+                        if held == class {
+                            if !allows.allowed(RuleId::LockOrder, ev.line) {
+                                diags.push(Diagnostic {
+                                    file: facts.path.clone(),
+                                    line: ev.line,
+                                    rule: RuleId::LockOrder,
+                                    message: format!(
+                                        "`{class}` acquired in fn {} while already held \
+                                         (line {held_line}) — self-deadlock",
+                                        ev.in_fn
+                                    ),
+                                });
+                            }
+                            continue;
+                        }
+                        edges
+                            .entry((held.clone(), class.clone()))
+                            .or_insert((facts.path.clone(), ev.line));
+                        let (hr, cr) = (manifest.rank(held), manifest.rank(class));
+                        if let (Some(hr), Some(cr)) = (hr, cr) {
+                            if hr > cr && !allows.allowed(RuleId::LockOrder, ev.line) {
+                                diags.push(Diagnostic {
+                                    file: facts.path.clone(),
+                                    line: ev.line,
+                                    rule: RuleId::LockOrder,
+                                    message: format!(
+                                        "`{class}` acquired at {} while holding `{held}` \
+                                         (line {held_line}) contradicts the declared \
+                                         hierarchy ({held} is inner to {class})",
+                                        ev.site
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- hold-across-io ----
+        for ev in &facts.io {
+            if allows.allowed(RuleId::HoldAcrossIo, ev.line) {
+                continue;
+            }
+            let held: Vec<String> = if ev.held.is_empty() {
+                vec!["<unclassified guard>".to_string()]
+            } else {
+                ev.held
+                    .iter()
+                    .map(|(c, l)| format!("`{c}` (line {l})"))
+                    .collect()
+            };
+            diags.push(Diagnostic {
+                file: facts.path.clone(),
+                line: ev.line,
+                rule: RuleId::HoldAcrossIo,
+                message: format!(
+                    "I/O call `{}` in fn {} while holding {} — release the guard first \
+                     or annotate with the reason the hold is deliberate",
+                    ev.call,
+                    ev.in_fn,
+                    held.join(", ")
+                ),
+            });
+        }
+
+        // ---- atomic-ordering ----
+        for ev in &facts.atomics {
+            if !allows.allowed(RuleId::AtomicOrdering, ev.line) {
+                diags.push(Diagnostic {
+                    file: facts.path.clone(),
+                    line: ev.line,
+                    rule: RuleId::AtomicOrdering,
+                    message: format!(
+                        "Ordering::{} without an `// audit: ordering — <why>` justification",
+                        ev.which
+                    ),
+                });
+            }
+        }
+
+        // ---- panic ----
+        for ev in &facts.panics {
+            if !allows.allowed(RuleId::Panic, ev.line) {
+                diags.push(Diagnostic {
+                    file: facts.path.clone(),
+                    line: ev.line,
+                    rule: RuleId::Panic,
+                    message: format!(
+                        "`{}` in non-test code — return an error, or annotate \
+                         `// audit: allow(panic) — <why it cannot fire>`",
+                        ev.call
+                    ),
+                });
+            }
+        }
+    }
+
+    // ---- global cycle check over the observed acquisition graph ----
+    for cycle in find_cycles(&edges) {
+        let (file, line) = edges
+            .get(&(cycle[0].clone(), cycle[1].clone()))
+            .cloned()
+            .unwrap_or_default();
+        diags.push(Diagnostic {
+            file,
+            line,
+            rule: RuleId::LockOrder,
+            message: format!(
+                "cyclic lock acquisition: {} — deadlock possible",
+                cycle.join(" -> ")
+            ),
+        });
+    }
+
+    diags.sort();
+    diags.dedup();
+    diags
+}
+
+/// Find elementary cycles in the edge set (returned as class chains
+/// ending where they started). The graph is tiny (a handful of lock
+/// classes), so a DFS per node is plenty.
+fn find_cycles(edges: &BTreeMap<(String, String), (String, u32)>) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a.as_str()).or_default().push(b.as_str());
+    }
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in adj.keys().copied().collect::<Vec<_>>() {
+        let mut stack = vec![start];
+        dfs(
+            start,
+            start,
+            &adj,
+            &mut stack,
+            &mut cycles,
+            &mut seen_cycles,
+        );
+    }
+    cycles
+}
+
+fn dfs<'a>(
+    start: &'a str,
+    at: &str,
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    stack: &mut Vec<&'a str>,
+    cycles: &mut Vec<Vec<String>>,
+    seen: &mut BTreeSet<Vec<String>>,
+) {
+    let Some(nexts) = adj.get(at) else { return };
+    for next in nexts {
+        if *next == start {
+            let mut chain: Vec<String> = stack.iter().map(|s| s.to_string()).collect();
+            chain.push(start.to_string());
+            // Canonicalize so each rotation of the same cycle is
+            // reported once: smallest element first.
+            let mut key = chain[..chain.len() - 1].to_vec();
+            let min_pos = key
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            key.rotate_left(min_pos);
+            if seen.insert(key) {
+                cycles.push(chain);
+            }
+        } else if !stack.contains(next) {
+            stack.push(next);
+            dfs(start, next, adj, stack, cycles, seen);
+            stack.pop();
+        }
+    }
+}

@@ -1,0 +1,11 @@
+// A reason-less allow and an unknown rule: both are themselves
+// violations, and neither suppresses the panic site it precedes.
+pub fn noisy(v: &[u32]) -> u32 {
+    // audit: allow(panic)
+    v.first().unwrap() + 1
+}
+
+pub fn unknown(v: &[u32]) -> u32 {
+    // audit: allow(frobnicate) — not a rule
+    v.last().unwrap() + 1
+}

@@ -1,0 +1,8 @@
+// Orderings without a written justification.
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn latch(f: &AtomicBool) {
+    f.store(true, Ordering::SeqCst);
+}

@@ -1,0 +1,10 @@
+// Justified orderings: inline and standalone annotation forms.
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed); // audit: ordering — stats counter, no ordering dependency
+}
+
+pub fn latch(f: &AtomicBool) {
+    // audit: ordering — shutdown latch; SeqCst keeps the store
+    // totally ordered with the drain loop's load
+    f.store(true, Ordering::SeqCst);
+}

@@ -1,0 +1,17 @@
+// The guard dies at the end of the inner block; the flush then runs
+// lock-free. The second fn documents a deliberate hold.
+pub fn flush_ok(p: &Pair, w: &mut Wal) {
+    {
+        let og = p.outer.lock();
+        stage(&og);
+    }
+    w.flush_log();
+}
+
+pub fn durable(p: &Pair, w: &mut Wal) {
+    let og = p.outer.lock();
+    // audit: allow(hold-across-io) — the log must reflect this state
+    // before the guard drops or a reader could observe unlogged rows
+    w.flush_log();
+    drop(og);
+}

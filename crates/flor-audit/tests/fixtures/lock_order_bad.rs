@@ -1,0 +1,17 @@
+// Hierarchy violation, re-entry, and an undeclared mutex.
+pub fn backwards(p: &Pair) {
+    let ig = p.inner.lock();
+    let og = p.outer.lock();
+    use_both(&og, &ig);
+}
+
+pub fn reentrant(p: &Pair) {
+    let a = p.outer.lock();
+    let b = p.outer.lock();
+    use_both(&a, &b);
+}
+
+pub fn undeclared(p: &Pair) {
+    let g = p.mystery.lock();
+    drop(g);
+}

@@ -1,0 +1,6 @@
+// Declared order respected: `outer` is acquired before `inner`.
+pub fn nested_ok(p: &Pair) {
+    let og = p.outer.lock();
+    let ig = p.inner.lock();
+    use_both(&og, &ig);
+}

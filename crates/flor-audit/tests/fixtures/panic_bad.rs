@@ -1,0 +1,9 @@
+// Unannotated panic sites.
+pub fn brittle(v: &[u32]) -> u32 {
+    let a = v.first().unwrap();
+    let b = v.last().expect("always there");
+    if a > b {
+        unreachable!("sorted input");
+    }
+    panic!("boom");
+}

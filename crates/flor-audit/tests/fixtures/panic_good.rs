@@ -1,0 +1,17 @@
+// Annotated panic sites: a line-level allow and a fn-level allow.
+pub fn checked(v: &[u32]) -> u32 {
+    if v.is_empty() {
+        return 0;
+    }
+    // audit: allow(panic) — emptiness was checked above
+    v.last().unwrap() + 1
+}
+
+// audit: allow(panic) — both lookups are guarded by the length
+// check at entry
+pub fn covered(v: &[u32]) -> u32 {
+    if v.len() < 2 {
+        return 0;
+    }
+    v.first().expect("len checked") + v.last().expect("len checked")
+}

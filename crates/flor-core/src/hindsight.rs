@@ -344,6 +344,8 @@ impl<'f> Ingestor<'f> {
             return id;
         }
         let parent = self.ctx_for(&frames[..frames.len() - 1]);
+        // audit: allow(panic) — the is_empty early-return above makes
+        // `last()` infallible here.
         let last = frames.last().expect("non-empty");
         let ctx_id = {
             let mut st = self.flor.state.lock();
@@ -366,6 +368,8 @@ impl<'f> Ingestor<'f> {
                     Value::from(last.value.as_str()),
                 ],
             )
+            // audit: allow(panic) — the kernel created `loops` with this
+            // exact schema at open; the row is built to it right here.
             .expect("loops schema fixed");
         self.chains.insert(key, ctx_id);
         ctx_id

@@ -350,6 +350,8 @@ impl Flor {
             Value::from(stored),
             Value::Int(value.data_type().tag()),
         ];
+        // audit: allow(panic) — `logs` was created with this schema at
+        // open and the row above is built to it field by field.
         self.db.insert("logs", row).expect("logs schema fixed");
         if spilled {
             self.put_blob(name, &text, tstamp, filename, ctx_id);
@@ -377,6 +379,8 @@ impl Flor {
                     Value::from(contents),
                 ],
             )
+            // audit: allow(panic) — `obj_store` was created with this
+            // schema at open; the row is built to it right above.
             .expect("obj_store schema fixed");
     }
 
@@ -429,6 +433,8 @@ impl Flor {
         ];
         st.ctx_stack.push((ctx_id, loop_name.to_string()));
         drop(st);
+        // audit: allow(panic) — `loops` was created with this schema at
+        // open; the row above matches it by construction.
         self.db.insert("loops", row).expect("loops schema fixed");
         ctx_id
     }

@@ -110,6 +110,9 @@ impl DataFrame {
     /// Hash join with `other` on the named key columns (same names on both
     /// sides, pandas `merge(on=...)` style). Non-key columns that collide
     /// get `_x` / `_y` suffixes.
+    // audit: allow(panic) — every column name used below is checked
+    // against this frame at entry (UnknownColumn otherwise), so the
+    // lookups cannot fail.
     pub fn join(&self, other: &DataFrame, on: &[&str], kind: JoinKind) -> DfResult<DataFrame> {
         for k in on {
             if self.column(k).is_none() || other.column(k).is_none() {
@@ -206,6 +209,9 @@ impl DataFrame {
     /// Group by `keys` and aggregate `(column, fn)` pairs. Output columns
     /// are named `col_fn` (e.g. `loss_mean`). Groups appear in order of
     /// first occurrence.
+    // audit: allow(panic) — every column name used below is checked
+    // against this frame at entry (UnknownColumn otherwise), so the
+    // lookups cannot fail.
     pub fn group_by(&self, keys: &[&str], aggs: &[(&str, AggFn)]) -> DfResult<DataFrame> {
         for k in keys {
             if self.column(k).is_none() {
@@ -266,6 +272,9 @@ impl DataFrame {
     ///
     /// When multiple rows share (index, name) the last one wins — matching
     /// the paper's semantics where a re-logged value supersedes.
+    // audit: allow(panic) — every column name used below is checked
+    // against this frame at entry (UnknownColumn otherwise), so the
+    // lookups cannot fail.
     pub fn pivot(&self, index: &[&str], name_col: &str, value_col: &str) -> DfResult<DataFrame> {
         for k in index {
             if self.column(k).is_none() {
@@ -328,6 +337,9 @@ impl DataFrame {
 
     /// The inverse of [`DataFrame::pivot`]: melt wide columns back into
     /// long `(index..., name, value)` rows, skipping null cells.
+    // audit: allow(panic) — every column name used below is checked
+    // against this frame at entry (UnknownColumn otherwise), so the
+    // lookups cannot fail.
     pub fn melt(
         &self,
         index: &[&str],
@@ -364,6 +376,9 @@ impl DataFrame {
 
     /// `flor.utils.latest` (paper Fig. 6): keep, for each distinct tuple of
     /// `group` columns, only the rows carrying the maximum `time_col` value.
+    // audit: allow(panic) — every column name used below is checked
+    // against this frame at entry (UnknownColumn otherwise), so the
+    // lookups cannot fail.
     pub fn latest(&self, group: &[&str], time_col: &str) -> DfResult<DataFrame> {
         let tc = self
             .column(time_col)

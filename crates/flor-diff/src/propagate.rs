@@ -95,6 +95,8 @@ pub fn propagate_logs(old: &Program, new: &Program) -> Propagation {
             .map(str::to_string)
             .unwrap_or_else(|| stmt.label());
         // Locate the enclosing new block and resolve it to an old block.
+        // audit: allow(panic) — tree construction gives every Stmt node a
+        // Block parent; a parentless stmt is a corrupted Tree, not input.
         let parent_block = d_node.parent.expect("stmt nodes always have a parent");
         let old_block_prefix = match resolve_old_block(&src, &dst, parent_block, &mapping) {
             Ok(prefix) => prefix,
@@ -108,6 +110,8 @@ pub fn propagate_logs(old: &Program, new: &Program) -> Propagation {
         let my_pos = siblings
             .iter()
             .position(|&c| c == d_idx)
+            // audit: allow(panic) — d_idx was reached by walking
+            // parent_block's child list, so it is present in it.
             .expect("child of own parent");
         let mut insert_index = 0usize;
         for &sib in siblings[..my_pos].iter().rev() {
@@ -117,6 +121,8 @@ pub fn propagate_logs(old: &Program, new: &Program) -> Propagation {
                     if old_path.len() == old_block_prefix.len() + 1
                         && old_path[..old_block_prefix.len()] == old_block_prefix[..]
                     {
+                        // audit: allow(panic) — Stmt paths are built with at
+                        // least one hop; the len check above proves it here.
                         insert_index = old_path.last().expect("non-empty path").1 + 1;
                         break;
                     }
@@ -248,6 +254,8 @@ fn dependency_closure(
         if !matches!(d_node.kind, NodeKind::Stmt(_)) {
             continue;
         }
+        // audit: allow(panic) — same Tree invariant: Stmt nodes always
+        // hang off a Block parent.
         let parent = d_node.parent.expect("stmt has parent");
         blocks.entry(parent).or_default().push(d_idx);
     }
@@ -291,6 +299,8 @@ fn dependency_closure(
 /// Fetch the statement a tree node points to.
 fn stmt_at<'p>(p: &'p Program, node: &crate::tree::TreeNode) -> &'p Stmt {
     let NodeKind::Stmt(path) = &node.kind else {
+        // audit: allow(panic) — internal precondition: every caller
+        // filters to Stmt nodes first; reaching here is a logic bug.
         panic!("stmt_at on non-stmt node");
     };
     let mut block = &p.stmts;
@@ -301,6 +311,8 @@ fn stmt_at<'p>(p: &'p Program, node: &crate::tree::TreeNode) -> &'p Stmt {
         }
         block = s.blocks()[sel];
     }
+    // audit: allow(panic) — the loop returns on the last hop and Stmt
+    // paths are non-empty by construction, so fallthrough is impossible.
     unreachable!("paths are non-empty")
 }
 
@@ -332,8 +344,10 @@ fn resolve_old_block(
         return Err("owner matched to a non-statement".to_string());
     };
     // Same block selector on the old side.
+    // audit: allow(panic) — resolve_old_block is only called with a
+    // prefix derived from a Stmt path, which has at least one element.
     let sel = dst_prefix.last().expect("non-empty prefix").0;
-    let (_, owner_idx) = *old_owner_path.last().expect("non-empty path");
+    let (_, owner_idx) = *old_owner_path.last().expect("non-empty path"); // audit: allow(panic) — Stmt paths are non-empty
     let mut old_prefix = old_owner_path[..old_owner_path.len() - 1].to_vec();
     old_prefix.push((sel, owner_idx));
     Ok(old_prefix)

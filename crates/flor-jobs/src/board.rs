@@ -98,6 +98,8 @@ impl JobBoard {
             g.sub = Some(self.db.subscribe());
             return self.rebuild(g);
         }
+        // audit: allow(panic) — the is_none branch above either filled
+        // `sub` or returned, so it is Some here.
         let batches = g.sub.as_ref().expect("just checked").poll();
         for batch in &batches {
             if batch.epoch <= g.epoch {
@@ -124,6 +126,8 @@ impl JobBoard {
     /// applied as a delta (batches at or below the epoch are skipped).
     fn rebuild(&self, g: &mut BoardInner) -> StoreResult<()> {
         let (epoch, mut frames) = self.db.snapshot(&["jobs"])?;
+        // audit: allow(panic) — `snapshot` returns exactly one frame per
+        // requested table and we asked for exactly one.
         let frame = frames.pop().expect("one table requested");
         let mut latest = LatestState::keyed(&["job_id"], "seq");
         let all: Vec<usize> = (0..frame.n_rows()).collect();

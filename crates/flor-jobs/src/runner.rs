@@ -79,11 +79,16 @@ impl JobControl {
     }
 
     /// Request cancellation.
+    // audit: ordering — cold control-plane flag: SeqCst guarantees the
+    // executor sees the cancel no later than any board state written
+    // after it, and costs nothing at this frequency.
     pub fn cancel(&self) {
         self.cancel.store(true, Ordering::SeqCst);
     }
 
     /// Whether cancellation has been requested.
+    // audit: ordering — polled once per work unit; SeqCst pairs with
+    // the store in `cancel` for a simple total order.
     pub fn is_cancelled(&self) -> bool {
         self.cancel.load(Ordering::SeqCst)
     }
@@ -100,6 +105,8 @@ impl JobControl {
 
     /// Executor-defined fine-grained progress (backfill: iterations
     /// replayed so far).
+    // audit: ordering — progress counter read for display; SeqCst keeps
+    // it monotone with respect to the cancel flag it is reported beside.
     pub fn ticks(&self) -> usize {
         self.ticks.load(Ordering::SeqCst)
     }
@@ -340,6 +347,9 @@ impl<O: Clone> JobHandle<O> {
     pub fn wait(&self) -> JobReport<O> {
         let mut st = lock(&self.inner.state);
         loop {
+            // audit: allow(panic) — jobs are never evicted from the map
+            // (terminal jobs persist for reporting), and this handle was
+            // created from a successful submit of this id.
             let job = st.jobs.get(&self.job_id).expect("handle to live job");
             if job.state.is_terminal() || st.crashed {
                 return JobReport {
@@ -358,6 +368,8 @@ impl<O: Clone> JobHandle<O> {
 
     fn with_job<R>(&self, f: impl FnOnce(&ActiveJob<O>) -> R) -> R {
         let st = lock(&self.inner.state);
+        // audit: allow(panic) — same invariant as `wait`: submitted jobs
+        // stay in the map for their whole lifetime.
         f(st.jobs.get(&self.job_id).expect("handle to live job"))
     }
 }
@@ -677,6 +689,8 @@ fn next_step<O>(inner: &RunnerInner<O>) -> Step<O> {
             st.live_workers -= 1;
             return Step::Exit;
         };
+        // audit: allow(panic) — queue entries are created only for jobs
+        // in the map, and jobs are never removed from it.
         let job = st.jobs.get_mut(&queued.job_id).expect("queued job exists");
         job.pending -= 1;
         if job.state.is_terminal() || job.control.is_cancelled() {
@@ -697,6 +711,8 @@ fn next_step<O>(inner: &RunnerInner<O>) -> Step<O> {
             job_id: queued.job_id,
             spec: job.spec.clone(),
             unit: queued.unit,
+            // audit: allow(panic) — the terminal/cancelled check above
+            // skipped this unit; non-terminal jobs keep their executor.
             executor: Arc::clone(job.executor.as_ref().expect("non-terminal job")),
             control: job.control.clone(),
         };
@@ -720,6 +736,8 @@ fn complete_unit<O: Clone>(
             let (rows, finalizes, kind_done) = {
                 let mut st = lock(&inner.state);
                 let crashed = st.crashed;
+                // audit: allow(panic) — this worker holds an inflight unit
+                // of job_id, and jobs are never removed from the map.
                 let job = st.jobs.get_mut(&job_id).expect("inflight job exists");
                 job.inflight -= 1;
                 if job.state.is_terminal() || job.control.is_cancelled() || crashed {
@@ -748,7 +766,7 @@ fn complete_unit<O: Clone>(
                         j.executor = None;
                     }
                 } else {
-                    let job = st.jobs.get_mut(&job_id).expect("still live");
+                    let job = st.jobs.get_mut(&job_id).expect("still live"); // audit: allow(panic) — same map invariant
                     if job.pending == 0 && job.inflight == 0 {
                         // Persist the Done transition with this commit,
                         // but flip the in-memory state only after the
@@ -811,6 +829,8 @@ fn complete_unit<O: Clone>(
         }
         Err(e) => {
             let mut st = lock(&inner.state);
+            // audit: allow(panic) — error path of the same inflight unit;
+            // the map never drops jobs.
             let job = st.jobs.get_mut(&job_id).expect("inflight job exists");
             job.inflight -= 1;
             let cancelled = job.control.is_cancelled() || job.state == JobState::Cancelled;

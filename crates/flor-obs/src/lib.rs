@@ -166,11 +166,15 @@ impl Counter {
     }
 
     /// Add `n`.
+    // audit: ordering — a statistics counter: the total is what matters,
+    // no other memory is published through it, so Relaxed suffices.
     pub fn add(&self, n: u64) {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
+    // audit: ordering — scrape-time read of a statistic; a slightly
+    // stale value is fine and no ordering with other metrics is implied.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -182,16 +186,21 @@ pub struct Gauge(AtomicI64);
 
 impl Gauge {
     /// Overwrite the value.
+    // audit: ordering — a point-in-time gauge; readers only want the
+    // latest-ish value, no happens-before edges ride on it.
     pub fn set(&self, v: i64) {
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Adjust the value by `d` (may be negative).
+    // audit: ordering — fetch_add keeps the gauge consistent under
+    // racing adjusters; cross-metric ordering is not promised.
     pub fn add(&self, d: i64) {
         self.0.fetch_add(d, Ordering::Relaxed);
     }
 
     /// Current value.
+    // audit: ordering — scrape-time read; staleness is acceptable.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -237,6 +246,9 @@ fn bucket_upper(i: usize) -> u64 {
 
 impl Histogram {
     /// Record one sample.
+    // audit: ordering — the bucket increment and the sum increment are
+    // independent statistics; `snapshot` derives the count from the
+    // buckets, so no inter-field ordering is required.
     pub fn record(&self, v: u64) {
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
@@ -250,6 +262,9 @@ impl Histogram {
     /// Consistent point-in-time copy: the count is derived from the
     /// bucket counts, so `count == Σ buckets` holds even under racing
     /// writers.
+    // audit: ordering — each bucket is read independently; the snapshot
+    // tolerates samples landing mid-scan (count is summed from what was
+    // read), so Relaxed loads are enough.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = Vec::new();
         let mut count = 0u64;
@@ -455,12 +470,16 @@ impl MetricsRegistry {
 
     /// Whether recording is enabled (one relaxed load; the gate every
     /// [`Span`] and instrumented call site checks).
+    // audit: ordering — hot-path gate: a call site racing the flip may
+    // record (or skip) one extra sample, which is harmless by design.
     pub fn enabled(&self) -> bool {
         self.inner.enabled.load(Ordering::Relaxed)
     }
 
     /// Flip the recording kill switch. Counters/gauges/histograms keep
     /// their accumulated state; disabled call sites simply stop adding.
+    // audit: ordering — the switch gates only metric writes; it never
+    // publishes other data, so no release edge is needed.
     pub fn set_enabled(&self, on: bool) {
         self.inner.enabled.store(on, Ordering::Relaxed);
     }
@@ -476,6 +495,8 @@ impl MetricsRegistry {
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
         {
             Metric::Counter(c) => Arc::clone(c),
+            // audit: allow(panic) — documented `# Panics` contract: a kind
+            // mismatch is a wiring-time programming error, not input.
             _ => panic!("metric {name:?} is not a counter"),
         }
     }
@@ -491,6 +512,7 @@ impl MetricsRegistry {
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
         {
             Metric::Gauge(v) => Arc::clone(v),
+            // audit: allow(panic) — documented `# Panics` wiring contract.
             _ => panic!("metric {name:?} is not a gauge"),
         }
     }
@@ -506,6 +528,7 @@ impl MetricsRegistry {
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
         {
             Metric::Histogram(h) => Arc::clone(h),
+            // audit: allow(panic) — documented `# Panics` wiring contract.
             _ => panic!("metric {name:?} is not a histogram"),
         }
     }
@@ -624,36 +647,34 @@ impl MetricsSnapshot {
         use std::fmt::Write;
         let mut out = String::new();
         for (name, v) in &self.counters {
-            writeln!(out, "counter  {name} {v}").expect("string write");
+            let _ = writeln!(out, "counter  {name} {v}");
         }
         for (name, v) in &self.gauges {
-            writeln!(out, "gauge    {name} {v}").expect("string write");
+            let _ = writeln!(out, "gauge    {name} {v}");
         }
         for (name, h) in &self.histograms {
-            write!(
+            let _ = write!(
                 out,
                 "hist     {name} count={} mean={:.0}",
                 h.count,
                 h.mean()
-            )
-            .expect("string write");
+            );
             for (label, q) in [("p50", 0.50), ("p99", 0.99)] {
                 if let Some(b) = h.quantile(q) {
-                    write!(out, " {label}<={b}").expect("string write");
+                    let _ = write!(out, " {label}<={b}");
                 }
             }
             if let Some(m) = h.max_bound() {
-                write!(out, " max<={m}").expect("string write");
+                let _ = write!(out, " max<={m}");
             }
             out.push('\n');
         }
         for e in &self.events {
-            writeln!(
+            let _ = writeln!(
                 out,
                 "event    #{} +{}us [{}] {} {}",
                 e.seq, e.at_micros, e.level, e.kind, e.detail
-            )
-            .expect("string write");
+            );
         }
         out
     }
@@ -684,20 +705,20 @@ impl MetricsSnapshot {
                 p.push_str("_total");
             }
             let p = dedup_prom_name(&mut taken, p);
-            writeln!(out, "# HELP {p} FlorDB counter {name}").expect("string write");
-            writeln!(out, "# TYPE {p} counter").expect("string write");
-            writeln!(out, "{p} {v}").expect("string write");
+            let _ = writeln!(out, "# HELP {p} FlorDB counter {name}");
+            let _ = writeln!(out, "# TYPE {p} counter");
+            let _ = writeln!(out, "{p} {v}");
         }
         for (name, v) in &self.gauges {
             let p = dedup_prom_name(&mut taken, prom_name(name));
-            writeln!(out, "# HELP {p} FlorDB gauge {name}").expect("string write");
-            writeln!(out, "# TYPE {p} gauge").expect("string write");
-            writeln!(out, "{p} {v}").expect("string write");
+            let _ = writeln!(out, "# HELP {p} FlorDB gauge {name}");
+            let _ = writeln!(out, "# TYPE {p} gauge");
+            let _ = writeln!(out, "{p} {v}");
         }
         for (name, h) in &self.histograms {
             let p = dedup_prom_name(&mut taken, prom_name(name));
-            writeln!(out, "# HELP {p} FlorDB histogram {name}").expect("string write");
-            writeln!(out, "# TYPE {p} histogram").expect("string write");
+            let _ = writeln!(out, "# HELP {p} FlorDB histogram {name}");
+            let _ = writeln!(out, "# TYPE {p} histogram");
             let mut cum = 0u64;
             for &(upper, n) in &h.buckets {
                 cum += n;
@@ -707,11 +728,11 @@ impl MetricsSnapshot {
                 if upper == u64::MAX {
                     continue;
                 }
-                writeln!(out, "{p}_bucket{{le=\"{upper}\"}} {cum}").expect("string write");
+                let _ = writeln!(out, "{p}_bucket{{le=\"{upper}\"}} {cum}");
             }
-            writeln!(out, "{p}_bucket{{le=\"+Inf\"}} {}", h.count).expect("string write");
-            writeln!(out, "{p}_sum {}", h.sum).expect("string write");
-            writeln!(out, "{p}_count {}", h.count).expect("string write");
+            let _ = writeln!(out, "{p}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{p}_sum {}", h.sum);
+            let _ = writeln!(out, "{p}_count {}", h.count);
         }
         out
     }
@@ -725,33 +746,32 @@ impl MetricsSnapshot {
             if i > 0 {
                 out.push(',');
             }
-            write!(out, "{}:{v}", json_str(name)).expect("string write");
+            let _ = write!(out, "{}:{v}", json_str(name));
         }
         out.push_str("},\"gauges\":{");
         for (i, (name, v)) in self.gauges.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            write!(out, "{}:{v}", json_str(name)).expect("string write");
+            let _ = write!(out, "{}:{v}", json_str(name));
         }
         out.push_str("},\"histograms\":{");
         for (i, (name, h)) in self.histograms.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            write!(
+            let _ = write!(
                 out,
                 "{}:{{\"count\":{},\"sum\":{},\"buckets\":[",
                 json_str(name),
                 h.count,
                 h.sum
-            )
-            .expect("string write");
+            );
             for (j, (upper, n)) in h.buckets.iter().enumerate() {
                 if j > 0 {
                     out.push(',');
                 }
-                write!(out, "[{upper},{n}]").expect("string write");
+                let _ = write!(out, "[{upper},{n}]");
             }
             out.push_str("]}");
         }
@@ -760,7 +780,7 @@ impl MetricsSnapshot {
             if i > 0 {
                 out.push(',');
             }
-            write!(
+            let _ = write!(
                 out,
                 "{{\"seq\":{},\"at_micros\":{},\"at_unix_micros\":{},\"level\":{},\"kind\":{},\"detail\":{}}}",
                 e.seq,
@@ -769,8 +789,7 @@ impl MetricsSnapshot {
                 json_str(&e.level.to_string()),
                 json_str(e.kind),
                 json_str(&e.detail)
-            )
-            .expect("string write");
+            );
         }
         out.push_str("]}");
         out

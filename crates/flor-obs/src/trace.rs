@@ -40,6 +40,8 @@ impl TraceId {
     /// across client and server processes.
     pub fn generate() -> TraceId {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
+        // audit: ordering — uniqueness needs only atomicity of the
+        // increment, not ordering against any other memory.
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
         let mut z = unix_micros()
             .wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15))
@@ -116,16 +118,15 @@ impl Trace {
     pub fn render_text(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        write!(
+        let _ = write!(
             out,
             "trace {} {} ({}us total)",
             self.id,
             self.label,
             self.total_nanos / 1_000
-        )
-        .expect("string write");
+        );
         if !self.detail.is_empty() {
-            write!(out, " [{}]", self.detail).expect("string write");
+            let _ = write!(out, " [{}]", self.detail);
         }
         out.push('\n');
         for s in &self.spans {
@@ -133,19 +134,18 @@ impl Trace {
             for _ in 0..depth + 1 {
                 out.push_str("  ");
             }
-            writeln!(
+            let _ = writeln!(
                 out,
                 "{} +{}us {}us",
                 s.name,
                 s.start_nanos / 1_000,
                 s.duration_nanos / 1_000
-            )
-            .expect("string write");
+            );
             for e in &s.events {
                 for _ in 0..depth + 2 {
                     out.push_str("  ");
                 }
-                writeln!(out, "* +{}us {}", e.at_nanos / 1_000, e.message).expect("string write");
+                let _ = writeln!(out, "* +{}us {}", e.at_nanos / 1_000, e.message);
             }
         }
         out
@@ -281,6 +281,8 @@ impl ActiveTrace {
             self.begin(self.label.clone());
         }
         let at_nanos = self.elapsed_nanos();
+        // audit: allow(panic) — the is_empty branch above begins a root
+        // span, so the open stack is non-empty here.
         let i = *self.open.last().expect("ensured an open span above");
         self.spans[i].events.push(SpanEvent {
             at_nanos,
@@ -346,12 +348,16 @@ impl TraceStore {
     }
 
     /// Whether tracing is on (one relaxed load).
+    // audit: ordering — hot-path gate; a trace racing the flip being
+    // recorded or dropped either way is acceptable.
     pub fn enabled(&self) -> bool {
         self.enabled.load(Ordering::Relaxed)
     }
 
     /// Flip tracing on or off. Completed traces already in the ring are
     /// kept; new ones simply stop (or resume) being recorded.
+    // audit: ordering — gates only whether traces are pushed; the ring
+    // itself is mutex-protected, so the flag carries no publication.
     pub fn set_enabled(&self, on: bool) {
         self.enabled.store(on, Ordering::Relaxed);
     }
@@ -362,6 +368,7 @@ impl TraceStore {
     }
 
     /// Total traces ever published (minus the ring length = fallen off).
+    // audit: ordering — statistics read; staleness is fine.
     pub fn recorded(&self) -> u64 {
         self.recorded.load(Ordering::Relaxed)
     }
@@ -372,6 +379,8 @@ impl TraceStore {
         if !self.enabled() {
             return;
         }
+        // audit: ordering — the counter is a statistic; the trace itself
+        // is published under the ring mutex right below.
         self.recorded.fetch_add(1, Ordering::Relaxed);
         let mut g = lock(&self.ring);
         if g.len() == self.capacity {
@@ -423,20 +432,19 @@ impl SlowQueryRecord {
     pub fn render_text(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        writeln!(
+        let _ = writeln!(
             out,
             "SLOW {} {}us (threshold {}us) plan {}",
             self.verb,
             self.total_nanos / 1_000,
             self.threshold_nanos / 1_000,
             self.plan
-        )
-        .expect("string write");
+        );
         for line in self.explain.lines() {
-            writeln!(out, "  {line}").expect("string write");
+            let _ = writeln!(out, "  {line}");
         }
         for line in self.trace.render_text().lines() {
-            writeln!(out, "  {line}").expect("string write");
+            let _ = writeln!(out, "  {line}");
         }
         out
     }
@@ -482,10 +490,14 @@ impl SlowQueryStore {
         let nanos = threshold
             .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
             .unwrap_or(u64::MAX);
+        // audit: ordering — the threshold is a standalone tuning knob;
+        // in-flight queries may use the old value for one request.
         self.threshold_nanos.store(nanos, Ordering::Relaxed);
     }
 
     /// The armed threshold in nanoseconds, `None` when unarmed.
+    // audit: ordering — reads the standalone tuning knob; no ordering
+    // with the slow-query ring is needed (it has its own mutex).
     pub fn threshold_nanos(&self) -> Option<u64> {
         match self.threshold_nanos.load(Ordering::Relaxed) {
             u64::MAX => None,
@@ -495,6 +507,8 @@ impl SlowQueryStore {
 
     /// Whether a threshold is armed (one relaxed load — the hot-path
     /// gate).
+    // audit: ordering — hot-path gate; racing an arm/disarm merely
+    // captures or skips one borderline query.
     pub fn armed(&self) -> bool {
         self.threshold_nanos.load(Ordering::Relaxed) != u64::MAX
     }

@@ -22,11 +22,11 @@ pub fn process_pdfs(flor: &Flor, corpus: &Corpus) {
             .map(|p| p.name.clone())
             .collect::<Vec<_>>(),
         |flor, doc_name| {
-            let pdf = corpus
-                .pdfs
-                .iter()
-                .find(|p| &p.name == doc_name)
-                .expect("doc from corpus");
+            // The names were collected from this same corpus, but stay
+            // panic-free anyway: an unknown name contributes no pages.
+            let Some(pdf) = corpus.pdfs.iter().find(|p| &p.name == doc_name) else {
+                return;
+            };
             flor.for_each("page", 0..pdf.pages.len(), |flor, &page| {
                 let p = &pdf.pages[page];
                 flor.fs
@@ -295,8 +295,7 @@ pub fn infer(flor: &Flor, corpus: &Corpus) -> StoreResult<usize> {
                 let row = features
                     .filter_eq("document_value", &Value::from(pdf.name.as_str()))
                     .filter_eq("page_iteration", &Value::from(page as i64));
-                let f = if row.n_rows() > 0 {
-                    let r0 = row.rows().next().expect("n_rows > 0");
+                let f = if let Some(r0) = row.rows().next() {
                     ExtractedFeatures {
                         heading_density: r0
                             .get("heading_density")

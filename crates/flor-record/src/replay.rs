@@ -50,20 +50,28 @@ impl ReplayControl {
     }
 
     /// Request cancellation: workers stop at the next iteration boundary.
+    // audit: ordering — control-plane flag checked at iteration
+    // boundaries; SeqCst gives a total order with the tick counter so
+    // observers never see progress after an acknowledged cancel.
     pub fn cancel(&self) {
         self.cancelled.store(true, Ordering::SeqCst);
     }
 
     /// Whether cancellation has been requested.
+    // audit: ordering — pairs with the SeqCst store in `cancel`.
     pub fn is_cancelled(&self) -> bool {
         self.cancelled.load(Ordering::SeqCst)
     }
 
     /// Iterations executed so far across all workers (live counter).
+    // audit: ordering — live progress read; SeqCst keeps it consistent
+    // with the cancellation flag it is reported beside.
     pub fn iterations_executed(&self) -> usize {
         self.iterations.load(Ordering::SeqCst)
     }
 
+    // audit: ordering — once-per-iteration counter bump; SeqCst for the
+    // same total order as the cancel flag, cost is immaterial here.
     fn tick(&self) {
         self.iterations.fetch_add(1, Ordering::SeqCst);
     }
@@ -141,9 +149,12 @@ pub fn plan_replay(
                 if rc < cc {
                     Choice::Restore(c)
                 } else {
+                    // audit: allow(panic) — cont_cost is `pos.map(..)`, so
+                    // Some(cc) implies pos is Some.
                     Choice::Continue(pos.expect("cont_cost implies pos"))
                 }
             }
+            // audit: allow(panic) — same derivation: cont_cost comes from pos.
             (Some(_), None, _) => Choice::Continue(pos.expect("cont_cost implies pos")),
             (None, Some(_), Some(c)) => Choice::Restore(c),
             _ => Choice::FromStart,
@@ -169,6 +180,7 @@ pub fn plan_replay(
         pos = Some(i);
     }
     // Halt after the last needed iteration.
+    // audit: allow(panic) — the is_empty case returned early above.
     let last = *needed.last().expect("non-empty");
     if last + 1 < total {
         actions[last + 1] = IterAction::Stop;
@@ -350,6 +362,9 @@ pub fn replay_with(
                 .collect();
             handles
                 .into_iter()
+                // audit: allow(panic) — deliberate propagation: a worker
+                // panic is a replay-engine bug and must not be swallowed
+                // as a partial result.
                 .map(|h| h.join().expect("worker panicked"))
                 .collect()
         })

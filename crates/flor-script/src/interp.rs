@@ -590,6 +590,8 @@ fn eval_binop(op: BinOp, l: RtValue, r: RtValue) -> RtResult<RtValue> {
             BinOp::Le => Ok(Bool(a <= b)),
             BinOp::Gt => Ok(Bool(a > b)),
             BinOp::Ge => Ok(Bool(a >= b)),
+            // audit: allow(panic) — And/Or are evaluated short-circuit in
+            // `eval_expr` and never reach the binop table.
             BinOp::And | BinOp::Or => unreachable!("short-circuited"),
         };
     }
@@ -617,6 +619,7 @@ fn eval_binop(op: BinOp, l: RtValue, r: RtValue) -> RtResult<RtValue> {
         BinOp::Le => Ok(Bool(a <= b)),
         BinOp::Gt => Ok(Bool(a > b)),
         BinOp::Ge => Ok(Bool(a >= b)),
+        // audit: allow(panic) — same short-circuit routing as above.
         BinOp::And | BinOp::Or => unreachable!("short-circuited"),
     }
 }

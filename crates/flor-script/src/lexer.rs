@@ -187,6 +187,8 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
                     line += 1;
                 }
                 // Multi-byte UTF-8: copy the full char.
+                // audit: allow(panic) — the enclosing loop guarantees
+                // i < src.len() on a char boundary, so a char exists.
                 let ch_full = src[i..].chars().next().expect("in bounds");
                 s.push(ch_full);
                 i += ch_full.len_utf8();

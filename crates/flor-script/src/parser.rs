@@ -163,8 +163,10 @@ impl Parser {
                     if args.len() != 2 {
                         return self.err("flor.loop takes (name, iterable)");
                     }
+                    // audit: allow(panic) — the len()==2 check right above
+                    // makes both pops infallible.
                     let iter = args.pop().expect("len checked");
-                    let name_expr = args.pop().expect("len checked");
+                    let name_expr = args.pop().expect("len checked"); // audit: allow(panic) — len checked above
                     let loop_name = match name_expr {
                         Expr::Str(_, s) => s,
                         _ => return self.err("flor.loop name must be a string literal"),

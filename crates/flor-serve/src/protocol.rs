@@ -372,32 +372,30 @@ impl HealthReport {
     pub fn render_text(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        writeln!(
+        let _ = writeln!(
             out,
             "health: {} epoch={}",
             if self.follower { "follower" } else { "writer" },
             self.epoch
-        )
-        .expect("string write");
-        writeln!(
+        );
+        let _ = writeln!(
             out,
             "  wal: offset={}B checkpoints={} (last epoch {}) compactions={}",
             self.wal_offset_bytes, self.checkpoints, self.last_checkpoint_epoch, self.compactions
-        )
-        .expect("string write");
-        writeln!(out, "  rows: {}", self.total_rows).expect("string write");
-        writeln!(
+        );
+        let _ = writeln!(out, "  rows: {}", self.total_rows);
+        let _ = writeln!(
             out,
             "  sessions: {}/{} in-flight: {}/{}",
             self.live_sessions, self.max_sessions, self.in_flight, self.max_in_flight
-        )
-        .expect("string write");
+        );
         match self.follower_lag {
             Some(lag) => {
-                writeln!(out, "  follower lag: {lag} commit(s) behind").expect("string write")
+                let _ = writeln!(out, "  follower lag: {lag} commit(s) behind");
             }
-            None if self.follower => writeln!(out, "  follower lag: unknown (writer checkpointed)")
-                .expect("string write"),
+            None if self.follower => {
+                let _ = writeln!(out, "  follower lag: unknown (writer checkpointed)");
+            }
             None => {}
         }
         out
@@ -685,16 +683,18 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> 
 /// Read one frame, enforcing the size cap *before* allocating and the
 /// checksum *before* returning the payload.
 pub fn read_frame(r: &mut impl Read, max_bytes: u32) -> Result<Bytes, WireError> {
-    let mut head = [0u8; 12];
-    r.read_exact(&mut head)?;
-    let len = u32::from_be_bytes(head[..4].try_into().expect("4 bytes"));
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf);
     if len > max_bytes {
         return Err(WireError::TooLarge {
             len,
             max: max_bytes,
         });
     }
-    let crc = u64::from_be_bytes(head[4..].try_into().expect("8 bytes"));
+    let mut crc_buf = [0u8; 8];
+    r.read_exact(&mut crc_buf)?;
+    let crc = u64::from_be_bytes(crc_buf);
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
     if fnv1a(&payload) != crc {

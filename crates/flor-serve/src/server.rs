@@ -150,6 +150,9 @@ impl Server {
     /// the full stack before starting the server).
     pub fn with_middleware(mut self, mw: Arc<dyn Middleware>) -> Server {
         Arc::get_mut(&mut self.shared)
+            // audit: allow(panic) — documented builder contract (see
+            // `# Panics`): the stack is sealed once `spawn` clones the
+            // shared state; misuse is a programming error, not input.
             .expect("add middleware before spawning")
             .middleware
             .push(mw);
@@ -179,6 +182,9 @@ impl Server {
         let Server { listener, shared } = self;
         let poller = spawn_follower_poll(&shared);
         for stream in listener.incoming() {
+            // audit: ordering — shutdown is a latch only ever flipped
+            // false->true; the self-connect wake guarantees the accept
+            // loop re-checks it, so Relaxed cannot lose the signal.
             if shared.shutdown.load(Ordering::Relaxed) {
                 break;
             }
@@ -222,6 +228,7 @@ impl ServerHandle {
     }
 
     /// Live session count (admitted, not yet disconnected).
+    // audit: ordering — observational statistic; staleness is fine.
     pub fn live_sessions(&self) -> usize {
         self.shared.live_sessions.load(Ordering::Relaxed)
     }
@@ -234,6 +241,9 @@ impl ServerHandle {
     }
 
     fn shutdown(&mut self) {
+        // audit: ordering — one-way latch; the subsequent self-connect
+        // and thread join provide all the synchronization shutdown
+        // needs, the flag itself publishes nothing.
         self.shared.shutdown.store(true, Ordering::Relaxed);
         // Self-connect to wake the blocking accept.
         let _ = TcpStream::connect(self.addr);
@@ -257,6 +267,8 @@ fn spawn_follower_poll(shared: &Arc<Shared>) -> Option<JoinHandle<()>> {
     }
     let shared = Arc::clone(shared);
     Some(thread::spawn(move || {
+        // audit: ordering — shutdown latch polled every slice; seeing
+        // the flip one 25ms slice late is within the drain budget.
         while !shared.shutdown.load(Ordering::Relaxed) {
             // A poll error (e.g. the writer's directory vanished) is
             // retried next tick; the follower keeps serving its last
@@ -271,6 +283,7 @@ fn spawn_follower_poll(shared: &Arc<Shared>) -> Option<JoinHandle<()>> {
             // Sleep in short slices so a long poll interval doesn't hold
             // up shutdown for a whole tick.
             let mut remaining = shared.cfg.follower_poll;
+            // audit: ordering — same latch as above, same slice bound.
             while !remaining.is_zero() && !shared.shutdown.load(Ordering::Relaxed) {
                 let slice = remaining.min(Duration::from_millis(25));
                 thread::sleep(slice);
@@ -310,6 +323,8 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), WireError>
         Ok(req) => req,
         Err(e) => return send_protocol_error(&mut writer, &e),
     };
+    // audit: ordering — id allocation needs only atomicity of the
+    // increment; session state is confined to this thread.
     let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
     let mut session = Session::new(id, peer, shared.flor.db.pin());
     match &hello {
@@ -644,6 +659,8 @@ fn health_report(shared: &Shared) -> HealthReport {
         checkpoints: stats.checkpoints,
         compactions: stats.compactions,
         total_rows: stats.total_rows as u64,
+        // audit: ordering — stats snapshot; cross-field consistency is
+        // not promised by the health verb.
         live_sessions: shared.live_sessions.load(Ordering::Relaxed) as u64,
         max_sessions: shared.cfg.max_sessions as u64,
         in_flight: shared.gate.active() as u64,

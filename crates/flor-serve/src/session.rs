@@ -81,6 +81,10 @@ impl Gate {
     }
 
     /// Try to take a permit; `None` when the gate is full.
+    // audit: ordering — the initial load and the CAS failure ordering
+    // are Relaxed because a stale count only costs one retry; success
+    // is Acquire to pair with the Release in `GatePermit::drop` so a
+    // reused slot's writes are visible to the new holder.
     pub fn try_enter(self: &Arc<Gate>) -> Option<GatePermit> {
         let mut cur = self.active.load(Ordering::Relaxed);
         loop {
@@ -100,6 +104,7 @@ impl Gate {
     }
 
     /// Permits currently held.
+    // audit: ordering — observational read for stats/health output.
     pub fn active(&self) -> usize {
         self.active.load(Ordering::Relaxed)
     }

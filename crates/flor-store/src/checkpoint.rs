@@ -249,6 +249,8 @@ pub fn decode_checkpoint(bytes: Vec<u8>) -> Result<CheckpointData, CodecError> {
     if bytes.len() < 13 {
         return Err(CodecError::Truncated);
     }
+    // audit: allow(panic) — bytes.len() >= 13 was checked above, so the
+    // fixed-width header slices below always convert.
     let magic = u32::from_be_bytes(bytes[0..4].try_into().expect("4 bytes"));
     if magic != MAGIC {
         return Err(CodecError::Malformed("bad checkpoint magic".into()));
@@ -259,7 +261,7 @@ pub fn decode_checkpoint(bytes: Vec<u8>) -> Result<CheckpointData, CodecError> {
             "unsupported checkpoint version {version}"
         )));
     }
-    let crc = u64::from_be_bytes(bytes[5..13].try_into().expect("8 bytes"));
+    let crc = u64::from_be_bytes(bytes[5..13].try_into().expect("8 bytes")); // audit: allow(panic) — same length check
     let all = Bytes::from(bytes);
     let b = all.slice(13..);
     if fnv1a(&b) != crc {
@@ -374,6 +376,8 @@ pub fn peek_sidecar(wal_path: &Path) -> Result<Option<SidecarMark>, crate::db::S
     let mut header = [0u8; 29];
     f.read_exact(&mut header)
         .map_err(|_| crate::db::StoreError::Codec(CodecError::Truncated))?;
+    // audit: allow(panic) — `header` is a [u8; 29] filled by read_exact;
+    // every fixed-offset slice below has the width its target needs.
     let magic = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes"));
     if magic != MAGIC {
         return Err(crate::db::StoreError::Codec(CodecError::Malformed(
@@ -386,9 +390,9 @@ pub fn peek_sidecar(wal_path: &Path) -> Result<Option<SidecarMark>, crate::db::S
         )));
     }
     Ok(Some(SidecarMark {
-        crc: u64::from_be_bytes(header[5..13].try_into().expect("8 bytes")),
-        epoch: u64::from_be_bytes(header[13..21].try_into().expect("8 bytes")),
-        max_txn: u64::from_be_bytes(header[21..29].try_into().expect("8 bytes")),
+        crc: u64::from_be_bytes(header[5..13].try_into().expect("8 bytes")), // audit: allow(panic) — fixed [u8; 29] header
+        epoch: u64::from_be_bytes(header[13..21].try_into().expect("8 bytes")), // audit: allow(panic) — fixed [u8; 29] header
+        max_txn: u64::from_be_bytes(header[21..29].try_into().expect("8 bytes")), // audit: allow(panic) — fixed [u8; 29] header
     }))
 }
 

@@ -525,6 +525,8 @@ impl ColumnBuilder {
                     BuilderData::Float(vals) => vals.push(0.0),
                     BuilderData::Bool(vals) => vals.push(false),
                     BuilderData::Str { codes, .. } => codes.push(0),
+                    // audit: allow(panic) — the `(Any, _)` arm above
+                    // already consumed every Any case.
                     BuilderData::Any(_) => unreachable!(),
                 }
             }
@@ -558,6 +560,8 @@ impl ColumnBuilder {
                             codes,
                         }
                     }
+                    // audit: allow(panic) — this arm promotes on the first
+                    // NON-null cell; Null was handled by the arm above.
                     Value::Null => unreachable!(),
                 };
             }
@@ -605,6 +609,9 @@ impl ColumnBuilder {
                 BuilderData::Str { dict, codes, .. } => {
                     Value::Str(Arc::clone(&dict[codes[i] as usize]))
                 }
+                // audit: allow(panic) — degrade is entered only from the
+                // variant-mismatch push arm, where data is one of the
+                // typed variants (Empty and Any have their own arms).
                 BuilderData::Empty | BuilderData::Any(_) => unreachable!(),
             });
         }

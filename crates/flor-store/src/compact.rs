@@ -193,6 +193,8 @@ fn retained_rids(t: &TableVersion, lw: &LatestWins) -> HashSet<usize> {
         if carry_pos.is_empty() {
             continue;
         }
+        // audit: allow(panic) — winner_rid was recorded while scanning
+        // this same table's rows, so the row lookup cannot miss.
         let winner = t.row(state.winner_rid).expect("winner rid is retained");
         for (ci, &p) in carry_pos.iter().enumerate() {
             if cell_is_empty(&winner[p]) {

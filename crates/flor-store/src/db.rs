@@ -461,6 +461,8 @@ impl TableVersion {
             {
                 break;
             }
+            // audit: allow(panic) — the loop condition peeked `last()`,
+            // so the vec is non-empty when we pop.
             let last = segments.pop().expect("just peeked");
             copied += last.len() as u64;
             start = last.start;
@@ -768,6 +770,8 @@ impl Snapshot {
             .zip(out)
             .map(|(def, vals)| Column::new(def.name.as_str(), vals))
             .collect();
+        // audit: allow(panic) — the columns are built from one schema in
+        // one pass: equal lengths and unique names by construction.
         Ok(DataFrame::from_columns(cols).expect("schema columns are uniform"))
     }
 
@@ -1072,6 +1076,8 @@ impl Database {
     /// In-memory database with the given schemas.
     pub fn in_memory(schemas: Vec<TableSchema>) -> Database {
         Database::from_parts(schemas, Wal::in_memory(), None)
+            // audit: allow(panic) — recovery over an empty in-memory log
+            // has nothing to decode and cannot fail.
             .expect("an empty in-memory log cannot fail recovery")
     }
 
@@ -1194,6 +1200,8 @@ impl Database {
             return self.follower_rebootstrap();
         };
         let mut g = self.inner.write();
+        // audit: allow(panic) — the follower check at fn entry returned
+        // unless `tail` was Some; no other path clears it meanwhile.
         let mut tail = g.tail.take().expect("follower state checked above");
         if tail.offset != offset {
             // A concurrent poll already advanced the cursor; nothing to do.
@@ -1501,6 +1509,9 @@ impl Database {
         {
             let m = &self.metrics;
             let _append = Span::enter(&m.registry, &m.wal_append_nanos);
+            // audit: allow(hold-across-io) — WAL append under the commit
+            // lock is the durability contract: staged rows and their log
+            // records must advance in lockstep or recovery diverges.
             g.wal.append(&WalRecord::Insert {
                 txn,
                 table: table.to_string(),
@@ -1529,10 +1540,17 @@ impl Database {
         let commit_span = Span::enter(&m.registry, &m.commit_nanos);
         {
             let _append = Span::enter(&m.registry, &m.wal_append_nanos);
+            // audit: allow(hold-across-io) — the commit marker must hit
+            // the log before the version pointer swap becomes visible;
+            // releasing the commit lock in between would let a second
+            // writer interleave its records into our transaction.
             g.wal.append(&WalRecord::Commit { txn })?;
         }
         {
             let _fsync = Span::enter(&m.registry, &m.wal_fsync_nanos);
+            // audit: allow(hold-across-io) — fsync-before-publish under
+            // the commit lock is the group-commit durability point; see
+            // ROADMAP "commit protocol". Readers never take this lock.
             g.wal.sync()?;
         }
         let staged = std::mem::take(&mut g.staged);
@@ -1604,24 +1622,33 @@ impl Database {
         if trigger
             && !self
                 .auto_ckpt_running
+                // audit: ordering — single-flight try-lock on a cold
+                // path (once per threshold crossing); SeqCst keeps the
+                // claim/release pair trivially correct.
                 .swap(true, std::sync::atomic::Ordering::SeqCst)
         {
             let db = self.clone();
             std::thread::spawn(move || {
                 let _ = db.checkpoint();
                 db.auto_ckpt_running
+                    // audit: ordering — releases the single-flight slot;
+                    // the checkpoint's own locks did the real publishing.
                     .store(false, std::sync::atomic::Ordering::SeqCst);
             });
         }
         if let Some(policy) = compact_policy {
             if !self
                 .auto_compact_running
+                // audit: ordering — same single-flight claim as the
+                // auto-checkpoint latch above.
                 .swap(true, std::sync::atomic::Ordering::SeqCst)
             {
                 let db = self.clone();
                 std::thread::spawn(move || {
                     let _ = db.compact_with(&policy);
                     db.auto_compact_running
+                        // audit: ordering — slot release; compaction's
+                        // own locks published its results.
                         .store(false, std::sync::atomic::Ordering::SeqCst);
                 });
             }
@@ -1932,6 +1959,11 @@ impl Database {
                 Some(p) => {
                     let stage = crate::wal::stage_tail(p, wal_bytes_before, max_txn)?;
                     let mut g = self.inner.write();
+                    // audit: allow(hold-across-io) — the truncation
+                    // rename plus the post-boundary delta is the only
+                    // I/O under the write lock; the tail bulk was
+                    // staged lock-free above. Shrinking this hold
+                    // further would race new commits into the old log.
                     g.wal.finish_rewrite(stage, wal_bytes_before, max_txn)?;
                     g.checkpoints += 1;
                     g.last_checkpoint_epoch = data.epoch;
@@ -1939,6 +1971,9 @@ impl Database {
                 }
                 None => {
                     let mut g = self.inner.write();
+                    // audit: allow(hold-across-io) — in-memory log: the
+                    // "tail read" is a Vec scan, not file I/O; holding
+                    // the lock keeps the rewrite atomic wrt commits.
                     let tail = g.wal.tail_records(max_txn)?;
                     g.wal.rewrite(&tail)?;
                     g.checkpoints += 1;
@@ -2035,6 +2070,8 @@ pub(crate) fn rows_to_frame(
             c.values.push(v);
         }
     }
+    // audit: allow(panic) — one column per schema field, every row
+    // pushed to all of them: lengths and names are uniform.
     DataFrame::from_columns(cols).expect("schema guarantees equal lengths and unique names")
 }
 

@@ -149,6 +149,8 @@ impl SubQueue {
 
     fn pop_front(&mut self) -> Option<CommitBatch> {
         let (&seq, _) = self.batches.first_key_value()?;
+        // audit: allow(panic) — `seq` came from first_key_value on the
+        // same map one line up.
         let batch = self.batches.remove(&seq).expect("first key exists");
         self.retained -= batch.deltas.len();
         if let Some((_, next)) = self.batches.first_key_value() {
@@ -183,6 +185,8 @@ impl SubQueue {
             debug_assert!(false, "pair index referenced a missing right batch");
             return false;
         };
+        // audit: allow(panic) — right_seq was just yielded by the range
+        // scan above (the missing case bailed out).
         let right = self.batches.remove(&right_seq).expect("right batch exists");
         let left_len = self.batches[&left_seq].deltas.len();
         debug_assert_eq!(combined, left_len + right.deltas.len());
@@ -205,6 +209,8 @@ impl SubQueue {
                     .insert((merged_len + next.deltas.len(), left_seq));
             }
         }
+        // audit: allow(panic) — left_seq was validated present before the
+        // merge began and only its right neighbor was removed.
         let left = self.batches.get_mut(&left_seq).expect("left batch exists");
         *left = CommitBatch {
             epoch: right.epoch,

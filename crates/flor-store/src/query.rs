@@ -498,6 +498,8 @@ impl Query {
                     .zip(out_cols)
                     .map(|(def, vals)| Column::new(def.name.as_str(), vals))
                     .collect();
+                // audit: allow(panic) — one value vec per schema column,
+                // filled row-by-row: lengths and names are uniform.
                 DataFrame::from_columns(cols).expect("schema columns are uniform")
             }
             Some(rids) => {
@@ -519,6 +521,8 @@ impl Query {
                             .filter(|s| values.iter().any(|v| s.zone_admits_eq(col, v)))
                             .count()
                     }
+                    // audit: allow(panic) — this arm is inside the
+                    // `Some(rids)` branch, which only index accesses produce.
                     Access::Scan => unreachable!("scan path has no rid list"),
                 };
                 segments_scanned.set(probed);
@@ -605,6 +609,8 @@ fn top_k(df: &DataFrame, keys: &[(&str, bool)], n: usize) -> DfResult<DataFrame>
     }
     let cols: Vec<&Column> = keys
         .iter()
+        // audit: allow(panic) — every key was checked against the frame in
+        // the validation loop above (UnknownColumn otherwise).
         .map(|(k, _)| df.column(k).expect("validated above"))
         .collect();
     let dirs: Vec<bool> = keys.iter().map(|(_, asc)| *asc).collect();
@@ -648,6 +654,8 @@ fn top_k(df: &DataFrame, keys: &[(&str, bool)], n: usize) -> DfResult<DataFrame>
         };
         if heap.len() < n {
             heap.push(e);
+        // audit: allow(panic) — this branch runs only when len == n and
+        // n > 0 (the n == 0 case returned early), so peek succeeds.
         } else if e < *heap.peek().expect("heap is non-empty at capacity") {
             heap.pop();
             heap.push(e);

@@ -313,8 +313,10 @@ fn read_frame(r: &mut impl Read) -> Result<Option<(WalRecord, u64)>, WalError> {
         FillResult::Partial => return Err(WalError::Codec(CodecError::Truncated)),
         FillResult::Full => {}
     }
+    // audit: allow(panic) — `header` is a [u8; 12] filled by
+    // read_exact_or_eof; the fixed-offset slices always convert.
     let len = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
-    let crc = u64::from_be_bytes(header[4..12].try_into().expect("8 bytes"));
+    let crc = u64::from_be_bytes(header[4..12].try_into().expect("8 bytes")); // audit: allow(panic) — fixed [u8; 12] header
     if len > MAX_FRAME_BYTES {
         return Err(WalError::Codec(CodecError::Truncated));
     }

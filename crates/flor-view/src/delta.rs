@@ -300,6 +300,8 @@ impl PivotState {
                         name: f.to_string(),
                         values: Vec::new(),
                     })
+                    // audit: allow(panic) — the frame has zero columns, so
+                    // adding a fresh named column cannot collide or mismatch.
                     .expect("empty frame accepts the fixed columns");
             }
         }

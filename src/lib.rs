@@ -135,6 +135,41 @@
 //! `poll_tail`), so a follower server lags the writer by at most its
 //! poll interval and refuses writes with a typed error. See
 //! `examples/serve.rs`.
+//!
+//! ## Concurrency invariants
+//!
+//! The stack's concurrency contracts are *declared* in `lockorder.toml`
+//! at the workspace root and *machine-checked* on every CI run by
+//! `cargo run -p flor-audit -- --workspace` (plus the
+//! `workspace_is_clean` fixture test). Four invariants hold everywhere:
+//!
+//! * **Lock order.** Every mutex/rwlock in the workspace is classified
+//!   into a named class, and classes form a single hierarchy (outermost
+//!   first): `kernel_state` → `jobs_board` → `jobs_ingest` →
+//!   `jobs_runner` → `view_catalog` → `git_repo` → `git_vfs` →
+//!   `serve_buckets` → `ckpt_serial` → `store_commit` → `feed_queue` →
+//!   `obs`. A lock may only be acquired while holding locks that
+//!   precede it; the audit also rejects cycles in the *observed*
+//!   acquisition graph and any `.lock()`/`.read()`/`.write()` on a
+//!   receiver the manifest does not classify. Notably: checkpoints and
+//!   compaction serialize on `ckpt_serial` **before** touching the
+//!   commit lock, and [`obs`] is innermost so metrics can be recorded
+//!   under any other lock.
+//! * **No I/O under a guard.** File and network calls while a lock
+//!   guard is live are violations. The deliberate exceptions — the WAL
+//!   append/fsync under the commit lock that makes commits durable
+//!   before readers can observe them — are annotated in place with the
+//!   reason, so the exception list lives next to the code.
+//! * **Justified atomics.** Every `Ordering::Relaxed` and
+//!   `Ordering::SeqCst` carries an `// audit: ordering — <why>`
+//!   note explaining why that ordering is sufficient (or necessary).
+//! * **Panic-free non-test code.** `.unwrap()`/`.expect()`/`panic!`/
+//!   `unreachable!` outside tests and benches must either be replaced
+//!   by typed errors or annotated `// audit: allow(panic) — <why it
+//!   cannot fire>` with the invariant that protects them.
+//!
+//! See `crates/flor-audit/README.md` for the annotation grammar, the
+//! manifest format, and how to extend the hierarchy when adding a lock.
 
 pub use flor_core as core;
 pub use flor_df as df;
